@@ -1,0 +1,90 @@
+// Ablation A7: population from inferred home locations vs the paper's
+// all-visitors count. The paper counts every unique user whose tweets fall
+// within ε of an area centre; the mobility literature prefers counting
+// *residents* (inferred home inside the area), which visitors cannot
+// inflate. This bench compares the two definitions at all three scales.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/population_estimator.h"
+#include "core/scales.h"
+#include "geo/grid_index.h"
+#include "mobility/home_inference.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+
+namespace twimob {
+namespace {
+
+int Run() {
+  auto table = bench::LoadOrGenerateCorpus();
+  if (!table.ok()) {
+    std::fprintf(stderr, "corpus failed: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+
+  // Paper definition: any user with a tweet inside the radius.
+  auto estimator = core::PopulationEstimator::Build(*table);
+  if (!estimator.ok()) {
+    std::fprintf(stderr, "estimator failed: %s\n",
+                 estimator.status().ToString().c_str());
+    return 1;
+  }
+
+  // Residents definition: inferred home inside the radius.
+  auto homes = mobility::InferHomeLocations(*table);
+  if (!homes.ok()) {
+    std::fprintf(stderr, "home inference failed: %s\n",
+                 homes.status().ToString().c_str());
+    return 1;
+  }
+  auto home_index = geo::GridIndex::Create(geo::AustraliaBoundingBox(), 0.05);
+  if (!home_index.ok()) {
+    std::fprintf(stderr, "index failed: %s\n",
+                 home_index.status().ToString().c_str());
+    return 1;
+  }
+  for (const mobility::HomeLocation& h : *homes) {
+    home_index->Insert(geo::IndexedPoint{h.home, h.user_id});
+  }
+  std::printf(
+      "=== ABLATION A7: visitors-inclusive vs home-inferred population ===\n"
+      "homes inferred for %zu of %zu users (min 3 tweets)\n\n",
+      homes->size(), table->CountDistinctUsers());
+
+  TablePrinter tp({"Scale", "r (any visitor, paper)", "r (inferred home)",
+                   "median users", "median homes"});
+  for (const core::ScaleSpec& spec : core::PaperScales()) {
+    std::vector<double> census, visitors, residents;
+    for (const census::Area& a : spec.areas) {
+      census.push_back(a.population);
+      visitors.push_back(static_cast<double>(
+          estimator->CountUniqueUsers(a.center, spec.radius_m)));
+      residents.push_back(static_cast<double>(
+          home_index->CountRadius(a.center, spec.radius_m)));
+    }
+    auto r_visitors = stats::PearsonCorrelation(visitors, census);
+    auto r_residents = stats::PearsonCorrelation(residents, census);
+    auto fmt = [](const Result<stats::CorrelationResult>& r) {
+      return r.ok() ? StrFormat("%.3f", r->r) : std::string("-");
+    };
+    tp.AddRow({spec.name, fmt(r_visitors), fmt(r_residents),
+               StrFormat("%.0f", stats::Median(visitors)),
+               StrFormat("%.0f", stats::Median(residents))});
+  }
+  std::printf("%s\n", tp.ToString().c_str());
+  std::printf(
+      "Expected shape: the two definitions agree at the city scales (a\n"
+      "radius of 25-50 km contains most residents' tweets anyway); at the\n"
+      "2 km metropolitan scale the home-based count strips commuters and\n"
+      "tourists, typically strengthening the census correlation.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace twimob
+
+int main() { return twimob::Run(); }

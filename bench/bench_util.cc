@@ -1,0 +1,86 @@
+#include "bench_util.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "tweetdb/binary_codec.h"
+
+namespace twimob::bench {
+
+namespace {
+
+uint64_t EnvOr(const char* name, uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  auto parsed = ParseInt64(value);
+  if (!parsed.ok() || *parsed <= 0) return fallback;
+  return static_cast<uint64_t>(*parsed);
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+size_t BenchUserCount() {
+  // Paper scale by default (Table I: 473,956 unique users).
+  return static_cast<size_t>(EnvOr("TWIMOB_BENCH_USERS", 473956));
+}
+
+uint64_t BenchSeed() { return EnvOr("TWIMOB_BENCH_SEED", 20150413); }
+
+synth::CorpusConfig BenchCorpusConfig() {
+  synth::CorpusConfig config;
+  config.num_users = BenchUserCount();
+  config.seed = BenchSeed();
+  return config;
+}
+
+std::string CorpusCachePath() {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir = tmp != nullptr ? tmp : "/tmp";
+  return StrFormat("%s/twimob_bench_corpus_u%zu_s%llu.twdb", dir.c_str(),
+                   BenchUserCount(),
+                   static_cast<unsigned long long>(BenchSeed()));
+}
+
+Result<tweetdb::TweetTable> LoadOrGenerateCorpus() {
+  const std::string cache = CorpusCachePath();
+  {
+    auto cached = tweetdb::ReadBinaryFile(cache);
+    if (cached.ok()) {
+      std::fprintf(stderr, "[bench] loaded cached corpus %s (%zu tweets)\n",
+                   cache.c_str(), cached->num_rows());
+      // Cached corpora were compacted before writing; restore the flag.
+      cached->CompactByUserTime();
+      return cached;
+    }
+  }
+
+  std::fprintf(stderr, "[bench] generating corpus: %zu users, seed %llu...\n",
+               BenchUserCount(), static_cast<unsigned long long>(BenchSeed()));
+  const double t0 = NowSeconds();
+  auto generator = synth::TweetGenerator::Create(BenchCorpusConfig());
+  if (!generator.ok()) return generator.status();
+  auto table = generator->Generate();
+  if (!table.ok()) return table.status();
+  table->CompactByUserTime();
+  std::fprintf(stderr, "[bench] generated %zu tweets in %.1fs\n",
+               table->num_rows(), NowSeconds() - t0);
+
+  Status persisted = tweetdb::WriteBinaryFile(*table, cache);
+  if (persisted.ok()) {
+    std::fprintf(stderr, "[bench] cached to %s\n", cache.c_str());
+  } else {
+    std::fprintf(stderr, "[bench] cache write failed (%s); continuing\n",
+                 persisted.ToString().c_str());
+  }
+  return table;
+}
+
+}  // namespace twimob::bench

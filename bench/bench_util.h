@@ -1,0 +1,33 @@
+#ifndef TWIMOB_BENCH_BENCH_UTIL_H_
+#define TWIMOB_BENCH_BENCH_UTIL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "synth/tweet_generator.h"
+#include "tweetdb/table.h"
+
+namespace twimob::bench {
+
+/// Scale of the experiment corpora. Defaults to the paper's full scale
+/// (473,956 users ≈ 6.3M tweets); override with the environment variable
+/// TWIMOB_BENCH_USERS (e.g. =50000 for a quick pass).
+size_t BenchUserCount();
+
+/// Corpus seed; override with TWIMOB_BENCH_SEED.
+uint64_t BenchSeed();
+
+/// The bench corpus config at the chosen scale.
+synth::CorpusConfig BenchCorpusConfig();
+
+/// Returns the (user,time)-compacted bench corpus, generating it on first
+/// use and caching it as a binary table under $TMPDIR so subsequent bench
+/// binaries skip generation. Prints progress to stderr.
+Result<tweetdb::TweetTable> LoadOrGenerateCorpus();
+
+/// Cache file path for the current scale/seed.
+std::string CorpusCachePath();
+
+}  // namespace twimob::bench
+
+#endif  // TWIMOB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,137 @@
+// Ablation A5 (google-benchmark): model-fitting and trip-extraction
+// throughput — the analytical hot paths of the pipeline.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "census/census_data.h"
+#include "mobility/gravity_model.h"
+#include "mobility/radiation_model.h"
+#include "mobility/trip_extractor.h"
+#include "random/rng.h"
+#include "stats/regression.h"
+
+namespace twimob::mobility {
+namespace {
+
+std::vector<FlowObservation> SyntheticObservations(size_t n) {
+  random::Xoshiro256 rng(3);
+  std::vector<FlowObservation> obs;
+  obs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    FlowObservation o;
+    o.src = i % 20;
+    o.dst = (i * 7 + 1) % 20;
+    if (o.dst == o.src) o.dst = (o.dst + 1) % 20;
+    o.m = std::pow(10.0, rng.NextUniform(3.0, 6.5));
+    o.n = std::pow(10.0, rng.NextUniform(3.0, 6.5));
+    o.d_meters = std::pow(10.0, rng.NextUniform(4.0, 6.5));
+    o.flow = std::pow(10.0, rng.NextUniform(0.0, 4.0));
+    obs.push_back(o);
+  }
+  return obs;
+}
+
+void BM_GravityFit4P(benchmark::State& state) {
+  const auto obs = SyntheticObservations(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto model = GravityModel::Fit(obs, GravityVariant::kFourParam);
+    benchmark::DoNotOptimize(model.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GravityFit4P)->Arg(380)->Arg(10000);
+
+void BM_GravityFit2P(benchmark::State& state) {
+  const auto obs = SyntheticObservations(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto model = GravityModel::Fit(obs, GravityVariant::kTwoParam);
+    benchmark::DoNotOptimize(model.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GravityFit2P)->Arg(380)->Arg(10000);
+
+void BM_RadiationFit(benchmark::State& state) {
+  const auto obs = SyntheticObservations(static_cast<size_t>(state.range(0)));
+  const auto areas = census::AreasForScale(census::Scale::kNational);
+  std::vector<double> masses;
+  for (const auto& a : areas) masses.push_back(a.population);
+  for (auto _ : state) {
+    auto model = RadiationModel::Fit(obs, areas, masses);
+    benchmark::DoNotOptimize(model.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RadiationFit)->Arg(380);
+
+void BM_InterveningPopulation(benchmark::State& state) {
+  const auto areas = census::AreasForScale(census::Scale::kNational);
+  std::vector<double> masses;
+  for (const auto& a : areas) masses.push_back(a.population);
+  for (auto _ : state) {
+    double total = 0.0;
+    for (size_t i = 0; i < areas.size(); ++i) {
+      for (size_t j = 0; j < areas.size(); ++j) {
+        if (i == j) continue;
+        total += RadiationModel::InterveningPopulation(areas, masses, i, j,
+                                                       500000.0);
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_InterveningPopulation);
+
+void BM_OlsSolve(benchmark::State& state) {
+  random::Xoshiro256 rng(5);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<double>> design;
+  std::vector<double> y;
+  for (size_t i = 0; i < n; ++i) {
+    design.push_back({1.0, rng.NextGaussian(), rng.NextGaussian(),
+                      rng.NextGaussian()});
+    y.push_back(rng.NextGaussian());
+  }
+  for (auto _ : state) {
+    auto fit = stats::OlsSolve(design, y);
+    benchmark::DoNotOptimize(fit.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_OlsSolve)->Arg(1000)->Arg(100000);
+
+void BM_TripExtraction(benchmark::State& state) {
+  // A corpus-shaped table: 20k users hopping among national city centres.
+  const auto areas = census::AreasForScale(census::Scale::kNational);
+  random::Xoshiro256 rng(9);
+  tweetdb::TweetTable table;
+  const size_t rows = static_cast<size_t>(state.range(0));
+  uint64_t user = 1;
+  size_t emitted = 0;
+  while (emitted < rows) {
+    const size_t tweets = 1 + rng.NextUint64(20);
+    for (size_t k = 0; k < tweets && emitted < rows; ++k) {
+      const auto& a = areas[rng.NextUint64(areas.size())];
+      (void)table.Append(tweetdb::Tweet{
+          user, static_cast<int64_t>(1378000000 + emitted),
+          geo::LatLon{a.center.lat + rng.NextGaussian() * 0.05,
+                      a.center.lon + rng.NextGaussian() * 0.05}});
+      ++emitted;
+    }
+    ++user;
+  }
+  table.CompactByUserTime();
+  for (auto _ : state) {
+    auto od = ExtractTrips(table, areas, 50000.0);
+    benchmark::DoNotOptimize(od.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_TripExtraction)->Arg(100000)->Arg(1000000);
+
+}  // namespace
+}  // namespace twimob::mobility
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Ablation A3 (google-benchmark): grid index vs k-d tree vs linear scan
+// for the ε-radius queries the population/mobility pipeline performs.
+
+#include <benchmark/benchmark.h>
+
+#include "geo/geodesic.h"
+#include "geo/grid_index.h"
+#include "geo/kdtree.h"
+#include "random/rng.h"
+
+namespace twimob::geo {
+namespace {
+
+std::vector<IndexedPoint> RandomPoints(size_t n) {
+  random::Xoshiro256 rng(7);
+  std::vector<IndexedPoint> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Clustered around Sydney with a broad national background, mimicking
+    // the corpus distribution the pipeline actually queries.
+    if (rng.NextBernoulli(0.6)) {
+      pts.push_back(IndexedPoint{
+          LatLon{-33.87 + rng.NextGaussian() * 0.3,
+                 151.21 + rng.NextGaussian() * 0.3},
+          i});
+    } else {
+      pts.push_back(IndexedPoint{LatLon{rng.NextUniform(-44.0, -10.0),
+                                        rng.NextUniform(113.0, 154.0)},
+                                 i});
+    }
+  }
+  return pts;
+}
+
+const LatLon kQueryCenter{-33.8688, 151.2093};
+
+void BM_LinearRadius(benchmark::State& state) {
+  const auto pts = RandomPoints(static_cast<size_t>(state.range(0)));
+  const double radius = static_cast<double>(state.range(1));
+  for (auto _ : state) {
+    size_t count = 0;
+    for (const auto& p : pts) {
+      if (HaversineMeters(kQueryCenter, p.pos) <= radius) ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_LinearRadius)
+    ->Args({1000000, 2000})
+    ->Args({1000000, 50000});
+
+void BM_GridRadius(benchmark::State& state) {
+  const auto pts = RandomPoints(static_cast<size_t>(state.range(0)));
+  auto index = GridIndex::Create(AustraliaBoundingBox(), 0.05);
+  index->InsertAll(pts);
+  const double radius = static_cast<double>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->CountRadius(kQueryCenter, radius));
+  }
+}
+BENCHMARK(BM_GridRadius)
+    ->Args({1000000, 2000})
+    ->Args({1000000, 50000});
+
+void BM_KdTreeRadius(benchmark::State& state) {
+  auto tree = KdTree::Build(RandomPoints(static_cast<size_t>(state.range(0))));
+  const double radius = static_cast<double>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.CountRadius(kQueryCenter, radius));
+  }
+}
+BENCHMARK(BM_KdTreeRadius)
+    ->Args({1000000, 2000})
+    ->Args({1000000, 50000});
+
+void BM_GridBuild(benchmark::State& state) {
+  const auto pts = RandomPoints(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto index = GridIndex::Create(AustraliaBoundingBox(), 0.05);
+    index->InsertAll(pts);
+    benchmark::DoNotOptimize(index->size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GridBuild)->Arg(1000000);
+
+void BM_KdTreeBuild(benchmark::State& state) {
+  const auto pts = RandomPoints(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto tree = KdTree::Build(pts);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(1000000);
+
+void BM_KdTreeNearest(benchmark::State& state) {
+  auto tree = KdTree::Build(RandomPoints(1000000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.NearestNeighbors(kQueryCenter, static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_KdTreeNearest)->Arg(1)->Arg(20);
+
+}  // namespace
+}  // namespace twimob::geo
+
+BENCHMARK_MAIN();

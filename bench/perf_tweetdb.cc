@@ -1,0 +1,126 @@
+// Ablation A4 / storage micro-benchmarks (google-benchmark): ingest
+// throughput, block codec speed, and the effect of zone-map pruning on
+// scans.
+
+#include <benchmark/benchmark.h>
+
+#include "geo/bbox.h"
+#include "random/rng.h"
+#include "tweetdb/binary_codec.h"
+#include "tweetdb/query.h"
+#include "tweetdb/table.h"
+
+namespace twimob::tweetdb {
+namespace {
+
+Tweet RandomTweet(random::Xoshiro256& rng) {
+  return Tweet{rng.NextUint64(100000) + 1,
+               1378000000 + static_cast<int64_t>(rng.NextUint64(20000000)),
+               geo::LatLon{rng.NextUniform(-44.0, -10.0),
+                           rng.NextUniform(113.0, 154.0)}};
+}
+
+TweetTable BuildTable(size_t rows, bool compact) {
+  random::Xoshiro256 rng(42);
+  TweetTable table;
+  for (size_t i = 0; i < rows; ++i) (void)table.Append(RandomTweet(rng));
+  if (compact) {
+    table.CompactByUserTime();
+  } else {
+    table.SealActive();
+  }
+  return table;
+}
+
+void BM_Ingest(benchmark::State& state) {
+  random::Xoshiro256 rng(1);
+  const size_t rows = static_cast<size_t>(state.range(0));
+  std::vector<Tweet> tweets;
+  tweets.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) tweets.push_back(RandomTweet(rng));
+  for (auto _ : state) {
+    TweetTable table;
+    for (const Tweet& t : tweets) (void)table.Append(t);
+    table.SealActive();
+    benchmark::DoNotOptimize(table.num_rows());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_Ingest)->Arg(10000)->Arg(100000);
+
+void BM_EncodeTable(benchmark::State& state) {
+  TweetTable table = BuildTable(static_cast<size_t>(state.range(0)), true);
+  for (auto _ : state) {
+    std::string bytes = EncodeTable(table);
+    benchmark::DoNotOptimize(bytes.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeTable)->Arg(100000);
+
+void BM_DecodeTable(benchmark::State& state) {
+  TweetTable table = BuildTable(static_cast<size_t>(state.range(0)), true);
+  const std::string bytes = EncodeTable(table);
+  state.counters["bytes_per_row"] =
+      static_cast<double>(bytes.size()) / static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto decoded = DecodeTable(bytes);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeTable)->Arg(100000);
+
+// The A4 question: zone-map pruning vs full scan for a selective predicate.
+void BM_ScanUserFilter(benchmark::State& state) {
+  const bool compacted = state.range(1) != 0;
+  TweetTable table = BuildTable(static_cast<size_t>(state.range(0)), compacted);
+  ScanSpec spec;
+  spec.user_id = 777;
+  size_t pruned = 0, total = 0;
+  for (auto _ : state) {
+    size_t count = 0;
+    ScanStatistics stats = CountMatching(table, spec, &count);
+    pruned = stats.blocks_pruned;
+    total = stats.blocks_total;
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["blocks_pruned"] = static_cast<double>(pruned);
+  state.counters["blocks_total"] = static_cast<double>(total);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanUserFilter)
+    ->Args({1000000, 0})   // appended order: zone maps useless
+    ->Args({1000000, 1});  // compacted: zone maps prune nearly everything
+
+void BM_ParallelScanBbox(benchmark::State& state) {
+  TweetTable table = BuildTable(1000000, false);
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  ScanSpec spec;
+  spec.bbox = geo::BoundingBox{-35.0, 150.0, -33.0, 152.0};
+  for (auto _ : state) {
+    size_t count = 0;
+    ParallelCountMatching(table, spec, pool, &count);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000000);
+}
+BENCHMARK(BM_ParallelScanBbox)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ScanBboxFilter(benchmark::State& state) {
+  TweetTable table = BuildTable(1000000, false);
+  ScanSpec spec;
+  spec.bbox = geo::BoundingBox{-35.0, 150.0, -33.0, 152.0};  // Sydney box
+  for (auto _ : state) {
+    size_t count = 0;
+    CountMatching(table, spec, &count);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000000);
+}
+BENCHMARK(BM_ScanBboxFilter);
+
+}  // namespace
+}  // namespace twimob::tweetdb
+
+BENCHMARK_MAIN();

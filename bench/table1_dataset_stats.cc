@@ -1,0 +1,117 @@
+// Regenerates the paper's Table I (dataset statistics) from the synthetic
+// corpus. All statistics are measured from the stored tweets themselves —
+// the same way the authors measured their collection — not copied from
+// generator bookkeeping.
+
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/time_util.h"
+#include "geo/bbox.h"
+#include "stats/descriptive.h"
+
+namespace twimob {
+namespace {
+
+int Run() {
+  auto table = bench::LoadOrGenerateCorpus();
+  if (!table.ok()) {
+    std::fprintf(stderr, "corpus failed: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+
+  // Single pass over the (user,time)-sorted corpus.
+  std::unordered_map<uint64_t, uint64_t> tweets_per_user;
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> locations_per_user;
+  stats::RunningStats waiting_hours;
+  int64_t min_time = 0, max_time = 0;
+  double min_lat = 90, max_lat = -90, min_lon = 180, max_lon = -180;
+  uint64_t prev_user = 0;
+  int64_t prev_time = 0;
+  bool have_prev = false;
+  bool first_row = true;
+
+  table->ForEachRow([&](const tweetdb::Tweet& t) {
+    ++tweets_per_user[t.user_id];
+    // "Locations" are distinct ~550 m grid cells a user tweeted from.
+    const int64_t cell = (static_cast<int64_t>((t.pos.lat + 90.0) * 200.0) << 17) ^
+                         static_cast<int64_t>((t.pos.lon + 180.0) * 200.0);
+    locations_per_user[t.user_id].insert(static_cast<uint64_t>(cell));
+
+    if (have_prev && t.user_id == prev_user) {
+      waiting_hours.Add(SecondsToHours(t.timestamp - prev_time));
+    }
+    prev_user = t.user_id;
+    prev_time = t.timestamp;
+    have_prev = true;
+
+    if (first_row) {
+      min_time = max_time = t.timestamp;
+      first_row = false;
+    } else {
+      min_time = std::min(min_time, t.timestamp);
+      max_time = std::max(max_time, t.timestamp);
+    }
+    min_lat = std::min(min_lat, t.pos.lat);
+    max_lat = std::max(max_lat, t.pos.lat);
+    min_lon = std::min(min_lon, t.pos.lon);
+    max_lon = std::max(max_lon, t.pos.lon);
+  });
+
+  const size_t users = tweets_per_user.size();
+  size_t over50 = 0, over100 = 0, over500 = 0, over1000 = 0;
+  for (const auto& [user, count] : tweets_per_user) {
+    if (count > 50) ++over50;
+    if (count > 100) ++over100;
+    if (count > 500) ++over500;
+    if (count > 1000) ++over1000;
+  }
+  double total_locations = 0.0;
+  for (const auto& [user, cells] : locations_per_user) {
+    total_locations += static_cast<double>(cells.size());
+  }
+
+  TablePrinter tp({"Statistic", "Measured (synthetic)", "Paper"});
+  tp.AddRow({"Range of longitude", StrFormat("[%.6f, %.6f]", min_lon, max_lon),
+             "[112.921112, 159.278717]"});
+  tp.AddRow({"Range of latitude", StrFormat("[%.6f, %.6f]", min_lat, max_lat),
+             "[-54.640301, -9.228820]"});
+  tp.AddRow({"Collection period",
+             FormatIso8601(min_time) + " .. " + FormatIso8601(max_time),
+             "Sept.2013-Apr.2014"});
+  tp.AddRow({"No. Tweets", WithThousandsSep(static_cast<int64_t>(table->num_rows())),
+             "6,304,176"});
+  tp.AddRow({"No. unique users", WithThousandsSep(static_cast<int64_t>(users)),
+             "473,956"});
+  tp.AddRow({"Avg. Tweets/user",
+             StrFormat("%.1f", static_cast<double>(table->num_rows()) /
+                                   static_cast<double>(users)),
+             "13.3"});
+  tp.AddRow({"Avg. waiting time", StrFormat("%.1fhr", waiting_hours.mean()),
+             "35.5hr"});
+  tp.AddRow({"Avg. no. locations/user (550m grid)",
+             StrFormat("%.2f", total_locations / static_cast<double>(users)),
+             "4.76"});
+  tp.AddSeparator();
+  tp.AddRow({"Users > 50 tweets", WithThousandsSep(static_cast<int64_t>(over50)),
+             "23,462"});
+  tp.AddRow({"Users > 100 tweets", WithThousandsSep(static_cast<int64_t>(over100)),
+             "10,031"});
+  tp.AddRow({"Users > 500 tweets", WithThousandsSep(static_cast<int64_t>(over500)),
+             "766"});
+  tp.AddRow({"Users > 1000 tweets",
+             WithThousandsSep(static_cast<int64_t>(over1000)), "180"});
+
+  std::printf("=== TABLE I: STATISTICS OF THE DATASET (synthetic corpus) ===\n%s",
+              tp.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace twimob
+
+int main() { return twimob::Run(); }

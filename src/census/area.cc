@@ -1,0 +1,50 @@
+#include "census/area.h"
+
+#include "common/string_util.h"
+#include "geo/geodesic.h"
+
+namespace twimob::census {
+
+std::string ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kNational:
+      return "National";
+    case Scale::kState:
+      return "State";
+    case Scale::kMetropolitan:
+      return "Metropolitan";
+  }
+  return "Unknown";
+}
+
+double DefaultSearchRadiusMeters(Scale scale) {
+  switch (scale) {
+    case Scale::kNational:
+      return 50000.0;
+    case Scale::kState:
+      return 25000.0;
+    case Scale::kMetropolitan:
+      return 2000.0;
+  }
+  return 0.0;
+}
+
+std::string Area::ToString() const {
+  return StrFormat("%s %s pop=%.0f", name.c_str(), center.ToString().c_str(),
+                   population);
+}
+
+double MeanPairwiseDistanceMeters(const std::vector<Area>& areas) {
+  if (areas.size() < 2) return 0.0;
+  double sum = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < areas.size(); ++i) {
+    for (size_t j = i + 1; j < areas.size(); ++j) {
+      sum += geo::HaversineMeters(areas[i].center, areas[j].center);
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+}  // namespace twimob::census

@@ -1,0 +1,45 @@
+#ifndef TWIMOB_CENSUS_AREA_H_
+#define TWIMOB_CENSUS_AREA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/latlon.h"
+
+namespace twimob::census {
+
+/// The paper's three geographic scales (§III):
+///   National     — 20 most populated cities in Australia,  ε = 50 km
+///   State        — 20 most populated cities in NSW,        ε = 25 km
+///   Metropolitan — 20 most populated suburbs in Sydney,    ε = 2 km
+enum class Scale : int { kNational = 0, kState = 1, kMetropolitan = 2 };
+
+/// All scales in paper order.
+inline constexpr Scale kAllScales[] = {Scale::kNational, Scale::kState,
+                                       Scale::kMetropolitan};
+
+/// Human-readable scale name as used in the paper's tables.
+std::string ScaleName(Scale scale);
+
+/// The paper's search radius ε for a scale, metres (50 km / 25 km / 2 km).
+double DefaultSearchRadiusMeters(Scale scale);
+
+/// One census area: a named population centre with a representative
+/// coordinate and an ABS-style resident population.
+struct Area {
+  uint32_t id = 0;          ///< dense per-scale index [0, 20)
+  std::string name;
+  geo::LatLon center;
+  double population = 0.0;  ///< census resident population
+
+  std::string ToString() const;
+};
+
+/// Mean over all unordered area pairs of the great-circle distance, metres.
+/// The paper reports 1422 km / 341 km / 7.5 km for the three scales.
+double MeanPairwiseDistanceMeters(const std::vector<Area>& areas);
+
+}  // namespace twimob::census
+
+#endif  // TWIMOB_CENSUS_AREA_H_

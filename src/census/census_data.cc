@@ -1,0 +1,148 @@
+#include "census/census_data.h"
+
+#include "common/string_util.h"
+
+namespace twimob::census {
+
+namespace {
+
+struct RawArea {
+  const char* name;
+  double lat;
+  double lon;
+  double population;
+};
+
+// 20 most populated Australian significant urban areas, ~2013 (ABS 3218.0).
+constexpr RawArea kNational[20] = {
+    {"Sydney", -33.8688, 151.2093, 4757083},
+    {"Melbourne", -37.8136, 144.9631, 4246375},
+    {"Brisbane", -27.4698, 153.0251, 2274560},
+    {"Perth", -31.9505, 115.8605, 1972358},
+    {"Adelaide", -34.9285, 138.6007, 1277174},
+    {"Gold Coast", -28.0167, 153.4000, 614379},
+    {"Newcastle", -32.9283, 151.7817, 430755},
+    {"Canberra", -35.2809, 149.1300, 422510},
+    {"Sunshine Coast", -26.6500, 153.0667, 297380},
+    {"Wollongong", -34.4278, 150.8931, 289236},
+    {"Hobart", -42.8821, 147.3272, 219243},
+    {"Geelong", -38.1499, 144.3617, 184182},
+    {"Townsville", -19.2590, 146.8169, 178649},
+    {"Cairns", -16.9186, 145.7781, 146778},
+    {"Darwin", -12.4634, 130.8456, 140400},
+    {"Toowoomba", -27.5598, 151.9507, 113625},
+    {"Ballarat", -37.5622, 143.8503, 98543},
+    {"Bendigo", -36.7570, 144.2794, 91692},
+    {"Albury-Wodonga", -36.0737, 146.9135, 87890},
+    {"Launceston", -41.4332, 147.1441, 86393},
+};
+
+// 20 most populated urban centres in New South Wales, ~2013.
+constexpr RawArea kState[20] = {
+    {"Sydney", -33.8688, 151.2093, 4757083},
+    {"Newcastle", -32.9283, 151.7817, 430755},
+    {"Central Coast", -33.4269, 151.3428, 325029},
+    {"Wollongong", -34.4278, 150.8931, 289236},
+    {"Coffs Harbour", -30.2963, 153.1135, 69922},
+    {"Wagga Wagga", -35.1082, 147.3598, 55364},
+    {"Albury", -36.0737, 146.9135, 51076},
+    {"Port Macquarie", -31.4333, 152.9000, 44313},
+    {"Tamworth", -31.0927, 150.9320, 41810},
+    {"Orange", -33.2835, 149.1013, 39329},
+    {"Dubbo", -32.2569, 148.6011, 37757},
+    {"Queanbeyan", -35.3549, 149.2324, 37085},
+    {"Bathurst", -33.4193, 149.5775, 35391},
+    {"Nowra-Bomaderry", -34.8870, 150.6010, 34479},
+    {"Lismore", -28.8142, 153.2779, 28766},
+    {"Goulburn", -34.7515, 149.7209, 22419},
+    {"Armidale", -30.5120, 151.6655, 22273},
+    {"Grafton", -29.6908, 152.9333, 18668},
+    {"Griffith", -34.2900, 146.0400, 18196},
+    {"Broken Hill", -31.9530, 141.4535, 18114},
+};
+
+// 20 most populated Sydney suburbs, ~2011-13 census era.
+constexpr RawArea kMetropolitan[20] = {
+    {"Blacktown", -33.7668, 150.9054, 47176},
+    {"Auburn", -33.8494, 151.0333, 37366},
+    {"Castle Hill", -33.7319, 151.0042, 36077},
+    {"Baulkham Hills", -33.7586, 150.9928, 35869},
+    {"Bankstown", -33.9181, 151.0352, 32113},
+    {"Merrylands", -33.8369, 150.9908, 30745},
+    {"Maroubra", -33.9500, 151.2430, 29562},
+    {"Mosman", -33.8286, 151.2439, 28222},
+    {"Randwick", -33.9140, 151.2410, 27862},
+    {"Quakers Hill", -33.7344, 150.8789, 27324},
+    {"Liverpool", -33.9200, 150.9230, 26946},
+    {"Marrickville", -33.9110, 151.1549, 26126},
+    {"Cherrybrook", -33.7230, 151.0450, 24454},
+    {"Greystanes", -33.8224, 150.9450, 23896},
+    {"Carlingford", -33.7825, 151.0490, 23129},
+    {"Glenmore Park", -33.7900, 150.6700, 22111},
+    {"Dee Why", -33.7520, 151.2850, 21518},
+    {"Hornsby", -33.7045, 151.0993, 21467},
+    {"Epping", -33.7727, 151.0820, 20874},
+    {"St Ives", -33.7300, 151.1600, 17427},
+};
+
+std::vector<Area> BuildAreas(const RawArea (&raw)[20]) {
+  std::vector<Area> out;
+  out.reserve(20);
+  for (uint32_t i = 0; i < 20; ++i) {
+    Area a;
+    a.id = i;
+    a.name = raw[i].name;
+    a.center = geo::LatLon{raw[i].lat, raw[i].lon};
+    a.population = raw[i].population;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Area>& AreasForScale(Scale scale) {
+  // Function-local statics avoid static-initialisation-order issues; the
+  // vectors are built once on first use and never destroyed concerns apply
+  // only at process exit.
+  static const std::vector<Area>& national = *new std::vector<Area>(
+      BuildAreas(kNational));
+  static const std::vector<Area>& state = *new std::vector<Area>(BuildAreas(kState));
+  static const std::vector<Area>& metro = *new std::vector<Area>(
+      BuildAreas(kMetropolitan));
+  switch (scale) {
+    case Scale::kNational:
+      return national;
+    case Scale::kState:
+      return state;
+    case Scale::kMetropolitan:
+      return metro;
+  }
+  return national;
+}
+
+std::vector<Area> AllAreas() {
+  std::vector<Area> out;
+  for (Scale s : kAllScales) {
+    const auto& areas = AreasForScale(s);
+    out.insert(out.end(), areas.begin(), areas.end());
+  }
+  return out;
+}
+
+Result<Area> FindAreaByName(Scale scale, std::string_view name) {
+  const std::string needle = ToLower(name);
+  for (const Area& a : AreasForScale(scale)) {
+    if (ToLower(a.name) == needle) return a;
+  }
+  return Status::NotFound("no area named '" + std::string(name) + "' in scale " +
+                          ScaleName(scale));
+}
+
+double TotalPopulation(Scale scale) {
+  double sum = 0.0;
+  for (const Area& a : AreasForScale(scale)) sum += a.population;
+  return sum;
+}
+
+}  // namespace twimob::census

@@ -1,0 +1,38 @@
+#ifndef TWIMOB_CENSUS_CENSUS_DATA_H_
+#define TWIMOB_CENSUS_CENSUS_DATA_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "census/area.h"
+
+namespace twimob::census {
+
+/// Embedded substitute for the ABS census extract (cat. 3218.0, 2012-13)
+/// the paper joins against. Coordinates are real; populations are
+/// public order-of-magnitude figures for the same period. See DESIGN.md §2
+/// for the substitution rationale.
+///
+/// All three tables have exactly 20 areas, matching the paper's setup.
+
+/// The 20 areas of a scale, ordered by descending population, ids 0..19.
+const std::vector<Area>& AreasForScale(Scale scale);
+
+/// Every area of every scale (60 areas), National first. Ids remain
+/// per-scale.
+std::vector<Area> AllAreas();
+
+/// Finds an area by (case-insensitive) name within a scale.
+Result<Area> FindAreaByName(Scale scale, std::string_view name);
+
+/// Total census population across a scale's 20 areas.
+double TotalPopulation(Scale scale);
+
+/// Australia-wide reference population used to normalise sampling weights
+/// (ABS estimate mid-2013).
+inline constexpr double kAustraliaPopulation2013 = 23130000.0;
+
+}  // namespace twimob::census
+
+#endif  // TWIMOB_CENSUS_CENSUS_DATA_H_

@@ -1,0 +1,57 @@
+#ifndef TWIMOB_COMMON_LOGGING_H_
+#define TWIMOB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace twimob {
+
+/// Severity levels for the library logger.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kInfo. Not thread-safe to mutate concurrently with logging (set it once
+/// at start-up).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace twimob
+
+#define TWIMOB_LOG(level)                                                      \
+  ::twimob::internal::LogMessage(::twimob::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Fatal invariant check: logs and aborts when `cond` is false. Use only for
+/// conditions that indicate library bugs, never for user input validation.
+#define TWIMOB_DCHECK(cond)                                                \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      TWIMOB_LOG(Error) << "DCHECK failed: " #cond;                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#endif  // TWIMOB_COMMON_LOGGING_H_

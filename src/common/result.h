@@ -1,0 +1,94 @@
+#ifndef TWIMOB_COMMON_RESULT_H_
+#define TWIMOB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace twimob {
+
+/// Result<T> holds either a value of type T or a non-OK Status.
+///
+/// This is the value-returning companion of Status:
+///
+///   Result<Table> r = Table::Open(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).ValueOrDie();
+///
+/// or with the convenience macro:
+///
+///   TWIMOB_ASSIGN_OR_RETURN(Table t, Table::Open(path));
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value. Intentionally implicit so that
+  /// `return value;` works in functions returning Result<T>.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a Result holding an error. Passing an OK status is a
+  /// programming error and is converted to an Internal error.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status without a value");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Accesses the contained value. Must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `alternative` when in the error state.
+  T ValueOr(T alternative) const& { return ok() ? *value_ : std::move(alternative); }
+
+  /// Dereference sugar; must only be used when ok().
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace twimob
+
+#define TWIMOB_RESULT_CONCAT_INNER_(x, y) x##y
+#define TWIMOB_RESULT_CONCAT_(x, y) TWIMOB_RESULT_CONCAT_INNER_(x, y)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status
+/// from the enclosing function, otherwise declares `lhs` bound to the value.
+#define TWIMOB_ASSIGN_OR_RETURN(lhs, rexpr)                                       \
+  TWIMOB_ASSIGN_OR_RETURN_IMPL_(                                                  \
+      TWIMOB_RESULT_CONCAT_(_twimob_result_, __LINE__), lhs, rexpr)
+
+#define TWIMOB_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                  \
+  if (!result.ok()) return result.status();               \
+  lhs = std::move(result).ValueOrDie()
+
+#endif  // TWIMOB_COMMON_RESULT_H_

@@ -1,0 +1,41 @@
+#ifndef TWIMOB_COMMON_STRING_UTIL_H_
+#define TWIMOB_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace twimob {
+
+/// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Strict numeric parsers: the whole (trimmed) input must be consumed.
+Result<double> ParseDouble(std::string_view s);
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats `v` with thousands separators, e.g. 6304176 -> "6,304,176".
+std::string WithThousandsSep(int64_t v);
+
+/// True iff `s` starts with / ends with `prefix` / `suffix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+}  // namespace twimob
+
+#endif  // TWIMOB_COMMON_STRING_UTIL_H_

@@ -1,0 +1,75 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+
+namespace twimob {
+
+namespace {
+const char kSepSentinel[] = "\x01sep";
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back({kSepSentinel}); }
+
+size_t TablePrinter::num_rows() const {
+  size_t n = 0;
+  for (const auto& r : rows_) {
+    if (!(r.size() == 1 && r[0] == kSepSentinel)) ++n;
+  }
+  return n;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSepSentinel) continue;
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_separator = [&widths]() {
+    std::string line = "+";
+    for (size_t w : widths) {
+      line.append(w + 2, '-');
+      line.push_back('+');
+    }
+    line.push_back('\n');
+    return line;
+  };
+  auto render_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line.push_back(' ');
+      line.append(cell);
+      line.append(widths[c] - cell.size() + 1, ' ');
+      line.push_back('|');
+    }
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out = render_separator();
+  out += render_row(headers_);
+  out += render_separator();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSepSentinel) {
+      out += render_separator();
+    } else {
+      out += render_row(row);
+    }
+  }
+  out += render_separator();
+  return out;
+}
+
+}  // namespace twimob

@@ -1,0 +1,41 @@
+#ifndef TWIMOB_COMMON_TABLE_PRINTER_H_
+#define TWIMOB_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace twimob {
+
+/// Renders rows of strings as a fixed-width ASCII table, used by the bench
+/// harness to print the paper's tables.
+///
+///   TablePrinter tp({"Scale", "Gravity 2P", "Radiation"});
+///   tp.AddRow({"National", "0.912", "0.840"});
+///   std::cout << tp.ToString();
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one data row. Rows shorter than the header are right-padded
+  /// with empty cells; longer rows are truncated.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void AddSeparator();
+
+  /// Renders the table, one trailing newline included.
+  std::string ToString() const;
+
+  /// Number of data rows added so far (separators excluded).
+  size_t num_rows() const;
+
+ private:
+  std::vector<std::string> headers_;
+  // A row with the sentinel single cell "\x01sep" renders as a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace twimob
+
+#endif  // TWIMOB_COMMON_TABLE_PRINTER_H_

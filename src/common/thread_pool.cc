@@ -1,0 +1,78 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace twimob {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this]() { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this]() { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  const size_t batches = std::min(count, workers_.size() * 4);
+  const size_t chunk = (count + batches - 1) / batches;
+  for (size_t b = 0; b < batches; ++b) {
+    const size_t begin = b * chunk;
+    const size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    Submit([begin, end, &fn]() {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  Wait();
+}
+
+}  // namespace twimob

@@ -1,0 +1,32 @@
+#include "common/time_util.h"
+
+#include <ctime>
+
+#include "common/string_util.h"
+
+namespace twimob {
+
+double SecondsToHours(UnixSeconds seconds) {
+  return static_cast<double>(seconds) / static_cast<double>(kSecondsPerHour);
+}
+
+std::string FormatIso8601(UnixSeconds t) {
+  std::time_t tt = static_cast<std::time_t>(t);
+  std::tm tm_utc{};
+  gmtime_r(&tt, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return std::string(buf);
+}
+
+std::string FormatDuration(double seconds) {
+  if (seconds >= kSecondsPerHour) {
+    return StrFormat("%.1fhr", seconds / kSecondsPerHour);
+  }
+  if (seconds >= kSecondsPerMinute) {
+    return StrFormat("%.1fmin", seconds / kSecondsPerMinute);
+  }
+  return StrFormat("%.0fs", seconds);
+}
+
+}  // namespace twimob

@@ -1,0 +1,32 @@
+#ifndef TWIMOB_COMMON_TIME_UTIL_H_
+#define TWIMOB_COMMON_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace twimob {
+
+/// Timestamps throughout the library are seconds since the Unix epoch (UTC).
+using UnixSeconds = int64_t;
+
+inline constexpr int64_t kSecondsPerMinute = 60;
+inline constexpr int64_t kSecondsPerHour = 3600;
+inline constexpr int64_t kSecondsPerDay = 86400;
+
+/// The paper's collection window: September 2013 through April 2014.
+inline constexpr UnixSeconds kCollectionStart = 1377993600;  // 2013-09-01T00:00:00Z
+inline constexpr UnixSeconds kCollectionEnd = 1398902400;    // 2014-05-01T00:00:00Z
+
+/// Seconds expressed in fractional hours.
+double SecondsToHours(UnixSeconds seconds);
+
+/// Formats a Unix timestamp as "YYYY-MM-DDTHH:MM:SSZ" (UTC).
+std::string FormatIso8601(UnixSeconds t);
+
+/// Formats a duration in seconds as a compact human string, e.g. "35.5hr",
+/// "12.0min", "42s".
+std::string FormatDuration(double seconds);
+
+}  // namespace twimob
+
+#endif  // TWIMOB_COMMON_TIME_UTIL_H_

@@ -1,0 +1,104 @@
+#include "core/population_estimator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "geo/bbox.h"
+#include "stats/descriptive.h"
+
+namespace twimob::core {
+
+namespace {
+// ~5.5 km cells: radius queries at the paper's ε values touch a handful of
+// cells while city-sized queries stay bounded.
+constexpr double kIndexCellDegrees = 0.05;
+}  // namespace
+
+Result<PopulationEstimator> PopulationEstimator::Build(
+    const tweetdb::TweetTable& table) {
+  // Bounds: the Australian study box, extended to cover stray points so no
+  // tweet is clamped into a wrong cell's neighbourhood.
+  geo::BoundingBox bounds = geo::AustraliaBoundingBox();
+  table.ForEachRow(
+      [&bounds](const tweetdb::Tweet& t) { bounds.ExtendToInclude(t.pos); });
+
+  auto index = geo::GridIndex::Create(bounds, kIndexCellDegrees);
+  if (!index.ok()) return index.status();
+  auto owned = std::make_unique<geo::GridIndex>(std::move(*index));
+  table.ForEachRow([&owned](const tweetdb::Tweet& t) {
+    owned->Insert(geo::IndexedPoint{t.pos, t.user_id});
+  });
+  return PopulationEstimator(std::move(owned));
+}
+
+size_t PopulationEstimator::CountUniqueUsers(const geo::LatLon& center,
+                                             double radius_m) const {
+  std::unordered_set<uint64_t> users;
+  index_->ForEachInRadius(center, radius_m, [&users](const geo::IndexedPoint& p) {
+    users.insert(p.id);
+  });
+  return users.size();
+}
+
+size_t PopulationEstimator::CountTweets(const geo::LatLon& center,
+                                        double radius_m) const {
+  return index_->CountRadius(center, radius_m);
+}
+
+Result<PopulationEstimateResult> PopulationEstimator::Estimate(
+    const ScaleSpec& spec) const {
+  if (spec.areas.empty()) {
+    return Status::InvalidArgument("Estimate: scale spec has no areas");
+  }
+  if (!(spec.radius_m > 0.0)) {
+    return Status::InvalidArgument("Estimate: radius must be positive");
+  }
+
+  PopulationEstimateResult result;
+  result.scale_name = spec.name;
+  result.radius_m = spec.radius_m;
+
+  double total_users = 0.0;
+  double total_census = 0.0;
+  std::vector<double> users_vec, census_vec;
+  for (const census::Area& area : spec.areas) {
+    AreaPopulationEstimate est;
+    est.area_id = area.id;
+    est.name = area.name;
+    est.unique_users = CountUniqueUsers(area.center, spec.radius_m);
+    est.tweet_count = CountTweets(area.center, spec.radius_m);
+    est.census_population = area.population;
+    result.areas.push_back(std::move(est));
+
+    total_users += static_cast<double>(result.areas.back().unique_users);
+    total_census += area.population;
+    users_vec.push_back(static_cast<double>(result.areas.back().unique_users));
+    census_vec.push_back(area.population);
+  }
+
+  result.rescale_factor = total_users > 0.0 ? total_census / total_users : 0.0;
+  for (AreaPopulationEstimate& est : result.areas) {
+    est.rescaled_estimate =
+        result.rescale_factor * static_cast<double>(est.unique_users);
+  }
+  result.median_users = stats::Median(users_vec);
+
+  auto corr = stats::PearsonCorrelation(users_vec, census_vec);
+  if (!corr.ok()) return corr.status();
+  result.correlation = *corr;
+  return result;
+}
+
+Result<stats::CorrelationResult> PooledPopulationCorrelation(
+    const std::vector<PopulationEstimateResult>& results) {
+  std::vector<double> twitter, census;
+  for (const PopulationEstimateResult& r : results) {
+    for (const AreaPopulationEstimate& a : r.areas) {
+      twitter.push_back(a.rescaled_estimate);
+      census.push_back(a.census_population);
+    }
+  }
+  return stats::PearsonCorrelation(twitter, census);
+}
+
+}  // namespace twimob::core

@@ -1,0 +1,75 @@
+#ifndef TWIMOB_CORE_POPULATION_ESTIMATOR_H_
+#define TWIMOB_CORE_POPULATION_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/scales.h"
+#include "geo/grid_index.h"
+#include "stats/correlation.h"
+#include "tweetdb/table.h"
+
+namespace twimob::core {
+
+/// Per-area population estimate derived from tweets (paper §III).
+struct AreaPopulationEstimate {
+  uint32_t area_id = 0;
+  std::string name;
+  size_t tweet_count = 0;        ///< tweets within ε of the centre
+  size_t unique_users = 0;       ///< distinct users within ε — "Twitter population"
+  double census_population = 0.0;
+  double rescaled_estimate = 0.0;  ///< C · unique_users
+};
+
+/// Result of population estimation at one scale.
+struct PopulationEstimateResult {
+  std::string scale_name;
+  double radius_m = 0.0;
+  std::vector<AreaPopulationEstimate> areas;
+  /// Rescaling factor C with C·Σusers = Σcensus over this scale's areas.
+  double rescale_factor = 0.0;
+  /// Pearson correlation of unique users vs census population (scale-local;
+  /// Pearson is invariant to the rescale factor).
+  stats::CorrelationResult correlation;
+  /// Median unique users across the 20 areas (paper: 4166 / 743 / 3988).
+  double median_users = 0.0;
+};
+
+/// Estimates area populations from geo-tagged tweets by counting the
+/// distinct users whose tweets fall within the scale's search radius ε of
+/// each area centre. Build once per corpus, estimate at any scale/radius.
+class PopulationEstimator {
+ public:
+  /// Indexes every tweet of `table` into a uniform grid (cell ≈ 0.05°).
+  /// The table must outlive nothing — all data is copied into the index.
+  static Result<PopulationEstimator> Build(const tweetdb::TweetTable& table);
+
+  /// Distinct users with at least one tweet within radius_m of `center`.
+  size_t CountUniqueUsers(const geo::LatLon& center, double radius_m) const;
+
+  /// Tweets within radius_m of `center`.
+  size_t CountTweets(const geo::LatLon& center, double radius_m) const;
+
+  /// Full estimate for one scale spec.
+  Result<PopulationEstimateResult> Estimate(const ScaleSpec& spec) const;
+
+  size_t num_indexed_tweets() const { return index_->size(); }
+
+ private:
+  explicit PopulationEstimator(std::unique_ptr<geo::GridIndex> index)
+      : index_(std::move(index)) {}
+
+  std::unique_ptr<geo::GridIndex> index_;
+};
+
+/// Pools per-scale estimates into the paper's 60-sample comparison
+/// (Figure 3a): Pearson correlation of the rescaled Twitter populations
+/// against census populations across all areas of all supplied results.
+Result<stats::CorrelationResult> PooledPopulationCorrelation(
+    const std::vector<PopulationEstimateResult>& results);
+
+}  // namespace twimob::core
+
+#endif  // TWIMOB_CORE_POPULATION_ESTIMATOR_H_

@@ -1,0 +1,131 @@
+#include "core/predictor.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace twimob::core {
+
+std::string FlowSourceName(FlowSource source) {
+  switch (source) {
+    case FlowSource::kExtracted:
+      return "Twitter (extracted)";
+    case FlowSource::kGravity2Param:
+      return "Gravity 2Param";
+    case FlowSource::kGravity4Param:
+      return "Gravity 4Param";
+    case FlowSource::kRadiation:
+      return "Radiation";
+  }
+  return "Unknown";
+}
+
+Result<DiseaseSpreadPredictor> DiseaseSpreadPredictor::Create(
+    const ScaleSpec& spec, const ScaleMobilityResult& mobility) {
+  if (spec.areas.empty()) {
+    return Status::InvalidArgument("predictor requires a non-empty scale spec");
+  }
+  if (mobility.models.size() < 3) {
+    return Status::InvalidArgument(
+        "predictor requires the three paper models in the mobility result");
+  }
+  if (mobility.observations.empty()) {
+    return Status::InvalidArgument("predictor requires extracted observations");
+  }
+
+  const size_t n = spec.areas.size();
+  std::vector<mobility::OdMatrix> flows;
+  for (int s = 0; s < 4; ++s) {
+    auto od = mobility::OdMatrix::Create(n);
+    if (!od.ok()) return od.status();
+    flows.push_back(std::move(*od));
+  }
+  for (size_t i = 0; i < mobility.observations.size(); ++i) {
+    const auto& o = mobility.observations[i];
+    if (o.src >= n || o.dst >= n) {
+      return Status::InvalidArgument("observation outside the scale spec");
+    }
+    flows[static_cast<int>(FlowSource::kExtracted)].SetFlow(o.src, o.dst, o.flow);
+    // Pipeline model order: Gravity 4P, Gravity 2P, Radiation.
+    flows[static_cast<int>(FlowSource::kGravity4Param)].SetFlow(
+        o.src, o.dst, mobility.models[0].estimated[i]);
+    flows[static_cast<int>(FlowSource::kGravity2Param)].SetFlow(
+        o.src, o.dst, mobility.models[1].estimated[i]);
+    flows[static_cast<int>(FlowSource::kRadiation)].SetFlow(
+        o.src, o.dst, mobility.models[2].estimated[i]);
+  }
+  return DiseaseSpreadPredictor(spec, std::move(flows));
+}
+
+const mobility::OdMatrix& DiseaseSpreadPredictor::FlowsFor(
+    FlowSource source) const {
+  return flows_[static_cast<int>(source)];
+}
+
+Result<SpreadPrediction> DiseaseSpreadPredictor::Predict(
+    const std::string& seed_area, const PredictorConfig& config) const {
+  size_t seed_index = spec_.areas.size();
+  for (const census::Area& a : spec_.areas) {
+    if (ToLower(a.name) == ToLower(seed_area)) {
+      seed_index = a.id;
+      break;
+    }
+  }
+  if (seed_index >= spec_.areas.size()) {
+    return Status::NotFound("no area named '" + seed_area + "' in scale " +
+                            spec_.name);
+  }
+  if (config.horizon_days == 0) {
+    return Status::InvalidArgument("horizon must be positive");
+  }
+
+  std::vector<double> populations;
+  populations.reserve(spec_.areas.size());
+  for (const census::Area& a : spec_.areas) populations.push_back(a.population);
+
+  const mobility::OdMatrix& flows = FlowsFor(config.source);
+  auto model = epi::MetapopulationSeir::Create(populations, flows, config.seir);
+  if (!model.ok()) return model.status();
+  TWIMOB_RETURN_IF_ERROR(
+      model->SeedInfection(seed_index, config.seed_infections));
+
+  SpreadPrediction prediction;
+  prediction.source = config.source;
+  prediction.seed_area = spec_.areas[seed_index].name;
+
+  const size_t steps_per_day =
+      static_cast<size_t>(std::lround(1.0 / config.seir.dt));
+  prediction.daily_totals.push_back(model->Totals());
+  for (size_t day = 0; day < config.horizon_days; ++day) {
+    for (size_t s = 0; s < steps_per_day; ++s) model->Step();
+    prediction.daily_totals.push_back(model->Totals());
+  }
+
+  for (const census::Area& a : spec_.areas) {
+    AreaPrediction ap;
+    ap.area_id = a.id;
+    ap.name = a.name;
+    ap.census_population = a.population;
+    ap.arrival_day = model->ArrivalTime(a.id, 10.0);
+    // Mobility mixing migrates residents, so normalise by the area's
+    // end-of-horizon population: the share of the people now there who
+    // have been through the infection.
+    const double current = model->CurrentPopulation(a.id);
+    ap.attack_rate = current > 0.0 ? model->Recovered(a.id) / current : 0.0;
+    prediction.areas.push_back(std::move(ap));
+  }
+
+  if (config.outbreak_trials > 0) {
+    auto p = epi::OutbreakProbability(
+        populations, flows, config.seir, seed_index,
+        static_cast<uint64_t>(std::lround(config.seed_infections)),
+        config.horizon_days * steps_per_day,
+        /*outbreak_threshold=*/1000, config.outbreak_trials,
+        config.stochastic_seed);
+    if (!p.ok()) return p.status();
+    prediction.outbreak_probability = *p;
+  }
+  return prediction;
+}
+
+}  // namespace twimob::core

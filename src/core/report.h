@@ -1,0 +1,32 @@
+#ifndef TWIMOB_CORE_REPORT_H_
+#define TWIMOB_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace twimob::core {
+
+/// Renders the paper's Table I (dataset statistics) from a generation
+/// report and the corpus config.
+std::string RenderTableI(const synth::GenerationReport& report,
+                         const synth::CorpusConfig& config);
+
+/// Renders a Figure 3 style summary: per-scale correlations, rescale
+/// factors, median user counts, plus the pooled 60-sample correlation.
+std::string RenderPopulationReport(const PipelineResult& result);
+
+/// Renders one scale's per-area (census vs Twitter) table.
+std::string RenderAreaTable(const PopulationEstimateResult& result);
+
+/// Renders the paper's Table II: Pearson (upper) and HitRate@50% (lower)
+/// for the three models at the three scales, winners marked with '*'.
+std::string RenderTableII(const PipelineResult& result);
+
+/// Renders a textual Figure 4 column for one scale: per-model fitted
+/// parameters and the log-binned estimated-vs-observed series.
+std::string RenderMobilityScale(const ScaleMobilityResult& result);
+
+}  // namespace twimob::core
+
+#endif  // TWIMOB_CORE_REPORT_H_

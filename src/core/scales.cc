@@ -1,0 +1,25 @@
+#include "core/scales.h"
+
+namespace twimob::core {
+
+double ScaleSpec::MeanPairwiseDistanceM() const {
+  return census::MeanPairwiseDistanceMeters(areas);
+}
+
+ScaleSpec MakeScaleSpec(census::Scale scale, double radius_override_m) {
+  ScaleSpec spec;
+  spec.scale = scale;
+  spec.name = census::ScaleName(scale);
+  spec.areas = census::AreasForScale(scale);
+  spec.radius_m = radius_override_m > 0.0 ? radius_override_m
+                                          : census::DefaultSearchRadiusMeters(scale);
+  return spec;
+}
+
+std::vector<ScaleSpec> PaperScales() {
+  return {MakeScaleSpec(census::Scale::kNational),
+          MakeScaleSpec(census::Scale::kState),
+          MakeScaleSpec(census::Scale::kMetropolitan)};
+}
+
+}  // namespace twimob::core

@@ -1,0 +1,33 @@
+#ifndef TWIMOB_CORE_SCALES_H_
+#define TWIMOB_CORE_SCALES_H_
+
+#include <string>
+#include <vector>
+
+#include "census/census_data.h"
+
+namespace twimob::core {
+
+/// One concrete analysis scale: the area set plus the search radius ε used
+/// for both population extraction and trip assignment.
+struct ScaleSpec {
+  census::Scale scale = census::Scale::kNational;
+  std::string name;
+  std::vector<census::Area> areas;
+  double radius_m = 0.0;
+
+  /// Mean pairwise inter-centre distance, metres (paper: 1422 km / 341 km /
+  /// 7.5 km).
+  double MeanPairwiseDistanceM() const;
+};
+
+/// Builds the paper's spec for one scale; `radius_override_m` (> 0)
+/// replaces the default ε — Figure 3(b) uses 0.5 km at Metropolitan.
+ScaleSpec MakeScaleSpec(census::Scale scale, double radius_override_m = 0.0);
+
+/// The three paper scales with default radii, in paper order.
+std::vector<ScaleSpec> PaperScales();
+
+}  // namespace twimob::core
+
+#endif  // TWIMOB_CORE_SCALES_H_

@@ -1,0 +1,162 @@
+#include "epi/seir.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace twimob::epi {
+
+namespace {
+constexpr size_t kNumThresholds =
+    sizeof(kArrivalThresholds) / sizeof(kArrivalThresholds[0]);
+}  // namespace
+
+MetapopulationSeir::MetapopulationSeir(std::vector<double> populations,
+                                       std::vector<std::vector<double>> coupling,
+                                       SeirParams params)
+    : n_(populations.size()),
+      params_(params),
+      population_(std::move(populations)),
+      coupling_(std::move(coupling)),
+      s_(population_),
+      e_(n_, 0.0),
+      i_(n_, 0.0),
+      r_(n_, 0.0),
+      arrival_(n_, std::vector<double>(kNumThresholds, -1.0)) {}
+
+Result<MetapopulationSeir> MetapopulationSeir::Create(
+    const std::vector<double>& populations, const mobility::OdMatrix& flows,
+    const SeirParams& params) {
+  if (populations.empty()) {
+    return Status::InvalidArgument("SEIR requires at least one area");
+  }
+  if (flows.num_areas() != populations.size()) {
+    return Status::InvalidArgument("SEIR: flows/populations dimension mismatch");
+  }
+  for (double p : populations) {
+    if (!(p > 0.0)) return Status::InvalidArgument("SEIR populations must be > 0");
+  }
+  if (!(params.beta >= 0.0) || !(params.sigma > 0.0) || !(params.gamma > 0.0)) {
+    return Status::InvalidArgument("SEIR rates must be positive");
+  }
+  if (params.mobility_rate < 0.0 || params.mobility_rate > 1.0) {
+    return Status::InvalidArgument("SEIR mobility_rate must be in [0,1]");
+  }
+  if (!(params.dt > 0.0) || params.dt > 1.0) {
+    return Status::InvalidArgument("SEIR dt must be in (0,1] days");
+  }
+
+  // Build the row-stochastic coupling matrix: each day a `mobility_rate`
+  // fraction of an area's residents travels along its normalised outflows.
+  const size_t n = populations.size();
+  std::vector<std::vector<double>> coupling(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    const double out = flows.OutFlow(i);
+    if (out > 0.0) {
+      for (size_t j = 0; j < n; ++j) {
+        if (j != i) {
+          coupling[i][j] = params.mobility_rate * flows.Flow(i, j) / out;
+        }
+      }
+    }
+    double moved = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) moved += coupling[i][j];
+    }
+    coupling[i][i] = 1.0 - moved;
+  }
+  return MetapopulationSeir(populations, std::move(coupling), params);
+}
+
+Status MetapopulationSeir::SeedInfection(size_t area, double count) {
+  if (area >= n_) return Status::OutOfRange("SeedInfection: bad area index");
+  if (!(count >= 0.0) || count > s_[area]) {
+    return Status::InvalidArgument("SeedInfection: count exceeds susceptibles");
+  }
+  s_[area] -= count;
+  i_[area] += count;
+  return Status::OK();
+}
+
+void MetapopulationSeir::Step() {
+  const double dt = params_.dt;
+
+  // 1. Local epidemic dynamics (forward Euler).
+  for (size_t a = 0; a < n_; ++a) {
+    const double pop = s_[a] + e_[a] + i_[a] + r_[a];
+    if (pop <= 0.0) continue;
+    const double new_inf =
+        std::min(s_[a], params_.beta * s_[a] * i_[a] / pop * dt);
+    const double new_sympt = std::min(e_[a], params_.sigma * e_[a] * dt);
+    const double new_rec = std::min(i_[a], params_.gamma * i_[a] * dt);
+    s_[a] -= new_inf;
+    e_[a] += new_inf - new_sympt;
+    i_[a] += new_sympt - new_rec;
+    r_[a] += new_rec;
+  }
+
+  // 2. Mobility mixing, scaled to the step length by linear interpolation
+  // of the daily coupling (adequate for mobility_rate << 1).
+  if (params_.mobility_rate > 0.0 && dt > 0.0) {
+    // Apply a dt-scaled version of the coupling: move dt-fraction of the
+    // daily travellers.
+    std::vector<double>* compartments[] = {&s_, &e_, &i_, &r_};
+    for (auto* comp : compartments) {
+      std::vector<double> next(n_, 0.0);
+      for (size_t i = 0; i < n_; ++i) {
+        const double amount = (*comp)[i];
+        if (amount == 0.0) continue;
+        for (size_t j = 0; j < n_; ++j) {
+          if (i == j) continue;
+          const double moved = amount * coupling_[i][j] * dt;
+          next[j] += moved;
+          next[i] -= moved;
+        }
+      }
+      for (size_t i = 0; i < n_; ++i) (*comp)[i] += next[i];
+    }
+  }
+
+  t_ += dt;
+
+  // 3. Arrival bookkeeping.
+  for (size_t a = 0; a < n_; ++a) {
+    for (size_t k = 0; k < kNumThresholds; ++k) {
+      if (arrival_[a][k] < 0.0 && i_[a] > kArrivalThresholds[k]) {
+        arrival_[a][k] = t_;
+      }
+    }
+  }
+}
+
+std::vector<SeirTotals> MetapopulationSeir::Run(size_t steps) {
+  std::vector<SeirTotals> trajectory;
+  trajectory.reserve(steps + 1);
+  trajectory.push_back(Totals());
+  for (size_t k = 0; k < steps; ++k) {
+    Step();
+    trajectory.push_back(Totals());
+  }
+  return trajectory;
+}
+
+SeirTotals MetapopulationSeir::Totals() const {
+  SeirTotals totals;
+  totals.t = t_;
+  for (size_t a = 0; a < n_; ++a) {
+    totals.s += s_[a];
+    totals.e += e_[a];
+    totals.i += i_[a];
+    totals.r += r_[a];
+  }
+  return totals;
+}
+
+double MetapopulationSeir::ArrivalTime(size_t area, double threshold) const {
+  if (area >= n_) return -1.0;
+  for (size_t k = 0; k < kNumThresholds; ++k) {
+    if (kArrivalThresholds[k] == threshold) return arrival_[area][k];
+  }
+  return -1.0;
+}
+
+}  // namespace twimob::epi

@@ -1,0 +1,106 @@
+#ifndef TWIMOB_EPI_SEIR_H_
+#define TWIMOB_EPI_SEIR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mobility/od_matrix.h"
+
+namespace twimob::epi {
+
+/// SEIR rate parameters (per day).
+struct SeirParams {
+  double beta = 0.35;          ///< transmission rate
+  double sigma = 0.20;         ///< incubation rate (E -> I)
+  double gamma = 0.10;         ///< recovery rate (I -> R)
+  /// Fraction of each area's population redistributed along the mobility
+  /// matrix per day (coupling strength).
+  double mobility_rate = 0.02;
+  double dt = 0.25;            ///< integration step, days
+};
+
+/// Aggregate compartment totals at one time point.
+struct SeirTotals {
+  double t = 0.0;
+  double s = 0.0;
+  double e = 0.0;
+  double i = 0.0;
+  double r = 0.0;
+};
+
+/// Deterministic metapopulation SEIR model coupled through an OD mobility
+/// matrix — the paper's stated future-work application ("use the models to
+/// devise a framework for the prediction of disease spread").
+///
+/// Dynamics per step (forward Euler, step dt):
+///   within each area:  S' = -β S I / N,  E' = β S I / N − σE,
+///                      I' = σE − γI,     R' = γI
+///   between areas: a fraction mobility_rate·dt of every compartment moves
+///   along row-normalised OD flows.
+class MetapopulationSeir {
+ public:
+  /// Creates a model over `populations` (one entry per area) coupled by
+  /// `flows` (same area count). Fails on dimension mismatch, non-positive
+  /// populations, or invalid rates.
+  static Result<MetapopulationSeir> Create(const std::vector<double>& populations,
+                                           const mobility::OdMatrix& flows,
+                                           const SeirParams& params);
+
+  /// Moves `count` susceptibles of `area` into the infectious compartment.
+  Status SeedInfection(size_t area, double count);
+
+  /// Advances one dt step.
+  void Step();
+
+  /// Runs `steps` steps, returning the trajectory of global totals
+  /// (including the initial state, so steps+1 entries).
+  std::vector<SeirTotals> Run(size_t steps);
+
+  /// Current totals.
+  SeirTotals Totals() const;
+
+  /// Current infectious count in one area.
+  double Infectious(size_t area) const { return i_[area]; }
+
+  /// Current recovered count in one area.
+  double Recovered(size_t area) const { return r_[area]; }
+
+  /// Initial population of one area.
+  double Population(size_t area) const { return population_[area]; }
+
+  /// Current total residents of one area (mobility mixing migrates people,
+  /// so this drifts from the initial population over long horizons).
+  double CurrentPopulation(size_t area) const {
+    return s_[area] + e_[area] + i_[area] + r_[area];
+  }
+
+  /// First simulated time at which an area's infectious count exceeded
+  /// `threshold`; negative when it never did. Tracked since construction.
+  double ArrivalTime(size_t area, double threshold) const;
+
+  size_t num_areas() const { return n_; }
+  double time() const { return t_; }
+
+ private:
+  MetapopulationSeir(std::vector<double> populations,
+                     std::vector<std::vector<double>> coupling, SeirParams params);
+
+  size_t n_;
+  SeirParams params_;
+  std::vector<double> population_;
+  /// Row-stochastic coupling matrix (diagonal holds the stay-put mass).
+  std::vector<std::vector<double>> coupling_;
+  std::vector<double> s_, e_, i_, r_;
+  double t_ = 0.0;
+  /// arrival_[area][k]: time I first exceeded kArrivalThresholds[k].
+  std::vector<std::vector<double>> arrival_;
+};
+
+/// Thresholds tracked for ArrivalTime queries.
+inline constexpr double kArrivalThresholds[] = {1.0, 10.0, 100.0};
+
+}  // namespace twimob::epi
+
+#endif  // TWIMOB_EPI_SEIR_H_

@@ -1,0 +1,172 @@
+#include "epi/stochastic_seir.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "random/distributions.h"
+
+namespace twimob::epi {
+
+StochasticSeir::StochasticSeir(std::vector<uint64_t> populations,
+                               std::vector<std::vector<double>> coupling,
+                               SeirParams params, uint64_t seed)
+    : n_(populations.size()),
+      params_(params),
+      rng_(seed),
+      population_(std::move(populations)),
+      coupling_(std::move(coupling)),
+      s_(population_),
+      e_(n_, 0),
+      i_(n_, 0),
+      r_(n_, 0) {}
+
+Result<StochasticSeir> StochasticSeir::Create(const std::vector<double>& populations,
+                                              const mobility::OdMatrix& flows,
+                                              const SeirParams& params,
+                                              uint64_t seed) {
+  // Reuse the deterministic model's validation and coupling construction.
+  auto deterministic = MetapopulationSeir::Create(populations, flows, params);
+  if (!deterministic.ok()) return deterministic.status();
+
+  const size_t n = populations.size();
+  std::vector<uint64_t> pops(n);
+  for (size_t a = 0; a < n; ++a) {
+    pops[a] = static_cast<uint64_t>(std::llround(populations[a]));
+    if (pops[a] == 0) {
+      return Status::InvalidArgument("StochasticSeir: population rounds to zero");
+    }
+  }
+  // Rebuild the off-diagonal daily travel probabilities.
+  std::vector<std::vector<double>> coupling(n, std::vector<double>(n, 0.0));
+  for (size_t a = 0; a < n; ++a) {
+    const double out = flows.OutFlow(a);
+    if (out > 0.0) {
+      for (size_t b = 0; b < n; ++b) {
+        if (b != a) coupling[a][b] = params.mobility_rate * flows.Flow(a, b) / out;
+      }
+    }
+  }
+  return StochasticSeir(std::move(pops), std::move(coupling), params, seed);
+}
+
+Status StochasticSeir::SeedInfection(size_t area, uint64_t count) {
+  if (area >= n_) return Status::OutOfRange("SeedInfection: bad area index");
+  if (count > s_[area]) {
+    return Status::InvalidArgument("SeedInfection: count exceeds susceptibles");
+  }
+  s_[area] -= count;
+  i_[area] += count;
+  return Status::OK();
+}
+
+void StochasticSeir::MixCompartment(std::vector<uint64_t>& compartment) {
+  // Draw travellers from each area along each corridor, then apply the
+  // moves. Multinomial via sequential conditional binomials.
+  std::vector<int64_t> delta(n_, 0);
+  for (size_t a = 0; a < n_; ++a) {
+    uint64_t remaining = compartment[a];
+    if (remaining == 0) continue;
+    double remaining_prob = 1.0;
+    for (size_t b = 0; b < n_ && remaining > 0; ++b) {
+      if (b == a) continue;
+      const double p_travel = coupling_[a][b] * params_.dt;
+      if (p_travel <= 0.0 || remaining_prob <= 0.0) continue;
+      const double conditional = std::min(1.0, p_travel / remaining_prob);
+      const uint64_t movers = random::SampleBinomial(rng_, remaining, conditional);
+      delta[a] -= static_cast<int64_t>(movers);
+      delta[b] += static_cast<int64_t>(movers);
+      remaining -= movers;
+      remaining_prob -= p_travel;
+    }
+  }
+  for (size_t a = 0; a < n_; ++a) {
+    compartment[a] = static_cast<uint64_t>(
+        static_cast<int64_t>(compartment[a]) + delta[a]);
+  }
+}
+
+void StochasticSeir::Step() {
+  const double dt = params_.dt;
+  for (size_t a = 0; a < n_; ++a) {
+    const uint64_t pop = s_[a] + e_[a] + i_[a] + r_[a];
+    if (pop == 0) continue;
+    const double force = params_.beta * static_cast<double>(i_[a]) /
+                         static_cast<double>(pop) * dt;
+    const uint64_t new_exposed =
+        random::SampleBinomial(rng_, s_[a], 1.0 - std::exp(-force));
+    const uint64_t new_infectious =
+        random::SampleBinomial(rng_, e_[a], 1.0 - std::exp(-params_.sigma * dt));
+    const uint64_t new_recovered =
+        random::SampleBinomial(rng_, i_[a], 1.0 - std::exp(-params_.gamma * dt));
+    s_[a] -= new_exposed;
+    e_[a] += new_exposed;
+    e_[a] -= new_infectious;
+    i_[a] += new_infectious;
+    i_[a] -= new_recovered;
+    r_[a] += new_recovered;
+  }
+  if (params_.mobility_rate > 0.0) {
+    MixCompartment(s_);
+    MixCompartment(e_);
+    MixCompartment(i_);
+    MixCompartment(r_);
+  }
+  t_ += dt;
+}
+
+std::vector<SeirTotals> StochasticSeir::Run(size_t steps) {
+  std::vector<SeirTotals> trajectory;
+  trajectory.reserve(steps + 1);
+  trajectory.push_back(Totals());
+  for (size_t k = 0; k < steps; ++k) {
+    Step();
+    trajectory.push_back(Totals());
+  }
+  return trajectory;
+}
+
+SeirTotals StochasticSeir::Totals() const {
+  SeirTotals totals;
+  totals.t = t_;
+  for (size_t a = 0; a < n_; ++a) {
+    totals.s += static_cast<double>(s_[a]);
+    totals.e += static_cast<double>(e_[a]);
+    totals.i += static_cast<double>(i_[a]);
+    totals.r += static_cast<double>(r_[a]);
+  }
+  return totals;
+}
+
+bool StochasticSeir::Extinct() const {
+  for (size_t a = 0; a < n_; ++a) {
+    if (e_[a] > 0 || i_[a] > 0) return false;
+  }
+  return true;
+}
+
+Result<double> OutbreakProbability(const std::vector<double>& populations,
+                                   const mobility::OdMatrix& flows,
+                                   const SeirParams& params, size_t seed_area,
+                                   uint64_t seed_count, size_t steps,
+                                   uint64_t outbreak_threshold, int trials,
+                                   uint64_t seed) {
+  if (trials <= 0) {
+    return Status::InvalidArgument("OutbreakProbability: trials must be positive");
+  }
+  int outbreaks = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto model = StochasticSeir::Create(populations, flows, params,
+                                        seed + static_cast<uint64_t>(trial));
+    if (!model.ok()) return model.status();
+    TWIMOB_RETURN_IF_ERROR(model->SeedInfection(seed_area, seed_count));
+    for (size_t k = 0; k < steps && !model->Extinct(); ++k) model->Step();
+    uint64_t total_recovered = 0;
+    for (size_t a = 0; a < model->num_areas(); ++a) {
+      total_recovered += model->Recovered(a);
+    }
+    if (total_recovered > outbreak_threshold) ++outbreaks;
+  }
+  return static_cast<double>(outbreaks) / static_cast<double>(trials);
+}
+
+}  // namespace twimob::epi

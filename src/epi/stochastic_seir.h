@@ -1,0 +1,81 @@
+#ifndef TWIMOB_EPI_STOCHASTIC_SEIR_H_
+#define TWIMOB_EPI_STOCHASTIC_SEIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "epi/seir.h"
+#include "mobility/od_matrix.h"
+#include "random/rng.h"
+
+namespace twimob::epi {
+
+/// Stochastic (chain-binomial) metapopulation SEIR — the demographic-noise
+/// counterpart of MetapopulationSeir, needed for outbreak-probability
+/// questions the deterministic model cannot answer (small seeds can die
+/// out by chance).
+///
+/// Per step of length dt:
+///   new exposures   ~ Binomial(S_a, 1 − exp(−β·I_a/N_a·dt))
+///   new infectious  ~ Binomial(E_a, 1 − exp(−σ·dt))
+///   new recoveries  ~ Binomial(I_a, 1 − exp(−γ·dt))
+/// followed by binomial traveller draws along the row-normalised OD flows.
+class StochasticSeir {
+ public:
+  /// Same validation as MetapopulationSeir::Create. Populations are rounded
+  /// to whole individuals.
+  static Result<StochasticSeir> Create(const std::vector<double>& populations,
+                                       const mobility::OdMatrix& flows,
+                                       const SeirParams& params, uint64_t seed);
+
+  /// Moves `count` susceptibles of `area` into the infectious compartment.
+  Status SeedInfection(size_t area, uint64_t count);
+
+  /// Advances one dt step.
+  void Step();
+
+  /// Runs `steps` steps, returning the trajectory (steps+1 entries).
+  std::vector<SeirTotals> Run(size_t steps);
+
+  /// Current totals.
+  SeirTotals Totals() const;
+
+  uint64_t Infectious(size_t area) const { return i_[area]; }
+  uint64_t Recovered(size_t area) const { return r_[area]; }
+  size_t num_areas() const { return n_; }
+  double time() const { return t_; }
+
+  /// True once no exposed or infectious individuals remain anywhere.
+  bool Extinct() const;
+
+ private:
+  StochasticSeir(std::vector<uint64_t> populations,
+                 std::vector<std::vector<double>> coupling, SeirParams params,
+                 uint64_t seed);
+
+  void MixCompartment(std::vector<uint64_t>& compartment);
+
+  size_t n_;
+  SeirParams params_;
+  random::Xoshiro256 rng_;
+  std::vector<uint64_t> population_;
+  /// coupling_[i][j]: per-day probability a resident of i travels to j.
+  std::vector<std::vector<double>> coupling_;
+  std::vector<uint64_t> s_, e_, i_, r_;
+  double t_ = 0.0;
+};
+
+/// Monte-Carlo outbreak probability: the fraction of `trials` runs (seeded
+/// with `seed_count` infections in `seed_area`) whose final epidemic size
+/// exceeds `outbreak_threshold` recovered individuals after `steps` steps.
+Result<double> OutbreakProbability(const std::vector<double>& populations,
+                                   const mobility::OdMatrix& flows,
+                                   const SeirParams& params, size_t seed_area,
+                                   uint64_t seed_count, size_t steps,
+                                   uint64_t outbreak_threshold, int trials,
+                                   uint64_t seed);
+
+}  // namespace twimob::epi
+
+#endif  // TWIMOB_EPI_STOCHASTIC_SEIR_H_

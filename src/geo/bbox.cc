@@ -1,0 +1,59 @@
+#include "geo/bbox.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "geo/geodesic.h"
+
+namespace twimob::geo {
+
+bool BoundingBox::IsValid() const {
+  return LatLon{min_lat, min_lon}.IsValid() && LatLon{max_lat, max_lon}.IsValid() &&
+         min_lat <= max_lat && min_lon <= max_lon;
+}
+
+bool BoundingBox::Contains(const LatLon& p) const {
+  return p.lat >= min_lat && p.lat <= max_lat && p.lon >= min_lon && p.lon <= max_lon;
+}
+
+bool BoundingBox::Intersects(const BoundingBox& other) const {
+  return min_lat <= other.max_lat && max_lat >= other.min_lat &&
+         min_lon <= other.max_lon && max_lon >= other.min_lon;
+}
+
+LatLon BoundingBox::Center() const {
+  return LatLon{0.5 * (min_lat + max_lat), 0.5 * (min_lon + max_lon)};
+}
+
+void BoundingBox::ExtendToInclude(const LatLon& p) {
+  min_lat = std::min(min_lat, p.lat);
+  max_lat = std::max(max_lat, p.lat);
+  min_lon = std::min(min_lon, p.lon);
+  max_lon = std::max(max_lon, p.lon);
+}
+
+std::string BoundingBox::ToString() const {
+  return StrFormat("[lat %.6f..%.6f, lon %.6f..%.6f]", min_lat, max_lat, min_lon,
+                   max_lon);
+}
+
+BoundingBox AustraliaBoundingBox() {
+  return BoundingBox{-54.640301, 112.921112, -9.228820, 159.278717};
+}
+
+BoundingBox BoundingBoxForRadius(const LatLon& center, double radius_m) {
+  const double dlat = radius_m / MetersPerDegreeLat();
+  // Guard the pole-adjacent cosine; clamp the longitude span to the full
+  // range when the circle crosses a pole.
+  const double mpdlon = MetersPerDegreeLon(center.lat);
+  double dlon = mpdlon > 1.0 ? radius_m / mpdlon : 360.0;
+  BoundingBox box;
+  box.min_lat = std::max(-90.0, center.lat - dlat);
+  box.max_lat = std::min(90.0, center.lat + dlat);
+  box.min_lon = std::max(-180.0, center.lon - dlon);
+  box.max_lon = std::min(180.0, center.lon + dlon);
+  return box;
+}
+
+}  // namespace twimob::geo

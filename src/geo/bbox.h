@@ -1,0 +1,51 @@
+#ifndef TWIMOB_GEO_BBOX_H_
+#define TWIMOB_GEO_BBOX_H_
+
+#include <string>
+
+#include "geo/latlon.h"
+
+namespace twimob::geo {
+
+/// An axis-aligned latitude/longitude bounding box (inclusive on all edges).
+/// Does not model antimeridian wrap-around — Australia does not need it.
+struct BoundingBox {
+  double min_lat = 0.0;
+  double min_lon = 0.0;
+  double max_lat = 0.0;
+  double max_lon = 0.0;
+
+  /// True iff min <= max on both axes and all edges are valid coordinates.
+  bool IsValid() const;
+
+  /// True iff `p` lies inside the box (edges inclusive).
+  bool Contains(const LatLon& p) const;
+
+  /// True iff the two boxes overlap (edges touching counts).
+  bool Intersects(const BoundingBox& other) const;
+
+  /// Geometric centre.
+  LatLon Center() const;
+
+  /// Grows the box to contain `p`.
+  void ExtendToInclude(const LatLon& p);
+
+  std::string ToString() const;
+
+  friend bool operator==(const BoundingBox& a, const BoundingBox& b) {
+    return a.min_lat == b.min_lat && a.min_lon == b.min_lon &&
+           a.max_lat == b.max_lat && a.max_lon == b.max_lon;
+  }
+};
+
+/// The paper's Australian study region (Table I):
+/// longitude [112.921112, 159.278717], latitude [-54.640301, -9.228820].
+BoundingBox AustraliaBoundingBox();
+
+/// Bounding box that circumscribes the circle of radius `radius_m` metres
+/// around `center` — used as the coarse pre-filter for radius queries.
+BoundingBox BoundingBoxForRadius(const LatLon& center, double radius_m);
+
+}  // namespace twimob::geo
+
+#endif  // TWIMOB_GEO_BBOX_H_

@@ -1,0 +1,132 @@
+#include "geo/geodesic.h"
+
+#include <cmath>
+
+namespace twimob::geo {
+
+double HaversineMeters(const LatLon& a, const LatLon& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h =
+      sin_dlat * sin_dlat + std::cos(lat1) * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double HaversineKm(const LatLon& a, const LatLon& b) {
+  return HaversineMeters(a, b) / 1000.0;
+}
+
+double EquirectangularMeters(const LatLon& a, const LatLon& b) {
+  const double mean_lat = 0.5 * (a.lat + b.lat) * kDegToRad;
+  const double x = (b.lon - a.lon) * kDegToRad * std::cos(mean_lat);
+  const double y = (b.lat - a.lat) * kDegToRad;
+  return kEarthRadiusMeters * std::sqrt(x * x + y * y);
+}
+
+LatLon DestinationPoint(const LatLon& origin, double bearing_deg, double distance_m) {
+  const double delta = distance_m / kEarthRadiusMeters;
+  const double theta = bearing_deg * kDegToRad;
+  const double phi1 = origin.lat * kDegToRad;
+  const double lambda1 = origin.lon * kDegToRad;
+
+  const double sin_phi2 = std::sin(phi1) * std::cos(delta) +
+                          std::cos(phi1) * std::sin(delta) * std::cos(theta);
+  const double phi2 = std::asin(std::max(-1.0, std::min(1.0, sin_phi2)));
+  const double y = std::sin(theta) * std::sin(delta) * std::cos(phi1);
+  const double x = std::cos(delta) - std::sin(phi1) * sin_phi2;
+  double lambda2 = lambda1 + std::atan2(y, x);
+  // Normalise longitude to [-180, 180].
+  double lon = lambda2 * kRadToDeg;
+  while (lon > 180.0) lon -= 360.0;
+  while (lon < -180.0) lon += 360.0;
+  return LatLon{phi2 * kRadToDeg, lon};
+}
+
+double InitialBearingDeg(const LatLon& a, const LatLon& b) {
+  const double phi1 = a.lat * kDegToRad;
+  const double phi2 = b.lat * kDegToRad;
+  const double dl = (b.lon - a.lon) * kDegToRad;
+  const double y = std::sin(dl) * std::cos(phi2);
+  const double x =
+      std::cos(phi1) * std::sin(phi2) - std::sin(phi1) * std::cos(phi2) * std::cos(dl);
+  double bearing = std::atan2(y, x) * kRadToDeg;
+  if (bearing < 0.0) bearing += 360.0;
+  return bearing;
+}
+
+double VincentyMeters(const LatLon& a, const LatLon& b) {
+  if (a == b) return 0.0;
+  // WGS-84 ellipsoid.
+  constexpr double kA = 6378137.0;
+  constexpr double kF = 1.0 / 298.257223563;
+  constexpr double kB = kA * (1.0 - kF);
+
+  const double u1 = std::atan((1.0 - kF) * std::tan(a.lat * kDegToRad));
+  const double u2 = std::atan((1.0 - kF) * std::tan(b.lat * kDegToRad));
+  const double big_l = (b.lon - a.lon) * kDegToRad;
+  const double sin_u1 = std::sin(u1), cos_u1 = std::cos(u1);
+  const double sin_u2 = std::sin(u2), cos_u2 = std::cos(u2);
+
+  double lambda = big_l;
+  double sin_sigma = 0.0, cos_sigma = 0.0, sigma = 0.0;
+  double cos_sq_alpha = 0.0, cos_2sigma_m = 0.0;
+  bool converged = false;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double sin_lambda = std::sin(lambda);
+    const double cos_lambda = std::cos(lambda);
+    const double t1 = cos_u2 * sin_lambda;
+    const double t2 = cos_u1 * sin_u2 - sin_u1 * cos_u2 * cos_lambda;
+    sin_sigma = std::sqrt(t1 * t1 + t2 * t2);
+    if (sin_sigma == 0.0) return 0.0;  // coincident points
+    cos_sigma = sin_u1 * sin_u2 + cos_u1 * cos_u2 * cos_lambda;
+    sigma = std::atan2(sin_sigma, cos_sigma);
+    const double sin_alpha = cos_u1 * cos_u2 * sin_lambda / sin_sigma;
+    cos_sq_alpha = 1.0 - sin_alpha * sin_alpha;
+    cos_2sigma_m =
+        cos_sq_alpha != 0.0 ? cos_sigma - 2.0 * sin_u1 * sin_u2 / cos_sq_alpha
+                            : 0.0;  // equatorial line
+    const double c =
+        kF / 16.0 * cos_sq_alpha * (4.0 + kF * (4.0 - 3.0 * cos_sq_alpha));
+    const double lambda_prev = lambda;
+    lambda = big_l + (1.0 - c) * kF * sin_alpha *
+                         (sigma + c * sin_sigma *
+                                      (cos_2sigma_m +
+                                       c * cos_sigma *
+                                           (-1.0 + 2.0 * cos_2sigma_m *
+                                                       cos_2sigma_m)));
+    if (std::fabs(lambda - lambda_prev) < 1e-12) {
+      converged = true;
+      break;
+    }
+  }
+  if (!converged) {
+    // Near-antipodal: Vincenty's inverse formula does not converge.
+    return HaversineMeters(a, b);
+  }
+
+  const double u_sq = cos_sq_alpha * (kA * kA - kB * kB) / (kB * kB);
+  const double big_a =
+      1.0 + u_sq / 16384.0 * (4096.0 + u_sq * (-768.0 + u_sq * (320.0 - 175.0 * u_sq)));
+  const double big_b =
+      u_sq / 1024.0 * (256.0 + u_sq * (-128.0 + u_sq * (74.0 - 47.0 * u_sq)));
+  const double delta_sigma =
+      big_b * sin_sigma *
+      (cos_2sigma_m +
+       big_b / 4.0 *
+           (cos_sigma * (-1.0 + 2.0 * cos_2sigma_m * cos_2sigma_m) -
+            big_b / 6.0 * cos_2sigma_m * (-3.0 + 4.0 * sin_sigma * sin_sigma) *
+                (-3.0 + 4.0 * cos_2sigma_m * cos_2sigma_m)));
+  return kB * big_a * (sigma - delta_sigma);
+}
+
+double MetersPerDegreeLon(double lat_deg) {
+  return kEarthRadiusMeters * kDegToRad * std::cos(lat_deg * kDegToRad);
+}
+
+double MetersPerDegreeLat() { return kEarthRadiusMeters * kDegToRad; }
+
+}  // namespace twimob::geo

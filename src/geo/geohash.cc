@@ -1,0 +1,120 @@
+#include "geo/geohash.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace twimob::geo {
+
+namespace {
+constexpr char kBase32[] = "0123456789bcdefghjkmnpqrstuvwxyz";
+
+int CharIndex(char c) {
+  const char* pos = std::strchr(kBase32, c);
+  return pos == nullptr ? -1 : static_cast<int>(pos - kBase32);
+}
+}  // namespace
+
+Result<std::string> GeohashEncode(const LatLon& p, int precision) {
+  if (!p.IsValid()) {
+    return Status::InvalidArgument("GeohashEncode: invalid coordinate");
+  }
+  if (precision < 1 || precision > 12) {
+    return Status::InvalidArgument("GeohashEncode: precision must be in [1,12]");
+  }
+
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  std::string hash;
+  hash.reserve(precision);
+  int bit = 0;
+  int value = 0;
+  bool even_bit = true;  // even bits encode longitude
+  while (static_cast<int>(hash.size()) < precision) {
+    if (even_bit) {
+      const double mid = 0.5 * (lon_lo + lon_hi);
+      if (p.lon >= mid) {
+        value = (value << 1) | 1;
+        lon_lo = mid;
+      } else {
+        value <<= 1;
+        lon_hi = mid;
+      }
+    } else {
+      const double mid = 0.5 * (lat_lo + lat_hi);
+      if (p.lat >= mid) {
+        value = (value << 1) | 1;
+        lat_lo = mid;
+      } else {
+        value <<= 1;
+        lat_hi = mid;
+      }
+    }
+    even_bit = !even_bit;
+    if (++bit == 5) {
+      hash.push_back(kBase32[value]);
+      bit = 0;
+      value = 0;
+    }
+  }
+  return hash;
+}
+
+Result<BoundingBox> GeohashDecode(const std::string& hash) {
+  if (hash.empty()) return Status::InvalidArgument("GeohashDecode: empty hash");
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  bool even_bit = true;
+  for (char c : hash) {
+    const int idx = CharIndex(c);
+    if (idx < 0) {
+      return Status::InvalidArgument(std::string("GeohashDecode: bad character '") +
+                                     c + "'");
+    }
+    for (int bit = 4; bit >= 0; --bit) {
+      const int b = (idx >> bit) & 1;
+      if (even_bit) {
+        const double mid = 0.5 * (lon_lo + lon_hi);
+        (b ? lon_lo : lon_hi) = mid;
+      } else {
+        const double mid = 0.5 * (lat_lo + lat_hi);
+        (b ? lat_lo : lat_hi) = mid;
+      }
+      even_bit = !even_bit;
+    }
+  }
+  return BoundingBox{lat_lo, lon_lo, lat_hi, lon_hi};
+}
+
+Result<LatLon> GeohashDecodeCenter(const std::string& hash) {
+  auto box = GeohashDecode(hash);
+  if (!box.ok()) return box.status();
+  return box->Center();
+}
+
+Result<std::vector<std::string>> GeohashNeighbors(const std::string& hash) {
+  auto box = GeohashDecode(hash);
+  if (!box.ok()) return box.status();
+  const LatLon center = box->Center();
+  const double dlat = box->max_lat - box->min_lat;
+  const double dlon = box->max_lon - box->min_lon;
+  const int precision = static_cast<int>(hash.size());
+
+  const double offsets[8][2] = {{dlat, 0.0},   {dlat, dlon},  {0.0, dlon},
+                                {-dlat, dlon}, {-dlat, 0.0},  {-dlat, -dlon},
+                                {0.0, -dlon},  {dlat, -dlon}};
+  std::vector<std::string> out;
+  out.reserve(8);
+  for (const auto& off : offsets) {
+    LatLon p{std::clamp(center.lat + off[0], -90.0, 90.0),
+             std::clamp(center.lon + off[1], -180.0, 180.0)};
+    // Wrap longitude across the antimeridian.
+    if (center.lon + off[1] > 180.0) p.lon = center.lon + off[1] - 360.0;
+    if (center.lon + off[1] < -180.0) p.lon = center.lon + off[1] + 360.0;
+    auto n = GeohashEncode(p, precision);
+    if (!n.ok()) return n.status();
+    out.push_back(std::move(*n));
+  }
+  return out;
+}
+
+}  // namespace twimob::geo

@@ -1,0 +1,35 @@
+#ifndef TWIMOB_GEO_GEOHASH_H_
+#define TWIMOB_GEO_GEOHASH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/bbox.h"
+#include "geo/latlon.h"
+
+namespace twimob::geo {
+
+/// Standard base-32 geohash (Niemeyer 2008). Precision 1–12 characters;
+/// precision 6 cells are ≈ 1.2 km × 0.6 km — the granularity used for
+/// distinct-location counting.
+
+/// Encodes a coordinate at the given precision. Fails for an invalid
+/// coordinate or precision outside [1, 12].
+Result<std::string> GeohashEncode(const LatLon& p, int precision = 6);
+
+/// Decodes a geohash to its cell. Fails on empty input or characters
+/// outside the base-32 alphabet.
+Result<BoundingBox> GeohashDecode(const std::string& hash);
+
+/// Decodes a geohash to its cell centre.
+Result<LatLon> GeohashDecodeCenter(const std::string& hash);
+
+/// The 8 neighbouring cells (N, NE, E, SE, S, SW, W, NW) at the same
+/// precision, computed by re-encoding offset centre points. Cells at the
+/// lat/lon envelope clamp (duplicates possible there).
+Result<std::vector<std::string>> GeohashNeighbors(const std::string& hash);
+
+}  // namespace twimob::geo
+
+#endif  // TWIMOB_GEO_GEOHASH_H_

@@ -1,0 +1,83 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesic.h"
+
+namespace twimob::geo {
+
+Result<GridIndex> GridIndex::Create(const BoundingBox& bounds, double cell_deg) {
+  if (!bounds.IsValid()) {
+    return Status::InvalidArgument("GridIndex bounds invalid: " + bounds.ToString());
+  }
+  if (!(cell_deg > 0.0)) {
+    return Status::InvalidArgument("GridIndex cell size must be positive");
+  }
+  const int64_t cols =
+      std::max<int64_t>(1, static_cast<int64_t>(
+                               std::ceil((bounds.max_lon - bounds.min_lon) / cell_deg)));
+  return GridIndex(bounds, cell_deg, cols);
+}
+
+int64_t GridIndex::CellKey(const LatLon& p) const {
+  const double lat = std::clamp(p.lat, bounds_.min_lat, bounds_.max_lat);
+  const double lon = std::clamp(p.lon, bounds_.min_lon, bounds_.max_lon);
+  const int64_t row = static_cast<int64_t>((lat - bounds_.min_lat) / cell_deg_);
+  int64_t col = static_cast<int64_t>((lon - bounds_.min_lon) / cell_deg_);
+  col = std::min(col, cols_ - 1);
+  return row * cols_ + col;
+}
+
+void GridIndex::CellRange(const BoundingBox& box, int64_t* row0, int64_t* row1,
+                          int64_t* col0, int64_t* col1) const {
+  const double lat0 = std::clamp(box.min_lat, bounds_.min_lat, bounds_.max_lat);
+  const double lat1 = std::clamp(box.max_lat, bounds_.min_lat, bounds_.max_lat);
+  const double lon0 = std::clamp(box.min_lon, bounds_.min_lon, bounds_.max_lon);
+  const double lon1 = std::clamp(box.max_lon, bounds_.min_lon, bounds_.max_lon);
+  *row0 = static_cast<int64_t>((lat0 - bounds_.min_lat) / cell_deg_);
+  *row1 = static_cast<int64_t>((lat1 - bounds_.min_lat) / cell_deg_);
+  *col0 = static_cast<int64_t>((lon0 - bounds_.min_lon) / cell_deg_);
+  *col1 = std::min(static_cast<int64_t>((lon1 - bounds_.min_lon) / cell_deg_),
+                   cols_ - 1);
+}
+
+void GridIndex::Insert(const IndexedPoint& point) {
+  cells_[CellKey(point.pos)].push_back(point);
+  ++size_;
+}
+
+void GridIndex::InsertAll(const std::vector<IndexedPoint>& points) {
+  for (const auto& p : points) Insert(p);
+}
+
+std::vector<IndexedPoint> GridIndex::QueryRadius(const LatLon& center,
+                                                 double radius_m) const {
+  std::vector<IndexedPoint> out;
+  ForEachInRadius(center, radius_m, [&out](const IndexedPoint& p) { out.push_back(p); });
+  return out;
+}
+
+size_t GridIndex::CountRadius(const LatLon& center, double radius_m) const {
+  size_t n = 0;
+  ForEachInRadius(center, radius_m, [&n](const IndexedPoint&) { ++n; });
+  return n;
+}
+
+std::vector<IndexedPoint> GridIndex::QueryBox(const BoundingBox& box) const {
+  std::vector<IndexedPoint> out;
+  int64_t row0, row1, col0, col1;
+  CellRange(box, &row0, &row1, &col0, &col1);
+  for (int64_t r = row0; r <= row1; ++r) {
+    for (int64_t c = col0; c <= col1; ++c) {
+      auto it = cells_.find(r * cols_ + c);
+      if (it == cells_.end()) continue;
+      for (const IndexedPoint& p : it->second) {
+        if (box.Contains(p.pos)) out.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace twimob::geo

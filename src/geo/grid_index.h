@@ -1,0 +1,95 @@
+#ifndef TWIMOB_GEO_GRID_INDEX_H_
+#define TWIMOB_GEO_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/bbox.h"
+#include "geo/geodesic.h"
+#include "geo/latlon.h"
+
+namespace twimob::geo {
+
+/// A point with an opaque payload id (e.g. a row id in the tweet store or a
+/// user id).
+struct IndexedPoint {
+  LatLon pos;
+  uint64_t id = 0;
+};
+
+/// A uniform latitude/longitude grid index over a fixed bounding box.
+///
+/// Points are bucketed into square-degree cells; a radius query scans only
+/// the cells intersecting the circumscribing box of the query circle and
+/// verifies candidates with the haversine distance. This is the index the
+/// population/mobility pipeline uses for its ε-radius aggregations (50 km /
+/// 25 km / 2 km / 0.5 km in the paper).
+class GridIndex {
+ public:
+  /// Creates an index over `bounds` with cells of `cell_deg` degrees on each
+  /// axis. Fails for invalid bounds or non-positive cell size.
+  static Result<GridIndex> Create(const BoundingBox& bounds, double cell_deg);
+
+  /// Inserts a point. Points outside the bounds are clamped into the edge
+  /// cells (they remain retrievable; their true coordinates are kept).
+  void Insert(const IndexedPoint& point);
+
+  /// Bulk insertion.
+  void InsertAll(const std::vector<IndexedPoint>& points);
+
+  /// All points within `radius_m` metres (inclusive) of `center`.
+  std::vector<IndexedPoint> QueryRadius(const LatLon& center, double radius_m) const;
+
+  /// Number of points within the radius, without materialising them.
+  size_t CountRadius(const LatLon& center, double radius_m) const;
+
+  /// Invokes `fn(point)` for every point within the radius.
+  template <typename Fn>
+  void ForEachInRadius(const LatLon& center, double radius_m, Fn&& fn) const;
+
+  /// All points whose coordinates fall inside `box`.
+  std::vector<IndexedPoint> QueryBox(const BoundingBox& box) const;
+
+  size_t size() const { return size_; }
+  const BoundingBox& bounds() const { return bounds_; }
+  double cell_deg() const { return cell_deg_; }
+
+  /// Number of non-empty cells (diagnostics / bench).
+  size_t num_nonempty_cells() const { return cells_.size(); }
+
+ private:
+  GridIndex(const BoundingBox& bounds, double cell_deg, int64_t cols)
+      : bounds_(bounds), cell_deg_(cell_deg), cols_(cols) {}
+
+  int64_t CellKey(const LatLon& p) const;
+  void CellRange(const BoundingBox& box, int64_t* row0, int64_t* row1, int64_t* col0,
+                 int64_t* col1) const;
+
+  BoundingBox bounds_;
+  double cell_deg_;
+  int64_t cols_;
+  size_t size_ = 0;
+  std::unordered_map<int64_t, std::vector<IndexedPoint>> cells_;
+};
+
+template <typename Fn>
+void GridIndex::ForEachInRadius(const LatLon& center, double radius_m, Fn&& fn) const {
+  const BoundingBox box = BoundingBoxForRadius(center, radius_m);
+  int64_t row0, row1, col0, col1;
+  CellRange(box, &row0, &row1, &col0, &col1);
+  for (int64_t r = row0; r <= row1; ++r) {
+    for (int64_t c = col0; c <= col1; ++c) {
+      auto it = cells_.find(r * cols_ + c);
+      if (it == cells_.end()) continue;
+      for (const IndexedPoint& p : it->second) {
+        if (HaversineMeters(center, p.pos) <= radius_m) fn(p);
+      }
+    }
+  }
+}
+
+}  // namespace twimob::geo
+
+#endif  // TWIMOB_GEO_GRID_INDEX_H_

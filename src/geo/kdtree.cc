@@ -1,0 +1,146 @@
+#include "geo/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geo/geodesic.h"
+
+namespace twimob::geo {
+
+namespace {
+// Comparator on the split axis: depth even -> latitude, odd -> longitude.
+inline double Axis(const IndexedPoint& p, int depth) {
+  return (depth & 1) == 0 ? p.pos.lat : p.pos.lon;
+}
+}  // namespace
+
+KdTree KdTree::Build(std::vector<IndexedPoint> points) {
+  KdTree tree(std::move(points));
+  if (!tree.points_.empty()) tree.BuildRecursive(0, tree.points_.size(), 0);
+  return tree;
+}
+
+void KdTree::BuildRecursive(size_t begin, size_t end, int depth) {
+  if (end - begin <= 1) return;
+  const size_t mid = begin + (end - begin) / 2;
+  std::nth_element(points_.begin() + begin, points_.begin() + mid,
+                   points_.begin() + end,
+                   [depth](const IndexedPoint& a, const IndexedPoint& b) {
+                     return Axis(a, depth) < Axis(b, depth);
+                   });
+  BuildRecursive(begin, mid, depth + 1);
+  BuildRecursive(mid + 1, end, depth + 1);
+}
+
+void KdTree::RadiusRecursive(size_t begin, size_t end, int depth,
+                             const LatLon& center, double radius_m, double dlat_deg,
+                             double dlon_deg, std::vector<IndexedPoint>* out,
+                             size_t* count) const {
+  if (begin >= end) return;
+  const size_t mid = begin + (end - begin) / 2;
+  const IndexedPoint& node = points_[mid];
+
+  if (HaversineMeters(center, node.pos) <= radius_m) {
+    if (out != nullptr) out->push_back(node);
+    if (count != nullptr) ++(*count);
+  }
+
+  const bool lat_axis = (depth & 1) == 0;
+  const double center_axis = lat_axis ? center.lat : center.lon;
+  const double node_axis = lat_axis ? node.pos.lat : node.pos.lon;
+  const double margin = lat_axis ? dlat_deg : dlon_deg;
+
+  // Recurse into the half containing the centre always; into the other half
+  // only when the splitting plane is within the degree margin.
+  if (center_axis - margin <= node_axis) {
+    RadiusRecursive(begin, mid, depth + 1, center, radius_m, dlat_deg, dlon_deg, out,
+                    count);
+  }
+  if (center_axis + margin >= node_axis) {
+    RadiusRecursive(mid + 1, end, depth + 1, center, radius_m, dlat_deg, dlon_deg, out,
+                    count);
+  }
+}
+
+std::vector<IndexedPoint> KdTree::QueryRadius(const LatLon& center,
+                                              double radius_m) const {
+  std::vector<IndexedPoint> out;
+  if (points_.empty()) return out;
+  const double dlat = radius_m / MetersPerDegreeLat();
+  const double mpdlon = MetersPerDegreeLon(center.lat);
+  const double dlon = mpdlon > 1.0 ? radius_m / mpdlon : 360.0;
+  RadiusRecursive(0, points_.size(), 0, center, radius_m, dlat, dlon, &out, nullptr);
+  return out;
+}
+
+size_t KdTree::CountRadius(const LatLon& center, double radius_m) const {
+  if (points_.empty()) return 0;
+  size_t count = 0;
+  const double dlat = radius_m / MetersPerDegreeLat();
+  const double mpdlon = MetersPerDegreeLon(center.lat);
+  const double dlon = mpdlon > 1.0 ? radius_m / mpdlon : 360.0;
+  RadiusRecursive(0, points_.size(), 0, center, radius_m, dlat, dlon, nullptr, &count);
+  return count;
+}
+
+void KdTree::NearestRecursive(size_t begin, size_t end, int depth,
+                              const LatLon& center, size_t k,
+                              std::vector<Neighbor>* heap) const {
+  if (begin >= end) return;
+  const size_t mid = begin + (end - begin) / 2;
+  const IndexedPoint& node = points_[mid];
+
+  const double d = HaversineMeters(center, node.pos);
+  if (heap->size() < k) {
+    heap->push_back(Neighbor{d, mid});
+    std::push_heap(heap->begin(), heap->end());
+  } else if (d < heap->front().dist_m) {
+    std::pop_heap(heap->begin(), heap->end());
+    heap->back() = Neighbor{d, mid};
+    std::push_heap(heap->begin(), heap->end());
+  }
+
+  const bool lat_axis = (depth & 1) == 0;
+  const double center_axis = lat_axis ? center.lat : center.lon;
+  const double node_axis = lat_axis ? node.pos.lat : node.pos.lon;
+  const bool go_left_first = center_axis < node_axis;
+
+  const size_t near_begin = go_left_first ? begin : mid + 1;
+  const size_t near_end = go_left_first ? mid : end;
+  const size_t far_begin = go_left_first ? mid + 1 : begin;
+  const size_t far_end = go_left_first ? end : mid;
+
+  NearestRecursive(near_begin, near_end, depth + 1, center, k, heap);
+
+  // Visit the far side when the splitting plane may still hold a closer
+  // point. Convert the current worst distance into a conservative degree
+  // margin on this axis.
+  double worst = heap->size() < k ? std::numeric_limits<double>::infinity()
+                                  : heap->front().dist_m;
+  double margin_deg;
+  if (lat_axis) {
+    margin_deg = worst / MetersPerDegreeLat();
+  } else {
+    const double mpdlon = MetersPerDegreeLon(center.lat);
+    margin_deg = mpdlon > 1.0 ? worst / mpdlon : 360.0;
+  }
+  if (std::abs(center_axis - node_axis) <= margin_deg) {
+    NearestRecursive(far_begin, far_end, depth + 1, center, k, heap);
+  }
+}
+
+std::vector<IndexedPoint> KdTree::NearestNeighbors(const LatLon& center,
+                                                   size_t k) const {
+  std::vector<IndexedPoint> out;
+  if (points_.empty() || k == 0) return out;
+  std::vector<Neighbor> heap;
+  heap.reserve(k + 1);
+  NearestRecursive(0, points_.size(), 0, center, k, &heap);
+  std::sort_heap(heap.begin(), heap.end());
+  out.reserve(heap.size());
+  for (const Neighbor& n : heap) out.push_back(points_[n.index]);
+  return out;
+}
+
+}  // namespace twimob::geo

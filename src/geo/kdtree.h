@@ -1,0 +1,60 @@
+#ifndef TWIMOB_GEO_KDTREE_H_
+#define TWIMOB_GEO_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/grid_index.h"
+#include "geo/latlon.h"
+
+namespace twimob::geo {
+
+/// A static 2-d tree over (lat, lon) supporting radius and k-nearest-
+/// neighbour queries with great-circle distances.
+///
+/// The tree is bulk-built once (median splits, implicit layout in a flat
+/// array) and is immutable afterwards — the pipeline's access pattern is
+/// build-once / query-many. Pruning uses conservative per-axis degree
+/// bounds converted from metres at the query latitude.
+class KdTree {
+ public:
+  /// Bulk-builds a tree from `points` (copied). An empty input is valid and
+  /// yields an empty tree.
+  static KdTree Build(std::vector<IndexedPoint> points);
+
+  /// All points within `radius_m` metres (inclusive) of `center`.
+  std::vector<IndexedPoint> QueryRadius(const LatLon& center, double radius_m) const;
+
+  /// Number of points within the radius.
+  size_t CountRadius(const LatLon& center, double radius_m) const;
+
+  /// The `k` nearest points to `center` ordered by increasing great-circle
+  /// distance. Returns fewer when the tree holds fewer than k points.
+  std::vector<IndexedPoint> NearestNeighbors(const LatLon& center, size_t k) const;
+
+  size_t size() const { return points_.size(); }
+
+ private:
+  explicit KdTree(std::vector<IndexedPoint> points) : points_(std::move(points)) {}
+
+  void BuildRecursive(size_t begin, size_t end, int depth);
+  void RadiusRecursive(size_t begin, size_t end, int depth, const LatLon& center,
+                       double radius_m, double dlat_deg, double dlon_deg,
+                       std::vector<IndexedPoint>* out, size_t* count) const;
+
+  struct Neighbor {
+    double dist_m;
+    size_t index;
+    bool operator<(const Neighbor& other) const { return dist_m < other.dist_m; }
+  };
+  void NearestRecursive(size_t begin, size_t end, int depth, const LatLon& center,
+                        size_t k, std::vector<Neighbor>* heap) const;
+
+  // Sorted into kd order during Build; node at the median of [begin,end).
+  std::vector<IndexedPoint> points_;
+};
+
+}  // namespace twimob::geo
+
+#endif  // TWIMOB_GEO_KDTREE_H_

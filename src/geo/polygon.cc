@@ -1,0 +1,119 @@
+#include "geo/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesic.h"
+
+namespace twimob::geo {
+
+namespace {
+
+// Twice the signed area of the triangle (a, b, c) on the (lon, lat) plane.
+double Cross(const LatLon& a, const LatLon& b, const LatLon& c) {
+  return (b.lon - a.lon) * (c.lat - a.lat) - (b.lat - a.lat) * (c.lon - a.lon);
+}
+
+double RingSignedArea(const std::vector<LatLon>& v) {
+  double twice_area = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    const LatLon& a = v[i];
+    const LatLon& b = v[(i + 1) % v.size()];
+    twice_area += a.lon * b.lat - b.lon * a.lat;
+  }
+  return 0.5 * twice_area;
+}
+
+}  // namespace
+
+Polygon::Polygon(std::vector<LatLon> vertices) : vertices_(std::move(vertices)) {
+  bounds_ = BoundingBox{vertices_[0].lat, vertices_[0].lon, vertices_[0].lat,
+                        vertices_[0].lon};
+  for (const LatLon& v : vertices_) bounds_.ExtendToInclude(v);
+}
+
+Result<Polygon> Polygon::Create(std::vector<LatLon> vertices) {
+  if (vertices.size() < 3) {
+    return Status::InvalidArgument("Polygon requires at least 3 vertices");
+  }
+  for (const LatLon& v : vertices) {
+    if (!v.IsValid()) {
+      return Status::InvalidArgument("Polygon vertex invalid: " + v.ToString());
+    }
+  }
+  if (std::fabs(RingSignedArea(vertices)) < 1e-12) {
+    return Status::InvalidArgument("Polygon ring is degenerate (zero area)");
+  }
+  return Polygon(std::move(vertices));
+}
+
+Result<Polygon> Polygon::ConvexHull(std::vector<LatLon> points) {
+  std::sort(points.begin(), points.end(), [](const LatLon& a, const LatLon& b) {
+    return a.lon != b.lon ? a.lon < b.lon : a.lat < b.lat;
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  if (points.size() < 3) {
+    return Status::InvalidArgument("ConvexHull requires >= 3 distinct points");
+  }
+
+  // Andrew's monotone chain: lower then upper hull.
+  std::vector<LatLon> hull(2 * points.size());
+  size_t k = 0;
+  for (const LatLon& p : points) {  // lower
+    while (k >= 2 && Cross(hull[k - 2], hull[k - 1], p) <= 0.0) --k;
+    hull[k++] = p;
+  }
+  const size_t lower_end = k + 1;
+  for (size_t i = points.size() - 1; i-- > 0;) {  // upper
+    const LatLon& p = points[i];
+    while (k >= lower_end && Cross(hull[k - 2], hull[k - 1], p) <= 0.0) --k;
+    hull[k++] = p;
+  }
+  hull.resize(k - 1);  // last point == first point
+  return Create(std::move(hull));
+}
+
+bool Polygon::Contains(const LatLon& p) const {
+  if (!bounds_.Contains(p)) return false;
+  bool inside = false;
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const LatLon& a = vertices_[i];
+    const LatLon& b = vertices_[j];
+    // Ray to the east: does edge (a, b) straddle p's latitude and lie east?
+    if ((a.lat > p.lat) != (b.lat > p.lat)) {
+      const double lon_at =
+          a.lon + (p.lat - a.lat) / (b.lat - a.lat) * (b.lon - a.lon);
+      if (p.lon < lon_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::SignedAreaDeg2() const { return RingSignedArea(vertices_); }
+
+double Polygon::AreaKm2() const {
+  const LatLon c = Centroid();
+  const double km_per_deg_lat = MetersPerDegreeLat() / 1000.0;
+  const double km_per_deg_lon = MetersPerDegreeLon(c.lat) / 1000.0;
+  return std::fabs(SignedAreaDeg2()) * km_per_deg_lat * km_per_deg_lon;
+}
+
+LatLon Polygon::Centroid() const {
+  // Area-weighted ring centroid (shoelace-based).
+  double twice_area = 0.0;
+  double cx = 0.0, cy = 0.0;
+  const size_t n = vertices_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const LatLon& a = vertices_[i];
+    const LatLon& b = vertices_[(i + 1) % n];
+    const double w = a.lon * b.lat - b.lon * a.lat;
+    twice_area += w;
+    cx += (a.lon + b.lon) * w;
+    cy += (a.lat + b.lat) * w;
+  }
+  if (twice_area == 0.0) return vertices_[0];
+  return LatLon{cy / (3.0 * twice_area), cx / (3.0 * twice_area)};
+}
+
+}  // namespace twimob::geo

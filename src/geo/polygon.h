@@ -1,0 +1,58 @@
+#ifndef TWIMOB_GEO_POLYGON_H_
+#define TWIMOB_GEO_POLYGON_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "geo/bbox.h"
+#include "geo/latlon.h"
+
+namespace twimob::geo {
+
+/// A simple (non-self-intersecting) polygon on the lat/lon plane, used for
+/// area definitions finer than the paper's ε-radius circles (the paper's
+/// §III attributes the metro-scale scatter to "sensitivity to the edges of
+/// the areas" — polygons are the tool for investigating that).
+///
+/// Vertices are stored in ring order without a repeated closing vertex.
+/// Planar geometry on (lon, lat) — adequate at suburb-to-city extents away
+/// from the poles and the antimeridian, which covers the study region.
+class Polygon {
+ public:
+  /// Builds a polygon from >= 3 valid vertices. Fails on fewer vertices,
+  /// invalid coordinates, or (near-)zero area (degenerate ring).
+  static Result<Polygon> Create(std::vector<LatLon> vertices);
+
+  /// Builds the convex hull of a point set (Andrew's monotone chain);
+  /// fails when fewer than 3 distinct non-collinear points exist.
+  static Result<Polygon> ConvexHull(std::vector<LatLon> points);
+
+  /// Even-odd (ray casting) point-in-polygon test. Boundary points may
+  /// report either side (standard for the algorithm).
+  bool Contains(const LatLon& p) const;
+
+  /// Signed area in squared degrees (positive = counter-clockwise ring).
+  double SignedAreaDeg2() const;
+
+  /// Approximate surface area in square kilometres (planar formula scaled
+  /// at the polygon's mean latitude).
+  double AreaKm2() const;
+
+  /// Centroid of the ring (area-weighted).
+  LatLon Centroid() const;
+
+  /// Tight bounding box.
+  const BoundingBox& bounds() const { return bounds_; }
+
+  const std::vector<LatLon>& vertices() const { return vertices_; }
+
+ private:
+  explicit Polygon(std::vector<LatLon> vertices);
+
+  std::vector<LatLon> vertices_;
+  BoundingBox bounds_;
+};
+
+}  // namespace twimob::geo
+
+#endif  // TWIMOB_GEO_POLYGON_H_

@@ -1,0 +1,193 @@
+#include "mobility/constrained_gravity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace twimob::mobility {
+
+Result<int> IpfBalance(OdMatrix& matrix, const std::vector<double>& row_targets,
+                       const std::vector<double>& col_targets, int max_iterations,
+                       double tolerance) {
+  const size_t n = matrix.num_areas();
+  if (row_targets.size() != n || col_targets.size() != n) {
+    return Status::InvalidArgument("IpfBalance: target dimension mismatch");
+  }
+  double row_total = 0.0, col_total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (row_targets[i] < 0.0 || col_targets[i] < 0.0) {
+      return Status::InvalidArgument("IpfBalance: negative target");
+    }
+    row_total += row_targets[i];
+    col_total += col_targets[i];
+  }
+  if (row_total <= 0.0) {
+    return Status::InvalidArgument("IpfBalance: zero total flow");
+  }
+  if (std::fabs(row_total - col_total) > 1e-3 * row_total) {
+    return Status::InvalidArgument(
+        "IpfBalance: row and column totals are inconsistent");
+  }
+
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    double max_rel_err = 0.0;
+    // Row scaling.
+    for (size_t i = 0; i < n; ++i) {
+      const double sum = matrix.OutFlow(i);
+      if (sum > 0.0 && row_targets[i] > 0.0) {
+        const double factor = row_targets[i] / sum;
+        for (size_t j = 0; j < n; ++j) {
+          if (j != i) matrix.SetFlow(i, j, matrix.Flow(i, j) * factor);
+        }
+      } else if (row_targets[i] == 0.0) {
+        for (size_t j = 0; j < n; ++j) {
+          if (j != i) matrix.SetFlow(i, j, 0.0);
+        }
+      }
+    }
+    // Column scaling + convergence check against the row targets.
+    for (size_t j = 0; j < n; ++j) {
+      const double sum = matrix.InFlow(j);
+      if (sum > 0.0 && col_targets[j] > 0.0) {
+        const double factor = col_targets[j] / sum;
+        for (size_t i = 0; i < n; ++i) {
+          if (i != j) matrix.SetFlow(i, j, matrix.Flow(i, j) * factor);
+        }
+      } else if (col_targets[j] == 0.0) {
+        for (size_t i = 0; i < n; ++i) {
+          if (i != j) matrix.SetFlow(i, j, 0.0);
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const double sum = matrix.OutFlow(i);
+      if (row_targets[i] > 0.0) {
+        max_rel_err =
+            std::max(max_rel_err, std::fabs(sum - row_targets[i]) / row_targets[i]);
+      }
+    }
+    if (max_rel_err < tolerance) return iter;
+  }
+  return max_iterations;
+}
+
+namespace {
+
+// Builds the gravity seed matrix O_i · D_j · d^(-gamma) and balances it.
+Result<OdMatrix> BalancedEstimate(const OdMatrix& observed,
+                                  const std::vector<double>& distances,
+                                  double gamma, int max_iterations,
+                                  double tolerance, int* iterations) {
+  const size_t n = observed.num_areas();
+  auto seed = OdMatrix::Create(n);
+  if (!seed.ok()) return seed.status();
+
+  std::vector<double> out_flows(n), in_flows(n);
+  for (size_t i = 0; i < n; ++i) {
+    out_flows[i] = observed.OutFlow(i);
+    in_flows[i] = observed.InFlow(i);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double d = distances[i * n + j];
+      if (!(d > 0.0)) continue;
+      seed->SetFlow(i, j, out_flows[i] * in_flows[j] * std::pow(d, -gamma));
+    }
+  }
+  auto iters = IpfBalance(*seed, out_flows, in_flows, max_iterations, tolerance);
+  if (!iters.ok()) return iters.status();
+  if (iterations != nullptr) *iterations = *iters;
+  return std::move(*seed);
+}
+
+double LogSse(const OdMatrix& observed, const OdMatrix& estimated) {
+  double sse = 0.0;
+  const size_t n = observed.num_areas();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double obs = observed.Flow(i, j);
+      if (!(obs > 0.0)) continue;
+      const double est = estimated.Flow(i, j);
+      const double log_est = est > 0.0 ? std::log10(est) : -6.0;
+      const double diff = std::log10(obs) - log_est;
+      sse += diff * diff;
+    }
+  }
+  return sse;
+}
+
+}  // namespace
+
+Result<ConstrainedGravityModel> ConstrainedGravityModel::Fit(
+    const OdMatrix& observed, const std::vector<double>& pairwise_distance_m,
+    int max_ipf_iterations, double tolerance) {
+  const size_t n = observed.num_areas();
+  if (pairwise_distance_m.size() != n * n) {
+    return Status::InvalidArgument(
+        "ConstrainedGravityModel::Fit: distance matrix dimension mismatch");
+  }
+  if (!(observed.TotalFlow() > 0.0)) {
+    return Status::InvalidArgument(
+        "ConstrainedGravityModel::Fit: observed matrix has no flow");
+  }
+
+  // Golden-section search for gamma in [0, 4].
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = 0.0, hi = 4.0;
+  auto sse_at = [&](double gamma) {
+    auto est = BalancedEstimate(observed, pairwise_distance_m, gamma,
+                                max_ipf_iterations, tolerance, nullptr);
+    return est.ok() ? LogSse(observed, *est)
+                    : std::numeric_limits<double>::infinity();
+  };
+  double c = hi - phi * (hi - lo);
+  double d = lo + phi * (hi - lo);
+  double fc = sse_at(c);
+  double fd = sse_at(d);
+  for (int iter = 0; iter < 60 && hi - lo > 1e-5; ++iter) {
+    if (fc < fd) {
+      hi = d;
+      d = c;
+      fd = fc;
+      c = hi - phi * (hi - lo);
+      fc = sse_at(c);
+    } else {
+      lo = c;
+      c = d;
+      fc = fd;
+      d = lo + phi * (hi - lo);
+      fd = sse_at(d);
+    }
+  }
+  const double gamma = 0.5 * (lo + hi);
+  int iterations = 0;
+  auto final_est = BalancedEstimate(observed, pairwise_distance_m, gamma,
+                                    max_ipf_iterations, tolerance, &iterations);
+  if (!final_est.ok()) return final_est.status();
+  return ConstrainedGravityModel(gamma, std::move(*final_est), iterations);
+}
+
+std::vector<double> ConstrainedGravityModel::PredictAll(
+    const std::vector<FlowObservation>& obs) const {
+  std::vector<double> out;
+  out.reserve(obs.size());
+  for (const FlowObservation& o : obs) {
+    if (o.src < estimated_.num_areas() && o.dst < estimated_.num_areas()) {
+      out.push_back(estimated_.Flow(o.src, o.dst));
+    } else {
+      out.push_back(0.0);
+    }
+  }
+  return out;
+}
+
+std::string ConstrainedGravityModel::ToString() const {
+  return StrFormat("ConstrainedGravity{gamma=%.3f, ipf_iters=%d}", gamma_,
+                   ipf_iterations_);
+}
+
+}  // namespace twimob::mobility

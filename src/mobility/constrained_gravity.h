@@ -1,0 +1,70 @@
+#ifndef TWIMOB_MOBILITY_CONSTRAINED_GRAVITY_H_
+#define TWIMOB_MOBILITY_CONSTRAINED_GRAVITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mobility/gravity_model.h"
+#include "mobility/od_matrix.h"
+
+namespace twimob::mobility {
+
+/// Doubly-constrained gravity model fitted by iterative proportional
+/// fitting (IPF / Furness balancing) — the production-grade gravity variant
+/// transport planners use, and a natural "future work" extension of the
+/// paper's unconstrained fits:
+///
+///   T_ij = A_i · B_j · O_i · D_j · d_ij^(-gamma)
+///
+/// with balancing factors A, B chosen so every row sums to the observed
+/// out-flow O_i and every column to the observed in-flow D_j. gamma is
+/// fitted by golden-section search on the log-space SSE of the balanced
+/// matrix against the observed flows.
+class ConstrainedGravityModel {
+ public:
+  /// Fits on an observed OD matrix and the pairwise distance matrix
+  /// (row-major n×n, metres). Fails for dimension mismatches, an empty
+  /// matrix, or when balancing cannot converge.
+  static Result<ConstrainedGravityModel> Fit(
+      const OdMatrix& observed, const std::vector<double>& pairwise_distance_m,
+      int max_ipf_iterations = 200, double tolerance = 1e-9);
+
+  /// The balanced flow estimate for pair (i, j).
+  double Flow(size_t i, size_t j) const { return estimated_.Flow(i, j); }
+
+  /// The full estimated matrix.
+  const OdMatrix& estimated() const { return estimated_; }
+
+  /// Estimates aligned with a list of observations (by src/dst), parallel
+  /// to the input.
+  std::vector<double> PredictAll(const std::vector<FlowObservation>& obs) const;
+
+  double gamma() const { return gamma_; }
+  /// Number of IPF sweeps the final balance needed.
+  int ipf_iterations() const { return ipf_iterations_; }
+
+  std::string ToString() const;
+
+ private:
+  ConstrainedGravityModel(double gamma, OdMatrix estimated, int ipf_iterations)
+      : gamma_(gamma),
+        estimated_(std::move(estimated)),
+        ipf_iterations_(ipf_iterations) {}
+
+  double gamma_;
+  OdMatrix estimated_;
+  int ipf_iterations_;
+};
+
+/// One IPF balancing pass, exposed for tests: scales `matrix` (diagonal
+/// ignored) so its row sums match `row_targets` and column sums match
+/// `col_targets`. Returns the number of sweeps used, or an error when the
+/// targets are inconsistent (their totals must match within 0.1%).
+Result<int> IpfBalance(OdMatrix& matrix, const std::vector<double>& row_targets,
+                       const std::vector<double>& col_targets,
+                       int max_iterations = 200, double tolerance = 1e-9);
+
+}  // namespace twimob::mobility
+
+#endif  // TWIMOB_MOBILITY_CONSTRAINED_GRAVITY_H_

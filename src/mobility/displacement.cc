@@ -1,0 +1,84 @@
+#include "mobility/displacement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesic.h"
+
+namespace twimob::mobility {
+
+double RadiusOfGyrationMeters(const std::vector<geo::LatLon>& points) {
+  if (points.size() < 2) return 0.0;
+  double mean_lat = 0.0, mean_lon = 0.0;
+  for (const geo::LatLon& p : points) {
+    mean_lat += p.lat;
+    mean_lon += p.lon;
+  }
+  mean_lat /= static_cast<double>(points.size());
+  mean_lon /= static_cast<double>(points.size());
+
+  const double m_per_deg_lat = geo::MetersPerDegreeLat();
+  const double m_per_deg_lon = geo::MetersPerDegreeLon(mean_lat);
+  double sum_sq = 0.0;
+  for (const geo::LatLon& p : points) {
+    const double dy = (p.lat - mean_lat) * m_per_deg_lat;
+    const double dx = (p.lon - mean_lon) * m_per_deg_lon;
+    sum_sq += dx * dx + dy * dy;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(points.size()));
+}
+
+Result<DisplacementStats> ComputeDisplacementStats(const tweetdb::TweetTable& table,
+                                                   double min_jump_m) {
+  if (!table.sorted_by_user_time()) {
+    return Status::FailedPrecondition(
+        "ComputeDisplacementStats requires a table compacted by (user, time)");
+  }
+  if (min_jump_m < 0.0) {
+    return Status::InvalidArgument("min_jump_m must be >= 0");
+  }
+
+  DisplacementStats stats;
+  std::vector<geo::LatLon> current_points;
+  uint64_t current_user = 0;
+  bool have_user = false;
+  geo::LatLon prev_pos;
+  double total_distance = 0.0;
+  double max_jump = 0.0;
+
+  auto flush_user = [&]() {
+    ++stats.num_users_total;
+    if (current_points.size() >= 2) {
+      UserDisplacement u;
+      u.user_id = current_user;
+      u.num_tweets = current_points.size();
+      u.radius_of_gyration_m = RadiusOfGyrationMeters(current_points);
+      u.total_distance_m = total_distance;
+      u.max_jump_m = max_jump;
+      stats.users.push_back(u);
+    }
+  };
+
+  table.ForEachRow([&](const tweetdb::Tweet& t) {
+    if (have_user && t.user_id != current_user) {
+      flush_user();
+      current_points.clear();
+      total_distance = 0.0;
+      max_jump = 0.0;
+    }
+    if (!current_points.empty()) {
+      const double jump = geo::HaversineMeters(prev_pos, t.pos);
+      total_distance += jump;
+      max_jump = std::max(max_jump, jump);
+      if (jump >= min_jump_m) stats.jump_lengths_m.push_back(jump);
+    }
+    current_points.push_back(t.pos);
+    prev_pos = t.pos;
+    current_user = t.user_id;
+    have_user = true;
+  });
+  if (have_user) flush_user();
+  return stats;
+}
+
+}  // namespace twimob::mobility

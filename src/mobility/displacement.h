@@ -1,0 +1,54 @@
+#ifndef TWIMOB_MOBILITY_DISPLACEMENT_H_
+#define TWIMOB_MOBILITY_DISPLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "tweetdb/table.h"
+
+namespace twimob::mobility {
+
+/// Per-user displacement statistics from the human-mobility literature
+/// (González, Hidalgo, Barabási 2008): jump lengths between consecutive
+/// tweets and the radius of gyration of each user's visited locations.
+/// Twitter-based mobility studies (e.g. Hawelka et al. 2014, the paper's
+/// ref. [9]) report both; they characterise the corpus beyond the paper's
+/// Figure 2.
+struct UserDisplacement {
+  uint64_t user_id = 0;
+  size_t num_tweets = 0;
+  /// Root-mean-square distance of the user's tweet locations from their
+  /// centre of mass, metres.
+  double radius_of_gyration_m = 0.0;
+  /// Total distance travelled across consecutive tweets, metres.
+  double total_distance_m = 0.0;
+  /// Largest single jump, metres.
+  double max_jump_m = 0.0;
+};
+
+/// Result of the corpus-wide displacement analysis.
+struct DisplacementStats {
+  /// All consecutive-tweet jump lengths > min_jump_m, metres.
+  std::vector<double> jump_lengths_m;
+  /// Per-user summaries (users with >= 2 tweets).
+  std::vector<UserDisplacement> users;
+  size_t num_users_total = 0;
+};
+
+/// Computes jump lengths and per-user radii of gyration over a table
+/// compacted by (user, time). Jumps below `min_jump_m` are treated as GPS
+/// noise and excluded from jump_lengths_m (they still count toward the
+/// radius of gyration, which is jitter-robust by averaging).
+/// Fails when the table is not compacted.
+Result<DisplacementStats> ComputeDisplacementStats(const tweetdb::TweetTable& table,
+                                                   double min_jump_m = 250.0);
+
+/// Radius of gyration of a set of points, metres (0 for < 2 points).
+/// Computed in the local equirectangular frame of the centre of mass —
+/// exact enough at intra-country ranges.
+double RadiusOfGyrationMeters(const std::vector<geo::LatLon>& points);
+
+}  // namespace twimob::mobility
+
+#endif  // TWIMOB_MOBILITY_DISPLACEMENT_H_

@@ -1,0 +1,112 @@
+#include "mobility/gravity_model.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "stats/regression.h"
+
+namespace twimob::mobility {
+
+std::string GravityVariantName(GravityVariant variant) {
+  switch (variant) {
+    case GravityVariant::kFourParam:
+      return "Gravity 4Param";
+    case GravityVariant::kTwoParam:
+      return "Gravity 2Param";
+  }
+  return "Gravity ?";
+}
+
+Result<GravityModel> GravityModel::Fit(
+    const std::vector<FlowObservation>& observations, GravityVariant variant) {
+  // Log-space design. 4-param: log P = log C + α log m + β log n − γ log d.
+  // 2-param: log P − log m − log n = log C − γ log d.
+  std::vector<std::vector<double>> design;
+  std::vector<double> y;
+  for (const FlowObservation& o : observations) {
+    if (!(o.flow > 0.0) || !(o.m > 0.0) || !(o.n > 0.0) || !(o.d_meters > 0.0)) {
+      continue;
+    }
+    const double log_flow = std::log10(o.flow);
+    const double log_m = std::log10(o.m);
+    const double log_n = std::log10(o.n);
+    const double log_d = std::log10(o.d_meters);
+    if (variant == GravityVariant::kFourParam) {
+      design.push_back({1.0, log_m, log_n, log_d});
+      y.push_back(log_flow);
+    } else {
+      design.push_back({1.0, log_d});
+      y.push_back(log_flow - log_m - log_n);
+    }
+  }
+  const size_t min_obs = variant == GravityVariant::kFourParam ? 4 : 2;
+  if (design.size() < min_obs + 1) {
+    return Status::InvalidArgument(
+        "GravityModel::Fit: too few usable observations (" +
+        std::to_string(design.size()) + ")");
+  }
+
+  auto fit = stats::OlsSolve(design, y);
+  if (!fit.ok()) return fit.status();
+
+  double log10_c, alpha, beta, gamma;
+  if (variant == GravityVariant::kFourParam) {
+    log10_c = fit->beta[0];
+    alpha = fit->beta[1];
+    beta = fit->beta[2];
+    gamma = -fit->beta[3];
+  } else {
+    log10_c = fit->beta[0];
+    alpha = 1.0;
+    beta = 1.0;
+    gamma = -fit->beta[1];
+  }
+  return GravityModel(variant, log10_c, alpha, beta, gamma, fit->r_squared,
+                      design.size());
+}
+
+double GravityModel::Predict(double m, double n, double d_meters) const {
+  if (!(m > 0.0) || !(n > 0.0) || !(d_meters > 0.0)) return 0.0;
+  const double log_p = log10_c_ + alpha_ * std::log10(m) + beta_ * std::log10(n) -
+                       gamma_ * std::log10(d_meters);
+  return std::pow(10.0, log_p);
+}
+
+std::vector<double> GravityModel::PredictAll(
+    const std::vector<FlowObservation>& obs) const {
+  std::vector<double> out;
+  out.reserve(obs.size());
+  for (const FlowObservation& o : obs) out.push_back(Predict(o));
+  return out;
+}
+
+std::string GravityModel::ToString() const {
+  return StrFormat("%s{log10C=%.3f, alpha=%.3f, beta=%.3f, gamma=%.3f, R2=%.3f, n=%zu}",
+                   GravityVariantName(variant_).c_str(), log10_c_, alpha_, beta_,
+                   gamma_, r_squared_, n_obs_);
+}
+
+std::vector<FlowObservation> BuildObservations(
+    const OdMatrix& flows, const std::vector<double>& masses,
+    const std::vector<double>& pairwise_distance_m) {
+  std::vector<FlowObservation> out;
+  const size_t n = flows.num_areas();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double flow = flows.Flow(i, j);
+      if (!(flow > 0.0)) continue;
+      FlowObservation o;
+      o.src = i;
+      o.dst = j;
+      o.m = masses[i];
+      o.n = masses[j];
+      o.d_meters = pairwise_distance_m[i * n + j];
+      o.flow = flow;
+      out.push_back(o);
+    }
+  }
+  return out;
+}
+
+}  // namespace twimob::mobility

@@ -1,0 +1,96 @@
+#ifndef TWIMOB_MOBILITY_GRAVITY_MODEL_H_
+#define TWIMOB_MOBILITY_GRAVITY_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mobility/od_matrix.h"
+
+namespace twimob::mobility {
+
+/// One fitting/evaluation observation: a directed area pair with origin
+/// mass m, destination mass n (the paper uses Twitter-derived populations),
+/// great-circle distance d, and the extracted flow.
+struct FlowObservation {
+  size_t src = 0;
+  size_t dst = 0;
+  double m = 0.0;         ///< origin population (mass)
+  double n = 0.0;         ///< destination population (mass)
+  double d_meters = 0.0;  ///< inter-centre distance
+  double flow = 0.0;      ///< extracted (observed) mobility
+};
+
+/// The paper's gravity variants (eq. 1 and 2):
+///   4-param:  P = C · m^α n^β / d^γ
+///   2-param:  P = C · m n / d^γ         (α = β = 1 constrained)
+enum class GravityVariant { kFourParam, kTwoParam };
+
+/// Short display name: "Gravity 4Param" / "Gravity 2Param".
+std::string GravityVariantName(GravityVariant variant);
+
+/// A fitted gravity model. Fitting takes logarithms and solves ordinary
+/// least squares, exactly as described in the paper ("the parameters α, β,
+/// and γ can be estimated from least-square fitting after taking logarithm
+/// of the formulas").
+class GravityModel {
+ public:
+  /// Fits the given variant on observations with positive flow, masses and
+  /// distance (others are skipped). Fails when fewer than (#params)
+  /// usable observations remain or the design is singular.
+  static Result<GravityModel> Fit(const std::vector<FlowObservation>& observations,
+                                  GravityVariant variant);
+
+  /// Predicted flow for masses (m, n) at distance d_meters.
+  double Predict(double m, double n, double d_meters) const;
+
+  /// Predicted flow for one observation's (m, n, d).
+  double Predict(const FlowObservation& obs) const {
+    return Predict(obs.m, obs.n, obs.d_meters);
+  }
+
+  /// Predictions for a batch, parallel to the input.
+  std::vector<double> PredictAll(const std::vector<FlowObservation>& obs) const;
+
+  GravityVariant variant() const { return variant_; }
+  double log10_c() const { return log10_c_; }
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+  double gamma() const { return gamma_; }
+  /// R² of the log-space fit.
+  double r_squared() const { return r_squared_; }
+  size_t num_observations() const { return n_obs_; }
+
+  std::string ToString() const;
+
+ private:
+  GravityModel(GravityVariant variant, double log10_c, double alpha, double beta,
+               double gamma, double r_squared, size_t n_obs)
+      : variant_(variant),
+        log10_c_(log10_c),
+        alpha_(alpha),
+        beta_(beta),
+        gamma_(gamma),
+        r_squared_(r_squared),
+        n_obs_(n_obs) {}
+
+  GravityVariant variant_;
+  double log10_c_;
+  double alpha_;
+  double beta_;
+  double gamma_;
+  double r_squared_;
+  size_t n_obs_;
+};
+
+/// Builds the observation list for model fitting from an extracted OD
+/// matrix, per-area masses, and per-area coordinates. Only off-diagonal
+/// pairs with positive observed flow are emitted (the paper fits on
+/// observed trips).
+std::vector<FlowObservation> BuildObservations(
+    const OdMatrix& flows, const std::vector<double>& masses,
+    const std::vector<double>& pairwise_distance_m);
+
+}  // namespace twimob::mobility
+
+#endif  // TWIMOB_MOBILITY_GRAVITY_MODEL_H_

@@ -1,0 +1,111 @@
+#include "mobility/home_inference.h"
+
+#include <cmath>
+
+#include "common/time_util.h"
+#include "geo/geodesic.h"
+
+namespace twimob::mobility {
+
+namespace {
+
+// Is the tweet inside the local night window? Local solar hour from
+// longitude: UTC hour + lon/15.
+bool IsNight(const tweetdb::Tweet& t, const HomeInferenceParams& params) {
+  const double utc_hour =
+      static_cast<double>((t.timestamp % kSecondsPerDay + kSecondsPerDay) %
+                          kSecondsPerDay) /
+      kSecondsPerHour;
+  double local = std::fmod(utc_hour + t.pos.lon / 15.0, 24.0);
+  if (local < 0.0) local += 24.0;
+  const int start = params.night_start_hour;
+  const int end = params.night_end_hour;
+  if (start <= end) return local >= start && local < end;
+  return local >= start || local < end;  // wrap-around window
+}
+
+struct CellAccumulator {
+  double weight = 0.0;
+  double sum_lat = 0.0;
+  double sum_lon = 0.0;
+  size_t count = 0;
+};
+
+}  // namespace
+
+Result<std::vector<HomeLocation>> InferHomeLocations(
+    const tweetdb::TweetTable& table, const HomeInferenceParams& params) {
+  if (!table.sorted_by_user_time()) {
+    return Status::FailedPrecondition(
+        "InferHomeLocations requires a table compacted by (user, time)");
+  }
+  if (!(params.cell_size_m > 0.0) || !(params.night_weight > 0.0)) {
+    return Status::InvalidArgument("invalid home-inference parameters");
+  }
+  if (params.night_start_hour < 0 || params.night_start_hour > 23 ||
+      params.night_end_hour < 0 || params.night_end_hour > 23) {
+    return Status::InvalidArgument("night hours must be in [0, 23]");
+  }
+
+  // Grid cell edge in degrees (latitude metric; longitude scaled at -30°,
+  // good enough for bucketing).
+  const double cell_deg_lat = params.cell_size_m / geo::MetersPerDegreeLat();
+  const double cell_deg_lon = params.cell_size_m / geo::MetersPerDegreeLon(-30.0);
+
+  std::vector<HomeLocation> homes;
+  std::unordered_map<int64_t, CellAccumulator> cells;
+  uint64_t current_user = 0;
+  size_t current_count = 0;
+  double total_weight = 0.0;
+  bool have_user = false;
+
+  auto flush_user = [&]() {
+    if (current_count < params.min_tweets || cells.empty()) return;
+    const CellAccumulator* best = nullptr;
+    for (const auto& [key, acc] : cells) {
+      if (best == nullptr || acc.weight > best->weight) best = &acc;
+    }
+    HomeLocation home;
+    home.user_id = current_user;
+    home.home.lat = best->sum_lat / static_cast<double>(best->count);
+    home.home.lon = best->sum_lon / static_cast<double>(best->count);
+    home.support = total_weight > 0.0 ? best->weight / total_weight : 0.0;
+    homes.push_back(home);
+  };
+
+  table.ForEachRow([&](const tweetdb::Tweet& t) {
+    if (have_user && t.user_id != current_user) {
+      flush_user();
+      cells.clear();
+      current_count = 0;
+      total_weight = 0.0;
+    }
+    const int64_t row = static_cast<int64_t>((t.pos.lat + 90.0) / cell_deg_lat);
+    const int64_t col = static_cast<int64_t>((t.pos.lon + 180.0) / cell_deg_lon);
+    const int64_t key = (row << 24) ^ col;
+    CellAccumulator& acc = cells[key];
+    const double w = IsNight(t, params) ? params.night_weight : 1.0;
+    acc.weight += w;
+    acc.sum_lat += t.pos.lat;
+    acc.sum_lon += t.pos.lon;
+    ++acc.count;
+    total_weight += w;
+    ++current_count;
+    current_user = t.user_id;
+    have_user = true;
+  });
+  if (have_user) flush_user();
+  return homes;
+}
+
+Result<std::unordered_map<uint64_t, HomeLocation>> InferHomeLocationMap(
+    const tweetdb::TweetTable& table, const HomeInferenceParams& params) {
+  auto homes = InferHomeLocations(table, params);
+  if (!homes.ok()) return homes.status();
+  std::unordered_map<uint64_t, HomeLocation> map;
+  map.reserve(homes->size());
+  for (const HomeLocation& h : *homes) map.emplace(h.user_id, h);
+  return map;
+}
+
+}  // namespace twimob::mobility

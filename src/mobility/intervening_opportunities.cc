@@ -1,0 +1,160 @@
+#include "mobility/intervening_opportunities.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/string_util.h"
+#include "mobility/radiation_model.h"
+
+namespace twimob::mobility {
+
+namespace {
+
+struct PreparedObservation {
+  double s = 0.0;
+  double n = 0.0;
+  double log_flow = 0.0;
+};
+
+// Log-space SSE at absorption rate l; the optimal intercept for fixed l is
+// the mean residual, so it is profiled out analytically.
+double ProfiledSse(double l, const std::vector<PreparedObservation>& prepared,
+                   double* intercept) {
+  double sum_resid = 0.0;
+  size_t usable = 0;
+  std::vector<double> residuals;
+  residuals.reserve(prepared.size());
+  for (const PreparedObservation& p : prepared) {
+    const double kernel =
+        std::exp(-l * p.s) - std::exp(-l * (p.s + p.n));
+    if (!(kernel > 0.0) || !std::isfinite(kernel)) {
+      residuals.push_back(std::numeric_limits<double>::quiet_NaN());
+      continue;
+    }
+    const double r = p.log_flow - std::log10(kernel);
+    residuals.push_back(r);
+    sum_resid += r;
+    ++usable;
+  }
+  if (usable == 0) {
+    *intercept = 0.0;
+    return std::numeric_limits<double>::infinity();
+  }
+  const double c = sum_resid / static_cast<double>(usable);
+  double sse = 0.0;
+  for (double r : residuals) {
+    if (std::isnan(r)) {
+      // Degenerate kernels are heavily penalised rather than skipped so the
+      // search avoids regions where the model cannot express the data.
+      sse += 100.0;
+    } else {
+      sse += (r - c) * (r - c);
+    }
+  }
+  *intercept = c;
+  return sse;
+}
+
+}  // namespace
+
+double InterveningOpportunitiesModel::Kernel(double l, double s, double n) {
+  if (!(n > 0.0) || !(l > 0.0)) return 0.0;
+  const double k = std::exp(-l * s) - std::exp(-l * (s + n));
+  return k > 0.0 && std::isfinite(k) ? k : 0.0;
+}
+
+Result<InterveningOpportunitiesModel> InterveningOpportunitiesModel::Fit(
+    const std::vector<FlowObservation>& observations,
+    const std::vector<census::Area>& areas, const std::vector<double>& masses) {
+  if (areas.size() != masses.size()) {
+    return Status::InvalidArgument(
+        "InterveningOpportunitiesModel::Fit: areas/masses mismatch");
+  }
+  double total_mass = 0.0;
+  for (double m : masses) total_mass += m;
+  if (!(total_mass > 0.0)) {
+    return Status::InvalidArgument(
+        "InterveningOpportunitiesModel::Fit: total mass must be positive");
+  }
+
+  std::vector<PreparedObservation> prepared;
+  for (const FlowObservation& o : observations) {
+    if (!(o.flow > 0.0) || !(o.n > 0.0) || !(o.d_meters > 0.0)) continue;
+    if (o.src >= areas.size() || o.dst >= areas.size()) {
+      return Status::InvalidArgument(
+          "InterveningOpportunitiesModel::Fit: observation out of range");
+    }
+    PreparedObservation p;
+    p.s = RadiationModel::InterveningPopulation(areas, masses, o.src, o.dst,
+                                                o.d_meters);
+    p.n = o.n;
+    p.log_flow = std::log10(o.flow);
+    prepared.push_back(p);
+  }
+  if (prepared.empty()) {
+    return Status::InvalidArgument(
+        "InterveningOpportunitiesModel::Fit: no usable observations");
+  }
+
+  // Golden-section search for L over a log-spaced range around 1/total_mass
+  // (the natural scale: absorbing ~one trip per total opportunity mass).
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double log_lo = std::log10(1e-4 / total_mass);
+  double log_hi = std::log10(1e4 / total_mass);
+  double intercept = 0.0;
+  auto sse_at = [&prepared, &intercept](double log_l) {
+    double c;
+    const double sse = ProfiledSse(std::pow(10.0, log_l), prepared, &c);
+    intercept = c;
+    return sse;
+  };
+  double c_point = log_hi - phi * (log_hi - log_lo);
+  double d_point = log_lo + phi * (log_hi - log_lo);
+  double fc = sse_at(c_point);
+  double fd = sse_at(d_point);
+  for (int iter = 0; iter < 120 && log_hi - log_lo > 1e-7; ++iter) {
+    if (fc < fd) {
+      log_hi = d_point;
+      d_point = c_point;
+      fd = fc;
+      c_point = log_hi - phi * (log_hi - log_lo);
+      fc = sse_at(c_point);
+    } else {
+      log_lo = c_point;
+      c_point = d_point;
+      fc = fd;
+      d_point = log_lo + phi * (log_hi - log_lo);
+      fd = sse_at(d_point);
+    }
+  }
+  const double l = std::pow(10.0, 0.5 * (log_lo + log_hi));
+  double c;
+  const double final_sse = ProfiledSse(l, prepared, &c);
+  if (!std::isfinite(final_sse)) {
+    return Status::Internal(
+        "InterveningOpportunitiesModel::Fit: search failed to find a usable L");
+  }
+  return InterveningOpportunitiesModel(l, c, areas, masses, prepared.size());
+}
+
+double InterveningOpportunitiesModel::Predict(const FlowObservation& obs) const {
+  if (obs.src >= areas_.size() || obs.dst >= areas_.size()) return 0.0;
+  const double s = RadiationModel::InterveningPopulation(areas_, masses_, obs.src,
+                                                         obs.dst, obs.d_meters);
+  return std::pow(10.0, log10_c_) * Kernel(l_, s, obs.n);
+}
+
+std::vector<double> InterveningOpportunitiesModel::PredictAll(
+    const std::vector<FlowObservation>& obs) const {
+  std::vector<double> out;
+  out.reserve(obs.size());
+  for (const FlowObservation& o : obs) out.push_back(Predict(o));
+  return out;
+}
+
+std::string InterveningOpportunitiesModel::ToString() const {
+  return StrFormat("InterveningOpportunities{L=%.3g, log10C=%.3f, n=%zu}", l_,
+                   log10_c_, n_obs_);
+}
+
+}  // namespace twimob::mobility

@@ -1,0 +1,67 @@
+#ifndef TWIMOB_MOBILITY_INTERVENING_OPPORTUNITIES_H_
+#define TWIMOB_MOBILITY_INTERVENING_OPPORTUNITIES_H_
+
+#include <string>
+#include <vector>
+
+#include "census/area.h"
+#include "common/result.h"
+#include "mobility/gravity_model.h"
+
+namespace twimob::mobility {
+
+/// The intervening-opportunities model (Stouffer 1940, Schneider 1959) —
+/// the classic third baseline next to gravity and radiation, and one of the
+/// "more varieties" the paper's future work calls for:
+///
+///   P_ij = C · ( exp(-L·s_ij) − exp(-L·(s_ij + n_j)) )
+///
+/// where s_ij is the total mass of areas whose centre lies within d_ij of
+/// the origin (excluding origin and destination — the same intervening mass
+/// the radiation model uses) and L is the per-opportunity absorption rate.
+/// L is fitted by golden-section search on the log-space SSE; C is the
+/// log-space intercept at the optimum.
+class InterveningOpportunitiesModel {
+ public:
+  /// Fits (L, C) on the observations with positive flow. Fails when no
+  /// usable observation remains or the search degenerates.
+  static Result<InterveningOpportunitiesModel> Fit(
+      const std::vector<FlowObservation>& observations,
+      const std::vector<census::Area>& areas, const std::vector<double>& masses);
+
+  /// Predicted flow for one observation (s recomputed from the stored
+  /// geometry).
+  double Predict(const FlowObservation& obs) const;
+
+  /// Predictions for a batch, parallel to the input.
+  std::vector<double> PredictAll(const std::vector<FlowObservation>& obs) const;
+
+  double absorption_rate() const { return l_; }
+  double log10_c() const { return log10_c_; }
+  size_t num_observations() const { return n_obs_; }
+
+  std::string ToString() const;
+
+ private:
+  InterveningOpportunitiesModel(double l, double log10_c,
+                                std::vector<census::Area> areas,
+                                std::vector<double> masses, size_t n_obs)
+      : l_(l),
+        log10_c_(log10_c),
+        areas_(std::move(areas)),
+        masses_(std::move(masses)),
+        n_obs_(n_obs) {}
+
+  /// The unscaled kernel exp(-L·s) − exp(-L·(s+n)); 0 on degenerate input.
+  static double Kernel(double l, double s, double n);
+
+  double l_;
+  double log10_c_;
+  std::vector<census::Area> areas_;
+  std::vector<double> masses_;
+  size_t n_obs_;
+};
+
+}  // namespace twimob::mobility
+
+#endif  // TWIMOB_MOBILITY_INTERVENING_OPPORTUNITIES_H_

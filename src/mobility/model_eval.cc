@@ -1,0 +1,102 @@
+#include "mobility/model_eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/correlation.h"
+
+namespace twimob::mobility {
+
+Result<ModelMetrics> EvaluateModel(const std::vector<double>& estimated,
+                                   const std::vector<double>& observed,
+                                   double hit_threshold) {
+  if (estimated.size() != observed.size()) {
+    return Status::InvalidArgument("EvaluateModel: length mismatch");
+  }
+  if (!(hit_threshold > 0.0)) {
+    return Status::InvalidArgument("EvaluateModel: hit threshold must be positive");
+  }
+
+  std::vector<double> est, obs, log_est, log_obs;
+  size_t hits = 0;
+  double sq_log_err = 0.0;
+  size_t log_n = 0;
+  for (size_t i = 0; i < estimated.size(); ++i) {
+    if (!(observed[i] > 0.0)) continue;
+    est.push_back(estimated[i]);
+    obs.push_back(observed[i]);
+    const double rel_err = std::fabs(estimated[i] - observed[i]) / observed[i];
+    if (rel_err < hit_threshold) ++hits;
+    if (estimated[i] > 0.0) {
+      const double le = std::log10(estimated[i]);
+      const double lo = std::log10(observed[i]);
+      log_est.push_back(le);
+      log_obs.push_back(lo);
+      sq_log_err += (le - lo) * (le - lo);
+      ++log_n;
+    }
+  }
+  if (est.size() < 3) {
+    return Status::InvalidArgument("EvaluateModel: fewer than 3 evaluable pairs");
+  }
+
+  ModelMetrics m;
+  m.n = est.size();
+  m.hit_rate = static_cast<double>(hits) / static_cast<double>(est.size());
+  // Degenerate (constant) inputs have no defined correlation; report 0
+  // rather than failing — hit rate and RMSLE remain meaningful.
+  auto pearson = stats::PearsonCorrelation(est, obs);
+  m.pearson_r = pearson.ok() ? pearson->r : 0.0;
+  if (log_est.size() >= 3) {
+    auto log_pearson = stats::PearsonCorrelation(log_est, log_obs);
+    if (log_pearson.ok()) m.log_pearson_r = log_pearson->r;
+  }
+  m.rmsle = log_n > 0 ? std::sqrt(sq_log_err / static_cast<double>(log_n)) : 0.0;
+  return m;
+}
+
+Result<std::vector<stats::LogBin>> BinnedEstimateSeries(
+    const std::vector<double>& estimated, const std::vector<double>& observed,
+    int bins_per_decade) {
+  return stats::LogBinPairs(estimated, observed, bins_per_decade);
+}
+
+Result<ExtendedMetrics> EvaluateModelExtended(const std::vector<double>& estimated,
+                                              const std::vector<double>& observed) {
+  if (estimated.size() != observed.size()) {
+    return Status::InvalidArgument("EvaluateModelExtended: length mismatch");
+  }
+  std::vector<double> est, obs;
+  double sum_est = 0.0, sum_obs = 0.0, sum_min = 0.0;
+  double abs_log_err = 0.0;
+  size_t log_n = 0;
+  for (size_t i = 0; i < estimated.size(); ++i) {
+    if (!(observed[i] > 0.0)) continue;
+    est.push_back(estimated[i]);
+    obs.push_back(observed[i]);
+    sum_est += std::max(0.0, estimated[i]);
+    sum_obs += observed[i];
+    sum_min += std::min(std::max(0.0, estimated[i]), observed[i]);
+    if (estimated[i] > 0.0) {
+      abs_log_err += std::fabs(std::log10(estimated[i]) - std::log10(observed[i]));
+      ++log_n;
+    }
+  }
+  if (est.size() < 3) {
+    return Status::InvalidArgument(
+        "EvaluateModelExtended: fewer than 3 evaluable pairs");
+  }
+
+  ExtendedMetrics m;
+  m.n = est.size();
+  m.cpc = sum_est + sum_obs > 0.0 ? 2.0 * sum_min / (sum_est + sum_obs) : 0.0;
+  m.mean_abs_log_err =
+      log_n > 0 ? abs_log_err / static_cast<double>(log_n) : 0.0;
+  auto spearman = stats::SpearmanCorrelation(est, obs);
+  m.spearman_r = spearman.ok() ? spearman->r : 0.0;
+  auto kendall = stats::KendallTau(est, obs);
+  m.kendall_tau = kendall.ok() ? kendall->r : 0.0;
+  return m;
+}
+
+}  // namespace twimob::mobility

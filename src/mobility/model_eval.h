@@ -1,0 +1,55 @@
+#ifndef TWIMOB_MOBILITY_MODEL_EVAL_H_
+#define TWIMOB_MOBILITY_MODEL_EVAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "stats/binning.h"
+
+namespace twimob::mobility {
+
+/// Table II's metrics plus extras the paper mentions as future work.
+struct ModelMetrics {
+  double pearson_r = 0.0;      ///< Pearson r between estimated and observed
+  double hit_rate = 0.0;       ///< HitRate@τ (paper uses τ = 50%)
+  double rmsle = 0.0;          ///< root mean squared log10 error
+  double log_pearson_r = 0.0;  ///< Pearson r in log10 space
+  size_t n = 0;
+};
+
+/// Evaluates model estimates against observed flows on the pairs where the
+/// observation is positive. `hit_threshold` is the relative-error bound of
+/// HitRate (0.5 reproduces HitRate@50%). Fails on length mismatch or when
+/// fewer than 3 evaluable pairs exist.
+Result<ModelMetrics> EvaluateModel(const std::vector<double>& estimated,
+                                   const std::vector<double>& observed,
+                                   double hit_threshold = 0.5);
+
+/// The log-binned estimated-vs-observed series plotted as the red dots of
+/// Figure 4: x = estimated flow, y = mean observed flow per log bin.
+Result<std::vector<stats::LogBin>> BinnedEstimateSeries(
+    const std::vector<double>& estimated, const std::vector<double>& observed,
+    int bins_per_decade = 4);
+
+/// Metrics beyond the paper's two — its future work calls for "more
+/// metrics"; these are the standard additions from the mobility-modelling
+/// literature.
+struct ExtendedMetrics {
+  double spearman_r = 0.0;   ///< rank correlation (outlier-robust)
+  double kendall_tau = 0.0;  ///< tau-b rank agreement
+  /// Common Part of Commuters (Lenormand et al. 2012):
+  /// 2·Σ min(est,obs) / (Σest + Σobs) in [0, 1].
+  double cpc = 0.0;
+  double mean_abs_log_err = 0.0;  ///< mean |log10 est − log10 obs|
+  size_t n = 0;
+};
+
+/// Computes the extended metrics on the pairs with positive observed flow.
+/// Rank metrics fall back to 0 on degenerate (constant) inputs. Fails on
+/// length mismatch or fewer than 3 evaluable pairs.
+Result<ExtendedMetrics> EvaluateModelExtended(const std::vector<double>& estimated,
+                                              const std::vector<double>& observed);
+
+}  // namespace twimob::mobility
+
+#endif  // TWIMOB_MOBILITY_MODEL_EVAL_H_

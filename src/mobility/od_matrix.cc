@@ -1,0 +1,80 @@
+#include "mobility/od_matrix.h"
+
+#include "common/string_util.h"
+
+namespace twimob::mobility {
+
+Result<OdMatrix> OdMatrix::Create(size_t n) {
+  if (n == 0) return Status::InvalidArgument("OdMatrix requires n > 0");
+  return OdMatrix(n);
+}
+
+void OdMatrix::AddFlow(size_t i, size_t j, double amount) {
+  flows_[i * n_ + j] += amount;
+}
+
+void OdMatrix::SetFlow(size_t i, size_t j, double value) {
+  flows_[i * n_ + j] = value;
+}
+
+double OdMatrix::TotalFlow() const {
+  double sum = 0.0;
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < n_; ++j) {
+      if (i != j) sum += flows_[i * n_ + j];
+    }
+  }
+  return sum;
+}
+
+double OdMatrix::OutFlow(size_t i) const {
+  double sum = 0.0;
+  for (size_t j = 0; j < n_; ++j) {
+    if (j != i) sum += flows_[i * n_ + j];
+  }
+  return sum;
+}
+
+double OdMatrix::InFlow(size_t j) const {
+  double sum = 0.0;
+  for (size_t i = 0; i < n_; ++i) {
+    if (i != j) sum += flows_[i * n_ + j];
+  }
+  return sum;
+}
+
+std::vector<OdPair> OdMatrix::NonZeroPairs() const {
+  std::vector<OdPair> out;
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < n_; ++j) {
+      if (i != j && flows_[i * n_ + j] > 0.0) {
+        out.push_back(OdPair{i, j, flows_[i * n_ + j]});
+      }
+    }
+  }
+  return out;
+}
+
+size_t OdMatrix::NumNonZeroPairs() const {
+  size_t count = 0;
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < n_; ++j) {
+      if (i != j && flows_[i * n_ + j] > 0.0) ++count;
+    }
+  }
+  return count;
+}
+
+std::string OdMatrix::ToString() const {
+  std::string out = StrFormat("OdMatrix %zux%zu, total flow %.0f\n", n_, n_,
+                              TotalFlow());
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < n_; ++j) {
+      out += StrFormat("%8.0f", flows_[i * n_ + j]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace twimob::mobility

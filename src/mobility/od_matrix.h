@@ -1,0 +1,63 @@
+#ifndef TWIMOB_MOBILITY_OD_MATRIX_H_
+#define TWIMOB_MOBILITY_OD_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace twimob::mobility {
+
+/// One directed origin→destination flow record.
+struct OdPair {
+  size_t src = 0;
+  size_t dst = 0;
+  double flow = 0.0;
+};
+
+/// A dense origin–destination matrix over `n` areas. Flows are real-valued
+/// (counts from trip extraction, or model estimates).
+class OdMatrix {
+ public:
+  /// Creates an n×n zero matrix. n must be positive.
+  static Result<OdMatrix> Create(size_t n);
+
+  size_t num_areas() const { return n_; }
+
+  /// Flow from area i to area j (diagonal allowed but unused by the paper).
+  double Flow(size_t i, size_t j) const { return flows_[i * n_ + j]; }
+
+  /// Adds `amount` to the (i, j) flow.
+  void AddFlow(size_t i, size_t j, double amount);
+
+  /// Overwrites the (i, j) flow.
+  void SetFlow(size_t i, size_t j, double value);
+
+  /// Sum of all off-diagonal flows.
+  double TotalFlow() const;
+
+  /// Sum of flows leaving area i (off-diagonal).
+  double OutFlow(size_t i) const;
+
+  /// Sum of flows entering area j (off-diagonal).
+  double InFlow(size_t j) const;
+
+  /// All off-diagonal pairs with positive flow, row-major order.
+  std::vector<OdPair> NonZeroPairs() const;
+
+  /// Number of off-diagonal pairs with positive flow.
+  size_t NumNonZeroPairs() const;
+
+  std::string ToString() const;
+
+ private:
+  explicit OdMatrix(size_t n) : n_(n), flows_(n * n, 0.0) {}
+
+  size_t n_;
+  std::vector<double> flows_;
+};
+
+}  // namespace twimob::mobility
+
+#endif  // TWIMOB_MOBILITY_OD_MATRIX_H_

@@ -1,0 +1,78 @@
+#include "mobility/radiation_model.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "geo/geodesic.h"
+
+namespace twimob::mobility {
+
+double RadiationModel::InterveningPopulation(const std::vector<census::Area>& areas,
+                                             const std::vector<double>& masses,
+                                             size_t src, size_t dst,
+                                             double d_meters) {
+  double s = 0.0;
+  for (size_t k = 0; k < areas.size(); ++k) {
+    if (k == src || k == dst) continue;
+    if (geo::HaversineMeters(areas[src].center, areas[k].center) <= d_meters) {
+      s += masses[k];
+    }
+  }
+  return s;
+}
+
+double RadiationModel::Kernel(double m, double n, double s) {
+  const double denom = (m + s) * (m + n + s);
+  if (!(m > 0.0) || !(n > 0.0) || !(denom > 0.0)) return 0.0;
+  return m * n / denom;
+}
+
+Result<RadiationModel> RadiationModel::Fit(
+    const std::vector<FlowObservation>& observations,
+    const std::vector<census::Area>& areas, const std::vector<double>& masses) {
+  if (areas.size() != masses.size()) {
+    return Status::InvalidArgument("RadiationModel::Fit: areas/masses mismatch");
+  }
+  // Least-squares fit of the intercept in log space:
+  // log10 P = log10 C + log10 kernel  =>  log10 C = mean(log10 P - log10 kernel).
+  double sum = 0.0;
+  size_t count = 0;
+  for (const FlowObservation& o : observations) {
+    if (!(o.flow > 0.0) || !(o.d_meters > 0.0)) continue;
+    if (o.src >= areas.size() || o.dst >= areas.size()) {
+      return Status::InvalidArgument("RadiationModel::Fit: observation out of range");
+    }
+    const double s =
+        InterveningPopulation(areas, masses, o.src, o.dst, o.d_meters);
+    const double kernel = Kernel(o.m, o.n, s);
+    if (!(kernel > 0.0)) continue;
+    sum += std::log10(o.flow) - std::log10(kernel);
+    ++count;
+  }
+  if (count == 0) {
+    return Status::InvalidArgument("RadiationModel::Fit: no usable observations");
+  }
+  return RadiationModel(sum / static_cast<double>(count), areas, masses, count);
+}
+
+double RadiationModel::Predict(const FlowObservation& obs) const {
+  if (obs.src >= areas_.size() || obs.dst >= areas_.size()) return 0.0;
+  const double s =
+      InterveningPopulation(areas_, masses_, obs.src, obs.dst, obs.d_meters);
+  const double kernel = Kernel(obs.m, obs.n, s);
+  return std::pow(10.0, log10_c_) * kernel;
+}
+
+std::vector<double> RadiationModel::PredictAll(
+    const std::vector<FlowObservation>& obs) const {
+  std::vector<double> out;
+  out.reserve(obs.size());
+  for (const FlowObservation& o : obs) out.push_back(Predict(o));
+  return out;
+}
+
+std::string RadiationModel::ToString() const {
+  return StrFormat("Radiation{log10C=%.3f, n=%zu}", log10_c_, n_obs_);
+}
+
+}  // namespace twimob::mobility

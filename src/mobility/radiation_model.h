@@ -1,0 +1,66 @@
+#ifndef TWIMOB_MOBILITY_RADIATION_MODEL_H_
+#define TWIMOB_MOBILITY_RADIATION_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "census/area.h"
+#include "common/result.h"
+#include "mobility/gravity_model.h"
+
+namespace twimob::mobility {
+
+/// The radiation model (paper eq. 3, after Simini et al. 2012):
+///   P = C · m n / ((m + s)(m + n + s))
+/// where s is the total population within radius d of the origin centre,
+/// excluding the origin and destination areas themselves. The only fitted
+/// parameter is the scaling C (log-space least squares intercept).
+class RadiationModel {
+ public:
+  /// Computes s for the pair (src, dst): the summed mass of areas whose
+  /// centre lies within `d_meters` of areas[src]'s centre, excluding src
+  /// and dst. `masses` is parallel to `areas`.
+  static double InterveningPopulation(const std::vector<census::Area>& areas,
+                                      const std::vector<double>& masses, size_t src,
+                                      size_t dst, double d_meters);
+
+  /// Fits C on the observations with positive flow/masses/distance. The s
+  /// term is computed from (areas, masses). Fails when no usable
+  /// observation remains.
+  static Result<RadiationModel> Fit(const std::vector<FlowObservation>& observations,
+                                    const std::vector<census::Area>& areas,
+                                    const std::vector<double>& masses);
+
+  /// Predicted flow for one observation (s recomputed from the stored
+  /// geometry).
+  double Predict(const FlowObservation& obs) const;
+
+  /// Predictions for a batch, parallel to the input.
+  std::vector<double> PredictAll(const std::vector<FlowObservation>& obs) const;
+
+  double log10_c() const { return log10_c_; }
+  size_t num_observations() const { return n_obs_; }
+
+  std::string ToString() const;
+
+ private:
+  RadiationModel(double log10_c, std::vector<census::Area> areas,
+                 std::vector<double> masses, size_t n_obs)
+      : log10_c_(log10_c),
+        areas_(std::move(areas)),
+        masses_(std::move(masses)),
+        n_obs_(n_obs) {}
+
+  /// The unscaled radiation kernel m n / ((m+s)(m+n+s)); 0 on degenerate
+  /// input.
+  static double Kernel(double m, double n, double s);
+
+  double log10_c_;
+  std::vector<census::Area> areas_;
+  std::vector<double> masses_;
+  size_t n_obs_;
+};
+
+}  // namespace twimob::mobility
+
+#endif  // TWIMOB_MOBILITY_RADIATION_MODEL_H_

@@ -1,0 +1,55 @@
+#ifndef TWIMOB_MOBILITY_TRIP_EXTRACTOR_H_
+#define TWIMOB_MOBILITY_TRIP_EXTRACTOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "census/area.h"
+#include "common/result.h"
+#include "mobility/od_matrix.h"
+#include "tweetdb/table.h"
+
+namespace twimob::mobility {
+
+/// Extraction counters, for diagnostics and the ablation benches.
+struct ExtractionStats {
+  size_t tweets_seen = 0;
+  size_t tweets_in_some_area = 0;
+  size_t consecutive_pairs = 0;   ///< same-user consecutive tweet pairs
+  size_t inter_area_trips = 0;    ///< pairs mapping to two distinct areas
+  size_t intra_area_pairs = 0;    ///< pairs mapping to the same area
+  size_t gap_filtered_pairs = 0;  ///< pairs dropped by TripOptions::max_gap_seconds
+};
+
+/// Maps a coordinate to the nearest area centre within `radius_m`, or
+/// nullopt when no centre is that close. Ties resolve to the closest
+/// centre, matching the paper's ε-radius assignment.
+std::optional<size_t> AssignToArea(const geo::LatLon& pos,
+                                   const std::vector<census::Area>& areas,
+                                   double radius_m);
+
+/// Options of the trip extraction.
+struct TripOptions {
+  /// Consecutive pairs further apart in time than this are not trips
+  /// (0 = unlimited, the paper's definition). Twitter mobility studies
+  /// often cap the gap (e.g. Hawelka et al. use day-level transitions) so
+  /// that a tweet in Sydney followed by one in Perth a month later does
+  /// not count as a trip.
+  int64_t max_gap_seconds = 0;
+};
+
+/// Extracts the Twitter mobility matrix (paper §IV): every pair of
+/// consecutive tweets of the same user whose first tweet maps to area i and
+/// second to area j (i ≠ j) contributes one trip to flow (i, j).
+///
+/// `table` must be compacted by (user, time) — CompactByUserTime() — so
+/// that each user's tweets are contiguous and time-ordered; otherwise
+/// FailedPrecondition. `radius_m` is the scale's search radius ε.
+Result<OdMatrix> ExtractTrips(const tweetdb::TweetTable& table,
+                              const std::vector<census::Area>& areas,
+                              double radius_m, ExtractionStats* stats = nullptr,
+                              const TripOptions& options = TripOptions{});
+
+}  // namespace twimob::mobility
+
+#endif  // TWIMOB_MOBILITY_TRIP_EXTRACTOR_H_

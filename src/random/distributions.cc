@@ -1,0 +1,259 @@
+#include "random/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace twimob::random {
+
+// ---------------------------------------------------------------------------
+// DiscretePowerLaw
+// ---------------------------------------------------------------------------
+
+Result<DiscretePowerLaw> DiscretePowerLaw::Create(double alpha, uint64_t k_min,
+                                                  uint64_t k_max, double cutoff) {
+  if (!(alpha > 1.0)) {
+    return Status::InvalidArgument("DiscretePowerLaw requires alpha > 1");
+  }
+  if (k_min < 1) {
+    return Status::InvalidArgument("DiscretePowerLaw requires k_min >= 1");
+  }
+  if (k_max != 0 && k_max < k_min) {
+    return Status::InvalidArgument("DiscretePowerLaw requires k_max >= k_min");
+  }
+  if (cutoff < 0.0 || !std::isfinite(cutoff)) {
+    return Status::InvalidArgument("DiscretePowerLaw requires cutoff >= 0");
+  }
+  return DiscretePowerLaw(alpha, k_min, k_max, cutoff);
+}
+
+uint64_t DiscretePowerLaw::Sample(Xoshiro256& rng) const {
+  // Devroye's rejection from the continuous Pareto envelope: propose
+  // X = floor( k_min * U^{-1/(alpha-1)} ), accept with the zeta/envelope
+  // ratio. Acceptance probability is > 0.5 for alpha in (1, 4].
+  const double exponent = -1.0 / (alpha_ - 1.0);
+  while (true) {
+    double u = rng.NextDoubleNonZero();
+    double x = static_cast<double>(k_min_) * std::pow(u, exponent);
+    if (x > 1.8e19) continue;  // avoid uint64 overflow on extreme draws
+    uint64_t k = static_cast<uint64_t>(x);
+    if (k < k_min_) k = k_min_;
+    if (k_max_ != 0 && k > k_max_) continue;  // truncation by rejection
+    // Exact acceptance test (Devroye X.6.1): accept when
+    //   V * K * (T - 1) / (B - 1) <= T / B
+    // with T = (1 + 1/k)^(alpha-1) and B = (1 + 1/k_min)^(alpha-1).
+    double t = std::pow(1.0 + 1.0 / static_cast<double>(k), alpha_ - 1.0);
+    double v = rng.NextDouble();
+    double b = std::pow(1.0 + 1.0 / static_cast<double>(k_min_), alpha_ - 1.0);
+    if (v * static_cast<double>(k) * (t - 1.0) / (b - 1.0) <= t / b) {
+      // Exponential cutoff as a second acceptance stage.
+      if (cutoff_ > 0.0) {
+        const double accept =
+            std::exp(-static_cast<double>(k - k_min_) / cutoff_);
+        if (!rng.NextBernoulli(accept)) continue;
+      }
+      return k;
+    }
+  }
+}
+
+double DiscretePowerLaw::Mean() const {
+  // Direct summation of k * P(k); converges since alpha > 1 (for
+  // alpha <= 2 untruncated the mean diverges, so cap the summation).
+  uint64_t cap = k_max_ != 0 ? k_max_ : 100000000ULL;
+  // With an exponential cutoff the summand is negligible far beyond it.
+  if (cutoff_ > 0.0) {
+    cap = std::min<uint64_t>(cap, k_min_ + static_cast<uint64_t>(cutoff_ * 50.0));
+  }
+  double z = 0.0;
+  double m = 0.0;
+  double prev_term = 0.0;
+  for (uint64_t k = k_min_; k <= cap; ++k) {
+    double p = std::pow(static_cast<double>(k), -alpha_);
+    if (cutoff_ > 0.0) {
+      p *= std::exp(-static_cast<double>(k - k_min_) / cutoff_);
+    }
+    z += p;
+    m += static_cast<double>(k) * p;
+    // Convergence early-out for untruncated distributions.
+    if (k_max_ == 0 && k > k_min_ + 1000 && p < prev_term * 0.999999 &&
+        p / z < 1e-14) {
+      break;
+    }
+    prev_term = p;
+  }
+  return m / z;
+}
+
+// ---------------------------------------------------------------------------
+// Pareto
+// ---------------------------------------------------------------------------
+
+Result<Pareto> Pareto::Create(double alpha, double x_min) {
+  if (!(alpha > 1.0)) return Status::InvalidArgument("Pareto requires alpha > 1");
+  if (!(x_min > 0.0)) return Status::InvalidArgument("Pareto requires x_min > 0");
+  return Pareto(alpha, x_min);
+}
+
+double Pareto::Sample(Xoshiro256& rng) const {
+  double u = rng.NextDoubleNonZero();
+  return x_min_ * std::pow(u, -1.0 / (alpha_ - 1.0));
+}
+
+// ---------------------------------------------------------------------------
+// LogNormal
+// ---------------------------------------------------------------------------
+
+Result<LogNormal> LogNormal::Create(double mu, double sigma) {
+  if (!(sigma > 0.0)) return Status::InvalidArgument("LogNormal requires sigma > 0");
+  return LogNormal(mu, sigma);
+}
+
+double LogNormal::Sample(Xoshiro256& rng) const {
+  return std::exp(mu_ + sigma_ * rng.NextGaussian());
+}
+
+double LogNormal::Mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+// ---------------------------------------------------------------------------
+// WaitingTimeMixture
+// ---------------------------------------------------------------------------
+
+Result<WaitingTimeMixture> WaitingTimeMixture::Create(const Params& params) {
+  if (params.burst_weight < 0.0 || params.burst_weight > 1.0) {
+    return Status::InvalidArgument("burst_weight must be in [0,1]");
+  }
+  if (!(params.max_wait > 0.0)) {
+    return Status::InvalidArgument("max_wait must be positive");
+  }
+  auto burst = LogNormal::Create(params.burst_mu, params.burst_sigma);
+  if (!burst.ok()) return burst.status();
+  auto tail = Pareto::Create(params.tail_alpha, params.tail_x_min);
+  if (!tail.ok()) return tail.status();
+  return WaitingTimeMixture(params, *burst, *tail);
+}
+
+double WaitingTimeMixture::Sample(Xoshiro256& rng) const {
+  double w;
+  do {
+    w = rng.NextBernoulli(params_.burst_weight) ? burst_.Sample(rng)
+                                                : tail_.Sample(rng);
+  } while (w <= 0.0 || w > params_.max_wait);
+  return w;
+}
+
+double WaitingTimeMixture::EstimateMean(Xoshiro256& rng, int n) const {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += Sample(rng);
+  return sum / n;
+}
+
+// ---------------------------------------------------------------------------
+// Binomial / Poisson
+// ---------------------------------------------------------------------------
+
+uint64_t SampleBinomial(Xoshiro256& rng, uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  // Exploit symmetry so the exact path below stays cheap.
+  if (p > 0.5) return n - SampleBinomial(rng, n, 1.0 - p);
+
+  const double mean = static_cast<double>(n) * p;
+  const double var = mean * (1.0 - p);
+  if (n <= 64) {
+    uint64_t hits = 0;
+    for (uint64_t i = 0; i < n; ++i) hits += rng.NextBernoulli(p) ? 1 : 0;
+    return hits;
+  }
+  if (mean < 30.0) {
+    // Small-mean regime: Poisson-like; draw via waiting times (geometric
+    // skipping), exact for the binomial.
+    uint64_t hits = 0;
+    double log_q = std::log1p(-p);
+    double i = 0.0;
+    while (true) {
+      i += std::floor(std::log(rng.NextDoubleNonZero()) / log_q) + 1.0;
+      if (i > static_cast<double>(n)) break;
+      ++hits;
+    }
+    return hits;
+  }
+  // Normal approximation with continuity correction.
+  const double draw = mean + std::sqrt(var) * rng.NextGaussian() + 0.5;
+  if (draw <= 0.0) return 0;
+  if (draw >= static_cast<double>(n)) return n;
+  return static_cast<uint64_t>(draw);
+}
+
+uint64_t SamplePoisson(Xoshiro256& rng, double lambda) {
+  if (!(lambda > 0.0)) return 0;
+  if (lambda < 30.0) {
+    const double limit = std::exp(-lambda);
+    uint64_t k = 0;
+    double prod = rng.NextDouble();
+    while (prod > limit) {
+      ++k;
+      prod *= rng.NextDouble();
+    }
+    return k;
+  }
+  const double draw = lambda + std::sqrt(lambda) * rng.NextGaussian() + 0.5;
+  return draw <= 0.0 ? 0 : static_cast<uint64_t>(draw);
+}
+
+// ---------------------------------------------------------------------------
+// AliasSampler
+// ---------------------------------------------------------------------------
+
+Result<AliasSampler> AliasSampler::Create(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("AliasSampler requires non-empty weights");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0)) {  // also rejects NaN
+      return Status::InvalidArgument("AliasSampler weights must be >= 0");
+    }
+    total += w;
+  }
+  if (!(total > 0.0)) {
+    return Status::InvalidArgument("AliasSampler weights must not all be zero");
+  }
+
+  const size_t n = weights.size();
+  std::vector<double> normalized(n);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    normalized[i] = weights[i] / total;
+    scaled[i] = normalized[i] * static_cast<double>(n);
+  }
+
+  std::vector<double> prob(n, 0.0);
+  std::vector<size_t> alias(n, 0);
+  std::vector<size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    size_t s = small.back();
+    small.pop_back();
+    size_t l = large.back();
+    large.pop_back();
+    prob[s] = scaled[s];
+    alias[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (size_t i : large) prob[i] = 1.0;
+  for (size_t i : small) prob[i] = 1.0;  // numerical leftovers
+
+  return AliasSampler(std::move(prob), std::move(alias), std::move(normalized));
+}
+
+size_t AliasSampler::Sample(Xoshiro256& rng) const {
+  size_t i = static_cast<size_t>(rng.NextUint64(prob_.size()));
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace twimob::random

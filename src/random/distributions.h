@@ -1,0 +1,164 @@
+#ifndef TWIMOB_RANDOM_DISTRIBUTIONS_H_
+#define TWIMOB_RANDOM_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "random/rng.h"
+
+namespace twimob::random {
+
+/// Samples from a discrete power law, optionally with an exponential
+/// cutoff:  P(k) ∝ k^(-alpha) · exp(-(k - k_min)/cutoff)  on
+/// k ∈ {k_min, ..., k_max}. Uses inversion of the continuous Pareto
+/// envelope with rejection (Devroye 1986, ch. X.6); the cutoff is applied
+/// as an extra acceptance factor (Clauset, Shalizi, Newman 2009, tab. 2.1).
+///
+/// The per-user tweet count in the synthetic corpus is drawn from this
+/// distribution; the paper reports a power-law tail spanning 8 decades with
+/// a steepening far tail.
+class DiscretePowerLaw {
+ public:
+  /// Creates a sampler. Fails for alpha <= 1, k_min < 1, k_max < k_min
+  /// (k_max == 0 means untruncated) or cutoff < 0 (0 means no cutoff).
+  static Result<DiscretePowerLaw> Create(double alpha, uint64_t k_min,
+                                         uint64_t k_max = 0, double cutoff = 0.0);
+
+  /// Draws one variate.
+  uint64_t Sample(Xoshiro256& rng) const;
+
+  /// Exponent alpha.
+  double alpha() const { return alpha_; }
+  uint64_t k_min() const { return k_min_; }
+  /// 0 means untruncated.
+  uint64_t k_max() const { return k_max_; }
+  /// 0 means no exponential cutoff.
+  double cutoff() const { return cutoff_; }
+
+  /// Analytic mean via truncated zeta sums (numerically, by direct
+  /// summation up to the truncation point or until convergence).
+  double Mean() const;
+
+ private:
+  DiscretePowerLaw(double alpha, uint64_t k_min, uint64_t k_max, double cutoff)
+      : alpha_(alpha), k_min_(k_min), k_max_(k_max), cutoff_(cutoff) {}
+
+  double alpha_;
+  uint64_t k_min_;
+  uint64_t k_max_;
+  double cutoff_;
+};
+
+/// Continuous Pareto distribution: density f(x) ∝ x^(-alpha) for x >= x_min.
+class Pareto {
+ public:
+  /// Fails for alpha <= 1 or x_min <= 0.
+  static Result<Pareto> Create(double alpha, double x_min);
+
+  double Sample(Xoshiro256& rng) const;
+
+  double alpha() const { return alpha_; }
+  double x_min() const { return x_min_; }
+
+ private:
+  Pareto(double alpha, double x_min) : alpha_(alpha), x_min_(x_min) {}
+  double alpha_;
+  double x_min_;
+};
+
+/// Log-normal distribution with parameters (mu, sigma) of the underlying
+/// normal.
+class LogNormal {
+ public:
+  /// Fails for sigma <= 0.
+  static Result<LogNormal> Create(double mu, double sigma);
+
+  double Sample(Xoshiro256& rng) const;
+
+  /// Analytic mean exp(mu + sigma^2/2).
+  double Mean() const;
+
+ private:
+  LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {}
+  double mu_;
+  double sigma_;
+};
+
+/// A two-component mixture used for inter-tweet waiting times: with
+/// probability `burst_weight` draw from a short-timescale log-normal
+/// (bursty sessions), otherwise from a Pareto tail (long silences). This
+/// reproduces the paper's Figure 2(b): heavy-tailed waiting times spanning
+/// many decades with substantial heterogeneity, mean ≈ 35.5 h.
+class WaitingTimeMixture {
+ public:
+  struct Params {
+    double burst_weight = 0.42;   ///< probability of the bursty component
+    double burst_mu = 5.2;        ///< log-seconds, ≈ 3 min median bursts
+    double burst_sigma = 1.8;
+    double tail_alpha = 1.40;     ///< Pareto tail exponent
+    double tail_x_min = 2600.0;   ///< seconds
+    double max_wait = 1.5e7;      ///< truncation, ≈ 139 days
+  };
+
+  /// Fails when any component parameter is invalid.
+  static Result<WaitingTimeMixture> Create(const Params& params);
+
+  /// Draws one waiting time in seconds (> 0, <= max_wait).
+  double Sample(Xoshiro256& rng) const;
+
+  const Params& params() const { return params_; }
+
+  /// Monte-Carlo estimate of the mean with `n` draws (diagnostic helper).
+  double EstimateMean(Xoshiro256& rng, int n) const;
+
+ private:
+  WaitingTimeMixture(const Params& params, LogNormal burst, Pareto tail)
+      : params_(params), burst_(burst), tail_(tail) {}
+
+  Params params_;
+  LogNormal burst_;
+  Pareto tail_;
+};
+
+/// Binomial(n, p) variate. Exact Bernoulli summation for small n; the
+/// continuity-corrected normal approximation (clamped to [0, n]) once
+/// n·p·(1−p) is large enough for it to be accurate. Used by the stochastic
+/// SEIR model's compartment transitions.
+uint64_t SampleBinomial(Xoshiro256& rng, uint64_t n, double p);
+
+/// Poisson(lambda) variate: Knuth multiplication for small lambda, normal
+/// approximation beyond.
+uint64_t SamplePoisson(Xoshiro256& rng, double lambda);
+
+/// Walker alias method for O(1) sampling from a fixed discrete
+/// distribution. Used to draw users' home areas ∝ census population.
+class AliasSampler {
+ public:
+  /// Builds the alias tables from (unnormalised, non-negative) weights.
+  /// Fails when weights are empty, contain negatives/NaN, or sum to zero.
+  static Result<AliasSampler> Create(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()).
+  size_t Sample(Xoshiro256& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  /// Normalised probability of index i (diagnostic).
+  double Probability(size_t i) const { return normalized_[i]; }
+
+ private:
+  AliasSampler(std::vector<double> prob, std::vector<size_t> alias,
+               std::vector<double> normalized)
+      : prob_(std::move(prob)),
+        alias_(std::move(alias)),
+        normalized_(std::move(normalized)) {}
+
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+  std::vector<double> normalized_;
+};
+
+}  // namespace twimob::random
+
+#endif  // TWIMOB_RANDOM_DISTRIBUTIONS_H_

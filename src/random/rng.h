@@ -1,0 +1,75 @@
+#ifndef TWIMOB_RANDOM_RNG_H_
+#define TWIMOB_RANDOM_RNG_H_
+
+#include <cstdint>
+
+namespace twimob::random {
+
+/// SplitMix64: used for seeding and as a cheap stateless mixer.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 pseudo-random bits.
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256++ 1.0 — the library's workhorse PRNG. Deterministic for a
+/// given seed; satisfies the C++ UniformRandomBitGenerator concept so it is
+/// usable with <random> distributions as well.
+/// Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
+/// generators", ACM TOMS 2021.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four state words via SplitMix64(seed).
+  explicit Xoshiro256(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  /// Next 64 pseudo-random bits.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [0, 1) that is never exactly 0 (safe for log()).
+  double NextDoubleNonZero();
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Standard normal variate (Marsaglia polar method, cached pair).
+  double NextGaussian();
+
+  /// Exponential variate with the given rate (mean = 1/rate).
+  double NextExponential(double rate);
+
+  /// Forks an independently-seeded generator; deterministic given the
+  /// parent's current state.
+  Xoshiro256 Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace twimob::random
+
+#endif  // TWIMOB_RANDOM_RNG_H_

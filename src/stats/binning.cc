@@ -1,0 +1,129 @@
+#include "stats/binning.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace twimob::stats {
+
+namespace {
+
+// Shared bin assignment: returns bins spanning [10^floor(log10(min)), max].
+Result<std::vector<LogBin>> MakeBins(double min_positive, double max_value,
+                                     int bins_per_decade) {
+  if (bins_per_decade <= 0) {
+    return Status::InvalidArgument("bins_per_decade must be positive");
+  }
+  if (!(min_positive > 0.0) || !(max_value >= min_positive)) {
+    return Status::InvalidArgument("log binning requires positive values");
+  }
+  const double log_lo = std::floor(std::log10(min_positive) * bins_per_decade) /
+                        bins_per_decade;
+  const double step = 1.0 / bins_per_decade;
+  std::vector<LogBin> bins;
+  double lo = log_lo;
+  while (true) {
+    LogBin b;
+    b.x_lo = std::pow(10.0, lo);
+    b.x_hi = std::pow(10.0, lo + step);
+    b.x_center = std::sqrt(b.x_lo * b.x_hi);
+    bins.push_back(b);
+    if (b.x_hi > max_value) break;
+    lo += step;
+    if (bins.size() > 100000) {
+      return Status::Internal("log binning produced an absurd number of bins");
+    }
+  }
+  return bins;
+}
+
+size_t BinIndex(const std::vector<LogBin>& bins, double x) {
+  // Bins are contiguous in log space; compute directly from the first edge.
+  const double step = std::log10(bins[0].x_hi) - std::log10(bins[0].x_lo);
+  const double offset = (std::log10(x) - std::log10(bins[0].x_lo)) / step;
+  size_t idx = offset <= 0.0 ? 0 : static_cast<size_t>(offset);
+  return std::min(idx, bins.size() - 1);
+}
+
+}  // namespace
+
+Result<std::vector<LogBin>> LogBinPairs(const std::vector<double>& x,
+                                        const std::vector<double>& y,
+                                        int bins_per_decade) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("LogBinPairs: length mismatch");
+  }
+  double min_pos = 0.0, max_val = 0.0;
+  for (double v : x) {
+    if (v > 0.0) {
+      if (min_pos == 0.0 || v < min_pos) min_pos = v;
+      max_val = std::max(max_val, v);
+    }
+  }
+  if (min_pos == 0.0) {
+    return Status::InvalidArgument("LogBinPairs: no positive x values");
+  }
+  auto bins_r = MakeBins(min_pos, max_val, bins_per_decade);
+  if (!bins_r.ok()) return bins_r.status();
+  std::vector<LogBin> bins = std::move(*bins_r);
+
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (!(x[i] > 0.0)) continue;
+    LogBin& b = bins[BinIndex(bins, x[i])];
+    ++b.count;
+    b.mean_x += (x[i] - b.mean_x) / static_cast<double>(b.count);
+    b.mean_y += (y[i] - b.mean_y) / static_cast<double>(b.count);
+  }
+  std::erase_if(bins, [](const LogBin& b) { return b.count == 0; });
+  return bins;
+}
+
+Result<std::vector<LogBin>> LogBinDensity(const std::vector<double>& values,
+                                          int bins_per_decade) {
+  double min_pos = 0.0, max_val = 0.0;
+  size_t n_pos = 0;
+  for (double v : values) {
+    if (v > 0.0) {
+      ++n_pos;
+      if (min_pos == 0.0 || v < min_pos) min_pos = v;
+      max_val = std::max(max_val, v);
+    }
+  }
+  if (n_pos == 0) {
+    return Status::InvalidArgument("LogBinDensity: no positive values");
+  }
+  auto bins_r = MakeBins(min_pos, max_val, bins_per_decade);
+  if (!bins_r.ok()) return bins_r.status();
+  std::vector<LogBin> bins = std::move(*bins_r);
+
+  for (double v : values) {
+    if (!(v > 0.0)) continue;
+    LogBin& b = bins[BinIndex(bins, v)];
+    ++b.count;
+    b.mean_x += (v - b.mean_x) / static_cast<double>(b.count);
+  }
+  for (LogBin& b : bins) {
+    const double width = b.x_hi - b.x_lo;
+    b.mean_y = static_cast<double>(b.count) / (static_cast<double>(n_pos) * width);
+  }
+  std::erase_if(bins, [](const LogBin& b) { return b.count == 0; });
+  return bins;
+}
+
+std::vector<std::pair<double, double>> Ccdf(std::vector<double> values) {
+  std::erase_if(values, [](double v) { return !(v > 0.0); });
+  std::sort(values.begin(), values.end());
+  std::vector<std::pair<double, double>> out;
+  const size_t n = values.size();
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[j + 1] == values[i]) ++j;
+    // P(X >= values[i]) = (n - i) / n.
+    out.emplace_back(values[i],
+                     static_cast<double>(n - i) / static_cast<double>(n));
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace twimob::stats

@@ -1,0 +1,43 @@
+#ifndef TWIMOB_STATS_BINNING_H_
+#define TWIMOB_STATS_BINNING_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace twimob::stats {
+
+/// One logarithmic bin of paired observations.
+struct LogBin {
+  double x_lo = 0.0;      ///< bin lower edge (inclusive)
+  double x_hi = 0.0;      ///< bin upper edge (exclusive)
+  double x_center = 0.0;  ///< geometric centre sqrt(lo*hi)
+  double mean_x = 0.0;    ///< mean of the x values that fell in the bin
+  double mean_y = 0.0;    ///< mean of the paired y values
+  size_t count = 0;
+};
+
+/// Groups the pairs (x[i], y[i]) into logarithmically spaced bins on x and
+/// averages y per bin — this is exactly the paper's "red dots after
+/// logarithmic binning" in Figure 4. Only pairs with x > 0 participate.
+///
+/// Fails when inputs mismatch in length, fewer than 1 positive x exists, or
+/// bins_per_decade is not positive.
+Result<std::vector<LogBin>> LogBinPairs(const std::vector<double>& x,
+                                        const std::vector<double>& y,
+                                        int bins_per_decade);
+
+/// Logarithmically binned density of a positive sample: returns (bin centre,
+/// normalised density) pairs, where density is count / (n * bin_width).
+/// Used for the heavy-tail plots of Figure 2. Only values > 0 participate.
+Result<std::vector<LogBin>> LogBinDensity(const std::vector<double>& values,
+                                          int bins_per_decade);
+
+/// Empirical CCDF P(X >= x) evaluated at each distinct sample value,
+/// returned as sorted (value, ccdf) pairs. Only values > 0 participate.
+std::vector<std::pair<double, double>> Ccdf(std::vector<double> values);
+
+}  // namespace twimob::stats
+
+#endif  // TWIMOB_STATS_BINNING_H_

@@ -1,0 +1,105 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "random/rng.h"
+#include "stats/correlation.h"
+
+namespace twimob::stats {
+
+namespace {
+
+// Percentile with linear interpolation on a sorted vector.
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Result<ConfidenceInterval> IntervalFromReplicates(std::vector<double> stats,
+                                                  double point, double level,
+                                                  int requested) {
+  if (stats.size() < static_cast<size_t>(requested) / 2 || stats.size() < 10) {
+    return Status::Internal("bootstrap: too many degenerate replicates");
+  }
+  std::sort(stats.begin(), stats.end());
+  ConfidenceInterval ci;
+  ci.point = point;
+  ci.level = level;
+  ci.replicates = static_cast<int>(stats.size());
+  const double alpha = (1.0 - level) / 2.0;
+  ci.lo = SortedQuantile(stats, alpha);
+  ci.hi = SortedQuantile(stats, 1.0 - alpha);
+  return ci;
+}
+
+}  // namespace
+
+Result<ConfidenceInterval> BootstrapCI(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    double level, int replicates, uint64_t seed) {
+  if (sample.empty()) return Status::InvalidArgument("bootstrap: empty sample");
+  if (!(level > 0.0) || !(level < 1.0)) {
+    return Status::InvalidArgument("bootstrap: level must be in (0,1)");
+  }
+  if (replicates < 10) {
+    return Status::InvalidArgument("bootstrap: need at least 10 replicates");
+  }
+
+  const double point = statistic(sample);
+  random::Xoshiro256 rng(seed);
+  std::vector<double> stats;
+  stats.reserve(replicates);
+  std::vector<double> resample(sample.size());
+  for (int r = 0; r < replicates; ++r) {
+    for (double& v : resample) {
+      v = sample[rng.NextUint64(sample.size())];
+    }
+    const double s = statistic(resample);
+    if (std::isfinite(s)) stats.push_back(s);
+  }
+  return IntervalFromReplicates(std::move(stats), point, level, replicates);
+}
+
+Result<ConfidenceInterval> BootstrapPearsonCI(const std::vector<double>& x,
+                                              const std::vector<double>& y,
+                                              double level, int replicates,
+                                              uint64_t seed) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("bootstrap: paired samples differ in length");
+  }
+  if (x.size() < 3) {
+    return Status::InvalidArgument("bootstrap: need at least 3 pairs");
+  }
+  if (!(level > 0.0) || !(level < 1.0)) {
+    return Status::InvalidArgument("bootstrap: level must be in (0,1)");
+  }
+  if (replicates < 10) {
+    return Status::InvalidArgument("bootstrap: need at least 10 replicates");
+  }
+
+  auto point = PearsonCorrelation(x, y);
+  if (!point.ok()) return point.status();
+
+  random::Xoshiro256 rng(seed);
+  std::vector<double> stats;
+  stats.reserve(replicates);
+  std::vector<double> rx(x.size()), ry(y.size());
+  for (int r = 0; r < replicates; ++r) {
+    for (size_t i = 0; i < x.size(); ++i) {
+      const size_t pick = rng.NextUint64(x.size());
+      rx[i] = x[pick];
+      ry[i] = y[pick];
+    }
+    auto corr = PearsonCorrelation(rx, ry);
+    if (corr.ok()) stats.push_back(corr->r);
+  }
+  return IntervalFromReplicates(std::move(stats), point->r, level, replicates);
+}
+
+}  // namespace twimob::stats

@@ -1,0 +1,42 @@
+#ifndef TWIMOB_STATS_BOOTSTRAP_H_
+#define TWIMOB_STATS_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+
+namespace twimob::stats {
+
+/// A two-sided bootstrap confidence interval.
+struct ConfidenceInterval {
+  double point = 0.0;  ///< statistic on the original sample
+  double lo = 0.0;     ///< lower percentile bound
+  double hi = 0.0;     ///< upper percentile bound
+  double level = 0.0;  ///< confidence level, e.g. 0.95
+  int replicates = 0;  ///< bootstrap resamples actually used
+};
+
+/// Percentile-bootstrap CI for an arbitrary statistic of one sample.
+/// `statistic` receives a resampled copy; replicates where it returns a
+/// non-finite value are dropped (and counted out of `replicates`). Fails
+/// for empty input, level outside (0,1), or replicates < 10.
+Result<ConfidenceInterval> BootstrapCI(
+    const std::vector<double>& sample,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    double level = 0.95, int replicates = 1000, uint64_t seed = 42);
+
+/// Percentile-bootstrap CI for the Pearson correlation of paired samples —
+/// pairs are resampled together. Used to put error bars on the Figure 3
+/// correlations. Fails on length mismatch, n < 3, or degenerate resampling
+/// (fewer than replicates/2 usable replicates).
+Result<ConfidenceInterval> BootstrapPearsonCI(const std::vector<double>& x,
+                                              const std::vector<double>& y,
+                                              double level = 0.95,
+                                              int replicates = 1000,
+                                              uint64_t seed = 42);
+
+}  // namespace twimob::stats
+
+#endif  // TWIMOB_STATS_BOOTSTRAP_H_

@@ -1,0 +1,148 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "stats/special_functions.h"
+
+namespace twimob::stats {
+
+namespace {
+
+// Number of pairs tied on `values`: sum over tie groups of t*(t-1)/2.
+int64_t CountTiePairs(const std::vector<double>& values) {
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  int64_t pairs = 0;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    const int64_t t = static_cast<int64_t>(j - i + 1);
+    pairs += t * (t - 1) / 2;
+    i = j + 1;
+  }
+  return pairs;
+}
+
+}  // namespace
+
+Result<CorrelationResult> PearsonCorrelation(const std::vector<double>& x,
+                                             const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("correlation inputs differ in length");
+  }
+  const size_t n = x.size();
+  if (n < 3) {
+    return Status::InvalidArgument("correlation requires at least 3 points");
+  }
+  double mean_x = 0.0, mean_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_x += x[i];
+    mean_y += y[i];
+  }
+  mean_x /= static_cast<double>(n);
+  mean_y /= static_cast<double>(n);
+
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    return Status::InvalidArgument("correlation undefined for constant input");
+  }
+
+  CorrelationResult res;
+  res.n = n;
+  res.r = sxy / std::sqrt(sxx * syy);
+  res.r = std::clamp(res.r, -1.0, 1.0);
+  const double dof = static_cast<double>(n - 2);
+  const double denom = 1.0 - res.r * res.r;
+  if (denom <= 0.0) {
+    res.t_stat = std::numeric_limits<double>::infinity();
+    res.p_value = 0.0;
+  } else {
+    res.t_stat = res.r * std::sqrt(dof / denom);
+    res.p_value = StudentTTwoTailedP(res.t_stat, dof);
+  }
+  return res;
+}
+
+std::vector<double> MidRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&values](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Average rank for the tie group [i, j], 1-based.
+    const double avg = 0.5 * (static_cast<double>(i + 1) + static_cast<double>(j + 1));
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+Result<CorrelationResult> SpearmanCorrelation(const std::vector<double>& x,
+                                              const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("correlation inputs differ in length");
+  }
+  return PearsonCorrelation(MidRanks(x), MidRanks(y));
+}
+
+Result<CorrelationResult> KendallTau(const std::vector<double>& x,
+                                     const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("correlation inputs differ in length");
+  }
+  const size_t n = x.size();
+  if (n < 2) return Status::InvalidArgument("Kendall tau requires >= 2 points");
+
+  int64_t concordant = 0, discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0.0 || dy == 0.0) continue;  // ties enter via the denominators
+      if ((dx > 0.0) == (dy > 0.0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  const double denom_x = n0 - static_cast<double>(CountTiePairs(x));
+  const double denom_y = n0 - static_cast<double>(CountTiePairs(y));
+  if (denom_x <= 0.0 || denom_y <= 0.0) {
+    return Status::InvalidArgument("Kendall tau undefined for constant input");
+  }
+
+  CorrelationResult res;
+  res.n = n;
+  res.r = static_cast<double>(concordant - discordant) /
+          std::sqrt(denom_x * denom_y);
+  res.r = std::clamp(res.r, -1.0, 1.0);
+  // Normal approximation for the null distribution of tau.
+  const double var =
+      2.0 * (2.0 * static_cast<double>(n) + 5.0) /
+      (9.0 * static_cast<double>(n) * static_cast<double>(n - 1));
+  const double z = res.r / std::sqrt(var);
+  res.t_stat = z;
+  // Two-tailed normal p-value via the t distribution with huge dof.
+  res.p_value = StudentTTwoTailedP(z, 1e9);
+  return res;
+}
+
+}  // namespace twimob::stats

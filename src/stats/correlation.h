@@ -1,0 +1,41 @@
+#ifndef TWIMOB_STATS_CORRELATION_H_
+#define TWIMOB_STATS_CORRELATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace twimob::stats {
+
+/// Result of a correlation test.
+struct CorrelationResult {
+  double r = 0.0;        ///< correlation coefficient in [-1, 1]
+  double t_stat = 0.0;   ///< t statistic of the null r == 0
+  double p_value = 1.0;  ///< two-tailed p-value
+  size_t n = 0;          ///< sample size
+};
+
+/// Pearson product-moment correlation with a two-tailed p-value from the
+/// exact t distribution (the paper reports r = 0.816, p = 2.06e-15 for the
+/// pooled population comparison). Fails when the inputs differ in length,
+/// have fewer than 3 points, or either side has zero variance.
+Result<CorrelationResult> PearsonCorrelation(const std::vector<double>& x,
+                                             const std::vector<double>& y);
+
+/// Spearman rank correlation (Pearson on mid-ranks; ties get average rank),
+/// with the same t-approximation for the p-value.
+Result<CorrelationResult> SpearmanCorrelation(const std::vector<double>& x,
+                                              const std::vector<double>& y);
+
+/// Mid-ranks of `values` (average rank for ties), 1-based.
+std::vector<double> MidRanks(const std::vector<double>& values);
+
+/// Kendall's tau-b rank correlation (tie-corrected), O(n²) pair counting —
+/// adequate for the OD-pair sample sizes this library evaluates. Fails on
+/// length mismatch, n < 2, or when either side is entirely tied.
+Result<CorrelationResult> KendallTau(const std::vector<double>& x,
+                                     const std::vector<double>& y);
+
+}  // namespace twimob::stats
+
+#endif  // TWIMOB_STATS_CORRELATION_H_

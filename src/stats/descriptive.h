@@ -1,0 +1,65 @@
+#ifndef TWIMOB_STATS_DESCRIPTIVE_H_
+#define TWIMOB_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace twimob::stats {
+
+/// Summary statistics over a sample.
+struct Summary {
+  size_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased (n-1) sample variance
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes the full summary; an empty input yields an all-zero Summary.
+Summary Summarize(const std::vector<double>& values);
+
+/// Arithmetic mean (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance (0 for n < 2).
+double Variance(const std::vector<double>& values);
+
+/// The q-quantile (q in [0,1]) with linear interpolation between order
+/// statistics; 0 for empty input.
+double Quantile(std::vector<double> values, double q);
+
+/// Median: Quantile(values, 0.5).
+double Median(std::vector<double> values);
+
+/// Streaming mean/variance accumulator (Welford's algorithm), used where
+/// materialising the sample would be wasteful (e.g. waiting-time stats over
+/// millions of tweets).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  size_t n() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for n < 2).
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace twimob::stats
+
+#endif  // TWIMOB_STATS_DESCRIPTIVE_H_

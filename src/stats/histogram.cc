@@ -1,0 +1,128 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace twimob::stats {
+
+Result<Histogram> Histogram::Create(double lo, double hi, size_t bins) {
+  if (!(hi > lo)) return Status::InvalidArgument("Histogram requires hi > lo");
+  if (bins == 0) return Status::InvalidArgument("Histogram requires bins > 0");
+  return Histogram(lo, hi, bins);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  size_t idx = static_cast<size_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+double Histogram::bin_lo(size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(size_t i) const { return bin_lo(i + 1); }
+
+std::string Histogram::ToAscii(size_t max_width) const {
+  size_t max_count = 0;
+  for (size_t c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const size_t bar =
+        max_count == 0 ? 0 : counts_[i] * max_width / max_count;
+    out += StrFormat("[%12.4g, %12.4g) %8zu ", bin_lo(i), bin_hi(i), counts_[i]);
+    out.append(bar, '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<DensityGrid> DensityGrid::Create(double min_x, double max_x, double min_y,
+                                        double max_y, size_t cols, size_t rows) {
+  if (!(max_x > min_x) || !(max_y > min_y)) {
+    return Status::InvalidArgument("DensityGrid requires a non-degenerate box");
+  }
+  if (cols == 0 || rows == 0) {
+    return Status::InvalidArgument("DensityGrid requires positive dimensions");
+  }
+  return DensityGrid(min_x, max_x, min_y, max_y, cols, rows);
+}
+
+void DensityGrid::Add(double x, double y) {
+  if (x < min_x_ || x > max_x_ || y < min_y_ || y > max_y_) return;
+  size_t col = static_cast<size_t>((x - min_x_) / (max_x_ - min_x_) *
+                                   static_cast<double>(cols_));
+  size_t row = static_cast<size_t>((y - min_y_) / (max_y_ - min_y_) *
+                                   static_cast<double>(rows_));
+  col = std::min(col, cols_ - 1);
+  row = std::min(row, rows_ - 1);
+  ++cells_[row * cols_ + col];
+  ++total_;
+}
+
+size_t DensityGrid::max_cell() const {
+  size_t mx = 0;
+  for (size_t c : cells_) mx = std::max(mx, c);
+  return mx;
+}
+
+namespace {
+// Intensity ramp from sparse to dense.
+constexpr char kRamp[] = " .:-=+*#%@";
+constexpr int kRampLen = 10;
+}  // namespace
+
+std::string DensityGrid::ToAscii(bool north_up) const {
+  const double log_max = std::log1p(static_cast<double>(max_cell()));
+  std::string out;
+  out.reserve((cols_ + 1) * rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const size_t row = north_up ? rows_ - 1 - r : r;
+    for (size_t c = 0; c < cols_; ++c) {
+      const size_t count = cells_[row * cols_ + c];
+      int level = 0;
+      if (count > 0 && log_max > 0.0) {
+        level = static_cast<int>(std::log1p(static_cast<double>(count)) / log_max *
+                                 (kRampLen - 1));
+        level = std::clamp(level, 1, kRampLen - 1);
+      }
+      out.push_back(kRamp[level]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string DensityGrid::ToPgm() const {
+  const double log_max = std::log1p(static_cast<double>(max_cell()));
+  std::string out = StrFormat("P2\n%zu %zu\n255\n", cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const size_t row = rows_ - 1 - r;  // north-up
+    for (size_t c = 0; c < cols_; ++c) {
+      const size_t count = cells_[row * cols_ + c];
+      int value = 0;
+      if (count > 0 && log_max > 0.0) {
+        value = static_cast<int>(std::log1p(static_cast<double>(count)) / log_max *
+                                 255.0);
+      }
+      out += std::to_string(value);
+      out.push_back(c + 1 == cols_ ? '\n' : ' ');
+    }
+  }
+  return out;
+}
+
+}  // namespace twimob::stats

@@ -1,0 +1,87 @@
+#ifndef TWIMOB_STATS_HISTOGRAM_H_
+#define TWIMOB_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace twimob::stats {
+
+/// A fixed-bin linear histogram over [lo, hi); out-of-range observations are
+/// counted in underflow/overflow buckets.
+class Histogram {
+ public:
+  /// Fails for hi <= lo or bins == 0.
+  static Result<Histogram> Create(double lo, double hi, size_t bins);
+
+  void Add(double x);
+
+  size_t bin_count(size_t i) const { return counts_[i]; }
+  size_t num_bins() const { return counts_.size(); }
+  size_t underflow() const { return underflow_; }
+  size_t overflow() const { return overflow_; }
+  size_t total() const { return total_; }
+  double bin_lo(size_t i) const;
+  double bin_hi(size_t i) const;
+
+  /// ASCII rendering (for quick inspection in examples), one bin per line.
+  std::string ToAscii(size_t max_width = 60) const;
+
+ private:
+  Histogram(double lo, double hi, size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t underflow_ = 0;
+  size_t overflow_ = 0;
+  size_t total_ = 0;
+};
+
+/// A 2-D density grid over a geographic bounding box; cell (r, c) counts
+/// observations. Renders Figure 1's tweet-density map as ASCII art or PGM.
+class DensityGrid {
+ public:
+  /// Fails for non-positive dimensions or an inverted box.
+  static Result<DensityGrid> Create(double min_x, double max_x, double min_y,
+                                    double max_y, size_t cols, size_t rows);
+
+  /// Adds an observation at (x, y); silently ignores out-of-range points.
+  void Add(double x, double y);
+
+  size_t At(size_t row, size_t col) const { return cells_[row * cols_ + col]; }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t total() const { return total_; }
+  size_t max_cell() const;
+
+  /// ASCII heat map; rows are printed north-up (row 0 = max_y edge) when
+  /// `north_up` is true. Intensity ramp uses log-scaled counts.
+  std::string ToAscii(bool north_up = true) const;
+
+  /// Portable graymap (P2) rendering with log-scaled intensities.
+  std::string ToPgm() const;
+
+ private:
+  DensityGrid(double min_x, double max_x, double min_y, double max_y, size_t cols,
+              size_t rows)
+      : min_x_(min_x),
+        max_x_(max_x),
+        min_y_(min_y),
+        max_y_(max_y),
+        cols_(cols),
+        rows_(rows),
+        cells_(cols * rows, 0) {}
+
+  double min_x_, max_x_, min_y_, max_y_;
+  size_t cols_, rows_;
+  std::vector<size_t> cells_;
+  size_t total_ = 0;
+};
+
+}  // namespace twimob::stats
+
+#endif  // TWIMOB_STATS_HISTOGRAM_H_

@@ -1,0 +1,252 @@
+#include "stats/power_law.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/special_functions.h"
+
+namespace twimob::stats {
+
+Result<PowerLawFit> FitContinuousPowerLaw(const std::vector<double>& values,
+                                          double x_min) {
+  if (!(x_min > 0.0)) {
+    return Status::InvalidArgument("FitContinuousPowerLaw requires x_min > 0");
+  }
+  double log_sum = 0.0;
+  size_t n = 0;
+  for (double v : values) {
+    if (v >= x_min) {
+      log_sum += std::log(v / x_min);
+      ++n;
+    }
+  }
+  if (n < 2 || log_sum <= 0.0) {
+    return Status::InvalidArgument("FitContinuousPowerLaw: insufficient tail sample");
+  }
+  PowerLawFit fit;
+  fit.x_min = x_min;
+  fit.n_tail = n;
+  fit.alpha = 1.0 + static_cast<double>(n) / log_sum;
+  fit.ks_distance = PowerLawKsDistance(values, fit.alpha, x_min);
+  return fit;
+}
+
+namespace {
+
+// Discrete power-law log-likelihood (up to a constant) at exponent alpha.
+double DiscreteLogLikelihood(double alpha, double sum_log, size_t n, uint64_t k_min) {
+  return -static_cast<double>(n) *
+             std::log(HurwitzZeta(alpha, static_cast<double>(k_min))) -
+         alpha * sum_log;
+}
+
+}  // namespace
+
+Result<PowerLawFit> FitDiscretePowerLaw(const std::vector<uint64_t>& values,
+                                        uint64_t k_min) {
+  if (k_min < 1) {
+    return Status::InvalidArgument("FitDiscretePowerLaw requires k_min >= 1");
+  }
+  double sum_log = 0.0;
+  size_t n = 0;
+  std::vector<double> tail;
+  for (uint64_t v : values) {
+    if (v >= k_min) {
+      sum_log += std::log(static_cast<double>(v));
+      ++n;
+      tail.push_back(static_cast<double>(v));
+    }
+  }
+  if (n < 2) {
+    return Status::InvalidArgument("FitDiscretePowerLaw: insufficient tail sample");
+  }
+
+  // Golden-section search for the likelihood maximum over alpha in (1, 6].
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = 1.0001, hi = 6.0;
+  double c = hi - phi * (hi - lo);
+  double d = lo + phi * (hi - lo);
+  double fc = DiscreteLogLikelihood(c, sum_log, n, k_min);
+  double fd = DiscreteLogLikelihood(d, sum_log, n, k_min);
+  for (int iter = 0; iter < 200 && hi - lo > 1e-7; ++iter) {
+    if (fc > fd) {
+      hi = d;
+      d = c;
+      fd = fc;
+      c = hi - phi * (hi - lo);
+      fc = DiscreteLogLikelihood(c, sum_log, n, k_min);
+    } else {
+      lo = c;
+      c = d;
+      fc = fd;
+      d = lo + phi * (hi - lo);
+      fd = DiscreteLogLikelihood(d, sum_log, n, k_min);
+    }
+  }
+
+  PowerLawFit fit;
+  fit.alpha = 0.5 * (lo + hi);
+  fit.x_min = static_cast<double>(k_min);
+  fit.n_tail = n;
+  fit.ks_distance = PowerLawKsDistance(tail, fit.alpha, fit.x_min);
+  return fit;
+}
+
+double PowerLawKsDistance(const std::vector<double>& values, double alpha,
+                          double x_min) {
+  std::vector<double> tail;
+  for (double v : values) {
+    if (v >= x_min) tail.push_back(v);
+  }
+  if (tail.empty()) return 1.0;
+  std::sort(tail.begin(), tail.end());
+  const size_t n = tail.size();
+  double ks = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // Model CDF for the continuous power law: 1 - (x/x_min)^(1-alpha).
+    const double model = 1.0 - std::pow(tail[i] / x_min, 1.0 - alpha);
+    const double emp_hi = static_cast<double>(i + 1) / static_cast<double>(n);
+    const double emp_lo = static_cast<double>(i) / static_cast<double>(n);
+    ks = std::max(ks, std::max(std::fabs(model - emp_hi), std::fabs(model - emp_lo)));
+  }
+  return ks;
+}
+
+Result<LikelihoodRatioResult> PowerLawVsLogNormal(const std::vector<double>& values,
+                                                  double x_min) {
+  if (!(x_min > 0.0)) {
+    return Status::InvalidArgument("PowerLawVsLogNormal requires x_min > 0");
+  }
+  std::vector<double> tail;
+  for (double v : values) {
+    if (v >= x_min) tail.push_back(v);
+  }
+  const size_t n = tail.size();
+  if (n < 10) {
+    return Status::InvalidArgument("PowerLawVsLogNormal: tail sample too small");
+  }
+
+  // Power-law MLE on the tail.
+  auto pl = FitContinuousPowerLaw(tail, x_min);
+  if (!pl.ok()) return pl.status();
+  const double alpha = pl->alpha;
+
+  // Log-normal fitted by tail-conditional MLE: both competing densities
+  // must be normalised over the same support [x_min, inf) or the test is
+  // biased toward the tail-normalised power law. The conditional
+  // log-likelihood per point is
+  //   log f_LN(x; mu, sigma) − log(1 − Phi((ln x_min − mu)/sigma)).
+  std::vector<double> logs;
+  logs.reserve(n);
+  double mean_log = 0.0;
+  for (double v : tail) {
+    logs.push_back(std::log(v));
+    mean_log += logs.back();
+  }
+  mean_log /= static_cast<double>(n);
+  double var_log = 0.0;
+  for (double lv : logs) var_log += (lv - mean_log) * (lv - mean_log);
+  var_log /= static_cast<double>(n);
+  if (!(var_log > 0.0)) {
+    return Status::InvalidArgument("PowerLawVsLogNormal: degenerate tail");
+  }
+  const double log_xmin = std::log(x_min);
+  auto normal_sf = [](double z) {
+    // Survival function of the standard normal.
+    return 0.5 * std::erfc(z / std::sqrt(2.0));
+  };
+  auto conditional_ll = [&](double mu, double sigma) {
+    const double sf = normal_sf((log_xmin - mu) / sigma);
+    if (!(sf > 1e-300)) return -std::numeric_limits<double>::infinity();
+    double ll = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double z = (logs[i] - mu) / sigma;
+      ll += -logs[i] - std::log(sigma) - 0.5 * std::log(2.0 * M_PI) -
+            0.5 * z * z;
+    }
+    ll -= static_cast<double>(n) * std::log(sf);
+    return ll;
+  };
+
+  // Coordinate descent with golden sections, seeded at the unconditional
+  // estimates; the conditional optimum shifts mu below the sample mean.
+  const double phi_ratio = (std::sqrt(5.0) - 1.0) / 2.0;
+  auto golden = [&](auto f, double lo, double hi) {
+    double c = hi - phi_ratio * (hi - lo);
+    double d = lo + phi_ratio * (hi - lo);
+    double fc = f(c), fd = f(d);
+    for (int it = 0; it < 80 && hi - lo > 1e-7; ++it) {
+      if (fc > fd) {
+        hi = d;
+        d = c;
+        fd = fc;
+        c = hi - phi_ratio * (hi - lo);
+        fc = f(c);
+      } else {
+        lo = c;
+        c = d;
+        fc = fd;
+        d = lo + phi_ratio * (hi - lo);
+        fd = f(d);
+      }
+    }
+    return 0.5 * (lo + hi);
+  };
+  double mu = mean_log;
+  double sigma = std::sqrt(var_log);
+  const double sigma0 = sigma;
+  for (int sweep = 0; sweep < 4; ++sweep) {
+    mu = golden([&](double m) { return conditional_ll(m, sigma); },
+                mean_log - 6.0 * sigma0, mean_log + 2.0 * sigma0);
+    sigma = golden([&](double s) { return conditional_ll(mu, s); },
+                   0.05 * sigma0, 5.0 * sigma0);
+  }
+  const double log_sf = std::log(normal_sf((log_xmin - mu) / sigma));
+
+  // Pointwise log-likelihood difference (power law minus log-normal), both
+  // conditional on x >= x_min.
+  std::vector<double> diffs;
+  diffs.reserve(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double log_pl = std::log(alpha - 1.0) - log_xmin -
+                          alpha * (logs[i] - log_xmin);
+    const double z = (logs[i] - mu) / sigma;
+    const double log_ln = -logs[i] - std::log(sigma) -
+                          0.5 * std::log(2.0 * M_PI) - 0.5 * z * z - log_sf;
+    const double d = log_pl - log_ln;
+    diffs.push_back(d);
+    sum += d;
+  }
+  const double mean = sum / static_cast<double>(n);
+  double sd = 0.0;
+  for (double d : diffs) sd += (d - mean) * (d - mean);
+  sd = std::sqrt(sd / static_cast<double>(n));
+
+  LikelihoodRatioResult result;
+  result.n_tail = n;
+  if (sd == 0.0) {
+    result.normalized_ratio = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+  // Vuong: R / (sd * sqrt(n)) ~ N(0,1) under the null.
+  result.normalized_ratio = sum / (sd * std::sqrt(static_cast<double>(n)));
+  result.p_value = StudentTTwoTailedP(result.normalized_ratio, 1e9);
+  return result;
+}
+
+double DecadesSpanned(const std::vector<double>& values) {
+  double min_pos = 0.0, max_val = 0.0;
+  for (double v : values) {
+    if (v > 0.0) {
+      if (min_pos == 0.0 || v < min_pos) min_pos = v;
+      max_val = std::max(max_val, v);
+    }
+  }
+  if (min_pos == 0.0) return 0.0;
+  return std::log10(max_val / min_pos);
+}
+
+}  // namespace twimob::stats

@@ -1,0 +1,62 @@
+#ifndef TWIMOB_STATS_POWER_LAW_H_
+#define TWIMOB_STATS_POWER_LAW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace twimob::stats {
+
+/// Result of a power-law tail fit.
+struct PowerLawFit {
+  double alpha = 0.0;    ///< fitted exponent
+  double x_min = 0.0;    ///< tail threshold used in the fit
+  double ks_distance = 0.0;  ///< Kolmogorov–Smirnov distance of the fit
+  size_t n_tail = 0;     ///< observations at or above x_min
+};
+
+/// Maximum-likelihood exponent for a continuous power law on the tail
+/// x >= x_min:  alpha = 1 + n / Σ ln(x_i / x_min)   (Clauset, Shalizi,
+/// Newman 2009, eq. 3.1). Fails when fewer than 2 tail observations exist
+/// or x_min <= 0.
+Result<PowerLawFit> FitContinuousPowerLaw(const std::vector<double>& values,
+                                          double x_min);
+
+/// Discrete power-law MLE via maximisation of the zeta likelihood with
+/// golden-section search over alpha in (1, 6]; uses the Hurwitz zeta
+/// normalisation (CSN 2009, eq. 3.5). Fails when fewer than 2 tail
+/// observations exist or k_min < 1.
+Result<PowerLawFit> FitDiscretePowerLaw(const std::vector<uint64_t>& values,
+                                        uint64_t k_min);
+
+/// Kolmogorov–Smirnov distance between the tail sample (>= x_min) and the
+/// fitted continuous power-law CDF.
+double PowerLawKsDistance(const std::vector<double>& values, double alpha,
+                          double x_min);
+
+/// Number of decades (log10 span) covered by the positive values; the paper
+/// reports both Figure 2 distributions spanning at least 8 decades.
+double DecadesSpanned(const std::vector<double>& values);
+
+/// Result of a Vuong likelihood-ratio comparison of two tail models.
+struct LikelihoodRatioResult {
+  /// Normalised log-likelihood ratio (power law minus log-normal). Positive
+  /// favours the power law, negative the log-normal.
+  double normalized_ratio = 0.0;
+  /// Two-tailed p-value of the null "both fit equally well". Small p with
+  /// positive ratio = power law significantly better (CSN 2009 §5).
+  double p_value = 1.0;
+  size_t n_tail = 0;
+};
+
+/// Clauset-Shalizi-Newman style model comparison on the tail x >= x_min:
+/// fits a continuous power law and a log-normal (both by MLE on the tail,
+/// the log-normal on log-values), then runs Vuong's normalised LR test.
+/// Fails when fewer than 10 tail observations exist or x_min <= 0.
+Result<LikelihoodRatioResult> PowerLawVsLogNormal(const std::vector<double>& values,
+                                                  double x_min);
+
+}  // namespace twimob::stats
+
+#endif  // TWIMOB_STATS_POWER_LAW_H_

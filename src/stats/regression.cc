@@ -1,0 +1,112 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+namespace twimob::stats {
+
+Result<std::vector<double>> SolveLinearSystem(std::vector<std::vector<double>> a,
+                                              std::vector<double> b) {
+  const size_t n = a.size();
+  if (n == 0 || b.size() != n) {
+    return Status::InvalidArgument("SolveLinearSystem: dimension mismatch");
+  }
+  for (const auto& row : a) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("SolveLinearSystem: matrix not square");
+    }
+  }
+
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot: largest magnitude in this column at or below the diagonal.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      return Status::InvalidArgument("SolveLinearSystem: singular system");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] / a[col][col];
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (size_t c = i + 1; c < n; ++c) sum -= a[i][c] * x[c];
+    x[i] = sum / a[i][i];
+  }
+  return x;
+}
+
+Result<OlsFit> OlsSolve(const std::vector<std::vector<double>>& design,
+                        const std::vector<double>& y) {
+  const size_t n = design.size();
+  if (n == 0 || y.size() != n) {
+    return Status::InvalidArgument("OlsSolve: empty design or length mismatch");
+  }
+  const size_t p = design[0].size();
+  if (p == 0) return Status::InvalidArgument("OlsSolve: zero feature columns");
+  for (const auto& row : design) {
+    if (row.size() != p) return Status::InvalidArgument("OlsSolve: ragged design");
+  }
+  if (n < p) {
+    return Status::InvalidArgument("OlsSolve: fewer observations than features");
+  }
+
+  // Normal equations: XtX (p×p) and Xty (p).
+  std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0.0));
+  std::vector<double> xty(p, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t a = 0; a < p; ++a) {
+      xty[a] += design[i][a] * y[i];
+      for (size_t b = a; b < p; ++b) {
+        xtx[a][b] += design[i][a] * design[i][b];
+      }
+    }
+  }
+  for (size_t a = 0; a < p; ++a) {
+    for (size_t b = 0; b < a; ++b) xtx[a][b] = xtx[b][a];
+  }
+
+  auto solved = SolveLinearSystem(std::move(xtx), std::move(xty));
+  if (!solved.ok()) return solved.status();
+
+  OlsFit fit;
+  fit.beta = std::move(*solved);
+  fit.n = n;
+
+  double mean_y = 0.0;
+  for (double v : y) mean_y += v;
+  mean_y /= static_cast<double>(n);
+
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double pred = 0.0;
+    for (size_t a = 0; a < p; ++a) pred += design[i][a] * fit.beta[a];
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  fit.rmse = std::sqrt(ss_res / static_cast<double>(n));
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  return fit;
+}
+
+Result<OlsFit> SimpleLinearRegression(const std::vector<double>& x,
+                                      const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("SimpleLinearRegression: length mismatch");
+  }
+  std::vector<std::vector<double>> design;
+  design.reserve(x.size());
+  for (double xi : x) design.push_back({1.0, xi});
+  return OlsSolve(design, y);
+}
+
+}  // namespace twimob::stats

@@ -1,0 +1,43 @@
+#ifndef TWIMOB_STATS_REGRESSION_H_
+#define TWIMOB_STATS_REGRESSION_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace twimob::stats {
+
+/// Ordinary-least-squares fit of y ≈ X·beta.
+struct OlsFit {
+  std::vector<double> beta;  ///< coefficient per design column
+  double r_squared = 0.0;    ///< coefficient of determination
+  double rmse = 0.0;         ///< root mean squared residual
+  size_t n = 0;              ///< number of observations
+};
+
+/// Solves the normal equations (XᵀX)β = Xᵀy by Gaussian elimination with
+/// partial pivoting. `design` is row-major: design[i] is observation i's
+/// feature vector (include a 1.0 column yourself for an intercept).
+///
+/// The gravity-model fits run through this: log P = log C + α·log m +
+/// β·log n − γ·log d is an OLS problem with a 4-column design matrix.
+///
+/// Fails when rows are empty/ragged, n < #columns, or the system is
+/// singular (collinear features).
+Result<OlsFit> OlsSolve(const std::vector<std::vector<double>>& design,
+                        const std::vector<double>& y);
+
+/// Convenience simple linear regression y ≈ a + b·x; returns {a, b} in
+/// OlsFit::beta.
+Result<OlsFit> SimpleLinearRegression(const std::vector<double>& x,
+                                      const std::vector<double>& y);
+
+/// Solves the dense linear system A·x = b in-place (A is n×n row-major,
+/// modified). Gaussian elimination with partial pivoting; fails on
+/// (numerically) singular systems.
+Result<std::vector<double>> SolveLinearSystem(std::vector<std::vector<double>> a,
+                                              std::vector<double> b);
+
+}  // namespace twimob::stats
+
+#endif  // TWIMOB_STATS_REGRESSION_H_

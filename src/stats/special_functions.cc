@@ -1,0 +1,113 @@
+#include "stats/special_functions.h"
+
+#include <cmath>
+#include <limits>
+
+namespace twimob::stats {
+
+double LogGamma(double x) {
+  // Lanczos approximation, g = 7, n = 9 coefficients.
+  static const double kCoeffs[] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoeffs[0];
+  double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoeffs[i] / (x + i);
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+namespace {
+
+// Continued-fraction evaluation for the incomplete beta (NR betacf).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  constexpr double kFpMin = std::numeric_limits<double>::min() / kEps;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) <= kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double IncompleteBeta(double a, double b, double x) {
+  if (!(a > 0.0) || !(b > 0.0) || !(x >= 0.0) || !(x <= 1.0)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front =
+      LogGamma(a + b) - LogGamma(a) - LogGamma(b) + a * std::log(x) +
+      b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double dof) {
+  if (dof <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  if (std::isinf(t)) return t > 0 ? 1.0 : 0.0;
+  const double x = dof / (dof + t * t);
+  const double p = 0.5 * IncompleteBeta(0.5 * dof, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+double StudentTTwoTailedP(double t, double dof) {
+  if (dof <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  if (std::isinf(t)) return 0.0;
+  const double x = dof / (dof + t * t);
+  return IncompleteBeta(0.5 * dof, 0.5, x);
+}
+
+double HurwitzZeta(double s, double q) {
+  if (!(s > 1.0) || !(q > 0.0)) return std::numeric_limits<double>::quiet_NaN();
+  // Direct summation of the first N terms + Euler–Maclaurin tail.
+  constexpr int kDirectTerms = 32;
+  double sum = 0.0;
+  for (int k = 0; k < kDirectTerms; ++k) {
+    sum += std::pow(q + k, -s);
+  }
+  const double a = q + kDirectTerms;
+  // Tail: a^(1-s)/(s-1) + a^-s/2 + s*a^(-s-1)/12 - s(s+1)(s+2)a^(-s-3)/720.
+  sum += std::pow(a, 1.0 - s) / (s - 1.0);
+  sum += 0.5 * std::pow(a, -s);
+  sum += s * std::pow(a, -s - 1.0) / 12.0;
+  sum -= s * (s + 1.0) * (s + 2.0) * std::pow(a, -s - 3.0) / 720.0;
+  return sum;
+}
+
+}  // namespace twimob::stats

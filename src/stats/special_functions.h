@@ -1,0 +1,27 @@
+#ifndef TWIMOB_STATS_SPECIAL_FUNCTIONS_H_
+#define TWIMOB_STATS_SPECIAL_FUNCTIONS_H_
+
+namespace twimob::stats {
+
+/// Natural log of the gamma function (Lanczos approximation; |err| < 2e-10
+/// for x > 0).
+double LogGamma(double x);
+
+/// Regularised incomplete beta function I_x(a, b) for a,b > 0 and
+/// x in [0, 1], evaluated via the Lentz continued-fraction expansion
+/// (Numerical Recipes §6.4). Returns NaN on domain errors.
+double IncompleteBeta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `dof` degrees of freedom.
+double StudentTCdf(double t, double dof);
+
+/// Two-tailed p-value of a t statistic with `dof` degrees of freedom.
+double StudentTTwoTailedP(double t, double dof);
+
+/// Hurwitz zeta function ζ(s, q) = Σ_{k≥0} (k+q)^-s for s > 1, q > 0
+/// (Euler–Maclaurin). Used by the discrete power-law MLE normalisation.
+double HurwitzZeta(double s, double q);
+
+}  // namespace twimob::stats
+
+#endif  // TWIMOB_STATS_SPECIAL_FUNCTIONS_H_

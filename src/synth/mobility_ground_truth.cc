@@ -1,0 +1,59 @@
+#include "synth/mobility_ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesic.h"
+
+namespace twimob::synth {
+
+Result<GroundTruthMobility> GroundTruthMobility::Create(
+    const std::vector<Site>& sites, double gamma, double min_distance_m) {
+  if (sites.size() < 2) {
+    return Status::InvalidArgument("GroundTruthMobility requires >= 2 sites");
+  }
+  if (!std::isfinite(gamma) || gamma < 0.0) {
+    return Status::InvalidArgument("GroundTruthMobility gamma must be finite >= 0");
+  }
+  if (!(min_distance_m >= 0.0)) {
+    return Status::InvalidArgument("GroundTruthMobility min distance must be >= 0");
+  }
+
+  const size_t n = sites.size();
+  std::vector<std::vector<double>> weights(n, std::vector<double>(n, 0.0));
+  std::vector<random::AliasSampler> samplers;
+  samplers.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(n, 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      // Floor the distance at 500 m so co-located sites don't produce
+      // near-infinite weights.
+      const double d =
+          std::max(500.0, geo::HaversineMeters(sites[i].center, sites[j].center));
+      if (d < min_distance_m) continue;  // local hop, not an inter-city trip
+      row[j] = sites[j].population / std::pow(d, gamma);
+    }
+    weights[i] = row;
+    auto sampler = random::AliasSampler::Create(row);
+    if (!sampler.ok()) {
+      return Status::InvalidArgument(
+          "GroundTruthMobility: origin '" + sites[i].name +
+          "' has no destination beyond the minimum trip distance");
+    }
+    samplers.push_back(std::move(*sampler));
+  }
+  return GroundTruthMobility(gamma, std::move(samplers), std::move(weights));
+}
+
+size_t GroundTruthMobility::SampleDestination(size_t origin,
+                                              random::Xoshiro256& rng) const {
+  // The origin's own weight is zero, so the alias sampler cannot return it.
+  return samplers_[origin].Sample(rng);
+}
+
+double GroundTruthMobility::Weight(size_t i, size_t j) const {
+  return weights_[i][j];
+}
+
+}  // namespace twimob::synth

@@ -1,0 +1,227 @@
+#include "synth/tweet_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/geodesic.h"
+
+namespace twimob::synth {
+
+TweetGenerator::TweetGenerator(const CorpusConfig& config,
+                               PopulationLandscape landscape,
+                               GroundTruthMobility ground_truth, UserModel user_model,
+                               random::WaitingTimeMixture waiting)
+    : config_(config),
+      landscape_(std::make_unique<PopulationLandscape>(std::move(landscape))),
+      ground_truth_(std::make_unique<GroundTruthMobility>(std::move(ground_truth))),
+      user_model_(std::make_unique<UserModel>(std::move(user_model))),
+      waiting_(std::make_unique<random::WaitingTimeMixture>(std::move(waiting))) {}
+
+Result<TweetGenerator> TweetGenerator::Create(const CorpusConfig& config) {
+  if (config.num_users == 0) {
+    return Status::InvalidArgument("num_users must be positive");
+  }
+  if (config.window_end <= config.window_start) {
+    return Status::InvalidArgument("collection window must be non-empty");
+  }
+  for (double p : {config.p_move, config.p_secondary_remote,
+                   config.background_noise_frac}) {
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("probabilities must be in [0,1]");
+    }
+  }
+  if (config.move_gamma < 0.0 || !(config.home_attraction > 0.0)) {
+    return Status::InvalidArgument("invalid movement parameters");
+  }
+  if (config.gps_jitter_m < 0.0) {
+    return Status::InvalidArgument("gps_jitter_m must be >= 0");
+  }
+  if (!(config.local_spot_median_m > 0.0) || !(config.local_spot_sigma > 0.0)) {
+    return Status::InvalidArgument("invalid local-spot kernel parameters");
+  }
+
+  PenetrationParams penetration = config.penetration;
+  if (penetration.seed == PenetrationParams{}.seed) {
+    penetration.seed = config.seed * 0x9E3779B97F4A7C15ULL + 0x1234567ULL;
+  }
+  auto landscape = PopulationLandscape::Build(penetration);
+  if (!landscape.ok()) return landscape.status();
+  auto ground_truth = GroundTruthMobility::Create(
+      landscape->sites(), config.gravity_gamma, config.min_trip_distance_m);
+  if (!ground_truth.ok()) return ground_truth.status();
+  auto user_model = UserModel::Create(config.user_model);
+  if (!user_model.ok()) return user_model.status();
+  auto waiting = random::WaitingTimeMixture::Create(config.waiting);
+  if (!waiting.ok()) return waiting.status();
+
+  return TweetGenerator(config, std::move(*landscape), std::move(*ground_truth),
+                        std::move(*user_model), std::move(*waiting));
+}
+
+UserProfile TweetGenerator::GenerateUserProfile(uint64_t user_id,
+                                                random::Xoshiro256& rng) const {
+  UserProfile profile;
+  profile.user_id = user_id;
+  profile.num_tweets = user_model_->SampleTweetCount(rng);
+  profile.home_site = landscape_->SampleHomeSite(rng);
+
+  const size_t num_locations =
+      user_model_->SampleLocationCount(profile.num_tweets, rng);
+  profile.location_sites.reserve(num_locations);
+  profile.points.reserve(num_locations);
+
+  profile.location_sites.push_back(profile.home_site);
+  profile.points.push_back(landscape_->SamplePointNearSite(profile.home_site, rng));
+
+  for (size_t i = 1; i < num_locations; ++i) {
+    if (rng.NextBernoulli(config_.p_secondary_remote)) {
+      // Inter-city trip destination from the planted gravity process.
+      const size_t site = ground_truth_->SampleDestination(profile.home_site, rng);
+      profile.location_sites.push_back(site);
+      profile.points.push_back(landscape_->SamplePointNearSite(site, rng));
+    } else {
+      // Local spot: log-normal commuting distance from the home point in a
+      // uniform direction (work, school, shops).
+      geo::LatLon spot;
+      do {
+        const double dist = config_.local_spot_median_m *
+                            std::exp(config_.local_spot_sigma * rng.NextGaussian());
+        const double bearing = rng.NextUniform(0.0, 360.0);
+        spot = geo::DestinationPoint(profile.points[0], bearing, dist);
+      } while (!spot.IsValid());
+      profile.location_sites.push_back(profile.home_site);
+      profile.points.push_back(spot);
+    }
+  }
+  return profile;
+}
+
+size_t TweetGenerator::SampleNextLocation(const UserProfile& profile, size_t current,
+                                          random::Xoshiro256& rng) const {
+  // Categorical draw over the other locations with gravity-like weights:
+  // attraction(home) = home_attraction, distance decay d^-move_gamma with a
+  // 1 km floor. The cheap equirectangular distance is accurate enough at
+  // these ranges for sampling weights.
+  const size_t count = profile.points.size();
+  weight_scratch_.resize(count);
+  double total = 0.0;
+  const geo::LatLon& from = profile.points[current];
+  for (size_t l = 0; l < count; ++l) {
+    if (l == current) {
+      weight_scratch_[l] = 0.0;
+      continue;
+    }
+    const double d =
+        std::max(1000.0, geo::EquirectangularMeters(from, profile.points[l]));
+    double w = std::pow(d / 1000.0, -config_.move_gamma);
+    if (l == 0) w *= config_.home_attraction;
+    weight_scratch_[l] = w;
+    total += w;
+  }
+  if (total <= 0.0) return current;
+  double target = rng.NextDouble() * total;
+  for (size_t l = 0; l < count; ++l) {
+    target -= weight_scratch_[l];
+    if (target <= 0.0) return l;
+  }
+  return count - 1;
+}
+
+Result<tweetdb::TweetTable> TweetGenerator::Generate(GenerationReport* report) {
+  random::Xoshiro256 rng(config_.seed);
+  const geo::BoundingBox study_box = geo::AustraliaBoundingBox();
+  const double window =
+      static_cast<double>(config_.window_end - config_.window_start);
+
+  tweetdb::TweetTable table;
+  GenerationReport rep;
+  rep.alpha_used = user_model_->alpha();
+  rep.num_users = config_.num_users;
+
+  double total_locations = 0.0;
+  double waiting_sum_hours = 0.0;
+  size_t waiting_count = 0;
+
+  std::vector<double> waits;
+  for (uint64_t u = 0; u < config_.num_users; ++u) {
+    const uint64_t user_id = u + 1;  // ids are 1-based; 0 is reserved
+    UserProfile profile = GenerateUserProfile(user_id, rng);
+    total_locations += static_cast<double>(profile.points.size());
+
+    const size_t n = static_cast<size_t>(profile.num_tweets);
+    // Draw inter-tweet gaps, then rescale into the collection window when a
+    // heavy user's gaps overflow it (heavy tweeters have shorter gaps in
+    // reality; the rescale models that while preserving the gap shape).
+    waits.clear();
+    double total_span = 0.0;
+    for (size_t k = 0; k + 1 < n; ++k) {
+      const double w = waiting_->Sample(rng);
+      waits.push_back(w);
+      total_span += w;
+    }
+    const double max_span = 0.9 * window;
+    if (total_span > max_span) {
+      const double scale = max_span / total_span;
+      for (double& w : waits) w *= scale;
+      total_span = max_span;
+    }
+    for (double w : waits) {
+      waiting_sum_hours += w / kSecondsPerHour;
+      ++waiting_count;
+    }
+
+    double t = static_cast<double>(config_.window_start) +
+               rng.NextDouble() * (window - total_span);
+
+    // Markov walk over the user's location set; locations[0] is home.
+    size_t current = 0;
+    for (size_t k = 0; k < n; ++k) {
+      tweetdb::Tweet tweet;
+      tweet.user_id = user_id;
+      tweet.timestamp = static_cast<UnixSeconds>(t);
+
+      // Retry degenerate jitter draws near the coordinate envelope.
+      do {
+        if (config_.background_noise_frac > 0.0 &&
+            rng.NextBernoulli(config_.background_noise_frac)) {
+          tweet.pos.lat = rng.NextUniform(study_box.min_lat, study_box.max_lat);
+          tweet.pos.lon = rng.NextUniform(study_box.min_lon, study_box.max_lon);
+        } else {
+          const geo::LatLon& base = profile.points[current];
+          const double dx = rng.NextGaussian() * config_.gps_jitter_m;
+          const double dy = rng.NextGaussian() * config_.gps_jitter_m;
+          tweet.pos.lat = base.lat + dy / geo::MetersPerDegreeLat();
+          tweet.pos.lon = base.lon + dx / geo::MetersPerDegreeLon(base.lat);
+        }
+      } while (!tweet.pos.IsValid());
+      TWIMOB_RETURN_IF_ERROR(table.Append(tweet));
+
+      if (k + 1 < n) {
+        t += waits[k];
+        if (profile.points.size() > 1 && rng.NextBernoulli(config_.p_move)) {
+          current = SampleNextLocation(profile, current, rng);
+        }
+      }
+    }
+
+    // Tail statistics for Table I.
+    if (n > 50) ++rep.users_over_50;
+    if (n > 100) ++rep.users_over_100;
+    if (n > 500) ++rep.users_over_500;
+    if (n > 1000) ++rep.users_over_1000;
+  }
+
+  rep.num_tweets = table.num_rows();
+  rep.mean_tweets_per_user =
+      static_cast<double>(rep.num_tweets) / static_cast<double>(rep.num_users);
+  rep.mean_waiting_hours =
+      waiting_count > 0 ? waiting_sum_hours / static_cast<double>(waiting_count) : 0.0;
+  rep.mean_locations_per_user =
+      total_locations / static_cast<double>(config_.num_users);
+  if (report != nullptr) *report = rep;
+  return table;
+}
+
+}  // namespace twimob::synth

@@ -1,0 +1,119 @@
+#ifndef TWIMOB_SYNTH_TWEET_GENERATOR_H_
+#define TWIMOB_SYNTH_TWEET_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "common/time_util.h"
+#include "random/distributions.h"
+#include "synth/mobility_ground_truth.h"
+#include "synth/user_model.h"
+#include "tweetdb/table.h"
+
+namespace twimob::synth {
+
+/// Full configuration of the synthetic corpus. Defaults reproduce the
+/// paper's Table I at full scale (473,956 users, ≈6.3M tweets); tests and
+/// examples shrink num_users.
+struct CorpusConfig {
+  uint64_t seed = 20150413;       ///< deterministic master seed
+  size_t num_users = 473956;
+  UserModelParams user_model;     ///< tweets/user and locations/user priors
+  random::WaitingTimeMixture::Params waiting;  ///< inter-tweet gaps
+  /// Per-site Twitter adoption heterogeneity. Leaving the seed at its
+  /// default derives it deterministically from `seed`.
+  PenetrationParams penetration;
+  /// Exponent of the planted gravity process used to pick which sites a
+  /// user frequents.
+  double gravity_gamma = 1.3;
+  /// Site pairs closer than this are not inter-city trip destinations
+  /// (visits inside a metro region come from the local-movement step).
+  double min_trip_distance_m = 40000.0;
+  /// Distance-decay exponent of movement between a user's locations: a move
+  /// from the current location targets location l with weight
+  /// ∝ attraction(l) / max(d, 1 km)^move_gamma. This plants gravity-like
+  /// trip statistics at every geographic scale.
+  double move_gamma = 1.4;
+  /// Multiplicative attraction of the home location in movement choices.
+  double home_attraction = 5.0;
+  /// Probability of changing location between consecutive tweets.
+  double p_move = 0.35;
+  /// Probability that a secondary location is an inter-site gravity trip
+  /// destination (otherwise a local spot near the user's home point).
+  double p_secondary_remote = 0.55;
+  /// Local spots are displaced from home by a log-normal distance with this
+  /// median (metres) and log-space sigma — the commuting kernel that
+  /// produces intra-metropolitan trips between nearby suburbs.
+  double local_spot_median_m = 3000.0;
+  double local_spot_sigma = 1.0;
+  /// Per-tweet GPS noise, metres (1 sigma).
+  double gps_jitter_m = 120.0;
+  /// Fraction of tweets relocated to a uniform random point in the study
+  /// bbox (travellers / outback noise; gives Figure 1 its sparse speckle).
+  double background_noise_frac = 0.01;
+  UnixSeconds window_start = kCollectionStart;  ///< Sept 2013
+  UnixSeconds window_end = kCollectionEnd;      ///< Apr 2014 (exclusive)
+};
+
+/// Measured properties of a generated corpus, for Table I style reporting.
+struct GenerationReport {
+  size_t num_tweets = 0;
+  size_t num_users = 0;
+  double mean_tweets_per_user = 0.0;
+  double mean_waiting_hours = 0.0;
+  double mean_locations_per_user = 0.0;
+  double alpha_used = 0.0;  ///< calibrated tweets-per-user exponent
+  size_t users_over_50 = 0;   ///< users with more than 50 tweets
+  size_t users_over_100 = 0;
+  size_t users_over_500 = 0;
+  size_t users_over_1000 = 0;
+};
+
+/// Generates the synthetic geo-tagged tweet corpus described in DESIGN.md
+/// §2. Deterministic for a fixed config (including seed).
+class TweetGenerator {
+ public:
+  /// Validates the config, builds the landscape, calibrates the user model
+  /// and precomputes the planted mobility process.
+  static Result<TweetGenerator> Create(const CorpusConfig& config);
+
+  TweetGenerator(TweetGenerator&&) noexcept = default;
+  TweetGenerator& operator=(TweetGenerator&&) noexcept = default;
+
+  /// Generates the full corpus into a fresh table (rows in user-major
+  /// order; callers typically CompactByUserTime afterwards — generation
+  /// already emits each user's tweets time-sorted, but compaction
+  /// guarantees the invariant the trip extractor requires).
+  Result<tweetdb::TweetTable> Generate(GenerationReport* report = nullptr);
+
+  /// Generates only the profile of the next user (exposed for tests).
+  UserProfile GenerateUserProfile(uint64_t user_id, random::Xoshiro256& rng) const;
+
+  /// Draws the next location index of a moving user (exposed for tests).
+  size_t SampleNextLocation(const UserProfile& profile, size_t current,
+                            random::Xoshiro256& rng) const;
+
+  const PopulationLandscape& landscape() const { return *landscape_; }
+  const GroundTruthMobility& ground_truth() const { return *ground_truth_; }
+  const UserModel& user_model() const { return *user_model_; }
+  const CorpusConfig& config() const { return config_; }
+
+ private:
+  TweetGenerator(const CorpusConfig& config, PopulationLandscape landscape,
+                 GroundTruthMobility ground_truth, UserModel user_model,
+                 random::WaitingTimeMixture waiting);
+
+  CorpusConfig config_;
+  // unique_ptr keeps the generator cheaply movable.
+  std::unique_ptr<PopulationLandscape> landscape_;
+  std::unique_ptr<GroundTruthMobility> ground_truth_;
+  std::unique_ptr<UserModel> user_model_;
+  std::unique_ptr<random::WaitingTimeMixture> waiting_;
+  /// Scratch buffer reused by SampleNextLocation.
+  mutable std::vector<double> weight_scratch_;
+};
+
+}  // namespace twimob::synth
+
+#endif  // TWIMOB_SYNTH_TWEET_GENERATOR_H_

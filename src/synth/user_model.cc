@@ -1,0 +1,215 @@
+#include "synth/user_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesic.h"
+
+namespace twimob::synth {
+
+namespace {
+
+// Sites closer than this to an already-accepted site are considered the
+// same population centre and skipped during the merge.
+constexpr double kDedupDistanceMeters = 15000.0;
+
+// Spatial spreads by site class.
+constexpr double kSuburbSigmaM = 1200.0;
+constexpr double kSydneyRemainderSigmaM = 25000.0;
+constexpr double kRegionalCitySigmaM = 5000.0;
+
+bool NearAnyExisting(const std::vector<Site>& sites, const geo::LatLon& p,
+                     double threshold_m) {
+  for (const Site& s : sites) {
+    if (geo::HaversineMeters(s.center, p) < threshold_m) return true;
+  }
+  return false;
+}
+
+// Large cities sprawl: sigma grows sub-linearly with population.
+double MetroSigmaMeters(double population) {
+  return std::clamp(900.0 * std::pow(population / 1e5, 0.38), 2500.0, 20000.0);
+}
+
+}  // namespace
+
+Result<PopulationLandscape> PopulationLandscape::Build(
+    const PenetrationParams& penetration) {
+  if (penetration.sigma < 0.0) {
+    return Status::InvalidArgument("penetration sigma must be >= 0");
+  }
+  std::vector<Site> sites;
+
+  // 1. Sydney suburbs as tight leaf sites.
+  double suburbs_population = 0.0;
+  for (const census::Area& a : census::AreasForScale(census::Scale::kMetropolitan)) {
+    Site s;
+    s.center = a.center;
+    s.population = a.population;
+    s.sigma_m = kSuburbSigmaM;
+    s.name = a.name;
+    suburbs_population += a.population;
+    sites.push_back(std::move(s));
+  }
+
+  // 2. Sydney remainder: metro population outside the top-20 suburbs.
+  auto sydney = census::FindAreaByName(census::Scale::kNational, "Sydney");
+  if (!sydney.ok()) return sydney.status();
+  {
+    Site s;
+    s.center = sydney->center;
+    s.population = sydney->population - suburbs_population;
+    if (s.population < 0.0) {
+      return Status::Internal("suburb populations exceed the Sydney total");
+    }
+    s.sigma_m = kSydneyRemainderSigmaM;
+    s.name = "Sydney (remainder)";
+    sites.push_back(std::move(s));
+  }
+
+  // 3. NSW regional cities not already represented. Note the dedup test
+  // deliberately runs against suburb sites too: Sydney itself was handled
+  // above and must be skipped here.
+  for (const census::Area& a : census::AreasForScale(census::Scale::kState)) {
+    if (NearAnyExisting(sites, a.center, kDedupDistanceMeters)) continue;
+    Site s;
+    s.center = a.center;
+    s.population = a.population;
+    s.sigma_m = kRegionalCitySigmaM;
+    s.name = a.name;
+    sites.push_back(std::move(s));
+  }
+
+  // 4. National cities not already represented.
+  for (const census::Area& a : census::AreasForScale(census::Scale::kNational)) {
+    if (NearAnyExisting(sites, a.center, kDedupDistanceMeters)) continue;
+    Site s;
+    s.center = a.center;
+    s.population = a.population;
+    s.sigma_m = MetroSigmaMeters(a.population);
+    s.name = a.name;
+    sites.push_back(std::move(s));
+  }
+
+  // Home-sampling weights: population times a log-normal Twitter-adoption
+  // multiplier (sampling bias across centres; sigma 0 disables it).
+  random::Xoshiro256 adoption_rng(penetration.seed);
+  std::vector<double> weights;
+  weights.reserve(sites.size());
+  double total = 0.0;
+  for (const Site& s : sites) {
+    double w = s.population;
+    if (penetration.sigma > 0.0) {
+      w *= std::exp(penetration.sigma * adoption_rng.NextGaussian());
+    }
+    weights.push_back(w);
+    total += s.population;
+  }
+  auto sampler = random::AliasSampler::Create(weights);
+  if (!sampler.ok()) return sampler.status();
+  return PopulationLandscape(std::move(sites), std::move(*sampler), total);
+}
+
+size_t PopulationLandscape::SampleHomeSite(random::Xoshiro256& rng) const {
+  return home_sampler_.Sample(rng);
+}
+
+geo::LatLon PopulationLandscape::SamplePointNearSite(size_t site_index,
+                                                     random::Xoshiro256& rng) const {
+  const Site& site = sites_[site_index];
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double dx = rng.NextGaussian() * site.sigma_m;  // east, metres
+    const double dy = rng.NextGaussian() * site.sigma_m;  // north, metres
+    geo::LatLon p;
+    p.lat = site.center.lat + dy / geo::MetersPerDegreeLat();
+    p.lon = site.center.lon + dx / geo::MetersPerDegreeLon(site.center.lat);
+    if (p.IsValid()) return p;
+  }
+  return site.center;  // pathological site near a pole; never in practice
+}
+
+Result<double> CalibrateAlphaForMean(double target_mean, uint64_t k_min,
+                                     uint64_t k_max, double cutoff) {
+  if (!(target_mean > static_cast<double>(k_min))) {
+    return Status::InvalidArgument("target mean must exceed k_min");
+  }
+  if (k_max == 0 || k_max <= k_min) {
+    return Status::InvalidArgument("calibration requires a finite k_max > k_min");
+  }
+  auto mean_at = [k_min, k_max, cutoff](double alpha) -> Result<double> {
+    auto d = random::DiscretePowerLaw::Create(alpha, k_min, k_max, cutoff);
+    if (!d.ok()) return d.status();
+    return d->Mean();
+  };
+  // The truncated mean decreases monotonically in alpha.
+  double lo = 1.05, hi = 4.0;
+  auto mean_lo = mean_at(lo);
+  if (!mean_lo.ok()) return mean_lo.status();
+  auto mean_hi = mean_at(hi);
+  if (!mean_hi.ok()) return mean_hi.status();
+  if (target_mean > *mean_lo || target_mean < *mean_hi) {
+    return Status::OutOfRange(
+        "target mean is outside the achievable range for this truncation");
+  }
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    auto m = mean_at(mid);
+    if (!m.ok()) return m.status();
+    if (*m > target_mean) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+Result<UserModel> UserModel::Create(const UserModelParams& params) {
+  if (params.tail_cutoff < 0.0) {
+    return Status::InvalidArgument("tail_cutoff must be >= 0");
+  }
+  if (!(params.mean_locations >= 1.0)) {
+    return Status::InvalidArgument("mean_locations must be >= 1");
+  }
+  if (params.max_locations < 1) {
+    return Status::InvalidArgument("max_locations must be >= 1");
+  }
+  double alpha = params.alpha;
+  if (alpha == 0.0) {
+    auto calibrated = CalibrateAlphaForMean(params.mean_tweets_per_user, 1,
+                                            params.max_tweets_per_user,
+                                            params.tail_cutoff);
+    if (!calibrated.ok()) return calibrated.status();
+    alpha = *calibrated;
+  }
+  auto dist = random::DiscretePowerLaw::Create(alpha, 1, params.max_tweets_per_user,
+                                               params.tail_cutoff);
+  if (!dist.ok()) return dist.status();
+  UserModelParams resolved = params;
+  resolved.alpha = alpha;
+  return UserModel(resolved, *dist);
+}
+
+uint64_t UserModel::SampleTweetCount(random::Xoshiro256& rng) const {
+  return tweet_counts_.Sample(rng);
+}
+
+size_t UserModel::SampleLocationCount(uint64_t num_tweets,
+                                      random::Xoshiro256& rng) const {
+  // 1 + Geometric(p) has mean 1 + (1-p)/p; solve p for the target extra
+  // mean, which grows with tweet volume (see UserModelParams).
+  const double n_capped =
+      static_cast<double>(std::min<uint64_t>(num_tweets, 1ULL << 20));
+  const double extra_mean = (params_.mean_locations - 1.0) +
+                            params_.locations_growth * std::sqrt(n_capped);
+  size_t count = 1;
+  if (extra_mean > 0.0) {
+    const double p = 1.0 / (1.0 + extra_mean);
+    while (count < params_.max_locations && !rng.NextBernoulli(p)) ++count;
+  }
+  const size_t cap = static_cast<size_t>(
+      std::min<uint64_t>(num_tweets, params_.max_locations));
+  return std::max<size_t>(1, std::min(count, cap));
+}
+
+}  // namespace twimob::synth

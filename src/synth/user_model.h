@@ -1,0 +1,149 @@
+#ifndef TWIMOB_SYNTH_USER_MODEL_H_
+#define TWIMOB_SYNTH_USER_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "census/census_data.h"
+#include "common/result.h"
+#include "geo/latlon.h"
+#include "random/distributions.h"
+#include "random/rng.h"
+
+namespace twimob::synth {
+
+/// One population site of the synthetic landscape: a point mass of
+/// residents with a Gaussian spatial spread.
+struct Site {
+  geo::LatLon center;
+  double population = 0.0;
+  double sigma_m = 2000.0;  ///< spatial spread of residents, metres
+  std::string name;
+};
+
+/// Parameters shaping the Twitter-adoption heterogeneity of the landscape.
+struct PenetrationParams {
+  /// Log-normal sigma of the per-site Twitter adoption multiplier. 0 makes
+  /// adoption exactly proportional to census population; larger values
+  /// scatter the Figure 3 comparison the way real sampling bias does.
+  double sigma = 0.30;
+  /// Seed of the adoption draw (independent of the corpus tweet stream).
+  uint64_t seed = 0x5eed5eedULL;
+};
+
+/// The synthetic population landscape of Australia.
+///
+/// Built by merging the three census scales into one list of leaf sites so
+/// that every scale's radius aggregation sees realistic structure:
+///  * the 20 Sydney suburbs as tight sites (σ ≈ 1.2 km),
+///  * a "Sydney remainder" blob for the metro population outside the
+///    top-20 suburbs (σ ≈ 16 km),
+///  * NSW regional cities not already covered (σ ≈ 5 km),
+///  * national cities not already covered (σ scaled with population).
+/// Duplicate entries across scales (Sydney, Newcastle, Wollongong, Albury)
+/// are removed by coordinate proximity.
+class PopulationLandscape {
+ public:
+  /// Builds the default landscape from the embedded census data. The
+  /// home-sampling weights are site population times a per-site adoption
+  /// multiplier drawn per `penetration` (sigma 0 disables the noise).
+  static Result<PopulationLandscape> Build(
+      const PenetrationParams& penetration = PenetrationParams{});
+
+  const std::vector<Site>& sites() const { return sites_; }
+
+  /// Total population across all sites.
+  double total_population() const { return total_population_; }
+
+  /// Samples a home-site index ∝ site population.
+  size_t SampleHomeSite(random::Xoshiro256& rng) const;
+
+  /// Samples a resident point around site `site_index` (Gaussian in local
+  /// metric coordinates, re-drawn until the coordinate is valid).
+  geo::LatLon SamplePointNearSite(size_t site_index, random::Xoshiro256& rng) const;
+
+ private:
+  PopulationLandscape(std::vector<Site> sites, random::AliasSampler sampler,
+                      double total)
+      : sites_(std::move(sites)),
+        home_sampler_(std::move(sampler)),
+        total_population_(total) {}
+
+  std::vector<Site> sites_;
+  random::AliasSampler home_sampler_;
+  double total_population_;
+};
+
+/// Per-user synthetic profile: a home point plus a fixed set of frequented
+/// locations (the paper reports 4.76 distinct locations per user on
+/// average). locations[0] is always home.
+struct UserProfile {
+  uint64_t user_id = 0;
+  size_t home_site = 0;
+  uint64_t num_tweets = 0;
+  /// Site index of each frequented location (parallel to `points`).
+  std::vector<size_t> location_sites;
+  /// Concrete coordinates of each frequented location.
+  std::vector<geo::LatLon> points;
+};
+
+/// Configuration of the per-user statistical model, calibrated against the
+/// paper's Table I.
+struct UserModelParams {
+  /// Power-law exponent of the tweets-per-user distribution; 0 means
+  /// "calibrate automatically to hit mean_tweets_per_user".
+  double alpha = 0.0;
+  double mean_tweets_per_user = 13.3;
+  uint64_t max_tweets_per_user = 20000;
+  /// Exponential cutoff of the tweets-per-user tail (0 disables). The
+  /// paper's tail counts (23,462 / 10,031 / 766 / 180 users above 50 / 100
+  /// / 500 / 1000 tweets) steepen beyond ~500 tweets; a pure power law
+  /// cannot match all four, a ~400-tweet cutoff does.
+  double tail_cutoff = 400.0;
+  /// Base of the distinct-locations prior (the paper's Table I reports a
+  /// measured mean of 4.76 locations/user).
+  double mean_locations = 4.76;
+  /// Growth of the location prior with tweet volume: a user with n tweets
+  /// draws from a geometric with extra mean
+  /// (mean_locations - 1) + locations_growth * sqrt(n). Heavy tweeters
+  /// visit more places; this also compensates the cap at n for one-tweet
+  /// users so the measured corpus mean lands near the paper's.
+  double locations_growth = 2.3;
+  /// Maximum distinct locations for any user.
+  size_t max_locations = 512;
+};
+
+/// Samples per-user tweet counts and location-set sizes.
+class UserModel {
+ public:
+  /// Validates parameters and calibrates alpha when requested. Calibration
+  /// solves  E[K] = mean_tweets_per_user  for the truncated discrete power
+  /// law by bisection.
+  static Result<UserModel> Create(const UserModelParams& params);
+
+  /// Number of tweets for a fresh user (>= 1).
+  uint64_t SampleTweetCount(random::Xoshiro256& rng) const;
+
+  /// Number of distinct locations for a user with `num_tweets` tweets:
+  /// 1 + Geometric, capped by both num_tweets and max_locations.
+  size_t SampleLocationCount(uint64_t num_tweets, random::Xoshiro256& rng) const;
+
+  double alpha() const { return tweet_counts_.alpha(); }
+  const UserModelParams& params() const { return params_; }
+
+ private:
+  UserModel(const UserModelParams& params, random::DiscretePowerLaw tweet_counts)
+      : params_(params), tweet_counts_(tweet_counts) {}
+
+  UserModelParams params_;
+  random::DiscretePowerLaw tweet_counts_;
+};
+
+/// Solves for the discrete-power-law exponent whose truncated mean equals
+/// `target_mean` (bisection over alpha in (1.05, 4]). Exposed for tests.
+Result<double> CalibrateAlphaForMean(double target_mean, uint64_t k_min,
+                                     uint64_t k_max, double cutoff = 0.0);
+
+}  // namespace twimob::synth
+
+#endif  // TWIMOB_SYNTH_USER_MODEL_H_

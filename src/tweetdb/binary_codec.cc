@@ -1,0 +1,95 @@
+#include "tweetdb/binary_codec.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "tweetdb/encoding.h"
+
+namespace twimob::tweetdb {
+
+namespace {
+constexpr char kMagic[4] = {'T', 'W', 'D', 'B'};
+}  // namespace
+
+std::string EncodeTable(const TweetTable& table) {
+  std::string out;
+  out.append(kMagic, 4);
+  PutFixed32(&out, kBinaryFormatVersion);
+  PutFixed64(&out, table.num_blocks());
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    table.block(b).EncodeTo(&out);
+  }
+  return out;
+}
+
+Result<TweetTable> DecodeTable(std::string_view bytes) {
+  if (bytes.size() < 4 || std::string_view(bytes.data(), 4) !=
+                              std::string_view(kMagic, 4)) {
+    return Status::IOError("bad magic: not a twimob binary table");
+  }
+  bytes.remove_prefix(4);
+  uint32_t version;
+  if (!GetFixed32(&bytes, &version)) return Status::IOError("truncated header");
+  if (version != kBinaryFormatVersion) {
+    return Status::IOError("unsupported format version " + std::to_string(version));
+  }
+  uint64_t num_blocks;
+  if (!GetFixed64(&bytes, &num_blocks)) return Status::IOError("truncated header");
+
+  TweetTable table;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    auto block = Block::Decode(&bytes);
+    if (!block.ok()) return block.status();
+    table.AdoptSealedBlock(std::move(*block));
+  }
+  if (!bytes.empty()) {
+    return Status::IOError("trailing bytes after the last block");
+  }
+  return table;
+}
+
+Status WriteBinaryFile(TweetTable& table, const std::string& path) {
+  table.SealActive();
+  const std::string bytes = EncodeTable(table);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+TableDescription DescribeTable(const TweetTable& table) {
+  TableDescription d;
+  d.num_blocks = table.num_blocks();
+  std::string scratch;
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    scratch.clear();
+    table.block(b).EncodeTo(&scratch);
+    d.encoded_bytes += scratch.size();
+    d.num_rows += table.block(b).num_rows();
+  }
+  d.encoded_bytes += 16;  // magic + version + block count
+  d.raw_bytes = d.num_rows * 24;  // u64 user + i64 ts + 2x i32 coords
+  if (d.num_rows > 0) {
+    d.bytes_per_row =
+        static_cast<double>(d.encoded_bytes) / static_cast<double>(d.num_rows);
+  }
+  if (d.encoded_bytes > 0) {
+    d.compression_ratio =
+        static_cast<double>(d.raw_bytes) / static_cast<double>(d.encoded_bytes);
+  }
+  return d;
+}
+
+Result<TweetTable> ReadBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (!in && !in.eof()) return Status::IOError("read failed: " + path);
+  const std::string bytes = ss.str();
+  return DecodeTable(bytes);
+}
+
+}  // namespace twimob::tweetdb

@@ -1,0 +1,53 @@
+#ifndef TWIMOB_TWEETDB_BINARY_CODEC_H_
+#define TWIMOB_TWEETDB_BINARY_CODEC_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "tweetdb/table.h"
+
+namespace twimob::tweetdb {
+
+/// Binary table file format (little-endian):
+///   magic "TWDB" (4 bytes) | version fixed32 | block count fixed64 |
+///   blocks... (block.h encoding, self-delimiting)
+/// Version 2 blocks carry a per-column encoding tag: integer columns pick
+/// delta-varint or frame-of-reference bit packing, user codes pick varint
+/// or fixed-width bit packing — whichever is smaller for the block.
+/// Compact (~6–8 bytes/row on the synthetic corpus) and loss-free at the
+/// store's fixed-point coordinate resolution.
+
+inline constexpr uint32_t kBinaryFormatVersion = 2;
+
+/// Serialises the table into a byte string (active tail is NOT included;
+/// callers seal first — WriteBinaryFile does).
+std::string EncodeTable(const TweetTable& table);
+
+/// Decodes a table from bytes.
+Result<TweetTable> DecodeTable(std::string_view bytes);
+
+/// Seals and writes the table to `path`. The table is mutated only by the
+/// seal (no rows change).
+Status WriteBinaryFile(TweetTable& table, const std::string& path);
+
+/// Reads a table previously written by WriteBinaryFile.
+Result<TweetTable> ReadBinaryFile(const std::string& path);
+
+/// Storage accounting for one table (computed by encoding the sealed
+/// blocks — the numbers the file on disk would have).
+struct TableDescription {
+  size_t num_rows = 0;
+  size_t num_blocks = 0;
+  size_t encoded_bytes = 0;      ///< total file payload
+  size_t raw_bytes = 0;          ///< 24 bytes/row SoA equivalent
+  double bytes_per_row = 0.0;
+  double compression_ratio = 0.0;  ///< raw / encoded
+};
+
+/// Encodes the table's sealed blocks and reports size statistics (seal the
+/// active tail first to account for every row).
+TableDescription DescribeTable(const TweetTable& table);
+
+}  // namespace twimob::tweetdb
+
+#endif  // TWIMOB_TWEETDB_BINARY_CODEC_H_

@@ -1,0 +1,152 @@
+#include "tweetdb/block.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tweetdb/column.h"
+#include "tweetdb/encoding.h"
+
+namespace twimob::tweetdb {
+
+Status Block::Append(const Tweet& tweet, size_t capacity) {
+  if (user_ids_.size() >= capacity) {
+    return Status::FailedPrecondition("block is full");
+  }
+  user_ids_.push_back(tweet.user_id);
+  timestamps_.push_back(tweet.timestamp);
+  lat_fixed_.push_back(geo::DegreesToFixed(tweet.pos.lat));
+  lon_fixed_.push_back(geo::DegreesToFixed(tweet.pos.lon));
+  return Status::OK();
+}
+
+Tweet Block::GetRow(size_t i) const {
+  Tweet t;
+  t.user_id = user_ids_[i];
+  t.timestamp = timestamps_[i];
+  t.pos.lat = geo::FixedToDegrees(lat_fixed_[i]);
+  t.pos.lon = geo::FixedToDegrees(lon_fixed_[i]);
+  return t;
+}
+
+BlockStats Block::ComputeStats() const {
+  BlockStats s;
+  s.num_rows = num_rows();
+  if (empty()) return s;
+  s.min_user = s.max_user = user_ids_[0];
+  s.min_time = s.max_time = timestamps_[0];
+  s.bbox = geo::BoundingBox{geo::FixedToDegrees(lat_fixed_[0]),
+                            geo::FixedToDegrees(lon_fixed_[0]),
+                            geo::FixedToDegrees(lat_fixed_[0]),
+                            geo::FixedToDegrees(lon_fixed_[0])};
+  for (size_t i = 1; i < num_rows(); ++i) {
+    s.min_user = std::min(s.min_user, user_ids_[i]);
+    s.max_user = std::max(s.max_user, user_ids_[i]);
+    s.min_time = std::min(s.min_time, timestamps_[i]);
+    s.max_time = std::max(s.max_time, timestamps_[i]);
+    s.bbox.ExtendToInclude(geo::LatLon{geo::FixedToDegrees(lat_fixed_[i]),
+                                       geo::FixedToDegrees(lon_fixed_[i])});
+  }
+  return s;
+}
+
+void Block::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, num_rows());
+
+  UserDictEncoder users;
+  for (uint64_t u : user_ids_) users.Append(u);
+  std::string user_bytes;
+  users.EncodeTo(&user_bytes);
+
+  std::string ts_bytes;
+  EncodeInt64ColumnAuto(&ts_bytes, timestamps_);
+
+  // Coordinates go through the auto codec as int64 (FOR usually wins:
+  // a block's coordinates cluster within a few degrees).
+  std::string lat_bytes, lon_bytes;
+  {
+    std::vector<int64_t> wide(lat_fixed_.begin(), lat_fixed_.end());
+    EncodeInt64ColumnAuto(&lat_bytes, wide);
+    wide.assign(lon_fixed_.begin(), lon_fixed_.end());
+    EncodeInt64ColumnAuto(&lon_bytes, wide);
+  }
+
+  // Column sizes up front so a reader could skip columns it doesn't need.
+  PutVarint64(dst, user_bytes.size());
+  PutVarint64(dst, ts_bytes.size());
+  PutVarint64(dst, lat_bytes.size());
+  PutVarint64(dst, lon_bytes.size());
+  dst->append(user_bytes);
+  dst->append(ts_bytes);
+  dst->append(lat_bytes);
+  dst->append(lon_bytes);
+}
+
+Result<Block> Block::Decode(std::string_view* src) {
+  uint64_t n;
+  if (!GetVarint64(src, &n)) return Status::IOError("truncated block header");
+  uint64_t sizes[4];
+  for (uint64_t& s : sizes) {
+    if (!GetVarint64(src, &s)) return Status::IOError("truncated block column sizes");
+  }
+  const uint64_t total = sizes[0] + sizes[1] + sizes[2] + sizes[3];
+  if (src->size() < total) return Status::IOError("truncated block body");
+
+  Block block;
+  {
+    std::string_view col = src->substr(0, sizes[0]);
+    auto users = DecodeUserDictColumn(&col, n);
+    if (!users.ok()) return users.status();
+    block.user_ids_ = std::move(*users);
+    src->remove_prefix(sizes[0]);
+  }
+  {
+    std::string_view col = src->substr(0, sizes[1]);
+    auto ts = DecodeInt64ColumnAuto(&col, n);
+    if (!ts.ok()) return ts.status();
+    block.timestamps_ = std::move(*ts);
+    src->remove_prefix(sizes[1]);
+  }
+  auto decode_coords = [n](std::string_view col,
+                           std::vector<int32_t>* out) -> Status {
+    auto wide = DecodeInt64ColumnAuto(&col, n);
+    if (!wide.ok()) return wide.status();
+    out->reserve(n);
+    for (int64_t v : *wide) {
+      if (v < INT32_MIN || v > INT32_MAX) {
+        return Status::IOError("coordinate column value out of int32 range");
+      }
+      out->push_back(static_cast<int32_t>(v));
+    }
+    return Status::OK();
+  };
+  {
+    TWIMOB_RETURN_IF_ERROR(
+        decode_coords(src->substr(0, sizes[2]), &block.lat_fixed_));
+    src->remove_prefix(sizes[2]);
+  }
+  {
+    TWIMOB_RETURN_IF_ERROR(
+        decode_coords(src->substr(0, sizes[3]), &block.lon_fixed_));
+    src->remove_prefix(sizes[3]);
+  }
+  return block;
+}
+
+void Block::SortByUserTime() {
+  std::vector<size_t> order(num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    if (user_ids_[a] != user_ids_[b]) return user_ids_[a] < user_ids_[b];
+    return timestamps_[a] < timestamps_[b];
+  });
+  auto permute = [&order](auto& v) {
+    auto copy = v;
+    for (size_t i = 0; i < order.size(); ++i) v[i] = copy[order[i]];
+  };
+  permute(user_ids_);
+  permute(timestamps_);
+  permute(lat_fixed_);
+  permute(lon_fixed_);
+}
+
+}  // namespace twimob::tweetdb

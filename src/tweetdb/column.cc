@@ -1,0 +1,149 @@
+#include "tweetdb/column.h"
+
+#include "tweetdb/encoding.h"
+
+namespace twimob::tweetdb {
+
+void UserDictEncoder::Append(uint64_t user_id) {
+  auto [it, inserted] =
+      dict_.try_emplace(user_id, static_cast<uint32_t>(dict_values_.size()));
+  if (inserted) dict_values_.push_back(user_id);
+  codes_.push_back(it->second);
+}
+
+void UserDictEncoder::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, dict_values_.size());
+  for (uint64_t v : dict_values_) PutVarint64(dst, v);
+  // Codes: bit-pack when a fixed width beats per-code varints (it usually
+  // does once the dictionary exceeds 127 entries).
+  const int bit_width =
+      dict_values_.empty() ? 0 : BitsNeeded(dict_values_.size() - 1);
+  std::string varint_codes;
+  for (uint32_t c : codes_) PutVarint64(&varint_codes, c);
+  const size_t packed_size = bit_width == 0
+                                 ? 0
+                                 : (codes_.size() * static_cast<size_t>(bit_width) +
+                                    63) /
+                                       64 * 8;
+  if (bit_width > 0 && packed_size < varint_codes.size()) {
+    dst->push_back(static_cast<char>(1));  // bit-packed codes
+    std::vector<uint64_t> wide(codes_.begin(), codes_.end());
+    PutBitPacked(dst, wide, bit_width);
+  } else {
+    dst->push_back(static_cast<char>(0));  // varint codes
+    dst->append(varint_codes);
+  }
+}
+
+void UserDictEncoder::Clear() {
+  dict_.clear();
+  dict_values_.clear();
+  codes_.clear();
+}
+
+Result<std::vector<uint64_t>> DecodeUserDictColumn(std::string_view* src, size_t n) {
+  uint64_t dict_size;
+  if (!GetVarint64(src, &dict_size)) {
+    return Status::IOError("truncated user dictionary header");
+  }
+  if (dict_size > n && n > 0) {
+    return Status::IOError("user dictionary larger than row count");
+  }
+  std::vector<uint64_t> dict(dict_size);
+  for (uint64_t& v : dict) {
+    if (!GetVarint64(src, &v)) return Status::IOError("truncated user dictionary");
+  }
+  if (src->empty()) return Status::IOError("missing user-code encoding tag");
+  const uint8_t tag = static_cast<uint8_t>(src->front());
+  src->remove_prefix(1);
+
+  std::vector<uint64_t> out;
+  out.reserve(n);
+  if (tag == 1) {
+    if (dict_size == 0) return Status::IOError("bit-packed codes without dictionary");
+    const int bit_width = BitsNeeded(dict_size - 1);
+    auto codes = GetBitPacked(src, n, bit_width);
+    if (!codes.ok()) return codes.status();
+    for (uint64_t code : *codes) {
+      if (code >= dict_size) {
+        return Status::IOError("user code out of dictionary range");
+      }
+      out.push_back(dict[code]);
+    }
+    return out;
+  }
+  if (tag != 0) {
+    return Status::IOError("unknown user-code encoding tag " + std::to_string(tag));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t code;
+    if (!GetVarint64(src, &code)) return Status::IOError("truncated user codes");
+    if (code >= dict_size) return Status::IOError("user code out of dictionary range");
+    out.push_back(dict[code]);
+  }
+  return out;
+}
+
+void EncodeTimestampColumn(std::string* dst, const std::vector<int64_t>& ts) {
+  PutDeltaVarint64(dst, ts);
+}
+
+Result<std::vector<int64_t>> DecodeTimestampColumn(std::string_view* src, size_t n) {
+  return GetDeltaVarint64(src, n);
+}
+
+void EncodeCoordColumn(std::string* dst, const std::vector<int32_t>& coords) {
+  int32_t prev = 0;
+  for (int32_t c : coords) {
+    PutSignedVarint64(dst, static_cast<int64_t>(c) - prev);
+    prev = c;
+  }
+}
+
+Result<std::vector<int32_t>> DecodeCoordColumn(std::string_view* src, size_t n) {
+  std::vector<int32_t> out;
+  out.reserve(n);
+  int64_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int64_t delta;
+    if (!GetSignedVarint64(src, &delta)) {
+      return Status::IOError("truncated coordinate column");
+    }
+    prev += delta;
+    if (prev < INT32_MIN || prev > INT32_MAX) {
+      return Status::IOError("coordinate delta stream out of int32 range");
+    }
+    out.push_back(static_cast<int32_t>(prev));
+  }
+  return out;
+}
+
+void EncodeInt64ColumnAuto(std::string* dst, const std::vector<int64_t>& values) {
+  std::string delta;
+  PutDeltaVarint64(&delta, values);
+  std::string forenc;
+  PutFrameOfReference(&forenc, values);
+  if (delta.size() <= forenc.size()) {
+    dst->push_back(static_cast<char>(IntEncoding::kDeltaVarint));
+    dst->append(delta);
+  } else {
+    dst->push_back(static_cast<char>(IntEncoding::kFrameOfReference));
+    dst->append(forenc);
+  }
+}
+
+Result<std::vector<int64_t>> DecodeInt64ColumnAuto(std::string_view* src,
+                                                   size_t n) {
+  if (src->empty()) return Status::IOError("missing column encoding tag");
+  const uint8_t tag = static_cast<uint8_t>(src->front());
+  src->remove_prefix(1);
+  switch (static_cast<IntEncoding>(tag)) {
+    case IntEncoding::kDeltaVarint:
+      return GetDeltaVarint64(src, n);
+    case IntEncoding::kFrameOfReference:
+      return GetFrameOfReference(src, n);
+  }
+  return Status::IOError("unknown column encoding tag " + std::to_string(tag));
+}
+
+}  // namespace twimob::tweetdb

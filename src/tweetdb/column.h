@@ -1,0 +1,71 @@
+#ifndef TWIMOB_TWEETDB_COLUMN_H_
+#define TWIMOB_TWEETDB_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace twimob::tweetdb {
+
+/// Column codecs used inside a block. Each codec serialises one column of
+/// `n` rows; the row count is stored by the block header, not the column.
+
+/// Dictionary codec for user ids: distinct uint64 values are assigned dense
+/// uint32 codes in first-appearance order. The paper's corpus averages 13.3
+/// tweets per user, so the dictionary is ~13x smaller than the raw column
+/// and codes encode in 1–3 varint bytes.
+class UserDictEncoder {
+ public:
+  /// Appends a value, assigning a new code when unseen.
+  void Append(uint64_t user_id);
+
+  size_t num_rows() const { return codes_.size(); }
+  size_t dict_size() const { return dict_values_.size(); }
+
+  /// Serialises: varint dict size, dict entries (varint), then one varint
+  /// code per row.
+  void EncodeTo(std::string* dst) const;
+
+  void Clear();
+
+ private:
+  std::unordered_map<uint64_t, uint32_t> dict_;
+  std::vector<uint64_t> dict_values_;
+  std::vector<uint32_t> codes_;
+};
+
+/// Decodes a user-dictionary column of `n` rows back into raw user ids.
+Result<std::vector<uint64_t>> DecodeUserDictColumn(std::string_view* src, size_t n);
+
+/// Timestamp codec: delta + zigzag + varint (see encoding.h). Compacted
+/// blocks are sorted by (user, time), so intra-user runs delta-encode
+/// tightly.
+void EncodeTimestampColumn(std::string* dst, const std::vector<int64_t>& ts);
+Result<std::vector<int64_t>> DecodeTimestampColumn(std::string_view* src, size_t n);
+
+/// Fixed-point coordinate codec: int32 micro-degrees, delta-zigzag-varint.
+void EncodeCoordColumn(std::string* dst, const std::vector<int32_t>& coords);
+Result<std::vector<int32_t>> DecodeCoordColumn(std::string_view* src, size_t n);
+
+/// Encoding ids of the auto-selecting integer codec (the v2 block format).
+enum class IntEncoding : uint8_t {
+  kDeltaVarint = 0,       ///< delta + zigzag + varint
+  kFrameOfReference = 1,  ///< min + bit-packed offsets
+};
+
+/// Encodes an int64 column with whichever of delta-varint and
+/// frame-of-reference is smaller for this data, prefixed by a one-byte
+/// IntEncoding tag. Sorted timestamp runs favour delta-varint; clustered
+/// coordinates favour FOR.
+void EncodeInt64ColumnAuto(std::string* dst, const std::vector<int64_t>& values);
+
+/// Decodes a column written by EncodeInt64ColumnAuto.
+Result<std::vector<int64_t>> DecodeInt64ColumnAuto(std::string_view* src, size_t n);
+
+}  // namespace twimob::tweetdb
+
+#endif  // TWIMOB_TWEETDB_COLUMN_H_

@@ -1,0 +1,85 @@
+#include "tweetdb/csv_codec.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace twimob::tweetdb {
+
+namespace {
+constexpr char kHeader[] = "user_id,timestamp,lat,lon";
+}  // namespace
+
+std::string FormatCsvLine(const Tweet& tweet) {
+  return StrFormat("%llu,%lld,%.6f,%.6f",
+                   static_cast<unsigned long long>(tweet.user_id),
+                   static_cast<long long>(tweet.timestamp), tweet.pos.lat,
+                   tweet.pos.lon);
+}
+
+Result<Tweet> ParseCsvLine(std::string_view line) {
+  const auto fields = Split(line, ',');
+  if (fields.size() != 4) {
+    return Status::InvalidArgument("expected 4 CSV fields, got " +
+                                   std::to_string(fields.size()));
+  }
+  auto user = ParseInt64(fields[0]);
+  if (!user.ok()) return user.status();
+  if (*user < 0) return Status::InvalidArgument("negative user id");
+  auto ts = ParseInt64(fields[1]);
+  if (!ts.ok()) return ts.status();
+  auto lat = ParseDouble(fields[2]);
+  if (!lat.ok()) return lat.status();
+  auto lon = ParseDouble(fields[3]);
+  if (!lon.ok()) return lon.status();
+
+  Tweet t;
+  t.user_id = static_cast<uint64_t>(*user);
+  t.timestamp = *ts;
+  t.pos = geo::LatLon{*lat, *lon};
+  if (!t.IsValid()) {
+    return Status::InvalidArgument("invalid tweet fields: " + std::string(line));
+  }
+  return t;
+}
+
+Status WriteCsv(const TweetTable& table, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << kHeader << '\n';
+  table.ForEachRow([&out](const Tweet& t) { out << FormatCsvLine(t) << '\n'; });
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<TweetTable> ReadCsv(const std::string& path, bool skip_bad_lines,
+                           size_t* num_skipped) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+
+  TweetTable table;
+  std::string line;
+  size_t line_no = 0;
+  size_t skipped = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (line_no == 1 && trimmed == kHeader) continue;
+    auto tweet = ParseCsvLine(trimmed);
+    if (!tweet.ok()) {
+      if (skip_bad_lines) {
+        ++skipped;
+        continue;
+      }
+      return Status::InvalidArgument(StrFormat("%s:%zu: %s", path.c_str(), line_no,
+                                               tweet.status().message().c_str()));
+    }
+    TWIMOB_RETURN_IF_ERROR(table.Append(*tweet));
+  }
+  if (num_skipped != nullptr) *num_skipped = skipped;
+  return table;
+}
+
+}  // namespace twimob::tweetdb

@@ -1,0 +1,32 @@
+#ifndef TWIMOB_TWEETDB_CSV_CODEC_H_
+#define TWIMOB_TWEETDB_CSV_CODEC_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "tweetdb/table.h"
+
+namespace twimob::tweetdb {
+
+/// CSV interchange format: header "user_id,timestamp,lat,lon", one tweet per
+/// line, coordinates with 6 decimal places. This is the ingestion format a
+/// downstream user would produce from their own Twitter collection.
+
+/// Writes all rows of `table` to `path`. Overwrites existing files.
+Status WriteCsv(const TweetTable& table, const std::string& path);
+
+/// Reads a CSV file into a fresh table. Malformed lines abort the load with
+/// the offending line number unless `skip_bad_lines` is set, in which case
+/// they are counted into `*num_skipped` (may be null).
+Result<TweetTable> ReadCsv(const std::string& path, bool skip_bad_lines = false,
+                           size_t* num_skipped = nullptr);
+
+/// Parses one CSV data line.
+Result<Tweet> ParseCsvLine(std::string_view line);
+
+/// Formats one tweet as a CSV data line (no trailing newline).
+std::string FormatCsvLine(const Tweet& tweet);
+
+}  // namespace twimob::tweetdb
+
+#endif  // TWIMOB_TWEETDB_CSV_CODEC_H_

@@ -1,0 +1,68 @@
+#ifndef TWIMOB_TWEETDB_ENCODING_H_
+#define TWIMOB_TWEETDB_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace twimob::tweetdb {
+
+/// Low-level byte encodings used by the columnar block format. All "Put"
+/// functions append to `dst`; all "Get" functions consume from the front of
+/// `*src` and return false on truncated input.
+
+/// LEB128 variable-length unsigned integer (1–10 bytes).
+void PutVarint64(std::string* dst, uint64_t value);
+bool GetVarint64(std::string_view* src, uint64_t* value);
+
+/// ZigZag mapping of signed to unsigned so small-magnitude deltas encode
+/// short.
+uint64_t ZigZagEncode(int64_t value);
+int64_t ZigZagDecode(uint64_t value);
+
+/// Signed varint = zigzag + varint.
+void PutSignedVarint64(std::string* dst, int64_t value);
+bool GetSignedVarint64(std::string_view* src, int64_t* value);
+
+/// Little-endian fixed-width integers.
+void PutFixed32(std::string* dst, uint32_t value);
+bool GetFixed32(std::string_view* src, uint32_t* value);
+void PutFixed64(std::string* dst, uint64_t value);
+bool GetFixed64(std::string_view* src, uint64_t* value);
+
+/// Delta-encodes `values` (first value absolute, then consecutive
+/// differences) as signed varints. Sorted or slowly-varying sequences —
+/// timestamps in a compacted block — compress to ~1–2 bytes per entry.
+void PutDeltaVarint64(std::string* dst, const std::vector<int64_t>& values);
+
+/// Decodes `count` delta-varint values.
+Result<std::vector<int64_t>> GetDeltaVarint64(std::string_view* src, size_t count);
+
+/// Smallest bit width able to represent `max_value` (0 -> width 0; callers
+/// handle the all-zero column as a special case).
+int BitsNeeded(uint64_t max_value);
+
+/// Packs `values` at `bit_width` bits each, LSB-first within a little-endian
+/// 64-bit word stream. Every value must fit in `bit_width` bits
+/// (DCHECK-enforced). bit_width in [1, 64].
+void PutBitPacked(std::string* dst, const std::vector<uint64_t>& values,
+                  int bit_width);
+
+/// Unpacks `count` values at `bit_width` bits each.
+Result<std::vector<uint64_t>> GetBitPacked(std::string_view* src, size_t count,
+                                           int bit_width);
+
+/// Frame-of-reference codec for integer columns: stores min, bit width, and
+/// the bit-packed offsets (value − min). Constant columns cost 11 bytes
+/// total. The v2 block format picks FOR or delta-varint per column,
+/// whichever is smaller.
+void PutFrameOfReference(std::string* dst, const std::vector<int64_t>& values);
+Result<std::vector<int64_t>> GetFrameOfReference(std::string_view* src,
+                                                 size_t count);
+
+}  // namespace twimob::tweetdb
+
+#endif  // TWIMOB_TWEETDB_ENCODING_H_

@@ -1,0 +1,58 @@
+#include "tweetdb/query.h"
+
+namespace twimob::tweetdb {
+
+bool ScanSpec::Matches(const Tweet& t) const {
+  if (user_id.has_value() && t.user_id != *user_id) return false;
+  if (min_time.has_value() && t.timestamp < *min_time) return false;
+  if (max_time.has_value() && t.timestamp >= *max_time) return false;
+  if (bbox.has_value() && !bbox->Contains(t.pos)) return false;
+  return true;
+}
+
+bool ScanSpec::MayMatchBlock(const BlockStats& stats) const {
+  if (stats.num_rows == 0) return false;
+  if (user_id.has_value() &&
+      (*user_id < stats.min_user || *user_id > stats.max_user)) {
+    return false;
+  }
+  if (min_time.has_value() && stats.max_time < *min_time) return false;
+  if (max_time.has_value() && stats.min_time >= *max_time) return false;
+  if (bbox.has_value() && !bbox->Intersects(stats.bbox)) return false;
+  return true;
+}
+
+ScanStatistics CountMatching(const TweetTable& table, const ScanSpec& spec,
+                             size_t* count) {
+  size_t n = 0;
+  ScanStatistics stats = ScanTable(table, spec, [&n](const Tweet&) { ++n; });
+  *count = n;
+  return stats;
+}
+
+ScanStatistics CollectMatching(const TweetTable& table, const ScanSpec& spec,
+                               std::vector<Tweet>* out) {
+  return ScanTable(table, spec, [out](const Tweet& t) { out->push_back(t); });
+}
+
+TweetTable FilterTable(const TweetTable& table, const ScanSpec& spec) {
+  TweetTable out(table.block_capacity());
+  ScanTable(table, spec, [&out](const Tweet& t) { (void)out.Append(t); });
+  out.SealActive();
+  if (table.sorted_by_user_time()) out.MarkSortedByUserTime();
+  return out;
+}
+
+ScanStatistics ParallelCountMatching(const TweetTable& table, const ScanSpec& spec,
+                                     ThreadPool& pool, size_t* count) {
+  std::vector<size_t> per_block(table.num_blocks(), 0);
+  ScanStatistics stats = ParallelScanTable(
+      table, spec, pool,
+      [&per_block](size_t block, const Tweet&) { ++per_block[block]; });
+  size_t total = 0;
+  for (size_t c : per_block) total += c;
+  *count = total;
+  return stats;
+}
+
+}  // namespace twimob::tweetdb

@@ -1,0 +1,120 @@
+#ifndef TWIMOB_TWEETDB_QUERY_H_
+#define TWIMOB_TWEETDB_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/thread_pool.h"
+#include "geo/bbox.h"
+#include "tweetdb/table.h"
+
+namespace twimob::tweetdb {
+
+/// A conjunctive scan predicate. Unset members match everything.
+struct ScanSpec {
+  std::optional<geo::BoundingBox> bbox;      ///< row coordinate inside box
+  std::optional<int64_t> min_time;           ///< timestamp >= min_time
+  std::optional<int64_t> max_time;           ///< timestamp <  max_time
+  std::optional<uint64_t> user_id;           ///< exact user match
+
+  /// True iff the row satisfies every set member.
+  bool Matches(const Tweet& t) const;
+
+  /// True iff a block with these zone-map stats can contain a match;
+  /// false lets the scanner skip the block without decoding rows.
+  bool MayMatchBlock(const BlockStats& stats) const;
+};
+
+/// Counters the scanner fills in — exposed so the zone-map ablation bench
+/// (A4 in DESIGN.md) can report pruning effectiveness.
+struct ScanStatistics {
+  size_t blocks_total = 0;
+  size_t blocks_pruned = 0;
+  size_t rows_scanned = 0;
+  size_t rows_matched = 0;
+};
+
+/// Scans `table` (sealed blocks and the active tail must be sealed first —
+/// call table.SealActive()), invoking `fn(const Tweet&)` on every match.
+/// Returns pruning statistics.
+template <typename Fn>
+ScanStatistics ScanTable(const TweetTable& table, const ScanSpec& spec, Fn&& fn) {
+  ScanStatistics stats;
+  stats.blocks_total = table.num_blocks();
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    if (!spec.MayMatchBlock(table.block_stats(b))) {
+      ++stats.blocks_pruned;
+      continue;
+    }
+    const Block& block = table.block(b);
+    const size_t n = block.num_rows();
+    for (size_t i = 0; i < n; ++i) {
+      ++stats.rows_scanned;
+      Tweet t = block.GetRow(i);
+      if (spec.Matches(t)) {
+        ++stats.rows_matched;
+        fn(t);
+      }
+    }
+  }
+  return stats;
+}
+
+/// Counts matching rows.
+ScanStatistics CountMatching(const TweetTable& table, const ScanSpec& spec,
+                             size_t* count);
+
+/// Materialises matching rows.
+ScanStatistics CollectMatching(const TweetTable& table, const ScanSpec& spec,
+                               std::vector<Tweet>* out);
+
+/// Data-parallel scan: blocks are distributed over `pool`; `fn` is invoked
+/// as fn(block_index, const Tweet&) for every match and MUST be safe to
+/// call concurrently from different blocks (e.g. write into per-block
+/// slots). Zone-map pruning applies per block. Returns merged statistics.
+template <typename Fn>
+ScanStatistics ParallelScanTable(const TweetTable& table, const ScanSpec& spec,
+                                 ThreadPool& pool, Fn&& fn) {
+  const size_t num_blocks = table.num_blocks();
+  std::vector<ScanStatistics> per_block(num_blocks);
+  pool.ParallelFor(num_blocks, [&table, &spec, &per_block, &fn](size_t b) {
+    ScanStatistics& stats = per_block[b];
+    if (!spec.MayMatchBlock(table.block_stats(b))) {
+      ++stats.blocks_pruned;
+      return;
+    }
+    const Block& block = table.block(b);
+    const size_t n = block.num_rows();
+    for (size_t i = 0; i < n; ++i) {
+      ++stats.rows_scanned;
+      Tweet t = block.GetRow(i);
+      if (spec.Matches(t)) {
+        ++stats.rows_matched;
+        fn(b, t);
+      }
+    }
+  });
+  ScanStatistics total;
+  total.blocks_total = num_blocks;
+  for (const ScanStatistics& s : per_block) {
+    total.blocks_pruned += s.blocks_pruned;
+    total.rows_scanned += s.rows_scanned;
+    total.rows_matched += s.rows_matched;
+  }
+  return total;
+}
+
+/// Parallel count of matching rows.
+ScanStatistics ParallelCountMatching(const TweetTable& table, const ScanSpec& spec,
+                                     ThreadPool& pool, size_t* count);
+
+/// Materialises the rows matching `spec` into a fresh table, preserving
+/// scan order. When the source is compacted by (user, time) the result is
+/// too (the scan visits rows in storage order), so downstream trip
+/// extraction works without re-sorting. Used by the temporal analyses to
+/// slice the collection window.
+TweetTable FilterTable(const TweetTable& table, const ScanSpec& spec);
+
+}  // namespace twimob::tweetdb
+
+#endif  // TWIMOB_TWEETDB_QUERY_H_

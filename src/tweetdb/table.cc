@@ -1,0 +1,145 @@
+#include "tweetdb/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace twimob::tweetdb {
+
+TweetTable::TweetTable(size_t block_capacity)
+    : block_capacity_(block_capacity == 0 ? kDefaultBlockCapacity : block_capacity) {}
+
+Status TweetTable::Append(const Tweet& tweet) {
+  if (!tweet.IsValid()) {
+    return Status::InvalidArgument("invalid tweet: " + tweet.ToString());
+  }
+  if (active_.num_rows() >= block_capacity_) SealActive();
+  TWIMOB_RETURN_IF_ERROR(active_.Append(tweet, block_capacity_));
+  ++num_rows_;
+  sorted_ = false;
+  return Status::OK();
+}
+
+void TweetTable::SealActive() {
+  if (active_.empty()) return;
+  StoredBlock sb;
+  sb.stats = active_.ComputeStats();
+  sb.block = std::move(active_);
+  blocks_.push_back(std::move(sb));
+  active_ = Block();
+}
+
+void TweetTable::CompactByUserTime() {
+  SealActive();
+  std::vector<Tweet> all = ToVector();
+  std::sort(all.begin(), all.end(), UserTimeLess);
+
+  blocks_.clear();
+  num_rows_ = 0;
+  for (const Tweet& t : all) {
+    if (active_.num_rows() >= block_capacity_) SealActive();
+    // Rows came out of this table, so re-append cannot fail.
+    (void)active_.Append(t, block_capacity_);
+    ++num_rows_;
+  }
+  SealActive();
+  sorted_ = true;
+}
+
+std::vector<Tweet> TweetTable::ToVector() const {
+  std::vector<Tweet> out;
+  out.reserve(num_rows_);
+  ForEachRow([&out](const Tweet& t) { out.push_back(t); });
+  return out;
+}
+
+size_t TweetTable::CountDistinctUsers() const {
+  std::unordered_set<uint64_t> users;
+  for (const StoredBlock& sb : blocks_) {
+    for (uint64_t u : sb.block.user_ids()) users.insert(u);
+  }
+  for (uint64_t u : active_.user_ids()) users.insert(u);
+  return users.size();
+}
+
+void TweetTable::MarkSortedByUserTime() {
+#ifndef NDEBUG
+  Tweet prev{};
+  bool first = true;
+  ForEachRow([&prev, &first](const Tweet& t) {
+    if (!first) TWIMOB_DCHECK(!UserTimeLess(t, prev));
+    prev = t;
+    first = false;
+  });
+#endif
+  sorted_ = true;
+}
+
+TweetTable TweetTable::Merge(std::vector<TweetTable> tables,
+                             size_t block_capacity) {
+  // Sort each input once, then k-way merge the sorted streams with a heap
+  // of cursors. Memory stays bounded by the inputs (no concatenated copy).
+  struct Cursor {
+    const TweetTable* table;
+    size_t block = 0;
+    size_t row = 0;
+
+    bool AtEnd() const { return block >= table->num_blocks(); }
+    Tweet Get() const { return table->block(block).GetRow(row); }
+    void Advance() {
+      ++row;
+      while (block < table->num_blocks() &&
+             row >= table->block(block).num_rows()) {
+        ++block;
+        row = 0;
+      }
+    }
+  };
+
+  for (TweetTable& t : tables) {
+    if (!t.sorted_by_user_time()) t.CompactByUserTime();
+    t.SealActive();
+  }
+
+  std::vector<Cursor> cursors;
+  for (const TweetTable& t : tables) {
+    Cursor c{&t};
+    if (t.num_blocks() > 0 && t.block(0).num_rows() == 0) c.Advance();
+    if (!c.AtEnd()) cursors.push_back(c);
+  }
+
+  auto cursor_greater = [](const Cursor& a, const Cursor& b) {
+    return UserTimeLess(b.Get(), a.Get());  // min-heap on (user, time)
+  };
+  std::make_heap(cursors.begin(), cursors.end(), cursor_greater);
+
+  TweetTable merged(block_capacity);
+  while (!cursors.empty()) {
+    std::pop_heap(cursors.begin(), cursors.end(), cursor_greater);
+    Cursor& top = cursors.back();
+    // Rows in stored tables were validated on append; re-append succeeds.
+    (void)merged.Append(top.Get());
+    top.Advance();
+    if (top.AtEnd()) {
+      cursors.pop_back();
+    } else {
+      std::push_heap(cursors.begin(), cursors.end(), cursor_greater);
+    }
+  }
+  merged.SealActive();
+  merged.sorted_ = true;
+  return merged;
+}
+
+void TweetTable::AdoptSealedBlock(Block block) {
+  if (block.empty()) return;
+  StoredBlock sb;
+  sb.stats = block.ComputeStats();
+  num_rows_ += block.num_rows();
+  sb.block = std::move(block);
+  blocks_.push_back(std::move(sb));
+  sorted_ = false;
+}
+
+}  // namespace twimob::tweetdb

@@ -1,0 +1,106 @@
+#ifndef TWIMOB_TWEETDB_TABLE_H_
+#define TWIMOB_TWEETDB_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "tweetdb/block.h"
+#include "tweetdb/tweet.h"
+
+namespace twimob::tweetdb {
+
+/// The tweet store: an append-only columnar table made of sealed immutable
+/// blocks plus one active tail block.
+///
+/// Ingest path: Append() rows; each full block is sealed and its zone map
+/// cached. Analysis path: CompactByUserTime() once, then scans (query.h) and
+/// per-user iteration run over sorted blocks with block-level pruning.
+class TweetTable {
+ public:
+  /// Creates an empty table with the given rows-per-block.
+  explicit TweetTable(size_t block_capacity = kDefaultBlockCapacity);
+
+  TweetTable(TweetTable&&) noexcept = default;
+  TweetTable& operator=(TweetTable&&) noexcept = default;
+  TweetTable(const TweetTable&) = delete;
+  TweetTable& operator=(const TweetTable&) = delete;
+
+  /// Appends one validated row. Invalid rows (bad coordinate / negative
+  /// timestamp) are rejected with InvalidArgument.
+  Status Append(const Tweet& tweet);
+
+  /// Total rows across sealed blocks and the active tail.
+  size_t num_rows() const { return num_rows_; }
+
+  /// Seals the active tail (no-op when empty) so that all rows live in
+  /// sealed blocks. Called automatically by Compact and the codecs.
+  void SealActive();
+
+  /// Globally re-sorts all rows by (user_id, timestamp) and rebuilds the
+  /// sealed blocks. After compaction each user's rows are contiguous and
+  /// time-ordered — the layout trip extraction requires.
+  void CompactByUserTime();
+
+  /// True once CompactByUserTime() has run and no rows were appended since.
+  bool sorted_by_user_time() const { return sorted_; }
+
+  /// Asserts (without re-sorting) that the rows are already in (user, time)
+  /// order — for callers that constructed the table by an order-preserving
+  /// transform of a sorted table. The invariant is checked in debug builds.
+  void MarkSortedByUserTime();
+
+  /// Number of sealed blocks (after SealActive()).
+  size_t num_blocks() const { return blocks_.size(); }
+
+  const Block& block(size_t i) const { return blocks_[i].block; }
+  const BlockStats& block_stats(size_t i) const { return blocks_[i].stats; }
+
+  size_t block_capacity() const { return block_capacity_; }
+
+  /// Invokes `fn(const Tweet&)` for every row in storage order. The active
+  /// tail is included.
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const;
+
+  /// Materialises every row (test/diagnostic helper; O(num_rows) memory).
+  std::vector<Tweet> ToVector() const;
+
+  /// Distinct user count (hashes the user column; O(num_rows) time).
+  size_t CountDistinctUsers() const;
+
+  /// Internal: appends an already-sealed block (used by the binary codec).
+  void AdoptSealedBlock(Block block);
+
+  /// K-way merges tables into one compacted-by-(user,time) table — the
+  /// multi-collection ingestion path (e.g. combining monthly corpora).
+  /// Input tables are consumed. Duplicate rows are kept (callers dedupe if
+  /// their collections overlap).
+  static TweetTable Merge(std::vector<TweetTable> tables,
+                          size_t block_capacity = kDefaultBlockCapacity);
+
+ private:
+  struct StoredBlock {
+    Block block;
+    BlockStats stats;
+  };
+
+  size_t block_capacity_;
+  std::vector<StoredBlock> blocks_;
+  Block active_;
+  size_t num_rows_ = 0;
+  bool sorted_ = false;
+};
+
+template <typename Fn>
+void TweetTable::ForEachRow(Fn&& fn) const {
+  for (const StoredBlock& sb : blocks_) {
+    const size_t n = sb.block.num_rows();
+    for (size_t i = 0; i < n; ++i) fn(sb.block.GetRow(i));
+  }
+  for (size_t i = 0; i < active_.num_rows(); ++i) fn(active_.GetRow(i));
+}
+
+}  // namespace twimob::tweetdb
+
+#endif  // TWIMOB_TWEETDB_TABLE_H_

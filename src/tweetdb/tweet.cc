@@ -1,0 +1,20 @@
+#include "tweetdb/tweet.h"
+
+#include "common/string_util.h"
+
+namespace twimob::tweetdb {
+
+std::string Tweet::ToString() const {
+  return StrFormat("Tweet{user=%llu, t=%lld, lat=%.6f, lon=%.6f}",
+                   static_cast<unsigned long long>(user_id),
+                   static_cast<long long>(timestamp), pos.lat, pos.lon);
+}
+
+bool UserTimeLess(const Tweet& a, const Tweet& b) {
+  if (a.user_id != b.user_id) return a.user_id < b.user_id;
+  if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+  if (a.pos.lat != b.pos.lat) return a.pos.lat < b.pos.lat;
+  return a.pos.lon < b.pos.lon;
+}
+
+}  // namespace twimob::tweetdb

@@ -1,0 +1,36 @@
+#ifndef TWIMOB_TWEETDB_TWEET_H_
+#define TWIMOB_TWEETDB_TWEET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/time_util.h"
+#include "geo/latlon.h"
+
+namespace twimob::tweetdb {
+
+/// One geo-tagged tweet record — the only row type the pipeline consumes:
+/// (user, time, location). Text/metadata are irrelevant to the paper's
+/// algorithms and are not stored.
+struct Tweet {
+  uint64_t user_id = 0;
+  UnixSeconds timestamp = 0;
+  geo::LatLon pos;
+
+  /// True iff the coordinate is valid and the timestamp non-negative.
+  bool IsValid() const { return pos.IsValid() && timestamp >= 0; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Tweet& a, const Tweet& b) {
+    return a.user_id == b.user_id && a.timestamp == b.timestamp && a.pos == b.pos;
+  }
+};
+
+/// Orders by (user_id, timestamp, lat, lon) — the table's compaction order,
+/// which makes per-user consecutive-tweet extraction a linear scan.
+bool UserTimeLess(const Tweet& a, const Tweet& b);
+
+}  // namespace twimob::tweetdb
+
+#endif  // TWIMOB_TWEETDB_TWEET_H_

@@ -1,0 +1,121 @@
+#include "census/census_data.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/bbox.h"
+
+namespace twimob::census {
+namespace {
+
+class ScaleTest : public ::testing::TestWithParam<Scale> {};
+
+TEST_P(ScaleTest, ExactlyTwentyAreasWithDenseIds) {
+  const auto& areas = AreasForScale(GetParam());
+  ASSERT_EQ(areas.size(), 20u);
+  for (uint32_t i = 0; i < areas.size(); ++i) {
+    EXPECT_EQ(areas[i].id, i);
+    EXPECT_FALSE(areas[i].name.empty());
+    EXPECT_GT(areas[i].population, 0.0);
+  }
+}
+
+TEST_P(ScaleTest, SortedByDescendingPopulation) {
+  const auto& areas = AreasForScale(GetParam());
+  for (size_t i = 1; i < areas.size(); ++i) {
+    EXPECT_GE(areas[i - 1].population, areas[i].population) << i;
+  }
+}
+
+TEST_P(ScaleTest, AllCentersInsideStudyBox) {
+  const geo::BoundingBox box = geo::AustraliaBoundingBox();
+  for (const Area& a : AreasForScale(GetParam())) {
+    EXPECT_TRUE(box.Contains(a.center)) << a.name;
+    EXPECT_TRUE(a.center.IsValid()) << a.name;
+  }
+}
+
+TEST_P(ScaleTest, NamesAreUniqueWithinScale) {
+  const auto& areas = AreasForScale(GetParam());
+  for (size_t i = 0; i < areas.size(); ++i) {
+    for (size_t j = i + 1; j < areas.size(); ++j) {
+      EXPECT_NE(areas[i].name, areas[j].name);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScales, ScaleTest,
+                         ::testing::Values(Scale::kNational, Scale::kState,
+                                           Scale::kMetropolitan));
+
+TEST(CensusDataTest, ScaleNamesMatchPaper) {
+  EXPECT_EQ(ScaleName(Scale::kNational), "National");
+  EXPECT_EQ(ScaleName(Scale::kState), "State");
+  EXPECT_EQ(ScaleName(Scale::kMetropolitan), "Metropolitan");
+}
+
+TEST(CensusDataTest, SearchRadiiMatchPaper) {
+  EXPECT_DOUBLE_EQ(DefaultSearchRadiusMeters(Scale::kNational), 50000.0);
+  EXPECT_DOUBLE_EQ(DefaultSearchRadiusMeters(Scale::kState), 25000.0);
+  EXPECT_DOUBLE_EQ(DefaultSearchRadiusMeters(Scale::kMetropolitan), 2000.0);
+}
+
+TEST(CensusDataTest, MeanPairwiseDistancesMatchPaperOrder) {
+  // Paper §III: the mean pairwise distances are 1422 km, 341 km and 7.5 km.
+  // Our embedded coordinates are real, so the values must land close.
+  const double national =
+      MeanPairwiseDistanceMeters(AreasForScale(Scale::kNational));
+  const double state = MeanPairwiseDistanceMeters(AreasForScale(Scale::kState));
+  const double metro =
+      MeanPairwiseDistanceMeters(AreasForScale(Scale::kMetropolitan));
+  EXPECT_NEAR(national / 1000.0, 1422.0, 250.0);
+  EXPECT_NEAR(state / 1000.0, 341.0, 100.0);
+  EXPECT_NEAR(metro / 1000.0, 7.5, 15.0);
+  EXPECT_GT(national, state);
+  EXPECT_GT(state, metro);
+}
+
+TEST(CensusDataTest, BiggestCitiesAreWhereExpected) {
+  const auto& national = AreasForScale(Scale::kNational);
+  EXPECT_EQ(national[0].name, "Sydney");
+  EXPECT_EQ(national[1].name, "Melbourne");
+  EXPECT_NEAR(national[0].population, 4757083.0, 1.0);
+  const auto& state = AreasForScale(Scale::kState);
+  EXPECT_EQ(state[0].name, "Sydney");
+}
+
+TEST(CensusDataTest, AllAreasConcatenatesSixty) {
+  const auto all = AllAreas();
+  EXPECT_EQ(all.size(), 60u);
+  EXPECT_EQ(all[0].name, "Sydney");        // National first
+  EXPECT_EQ(all[20].name, "Sydney");       // then State
+  EXPECT_EQ(all[40].name, "Blacktown");    // then Metropolitan
+}
+
+TEST(CensusDataTest, FindAreaByNameIsCaseInsensitive) {
+  auto a = FindAreaByName(Scale::kNational, "sydney");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->name, "Sydney");
+  auto b = FindAreaByName(Scale::kMetropolitan, "BLACKTOWN");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->id, 0u);
+  EXPECT_TRUE(FindAreaByName(Scale::kState, "Atlantis").status().IsNotFound());
+}
+
+TEST(CensusDataTest, TotalPopulationIsSumOfAreas) {
+  for (Scale s : kAllScales) {
+    double sum = 0.0;
+    for (const Area& a : AreasForScale(s)) sum += a.population;
+    EXPECT_DOUBLE_EQ(TotalPopulation(s), sum);
+  }
+  EXPECT_LT(TotalPopulation(Scale::kMetropolitan),
+            TotalPopulation(Scale::kState));
+}
+
+TEST(AreaTest, MeanPairwiseDistanceDegenerateCases) {
+  EXPECT_DOUBLE_EQ(MeanPairwiseDistanceMeters({}), 0.0);
+  const Area one = AreasForScale(Scale::kNational)[0];
+  EXPECT_DOUBLE_EQ(MeanPairwiseDistanceMeters({one}), 0.0);
+}
+
+}  // namespace
+}  // namespace twimob::census

@@ -1,0 +1,82 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace twimob {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrReturnsAlternativeOnError) {
+  Result<int> err = Status::Internal("boom");
+  EXPECT_EQ(err.ValueOr(7), 7);
+  Result<int> val = 3;
+  EXPECT_EQ(val.ValueOr(7), 3);
+}
+
+TEST(ResultTest, OkStatusWithoutValueBecomesInternalError) {
+  Result<int> r{Status::OK()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, MoveOnlyValueSupported) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, CopyPreservesState) {
+  Result<std::string> a = std::string("x");
+  Result<std::string> b = a;
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(*b, "x");
+
+  Result<std::string> e = Status::IOError("z");
+  Result<std::string> f = e;
+  EXPECT_TRUE(f.status().IsIOError());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> Doubler(int x) {
+  TWIMOB_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesAndBinds) {
+  auto ok = Doubler(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+
+  auto err = Doubler(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace twimob

@@ -1,0 +1,106 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace twimob {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto parts = Split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitTest, NoDelimiterYieldsWholeString) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\nabc\r "), "abc");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("  42 "), 42.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("0"), 0.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("1.5 2.5").ok());
+}
+
+TEST(ParseInt64Test, ParsesValidIntegers) {
+  EXPECT_EQ(*ParseInt64("123"), 123);
+  EXPECT_EQ(*ParseInt64("-9"), -9);
+  EXPECT_EQ(*ParseInt64(" 77\n"), 77);
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), INT64_MAX);
+}
+
+TEST(ParseInt64Test, RejectsGarbageAndOverflow) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12.5").ok());
+  EXPECT_FALSE(ParseInt64("12a").ok());
+  EXPECT_TRUE(ParseInt64("92233720368547758080").status().IsOutOfRange());
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(WithThousandsSepTest, GroupsDigits) {
+  EXPECT_EQ(WithThousandsSep(0), "0");
+  EXPECT_EQ(WithThousandsSep(999), "999");
+  EXPECT_EQ(WithThousandsSep(1000), "1,000");
+  EXPECT_EQ(WithThousandsSep(6304176), "6,304,176");
+  EXPECT_EQ(WithThousandsSep(-1234567), "-1,234,567");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(ToLowerTest, LowersAscii) {
+  EXPECT_EQ(ToLower("SyDNeY"), "sydney");
+  EXPECT_EQ(ToLower("abc123"), "abc123");
+}
+
+}  // namespace
+}  // namespace twimob

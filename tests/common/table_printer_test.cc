@@ -1,0 +1,58 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace twimob {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter tp({"A", "B"});
+  tp.AddRow({"1", "2"});
+  const std::string s = tp.ToString();
+  EXPECT_NE(s.find("| A"), std::string::npos);
+  EXPECT_NE(s.find("| 1"), std::string::npos);
+  EXPECT_EQ(tp.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, PadsShortRowsAndTruncatesLong) {
+  TablePrinter tp({"A", "B"});
+  tp.AddRow({"only"});
+  tp.AddRow({"1", "2", "3"});
+  const std::string s = tp.ToString();
+  EXPECT_EQ(tp.num_rows(), 2u);
+  EXPECT_EQ(s.find("3"), std::string::npos);  // third cell dropped
+}
+
+TEST(TablePrinterTest, ColumnWidthAdaptsToWidestCell) {
+  TablePrinter tp({"H"});
+  tp.AddRow({"wide-cell-content"});
+  const std::string s = tp.ToString();
+  // Header separator must be at least as wide as the widest cell.
+  EXPECT_NE(s.find("wide-cell-content"), std::string::npos);
+  const size_t line_end = s.find('\n');
+  EXPECT_GE(line_end, std::string("wide-cell-content").size());
+}
+
+TEST(TablePrinterTest, SeparatorRowsAreNotDataRows) {
+  TablePrinter tp({"A"});
+  tp.AddRow({"x"});
+  tp.AddSeparator();
+  tp.AddRow({"y"});
+  EXPECT_EQ(tp.num_rows(), 2u);
+  // top border + header + header border + row + inner separator + row +
+  // bottom border = 7 lines.
+  const std::string s = tp.ToString();
+  EXPECT_EQ(static_cast<size_t>(std::count(s.begin(), s.end(), '\n')), 7u);
+}
+
+TEST(TablePrinterTest, EmptyTableStillRendersHeader) {
+  TablePrinter tp({"Col"});
+  const std::string s = tp.ToString();
+  EXPECT_NE(s.find("Col"), std::string::npos);
+  EXPECT_EQ(tp.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace twimob

@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace twimob {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter]() { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ZeroThreadsUsesHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(8);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&hits](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSingle) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.ParallelFor(0, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> single{0};
+  pool.ParallelFor(1, [&single](size_t i) {
+    EXPECT_EQ(i, 0u);
+    single.fetch_add(1);
+  });
+  EXPECT_EQ(single.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  const size_t n = 100000;
+  std::vector<int64_t> values(n);
+  std::iota(values.begin(), values.end(), 1);
+  std::vector<std::atomic<int64_t>> partial(pool.num_threads() * 4 + 1);
+  // Accumulate into per-chunk slots keyed by index bucket.
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(n, [&values, &total](size_t i) {
+    total.fetch_add(values[i], std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), static_cast<int64_t>(n) * (n + 1) / 2);
+}
+
+TEST(ThreadPoolTest, WaitBetweenBatches) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter]() { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (batch + 1) * 100);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&counter]() { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must still run everything.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+}  // namespace
+}  // namespace twimob

@@ -1,0 +1,33 @@
+#include "common/time_util.h"
+
+#include <gtest/gtest.h>
+
+namespace twimob {
+namespace {
+
+TEST(TimeUtilTest, SecondsToHours) {
+  EXPECT_DOUBLE_EQ(SecondsToHours(3600), 1.0);
+  EXPECT_DOUBLE_EQ(SecondsToHours(0), 0.0);
+  EXPECT_DOUBLE_EQ(SecondsToHours(5400), 1.5);
+}
+
+TEST(TimeUtilTest, CollectionWindowMatchesPaper) {
+  // Sept 2013 .. (exclusive) May 2014 — 242 days.
+  EXPECT_EQ(FormatIso8601(kCollectionStart), "2013-09-01T00:00:00Z");
+  EXPECT_EQ(FormatIso8601(kCollectionEnd), "2014-05-01T00:00:00Z");
+  EXPECT_EQ((kCollectionEnd - kCollectionStart) / kSecondsPerDay, 242);
+}
+
+TEST(TimeUtilTest, FormatIso8601KnownEpochs) {
+  EXPECT_EQ(FormatIso8601(0), "1970-01-01T00:00:00Z");
+  EXPECT_EQ(FormatIso8601(86399), "1970-01-01T23:59:59Z");
+}
+
+TEST(TimeUtilTest, FormatDurationPicksUnit) {
+  EXPECT_EQ(FormatDuration(30.0), "30s");
+  EXPECT_EQ(FormatDuration(90.0), "1.5min");
+  EXPECT_EQ(FormatDuration(127800.0), "35.5hr");
+}
+
+}  // namespace
+}  // namespace twimob

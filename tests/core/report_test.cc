@@ -1,0 +1,114 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace twimob::core {
+namespace {
+
+PipelineResult FakeResult() {
+  PipelineResult result;
+  result.generation.num_tweets = 6304176;
+  result.generation.num_users = 473956;
+  result.generation.mean_tweets_per_user = 13.3;
+  result.generation.mean_waiting_hours = 35.5;
+  result.generation.mean_locations_per_user = 4.76;
+  result.generation.users_over_50 = 23462;
+
+  for (const char* name : {"National", "State", "Metropolitan"}) {
+    PopulationEstimateResult pop;
+    pop.scale_name = name;
+    pop.radius_m = 50000.0;
+    pop.rescale_factor = 123.0;
+    pop.median_users = 4166.0;
+    pop.correlation.r = 0.9;
+    pop.correlation.p_value = 1e-8;
+    pop.correlation.n = 20;
+    AreaPopulationEstimate area;
+    area.name = "Sydney";
+    area.unique_users = 1000;
+    area.census_population = 4757083.0;
+    area.rescaled_estimate = 123000.0;
+    area.tweet_count = 5000;
+    pop.areas.push_back(area);
+    result.population.push_back(std::move(pop));
+  }
+  result.pooled_population_correlation.r = 0.816;
+  result.pooled_population_correlation.p_value = 2.06e-15;
+  result.pooled_population_correlation.n = 60;
+
+  for (const char* name : {"National", "State", "Metropolitan"}) {
+    ScaleMobilityResult mob;
+    mob.scale_name = name;
+    mob.radius_m = 50000.0;
+    mob.extraction.inter_area_trips = 1000;
+    mobility::FlowObservation obs;
+    obs.m = obs.n = 100.0;
+    obs.d_meters = 100000.0;
+    obs.flow = 10.0;
+    mob.observations = {obs, obs, obs};
+    const char* models[] = {"Gravity 4Param", "Gravity 2Param", "Radiation"};
+    const double rs[] = {0.877, 0.912, 0.840};
+    for (int m = 0; m < 3; ++m) {
+      ModelSummary summary;
+      summary.model_name = models[m];
+      summary.metrics.pearson_r = rs[m];
+      summary.metrics.hit_rate = 0.3 + 0.05 * m;
+      summary.estimated = {9.0, 10.0, 11.0};
+      mob.models.push_back(std::move(summary));
+    }
+    result.mobility.push_back(std::move(mob));
+  }
+  return result;
+}
+
+TEST(ReportTest, TableIContainsPaperReferenceColumn) {
+  synth::CorpusConfig config;
+  const std::string s = RenderTableI(FakeResult().generation, config);
+  EXPECT_NE(s.find("TABLE I"), std::string::npos);
+  EXPECT_NE(s.find("6,304,176"), std::string::npos);
+  EXPECT_NE(s.find("473,956"), std::string::npos);
+  EXPECT_NE(s.find("35.5hr"), std::string::npos);
+  EXPECT_NE(s.find("23,462"), std::string::npos);
+}
+
+TEST(ReportTest, PopulationReportListsScalesAndPooled) {
+  const std::string s = RenderPopulationReport(FakeResult());
+  EXPECT_NE(s.find("FIGURE 3"), std::string::npos);
+  EXPECT_NE(s.find("National"), std::string::npos);
+  EXPECT_NE(s.find("Metropolitan"), std::string::npos);
+  EXPECT_NE(s.find("0.816"), std::string::npos);
+  EXPECT_NE(s.find("60 samples"), std::string::npos);
+}
+
+TEST(ReportTest, AreaTableListsAreas) {
+  const std::string s = RenderAreaTable(FakeResult().population[0]);
+  EXPECT_NE(s.find("Sydney"), std::string::npos);
+  EXPECT_NE(s.find("4757083"), std::string::npos);
+}
+
+TEST(ReportTest, TableIIMarksWinners) {
+  const std::string s = RenderTableII(FakeResult());
+  EXPECT_NE(s.find("TABLE II"), std::string::npos);
+  // Gravity 2Param has the best r (0.912) -> starred.
+  EXPECT_NE(s.find("0.912 *"), std::string::npos);
+  // Radiation never wins.
+  EXPECT_EQ(s.find("0.840 *"), std::string::npos);
+}
+
+TEST(ReportTest, TableIIHandlesMissingMobility) {
+  PipelineResult result = FakeResult();
+  result.mobility.clear();
+  const std::string s = RenderTableII(result);
+  EXPECT_NE(s.find("skipped"), std::string::npos);
+}
+
+TEST(ReportTest, MobilityScaleShowsModelsAndBins) {
+  const std::string s = RenderMobilityScale(FakeResult().mobility[0]);
+  EXPECT_NE(s.find("FIGURE 4"), std::string::npos);
+  EXPECT_NE(s.find("Gravity 4Param"), std::string::npos);
+  EXPECT_NE(s.find("Radiation"), std::string::npos);
+  EXPECT_NE(s.find("est(binned)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace twimob::core

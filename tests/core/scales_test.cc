@@ -1,0 +1,38 @@
+#include "core/scales.h"
+
+#include <gtest/gtest.h>
+
+namespace twimob::core {
+namespace {
+
+TEST(ScalesTest, PaperScalesInOrderWithPaperRadii) {
+  const auto scales = PaperScales();
+  ASSERT_EQ(scales.size(), 3u);
+  EXPECT_EQ(scales[0].name, "National");
+  EXPECT_EQ(scales[1].name, "State");
+  EXPECT_EQ(scales[2].name, "Metropolitan");
+  EXPECT_DOUBLE_EQ(scales[0].radius_m, 50000.0);
+  EXPECT_DOUBLE_EQ(scales[1].radius_m, 25000.0);
+  EXPECT_DOUBLE_EQ(scales[2].radius_m, 2000.0);
+  for (const auto& s : scales) EXPECT_EQ(s.areas.size(), 20u);
+}
+
+TEST(ScalesTest, RadiusOverrideApplies) {
+  const ScaleSpec spec = MakeScaleSpec(census::Scale::kMetropolitan, 500.0);
+  EXPECT_DOUBLE_EQ(spec.radius_m, 500.0);
+  EXPECT_EQ(spec.areas.size(), 20u);
+  // Zero/negative override falls back to the default.
+  EXPECT_DOUBLE_EQ(MakeScaleSpec(census::Scale::kMetropolitan, 0.0).radius_m,
+                   2000.0);
+  EXPECT_DOUBLE_EQ(MakeScaleSpec(census::Scale::kMetropolitan, -3.0).radius_m,
+                   2000.0);
+}
+
+TEST(ScalesTest, MeanPairwiseDistancesDecreaseAcrossScales) {
+  const auto scales = PaperScales();
+  EXPECT_GT(scales[0].MeanPairwiseDistanceM(), scales[1].MeanPairwiseDistanceM());
+  EXPECT_GT(scales[1].MeanPairwiseDistanceM(), scales[2].MeanPairwiseDistanceM());
+}
+
+}  // namespace
+}  // namespace twimob::core

@@ -1,0 +1,153 @@
+#include "epi/seir.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace twimob::epi {
+namespace {
+
+mobility::OdMatrix ChainFlows() {
+  auto od = mobility::OdMatrix::Create(3);
+  EXPECT_TRUE(od.ok());
+  // 0 <-> 1 <-> 2 chain; no direct 0 <-> 2 flow.
+  od->AddFlow(0, 1, 100.0);
+  od->AddFlow(1, 0, 100.0);
+  od->AddFlow(1, 2, 50.0);
+  od->AddFlow(2, 1, 50.0);
+  return std::move(*od);
+}
+
+const std::vector<double> kPop = {100000.0, 50000.0, 20000.0};
+
+TEST(SeirTest, CreateValidates) {
+  const auto flows = ChainFlows();
+  SeirParams p;
+  EXPECT_TRUE(MetapopulationSeir::Create(kPop, flows, p).ok());
+  EXPECT_FALSE(MetapopulationSeir::Create({}, flows, p).ok());
+  EXPECT_FALSE(MetapopulationSeir::Create({1.0, 2.0}, flows, p).ok());
+  EXPECT_FALSE(MetapopulationSeir::Create({1.0, 0.0, 1.0}, flows, p).ok());
+
+  SeirParams bad = p;
+  bad.gamma = 0.0;
+  EXPECT_FALSE(MetapopulationSeir::Create(kPop, flows, bad).ok());
+  bad = p;
+  bad.mobility_rate = 1.5;
+  EXPECT_FALSE(MetapopulationSeir::Create(kPop, flows, bad).ok());
+  bad = p;
+  bad.dt = 0.0;
+  EXPECT_FALSE(MetapopulationSeir::Create(kPop, flows, bad).ok());
+  bad = p;
+  bad.dt = 2.0;
+  EXPECT_FALSE(MetapopulationSeir::Create(kPop, flows, bad).ok());
+}
+
+TEST(SeirTest, SeedValidation) {
+  auto model = MetapopulationSeir::Create(kPop, ChainFlows(), SeirParams{});
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model->SeedInfection(9, 10.0).IsOutOfRange());
+  EXPECT_TRUE(model->SeedInfection(0, -5.0).IsInvalidArgument());
+  EXPECT_TRUE(model->SeedInfection(0, 1e9).IsInvalidArgument());
+  EXPECT_TRUE(model->SeedInfection(0, 10.0).ok());
+  EXPECT_DOUBLE_EQ(model->Infectious(0), 10.0);
+}
+
+TEST(SeirTest, PopulationIsConserved) {
+  auto model = MetapopulationSeir::Create(kPop, ChainFlows(), SeirParams{});
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SeedInfection(0, 20.0).ok());
+  const double total0 = kPop[0] + kPop[1] + kPop[2];
+  for (int step = 0; step < 400; ++step) {
+    model->Step();
+    const SeirTotals t = model->Totals();
+    EXPECT_NEAR(t.s + t.e + t.i + t.r, total0, total0 * 1e-9) << step;
+    EXPECT_GE(t.s, 0.0);
+    EXPECT_GE(t.e, 0.0);
+    EXPECT_GE(t.i, 0.0);
+    EXPECT_GE(t.r, 0.0);
+  }
+}
+
+TEST(SeirTest, EpidemicGrowsThenRecovers) {
+  SeirParams p;
+  p.beta = 0.5;
+  auto model = MetapopulationSeir::Create(kPop, ChainFlows(), p);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SeedInfection(0, 10.0).ok());
+  auto trajectory = model->Run(2000);  // 500 days at dt = 0.25
+  ASSERT_EQ(trajectory.size(), 2001u);
+
+  // R is monotone non-decreasing; the epidemic eventually burns out.
+  for (size_t i = 1; i < trajectory.size(); ++i) {
+    EXPECT_GE(trajectory[i].r, trajectory[i - 1].r - 1e-9);
+  }
+  EXPECT_LT(trajectory.back().i, 1.0);
+  EXPECT_GT(trajectory.back().r, kPop[0] * 0.3);  // substantial outbreak
+  // There was a peak above the seed level.
+  double peak = 0.0;
+  for (const auto& t : trajectory) peak = std::max(peak, t.i);
+  EXPECT_GT(peak, 1000.0);
+}
+
+TEST(SeirTest, NoTransmissionWhenBetaZero) {
+  SeirParams p;
+  p.beta = 0.0;
+  auto model = MetapopulationSeir::Create(kPop, ChainFlows(), p);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SeedInfection(0, 10.0).ok());
+  auto trajectory = model->Run(1000);
+  // Seeded infections recover; nobody new is exposed.
+  EXPECT_NEAR(trajectory.back().r, 10.0, 0.1);
+  EXPECT_NEAR(trajectory.back().s, kPop[0] + kPop[1] + kPop[2] - 10.0, 0.1);
+}
+
+TEST(SeirTest, DiseaseSpreadsAlongMobilityChain) {
+  SeirParams p;
+  p.beta = 0.6;
+  p.mobility_rate = 0.05;
+  auto model = MetapopulationSeir::Create(kPop, ChainFlows(), p);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SeedInfection(0, 50.0).ok());
+  model->Run(4000);
+
+  // The wave reaches area 1 before area 2 (chain topology).
+  const double arrival1 = model->ArrivalTime(1, 10.0);
+  const double arrival2 = model->ArrivalTime(2, 10.0);
+  ASSERT_GT(arrival1, 0.0);
+  ASSERT_GT(arrival2, 0.0);
+  EXPECT_LT(arrival1, arrival2);
+}
+
+TEST(SeirTest, NoMobilityConfinesOutbreak) {
+  SeirParams p;
+  p.beta = 0.6;
+  p.mobility_rate = 0.0;
+  auto model = MetapopulationSeir::Create(kPop, ChainFlows(), p);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SeedInfection(0, 50.0).ok());
+  model->Run(4000);
+  EXPECT_LT(model->ArrivalTime(1, 1.0), 0.0);  // never arrived
+  EXPECT_LT(model->ArrivalTime(2, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(model->Infectious(1), 0.0);
+}
+
+TEST(SeirTest, ArrivalTimeUnknownThresholdNegative) {
+  auto model = MetapopulationSeir::Create(kPop, ChainFlows(), SeirParams{});
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model->ArrivalTime(0, 12345.0), 0.0);
+  EXPECT_LT(model->ArrivalTime(99, 1.0), 0.0);
+}
+
+TEST(SeirTest, TotalsTrackTime) {
+  SeirParams p;
+  p.dt = 0.5;
+  auto model = MetapopulationSeir::Create(kPop, ChainFlows(), p);
+  ASSERT_TRUE(model.ok());
+  auto trajectory = model->Run(4);
+  EXPECT_DOUBLE_EQ(trajectory.front().t, 0.0);
+  EXPECT_DOUBLE_EQ(trajectory.back().t, 2.0);
+  EXPECT_DOUBLE_EQ(model->time(), 2.0);
+}
+
+}  // namespace
+}  // namespace twimob::epi

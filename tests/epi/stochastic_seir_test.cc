@@ -1,0 +1,137 @@
+#include "epi/stochastic_seir.h"
+
+#include <gtest/gtest.h>
+
+namespace twimob::epi {
+namespace {
+
+mobility::OdMatrix ChainFlows() {
+  auto od = mobility::OdMatrix::Create(3);
+  EXPECT_TRUE(od.ok());
+  od->AddFlow(0, 1, 100.0);
+  od->AddFlow(1, 0, 100.0);
+  od->AddFlow(1, 2, 50.0);
+  od->AddFlow(2, 1, 50.0);
+  return std::move(*od);
+}
+
+const std::vector<double> kPop = {100000.0, 50000.0, 20000.0};
+
+TEST(StochasticSeirTest, CreateValidatesLikeDeterministic) {
+  const auto flows = ChainFlows();
+  EXPECT_TRUE(StochasticSeir::Create(kPop, flows, SeirParams{}, 1).ok());
+  EXPECT_FALSE(StochasticSeir::Create({}, flows, SeirParams{}, 1).ok());
+  EXPECT_FALSE(StochasticSeir::Create({1.0, 2.0}, flows, SeirParams{}, 1).ok());
+  EXPECT_FALSE(StochasticSeir::Create({0.4, 1.0, 1.0}, flows, SeirParams{}, 1).ok());
+  SeirParams bad;
+  bad.dt = 0.0;
+  EXPECT_FALSE(StochasticSeir::Create(kPop, flows, bad, 1).ok());
+}
+
+TEST(StochasticSeirTest, PopulationConservedExactly) {
+  auto model = StochasticSeir::Create(kPop, ChainFlows(), SeirParams{}, 7);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SeedInfection(0, 50).ok());
+  const double total0 = 170000.0;
+  for (int step = 0; step < 500; ++step) {
+    model->Step();
+    const SeirTotals t = model->Totals();
+    // Integer compartments: conservation must be exact.
+    EXPECT_DOUBLE_EQ(t.s + t.e + t.i + t.r, total0) << step;
+  }
+}
+
+TEST(StochasticSeirTest, DeterministicForSeed) {
+  auto a = StochasticSeir::Create(kPop, ChainFlows(), SeirParams{}, 42);
+  auto b = StochasticSeir::Create(kPop, ChainFlows(), SeirParams{}, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a->SeedInfection(0, 20).ok());
+  ASSERT_TRUE(b->SeedInfection(0, 20).ok());
+  for (int step = 0; step < 200; ++step) {
+    a->Step();
+    b->Step();
+  }
+  const SeirTotals ta = a->Totals();
+  const SeirTotals tb = b->Totals();
+  EXPECT_DOUBLE_EQ(ta.i, tb.i);
+  EXPECT_DOUBLE_EQ(ta.r, tb.r);
+}
+
+TEST(StochasticSeirTest, LargeSeedTracksDeterministicModel) {
+  SeirParams p;
+  p.beta = 0.5;
+  auto stochastic = StochasticSeir::Create(kPop, ChainFlows(), p, 3);
+  auto deterministic = MetapopulationSeir::Create(kPop, ChainFlows(), p);
+  ASSERT_TRUE(stochastic.ok());
+  ASSERT_TRUE(deterministic.ok());
+  ASSERT_TRUE(stochastic->SeedInfection(0, 500).ok());
+  ASSERT_TRUE(deterministic->SeedInfection(0, 500.0).ok());
+  auto traj_s = stochastic->Run(2000);
+  auto traj_d = deterministic->Run(2000);
+  // Final epidemic sizes agree within 10% when demographic noise is small.
+  EXPECT_NEAR(traj_s.back().r, traj_d.back().r, 0.10 * traj_d.back().r);
+}
+
+TEST(StochasticSeirTest, TinySeedSometimesDiesOut) {
+  SeirParams p;
+  p.beta = 0.15;  // R0 = 1.5: substantial extinction probability
+  int extinctions = 0;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    auto model = StochasticSeir::Create(kPop, ChainFlows(), p, seed);
+    ASSERT_TRUE(model.ok());
+    ASSERT_TRUE(model->SeedInfection(0, 1).ok());
+    for (int step = 0; step < 4000 && !model->Extinct(); ++step) model->Step();
+    uint64_t recovered = 0;
+    for (size_t a = 0; a < 3; ++a) recovered += model->Recovered(a);
+    if (recovered < 50) ++extinctions;
+  }
+  // Branching theory: extinction probability ~ (1/R0)^seed ≈ 2/3 here;
+  // demand at least a handful of both outcomes.
+  EXPECT_GT(extinctions, 5);
+  EXPECT_LT(extinctions, 40);
+}
+
+TEST(StochasticSeirTest, ExtinctDetection) {
+  SeirParams p;
+  p.beta = 0.0;
+  auto model = StochasticSeir::Create(kPop, ChainFlows(), p, 9);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model->Extinct());
+  ASSERT_TRUE(model->SeedInfection(0, 3).ok());
+  EXPECT_FALSE(model->Extinct());
+  for (int step = 0; step < 4000 && !model->Extinct(); ++step) model->Step();
+  EXPECT_TRUE(model->Extinct());
+}
+
+TEST(StochasticSeirTest, SeedValidation) {
+  auto model = StochasticSeir::Create(kPop, ChainFlows(), SeirParams{}, 1);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model->SeedInfection(5, 1).IsOutOfRange());
+  EXPECT_TRUE(model->SeedInfection(0, 1000000000).IsInvalidArgument());
+}
+
+TEST(OutbreakProbabilityTest, MonotoneInTransmissibility) {
+  const auto flows = ChainFlows();
+  SeirParams weak;
+  weak.beta = 0.11;  // R0 just above 1
+  SeirParams strong;
+  strong.beta = 0.6;  // R0 = 6
+  auto p_weak =
+      OutbreakProbability(kPop, flows, weak, 0, 1, 2000, 1000, 30, 100);
+  auto p_strong =
+      OutbreakProbability(kPop, flows, strong, 0, 1, 2000, 1000, 30, 100);
+  ASSERT_TRUE(p_weak.ok());
+  ASSERT_TRUE(p_strong.ok());
+  EXPECT_LT(*p_weak, *p_strong);
+  EXPECT_GT(*p_strong, 0.5);
+}
+
+TEST(OutbreakProbabilityTest, ValidatesTrials) {
+  EXPECT_FALSE(
+      OutbreakProbability(kPop, ChainFlows(), SeirParams{}, 0, 1, 10, 10, 0, 1)
+          .ok());
+}
+
+}  // namespace
+}  // namespace twimob::epi

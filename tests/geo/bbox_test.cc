@@ -1,0 +1,84 @@
+#include "geo/bbox.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesic.h"
+
+namespace twimob::geo {
+namespace {
+
+TEST(BoundingBoxTest, ValidityChecks) {
+  EXPECT_TRUE(AustraliaBoundingBox().IsValid());
+  BoundingBox inverted{10.0, 10.0, 5.0, 20.0};  // min_lat > max_lat
+  EXPECT_FALSE(inverted.IsValid());
+  BoundingBox bad_coord{-100.0, 0.0, 0.0, 0.0};
+  EXPECT_FALSE(bad_coord.IsValid());
+}
+
+TEST(BoundingBoxTest, ContainsIsEdgeInclusive) {
+  BoundingBox box{-10.0, 100.0, -5.0, 110.0};
+  EXPECT_TRUE(box.Contains(LatLon{-10.0, 100.0}));
+  EXPECT_TRUE(box.Contains(LatLon{-5.0, 110.0}));
+  EXPECT_TRUE(box.Contains(LatLon{-7.5, 105.0}));
+  EXPECT_FALSE(box.Contains(LatLon{-10.1, 105.0}));
+  EXPECT_FALSE(box.Contains(LatLon{-7.5, 110.1}));
+}
+
+TEST(BoundingBoxTest, IntersectsDetectsOverlapAndTouching) {
+  BoundingBox a{0.0, 0.0, 10.0, 10.0};
+  BoundingBox b{5.0, 5.0, 15.0, 15.0};
+  BoundingBox c{10.0, 10.0, 20.0, 20.0};  // touches at a corner
+  BoundingBox d{11.0, 11.0, 20.0, 20.0};  // disjoint
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_TRUE(a.Intersects(c));
+  EXPECT_FALSE(a.Intersects(d));
+}
+
+TEST(BoundingBoxTest, CenterAndExtend) {
+  BoundingBox box{0.0, 0.0, 10.0, 20.0};
+  EXPECT_EQ(box.Center(), (LatLon{5.0, 10.0}));
+  box.ExtendToInclude(LatLon{-5.0, 25.0});
+  EXPECT_EQ(box.min_lat, -5.0);
+  EXPECT_EQ(box.max_lon, 25.0);
+  EXPECT_EQ(box.max_lat, 10.0);
+}
+
+TEST(BoundingBoxTest, AustraliaBoxMatchesPaperTableI) {
+  const BoundingBox box = AustraliaBoundingBox();
+  EXPECT_DOUBLE_EQ(box.min_lon, 112.921112);
+  EXPECT_DOUBLE_EQ(box.max_lon, 159.278717);
+  EXPECT_DOUBLE_EQ(box.min_lat, -54.640301);
+  EXPECT_DOUBLE_EQ(box.max_lat, -9.228820);
+  EXPECT_TRUE(box.Contains(LatLon{-33.8688, 151.2093}));   // Sydney
+  EXPECT_FALSE(box.Contains(LatLon{-41.28, 174.77}));      // Wellington NZ
+}
+
+class RadiusBoxTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RadiusBoxTest, CircleFitsInsideBox) {
+  // Property: every point at distance <= r must be inside the box.
+  const double radius = GetParam();
+  const LatLon centers[] = {{-33.87, 151.21}, {-12.46, 130.84}, {-42.88, 147.33}};
+  for (const LatLon& c : centers) {
+    const BoundingBox box = BoundingBoxForRadius(c, radius);
+    for (double bearing = 0.0; bearing < 360.0; bearing += 15.0) {
+      const LatLon p = DestinationPoint(c, bearing, radius * 0.999);
+      EXPECT_TRUE(box.Contains(p)) << c.ToString() << " r=" << radius
+                                   << " bearing=" << bearing;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, RadiusBoxTest,
+                         ::testing::Values(500.0, 2000.0, 25000.0, 50000.0,
+                                           250000.0));
+
+TEST(RadiusBoxTest, ClampsAtPoles) {
+  const BoundingBox box = BoundingBoxForRadius(LatLon{89.9, 0.0}, 100000.0);
+  EXPECT_TRUE(box.IsValid());
+  EXPECT_LE(box.max_lat, 90.0);
+}
+
+}  // namespace
+}  // namespace twimob::geo

@@ -1,0 +1,142 @@
+#include "geo/geodesic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace twimob::geo {
+namespace {
+
+const LatLon kSydney{-33.8688, 151.2093};
+const LatLon kMelbourne{-37.8136, 144.9631};
+const LatLon kPerth{-31.9505, 115.8605};
+const LatLon kBrisbane{-27.4698, 153.0251};
+
+TEST(HaversineTest, ZeroForIdenticalPoints) {
+  EXPECT_DOUBLE_EQ(HaversineMeters(kSydney, kSydney), 0.0);
+}
+
+TEST(HaversineTest, SymmetricInArguments) {
+  EXPECT_DOUBLE_EQ(HaversineMeters(kSydney, kPerth),
+                   HaversineMeters(kPerth, kSydney));
+}
+
+TEST(HaversineTest, KnownCityDistances) {
+  // Great-circle references (±1%).
+  EXPECT_NEAR(HaversineKm(kSydney, kMelbourne), 713.0, 8.0);
+  EXPECT_NEAR(HaversineKm(kSydney, kPerth), 3290.0, 35.0);
+  EXPECT_NEAR(HaversineKm(kSydney, kBrisbane), 732.0, 8.0);
+}
+
+TEST(HaversineTest, QuarterMeridian) {
+  // Equator to pole along a meridian is 1/4 of the circumference.
+  const double d = HaversineMeters(LatLon{0.0, 0.0}, LatLon{90.0, 0.0});
+  EXPECT_NEAR(d, kPi * kEarthRadiusMeters / 2.0, 1.0);
+}
+
+TEST(EquirectangularTest, AgreesWithHaversineAtShortRange) {
+  // Property: at ranges below ~100 km the approximation stays within 0.5%.
+  const LatLon centers[] = {kSydney, kPerth, LatLon{-12.46, 130.84}};
+  const double bearings[] = {0.0, 45.0, 90.0, 135.0, 200.0, 300.0};
+  const double distances[] = {500.0, 2000.0, 25000.0, 50000.0, 100000.0};
+  for (const LatLon& c : centers) {
+    for (double b : bearings) {
+      for (double d : distances) {
+        const LatLon p = DestinationPoint(c, b, d);
+        const double hav = HaversineMeters(c, p);
+        const double equi = EquirectangularMeters(c, p);
+        EXPECT_NEAR(equi, hav, hav * 0.005 + 0.5)
+            << "bearing " << b << " dist " << d;
+      }
+    }
+  }
+}
+
+TEST(DestinationPointTest, RoundTripDistance) {
+  for (double bearing : {0.0, 90.0, 180.0, 270.0, 33.0}) {
+    for (double dist : {100.0, 10000.0, 500000.0}) {
+      const LatLon p = DestinationPoint(kSydney, bearing, dist);
+      EXPECT_NEAR(HaversineMeters(kSydney, p), dist, dist * 0.001 + 0.01)
+          << bearing << "/" << dist;
+    }
+  }
+}
+
+TEST(DestinationPointTest, NorthIncreasesLatitude) {
+  const LatLon p = DestinationPoint(kSydney, 0.0, 10000.0);
+  EXPECT_GT(p.lat, kSydney.lat);
+  EXPECT_NEAR(p.lon, kSydney.lon, 1e-9);
+}
+
+TEST(DestinationPointTest, LongitudeStaysNormalized) {
+  const LatLon near_dateline{0.0, 179.9};
+  const LatLon p = DestinationPoint(near_dateline, 90.0, 50000.0);
+  EXPECT_TRUE(p.IsValid());
+  EXPECT_LE(p.lon, 180.0);
+  EXPECT_GE(p.lon, -180.0);
+}
+
+TEST(InitialBearingTest, CardinalDirections) {
+  const LatLon origin{0.0, 0.0};
+  EXPECT_NEAR(InitialBearingDeg(origin, LatLon{1.0, 0.0}), 0.0, 1e-6);
+  EXPECT_NEAR(InitialBearingDeg(origin, LatLon{0.0, 1.0}), 90.0, 1e-6);
+  EXPECT_NEAR(InitialBearingDeg(origin, LatLon{-1.0, 0.0}), 180.0, 1e-6);
+  EXPECT_NEAR(InitialBearingDeg(origin, LatLon{0.0, -1.0}), 270.0, 1e-6);
+}
+
+TEST(VincentyTest, ClassicFlindersPeakBuninyong) {
+  // The canonical test case from Vincenty's 1975 paper (Geoscience
+  // Australia): Flinders Peak -> Buninyong = 54,972.271 m on WGS-84-like
+  // ellipsoids (GDA94 value; WGS-84 agrees to the millimetre here).
+  const LatLon flinders{-(37.0 + 57.0 / 60.0 + 3.72030 / 3600.0),
+                        144.0 + 25.0 / 60.0 + 29.52440 / 3600.0};
+  const LatLon buninyong{-(37.0 + 39.0 / 60.0 + 10.15610 / 3600.0),
+                         143.0 + 55.0 / 60.0 + 35.38390 / 3600.0};
+  EXPECT_NEAR(VincentyMeters(flinders, buninyong), 54972.271, 0.05);
+}
+
+TEST(VincentyTest, OneDegreeReferenceArcs) {
+  // 1 deg of longitude along the equator: 111,319.491 m on WGS-84.
+  EXPECT_NEAR(VincentyMeters(LatLon{0.0, 0.0}, LatLon{0.0, 1.0}), 111319.491,
+              0.01);
+  // 1 deg of latitude from the equator: 110,574.389 m.
+  EXPECT_NEAR(VincentyMeters(LatLon{0.0, 0.0}, LatLon{1.0, 0.0}), 110574.389,
+              0.01);
+}
+
+TEST(VincentyTest, AgreesWithHaversineWithinEllipsoidalError) {
+  // Haversine on the mean sphere is within 0.5% of the ellipsoid.
+  const LatLon pairs[][2] = {
+      {kSydney, kMelbourne}, {kSydney, kPerth}, {kSydney, kBrisbane}};
+  for (const auto& pair : pairs) {
+    const double v = VincentyMeters(pair[0], pair[1]);
+    const double h = HaversineMeters(pair[0], pair[1]);
+    EXPECT_NEAR(v, h, 0.005 * v);
+  }
+}
+
+TEST(VincentyTest, DegenerateAndSymmetric) {
+  EXPECT_DOUBLE_EQ(VincentyMeters(kSydney, kSydney), 0.0);
+  EXPECT_NEAR(VincentyMeters(kSydney, kPerth), VincentyMeters(kPerth, kSydney),
+              1e-6);
+}
+
+TEST(VincentyTest, NearAntipodalFallsBackGracefully) {
+  // Vincenty's inverse iteration may not converge near the antipode; the
+  // implementation must still return a sane great-circle-scale distance.
+  const LatLon p{10.0, 20.0};
+  const LatLon antipode{-10.0, -160.0};
+  const double d = VincentyMeters(p, antipode);
+  EXPECT_GT(d, 1.9e7);
+  EXPECT_LT(d, 2.1e7);
+}
+
+TEST(MetersPerDegreeTest, LatitudeConstantLongitudeShrinks) {
+  EXPECT_NEAR(MetersPerDegreeLat(), 111195.0, 10.0);
+  EXPECT_NEAR(MetersPerDegreeLon(0.0), 111195.0, 10.0);
+  EXPECT_LT(MetersPerDegreeLon(-60.0), MetersPerDegreeLon(-30.0));
+  EXPECT_NEAR(MetersPerDegreeLon(60.0), MetersPerDegreeLon(0.0) * 0.5, 10.0);
+}
+
+}  // namespace
+}  // namespace twimob::geo

@@ -1,0 +1,114 @@
+#include "geo/geohash.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesic.h"
+#include "random/rng.h"
+
+namespace twimob::geo {
+namespace {
+
+TEST(GeohashTest, KnownReferenceHashes) {
+  // Reference values from geohash.org.
+  auto ezs42 = GeohashEncode(LatLon{42.605, -5.603}, 5);
+  ASSERT_TRUE(ezs42.ok());
+  EXPECT_EQ(*ezs42, "ezs42");
+  auto sydney = GeohashEncode(LatLon{-33.8688, 151.2093}, 6);
+  ASSERT_TRUE(sydney.ok());
+  EXPECT_EQ(*sydney, "r3gx2f");
+}
+
+TEST(GeohashTest, EncodeValidates) {
+  EXPECT_FALSE(GeohashEncode(LatLon{91.0, 0.0}, 6).ok());
+  EXPECT_FALSE(GeohashEncode(LatLon{0.0, 0.0}, 0).ok());
+  EXPECT_FALSE(GeohashEncode(LatLon{0.0, 0.0}, 13).ok());
+  EXPECT_TRUE(GeohashEncode(LatLon{0.0, 0.0}, 1).ok());
+  EXPECT_TRUE(GeohashEncode(LatLon{0.0, 0.0}, 12).ok());
+}
+
+TEST(GeohashTest, DecodeValidates) {
+  EXPECT_FALSE(GeohashDecode("").ok());
+  EXPECT_FALSE(GeohashDecode("abc!").ok());
+  EXPECT_FALSE(GeohashDecode("ail").ok());  // 'a','i','l' not in base32
+}
+
+TEST(GeohashTest, EncodeDecodeRoundTripContainsPoint) {
+  random::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    const LatLon p{rng.NextUniform(-89.9, 89.9), rng.NextUniform(-179.9, 179.9)};
+    for (int precision : {1, 4, 6, 9, 12}) {
+      auto hash = GeohashEncode(p, precision);
+      ASSERT_TRUE(hash.ok());
+      EXPECT_EQ(static_cast<int>(hash->size()), precision);
+      auto box = GeohashDecode(*hash);
+      ASSERT_TRUE(box.ok());
+      EXPECT_TRUE(box->Contains(p)) << *hash;
+    }
+  }
+}
+
+TEST(GeohashTest, CellSizeShrinksWithPrecision) {
+  const LatLon p{-33.8688, 151.2093};
+  double prev_area = 1e18;
+  for (int precision = 1; precision <= 8; ++precision) {
+    auto hash = GeohashEncode(p, precision);
+    ASSERT_TRUE(hash.ok());
+    auto box = GeohashDecode(*hash);
+    ASSERT_TRUE(box.ok());
+    const double area = (box->max_lat - box->min_lat) *
+                        (box->max_lon - box->min_lon);
+    EXPECT_LT(area, prev_area);
+    prev_area = area;
+  }
+}
+
+TEST(GeohashTest, Precision6CellIsAboutOneKilometre) {
+  const LatLon p{-33.8688, 151.2093};
+  auto hash = GeohashEncode(p, 6);
+  ASSERT_TRUE(hash.ok());
+  auto box = GeohashDecode(*hash);
+  ASSERT_TRUE(box.ok());
+  const double height_m =
+      (box->max_lat - box->min_lat) * MetersPerDegreeLat();
+  EXPECT_NEAR(height_m, 610.0, 30.0);  // 0.0055 deg ≈ 611 m
+}
+
+TEST(GeohashTest, DecodeCenterInsideCell) {
+  auto center = GeohashDecodeCenter("r3gx2f");
+  ASSERT_TRUE(center.ok());
+  EXPECT_NEAR(center->lat, -33.8688, 0.01);
+  EXPECT_NEAR(center->lon, 151.2093, 0.01);
+}
+
+TEST(GeohashTest, PrefixPropertyHolds) {
+  // A longer hash of the same point starts with the shorter one.
+  const LatLon p{-27.4698, 153.0251};
+  auto short_hash = GeohashEncode(p, 4);
+  auto long_hash = GeohashEncode(p, 9);
+  ASSERT_TRUE(short_hash.ok());
+  ASSERT_TRUE(long_hash.ok());
+  EXPECT_EQ(long_hash->substr(0, 4), *short_hash);
+}
+
+TEST(GeohashTest, NeighborsAreDistinctAdjacentCells) {
+  auto neighbors = GeohashNeighbors("r3gx2f");
+  ASSERT_TRUE(neighbors.ok());
+  EXPECT_EQ(neighbors->size(), 8u);
+  std::set<std::string> unique(neighbors->begin(), neighbors->end());
+  EXPECT_EQ(unique.size(), 8u);
+  EXPECT_EQ(unique.count("r3gx2f"), 0u);
+  // Every neighbour's centre lies within ~2 cell diagonals of the original.
+  auto origin = GeohashDecodeCenter("r3gx2f");
+  ASSERT_TRUE(origin.ok());
+  for (const std::string& n : *neighbors) {
+    EXPECT_EQ(n.size(), 6u);
+    auto c = GeohashDecodeCenter(n);
+    ASSERT_TRUE(c.ok());
+    EXPECT_LT(HaversineMeters(*origin, *c), 3000.0) << n;
+  }
+}
+
+}  // namespace
+}  // namespace twimob::geo

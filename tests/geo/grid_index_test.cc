@@ -1,0 +1,154 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesic.h"
+#include "random/rng.h"
+
+namespace twimob::geo {
+namespace {
+
+std::vector<IndexedPoint> RandomPoints(size_t n, uint64_t seed,
+                                       const BoundingBox& box) {
+  random::Xoshiro256 rng(seed);
+  std::vector<IndexedPoint> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(IndexedPoint{
+        LatLon{rng.NextUniform(box.min_lat, box.max_lat),
+               rng.NextUniform(box.min_lon, box.max_lon)},
+        i});
+  }
+  return pts;
+}
+
+std::set<uint64_t> BruteForceRadius(const std::vector<IndexedPoint>& pts,
+                                    const LatLon& center, double radius_m) {
+  std::set<uint64_t> ids;
+  for (const auto& p : pts) {
+    if (HaversineMeters(center, p.pos) <= radius_m) ids.insert(p.id);
+  }
+  return ids;
+}
+
+std::set<uint64_t> Ids(const std::vector<IndexedPoint>& pts) {
+  std::set<uint64_t> ids;
+  for (const auto& p : pts) ids.insert(p.id);
+  return ids;
+}
+
+TEST(GridIndexTest, CreateValidatesInput) {
+  EXPECT_FALSE(GridIndex::Create(BoundingBox{10, 0, 0, 10}, 0.1).ok());
+  EXPECT_FALSE(GridIndex::Create(AustraliaBoundingBox(), 0.0).ok());
+  EXPECT_FALSE(GridIndex::Create(AustraliaBoundingBox(), -1.0).ok());
+  EXPECT_TRUE(GridIndex::Create(AustraliaBoundingBox(), 0.05).ok());
+}
+
+TEST(GridIndexTest, EmptyIndexReturnsNothing) {
+  auto idx = GridIndex::Create(AustraliaBoundingBox(), 0.1);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->size(), 0u);
+  EXPECT_TRUE(idx->QueryRadius(LatLon{-33.87, 151.21}, 50000.0).empty());
+  EXPECT_EQ(idx->CountRadius(LatLon{-33.87, 151.21}, 50000.0), 0u);
+}
+
+class GridRadiusPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GridRadiusPropertyTest, MatchesBruteForce) {
+  const auto [cell_deg, radius_m] = GetParam();
+  const BoundingBox box{-36.0, 148.0, -32.0, 153.0};
+  auto idx = GridIndex::Create(box, cell_deg);
+  ASSERT_TRUE(idx.ok());
+  auto pts = RandomPoints(3000, 42, box);
+  idx->InsertAll(pts);
+  EXPECT_EQ(idx->size(), 3000u);
+
+  random::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    const LatLon center{rng.NextUniform(box.min_lat, box.max_lat),
+                        rng.NextUniform(box.min_lon, box.max_lon)};
+    const auto expected = BruteForceRadius(pts, center, radius_m);
+    const auto actual = Ids(idx->QueryRadius(center, radius_m));
+    EXPECT_EQ(actual, expected) << center.ToString() << " r=" << radius_m;
+    EXPECT_EQ(idx->CountRadius(center, radius_m), expected.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CellAndRadius, GridRadiusPropertyTest,
+    ::testing::Combine(::testing::Values(0.02, 0.05, 0.5),
+                       ::testing::Values(2000.0, 25000.0, 80000.0)));
+
+TEST(GridIndexTest, QueryBoxMatchesBruteForce) {
+  const BoundingBox bounds{-36.0, 148.0, -32.0, 153.0};
+  auto idx = GridIndex::Create(bounds, 0.1);
+  ASSERT_TRUE(idx.ok());
+  auto pts = RandomPoints(2000, 13, bounds);
+  idx->InsertAll(pts);
+
+  const BoundingBox query{-34.5, 150.0, -33.0, 151.5};
+  std::set<uint64_t> expected;
+  for (const auto& p : pts) {
+    if (query.Contains(p.pos)) expected.insert(p.id);
+  }
+  EXPECT_EQ(Ids(idx->QueryBox(query)), expected);
+}
+
+TEST(GridIndexTest, PointsOutsideBoundsAreClampedButRetrievable) {
+  const BoundingBox bounds{-36.0, 148.0, -32.0, 153.0};
+  auto idx = GridIndex::Create(bounds, 0.1);
+  ASSERT_TRUE(idx.ok());
+  // A point just outside the north edge.
+  const IndexedPoint outside{LatLon{-31.9, 150.0}, 99};
+  idx->Insert(outside);
+  auto found = idx->QueryRadius(LatLon{-32.0, 150.0}, 20000.0);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].id, 99u);
+  EXPECT_EQ(found[0].pos, outside.pos);  // true coordinates preserved
+}
+
+TEST(GridIndexTest, RadiusIsInclusiveOfBoundary) {
+  auto idx = GridIndex::Create(AustraliaBoundingBox(), 0.1);
+  ASSERT_TRUE(idx.ok());
+  const LatLon center{-33.0, 151.0};
+  const LatLon at_radius = DestinationPoint(center, 90.0, 10000.0);
+  idx->Insert(IndexedPoint{at_radius, 1});
+  // Querying with the exact distance must include the point.
+  const double d = HaversineMeters(center, at_radius);
+  EXPECT_EQ(idx->CountRadius(center, d), 1u);
+  EXPECT_EQ(idx->CountRadius(center, d - 1.0), 0u);
+}
+
+TEST(GridIndexTest, ForEachVisitsEachMatchOnce) {
+  const BoundingBox bounds{-36.0, 148.0, -32.0, 153.0};
+  auto idx = GridIndex::Create(bounds, 0.05);
+  ASSERT_TRUE(idx.ok());
+  auto pts = RandomPoints(500, 3, bounds);
+  idx->InsertAll(pts);
+  const LatLon center{-34.0, 150.5};
+  std::multiset<uint64_t> visited;
+  idx->ForEachInRadius(center, 50000.0,
+                       [&visited](const IndexedPoint& p) { visited.insert(p.id); });
+  const auto expected = BruteForceRadius(pts, center, 50000.0);
+  EXPECT_EQ(visited.size(), expected.size());  // no duplicates
+  EXPECT_EQ(std::set<uint64_t>(visited.begin(), visited.end()), expected);
+}
+
+TEST(GridIndexTest, NonEmptyCellCountGrowsWithSpread) {
+  const BoundingBox bounds{-36.0, 148.0, -32.0, 153.0};
+  auto idx = GridIndex::Create(bounds, 0.1);
+  ASSERT_TRUE(idx.ok());
+  // All points identical -> one cell.
+  for (int i = 0; i < 50; ++i) {
+    idx->Insert(IndexedPoint{LatLon{-34.0, 150.0}, static_cast<uint64_t>(i)});
+  }
+  EXPECT_EQ(idx->num_nonempty_cells(), 1u);
+}
+
+}  // namespace
+}  // namespace twimob::geo

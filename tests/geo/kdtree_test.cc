@@ -1,0 +1,132 @@
+#include "geo/kdtree.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesic.h"
+#include "random/rng.h"
+
+namespace twimob::geo {
+namespace {
+
+std::vector<IndexedPoint> RandomPoints(size_t n, uint64_t seed) {
+  random::Xoshiro256 rng(seed);
+  std::vector<IndexedPoint> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(IndexedPoint{
+        LatLon{rng.NextUniform(-44.0, -10.0), rng.NextUniform(113.0, 154.0)}, i});
+  }
+  return pts;
+}
+
+std::set<uint64_t> Ids(const std::vector<IndexedPoint>& pts) {
+  std::set<uint64_t> ids;
+  for (const auto& p : pts) ids.insert(p.id);
+  return ids;
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  KdTree tree = KdTree::Build({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.QueryRadius(LatLon{-33.0, 151.0}, 1e6).empty());
+  EXPECT_EQ(tree.CountRadius(LatLon{-33.0, 151.0}, 1e6), 0u);
+  EXPECT_TRUE(tree.NearestNeighbors(LatLon{-33.0, 151.0}, 3).empty());
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  KdTree tree = KdTree::Build({IndexedPoint{LatLon{-33.0, 151.0}, 7}});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.CountRadius(LatLon{-33.0, 151.0}, 1.0), 1u);
+  EXPECT_EQ(tree.CountRadius(LatLon{-34.0, 151.0}, 1.0), 0u);
+  auto nn = tree.NearestNeighbors(LatLon{-40.0, 140.0}, 5);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 7u);
+}
+
+class KdRadiusPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KdRadiusPropertyTest, RadiusMatchesBruteForce) {
+  const size_t n = GetParam();
+  auto pts = RandomPoints(n, n * 31 + 1);
+  KdTree tree = KdTree::Build(pts);
+  EXPECT_EQ(tree.size(), n);
+
+  random::Xoshiro256 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const LatLon center{rng.NextUniform(-44.0, -10.0),
+                        rng.NextUniform(113.0, 154.0)};
+    const double radius = rng.NextUniform(10000.0, 800000.0);
+    std::set<uint64_t> expected;
+    for (const auto& p : pts) {
+      if (HaversineMeters(center, p.pos) <= radius) expected.insert(p.id);
+    }
+    EXPECT_EQ(Ids(tree.QueryRadius(center, radius)), expected)
+        << "n=" << n << " r=" << radius;
+    EXPECT_EQ(tree.CountRadius(center, radius), expected.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KdRadiusPropertyTest,
+                         ::testing::Values(2, 3, 10, 100, 1000, 5000));
+
+class KdNearestPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KdNearestPropertyTest, NearestMatchesBruteForce) {
+  const size_t k = GetParam();
+  auto pts = RandomPoints(800, 77);
+  KdTree tree = KdTree::Build(pts);
+
+  random::Xoshiro256 rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const LatLon center{rng.NextUniform(-44.0, -10.0),
+                        rng.NextUniform(113.0, 154.0)};
+    auto expected = pts;
+    std::sort(expected.begin(), expected.end(),
+              [&center](const IndexedPoint& a, const IndexedPoint& b) {
+                return HaversineMeters(center, a.pos) <
+                       HaversineMeters(center, b.pos);
+              });
+    expected.resize(std::min(k, expected.size()));
+
+    const auto actual = tree.NearestNeighbors(center, k);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < actual.size(); ++i) {
+      // Compare by distance (ties may reorder ids).
+      EXPECT_NEAR(HaversineMeters(center, actual[i].pos),
+                  HaversineMeters(center, expected[i].pos), 1e-6)
+          << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KdNearestPropertyTest,
+                         ::testing::Values(1, 2, 5, 20, 900));
+
+TEST(KdTreeTest, NearestNeighborsSortedByDistance) {
+  auto pts = RandomPoints(200, 3);
+  KdTree tree = KdTree::Build(pts);
+  const LatLon center{-30.0, 140.0};
+  const auto nn = tree.NearestNeighbors(center, 20);
+  ASSERT_EQ(nn.size(), 20u);
+  for (size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_LE(HaversineMeters(center, nn[i - 1].pos),
+              HaversineMeters(center, nn[i].pos));
+  }
+}
+
+TEST(KdTreeTest, DuplicatePointsAllReturned) {
+  std::vector<IndexedPoint> pts;
+  for (uint64_t i = 0; i < 10; ++i) {
+    pts.push_back(IndexedPoint{LatLon{-33.0, 151.0}, i});
+  }
+  KdTree tree = KdTree::Build(pts);
+  EXPECT_EQ(tree.CountRadius(LatLon{-33.0, 151.0}, 1.0), 10u);
+  EXPECT_EQ(tree.NearestNeighbors(LatLon{-33.0, 151.0}, 10).size(), 10u);
+}
+
+}  // namespace
+}  // namespace twimob::geo

@@ -1,0 +1,50 @@
+#include "geo/latlon.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace twimob::geo {
+namespace {
+
+TEST(LatLonTest, ValidityEnvelope) {
+  EXPECT_TRUE((LatLon{0.0, 0.0}).IsValid());
+  EXPECT_TRUE((LatLon{-90.0, 180.0}).IsValid());
+  EXPECT_TRUE((LatLon{90.0, -180.0}).IsValid());
+  EXPECT_FALSE((LatLon{90.1, 0.0}).IsValid());
+  EXPECT_FALSE((LatLon{0.0, 180.5}).IsValid());
+  EXPECT_FALSE((LatLon{std::nan(""), 0.0}).IsValid());
+  EXPECT_FALSE((LatLon{0.0, INFINITY}).IsValid());
+}
+
+TEST(LatLonTest, EqualityAndToString) {
+  LatLon a{-33.8688, 151.2093};
+  LatLon b{-33.8688, 151.2093};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString(), "(-33.868800, 151.209300)");
+}
+
+TEST(FixedPointTest, RoundTripWithinResolution) {
+  const double values[] = {-54.640301, -9.228820, 112.921112, 159.278717, 0.0,
+                           151.2093,   -33.8688};
+  for (double v : values) {
+    const int32_t fixed = DegreesToFixed(v);
+    EXPECT_NEAR(FixedToDegrees(fixed), v, 0.5 / kFixedPointScale) << v;
+  }
+}
+
+TEST(FixedPointTest, ExtremesDoNotOverflow) {
+  EXPECT_NEAR(FixedToDegrees(DegreesToFixed(180.0)), 180.0, 1e-6);
+  EXPECT_NEAR(FixedToDegrees(DegreesToFixed(-180.0)), -180.0, 1e-6);
+  EXPECT_NEAR(FixedToDegrees(DegreesToFixed(90.0)), 90.0, 1e-6);
+}
+
+TEST(FixedPointTest, RoundsToNearest) {
+  // 0.4 micro-degrees rounds down, 0.6 rounds up.
+  EXPECT_EQ(DegreesToFixed(0.0000004), 0);
+  EXPECT_EQ(DegreesToFixed(0.0000006), 1);
+  EXPECT_EQ(DegreesToFixed(-0.0000006), -1);
+}
+
+}  // namespace
+}  // namespace twimob::geo

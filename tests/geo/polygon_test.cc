@@ -1,0 +1,128 @@
+#include "geo/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+
+namespace twimob::geo {
+namespace {
+
+// A unit square around Sydney-ish coordinates.
+std::vector<LatLon> Square() {
+  return {LatLon{-34.0, 151.0}, LatLon{-34.0, 152.0}, LatLon{-33.0, 152.0},
+          LatLon{-33.0, 151.0}};
+}
+
+TEST(PolygonTest, CreateValidates) {
+  EXPECT_FALSE(Polygon::Create({}).ok());
+  EXPECT_FALSE(Polygon::Create({LatLon{0, 0}, LatLon{1, 1}}).ok());
+  EXPECT_FALSE(
+      Polygon::Create({LatLon{0, 0}, LatLon{1, 1}, LatLon{2, 2}}).ok());  // collinear
+  EXPECT_FALSE(
+      Polygon::Create({LatLon{0, 0}, LatLon{95, 1}, LatLon{1, 1}}).ok());  // invalid
+  EXPECT_TRUE(Polygon::Create(Square()).ok());
+}
+
+TEST(PolygonTest, ContainsInsideOutside) {
+  auto poly = Polygon::Create(Square());
+  ASSERT_TRUE(poly.ok());
+  EXPECT_TRUE(poly->Contains(LatLon{-33.5, 151.5}));
+  EXPECT_FALSE(poly->Contains(LatLon{-32.5, 151.5}));  // north of it
+  EXPECT_FALSE(poly->Contains(LatLon{-33.5, 150.5}));  // west of it
+  EXPECT_FALSE(poly->Contains(LatLon{-35.5, 153.5}));
+}
+
+TEST(PolygonTest, ContainsConcaveShape) {
+  // A "C" shape: points inside the notch are outside the polygon.
+  auto poly = Polygon::Create({LatLon{0, 0}, LatLon{0, 3}, LatLon{1, 3},
+                               LatLon{1, 1}, LatLon{2, 1}, LatLon{2, 3},
+                               LatLon{3, 3}, LatLon{3, 0}});
+  ASSERT_TRUE(poly.ok());
+  EXPECT_TRUE(poly->Contains(LatLon{0.5, 1.5}));   // bottom bar
+  EXPECT_TRUE(poly->Contains(LatLon{2.5, 2.0}));   // top bar
+  EXPECT_FALSE(poly->Contains(LatLon{1.5, 2.0}));  // inside the notch
+  EXPECT_TRUE(poly->Contains(LatLon{1.5, 0.5}));   // spine
+}
+
+TEST(PolygonTest, AreaOfUnitSquare) {
+  auto poly = Polygon::Create(Square());
+  ASSERT_TRUE(poly.ok());
+  EXPECT_NEAR(std::fabs(poly->SignedAreaDeg2()), 1.0, 1e-12);
+  // 1 deg x 1 deg at -33.5: ~111.19 km x ~92.7 km.
+  EXPECT_NEAR(poly->AreaKm2(), 111.19 * 92.72, 150.0);
+}
+
+TEST(PolygonTest, CentroidOfSquare) {
+  auto poly = Polygon::Create(Square());
+  ASSERT_TRUE(poly.ok());
+  const LatLon c = poly->Centroid();
+  EXPECT_NEAR(c.lat, -33.5, 1e-9);
+  EXPECT_NEAR(c.lon, 151.5, 1e-9);
+}
+
+TEST(PolygonTest, WindingOrderDoesNotAffectContains) {
+  auto ccw = Polygon::Create(Square());
+  auto cw_vertices = Square();
+  std::reverse(cw_vertices.begin(), cw_vertices.end());
+  auto cw = Polygon::Create(cw_vertices);
+  ASSERT_TRUE(ccw.ok());
+  ASSERT_TRUE(cw.ok());
+  random::Xoshiro256 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const LatLon p{rng.NextUniform(-35.0, -32.0), rng.NextUniform(150.0, 153.0)};
+    EXPECT_EQ(ccw->Contains(p), cw->Contains(p)) << p.ToString();
+  }
+  EXPECT_NEAR(ccw->SignedAreaDeg2(), -cw->SignedAreaDeg2(), 1e-12);
+}
+
+TEST(ConvexHullTest, HullOfSquareWithInteriorPoints) {
+  std::vector<LatLon> points = Square();
+  points.push_back(LatLon{-33.5, 151.5});  // interior
+  points.push_back(LatLon{-33.7, 151.2});  // interior
+  auto hull = Polygon::ConvexHull(points);
+  ASSERT_TRUE(hull.ok());
+  EXPECT_EQ(hull->vertices().size(), 4u);
+  EXPECT_NEAR(std::fabs(hull->SignedAreaDeg2()), 1.0, 1e-12);
+}
+
+TEST(ConvexHullTest, HullContainsAllInputPoints) {
+  random::Xoshiro256 rng(7);
+  std::vector<LatLon> points;
+  for (int i = 0; i < 300; ++i) {
+    points.push_back(
+        LatLon{rng.NextUniform(-35.0, -33.0), rng.NextUniform(150.0, 152.0)});
+  }
+  auto hull = Polygon::ConvexHull(points);
+  ASSERT_TRUE(hull.ok());
+  // Shrink each point slightly toward the centroid to avoid boundary
+  // ambiguity of the even-odd test.
+  const LatLon c = hull->Centroid();
+  for (const LatLon& p : points) {
+    const LatLon inner{p.lat + (c.lat - p.lat) * 1e-6,
+                       p.lon + (c.lon - p.lon) * 1e-6};
+    EXPECT_TRUE(hull->Contains(inner)) << p.ToString();
+  }
+}
+
+TEST(ConvexHullTest, DegenerateInputs) {
+  EXPECT_FALSE(Polygon::ConvexHull({LatLon{0, 0}, LatLon{1, 1}}).ok());
+  EXPECT_FALSE(Polygon::ConvexHull(
+                   {LatLon{0, 0}, LatLon{1, 1}, LatLon{2, 2}, LatLon{3, 3}})
+                   .ok());  // all collinear
+  // Duplicates collapse.
+  EXPECT_FALSE(
+      Polygon::ConvexHull({LatLon{0, 0}, LatLon{0, 0}, LatLon{1, 1}}).ok());
+}
+
+TEST(PolygonTest, BoundsAreTight) {
+  auto poly = Polygon::Create(Square());
+  ASSERT_TRUE(poly.ok());
+  EXPECT_DOUBLE_EQ(poly->bounds().min_lat, -34.0);
+  EXPECT_DOUBLE_EQ(poly->bounds().max_lon, 152.0);
+}
+
+}  // namespace
+}  // namespace twimob::geo

@@ -1,0 +1,158 @@
+#include "mobility/constrained_gravity.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+
+namespace twimob::mobility {
+namespace {
+
+// Distances for a 4-area ring, row-major, metres.
+std::vector<double> RingDistances() {
+  std::vector<double> d(16, 0.0);
+  auto set = [&d](size_t i, size_t j, double v) {
+    d[i * 4 + j] = v;
+    d[j * 4 + i] = v;
+  };
+  set(0, 1, 100e3);
+  set(1, 2, 150e3);
+  set(2, 3, 120e3);
+  set(0, 3, 200e3);
+  set(0, 2, 230e3);
+  set(1, 3, 260e3);
+  return d;
+}
+
+TEST(IpfBalanceTest, MatchesTargetsOnFeasibleProblem) {
+  auto m = OdMatrix::Create(3);
+  ASSERT_TRUE(m.ok());
+  // Seed with uniform off-diagonal flow.
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      if (i != j) m->SetFlow(i, j, 1.0);
+    }
+  }
+  const std::vector<double> rows = {10.0, 20.0, 30.0};
+  const std::vector<double> cols = {25.0, 15.0, 20.0};
+  auto iters = IpfBalance(*m, rows, cols, 500, 1e-10);
+  ASSERT_TRUE(iters.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(m->OutFlow(i), rows[i], 1e-6) << i;
+    EXPECT_NEAR(m->InFlow(i), cols[i], 1e-6) << i;
+  }
+}
+
+TEST(IpfBalanceTest, RejectsInconsistentTotals) {
+  auto m = OdMatrix::Create(2);
+  ASSERT_TRUE(m.ok());
+  m->SetFlow(0, 1, 1.0);
+  m->SetFlow(1, 0, 1.0);
+  EXPECT_FALSE(IpfBalance(*m, {10.0, 10.0}, {5.0, 5.0}).ok());
+  EXPECT_FALSE(IpfBalance(*m, {10.0}, {10.0}).ok());
+  EXPECT_FALSE(IpfBalance(*m, {-1.0, 1.0}, {0.0, 0.0}).ok());
+}
+
+TEST(IpfBalanceTest, ZeroTargetZeroesRowAndColumn) {
+  auto m = OdMatrix::Create(3);
+  ASSERT_TRUE(m.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      if (i != j) m->SetFlow(i, j, 5.0);
+    }
+  }
+  auto iters = IpfBalance(*m, {0.0, 10.0, 10.0}, {10.0, 10.0, 0.0}, 500, 1e-10);
+  ASSERT_TRUE(iters.ok());
+  EXPECT_DOUBLE_EQ(m->OutFlow(0), 0.0);
+  EXPECT_DOUBLE_EQ(m->InFlow(2), 0.0);
+}
+
+TEST(ConstrainedGravityTest, RecoversGammaFromExactData) {
+  // Build a ground-truth doubly-constrained matrix at gamma = 1.5 and check
+  // the fit reproduces it.
+  const auto distances = RingDistances();
+  const double gamma = 1.5;
+  auto truth = OdMatrix::Create(4);
+  ASSERT_TRUE(truth.ok());
+  const double masses[] = {1000.0, 600.0, 400.0, 800.0};
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      truth->SetFlow(i, j,
+                     masses[i] * masses[j] * std::pow(distances[i * 4 + j], -gamma));
+    }
+  }
+
+  auto fit = ConstrainedGravityModel::Fit(*truth, distances);
+  ASSERT_TRUE(fit.ok());
+  // The balanced estimate must reproduce the observed matrix closely (the
+  // truth satisfies its own marginals by construction).
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      EXPECT_NEAR(fit->Flow(i, j), truth->Flow(i, j),
+                  0.02 * truth->Flow(i, j) + 1e-9)
+          << i << "," << j;
+    }
+  }
+  EXPECT_NEAR(fit->gamma(), gamma, 0.1);
+}
+
+TEST(ConstrainedGravityTest, MarginalsAlwaysMatchObserved) {
+  random::Xoshiro256 rng(5);
+  auto observed = OdMatrix::Create(4);
+  ASSERT_TRUE(observed.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      if (i != j) observed->SetFlow(i, j, 1.0 + rng.NextUint64(500));
+    }
+  }
+  auto fit = ConstrainedGravityModel::Fit(*observed, RingDistances());
+  ASSERT_TRUE(fit.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(fit->estimated().OutFlow(i), observed->OutFlow(i),
+                1e-4 * observed->OutFlow(i));
+    EXPECT_NEAR(fit->estimated().InFlow(i), observed->InFlow(i),
+                1e-4 * observed->InFlow(i));
+  }
+}
+
+TEST(ConstrainedGravityTest, FitValidatesInputs) {
+  auto empty = OdMatrix::Create(3);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(ConstrainedGravityModel::Fit(*empty, std::vector<double>(9, 1.0)).ok());
+
+  auto m = OdMatrix::Create(2);
+  ASSERT_TRUE(m.ok());
+  m->SetFlow(0, 1, 5.0);
+  m->SetFlow(1, 0, 5.0);
+  EXPECT_FALSE(ConstrainedGravityModel::Fit(*m, {1.0, 2.0}).ok());  // wrong size
+}
+
+TEST(ConstrainedGravityTest, PredictAllAlignsWithObservations) {
+  auto observed = OdMatrix::Create(3);
+  ASSERT_TRUE(observed.ok());
+  observed->SetFlow(0, 1, 10.0);
+  observed->SetFlow(1, 0, 10.0);
+  observed->SetFlow(1, 2, 6.0);
+  observed->SetFlow(2, 1, 6.0);
+  observed->SetFlow(0, 2, 4.0);
+  observed->SetFlow(2, 0, 4.0);
+  std::vector<double> d(9, 0.0);
+  d[0 * 3 + 1] = d[1 * 3 + 0] = 50e3;
+  d[1 * 3 + 2] = d[2 * 3 + 1] = 80e3;
+  d[0 * 3 + 2] = d[2 * 3 + 0] = 120e3;
+  auto fit = ConstrainedGravityModel::Fit(*observed, d);
+  ASSERT_TRUE(fit.ok());
+
+  FlowObservation o;
+  o.src = 0;
+  o.dst = 1;
+  auto preds = fit->PredictAll({o});
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_NEAR(preds[0], fit->Flow(0, 1), 1e-12);
+}
+
+}  // namespace
+}  // namespace twimob::mobility

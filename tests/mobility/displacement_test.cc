@@ -1,0 +1,114 @@
+#include "mobility/displacement.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesic.h"
+#include "stats/power_law.h"
+#include "synth/tweet_generator.h"
+
+namespace twimob::mobility {
+namespace {
+
+tweetdb::Tweet At(uint64_t user, int64_t ts, const geo::LatLon& p) {
+  return tweetdb::Tweet{user, ts, p};
+}
+
+TEST(RadiusOfGyrationTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(RadiusOfGyrationMeters({}), 0.0);
+  EXPECT_DOUBLE_EQ(RadiusOfGyrationMeters({geo::LatLon{-33.0, 151.0}}), 0.0);
+  // Identical points -> zero radius.
+  EXPECT_NEAR(RadiusOfGyrationMeters(
+                  {geo::LatLon{-33.0, 151.0}, geo::LatLon{-33.0, 151.0}}),
+              0.0, 1e-9);
+}
+
+TEST(RadiusOfGyrationTest, TwoPointsGiveHalfDistance) {
+  const geo::LatLon a{-33.0, 151.0};
+  const geo::LatLon b = geo::DestinationPoint(a, 90.0, 10000.0);
+  const double rog = RadiusOfGyrationMeters({a, b});
+  EXPECT_NEAR(rog, 5000.0, 50.0);
+}
+
+TEST(RadiusOfGyrationTest, ScalesWithSpread) {
+  const geo::LatLon center{-33.0, 151.0};
+  std::vector<geo::LatLon> tight, wide;
+  for (double bearing = 0.0; bearing < 360.0; bearing += 45.0) {
+    tight.push_back(geo::DestinationPoint(center, bearing, 1000.0));
+    wide.push_back(geo::DestinationPoint(center, bearing, 50000.0));
+  }
+  EXPECT_NEAR(RadiusOfGyrationMeters(tight), 1000.0, 20.0);
+  EXPECT_NEAR(RadiusOfGyrationMeters(wide), 50000.0, 1000.0);
+}
+
+TEST(DisplacementStatsTest, RequiresCompactedTable) {
+  tweetdb::TweetTable table;
+  ASSERT_TRUE(table.Append(At(1, 1, geo::LatLon{-33.0, 151.0})).ok());
+  EXPECT_TRUE(ComputeDisplacementStats(table).status().IsFailedPrecondition());
+}
+
+TEST(DisplacementStatsTest, HandComputedJumps) {
+  const geo::LatLon a{-33.0, 151.0};
+  const geo::LatLon b = geo::DestinationPoint(a, 90.0, 5000.0);
+  const geo::LatLon c = geo::DestinationPoint(b, 0.0, 20000.0);
+  tweetdb::TweetTable table;
+  ASSERT_TRUE(table.Append(At(1, 10, a)).ok());
+  ASSERT_TRUE(table.Append(At(1, 20, b)).ok());
+  ASSERT_TRUE(table.Append(At(1, 30, c)).ok());
+  ASSERT_TRUE(table.Append(At(2, 10, a)).ok());  // single-tweet user
+  table.CompactByUserTime();
+
+  auto stats = ComputeDisplacementStats(table, 250.0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_users_total, 2u);
+  ASSERT_EQ(stats->users.size(), 1u);  // user 2 has < 2 tweets
+  EXPECT_EQ(stats->users[0].user_id, 1u);
+  ASSERT_EQ(stats->jump_lengths_m.size(), 2u);
+  EXPECT_NEAR(stats->jump_lengths_m[0], 5000.0, 10.0);
+  EXPECT_NEAR(stats->jump_lengths_m[1], 20000.0, 40.0);
+  EXPECT_NEAR(stats->users[0].total_distance_m, 25000.0, 50.0);
+  EXPECT_NEAR(stats->users[0].max_jump_m, 20000.0, 40.0);
+  EXPECT_GT(stats->users[0].radius_of_gyration_m, 1000.0);
+}
+
+TEST(DisplacementStatsTest, MinJumpFiltersGpsNoise) {
+  const geo::LatLon a{-33.0, 151.0};
+  tweetdb::TweetTable table;
+  ASSERT_TRUE(table.Append(At(1, 10, a)).ok());
+  ASSERT_TRUE(
+      table.Append(At(1, 20, geo::DestinationPoint(a, 90.0, 50.0))).ok());
+  ASSERT_TRUE(
+      table.Append(At(1, 30, geo::DestinationPoint(a, 90.0, 5000.0))).ok());
+  table.CompactByUserTime();
+  auto stats = ComputeDisplacementStats(table, 250.0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->jump_lengths_m.size(), 1u);  // the 50 m hop is dropped
+  EXPECT_TRUE(
+      ComputeDisplacementStats(table, -1.0).status().IsInvalidArgument());
+}
+
+TEST(DisplacementStatsTest, SyntheticCorpusJumpsAreHeavyTailed) {
+  synth::CorpusConfig config;
+  config.num_users = 5000;
+  config.seed = 77;
+  auto gen = synth::TweetGenerator::Create(config);
+  ASSERT_TRUE(gen.ok());
+  auto table = gen->Generate();
+  ASSERT_TRUE(table.ok());
+  table->CompactByUserTime();
+
+  auto stats = ComputeDisplacementStats(*table);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_GT(stats->jump_lengths_m.size(), 1000u);
+  // Jump lengths span local hops to cross-country flights: >= 3 decades.
+  EXPECT_GE(stats::DecadesSpanned(stats->jump_lengths_m), 3.0);
+  // Radii of gyration are non-negative and frequently > 1 km.
+  size_t mobile = 0;
+  for (const auto& u : stats->users) {
+    EXPECT_GE(u.radius_of_gyration_m, 0.0);
+    if (u.radius_of_gyration_m > 1000.0) ++mobile;
+  }
+  EXPECT_GT(mobile, stats->users.size() / 4);
+}
+
+}  // namespace
+}  // namespace twimob::mobility

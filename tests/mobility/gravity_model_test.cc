@@ -1,0 +1,176 @@
+#include "mobility/gravity_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+
+namespace twimob::mobility {
+namespace {
+
+// Builds observations whose flows follow an exact gravity law.
+std::vector<FlowObservation> GravityObservations(double log10_c, double alpha,
+                                                 double beta, double gamma,
+                                                 double noise_sigma, uint64_t seed,
+                                                 int n = 150) {
+  random::Xoshiro256 rng(seed);
+  std::vector<FlowObservation> obs;
+  for (int i = 0; i < n; ++i) {
+    FlowObservation o;
+    o.src = i % 20;
+    o.dst = (i + 1) % 20;
+    o.m = std::pow(10.0, rng.NextUniform(3.0, 6.5));
+    o.n = std::pow(10.0, rng.NextUniform(3.0, 6.5));
+    o.d_meters = std::pow(10.0, rng.NextUniform(4.0, 6.5));
+    const double log_flow = log10_c + alpha * std::log10(o.m) +
+                            beta * std::log10(o.n) - gamma * std::log10(o.d_meters) +
+                            rng.NextGaussian() * noise_sigma;
+    o.flow = std::pow(10.0, log_flow);
+    obs.push_back(o);
+  }
+  return obs;
+}
+
+TEST(GravityModelTest, VariantNames) {
+  EXPECT_EQ(GravityVariantName(GravityVariant::kFourParam), "Gravity 4Param");
+  EXPECT_EQ(GravityVariantName(GravityVariant::kTwoParam), "Gravity 2Param");
+}
+
+TEST(GravityModelTest, FourParamRecoversPlantedParameters) {
+  const auto obs = GravityObservations(-2.0, 0.8, 1.2, 1.9, 0.0, 1);
+  auto model = GravityModel::Fit(obs, GravityVariant::kFourParam);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->log10_c(), -2.0, 1e-6);
+  EXPECT_NEAR(model->alpha(), 0.8, 1e-6);
+  EXPECT_NEAR(model->beta(), 1.2, 1e-6);
+  EXPECT_NEAR(model->gamma(), 1.9, 1e-6);
+  EXPECT_NEAR(model->r_squared(), 1.0, 1e-9);
+}
+
+TEST(GravityModelTest, FourParamTolerantToNoise) {
+  const auto obs = GravityObservations(-2.0, 0.8, 1.2, 1.9, 0.3, 2, 500);
+  auto model = GravityModel::Fit(obs, GravityVariant::kFourParam);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->alpha(), 0.8, 0.05);
+  EXPECT_NEAR(model->beta(), 1.2, 0.05);
+  EXPECT_NEAR(model->gamma(), 1.9, 0.05);
+}
+
+TEST(GravityModelTest, TwoParamConstrainsMassExponents) {
+  // Planted with unit mass exponents: 2-param recovers gamma exactly.
+  const auto obs = GravityObservations(-1.0, 1.0, 1.0, 1.5, 0.0, 3);
+  auto model = GravityModel::Fit(obs, GravityVariant::kTwoParam);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->alpha(), 1.0);
+  EXPECT_DOUBLE_EQ(model->beta(), 1.0);
+  EXPECT_NEAR(model->gamma(), 1.5, 1e-6);
+  EXPECT_NEAR(model->log10_c(), -1.0, 1e-6);
+}
+
+TEST(GravityModelTest, PredictInvertsTheFit) {
+  const auto obs = GravityObservations(-2.0, 0.9, 1.1, 2.0, 0.0, 4);
+  auto model = GravityModel::Fit(obs, GravityVariant::kFourParam);
+  ASSERT_TRUE(model.ok());
+  for (const auto& o : obs) {
+    EXPECT_NEAR(model->Predict(o), o.flow, o.flow * 1e-6);
+  }
+  auto all = model->PredictAll(obs);
+  ASSERT_EQ(all.size(), obs.size());
+  EXPECT_NEAR(all[0], obs[0].flow, obs[0].flow * 1e-6);
+}
+
+TEST(GravityModelTest, PredictDegenerateInputsGiveZero) {
+  const auto obs = GravityObservations(-2.0, 1.0, 1.0, 1.0, 0.0, 5);
+  auto model = GravityModel::Fit(obs, GravityVariant::kTwoParam);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->Predict(0.0, 10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(model->Predict(10.0, -1.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(model->Predict(10.0, 10.0, 0.0), 0.0);
+}
+
+TEST(GravityModelTest, SkipsNonPositiveObservations) {
+  auto obs = GravityObservations(-1.0, 1.0, 1.0, 1.0, 0.0, 6, 30);
+  obs[0].flow = 0.0;
+  obs[1].m = 0.0;
+  obs[2].d_meters = 0.0;
+  auto model = GravityModel::Fit(obs, GravityVariant::kTwoParam);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->num_observations(), obs.size() - 3);
+}
+
+TEST(GravityModelTest, TooFewObservationsFails) {
+  std::vector<FlowObservation> obs;
+  FlowObservation o;
+  o.m = o.n = 100.0;
+  o.d_meters = 1000.0;
+  o.flow = 10.0;
+  obs.push_back(o);
+  EXPECT_FALSE(GravityModel::Fit(obs, GravityVariant::kTwoParam).ok());
+  EXPECT_FALSE(GravityModel::Fit({}, GravityVariant::kFourParam).ok());
+}
+
+TEST(GravityModelTest, ToStringContainsParameters) {
+  const auto obs = GravityObservations(-1.0, 1.0, 1.0, 1.5, 0.0, 7);
+  auto model = GravityModel::Fit(obs, GravityVariant::kTwoParam);
+  ASSERT_TRUE(model.ok());
+  const std::string s = model->ToString();
+  EXPECT_NE(s.find("Gravity 2Param"), std::string::npos);
+  EXPECT_NE(s.find("gamma=1.500"), std::string::npos);
+}
+
+TEST(GravityModelTest, FlowScaleOnlyMovesTheIntercept) {
+  // Property: multiplying every observed flow by k scales C by k and leaves
+  // the exponents untouched (log-space OLS linearity).
+  const auto obs = GravityObservations(-1.5, 0.9, 1.1, 1.7, 0.1, 11, 200);
+  auto base = GravityModel::Fit(obs, GravityVariant::kFourParam);
+  ASSERT_TRUE(base.ok());
+
+  std::vector<FlowObservation> scaled = obs;
+  for (auto& o : scaled) o.flow *= 1000.0;
+  auto fit = GravityModel::Fit(scaled, GravityVariant::kFourParam);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->alpha(), base->alpha(), 1e-9);
+  EXPECT_NEAR(fit->beta(), base->beta(), 1e-9);
+  EXPECT_NEAR(fit->gamma(), base->gamma(), 1e-9);
+  EXPECT_NEAR(fit->log10_c(), base->log10_c() + 3.0, 1e-9);
+}
+
+TEST(GravityModelTest, DistanceUnitChangeAbsorbedByIntercept) {
+  // Property: rescaling all distances by a constant factor changes only C
+  // (gamma is a pure exponent of a power law).
+  const auto obs = GravityObservations(0.0, 1.0, 1.0, 2.0, 0.05, 13, 200);
+  auto base = GravityModel::Fit(obs, GravityVariant::kTwoParam);
+  ASSERT_TRUE(base.ok());
+  std::vector<FlowObservation> km = obs;
+  for (auto& o : km) o.d_meters /= 1000.0;
+  auto fit = GravityModel::Fit(km, GravityVariant::kTwoParam);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->gamma(), base->gamma(), 1e-9);
+  EXPECT_NEAR(fit->log10_c(), base->log10_c() - 3.0 * base->gamma(), 1e-9);
+}
+
+TEST(BuildObservationsTest, EmitsOffDiagonalPositiveFlows) {
+  auto od = OdMatrix::Create(3);
+  ASSERT_TRUE(od.ok());
+  od->AddFlow(0, 1, 5.0);
+  od->AddFlow(2, 0, 3.0);
+  od->AddFlow(1, 1, 9.0);  // diagonal — skipped
+  const std::vector<double> masses = {10.0, 20.0, 30.0};
+  std::vector<double> dist(9, 0.0);
+  dist[0 * 3 + 1] = 1000.0;
+  dist[2 * 3 + 0] = 2000.0;
+
+  auto obs = BuildObservations(*od, masses, dist);
+  ASSERT_EQ(obs.size(), 2u);
+  EXPECT_EQ(obs[0].src, 0u);
+  EXPECT_EQ(obs[0].dst, 1u);
+  EXPECT_DOUBLE_EQ(obs[0].m, 10.0);
+  EXPECT_DOUBLE_EQ(obs[0].n, 20.0);
+  EXPECT_DOUBLE_EQ(obs[0].d_meters, 1000.0);
+  EXPECT_DOUBLE_EQ(obs[0].flow, 5.0);
+  EXPECT_EQ(obs[1].src, 2u);
+}
+
+}  // namespace
+}  // namespace twimob::mobility

@@ -1,0 +1,136 @@
+#include "mobility/home_inference.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time_util.h"
+#include "geo/geodesic.h"
+#include "synth/tweet_generator.h"
+
+namespace twimob::mobility {
+namespace {
+
+// Sydney local solar time ≈ UTC + 10; 2 am local ≈ 16:00 UTC.
+constexpr int64_t kNightUtc = 16 * 3600;
+constexpr int64_t kNoonUtc = 2 * 3600;  // ≈ midday local
+
+tweetdb::Tweet At(uint64_t user, int64_t day, int64_t second_of_day,
+                  const geo::LatLon& p) {
+  return tweetdb::Tweet{user, day * kSecondsPerDay + second_of_day, p};
+}
+
+TEST(HomeInferenceTest, RequiresCompactedTableAndValidParams) {
+  tweetdb::TweetTable table;
+  ASSERT_TRUE(table.Append(At(1, 0, 0, geo::LatLon{-33.0, 151.0})).ok());
+  EXPECT_TRUE(InferHomeLocations(table).status().IsFailedPrecondition());
+  table.CompactByUserTime();
+  HomeInferenceParams bad;
+  bad.cell_size_m = 0.0;
+  EXPECT_TRUE(InferHomeLocations(table, bad).status().IsInvalidArgument());
+  bad = HomeInferenceParams{};
+  bad.night_start_hour = 25;
+  EXPECT_TRUE(InferHomeLocations(table, bad).status().IsInvalidArgument());
+}
+
+TEST(HomeInferenceTest, MajorityLocationWins) {
+  const geo::LatLon home{-33.90, 151.10};
+  const geo::LatLon work = geo::DestinationPoint(home, 90.0, 15000.0);
+  tweetdb::TweetTable table;
+  // 5 daytime tweets at home, 2 at work.
+  for (int d = 0; d < 5; ++d) {
+    ASSERT_TRUE(table.Append(At(1, d, kNoonUtc, home)).ok());
+  }
+  for (int d = 5; d < 7; ++d) {
+    ASSERT_TRUE(table.Append(At(1, d, kNoonUtc, work)).ok());
+  }
+  table.CompactByUserTime();
+  auto homes = InferHomeLocations(table);
+  ASSERT_TRUE(homes.ok());
+  ASSERT_EQ(homes->size(), 1u);
+  EXPECT_LT(geo::HaversineMeters((*homes)[0].home, home), 500.0);
+  EXPECT_NEAR((*homes)[0].support, 5.0 / 7.0, 0.01);
+}
+
+TEST(HomeInferenceTest, NightWeightBreaksDaytimeMajority) {
+  const geo::LatLon home{-33.90, 151.10};
+  const geo::LatLon work = geo::DestinationPoint(home, 90.0, 15000.0);
+  tweetdb::TweetTable table;
+  // 4 daytime tweets at work, 2 night tweets at home: night weight 3 makes
+  // home win 6 to 4.
+  for (int d = 0; d < 4; ++d) {
+    ASSERT_TRUE(table.Append(At(2, d, kNoonUtc, work)).ok());
+  }
+  for (int d = 4; d < 6; ++d) {
+    ASSERT_TRUE(table.Append(At(2, d, kNightUtc, home)).ok());
+  }
+  table.CompactByUserTime();
+  auto homes = InferHomeLocations(table);
+  ASSERT_TRUE(homes.ok());
+  ASSERT_EQ(homes->size(), 1u);
+  EXPECT_LT(geo::HaversineMeters((*homes)[0].home, home), 500.0);
+
+  // Without night weighting, work wins.
+  HomeInferenceParams flat;
+  flat.night_weight = 1.0;
+  auto flat_homes = InferHomeLocations(table, flat);
+  ASSERT_TRUE(flat_homes.ok());
+  ASSERT_EQ(flat_homes->size(), 1u);
+  EXPECT_LT(geo::HaversineMeters((*flat_homes)[0].home, work), 500.0);
+}
+
+TEST(HomeInferenceTest, SkipsUsersWithTooFewTweets) {
+  tweetdb::TweetTable table;
+  ASSERT_TRUE(table.Append(At(1, 0, 0, geo::LatLon{-33.0, 151.0})).ok());
+  ASSERT_TRUE(table.Append(At(1, 1, 0, geo::LatLon{-33.0, 151.0})).ok());
+  ASSERT_TRUE(table.Append(At(2, 0, 0, geo::LatLon{-34.0, 150.0})).ok());
+  for (int d = 0; d < 3; ++d) {
+    ASSERT_TRUE(table.Append(At(3, d, 0, geo::LatLon{-35.0, 149.0})).ok());
+  }
+  table.CompactByUserTime();
+  auto homes = InferHomeLocations(table);
+  ASSERT_TRUE(homes.ok());
+  ASSERT_EQ(homes->size(), 1u);  // only user 3 has >= 3 tweets
+  EXPECT_EQ((*homes)[0].user_id, 3u);
+}
+
+TEST(HomeInferenceTest, InferredHomesAreGenuineHotspots) {
+  synth::CorpusConfig config;
+  config.num_users = 2000;
+  config.seed = 303;
+  auto gen = synth::TweetGenerator::Create(config);
+  ASSERT_TRUE(gen.ok());
+  auto table = gen->Generate();
+  ASSERT_TRUE(table.ok());
+  table->CompactByUserTime();
+
+  auto homes = InferHomeLocationMap(*table);
+  ASSERT_TRUE(homes.ok());
+  ASSERT_GT(homes->size(), 500u);
+
+  // Collect each inferred user's tweets and check the home is a hotspot:
+  // a substantial share of their tweets falls within 2 km of it.
+  std::unordered_map<uint64_t, std::pair<size_t, size_t>> near_total;
+  table->ForEachRow([&](const tweetdb::Tweet& t) {
+    auto it = homes->find(t.user_id);
+    if (it == homes->end()) return;
+    auto& [near, total] = near_total[t.user_id];
+    ++total;
+    if (geo::HaversineMeters(t.pos, it->second.home) < 2000.0) ++near;
+  });
+  size_t hotspot_users = 0;
+  for (const auto& [user, counts] : near_total) {
+    const auto& [near, total] = counts;
+    ASSERT_GT(total, 0u);
+    if (static_cast<double>(near) / static_cast<double>(total) >= 0.4) {
+      ++hotspot_users;
+    }
+    const double support = homes->at(user).support;
+    EXPECT_GT(support, 0.0);
+    EXPECT_LE(support, 1.0);
+  }
+  EXPECT_GT(static_cast<double>(hotspot_users) /
+                static_cast<double>(near_total.size()),
+            0.7);
+}
+
+}  // namespace
+}  // namespace twimob::mobility

@@ -1,0 +1,112 @@
+#include "mobility/intervening_opportunities.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesic.h"
+#include "mobility/radiation_model.h"
+
+namespace twimob::mobility {
+namespace {
+
+std::vector<census::Area> LineAreas() {
+  std::vector<census::Area> areas(4);
+  areas[0] = census::Area{0, "A", geo::LatLon{-33.0, 150.0}, 0.0};
+  areas[1] = census::Area{1, "B", geo::LatLon{-33.0, 151.0}, 0.0};
+  areas[2] = census::Area{2, "C", geo::LatLon{-33.0, 152.0}, 0.0};
+  areas[3] = census::Area{3, "D", geo::LatLon{-33.0, 155.0}, 0.0};
+  return areas;
+}
+
+const std::vector<double> kMasses = {1000.0, 2000.0, 4000.0, 8000.0};
+
+// Observations generated from the IO model itself at a given L and C.
+std::vector<FlowObservation> IoObservations(const std::vector<census::Area>& areas,
+                                            double l, double log10_c) {
+  std::vector<FlowObservation> obs;
+  for (size_t i = 0; i < areas.size(); ++i) {
+    for (size_t j = 0; j < areas.size(); ++j) {
+      if (i == j) continue;
+      FlowObservation o;
+      o.src = i;
+      o.dst = j;
+      o.m = kMasses[i];
+      o.n = kMasses[j];
+      o.d_meters = geo::HaversineMeters(areas[i].center, areas[j].center);
+      const double s = RadiationModel::InterveningPopulation(areas, kMasses, i, j,
+                                                             o.d_meters);
+      o.flow = std::pow(10.0, log10_c) *
+               (std::exp(-l * s) - std::exp(-l * (s + o.n)));
+      obs.push_back(o);
+    }
+  }
+  return obs;
+}
+
+TEST(InterveningOpportunitiesTest, RecoversPlantedParameters) {
+  const auto areas = LineAreas();
+  const double l_true = 2.0e-4;
+  const auto obs = IoObservations(areas, l_true, 1.5);
+  auto model = InterveningOpportunitiesModel::Fit(obs, areas, kMasses);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(std::log10(model->absorption_rate()), std::log10(l_true), 0.02);
+  EXPECT_NEAR(model->log10_c(), 1.5, 0.05);
+  for (const auto& o : obs) {
+    EXPECT_NEAR(model->Predict(o), o.flow, o.flow * 0.05 + 1e-9);
+  }
+}
+
+TEST(InterveningOpportunitiesTest, PredictAllParallelToInput) {
+  const auto areas = LineAreas();
+  const auto obs = IoObservations(areas, 1e-4, 0.5);
+  auto model = InterveningOpportunitiesModel::Fit(obs, areas, kMasses);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->PredictAll(obs).size(), obs.size());
+  EXPECT_EQ(model->num_observations(), obs.size());
+}
+
+TEST(InterveningOpportunitiesTest, FitValidatesInputs) {
+  const auto areas = LineAreas();
+  EXPECT_FALSE(InterveningOpportunitiesModel::Fit({}, areas, kMasses).ok());
+  EXPECT_FALSE(InterveningOpportunitiesModel::Fit({}, areas, {1.0}).ok());
+
+  FlowObservation bad;
+  bad.src = 42;
+  bad.dst = 0;
+  bad.m = bad.n = 1.0;
+  bad.d_meters = 100.0;
+  bad.flow = 1.0;
+  EXPECT_FALSE(InterveningOpportunitiesModel::Fit({bad}, areas, kMasses).ok());
+}
+
+TEST(InterveningOpportunitiesTest, MoreInterveningMassMeansLessFlow) {
+  const auto areas = LineAreas();
+  const auto obs = IoObservations(areas, 2e-4, 1.0);
+  auto model = InterveningOpportunitiesModel::Fit(obs, areas, kMasses);
+  ASSERT_TRUE(model.ok());
+
+  // Same destination mass, same origin, increasing intervening mass.
+  FlowObservation near_obs;
+  near_obs.src = 0;
+  near_obs.dst = 1;
+  near_obs.m = kMasses[0];
+  near_obs.n = 2000.0;
+  near_obs.d_meters = geo::HaversineMeters(areas[0].center, areas[1].center);
+  FlowObservation far_obs = near_obs;
+  far_obs.dst = 3;
+  far_obs.n = 2000.0;  // pretend equal attractor mass
+  far_obs.d_meters = geo::HaversineMeters(areas[0].center, areas[3].center);
+  EXPECT_GT(model->Predict(near_obs), model->Predict(far_obs));
+}
+
+TEST(InterveningOpportunitiesTest, ToStringMentionsModel) {
+  const auto areas = LineAreas();
+  const auto obs = IoObservations(areas, 1e-4, 0.0);
+  auto model = InterveningOpportunitiesModel::Fit(obs, areas, kMasses);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NE(model->ToString().find("InterveningOpportunities"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace twimob::mobility

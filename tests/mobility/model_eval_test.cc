@@ -1,0 +1,141 @@
+#include "mobility/model_eval.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace twimob::mobility {
+namespace {
+
+TEST(EvaluateModelTest, PerfectEstimates) {
+  const std::vector<double> obs = {1.0, 10.0, 100.0, 1000.0};
+  auto m = EvaluateModel(obs, obs);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->pearson_r, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m->hit_rate, 1.0);
+  EXPECT_DOUBLE_EQ(m->rmsle, 0.0);
+  EXPECT_NEAR(m->log_pearson_r, 1.0, 1e-12);
+  EXPECT_EQ(m->n, 4u);
+}
+
+TEST(EvaluateModelTest, HitRateCountsRelativeErrors) {
+  const std::vector<double> obs = {100.0, 100.0, 100.0, 100.0};
+  // Relative errors: 0%, 40%, 60%, 300% -> 2 hits of 4 at the 50% bound.
+  const std::vector<double> est = {100.0, 140.0, 160.0, 400.0};
+  auto m = EvaluateModel(est, obs, 0.5);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->hit_rate, 0.5);
+}
+
+TEST(EvaluateModelTest, HitRateBoundaryIsExclusive) {
+  const std::vector<double> obs = {100.0, 100.0, 100.0};
+  const std::vector<double> est = {150.0, 149.9, 50.1};  // 50% exactly misses
+  auto m = EvaluateModel(est, obs, 0.5);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->hit_rate, 2.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluateModelTest, ThresholdParameterised) {
+  const std::vector<double> obs = {100.0, 100.0, 100.0};
+  const std::vector<double> est = {120.0, 180.0, 310.0};
+  auto strict = EvaluateModel(est, obs, 0.1);
+  auto loose = EvaluateModel(est, obs, 3.0);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_DOUBLE_EQ(strict->hit_rate, 0.0);
+  EXPECT_DOUBLE_EQ(loose->hit_rate, 1.0);
+}
+
+TEST(EvaluateModelTest, SkipsNonPositiveObserved) {
+  const std::vector<double> obs = {0.0, 5.0, 10.0, 20.0, -1.0};
+  const std::vector<double> est = {999.0, 5.0, 10.0, 20.0, 999.0};
+  auto m = EvaluateModel(est, obs);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->n, 3u);
+  EXPECT_DOUBLE_EQ(m->hit_rate, 1.0);
+}
+
+TEST(EvaluateModelTest, RmsleKnownValue) {
+  // est an order of magnitude off everywhere -> rmsle == 1 decade.
+  const std::vector<double> obs = {10.0, 100.0, 1000.0};
+  const std::vector<double> est = {100.0, 1000.0, 10000.0};
+  auto m = EvaluateModel(est, obs);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->rmsle, 1.0, 1e-12);
+}
+
+TEST(EvaluateModelTest, ErrorCases) {
+  EXPECT_FALSE(EvaluateModel({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(EvaluateModel({1.0, 2.0}, {1.0, 2.0}).ok());  // < 3 pairs
+  EXPECT_FALSE(EvaluateModel({1, 2, 3}, {1, 2, 3}, 0.0).ok());
+}
+
+TEST(ExtendedMetricsTest, PerfectEstimates) {
+  const std::vector<double> obs = {1.0, 10.0, 100.0, 1000.0};
+  auto m = EvaluateModelExtended(obs, obs);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->spearman_r, 1.0, 1e-12);
+  EXPECT_NEAR(m->kendall_tau, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m->cpc, 1.0);
+  EXPECT_DOUBLE_EQ(m->mean_abs_log_err, 0.0);
+}
+
+TEST(ExtendedMetricsTest, CpcKnownValue) {
+  // est sums to 30, obs to 40, overlap min() sums to 25 -> CPC = 50/70.
+  const std::vector<double> obs = {10.0, 10.0, 20.0};
+  const std::vector<double> est = {5.0, 15.0, 10.0};
+  auto m = EvaluateModelExtended(est, obs);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->cpc, 2.0 * 25.0 / 70.0, 1e-12);
+}
+
+TEST(ExtendedMetricsTest, MeanAbsLogErrKnownValue) {
+  const std::vector<double> obs = {10.0, 100.0, 1000.0};
+  const std::vector<double> est = {100.0, 10.0, 1000.0};  // +1, -1, 0 decades
+  auto m = EvaluateModelExtended(est, obs);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->mean_abs_log_err, 2.0 / 3.0, 1e-12);
+}
+
+TEST(ExtendedMetricsTest, RankMetricsRobustToOneOutlier) {
+  // A single huge outlier wrecks Pearson but not the rank metrics.
+  std::vector<double> obs, est;
+  for (int i = 1; i <= 20; ++i) {
+    obs.push_back(i);
+    est.push_back(i);
+  }
+  est[19] = 1e9;  // outlier still preserves the rank order
+  auto basic = EvaluateModel(est, obs);
+  auto extended = EvaluateModelExtended(est, obs);
+  ASSERT_TRUE(basic.ok());
+  ASSERT_TRUE(extended.ok());
+  EXPECT_NEAR(extended->spearman_r, 1.0, 1e-9);
+  EXPECT_NEAR(extended->kendall_tau, 1.0, 1e-9);
+  EXPECT_LT(basic->pearson_r, 0.9);
+}
+
+TEST(ExtendedMetricsTest, ErrorCases) {
+  EXPECT_FALSE(EvaluateModelExtended({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(EvaluateModelExtended({1.0, 2.0}, {1.0, 2.0}).ok());
+}
+
+TEST(BinnedEstimateSeriesTest, ProducesMonotoneBinCenters) {
+  std::vector<double> est, obs;
+  for (int i = 1; i <= 300; ++i) {
+    est.push_back(static_cast<double>(i));
+    obs.push_back(static_cast<double>(i) * 1.1);
+  }
+  auto bins = BinnedEstimateSeries(est, obs, 4);
+  ASSERT_TRUE(bins.ok());
+  ASSERT_GT(bins->size(), 3u);
+  for (size_t i = 1; i < bins->size(); ++i) {
+    EXPECT_GT((*bins)[i].x_center, (*bins)[i - 1].x_center);
+  }
+  // Perfectly proportional data: binned observed ~ 1.1x binned estimate.
+  for (const auto& b : *bins) {
+    EXPECT_NEAR(b.mean_y / b.mean_x, 1.1, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace twimob::mobility

@@ -1,0 +1,63 @@
+#include "mobility/od_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace twimob::mobility {
+namespace {
+
+TEST(OdMatrixTest, CreateValidates) {
+  EXPECT_FALSE(OdMatrix::Create(0).ok());
+  auto m = OdMatrix::Create(3);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_areas(), 3u);
+}
+
+TEST(OdMatrixTest, StartsAtZeroAndAccumulates) {
+  auto m = OdMatrix::Create(4);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->Flow(1, 2), 0.0);
+  m->AddFlow(1, 2, 3.0);
+  m->AddFlow(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(m->Flow(1, 2), 5.0);
+  m->SetFlow(1, 2, 1.0);
+  EXPECT_DOUBLE_EQ(m->Flow(1, 2), 1.0);
+}
+
+TEST(OdMatrixTest, TotalsExcludeDiagonal) {
+  auto m = OdMatrix::Create(3);
+  ASSERT_TRUE(m.ok());
+  m->AddFlow(0, 1, 5.0);
+  m->AddFlow(1, 0, 3.0);
+  m->AddFlow(2, 2, 100.0);  // diagonal — excluded from totals
+  EXPECT_DOUBLE_EQ(m->TotalFlow(), 8.0);
+  EXPECT_DOUBLE_EQ(m->OutFlow(0), 5.0);
+  EXPECT_DOUBLE_EQ(m->OutFlow(2), 0.0);
+  EXPECT_DOUBLE_EQ(m->InFlow(0), 3.0);
+  EXPECT_DOUBLE_EQ(m->InFlow(1), 5.0);
+}
+
+TEST(OdMatrixTest, NonZeroPairsRowMajorOffDiagonal) {
+  auto m = OdMatrix::Create(3);
+  ASSERT_TRUE(m.ok());
+  m->AddFlow(2, 0, 1.0);
+  m->AddFlow(0, 2, 4.0);
+  m->AddFlow(1, 1, 9.0);  // diagonal — skipped
+  auto pairs = m->NonZeroPairs();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(m->NumNonZeroPairs(), 2u);
+  EXPECT_EQ(pairs[0].src, 0u);
+  EXPECT_EQ(pairs[0].dst, 2u);
+  EXPECT_DOUBLE_EQ(pairs[0].flow, 4.0);
+  EXPECT_EQ(pairs[1].src, 2u);
+  EXPECT_EQ(pairs[1].dst, 0u);
+}
+
+TEST(OdMatrixTest, ToStringContainsTotal) {
+  auto m = OdMatrix::Create(2);
+  ASSERT_TRUE(m.ok());
+  m->AddFlow(0, 1, 7.0);
+  EXPECT_NE(m->ToString().find("total flow 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace twimob::mobility

@@ -1,0 +1,142 @@
+#include "mobility/radiation_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesic.h"
+
+namespace twimob::mobility {
+namespace {
+
+// Four areas on a parallel: A(0km), B(~92km), C(~185km), D(~460km).
+std::vector<census::Area> LineAreas() {
+  std::vector<census::Area> areas(4);
+  areas[0] = census::Area{0, "A", geo::LatLon{-33.0, 150.0}, 0.0};
+  areas[1] = census::Area{1, "B", geo::LatLon{-33.0, 151.0}, 0.0};
+  areas[2] = census::Area{2, "C", geo::LatLon{-33.0, 152.0}, 0.0};
+  areas[3] = census::Area{3, "D", geo::LatLon{-33.0, 155.0}, 0.0};
+  return areas;
+}
+
+const std::vector<double> kMasses = {1000.0, 2000.0, 4000.0, 8000.0};
+
+TEST(InterveningPopulationTest, SumsMassesInsideRadiusExcludingEndpoints) {
+  const auto areas = LineAreas();
+  const double d_ab = geo::HaversineMeters(areas[0].center, areas[1].center);
+  const double d_ac = geo::HaversineMeters(areas[0].center, areas[2].center);
+  const double d_ad = geo::HaversineMeters(areas[0].center, areas[3].center);
+
+  // Radius to B: nothing strictly between A and B.
+  EXPECT_DOUBLE_EQ(
+      RadiationModel::InterveningPopulation(areas, kMasses, 0, 1, d_ab), 0.0);
+  // Radius to C: B is inside, B's mass counts.
+  EXPECT_DOUBLE_EQ(
+      RadiationModel::InterveningPopulation(areas, kMasses, 0, 2, d_ac), 2000.0);
+  // Radius to D: B and C inside.
+  EXPECT_DOUBLE_EQ(
+      RadiationModel::InterveningPopulation(areas, kMasses, 0, 3, d_ad), 6000.0);
+  // From C to A: B is within the radius of C->A distance.
+  EXPECT_DOUBLE_EQ(
+      RadiationModel::InterveningPopulation(areas, kMasses, 2, 0, d_ac), 2000.0);
+}
+
+std::vector<FlowObservation> RadiationObservations(
+    const std::vector<census::Area>& areas, const std::vector<double>& masses,
+    double log10_c) {
+  std::vector<FlowObservation> obs;
+  for (size_t i = 0; i < areas.size(); ++i) {
+    for (size_t j = 0; j < areas.size(); ++j) {
+      if (i == j) continue;
+      FlowObservation o;
+      o.src = i;
+      o.dst = j;
+      o.m = masses[i];
+      o.n = masses[j];
+      o.d_meters = geo::HaversineMeters(areas[i].center, areas[j].center);
+      const double s = RadiationModel::InterveningPopulation(areas, masses, i, j,
+                                                             o.d_meters);
+      o.flow = std::pow(10.0, log10_c) * o.m * o.n /
+               ((o.m + s) * (o.m + o.n + s));
+      obs.push_back(o);
+    }
+  }
+  return obs;
+}
+
+TEST(RadiationModelTest, RecoversScalingOnExactData) {
+  const auto areas = LineAreas();
+  const auto obs = RadiationObservations(areas, kMasses, 2.5);
+  auto model = RadiationModel::Fit(obs, areas, kMasses);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->log10_c(), 2.5, 1e-9);
+  EXPECT_EQ(model->num_observations(), obs.size());
+  for (const auto& o : obs) {
+    EXPECT_NEAR(model->Predict(o), o.flow, o.flow * 1e-9);
+  }
+}
+
+TEST(RadiationModelTest, PredictAllParallelToInput) {
+  const auto areas = LineAreas();
+  const auto obs = RadiationObservations(areas, kMasses, 1.0);
+  auto model = RadiationModel::Fit(obs, areas, kMasses);
+  ASSERT_TRUE(model.ok());
+  auto preds = model->PredictAll(obs);
+  ASSERT_EQ(preds.size(), obs.size());
+}
+
+TEST(RadiationModelTest, FitValidatesInputs) {
+  const auto areas = LineAreas();
+  EXPECT_FALSE(RadiationModel::Fit({}, areas, kMasses).ok());
+  EXPECT_FALSE(RadiationModel::Fit({}, areas, {1.0}).ok());
+
+  // Observation referencing a non-existent area.
+  FlowObservation bad;
+  bad.src = 99;
+  bad.dst = 0;
+  bad.m = bad.n = 10.0;
+  bad.d_meters = 1000.0;
+  bad.flow = 1.0;
+  EXPECT_FALSE(RadiationModel::Fit({bad}, areas, kMasses).ok());
+}
+
+TEST(RadiationModelTest, IgnoresZeroFlowObservations) {
+  const auto areas = LineAreas();
+  auto obs = RadiationObservations(areas, kMasses, 1.0);
+  const size_t original = obs.size();
+  obs[0].flow = 0.0;
+  auto model = RadiationModel::Fit(obs, areas, kMasses);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->num_observations(), original - 1);
+}
+
+TEST(RadiationModelTest, InterveningPopulationDampensFlows) {
+  // The radiation kernel with large s must be smaller than with s = 0.
+  const auto areas = LineAreas();
+  auto model = RadiationModel::Fit(RadiationObservations(areas, kMasses, 0.0),
+                                   areas, kMasses);
+  ASSERT_TRUE(model.ok());
+  FlowObservation near_pair;   // A -> B, no intervening mass
+  near_pair.src = 0;
+  near_pair.dst = 1;
+  near_pair.m = kMasses[0];
+  near_pair.n = kMasses[1];
+  near_pair.d_meters =
+      geo::HaversineMeters(areas[0].center, areas[1].center);
+  FlowObservation far_pair = near_pair;  // A -> D, B and C intervene
+  far_pair.dst = 3;
+  far_pair.n = kMasses[1];  // same destination mass for comparability
+  far_pair.d_meters = geo::HaversineMeters(areas[0].center, areas[3].center);
+  EXPECT_GT(model->Predict(near_pair), model->Predict(far_pair));
+}
+
+TEST(RadiationModelTest, ToStringMentionsModel) {
+  const auto areas = LineAreas();
+  auto model = RadiationModel::Fit(RadiationObservations(areas, kMasses, 1.5),
+                                   areas, kMasses);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NE(model->ToString().find("Radiation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace twimob::mobility

@@ -1,0 +1,170 @@
+#include "mobility/trip_extractor.h"
+
+#include <gtest/gtest.h>
+
+namespace twimob::mobility {
+namespace {
+
+std::vector<census::Area> TwoAreas() {
+  std::vector<census::Area> areas(2);
+  areas[0] = census::Area{0, "Alpha", geo::LatLon{-33.0, 151.0}, 1000.0};
+  areas[1] = census::Area{1, "Beta", geo::LatLon{-37.0, 145.0}, 500.0};
+  return areas;
+}
+
+tweetdb::Tweet At(uint64_t user, int64_t ts, const geo::LatLon& p) {
+  return tweetdb::Tweet{user, ts, p};
+}
+
+TEST(AssignToAreaTest, NearestWithinRadiusWins) {
+  const auto areas = TwoAreas();
+  // Exactly at Alpha's centre.
+  auto a = AssignToArea(geo::LatLon{-33.0, 151.0}, areas, 50000.0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 0u);
+  // Far from both.
+  EXPECT_FALSE(AssignToArea(geo::LatLon{-20.0, 120.0}, areas, 50000.0).has_value());
+  // Slightly off Beta.
+  auto b = AssignToArea(geo::LatLon{-37.05, 145.02}, areas, 50000.0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, 1u);
+}
+
+TEST(AssignToAreaTest, OverlappingAreasResolveToClosest) {
+  std::vector<census::Area> areas(2);
+  areas[0] = census::Area{0, "West", geo::LatLon{-33.0, 151.00}, 1.0};
+  areas[1] = census::Area{1, "East", geo::LatLon{-33.0, 151.10}, 1.0};
+  // Point slightly east of the midpoint with a radius covering both.
+  auto got = AssignToArea(geo::LatLon{-33.0, 151.06}, areas, 50000.0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 1u);
+}
+
+TEST(ExtractTripsTest, RequiresCompactedTable) {
+  tweetdb::TweetTable table;
+  ASSERT_TRUE(table.Append(At(1, 1, geo::LatLon{-33.0, 151.0})).ok());
+  EXPECT_TRUE(ExtractTrips(table, TwoAreas(), 50000.0)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(ExtractTripsTest, ValidatesArguments) {
+  tweetdb::TweetTable table;
+  table.CompactByUserTime();
+  EXPECT_TRUE(ExtractTrips(table, {}, 1000.0).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ExtractTrips(table, TwoAreas(), 0.0).status().IsInvalidArgument());
+}
+
+TEST(ExtractTripsTest, CountsDirectedConsecutivePairs) {
+  const auto areas = TwoAreas();
+  const geo::LatLon alpha{-33.0, 151.0};
+  const geo::LatLon beta{-37.0, 145.0};
+
+  tweetdb::TweetTable table;
+  // User 1: alpha -> beta -> alpha  (trips: A->B, B->A)
+  ASSERT_TRUE(table.Append(At(1, 100, alpha)).ok());
+  ASSERT_TRUE(table.Append(At(1, 200, beta)).ok());
+  ASSERT_TRUE(table.Append(At(1, 300, alpha)).ok());
+  // User 2: beta -> beta (intra-area, no trip), then alpha (B->A).
+  ASSERT_TRUE(table.Append(At(2, 100, beta)).ok());
+  ASSERT_TRUE(table.Append(At(2, 150, beta)).ok());
+  ASSERT_TRUE(table.Append(At(2, 400, alpha)).ok());
+  table.CompactByUserTime();
+
+  ExtractionStats stats;
+  auto od = ExtractTrips(table, areas, 50000.0, &stats);
+  ASSERT_TRUE(od.ok());
+  EXPECT_DOUBLE_EQ(od->Flow(0, 1), 1.0);  // A->B from user 1
+  EXPECT_DOUBLE_EQ(od->Flow(1, 0), 2.0);  // B->A from users 1 and 2
+  EXPECT_EQ(stats.tweets_seen, 6u);
+  EXPECT_EQ(stats.tweets_in_some_area, 6u);
+  EXPECT_EQ(stats.consecutive_pairs, 4u);
+  EXPECT_EQ(stats.inter_area_trips, 3u);
+  EXPECT_EQ(stats.intra_area_pairs, 1u);
+}
+
+TEST(ExtractTripsTest, UserBoundaryPairsDoNotCount) {
+  const auto areas = TwoAreas();
+  const geo::LatLon alpha{-33.0, 151.0};
+  const geo::LatLon beta{-37.0, 145.0};
+  tweetdb::TweetTable table;
+  // User 1 ends at alpha; user 2 begins at beta — must not count as a trip.
+  ASSERT_TRUE(table.Append(At(1, 100, alpha)).ok());
+  ASSERT_TRUE(table.Append(At(2, 200, beta)).ok());
+  table.CompactByUserTime();
+  auto od = ExtractTrips(table, areas, 50000.0);
+  ASSERT_TRUE(od.ok());
+  EXPECT_DOUBLE_EQ(od->TotalFlow(), 0.0);
+}
+
+TEST(ExtractTripsTest, TweetsOutsideAllAreasBreakChains) {
+  const auto areas = TwoAreas();
+  const geo::LatLon alpha{-33.0, 151.0};
+  const geo::LatLon beta{-37.0, 145.0};
+  const geo::LatLon nowhere{-20.0, 120.0};
+  tweetdb::TweetTable table;
+  // alpha -> nowhere -> beta: neither consecutive pair maps to two areas.
+  ASSERT_TRUE(table.Append(At(1, 100, alpha)).ok());
+  ASSERT_TRUE(table.Append(At(1, 200, nowhere)).ok());
+  ASSERT_TRUE(table.Append(At(1, 300, beta)).ok());
+  table.CompactByUserTime();
+  ExtractionStats stats;
+  auto od = ExtractTrips(table, areas, 50000.0, &stats);
+  ASSERT_TRUE(od.ok());
+  EXPECT_DOUBLE_EQ(od->TotalFlow(), 0.0);
+  EXPECT_EQ(stats.tweets_in_some_area, 2u);
+  EXPECT_EQ(stats.consecutive_pairs, 2u);
+}
+
+TEST(ExtractTripsTest, MaxGapFiltersStaleTransitions) {
+  const auto areas = TwoAreas();
+  const geo::LatLon alpha{-33.0, 151.0};
+  const geo::LatLon beta{-37.0, 145.0};
+  tweetdb::TweetTable table;
+  // Quick hop (1 h apart) then a stale transition (40 days apart).
+  ASSERT_TRUE(table.Append(At(1, 0, alpha)).ok());
+  ASSERT_TRUE(table.Append(At(1, 3600, beta)).ok());
+  ASSERT_TRUE(table.Append(At(1, 3600 + 40 * 86400, alpha)).ok());
+  table.CompactByUserTime();
+
+  TripOptions day_cap;
+  day_cap.max_gap_seconds = 86400;
+  ExtractionStats stats;
+  auto od = ExtractTrips(table, areas, 50000.0, &stats, day_cap);
+  ASSERT_TRUE(od.ok());
+  EXPECT_DOUBLE_EQ(od->Flow(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(od->Flow(1, 0), 0.0);  // stale pair dropped
+  EXPECT_EQ(stats.gap_filtered_pairs, 1u);
+
+  // Default (unlimited gap) keeps both — the paper's definition.
+  auto unlimited = ExtractTrips(table, areas, 50000.0);
+  ASSERT_TRUE(unlimited.ok());
+  EXPECT_DOUBLE_EQ(unlimited->Flow(1, 0), 1.0);
+
+  TripOptions bad;
+  bad.max_gap_seconds = -1;
+  EXPECT_TRUE(
+      ExtractTrips(table, areas, 50000.0, nullptr, bad).status().IsInvalidArgument());
+}
+
+TEST(ExtractTripsTest, RadiusControlsAssignment) {
+  const auto areas = TwoAreas();
+  // ~11 km east of Alpha's centre.
+  const geo::LatLon near_alpha{-33.0, 151.12};
+  tweetdb::TweetTable table;
+  ASSERT_TRUE(table.Append(At(1, 100, near_alpha)).ok());
+  ASSERT_TRUE(table.Append(At(1, 200, geo::LatLon{-37.0, 145.0})).ok());
+  table.CompactByUserTime();
+
+  auto wide = ExtractTrips(table, areas, 25000.0);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_DOUBLE_EQ(wide->Flow(0, 1), 1.0);
+
+  auto narrow = ExtractTrips(table, areas, 2000.0);
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_DOUBLE_EQ(narrow->TotalFlow(), 0.0);
+}
+
+}  // namespace
+}  // namespace twimob::mobility

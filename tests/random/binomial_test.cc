@@ -1,0 +1,80 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/distributions.h"
+
+namespace twimob::random {
+namespace {
+
+TEST(BinomialTest, EdgeCases) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(SampleBinomial(rng, 0, 0.5), 0u);
+  EXPECT_EQ(SampleBinomial(rng, 100, 0.0), 0u);
+  EXPECT_EQ(SampleBinomial(rng, 100, 1.0), 100u);
+  EXPECT_EQ(SampleBinomial(rng, 100, -0.5), 0u);
+  EXPECT_EQ(SampleBinomial(rng, 100, 1.5), 100u);
+}
+
+TEST(BinomialTest, AlwaysWithinSupport) {
+  Xoshiro256 rng(2);
+  for (uint64_t n : {1ULL, 10ULL, 64ULL, 1000ULL, 1000000ULL}) {
+    for (double p : {0.01, 0.3, 0.5, 0.8, 0.99}) {
+      for (int i = 0; i < 200; ++i) {
+        EXPECT_LE(SampleBinomial(rng, n, p), n) << n << " " << p;
+      }
+    }
+  }
+}
+
+class BinomialMomentsTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(BinomialMomentsTest, MeanAndVarianceMatchTheory) {
+  const auto [n, p] = GetParam();
+  Xoshiro256 rng(n * 7 + 3);
+  const int trials = 40000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double v = static_cast<double>(SampleBinomial(rng, n, p));
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / trials;
+  const double var = sumsq / trials - mean * mean;
+  const double expected_mean = static_cast<double>(n) * p;
+  const double expected_var = expected_mean * (1.0 - p);
+  EXPECT_NEAR(mean, expected_mean,
+              5.0 * std::sqrt(expected_var / trials) + 0.02 * expected_mean + 0.01);
+  EXPECT_NEAR(var, expected_var, 0.08 * expected_var + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, BinomialMomentsTest,
+    ::testing::Values(std::make_tuple(10ULL, 0.3),        // exact path
+                      std::make_tuple(500ULL, 0.01),      // geometric skipping
+                      std::make_tuple(2000ULL, 0.4),      // normal approx
+                      std::make_tuple(1000000ULL, 0.001),  // large n small p
+                      std::make_tuple(300ULL, 0.9)));     // symmetry path
+
+TEST(PoissonTest, EdgeAndMoments) {
+  Xoshiro256 rng(5);
+  EXPECT_EQ(SamplePoisson(rng, 0.0), 0u);
+  EXPECT_EQ(SamplePoisson(rng, -1.0), 0u);
+  for (double lambda : {0.5, 5.0, 100.0}) {
+    const int trials = 40000;
+    double sum = 0.0, sumsq = 0.0;
+    for (int i = 0; i < trials; ++i) {
+      const double v = static_cast<double>(SamplePoisson(rng, lambda));
+      sum += v;
+      sumsq += v * v;
+    }
+    const double mean = sum / trials;
+    const double var = sumsq / trials - mean * mean;
+    EXPECT_NEAR(mean, lambda, 0.05 * lambda + 0.02) << lambda;
+    EXPECT_NEAR(var, lambda, 0.10 * lambda + 0.05) << lambda;
+  }
+}
+
+}  // namespace
+}  // namespace twimob::random

@@ -1,0 +1,179 @@
+#include "random/distributions.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/power_law.h"
+
+namespace twimob::random {
+namespace {
+
+TEST(DiscretePowerLawTest, RejectsInvalidParameters) {
+  EXPECT_FALSE(DiscretePowerLaw::Create(1.0, 1).ok());
+  EXPECT_FALSE(DiscretePowerLaw::Create(0.5, 1).ok());
+  EXPECT_FALSE(DiscretePowerLaw::Create(2.0, 0).ok());
+  EXPECT_FALSE(DiscretePowerLaw::Create(2.0, 10, 5).ok());
+  EXPECT_TRUE(DiscretePowerLaw::Create(2.0, 1, 0).ok());
+}
+
+TEST(DiscretePowerLawTest, SamplesRespectSupport) {
+  auto d = DiscretePowerLaw::Create(2.2, 3, 1000);
+  ASSERT_TRUE(d.ok());
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t k = d->Sample(rng);
+    EXPECT_GE(k, 3u);
+    EXPECT_LE(k, 1000u);
+  }
+}
+
+TEST(DiscretePowerLawTest, MleRecoversExponent) {
+  // Property: samples drawn at alpha should fit back to ~alpha.
+  for (double alpha : {1.8, 2.2, 2.8}) {
+    auto d = DiscretePowerLaw::Create(alpha, 1, 0);
+    ASSERT_TRUE(d.ok());
+    Xoshiro256 rng(static_cast<uint64_t>(alpha * 100));
+    std::vector<uint64_t> sample;
+    sample.reserve(40000);
+    for (int i = 0; i < 40000; ++i) sample.push_back(d->Sample(rng));
+    auto fit = stats::FitDiscretePowerLaw(sample, 1);
+    ASSERT_TRUE(fit.ok());
+    EXPECT_NEAR(fit->alpha, alpha, 0.08) << "alpha=" << alpha;
+  }
+}
+
+TEST(DiscretePowerLawTest, TruncatedMeanDecreasesWithAlpha) {
+  auto loose = DiscretePowerLaw::Create(1.5, 1, 10000);
+  auto tight = DiscretePowerLaw::Create(2.5, 1, 10000);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_TRUE(tight.ok());
+  EXPECT_GT(loose->Mean(), tight->Mean());
+}
+
+TEST(DiscretePowerLawTest, EmpiricalMeanMatchesAnalytic) {
+  auto d = DiscretePowerLaw::Create(1.9, 1, 5000);
+  ASSERT_TRUE(d.ok());
+  const double analytic = d->Mean();
+  Xoshiro256 rng(77);
+  double sum = 0.0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(d->Sample(rng));
+  EXPECT_NEAR(sum / n, analytic, analytic * 0.05);
+}
+
+TEST(ParetoTest, RejectsInvalidAndSamplesAboveXmin) {
+  EXPECT_FALSE(Pareto::Create(1.0, 1.0).ok());
+  EXPECT_FALSE(Pareto::Create(2.0, 0.0).ok());
+  auto p = Pareto::Create(2.5, 10.0);
+  ASSERT_TRUE(p.ok());
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(p->Sample(rng), 10.0);
+}
+
+TEST(ParetoTest, TailExponentRecoverable) {
+  auto p = Pareto::Create(2.5, 1.0);
+  ASSERT_TRUE(p.ok());
+  Xoshiro256 rng(3);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) sample.push_back(p->Sample(rng));
+  auto fit = stats::FitContinuousPowerLaw(sample, 1.0);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->alpha, 2.5, 0.05);
+}
+
+TEST(LogNormalTest, MeanMatchesAnalytic) {
+  auto ln = LogNormal::Create(1.0, 0.5);
+  ASSERT_TRUE(ln.ok());
+  EXPECT_FALSE(LogNormal::Create(0.0, 0.0).ok());
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) sum += ln->Sample(rng);
+  EXPECT_NEAR(sum / n, ln->Mean(), ln->Mean() * 0.02);
+}
+
+TEST(WaitingTimeMixtureTest, DefaultsAreValidAndSamplesBounded) {
+  auto m = WaitingTimeMixture::Create(WaitingTimeMixture::Params{});
+  ASSERT_TRUE(m.ok());
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 50000; ++i) {
+    const double w = m->Sample(rng);
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, m->params().max_wait);
+  }
+}
+
+TEST(WaitingTimeMixtureTest, SpansManyDecades) {
+  auto m = WaitingTimeMixture::Create(WaitingTimeMixture::Params{});
+  ASSERT_TRUE(m.ok());
+  Xoshiro256 rng(8);
+  std::vector<double> sample;
+  for (int i = 0; i < 100000; ++i) sample.push_back(m->Sample(rng));
+  // Figure 2(b): waiting times span many decades.
+  EXPECT_GE(stats::DecadesSpanned(sample), 5.0);
+}
+
+TEST(WaitingTimeMixtureTest, RejectsBadParams) {
+  WaitingTimeMixture::Params p;
+  p.burst_weight = 1.5;
+  EXPECT_FALSE(WaitingTimeMixture::Create(p).ok());
+  p = WaitingTimeMixture::Params{};
+  p.max_wait = -1.0;
+  EXPECT_FALSE(WaitingTimeMixture::Create(p).ok());
+  p = WaitingTimeMixture::Params{};
+  p.tail_alpha = 0.9;
+  EXPECT_FALSE(WaitingTimeMixture::Create(p).ok());
+}
+
+TEST(AliasSamplerTest, RejectsInvalidWeights) {
+  EXPECT_FALSE(AliasSampler::Create({}).ok());
+  EXPECT_FALSE(AliasSampler::Create({1.0, -0.5}).ok());
+  EXPECT_FALSE(AliasSampler::Create({0.0, 0.0}).ok());
+  EXPECT_FALSE(AliasSampler::Create({std::nan("")}).ok());
+}
+
+TEST(AliasSamplerTest, SingleWeightAlwaysSampled) {
+  auto s = AliasSampler::Create({5.0});
+  ASSERT_TRUE(s.ok());
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s->Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, FrequenciesMatchWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  auto s = AliasSampler::Create(weights);
+  ASSERT_TRUE(s.ok());
+  Xoshiro256 rng(10);
+  std::vector<int> counts(weights.size(), 0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[s->Sample(rng)];
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, expected, 0.005) << i;
+    EXPECT_NEAR(s->Probability(i), expected, 1e-12);
+  }
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  auto s = AliasSampler::Create({0.0, 1.0, 0.0});
+  ASSERT_TRUE(s.ok());
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(s->Sample(rng), 1u);
+}
+
+TEST(AliasSamplerTest, HandlesManyWeights) {
+  std::vector<double> weights(1000);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<double>(i % 7) + 0.5;
+  }
+  auto s = AliasSampler::Create(weights);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 1000u);
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(s->Sample(rng), 1000u);
+}
+
+}  // namespace
+}  // namespace twimob::random

@@ -1,0 +1,147 @@
+#include "random/rng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace twimob::random {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256Test, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextDoubleNonZeroNeverZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100000; ++i) EXPECT_GT(rng.NextDoubleNonZero(), 0.0);
+}
+
+TEST(Xoshiro256Test, NextDoubleMeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+class NextUint64RangeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NextUint64RangeTest, StaysInRangeAndHitsAllSmallValues) {
+  const uint64_t n = GetParam();
+  Xoshiro256 rng(n);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = rng.NextUint64(n);
+    EXPECT_LT(v, n);
+    if (n <= 16) seen.insert(v);
+  }
+  if (n <= 16) EXPECT_EQ(seen.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, NextUint64RangeTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 1000, 1ULL << 33));
+
+TEST(Xoshiro256Test, NextUint64IsApproximatelyUniform) {
+  Xoshiro256 rng(5);
+  const uint64_t buckets = 10;
+  std::vector<int> counts(buckets, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextUint64(buckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, 500);  // ~5 sigma of binomial noise
+  }
+}
+
+TEST(Xoshiro256Test, UniformRespectsBounds) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextUniform(-5.0, 5.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Xoshiro256Test, BernoulliFrequencyMatchesP) {
+  Xoshiro256 rng(17);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro256Test, GaussianMoments) {
+  Xoshiro256 rng(23);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Xoshiro256Test, ExponentialMeanMatchesRate) {
+  Xoshiro256 rng(29);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double e = rng.NextExponential(2.0);
+    EXPECT_GE(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256Test, ForkProducesIndependentStream) {
+  Xoshiro256 parent(31);
+  Xoshiro256 child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256Test, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == UINT64_MAX);
+  Xoshiro256 rng(1);
+  EXPECT_GE(rng(), Xoshiro256::min());
+}
+
+}  // namespace
+}  // namespace twimob::random

@@ -1,0 +1,114 @@
+#include "stats/binning.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+
+namespace twimob::stats {
+namespace {
+
+TEST(LogBinPairsTest, ErrorCases) {
+  EXPECT_FALSE(LogBinPairs({1.0}, {1.0, 2.0}, 4).ok());
+  EXPECT_FALSE(LogBinPairs({1.0}, {1.0}, 0).ok());
+  EXPECT_FALSE(LogBinPairs({0.0, -1.0}, {1.0, 1.0}, 4).ok());
+}
+
+TEST(LogBinPairsTest, CountsConservedAndMeansCorrect) {
+  std::vector<double> x = {1.0, 1.5, 12.0, 15.0, 120.0};
+  std::vector<double> y = {2.0, 4.0, 10.0, 20.0, 7.0};
+  auto bins = LogBinPairs(x, y, 1);  // whole-decade bins
+  ASSERT_TRUE(bins.ok());
+  size_t total = 0;
+  for (const auto& b : *bins) total += b.count;
+  EXPECT_EQ(total, x.size());
+  // First decade [1,10): x = {1, 1.5}, mean y = 3.
+  ASSERT_GE(bins->size(), 3u);
+  EXPECT_EQ((*bins)[0].count, 2u);
+  EXPECT_DOUBLE_EQ((*bins)[0].mean_y, 3.0);
+  EXPECT_DOUBLE_EQ((*bins)[0].mean_x, 1.25);
+  // Second decade [10,100): x = {12, 15}, mean y = 15.
+  EXPECT_EQ((*bins)[1].count, 2u);
+  EXPECT_DOUBLE_EQ((*bins)[1].mean_y, 15.0);
+}
+
+TEST(LogBinPairsTest, NonPositiveXSkipped) {
+  auto bins = LogBinPairs({-1.0, 0.0, 10.0}, {5.0, 5.0, 3.0}, 2);
+  ASSERT_TRUE(bins.ok());
+  size_t total = 0;
+  for (const auto& b : *bins) total += b.count;
+  EXPECT_EQ(total, 1u);
+}
+
+TEST(LogBinPairsTest, BinEdgesAreGeometric) {
+  auto bins = LogBinPairs({1.0, 9999.0}, {1.0, 1.0}, 4);
+  ASSERT_TRUE(bins.ok());
+  for (const auto& b : *bins) {
+    EXPECT_NEAR(b.x_hi / b.x_lo, std::pow(10.0, 0.25), 1e-9);
+    EXPECT_NEAR(b.x_center, std::sqrt(b.x_lo * b.x_hi), 1e-9);
+  }
+}
+
+TEST(LogBinDensityTest, DensityIntegratesToOne) {
+  random::Xoshiro256 rng(4);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) values.push_back(rng.NextExponential(0.001));
+  auto bins = LogBinDensity(values, 8);
+  ASSERT_TRUE(bins.ok());
+  double integral = 0.0;
+  for (const auto& b : *bins) integral += b.mean_y * (b.x_hi - b.x_lo);
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(LogBinDensityTest, PowerLawSlopeRecovered) {
+  // Log-binned density of a Pareto(alpha) sample has log-log slope -alpha.
+  random::Xoshiro256 rng(6);
+  std::vector<double> values;
+  const double alpha = 2.0;
+  for (int i = 0; i < 200000; ++i) {
+    values.push_back(std::pow(rng.NextDoubleNonZero(), -1.0 / (alpha - 1.0)));
+  }
+  auto bins = LogBinDensity(values, 4);
+  ASSERT_TRUE(bins.ok());
+  // Regress log density on log centre over well-populated bins.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (const auto& b : *bins) {
+    if (b.count < 100) continue;
+    const double lx = std::log10(b.x_center);
+    const double ly = std::log10(b.mean_y);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  ASSERT_GT(n, 3);
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  EXPECT_NEAR(slope, -alpha, 0.15);
+}
+
+TEST(CcdfTest, MonotoneDecreasingFromOne) {
+  auto ccdf = Ccdf({3.0, 1.0, 2.0, 2.0, 5.0});
+  ASSERT_EQ(ccdf.size(), 4u);  // distinct values 1,2,3,5
+  EXPECT_DOUBLE_EQ(ccdf[0].second, 1.0);
+  for (size_t i = 1; i < ccdf.size(); ++i) {
+    EXPECT_GT(ccdf[i].first, ccdf[i - 1].first);
+    EXPECT_LT(ccdf[i].second, ccdf[i - 1].second);
+  }
+  // P(X >= 2) = 4/5, P(X >= 5) = 1/5.
+  EXPECT_DOUBLE_EQ(ccdf[1].second, 0.8);
+  EXPECT_DOUBLE_EQ(ccdf[3].second, 0.2);
+}
+
+TEST(CcdfTest, DropsNonPositive) {
+  auto ccdf = Ccdf({-1.0, 0.0, 4.0});
+  ASSERT_EQ(ccdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(ccdf[0].second, 1.0);
+}
+
+TEST(CcdfTest, EmptyInput) { EXPECT_TRUE(Ccdf({}).empty()); }
+
+}  // namespace
+}  // namespace twimob::stats

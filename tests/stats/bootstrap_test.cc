@@ -1,0 +1,103 @@
+#include "stats/bootstrap.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+#include "stats/descriptive.h"
+
+namespace twimob::stats {
+namespace {
+
+TEST(BootstrapCITest, ValidatesArguments) {
+  auto mean_stat = [](const std::vector<double>& v) { return Mean(v); };
+  EXPECT_FALSE(BootstrapCI({}, mean_stat).ok());
+  EXPECT_FALSE(BootstrapCI({1.0, 2.0}, mean_stat, 1.5).ok());
+  EXPECT_FALSE(BootstrapCI({1.0, 2.0}, mean_stat, 0.95, 5).ok());
+}
+
+TEST(BootstrapCITest, MeanCiCoversTruthAndShrinksWithN) {
+  random::Xoshiro256 rng(1);
+  auto mean_stat = [](const std::vector<double>& v) { return Mean(v); };
+
+  std::vector<double> small, large;
+  for (int i = 0; i < 50; ++i) small.push_back(rng.NextGaussian() * 2.0 + 10.0);
+  for (int i = 0; i < 5000; ++i) large.push_back(rng.NextGaussian() * 2.0 + 10.0);
+
+  auto ci_small = BootstrapCI(small, mean_stat, 0.95, 800, 7);
+  auto ci_large = BootstrapCI(large, mean_stat, 0.95, 800, 7);
+  ASSERT_TRUE(ci_small.ok());
+  ASSERT_TRUE(ci_large.ok());
+  EXPECT_LT(ci_small->lo, 10.0);
+  EXPECT_GT(ci_small->hi, 10.0);
+  EXPECT_LT(ci_large->lo, 10.1);
+  EXPECT_GT(ci_large->hi, 9.9);
+  // Width shrinks roughly like 1/sqrt(n) — at least 5x here.
+  EXPECT_LT(ci_large->hi - ci_large->lo, (ci_small->hi - ci_small->lo) / 5.0);
+  EXPECT_LE(ci_small->lo, ci_small->point);
+  EXPECT_GE(ci_small->hi, ci_small->point);
+}
+
+TEST(BootstrapCITest, WiderLevelGivesWiderInterval) {
+  random::Xoshiro256 rng(2);
+  std::vector<double> sample;
+  for (int i = 0; i < 200; ++i) sample.push_back(rng.NextExponential(1.0));
+  auto mean_stat = [](const std::vector<double>& v) { return Mean(v); };
+  auto ci90 = BootstrapCI(sample, mean_stat, 0.90, 1000, 3);
+  auto ci99 = BootstrapCI(sample, mean_stat, 0.99, 1000, 3);
+  ASSERT_TRUE(ci90.ok());
+  ASSERT_TRUE(ci99.ok());
+  EXPECT_LT(ci90->hi - ci90->lo, ci99->hi - ci99->lo);
+}
+
+TEST(BootstrapCITest, DeterministicForSeed) {
+  std::vector<double> sample = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto mean_stat = [](const std::vector<double>& v) { return Mean(v); };
+  auto a = BootstrapCI(sample, mean_stat, 0.95, 500, 11);
+  auto b = BootstrapCI(sample, mean_stat, 0.95, 500, 11);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->lo, b->lo);
+  EXPECT_DOUBLE_EQ(a->hi, b->hi);
+}
+
+TEST(BootstrapPearsonTest, ValidatesArguments) {
+  EXPECT_FALSE(BootstrapPearsonCI({1, 2, 3}, {1, 2}).ok());
+  EXPECT_FALSE(BootstrapPearsonCI({1, 2}, {1, 2}).ok());
+  EXPECT_FALSE(BootstrapPearsonCI({1, 2, 3}, {2, 4, 6}, 0.95, 5).ok());
+}
+
+TEST(BootstrapPearsonTest, CoversTrueCorrelation) {
+  random::Xoshiro256 rng(5);
+  std::vector<double> x, y;
+  const double rho = 0.8;
+  for (int i = 0; i < 400; ++i) {
+    const double common = rng.NextGaussian();
+    x.push_back(common);
+    y.push_back(rho * common + std::sqrt(1.0 - rho * rho) * rng.NextGaussian());
+  }
+  auto ci = BootstrapPearsonCI(x, y, 0.95, 1000, 9);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_LT(ci->lo, rho + 0.05);
+  EXPECT_GT(ci->hi, rho - 0.05);
+  EXPECT_GT(ci->lo, 0.6);
+  EXPECT_LT(ci->hi, 0.95);
+  EXPECT_NEAR(ci->point, rho, 0.08);
+}
+
+TEST(BootstrapPearsonTest, NearPerfectCorrelationHasTightInterval) {
+  std::vector<double> x, y;
+  random::Xoshiro256 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.NextUniform(0, 100);
+    x.push_back(v);
+    y.push_back(2.0 * v + rng.NextGaussian() * 0.01);
+  }
+  auto ci = BootstrapPearsonCI(x, y);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_GT(ci->lo, 0.999);
+}
+
+}  // namespace
+}  // namespace twimob::stats

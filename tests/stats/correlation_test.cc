@@ -1,0 +1,148 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+
+namespace twimob::stats {
+namespace {
+
+TEST(PearsonTest, PerfectPositiveAndNegative) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  auto r = PearsonCorrelation(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->r, 1.0, 1e-12);
+  EXPECT_NEAR(r->p_value, 0.0, 1e-9);
+
+  std::vector<double> neg = {10, 8, 6, 4, 2};
+  auto rn = PearsonCorrelation(x, neg);
+  ASSERT_TRUE(rn.ok());
+  EXPECT_NEAR(rn->r, -1.0, 1e-12);
+}
+
+TEST(PearsonTest, KnownValueAgainstReference) {
+  // Hand-computed: sxy = 16, sxx = 17.5, syy = 70/3
+  // -> r = 16 / sqrt(17.5 * 70/3) = 0.7917946...; t = 2.5937 with 4 dof
+  // -> two-tailed p ~ 0.0605.
+  std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  std::vector<double> y = {2, 1, 4, 3, 7, 5};
+  auto r = PearsonCorrelation(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->r, 16.0 / std::sqrt(17.5 * 70.0 / 3.0), 1e-12);
+  EXPECT_NEAR(r->t_stat, 2.5937, 1e-3);
+  EXPECT_NEAR(r->p_value, 0.0605, 2e-3);
+  EXPECT_EQ(r->n, 6u);
+}
+
+TEST(PearsonTest, UncorrelatedNoiseNearZero) {
+  random::Xoshiro256 rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.NextGaussian());
+    y.push_back(rng.NextGaussian());
+  }
+  auto r = PearsonCorrelation(x, y);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->r, 0.0, 0.02);
+  EXPECT_GT(r->p_value, 0.001);
+}
+
+TEST(PearsonTest, ErrorCases) {
+  EXPECT_FALSE(PearsonCorrelation({1, 2}, {1, 2, 3}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1, 2}, {1, 2}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1, 1, 1}, {1, 2, 3}).ok());
+  EXPECT_FALSE(PearsonCorrelation({1, 2, 3}, {5, 5, 5}).ok());
+}
+
+TEST(PearsonTest, InvariantToAffineTransform) {
+  std::vector<double> x = {1, 5, 2, 8, 3, 9, 4};
+  std::vector<double> y = {2, 6, 1, 9, 4, 8, 5};
+  auto base = PearsonCorrelation(x, y);
+  ASSERT_TRUE(base.ok());
+  std::vector<double> scaled;
+  for (double v : x) scaled.push_back(100.0 * v - 7.0);
+  auto transformed = PearsonCorrelation(scaled, y);
+  ASSERT_TRUE(transformed.ok());
+  EXPECT_NEAR(transformed->r, base->r, 1e-12);
+}
+
+TEST(MidRanksTest, SimpleAndTied) {
+  auto r = MidRanks({10.0, 30.0, 20.0});
+  EXPECT_EQ(r, (std::vector<double>{1.0, 3.0, 2.0}));
+  // Ties get the average rank: {5,5} occupy ranks 2 and 3 -> 2.5 each.
+  auto t = MidRanks({1.0, 5.0, 5.0, 9.0});
+  EXPECT_EQ(t, (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+}
+
+TEST(SpearmanTest, PerfectMonotoneNonlinear) {
+  // Monotone but nonlinear: Spearman 1, Pearson < 1.
+  std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  std::vector<double> y;
+  for (double v : x) y.push_back(std::exp(v));
+  auto s = SpearmanCorrelation(x, y);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->r, 1.0, 1e-12);
+  auto p = PearsonCorrelation(x, y);
+  ASSERT_TRUE(p.ok());
+  EXPECT_LT(p->r, 0.95);
+}
+
+TEST(SpearmanTest, LengthMismatchError) {
+  EXPECT_FALSE(SpearmanCorrelation({1, 2, 3}, {1, 2}).ok());
+}
+
+TEST(KendallTest, PerfectAgreementAndReversal) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> inc = {10, 20, 30, 40, 50};
+  std::vector<double> dec = {50, 40, 30, 20, 10};
+  auto up = KendallTau(x, inc);
+  ASSERT_TRUE(up.ok());
+  EXPECT_DOUBLE_EQ(up->r, 1.0);
+  auto down = KendallTau(x, dec);
+  ASSERT_TRUE(down.ok());
+  EXPECT_DOUBLE_EQ(down->r, -1.0);
+}
+
+TEST(KendallTest, KnownSmallExample) {
+  // x = 1..4, y = {1,3,2,4}: one discordant pair of six -> tau = 4/6.
+  auto t = KendallTau({1, 2, 3, 4}, {1, 3, 2, 4});
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(t->r, 2.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTest, TieCorrectedDenominator) {
+  // y has a tie; tau-b stays within [-1, 1] and reflects the agreement.
+  auto t = KendallTau({1, 2, 3, 4}, {1, 2, 2, 3});
+  ASSERT_TRUE(t.ok());
+  EXPECT_GT(t->r, 0.8);
+  EXPECT_LE(t->r, 1.0);
+}
+
+TEST(KendallTest, ErrorCases) {
+  EXPECT_FALSE(KendallTau({1, 2}, {1}).ok());
+  EXPECT_FALSE(KendallTau({1}, {1}).ok());
+  EXPECT_FALSE(KendallTau({5, 5, 5}, {1, 2, 3}).ok());
+}
+
+TEST(KendallTest, AgreesInSignWithSpearmanOnNoisyData) {
+  random::Xoshiro256 rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 300; ++i) {
+    const double v = rng.NextGaussian();
+    x.push_back(v);
+    y.push_back(0.7 * v + 0.3 * rng.NextGaussian());
+  }
+  auto tau = KendallTau(x, y);
+  auto rho = SpearmanCorrelation(x, y);
+  ASSERT_TRUE(tau.ok());
+  ASSERT_TRUE(rho.ok());
+  EXPECT_GT(tau->r, 0.3);
+  EXPECT_GT(rho->r, tau->r);  // |rho| >= |tau| typically (rho ~ 1.5 tau)
+  EXPECT_LT(tau->p_value, 1e-6);
+}
+
+}  // namespace
+}  // namespace twimob::stats

@@ -1,0 +1,108 @@
+#include "stats/descriptive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+
+namespace twimob::stats {
+namespace {
+
+TEST(SummarizeTest, EmptyInputAllZero) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(SummarizeTest, KnownValues) {
+  Summary s = Summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample variance (n-1) = 32/7.
+  EXPECT_NEAR(s.variance, 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0 / 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile({42.0}, 0.7), 42.0);
+}
+
+TEST(QuantileTest, ClampsOutOfRangeQ) {
+  std::vector<double> v = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.5), 2.0);
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(RunningStatsTest, MatchesBatchComputation) {
+  random::Xoshiro256 rng(19);
+  std::vector<double> values;
+  RunningStats rs;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextGaussian() * 3.0 + 7.0;
+    values.push_back(x);
+    rs.Add(x);
+  }
+  EXPECT_EQ(rs.n(), values.size());
+  EXPECT_NEAR(rs.mean(), Mean(values), 1e-9);
+  EXPECT_NEAR(rs.variance(), Variance(values), 1e-6);
+  auto s = Summarize(values);
+  EXPECT_DOUBLE_EQ(rs.min(), s.min);
+  EXPECT_DOUBLE_EQ(rs.max(), s.max);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_EQ(rs.n(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  rs.Add(5.0);
+  EXPECT_EQ(rs.mean(), 5.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeEquivalentToSequential) {
+  random::Xoshiro256 rng(23);
+  RunningStats a, b, whole;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.NextExponential(0.5);
+    (i % 2 == 0 ? a : b).Add(x);
+    whole.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.n(), whole.n());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats copy = a;
+  a.Merge(empty);
+  EXPECT_EQ(a.n(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), copy.mean());
+  empty.Merge(a);
+  EXPECT_EQ(empty.n(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+}  // namespace
+}  // namespace twimob::stats

@@ -1,0 +1,114 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace twimob::stats {
+namespace {
+
+TEST(HistogramTest, CreateValidates) {
+  EXPECT_FALSE(Histogram::Create(1.0, 1.0, 10).ok());
+  EXPECT_FALSE(Histogram::Create(2.0, 1.0, 10).ok());
+  EXPECT_FALSE(Histogram::Create(0.0, 1.0, 0).ok());
+  EXPECT_TRUE(Histogram::Create(0.0, 1.0, 10).ok());
+}
+
+TEST(HistogramTest, BinPlacement) {
+  auto h = Histogram::Create(0.0, 10.0, 10);
+  ASSERT_TRUE(h.ok());
+  h->Add(0.0);   // bin 0
+  h->Add(0.99);  // bin 0
+  h->Add(5.0);   // bin 5
+  h->Add(9.99);  // bin 9
+  EXPECT_EQ(h->bin_count(0), 2u);
+  EXPECT_EQ(h->bin_count(5), 1u);
+  EXPECT_EQ(h->bin_count(9), 1u);
+  EXPECT_EQ(h->total(), 4u);
+  EXPECT_DOUBLE_EQ(h->bin_lo(5), 5.0);
+  EXPECT_DOUBLE_EQ(h->bin_hi(5), 6.0);
+}
+
+TEST(HistogramTest, UnderAndOverflow) {
+  auto h = Histogram::Create(0.0, 1.0, 4);
+  ASSERT_TRUE(h.ok());
+  h->Add(-0.1);
+  h->Add(1.0);  // hi edge is exclusive -> overflow
+  h->Add(2.0);
+  EXPECT_EQ(h->underflow(), 1u);
+  EXPECT_EQ(h->overflow(), 2u);
+  EXPECT_EQ(h->total(), 3u);
+}
+
+TEST(HistogramTest, AsciiHasOneLinePerBin) {
+  auto h = Histogram::Create(0.0, 1.0, 5);
+  ASSERT_TRUE(h.ok());
+  h->Add(0.5);
+  const std::string art = h->ToAscii();
+  EXPECT_EQ(static_cast<size_t>(std::count(art.begin(), art.end(), '\n')), 5u);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(DensityGridTest, CreateValidates) {
+  EXPECT_FALSE(DensityGrid::Create(0, 0, 0, 1, 4, 4).ok());
+  EXPECT_FALSE(DensityGrid::Create(0, 1, 0, 1, 0, 4).ok());
+  EXPECT_TRUE(DensityGrid::Create(0, 1, 0, 1, 4, 4).ok());
+}
+
+TEST(DensityGridTest, CountsInCorrectCell) {
+  auto g = DensityGrid::Create(0.0, 4.0, 0.0, 4.0, 4, 4);
+  ASSERT_TRUE(g.ok());
+  g->Add(0.5, 0.5);  // cell (0,0)
+  g->Add(3.5, 3.5);  // cell (3,3)
+  g->Add(3.5, 0.5);  // col 3, row 0
+  EXPECT_EQ(g->At(0, 0), 1u);
+  EXPECT_EQ(g->At(3, 3), 1u);
+  EXPECT_EQ(g->At(0, 3), 1u);
+  EXPECT_EQ(g->total(), 3u);
+  EXPECT_EQ(g->max_cell(), 1u);
+}
+
+TEST(DensityGridTest, IgnoresOutOfRange) {
+  auto g = DensityGrid::Create(0.0, 1.0, 0.0, 1.0, 2, 2);
+  ASSERT_TRUE(g.ok());
+  g->Add(-0.5, 0.5);
+  g->Add(0.5, 1.5);
+  EXPECT_EQ(g->total(), 0u);
+}
+
+TEST(DensityGridTest, EdgesClampIntoLastCell) {
+  auto g = DensityGrid::Create(0.0, 1.0, 0.0, 1.0, 2, 2);
+  ASSERT_TRUE(g.ok());
+  g->Add(1.0, 1.0);  // max corner maps into cell (1,1)
+  EXPECT_EQ(g->At(1, 1), 1u);
+}
+
+TEST(DensityGridTest, AsciiDimensions) {
+  auto g = DensityGrid::Create(0.0, 1.0, 0.0, 1.0, 10, 6);
+  ASSERT_TRUE(g.ok());
+  g->Add(0.5, 0.5);
+  const std::string art = g->ToAscii();
+  EXPECT_EQ(static_cast<size_t>(std::count(art.begin(), art.end(), '\n')), 6u);
+  EXPECT_EQ(art.find('\n'), 10u);
+}
+
+TEST(DensityGridTest, PgmHeaderAndSize) {
+  auto g = DensityGrid::Create(0.0, 1.0, 0.0, 1.0, 3, 2);
+  ASSERT_TRUE(g.ok());
+  g->Add(0.1, 0.1);
+  const std::string pgm = g->ToPgm();
+  EXPECT_EQ(pgm.rfind("P2\n3 2\n255\n", 0), 0u);
+}
+
+TEST(DensityGridTest, NorthUpPutsHighYFirst) {
+  auto g = DensityGrid::Create(0.0, 1.0, 0.0, 1.0, 1, 2);
+  ASSERT_TRUE(g.ok());
+  g->Add(0.5, 0.9);  // top row (row index 1)
+  const std::string art = g->ToAscii(/*north_up=*/true);
+  // First rendered char is the top (high y) cell -> non-space.
+  EXPECT_NE(art[0], ' ');
+  EXPECT_EQ(art[2], ' ');
+}
+
+}  // namespace
+}  // namespace twimob::stats

@@ -1,0 +1,136 @@
+#include "stats/power_law.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/distributions.h"
+#include "random/rng.h"
+
+namespace twimob::stats {
+namespace {
+
+TEST(ContinuousFitTest, RecoversAlphaFromParetoSample) {
+  for (double alpha : {1.8, 2.5, 3.2}) {
+    auto pareto = random::Pareto::Create(alpha, 2.0);
+    ASSERT_TRUE(pareto.ok());
+    random::Xoshiro256 rng(static_cast<uint64_t>(alpha * 10));
+    std::vector<double> sample;
+    for (int i = 0; i < 60000; ++i) sample.push_back(pareto->Sample(rng));
+    auto fit = FitContinuousPowerLaw(sample, 2.0);
+    ASSERT_TRUE(fit.ok());
+    EXPECT_NEAR(fit->alpha, alpha, 0.04) << alpha;
+    EXPECT_EQ(fit->n_tail, sample.size());
+    EXPECT_LT(fit->ks_distance, 0.02);
+  }
+}
+
+TEST(ContinuousFitTest, TailOnlyUsesValuesAboveXmin) {
+  std::vector<double> sample = {0.1, 0.2, 10.0, 20.0, 40.0, 80.0};
+  auto fit = FitContinuousPowerLaw(sample, 10.0);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_EQ(fit->n_tail, 4u);
+}
+
+TEST(ContinuousFitTest, ErrorCases) {
+  EXPECT_FALSE(FitContinuousPowerLaw({1.0, 2.0}, 0.0).ok());
+  EXPECT_FALSE(FitContinuousPowerLaw({1.0}, 1.0).ok());
+  EXPECT_FALSE(FitContinuousPowerLaw({0.5, 0.6}, 1.0).ok());
+}
+
+TEST(DiscreteFitTest, RecoversAlphaFromZetaSample) {
+  auto dist = random::DiscretePowerLaw::Create(2.3, 1, 0);
+  ASSERT_TRUE(dist.ok());
+  random::Xoshiro256 rng(55);
+  std::vector<uint64_t> sample;
+  for (int i = 0; i < 60000; ++i) sample.push_back(dist->Sample(rng));
+  auto fit = FitDiscretePowerLaw(sample, 1);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->alpha, 2.3, 0.06);
+}
+
+TEST(DiscreteFitTest, HigherKminFitsTail) {
+  auto dist = random::DiscretePowerLaw::Create(2.0, 1, 0);
+  ASSERT_TRUE(dist.ok());
+  random::Xoshiro256 rng(56);
+  std::vector<uint64_t> sample;
+  for (int i = 0; i < 80000; ++i) sample.push_back(dist->Sample(rng));
+  auto fit = FitDiscretePowerLaw(sample, 5);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->alpha, 2.0, 0.1);
+  EXPECT_LT(fit->n_tail, sample.size());
+}
+
+TEST(DiscreteFitTest, ErrorCases) {
+  EXPECT_FALSE(FitDiscretePowerLaw({1, 2, 3}, 0).ok());
+  EXPECT_FALSE(FitDiscretePowerLaw({1}, 1).ok());
+  EXPECT_FALSE(FitDiscretePowerLaw({1, 1, 2}, 10).ok());  // empty tail
+}
+
+TEST(KsDistanceTest, SmallForTrueModelLargeForWrong) {
+  auto pareto = random::Pareto::Create(2.5, 1.0);
+  ASSERT_TRUE(pareto.ok());
+  random::Xoshiro256 rng(57);
+  std::vector<double> sample;
+  for (int i = 0; i < 30000; ++i) sample.push_back(pareto->Sample(rng));
+  EXPECT_LT(PowerLawKsDistance(sample, 2.5, 1.0), 0.02);
+  EXPECT_GT(PowerLawKsDistance(sample, 1.3, 1.0), 0.2);
+}
+
+TEST(KsDistanceTest, EmptyTailReturnsOne) {
+  EXPECT_DOUBLE_EQ(PowerLawKsDistance({0.5}, 2.0, 1.0), 1.0);
+}
+
+TEST(VuongTest, FavoursPowerLawOnParetoData) {
+  auto pareto = random::Pareto::Create(2.2, 1.0);
+  ASSERT_TRUE(pareto.ok());
+  random::Xoshiro256 rng(71);
+  std::vector<double> sample;
+  for (int i = 0; i < 30000; ++i) sample.push_back(pareto->Sample(rng));
+  auto lr = PowerLawVsLogNormal(sample, 1.0);
+  ASSERT_TRUE(lr.ok());
+  EXPECT_GT(lr->normalized_ratio, 2.0);
+  EXPECT_LT(lr->p_value, 0.05);
+}
+
+TEST(VuongTest, FavoursLogNormalOnLogNormalData) {
+  auto lognormal = random::LogNormal::Create(2.0, 0.6);
+  ASSERT_TRUE(lognormal.ok());
+  random::Xoshiro256 rng(73);
+  std::vector<double> sample;
+  for (int i = 0; i < 30000; ++i) sample.push_back(lognormal->Sample(rng));
+  // Compare on the tail above the median so both models are plausible fits.
+  auto lr = PowerLawVsLogNormal(sample, std::exp(2.0));
+  ASSERT_TRUE(lr.ok());
+  EXPECT_LT(lr->normalized_ratio, -2.0);
+  EXPECT_LT(lr->p_value, 0.05);
+}
+
+TEST(VuongTest, ErrorCases) {
+  EXPECT_FALSE(PowerLawVsLogNormal({1, 2, 3}, 0.0).ok());
+  EXPECT_FALSE(PowerLawVsLogNormal({1, 2, 3}, 1.0).ok());  // tail too small
+}
+
+TEST(DecadesSpannedTest, Basics) {
+  EXPECT_DOUBLE_EQ(DecadesSpanned({}), 0.0);
+  EXPECT_DOUBLE_EQ(DecadesSpanned({-1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(DecadesSpanned({1.0, 1000.0}), 3.0);
+  EXPECT_NEAR(DecadesSpanned({0.01, 1e6}), 8.0, 1e-12);
+}
+
+TEST(DecadesSpannedTest, Figure2Property) {
+  // The synthetic tweets-per-user distribution must span several decades
+  // (the paper reports >= 8 across both Figure 2 panels at full corpus
+  // scale; the span grows with sample size, so a small sample spans fewer).
+  auto dist = random::DiscretePowerLaw::Create(1.85, 1, 20000);
+  ASSERT_TRUE(dist.ok());
+  random::Xoshiro256 rng(58);
+  std::vector<double> sample;
+  for (int i = 0; i < 100000; ++i) {
+    sample.push_back(static_cast<double>(dist->Sample(rng)));
+  }
+  EXPECT_GE(DecadesSpanned(sample), 3.5);
+}
+
+}  // namespace
+}  // namespace twimob::stats

@@ -1,0 +1,116 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+
+namespace twimob::stats {
+namespace {
+
+TEST(SolveLinearSystemTest, Solves2x2) {
+  // 2x + y = 5 ; x - y = 1  =>  x = 2, y = 1.
+  auto x = SolveLinearSystem({{2, 1}, {1, -1}}, {5, 1});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, RequiresPivoting) {
+  // Zero on the first diagonal entry forces a row swap.
+  auto x = SolveLinearSystem({{0, 1}, {1, 0}}, {3, 4});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 4.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, DetectsSingular) {
+  EXPECT_FALSE(SolveLinearSystem({{1, 2}, {2, 4}}, {1, 2}).ok());
+}
+
+TEST(SolveLinearSystemTest, RejectsBadShapes) {
+  EXPECT_FALSE(SolveLinearSystem({}, {}).ok());
+  EXPECT_FALSE(SolveLinearSystem({{1, 2}}, {1}).ok());
+  EXPECT_FALSE(SolveLinearSystem({{1, 2}, {3, 4}}, {1}).ok());
+}
+
+TEST(OlsTest, RecoversExactLinearModel) {
+  // y = 3 + 2a - 5b with no noise.
+  std::vector<std::vector<double>> design;
+  std::vector<double> y;
+  random::Xoshiro256 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.NextUniform(-10, 10);
+    const double b = rng.NextUniform(-10, 10);
+    design.push_back({1.0, a, b});
+    y.push_back(3.0 + 2.0 * a - 5.0 * b);
+  }
+  auto fit = OlsSolve(design, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->beta[0], 3.0, 1e-9);
+  EXPECT_NEAR(fit->beta[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit->beta[2], -5.0, 1e-9);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit->rmse, 0.0, 1e-9);
+}
+
+TEST(OlsTest, RecoversNoisyModelApproximately) {
+  std::vector<std::vector<double>> design;
+  std::vector<double> y;
+  random::Xoshiro256 rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const double a = rng.NextUniform(0, 10);
+    design.push_back({1.0, a});
+    y.push_back(1.5 + 0.7 * a + rng.NextGaussian() * 0.5);
+  }
+  auto fit = OlsSolve(design, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->beta[0], 1.5, 0.05);
+  EXPECT_NEAR(fit->beta[1], 0.7, 0.01);
+  EXPECT_NEAR(fit->rmse, 0.5, 0.03);
+  EXPECT_GT(fit->r_squared, 0.9);
+}
+
+TEST(OlsTest, ErrorCases) {
+  EXPECT_FALSE(OlsSolve({}, {}).ok());
+  EXPECT_FALSE(OlsSolve({{1.0}}, {1.0, 2.0}).ok());            // length mismatch
+  EXPECT_FALSE(OlsSolve({{1.0, 2.0}}, {1.0}).ok());            // n < p
+  EXPECT_FALSE(OlsSolve({{1.0, 2.0}, {1.0, 3.0}, {}}, {1, 2, 3}).ok());  // ragged
+  // Perfectly collinear columns -> singular normal equations.
+  EXPECT_FALSE(
+      OlsSolve({{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}}, {1.0, 2.0, 3.0}).ok());
+}
+
+TEST(SimpleLinearRegressionTest, MatchesKnownLine) {
+  auto fit = SimpleLinearRegression({0, 1, 2, 3}, {1, 3, 5, 7});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->beta[0], 1.0, 1e-12);  // intercept
+  EXPECT_NEAR(fit->beta[1], 2.0, 1e-12);  // slope
+}
+
+TEST(SimpleLinearRegressionTest, LengthMismatch) {
+  EXPECT_FALSE(SimpleLinearRegression({1, 2}, {1}).ok());
+}
+
+TEST(OlsTest, LogSpaceGravityShapedFit) {
+  // End-to-end sanity for the gravity use case: y = logC + a·x1 + b·x2 - g·x3.
+  std::vector<std::vector<double>> design;
+  std::vector<double> y;
+  random::Xoshiro256 rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double m = rng.NextUniform(3, 7);   // log10 masses
+    const double n = rng.NextUniform(3, 7);
+    const double d = rng.NextUniform(4.5, 6.5);  // log10 metres
+    design.push_back({1.0, m, n, d});
+    y.push_back(-3.0 + 0.9 * m + 1.1 * n - 2.0 * d + rng.NextGaussian() * 0.05);
+  }
+  auto fit = OlsSolve(design, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->beta[1], 0.9, 0.02);
+  EXPECT_NEAR(fit->beta[2], 1.1, 0.02);
+  EXPECT_NEAR(fit->beta[3], -2.0, 0.02);
+}
+
+}  // namespace
+}  // namespace twimob::stats

@@ -1,0 +1,103 @@
+#include "stats/special_functions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace twimob::stats {
+namespace {
+
+TEST(LogGammaTest, MatchesStdLgamma) {
+  for (double x : {0.1, 0.5, 1.0, 1.5, 2.0, 3.7, 10.0, 100.0, 1234.5}) {
+    EXPECT_NEAR(LogGamma(x), std::lgamma(x), 1e-8 * std::max(1.0, std::fabs(std::lgamma(x))))
+        << x;
+  }
+}
+
+TEST(LogGammaTest, FactorialValues) {
+  // Gamma(n) = (n-1)!
+  EXPECT_NEAR(std::exp(LogGamma(5.0)), 24.0, 1e-8);
+  EXPECT_NEAR(std::exp(LogGamma(6.0)), 120.0, 1e-7);
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(IncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(IncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, UniformCaseIsIdentity) {
+  // I_x(1,1) = x.
+  for (double x : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(IncompleteBeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBetaTest, SymmetryRelation) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (double x : {0.2, 0.5, 0.77}) {
+    EXPECT_NEAR(IncompleteBeta(2.5, 4.0, x),
+                1.0 - IncompleteBeta(4.0, 2.5, 1.0 - x), 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, KnownValue) {
+  // I_{0.5}(2,2) = 0.5 by symmetry; I_{0.25}(2,2) = 0.15625 analytically
+  // (CDF of Beta(2,2) is 3x^2 - 2x^3).
+  EXPECT_NEAR(IncompleteBeta(2.0, 2.0, 0.5), 0.5, 1e-10);
+  EXPECT_NEAR(IncompleteBeta(2.0, 2.0, 0.25), 3 * 0.0625 - 2 * 0.015625, 1e-10);
+}
+
+TEST(IncompleteBetaTest, DomainErrorsReturnNaN) {
+  EXPECT_TRUE(std::isnan(IncompleteBeta(-1.0, 1.0, 0.5)));
+  EXPECT_TRUE(std::isnan(IncompleteBeta(1.0, 0.0, 0.5)));
+  EXPECT_TRUE(std::isnan(IncompleteBeta(1.0, 1.0, -0.1)));
+  EXPECT_TRUE(std::isnan(IncompleteBeta(1.0, 1.0, 1.1)));
+}
+
+TEST(StudentTTest, CdfSymmetryAndCenter) {
+  EXPECT_NEAR(StudentTCdf(0.0, 10.0), 0.5, 1e-12);
+  for (double t : {0.5, 1.0, 2.5}) {
+    EXPECT_NEAR(StudentTCdf(t, 7.0) + StudentTCdf(-t, 7.0), 1.0, 1e-10);
+  }
+}
+
+TEST(StudentTTest, KnownQuantiles) {
+  // t_{0.975, 10} = 2.228: CDF(2.228, 10) ~ 0.975.
+  EXPECT_NEAR(StudentTCdf(2.228, 10.0), 0.975, 1e-3);
+  // t_{0.95, 5} = 2.015.
+  EXPECT_NEAR(StudentTCdf(2.015, 5.0), 0.95, 1e-3);
+  // Large dof approaches the normal: CDF(1.96, 1e6) ~ 0.975.
+  EXPECT_NEAR(StudentTCdf(1.96, 1e6), 0.975, 1e-3);
+}
+
+TEST(StudentTTest, TwoTailedPValues) {
+  EXPECT_NEAR(StudentTTwoTailedP(2.228, 10.0), 0.05, 2e-3);
+  EXPECT_NEAR(StudentTTwoTailedP(0.0, 10.0), 1.0, 1e-12);
+  EXPECT_NEAR(StudentTTwoTailedP(-2.228, 10.0), 0.05, 2e-3);
+  EXPECT_EQ(StudentTTwoTailedP(INFINITY, 10.0), 0.0);
+}
+
+TEST(HurwitzZetaTest, ReducesToRiemannZeta) {
+  // zeta(2) = pi^2/6, zeta(3) = 1.2020569..., zeta(4) = pi^4/90.
+  EXPECT_NEAR(HurwitzZeta(2.0, 1.0), M_PI * M_PI / 6.0, 1e-10);
+  EXPECT_NEAR(HurwitzZeta(3.0, 1.0), 1.2020569031595943, 1e-10);
+  EXPECT_NEAR(HurwitzZeta(4.0, 1.0), std::pow(M_PI, 4) / 90.0, 1e-10);
+}
+
+TEST(HurwitzZetaTest, ShiftRelation) {
+  // zeta(s, q) = zeta(s, q+1) + q^-s.
+  for (double s : {1.5, 2.5}) {
+    for (double q : {1.0, 2.0, 7.5}) {
+      EXPECT_NEAR(HurwitzZeta(s, q), HurwitzZeta(s, q + 1.0) + std::pow(q, -s),
+                  1e-10);
+    }
+  }
+}
+
+TEST(HurwitzZetaTest, DomainErrors) {
+  EXPECT_TRUE(std::isnan(HurwitzZeta(1.0, 1.0)));
+  EXPECT_TRUE(std::isnan(HurwitzZeta(2.0, 0.0)));
+}
+
+}  // namespace
+}  // namespace twimob::stats

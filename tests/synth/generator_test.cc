@@ -1,0 +1,199 @@
+#include "synth/tweet_generator.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "geo/bbox.h"
+#include "geo/geodesic.h"
+
+namespace twimob::synth {
+namespace {
+
+CorpusConfig SmallConfig(size_t users = 3000, uint64_t seed = 99) {
+  CorpusConfig config;
+  config.num_users = users;
+  config.seed = seed;
+  return config;
+}
+
+TEST(GeneratorTest, CreateValidatesConfig) {
+  CorpusConfig config = SmallConfig();
+  config.num_users = 0;
+  EXPECT_FALSE(TweetGenerator::Create(config).ok());
+
+  config = SmallConfig();
+  config.window_end = config.window_start;
+  EXPECT_FALSE(TweetGenerator::Create(config).ok());
+
+  config = SmallConfig();
+  config.p_move = 1.5;
+  EXPECT_FALSE(TweetGenerator::Create(config).ok());
+
+  config = SmallConfig();
+  config.gps_jitter_m = -1.0;
+  EXPECT_FALSE(TweetGenerator::Create(config).ok());
+
+  config = SmallConfig();
+  config.home_attraction = 0.0;
+  EXPECT_FALSE(TweetGenerator::Create(config).ok());
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  auto g1 = TweetGenerator::Create(SmallConfig(500, 7));
+  auto g2 = TweetGenerator::Create(SmallConfig(500, 7));
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  auto t1 = g1->Generate();
+  auto t2 = g2->Generate();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t1->ToVector(), t2->ToVector());
+}
+
+TEST(GeneratorTest, DifferentSeedsProduceDifferentCorpora) {
+  auto g1 = TweetGenerator::Create(SmallConfig(500, 7));
+  auto g2 = TweetGenerator::Create(SmallConfig(500, 8));
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_NE(g1->Generate()->ToVector(), g2->Generate()->ToVector());
+}
+
+TEST(GeneratorTest, AllTweetsValidAndInsideWindow) {
+  auto gen = TweetGenerator::Create(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  auto table = gen->Generate();
+  ASSERT_TRUE(table.ok());
+  table->ForEachRow([&](const tweetdb::Tweet& t) {
+    EXPECT_TRUE(t.IsValid());
+    EXPECT_GE(t.timestamp, gen->config().window_start);
+    EXPECT_LT(t.timestamp, gen->config().window_end);
+  });
+}
+
+TEST(GeneratorTest, EveryUserTweetsAtLeastOnce) {
+  auto gen = TweetGenerator::Create(SmallConfig(800, 3));
+  ASSERT_TRUE(gen.ok());
+  auto table = gen->Generate();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->CountDistinctUsers(), 800u);
+  // Ids are 1-based and dense.
+  std::set<uint64_t> users;
+  table->ForEachRow([&users](const tweetdb::Tweet& t) { users.insert(t.user_id); });
+  EXPECT_EQ(*users.begin(), 1u);
+  EXPECT_EQ(*users.rbegin(), 800u);
+}
+
+TEST(GeneratorTest, PerUserTimestampsAreNonDecreasing) {
+  auto gen = TweetGenerator::Create(SmallConfig(400, 21));
+  ASSERT_TRUE(gen.ok());
+  auto table = gen->Generate();
+  ASSERT_TRUE(table.ok());
+  std::map<uint64_t, int64_t> last;
+  table->ForEachRow([&last](const tweetdb::Tweet& t) {
+    auto it = last.find(t.user_id);
+    if (it != last.end()) {
+      EXPECT_GE(t.timestamp, it->second) << t.user_id;
+    }
+    last[t.user_id] = t.timestamp;
+  });
+}
+
+TEST(GeneratorTest, ReportMatchesPaperCalibration) {
+  auto gen = TweetGenerator::Create(SmallConfig(20000, 31));
+  ASSERT_TRUE(gen.ok());
+  GenerationReport report;
+  auto table = gen->Generate(&report);
+  ASSERT_TRUE(table.ok());
+
+  EXPECT_EQ(report.num_users, 20000u);
+  EXPECT_EQ(report.num_tweets, table->num_rows());
+  // Table I targets: 13.3 tweets/user, 35.5 h waits, 4.76 locations/user.
+  // Heavy tails make small-sample means noisy; assert calibrated bands.
+  EXPECT_GT(report.mean_tweets_per_user, 8.0);
+  EXPECT_LT(report.mean_tweets_per_user, 22.0);
+  EXPECT_GT(report.mean_waiting_hours, 20.0);
+  EXPECT_LT(report.mean_waiting_hours, 55.0);
+  EXPECT_GT(report.mean_locations_per_user, 2.5);
+  EXPECT_LT(report.mean_locations_per_user, 7.5);
+  EXPECT_GT(report.alpha_used, 1.5);
+  EXPECT_LT(report.alpha_used, 2.2);
+  // Tail ordering must hold strictly.
+  EXPECT_GT(report.users_over_50, report.users_over_100);
+  EXPECT_GT(report.users_over_100, report.users_over_500);
+  EXPECT_GE(report.users_over_500, report.users_over_1000);
+  EXPECT_GT(report.users_over_1000, 0u);
+}
+
+TEST(GeneratorTest, MostTweetsInsideStudyBox) {
+  auto gen = TweetGenerator::Create(SmallConfig(2000, 41));
+  ASSERT_TRUE(gen.ok());
+  auto table = gen->Generate();
+  ASSERT_TRUE(table.ok());
+  const geo::BoundingBox box = geo::AustraliaBoundingBox();
+  size_t inside = 0, total = 0;
+  table->ForEachRow([&](const tweetdb::Tweet& t) {
+    ++total;
+    if (box.Contains(t.pos)) ++inside;
+  });
+  EXPECT_GT(static_cast<double>(inside) / static_cast<double>(total), 0.99);
+}
+
+TEST(GeneratorTest, UserProfileInvariants) {
+  auto gen = TweetGenerator::Create(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  random::Xoshiro256 rng(55);
+  for (int i = 0; i < 300; ++i) {
+    const UserProfile p = gen->GenerateUserProfile(i + 1, rng);
+    EXPECT_GE(p.num_tweets, 1u);
+    ASSERT_GE(p.points.size(), 1u);
+    EXPECT_EQ(p.points.size(), p.location_sites.size());
+    EXPECT_LE(p.points.size(), static_cast<size_t>(p.num_tweets));
+    EXPECT_EQ(p.location_sites[0], p.home_site);
+    for (const geo::LatLon& pt : p.points) EXPECT_TRUE(pt.IsValid());
+    for (size_t site : p.location_sites) {
+      EXPECT_LT(site, gen->landscape().sites().size());
+    }
+  }
+}
+
+TEST(GeneratorTest, SampleNextLocationPrefersNearAndHome) {
+  auto gen = TweetGenerator::Create(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  // Hand-built profile: home in Sydney, one nearby spot, one in Perth.
+  UserProfile p;
+  p.points = {geo::LatLon{-33.87, 151.21}, geo::LatLon{-33.90, 151.25},
+              geo::LatLon{-31.95, 115.86}};
+  p.location_sites = {0, 0, 0};
+  random::Xoshiro256 rng(77);
+  int near = 0, far = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const size_t next = gen->SampleNextLocation(p, /*current=*/0, rng);
+    EXPECT_NE(next, 0u);
+    (next == 1 ? near : far) += 1;
+  }
+  // The nearby location must dominate the cross-country one.
+  EXPECT_GT(near, far * 10);
+}
+
+TEST(GeneratorTest, BackgroundNoiseProducesOutbackTweets) {
+  CorpusConfig config = SmallConfig(2000, 91);
+  config.background_noise_frac = 0.2;  // exaggerate for the test
+  auto gen = TweetGenerator::Create(config);
+  ASSERT_TRUE(gen.ok());
+  auto table = gen->Generate();
+  ASSERT_TRUE(table.ok());
+  // Count tweets far (>200 km) from every landscape site.
+  size_t remote = 0;
+  table->ForEachRow([&](const tweetdb::Tweet& t) {
+    for (const Site& s : gen->landscape().sites()) {
+      if (geo::HaversineMeters(t.pos, s.center) < 200000.0) return;
+    }
+    ++remote;
+  });
+  EXPECT_GT(remote, table->num_rows() / 20);
+}
+
+}  // namespace
+}  // namespace twimob::synth

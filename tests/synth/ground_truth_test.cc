@@ -1,0 +1,102 @@
+#include "synth/mobility_ground_truth.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesic.h"
+
+namespace twimob::synth {
+namespace {
+
+std::vector<Site> TestSites() {
+  // Four sites on a line, varying populations.
+  std::vector<Site> sites(4);
+  sites[0] = Site{geo::LatLon{-33.0, 150.0}, 1000000.0, 2000.0, "A"};
+  sites[1] = Site{geo::LatLon{-33.0, 151.0}, 500000.0, 2000.0, "B"};
+  sites[2] = Site{geo::LatLon{-33.0, 153.0}, 100000.0, 2000.0, "C"};
+  sites[3] = Site{geo::LatLon{-33.0, 158.0}, 2000000.0, 2000.0, "D"};
+  return sites;
+}
+
+TEST(GroundTruthTest, CreateValidates) {
+  EXPECT_FALSE(GroundTruthMobility::Create({}, 1.5).ok());
+  EXPECT_FALSE(GroundTruthMobility::Create({TestSites()[0]}, 1.5).ok());
+  EXPECT_FALSE(GroundTruthMobility::Create(TestSites(), -1.0).ok());
+  EXPECT_FALSE(GroundTruthMobility::Create(TestSites(), std::nan("")).ok());
+  EXPECT_TRUE(GroundTruthMobility::Create(TestSites(), 1.7).ok());
+}
+
+TEST(GroundTruthTest, WeightsFollowGravityForm) {
+  const auto sites = TestSites();
+  auto gt = GroundTruthMobility::Create(sites, 2.0);
+  ASSERT_TRUE(gt.ok());
+  EXPECT_EQ(gt->num_sites(), 4u);
+  EXPECT_DOUBLE_EQ(gt->Weight(1, 1), 0.0);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      const double d = std::max(
+          500.0, geo::HaversineMeters(sites[i].center, sites[j].center));
+      EXPECT_NEAR(gt->Weight(i, j), sites[j].population / (d * d),
+                  1e-9 * gt->Weight(i, j))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(GroundTruthTest, DestinationNeverEqualsOrigin) {
+  auto gt = GroundTruthMobility::Create(TestSites(), 1.7);
+  ASSERT_TRUE(gt.ok());
+  random::Xoshiro256 rng(1);
+  for (size_t origin = 0; origin < 4; ++origin) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_NE(gt->SampleDestination(origin, rng), origin);
+    }
+  }
+}
+
+TEST(GroundTruthTest, SampleFrequenciesMatchWeights) {
+  const auto sites = TestSites();
+  auto gt = GroundTruthMobility::Create(sites, 1.5);
+  ASSERT_TRUE(gt.ok());
+  random::Xoshiro256 rng(2);
+  const size_t origin = 0;
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[gt->SampleDestination(origin, rng)];
+  double total_w = 0.0;
+  for (size_t j = 0; j < 4; ++j) total_w += gt->Weight(origin, j);
+  for (size_t j = 1; j < 4; ++j) {
+    const double expected = gt->Weight(origin, j) / total_w;
+    EXPECT_NEAR(static_cast<double>(counts[j]) / n, expected,
+                0.03 * expected + 0.002)
+        << j;
+  }
+}
+
+TEST(GroundTruthTest, HigherGammaFavoursCloserSites) {
+  const auto sites = TestSites();
+  auto near_biased = GroundTruthMobility::Create(sites, 3.0);
+  auto far_tolerant = GroundTruthMobility::Create(sites, 0.5);
+  ASSERT_TRUE(near_biased.ok());
+  ASSERT_TRUE(far_tolerant.ok());
+  // From A, site B (close, medium pop) vs site D (far, huge pop).
+  const double ratio_near =
+      near_biased->Weight(0, 1) / near_biased->Weight(0, 3);
+  const double ratio_far =
+      far_tolerant->Weight(0, 1) / far_tolerant->Weight(0, 3);
+  EXPECT_GT(ratio_near, ratio_far);
+}
+
+TEST(GroundTruthTest, ZeroGammaIsPurePopulationPreference) {
+  const auto sites = TestSites();
+  auto gt = GroundTruthMobility::Create(sites, 0.0);
+  ASSERT_TRUE(gt.ok());
+  EXPECT_NEAR(gt->Weight(0, 3) / gt->Weight(0, 2),
+              sites[3].population / sites[2].population, 1e-9);
+}
+
+}  // namespace
+}  // namespace twimob::synth

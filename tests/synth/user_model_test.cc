@@ -1,0 +1,195 @@
+#include "synth/user_model.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesic.h"
+
+namespace twimob::synth {
+namespace {
+
+TEST(LandscapeTest, BuildsWithSuburbsAndRemainder) {
+  auto landscape = PopulationLandscape::Build();
+  ASSERT_TRUE(landscape.ok());
+  const auto& sites = landscape->sites();
+  // 20 suburbs + Sydney remainder + deduped state + national cities.
+  EXPECT_GT(sites.size(), 40u);
+  EXPECT_LT(sites.size(), 60u);
+
+  bool has_remainder = false, has_melbourne = false, has_blacktown = false;
+  for (const Site& s : sites) {
+    if (s.name == "Sydney (remainder)") has_remainder = true;
+    if (s.name == "Melbourne") has_melbourne = true;
+    if (s.name == "Blacktown") has_blacktown = true;
+    EXPECT_GE(s.population, 0.0);
+    EXPECT_GT(s.sigma_m, 0.0);
+    EXPECT_TRUE(s.center.IsValid());
+  }
+  EXPECT_TRUE(has_remainder);
+  EXPECT_TRUE(has_melbourne);
+  EXPECT_TRUE(has_blacktown);
+}
+
+TEST(LandscapeTest, NoDuplicateCityCenters) {
+  auto landscape = PopulationLandscape::Build();
+  ASSERT_TRUE(landscape.ok());
+  const auto& sites = landscape->sites();
+  // Sites representing distinct cities (sigma >= regional class) must not
+  // coincide. Suburbs are intentionally dense, so only check the big ones.
+  for (size_t i = 0; i < sites.size(); ++i) {
+    for (size_t j = i + 1; j < sites.size(); ++j) {
+      if (sites[i].sigma_m >= 5000.0 && sites[j].sigma_m >= 5000.0 &&
+          sites[i].name != "Sydney (remainder)" &&
+          sites[j].name != "Sydney (remainder)") {
+        EXPECT_GT(geo::HaversineMeters(sites[i].center, sites[j].center), 14000.0)
+            << sites[i].name << " vs " << sites[j].name;
+      }
+    }
+  }
+}
+
+TEST(LandscapeTest, RejectsNegativePenetrationSigma) {
+  PenetrationParams p;
+  p.sigma = -0.1;
+  EXPECT_FALSE(PopulationLandscape::Build(p).ok());
+}
+
+TEST(LandscapeTest, HomeSamplingRoughlyProportionalToPopulation) {
+  PenetrationParams no_noise;
+  no_noise.sigma = 0.0;
+  auto landscape = PopulationLandscape::Build(no_noise);
+  ASSERT_TRUE(landscape.ok());
+  random::Xoshiro256 rng(5);
+  std::vector<size_t> counts(landscape->sites().size(), 0);
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) ++counts[landscape->SampleHomeSite(rng)];
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double expected =
+        landscape->sites()[i].population / landscape->total_population();
+    const double actual = static_cast<double>(counts[i]) / n;
+    EXPECT_NEAR(actual, expected, 0.05 * expected + 0.002)
+        << landscape->sites()[i].name;
+  }
+}
+
+TEST(LandscapeTest, PenetrationNoiseChangesWeightsDeterministically) {
+  PenetrationParams a;
+  a.sigma = 0.5;
+  a.seed = 101;
+  auto la1 = PopulationLandscape::Build(a);
+  auto la2 = PopulationLandscape::Build(a);
+  ASSERT_TRUE(la1.ok());
+  ASSERT_TRUE(la2.ok());
+  random::Xoshiro256 r1(9), r2(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(la1->SampleHomeSite(r1), la2->SampleHomeSite(r2));
+  }
+}
+
+TEST(LandscapeTest, SamplePointsClusterAroundSite) {
+  auto landscape = PopulationLandscape::Build();
+  ASSERT_TRUE(landscape.ok());
+  random::Xoshiro256 rng(7);
+  for (size_t s = 0; s < landscape->sites().size(); s += 7) {
+    const Site& site = landscape->sites()[s];
+    double sum = 0.0;
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+      const geo::LatLon p = landscape->SamplePointNearSite(s, rng);
+      EXPECT_TRUE(p.IsValid());
+      sum += geo::HaversineMeters(site.center, p);
+    }
+    // Mean radial distance of a 2-D Gaussian is sigma*sqrt(pi/2) ~ 1.25 sigma.
+    EXPECT_NEAR(sum / n, 1.2533 * site.sigma_m, 0.25 * site.sigma_m) << site.name;
+  }
+}
+
+TEST(CalibrateAlphaTest, HitsTargetMean) {
+  auto alpha = CalibrateAlphaForMean(13.3, 1, 20000);
+  ASSERT_TRUE(alpha.ok());
+  auto dist = random::DiscretePowerLaw::Create(*alpha, 1, 20000);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->Mean(), 13.3, 0.01);
+  EXPECT_GT(*alpha, 1.5);
+  EXPECT_LT(*alpha, 2.5);
+}
+
+TEST(CalibrateAlphaTest, ErrorsOnImpossibleTargets) {
+  EXPECT_FALSE(CalibrateAlphaForMean(0.5, 1, 1000).ok());
+  EXPECT_FALSE(CalibrateAlphaForMean(5.0, 1, 0).ok());
+  EXPECT_TRUE(CalibrateAlphaForMean(900.0, 1, 1000).status().IsOutOfRange());
+}
+
+TEST(UserModelTest, CreateCalibratesWhenAlphaZero) {
+  UserModelParams params;
+  auto model = UserModel::Create(params);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->alpha(), 1.0);
+  EXPECT_EQ(model->params().alpha, model->alpha());
+}
+
+TEST(UserModelTest, CreateValidates) {
+  UserModelParams bad;
+  bad.mean_locations = 0.5;
+  EXPECT_FALSE(UserModel::Create(bad).ok());
+  bad = UserModelParams{};
+  bad.max_locations = 0;
+  EXPECT_FALSE(UserModel::Create(bad).ok());
+}
+
+TEST(UserModelTest, TweetCountsMatchConfiguredMean) {
+  auto model = UserModel::Create(UserModelParams{});
+  ASSERT_TRUE(model.ok());
+  random::Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t k = model->SampleTweetCount(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, model->params().max_tweets_per_user);
+    sum += static_cast<double>(k);
+  }
+  // Heavy-tailed sample mean is noisy; allow a generous band.
+  EXPECT_NEAR(sum / n, 13.3, 3.5);
+}
+
+TEST(UserModelTest, LocationCountRespectsCaps) {
+  auto model = UserModel::Create(UserModelParams{});
+  ASSERT_TRUE(model.ok());
+  random::Xoshiro256 rng(13);
+  for (uint64_t tweets : {uint64_t{1}, uint64_t{2}, uint64_t{5}, uint64_t{100},
+                          uint64_t{10000}}) {
+    for (int i = 0; i < 500; ++i) {
+      const size_t l = model->SampleLocationCount(tweets, rng);
+      EXPECT_GE(l, 1u);
+      EXPECT_LE(l, std::min<uint64_t>(tweets, model->params().max_locations));
+    }
+  }
+}
+
+TEST(UserModelTest, SingleTweetUsersAlwaysOneLocation) {
+  auto model = UserModel::Create(UserModelParams{});
+  ASSERT_TRUE(model.ok());
+  random::Xoshiro256 rng(15);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(model->SampleLocationCount(1, rng), 1u);
+  }
+}
+
+TEST(UserModelTest, HeavyTweetersVisitMorePlaces) {
+  auto model = UserModel::Create(UserModelParams{});
+  ASSERT_TRUE(model.ok());
+  random::Xoshiro256 rng(17);
+  double mean_light = 0.0, mean_heavy = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    mean_light += static_cast<double>(model->SampleLocationCount(3, rng));
+    mean_heavy += static_cast<double>(model->SampleLocationCount(400, rng));
+  }
+  EXPECT_GT(mean_heavy / n, 2.0 * (mean_light / n));
+}
+
+}  // namespace
+}  // namespace twimob::synth

@@ -1,0 +1,181 @@
+#include "tweetdb/block.h"
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+#include "tweetdb/column.h"
+
+namespace twimob::tweetdb {
+namespace {
+
+Tweet MakeTweet(uint64_t user, int64_t ts, double lat, double lon) {
+  Tweet t;
+  t.user_id = user;
+  t.timestamp = ts;
+  t.pos = geo::LatLon{lat, lon};
+  return t;
+}
+
+Block RandomBlock(size_t n, uint64_t seed) {
+  random::Xoshiro256 rng(seed);
+  Block b;
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(b.Append(MakeTweet(rng.NextUint64(500) + 1,
+                                   1378000000 + static_cast<int64_t>(rng.NextUint64(1000000)),
+                                   rng.NextUniform(-44.0, -10.0),
+                                   rng.NextUniform(113.0, 154.0)),
+                         n)
+                    .ok());
+  }
+  return b;
+}
+
+TEST(BlockTest, AppendAndGetRow) {
+  Block b;
+  const Tweet t = MakeTweet(42, 1378000123, -33.8688, 151.2093);
+  ASSERT_TRUE(b.Append(t).ok());
+  EXPECT_EQ(b.num_rows(), 1u);
+  const Tweet out = b.GetRow(0);
+  EXPECT_EQ(out.user_id, t.user_id);
+  EXPECT_EQ(out.timestamp, t.timestamp);
+  EXPECT_NEAR(out.pos.lat, t.pos.lat, 1e-6);
+  EXPECT_NEAR(out.pos.lon, t.pos.lon, 1e-6);
+}
+
+TEST(BlockTest, CapacityEnforced) {
+  Block b;
+  ASSERT_TRUE(b.Append(MakeTweet(1, 1, 0, 0), 2).ok());
+  ASSERT_TRUE(b.Append(MakeTweet(2, 2, 0, 0), 2).ok());
+  EXPECT_TRUE(b.Append(MakeTweet(3, 3, 0, 0), 2).IsFailedPrecondition());
+  EXPECT_EQ(b.num_rows(), 2u);
+}
+
+TEST(BlockTest, StatsAreTightBounds) {
+  Block b;
+  ASSERT_TRUE(b.Append(MakeTweet(5, 100, -30.0, 120.0)).ok());
+  ASSERT_TRUE(b.Append(MakeTweet(2, 300, -40.0, 150.0)).ok());
+  ASSERT_TRUE(b.Append(MakeTweet(9, 200, -35.0, 130.0)).ok());
+  const BlockStats s = b.ComputeStats();
+  EXPECT_EQ(s.num_rows, 3u);
+  EXPECT_EQ(s.min_user, 2u);
+  EXPECT_EQ(s.max_user, 9u);
+  EXPECT_EQ(s.min_time, 100);
+  EXPECT_EQ(s.max_time, 300);
+  EXPECT_NEAR(s.bbox.min_lat, -40.0, 1e-6);
+  EXPECT_NEAR(s.bbox.max_lat, -30.0, 1e-6);
+  EXPECT_NEAR(s.bbox.min_lon, 120.0, 1e-6);
+  EXPECT_NEAR(s.bbox.max_lon, 150.0, 1e-6);
+}
+
+TEST(BlockTest, EmptyBlockStats) {
+  Block b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.ComputeStats().num_rows, 0u);
+}
+
+TEST(BlockTest, EncodeDecodeRoundTrip) {
+  Block original = RandomBlock(2000, 11);
+  std::string buf;
+  original.EncodeTo(&buf);
+  std::string_view view = buf;
+  auto decoded = Block::Decode(&view);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(view.empty());
+  ASSERT_EQ(decoded->num_rows(), original.num_rows());
+  for (size_t i = 0; i < original.num_rows(); ++i) {
+    EXPECT_EQ(decoded->GetRow(i), original.GetRow(i)) << i;
+  }
+}
+
+TEST(BlockTest, EncodedSizeIsCompact) {
+  Block b = RandomBlock(10000, 13);
+  std::string buf;
+  b.EncodeTo(&buf);
+  // Raw SoA is 24 bytes/row; the codec should do much better even on
+  // unsorted random data (<= 16 bytes/row).
+  EXPECT_LT(buf.size(), 10000u * 16u);
+}
+
+TEST(BlockTest, DecodeRejectsTruncatedInput) {
+  Block b = RandomBlock(100, 17);
+  std::string buf;
+  b.EncodeTo(&buf);
+  for (size_t cut : {size_t{0}, size_t{1}, size_t{4}, buf.size() / 2,
+                     buf.size() - 1}) {
+    std::string_view view(buf.data(), cut);
+    EXPECT_FALSE(Block::Decode(&view).ok()) << cut;
+  }
+}
+
+TEST(BlockTest, MultipleBlocksDecodeSequentially) {
+  Block b1 = RandomBlock(50, 19);
+  Block b2 = RandomBlock(70, 23);
+  std::string buf;
+  b1.EncodeTo(&buf);
+  b2.EncodeTo(&buf);
+  std::string_view view = buf;
+  auto d1 = Block::Decode(&view);
+  ASSERT_TRUE(d1.ok());
+  auto d2 = Block::Decode(&view);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(d1->num_rows(), 50u);
+  EXPECT_EQ(d2->num_rows(), 70u);
+}
+
+TEST(BlockTest, SortByUserTimeOrdersRows) {
+  Block b = RandomBlock(500, 29);
+  b.SortByUserTime();
+  for (size_t i = 1; i < b.num_rows(); ++i) {
+    const Tweet prev = b.GetRow(i - 1);
+    const Tweet cur = b.GetRow(i);
+    EXPECT_TRUE(prev.user_id < cur.user_id ||
+                (prev.user_id == cur.user_id && prev.timestamp <= cur.timestamp))
+        << i;
+  }
+}
+
+TEST(BlockTest, SortingNeverHurtsCompression) {
+  // The auto codec picks the best encoding per column, so sorting can only
+  // shrink (or match) the encoded size, never grow it.
+  Block b = RandomBlock(5000, 31);
+  std::string unsorted;
+  b.EncodeTo(&unsorted);
+  b.SortByUserTime();
+  std::string sorted;
+  b.EncodeTo(&sorted);
+  EXPECT_LE(sorted.size(), unsorted.size());
+}
+
+TEST(BlockTest, TimeSortedColumnPicksDeltaAndShrinks) {
+  // A globally time-sorted column delta-encodes far below its FOR size.
+  std::vector<int64_t> sorted_ts;
+  random::Xoshiro256 rng(37);
+  int64_t t = 1378000000;
+  for (int i = 0; i < 5000; ++i) {
+    t += static_cast<int64_t>(rng.NextUint64(400));
+    sorted_ts.push_back(t);
+  }
+  std::string auto_bytes;
+  EncodeInt64ColumnAuto(&auto_bytes, sorted_ts);
+  EXPECT_EQ(static_cast<IntEncoding>(auto_bytes[0]), IntEncoding::kDeltaVarint);
+
+  std::vector<int64_t> shuffled = sorted_ts;
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.NextUint64(i)]);
+  }
+  std::string shuffled_bytes;
+  EncodeInt64ColumnAuto(&shuffled_bytes, shuffled);
+  EXPECT_EQ(static_cast<IntEncoding>(shuffled_bytes[0]),
+            IntEncoding::kFrameOfReference);
+  EXPECT_LT(auto_bytes.size(), shuffled_bytes.size());
+
+  // Both decode back exactly.
+  std::string_view view = auto_bytes;
+  auto decoded = DecodeInt64ColumnAuto(&view, sorted_ts.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, sorted_ts);
+}
+
+}  // namespace
+}  // namespace twimob::tweetdb

@@ -1,0 +1,112 @@
+#include "tweetdb/column.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+#include "tweetdb/encoding.h"
+
+namespace twimob::tweetdb {
+namespace {
+
+TEST(UserDictTest, RoundTripWithRepeats) {
+  UserDictEncoder enc;
+  const std::vector<uint64_t> users = {900, 1, 900, 900, 7, 1, 900};
+  for (uint64_t u : users) enc.Append(u);
+  EXPECT_EQ(enc.num_rows(), users.size());
+  EXPECT_EQ(enc.dict_size(), 3u);
+
+  std::string buf;
+  enc.EncodeTo(&buf);
+  std::string_view view = buf;
+  auto decoded = DecodeUserDictColumn(&view, users.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, users);
+  EXPECT_TRUE(view.empty());
+}
+
+TEST(UserDictTest, DictionarySavesSpaceOnRepetitiveData) {
+  // The paper's corpus averages 13.3 tweets/user — model that ratio.
+  UserDictEncoder enc;
+  random::Xoshiro256 rng(3);
+  for (int u = 0; u < 100; ++u) {
+    const uint64_t id = 1000000000000ULL + rng.Next() % 1000000;
+    for (int k = 0; k < 13; ++k) enc.Append(id);
+  }
+  std::string buf;
+  enc.EncodeTo(&buf);
+  // Raw: 1300 * ~7 bytes varint; dict: 100 * 7 + 1300 * 1.
+  EXPECT_LT(buf.size(), 2800u);
+}
+
+TEST(UserDictTest, ClearResets) {
+  UserDictEncoder enc;
+  enc.Append(5);
+  enc.Clear();
+  EXPECT_EQ(enc.num_rows(), 0u);
+  EXPECT_EQ(enc.dict_size(), 0u);
+}
+
+TEST(UserDictTest, DecodeRejectsCorruptInput) {
+  std::string_view empty;
+  EXPECT_TRUE(DecodeUserDictColumn(&empty, 5).status().IsIOError());
+
+  // Dictionary claims more entries than available bytes.
+  std::string buf;
+  PutVarint64(&buf, 100);
+  std::string_view view = buf;
+  EXPECT_FALSE(DecodeUserDictColumn(&view, 200).ok());
+
+  // Code referencing outside the dictionary.
+  buf.clear();
+  PutVarint64(&buf, 1);   // dict size 1
+  PutVarint64(&buf, 42);  // dict entry
+  PutVarint64(&buf, 3);   // code 3 out of range
+  view = buf;
+  EXPECT_TRUE(DecodeUserDictColumn(&view, 1).status().IsIOError());
+}
+
+TEST(TimestampColumnTest, RoundTrip) {
+  const std::vector<int64_t> ts = {1378000000, 1378000060, 1378000060, 1398000000};
+  std::string buf;
+  EncodeTimestampColumn(&buf, ts);
+  std::string_view view = buf;
+  auto decoded = DecodeTimestampColumn(&view, ts.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, ts);
+}
+
+TEST(CoordColumnTest, RoundTripRandomCoords) {
+  random::Xoshiro256 rng(4);
+  std::vector<int32_t> coords;
+  for (int i = 0; i < 3000; ++i) {
+    coords.push_back(static_cast<int32_t>(rng.NextUniform(-180e6, 180e6)));
+  }
+  std::string buf;
+  EncodeCoordColumn(&buf, coords);
+  std::string_view view = buf;
+  auto decoded = DecodeCoordColumn(&view, coords.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, coords);
+}
+
+TEST(CoordColumnTest, TruncatedErrors) {
+  std::vector<int32_t> coords = {1000000, -2000000};
+  std::string buf;
+  EncodeCoordColumn(&buf, coords);
+  std::string_view view(buf.data(), 1);
+  EXPECT_TRUE(DecodeCoordColumn(&view, 2).status().IsIOError());
+}
+
+TEST(CoordColumnTest, EmptyColumn) {
+  std::string buf;
+  EncodeCoordColumn(&buf, {});
+  std::string_view view = buf;
+  auto decoded = DecodeCoordColumn(&view, 0);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+}  // namespace
+}  // namespace twimob::tweetdb

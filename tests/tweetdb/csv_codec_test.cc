@@ -1,0 +1,108 @@
+#include "tweetdb/csv_codec.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace twimob::tweetdb {
+namespace {
+
+class CsvCodecTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/twimob_csv_" + name;
+  }
+
+  void TearDown() override {
+    for (const std::string& p : created_) std::remove(p.c_str());
+  }
+
+  std::string Create(const std::string& name, const std::string& content) {
+    const std::string path = TempPath(name);
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+    created_.push_back(path);
+    return path;
+  }
+
+  std::vector<std::string> created_;
+};
+
+TEST_F(CsvCodecTest, FormatAndParseLineRoundTrip) {
+  Tweet t{123456789ULL, 1378001234, geo::LatLon{-33.868800, 151.209300}};
+  const std::string line = FormatCsvLine(t);
+  EXPECT_EQ(line, "123456789,1378001234,-33.868800,151.209300");
+  auto parsed = ParseCsvLine(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->user_id, t.user_id);
+  EXPECT_EQ(parsed->timestamp, t.timestamp);
+  EXPECT_NEAR(parsed->pos.lat, t.pos.lat, 1e-6);
+  EXPECT_NEAR(parsed->pos.lon, t.pos.lon, 1e-6);
+}
+
+TEST_F(CsvCodecTest, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(ParseCsvLine("1,2,3").ok());            // missing field
+  EXPECT_FALSE(ParseCsvLine("1,2,3,4,5").ok());        // extra field
+  EXPECT_FALSE(ParseCsvLine("x,2,3.0,4.0").ok());      // bad user
+  EXPECT_FALSE(ParseCsvLine("-1,2,3.0,4.0").ok());     // negative user
+  EXPECT_FALSE(ParseCsvLine("1,2,95.0,4.0").ok());     // invalid latitude
+  EXPECT_FALSE(ParseCsvLine("1,2,3.0,190.0").ok());    // invalid longitude
+  EXPECT_FALSE(ParseCsvLine("1,-2,3.0,4.0").ok());     // negative timestamp
+}
+
+TEST_F(CsvCodecTest, WriteReadRoundTrip) {
+  TweetTable table;
+  ASSERT_TRUE(table.Append(Tweet{1, 100, geo::LatLon{-33.0, 151.0}}).ok());
+  ASSERT_TRUE(table.Append(Tweet{2, 200, geo::LatLon{-37.8, 144.96}}).ok());
+
+  const std::string path = TempPath("roundtrip.csv");
+  created_.push_back(path);
+  ASSERT_TRUE(WriteCsv(table, path).ok());
+
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 2u);
+  auto rows = loaded->ToVector();
+  EXPECT_EQ(rows[0].user_id, 1u);
+  EXPECT_EQ(rows[1].timestamp, 200);
+}
+
+TEST_F(CsvCodecTest, ReadSkipsHeaderAndBlankLines) {
+  const std::string path =
+      Create("header.csv", "user_id,timestamp,lat,lon\n\n1,5,-33.0,151.0\n\n");
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 1u);
+}
+
+TEST_F(CsvCodecTest, ReadReportsLineNumberOnError) {
+  const std::string path =
+      Create("bad.csv", "user_id,timestamp,lat,lon\n1,5,-33.0,151.0\ngarbage\n");
+  auto loaded = ReadCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find(":3:"), std::string::npos)
+      << loaded.status().message();
+}
+
+TEST_F(CsvCodecTest, SkipBadLinesCountsThem) {
+  const std::string path = Create(
+      "skip.csv", "1,5,-33.0,151.0\nbroken\n2,6,-37.8,144.9\nalso,broken\n");
+  size_t skipped = 0;
+  auto loaded = ReadCsv(path, /*skip_bad_lines=*/true, &skipped);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 2u);
+  EXPECT_EQ(skipped, 2u);
+}
+
+TEST_F(CsvCodecTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadCsv("/nonexistent/definitely/missing.csv").status().IsIOError());
+}
+
+TEST_F(CsvCodecTest, WriteToUnwritablePathIsIOError) {
+  TweetTable table;
+  EXPECT_TRUE(WriteCsv(table, "/nonexistent/dir/out.csv").IsIOError());
+}
+
+}  // namespace
+}  // namespace twimob::tweetdb

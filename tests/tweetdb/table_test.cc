@@ -1,0 +1,189 @@
+#include "tweetdb/table.h"
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+
+namespace twimob::tweetdb {
+namespace {
+
+Tweet MakeTweet(uint64_t user, int64_t ts, double lat = -33.0, double lon = 151.0) {
+  return Tweet{user, ts, geo::LatLon{lat, lon}};
+}
+
+TEST(TweetTableTest, AppendValidatesRows) {
+  TweetTable table;
+  EXPECT_TRUE(table.Append(MakeTweet(1, 100)).ok());
+  EXPECT_TRUE(table.Append(Tweet{1, -5, geo::LatLon{0, 0}}).IsInvalidArgument());
+  EXPECT_TRUE(
+      table.Append(Tweet{1, 5, geo::LatLon{95.0, 0.0}}).IsInvalidArgument());
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TweetTableTest, BlocksRollOverAtCapacity) {
+  TweetTable table(/*block_capacity=*/10);
+  for (int i = 0; i < 35; ++i) {
+    ASSERT_TRUE(table.Append(MakeTweet(1, i)).ok());
+  }
+  EXPECT_EQ(table.num_rows(), 35u);
+  table.SealActive();
+  EXPECT_EQ(table.num_blocks(), 4u);  // 10+10+10+5
+  EXPECT_EQ(table.block(3).num_rows(), 5u);
+}
+
+TEST(TweetTableTest, ForEachRowVisitsEverythingInOrder) {
+  TweetTable table(8);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(table.Append(MakeTweet(i, i * 10)).ok());
+  }
+  int count = 0;
+  table.ForEachRow([&count](const Tweet& t) {
+    EXPECT_EQ(t.user_id, static_cast<uint64_t>(count));
+    ++count;
+  });
+  EXPECT_EQ(count, 20);
+}
+
+TEST(TweetTableTest, CompactSortsByUserTime) {
+  TweetTable table(16);
+  random::Xoshiro256 rng(3);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        table.Append(MakeTweet(rng.NextUint64(20), static_cast<int64_t>(
+                                                       rng.NextUint64(100000))))
+            .ok());
+  }
+  EXPECT_FALSE(table.sorted_by_user_time());
+  table.CompactByUserTime();
+  EXPECT_TRUE(table.sorted_by_user_time());
+  EXPECT_EQ(table.num_rows(), 500u);
+
+  Tweet prev{};
+  bool first = true;
+  table.ForEachRow([&](const Tweet& t) {
+    if (!first) {
+      EXPECT_TRUE(prev.user_id < t.user_id ||
+                  (prev.user_id == t.user_id && prev.timestamp <= t.timestamp));
+    }
+    prev = t;
+    first = false;
+  });
+}
+
+TEST(TweetTableTest, AppendAfterCompactClearsSortedFlag) {
+  TweetTable table;
+  ASSERT_TRUE(table.Append(MakeTweet(2, 5)).ok());
+  table.CompactByUserTime();
+  EXPECT_TRUE(table.sorted_by_user_time());
+  ASSERT_TRUE(table.Append(MakeTweet(1, 1)).ok());
+  EXPECT_FALSE(table.sorted_by_user_time());
+}
+
+TEST(TweetTableTest, CountDistinctUsers) {
+  TweetTable table(4);
+  for (uint64_t u : {1, 2, 1, 3, 2, 1, 9}) {
+    ASSERT_TRUE(table.Append(MakeTweet(u, 1)).ok());
+  }
+  EXPECT_EQ(table.CountDistinctUsers(), 4u);
+}
+
+TEST(TweetTableTest, ToVectorMatchesForEach) {
+  TweetTable table(4);
+  for (int i = 0; i < 13; ++i) {
+    ASSERT_TRUE(table.Append(MakeTweet(i, i)).ok());
+  }
+  auto v = table.ToVector();
+  ASSERT_EQ(v.size(), 13u);
+  EXPECT_EQ(v[7].user_id, 7u);
+}
+
+TEST(TweetTableTest, EmptyTableBehaviour) {
+  TweetTable table;
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.SealActive();
+  EXPECT_EQ(table.num_blocks(), 0u);
+  table.CompactByUserTime();
+  EXPECT_TRUE(table.sorted_by_user_time());
+  EXPECT_EQ(table.CountDistinctUsers(), 0u);
+}
+
+TEST(TweetTableTest, AdoptSealedBlockUpdatesCounters) {
+  Block b;
+  ASSERT_TRUE(b.Append(MakeTweet(1, 1)).ok());
+  ASSERT_TRUE(b.Append(MakeTweet(2, 2)).ok());
+  TweetTable table;
+  table.AdoptSealedBlock(std::move(b));
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_blocks(), 1u);
+  EXPECT_EQ(table.block_stats(0).num_rows, 2u);
+  // Adopting an empty block is a no-op.
+  table.AdoptSealedBlock(Block());
+  EXPECT_EQ(table.num_blocks(), 1u);
+}
+
+TEST(TweetTableTest, ZeroCapacityFallsBackToDefault) {
+  TweetTable table(0);
+  EXPECT_EQ(table.block_capacity(), kDefaultBlockCapacity);
+}
+
+TEST(TweetTableTest, MergeCombinesAndSortsTables) {
+  random::Xoshiro256 rng(41);
+  std::vector<TweetTable> inputs;
+  std::vector<Tweet> all;
+  for (int t = 0; t < 3; ++t) {
+    TweetTable table(32);
+    for (int i = 0; i < 200; ++i) {
+      const Tweet tweet = MakeTweet(rng.NextUint64(30),
+                                    static_cast<int64_t>(rng.NextUint64(100000)));
+      ASSERT_TRUE(table.Append(tweet).ok());
+      all.push_back(tweet);
+    }
+    inputs.push_back(std::move(table));
+  }
+  TweetTable merged = TweetTable::Merge(std::move(inputs), 64);
+  EXPECT_EQ(merged.num_rows(), 600u);
+  EXPECT_TRUE(merged.sorted_by_user_time());
+
+  std::sort(all.begin(), all.end(), UserTimeLess);
+  EXPECT_EQ(merged.ToVector(), all);
+}
+
+TEST(TweetTableTest, MergeHandlesEmptyInputs) {
+  TweetTable merged = TweetTable::Merge({});
+  EXPECT_EQ(merged.num_rows(), 0u);
+  EXPECT_TRUE(merged.sorted_by_user_time());
+
+  std::vector<TweetTable> one_empty_one_full;
+  one_empty_one_full.emplace_back();
+  TweetTable full;
+  ASSERT_TRUE(full.Append(MakeTweet(1, 1)).ok());
+  one_empty_one_full.push_back(std::move(full));
+  TweetTable merged2 = TweetTable::Merge(std::move(one_empty_one_full));
+  EXPECT_EQ(merged2.num_rows(), 1u);
+}
+
+TEST(TweetTableTest, MergeSingleTableIsIdentityAfterSort) {
+  TweetTable table;
+  ASSERT_TRUE(table.Append(MakeTweet(2, 20)).ok());
+  ASSERT_TRUE(table.Append(MakeTweet(1, 10)).ok());
+  std::vector<TweetTable> input;
+  input.push_back(std::move(table));
+  TweetTable merged = TweetTable::Merge(std::move(input));
+  auto rows = merged.ToVector();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].user_id, 1u);
+  EXPECT_EQ(rows[1].user_id, 2u);
+}
+
+TEST(TweetTableTest, BlockStatsCachedOnSeal) {
+  TweetTable table(2);
+  ASSERT_TRUE(table.Append(MakeTweet(5, 50)).ok());
+  ASSERT_TRUE(table.Append(MakeTweet(3, 30)).ok());
+  ASSERT_TRUE(table.Append(MakeTweet(8, 80)).ok());  // rolls into new block
+  EXPECT_EQ(table.num_blocks(), 1u);
+  EXPECT_EQ(table.block_stats(0).min_user, 3u);
+  EXPECT_EQ(table.block_stats(0).max_time, 50);
+}
+
+}  // namespace
+}  // namespace twimob::tweetdb
