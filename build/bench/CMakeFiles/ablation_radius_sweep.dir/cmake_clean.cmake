@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_radius_sweep.dir/ablation_radius_sweep.cc.o"
+  "CMakeFiles/ablation_radius_sweep.dir/ablation_radius_sweep.cc.o.d"
+  "ablation_radius_sweep"
+  "ablation_radius_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_radius_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sample_size.dir/ablation_sample_size.cc.o"
+  "CMakeFiles/ablation_sample_size.dir/ablation_sample_size.cc.o.d"
+  "ablation_sample_size"
+  "ablation_sample_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sample_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trip_gap.dir/ablation_trip_gap.cc.o"
+  "CMakeFiles/ablation_trip_gap.dir/ablation_trip_gap.cc.o.d"
+  "ablation_trip_gap"
+  "ablation_trip_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trip_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

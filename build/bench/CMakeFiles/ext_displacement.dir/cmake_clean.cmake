@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_displacement.dir/ext_displacement.cc.o"
+  "CMakeFiles/ext_displacement.dir/ext_displacement.cc.o.d"
+  "ext_displacement"
+  "ext_displacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_displacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_epidemic.dir/ext_epidemic.cc.o"
+  "CMakeFiles/ext_epidemic.dir/ext_epidemic.cc.o.d"
+  "ext_epidemic"
+  "ext_epidemic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_epidemic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_density_map.dir/figure1_density_map.cc.o"
+  "CMakeFiles/figure1_density_map.dir/figure1_density_map.cc.o.d"
+  "figure1_density_map"
+  "figure1_density_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_density_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_heavy_tails.dir/figure2_heavy_tails.cc.o"
+  "CMakeFiles/figure2_heavy_tails.dir/figure2_heavy_tails.cc.o.d"
+  "figure2_heavy_tails"
+  "figure2_heavy_tails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_heavy_tails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_population.dir/figure3_population.cc.o"
+  "CMakeFiles/figure3_population.dir/figure3_population.cc.o.d"
+  "figure3_population"
+  "figure3_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

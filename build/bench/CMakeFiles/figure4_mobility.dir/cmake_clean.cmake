@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_mobility.dir/figure4_mobility.cc.o"
+  "CMakeFiles/figure4_mobility.dir/figure4_mobility.cc.o.d"
+  "figure4_mobility"
+  "figure4_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_spatial.dir/perf_spatial.cc.o"
+  "CMakeFiles/perf_spatial.dir/perf_spatial.cc.o.d"
+  "perf_spatial"
+  "perf_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_tweetdb.dir/perf_tweetdb.cc.o"
+  "CMakeFiles/perf_tweetdb.dir/perf_tweetdb.cc.o.d"
+  "perf_tweetdb"
+  "perf_tweetdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_tweetdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

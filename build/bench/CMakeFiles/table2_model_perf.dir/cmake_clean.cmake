@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_model_perf.dir/table2_model_perf.cc.o"
+  "CMakeFiles/table2_model_perf.dir/table2_model_perf.cc.o.d"
+  "table2_model_perf"
+  "table2_model_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_model_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

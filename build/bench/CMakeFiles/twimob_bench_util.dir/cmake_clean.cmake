@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twimob_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/twimob_bench_util.dir/bench_util.cc.o.d"
+  "libtwimob_bench_util.a"
+  "libtwimob_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twimob_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_region.dir/custom_region.cpp.o"
+  "CMakeFiles/custom_region.dir/custom_region.cpp.o.d"
+  "custom_region"
+  "custom_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

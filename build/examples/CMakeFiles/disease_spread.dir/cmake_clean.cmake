@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disease_spread.dir/disease_spread.cpp.o"
+  "CMakeFiles/disease_spread.dir/disease_spread.cpp.o.d"
+  "disease_spread"
+  "disease_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disease_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

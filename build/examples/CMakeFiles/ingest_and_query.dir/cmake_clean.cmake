@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingest_and_query.dir/ingest_and_query.cpp.o"
+  "CMakeFiles/ingest_and_query.dir/ingest_and_query.cpp.o.d"
+  "ingest_and_query"
+  "ingest_and_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingest_and_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

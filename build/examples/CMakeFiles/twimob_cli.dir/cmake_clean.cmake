@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twimob_cli.dir/twimob_cli.cpp.o"
+  "CMakeFiles/twimob_cli.dir/twimob_cli.cpp.o.d"
+  "twimob_cli"
+  "twimob_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twimob_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

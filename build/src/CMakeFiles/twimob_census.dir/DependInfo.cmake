@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/census/area.cc" "src/CMakeFiles/twimob_census.dir/census/area.cc.o" "gcc" "src/CMakeFiles/twimob_census.dir/census/area.cc.o.d"
+  "/root/repo/src/census/census_data.cc" "src/CMakeFiles/twimob_census.dir/census/census_data.cc.o" "gcc" "src/CMakeFiles/twimob_census.dir/census/census_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/twimob_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

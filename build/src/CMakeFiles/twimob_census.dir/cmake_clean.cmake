@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twimob_census.dir/census/area.cc.o"
+  "CMakeFiles/twimob_census.dir/census/area.cc.o.d"
+  "CMakeFiles/twimob_census.dir/census/census_data.cc.o"
+  "CMakeFiles/twimob_census.dir/census/census_data.cc.o.d"
+  "libtwimob_census.a"
+  "libtwimob_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twimob_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtwimob_census.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twimob_common.dir/common/logging.cc.o"
+  "CMakeFiles/twimob_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/twimob_common.dir/common/status.cc.o"
+  "CMakeFiles/twimob_common.dir/common/status.cc.o.d"
+  "CMakeFiles/twimob_common.dir/common/string_util.cc.o"
+  "CMakeFiles/twimob_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/twimob_common.dir/common/table_printer.cc.o"
+  "CMakeFiles/twimob_common.dir/common/table_printer.cc.o.d"
+  "CMakeFiles/twimob_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/twimob_common.dir/common/thread_pool.cc.o.d"
+  "CMakeFiles/twimob_common.dir/common/time_util.cc.o"
+  "CMakeFiles/twimob_common.dir/common/time_util.cc.o.d"
+  "libtwimob_common.a"
+  "libtwimob_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twimob_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

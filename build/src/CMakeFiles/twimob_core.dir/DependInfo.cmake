@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/twimob_core.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/twimob_core.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/population_estimator.cc" "src/CMakeFiles/twimob_core.dir/core/population_estimator.cc.o" "gcc" "src/CMakeFiles/twimob_core.dir/core/population_estimator.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/CMakeFiles/twimob_core.dir/core/predictor.cc.o" "gcc" "src/CMakeFiles/twimob_core.dir/core/predictor.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/twimob_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/twimob_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/scales.cc" "src/CMakeFiles/twimob_core.dir/core/scales.cc.o" "gcc" "src/CMakeFiles/twimob_core.dir/core/scales.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/twimob_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_census.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_tweetdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_epi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twimob_core.dir/core/pipeline.cc.o"
+  "CMakeFiles/twimob_core.dir/core/pipeline.cc.o.d"
+  "CMakeFiles/twimob_core.dir/core/population_estimator.cc.o"
+  "CMakeFiles/twimob_core.dir/core/population_estimator.cc.o.d"
+  "CMakeFiles/twimob_core.dir/core/predictor.cc.o"
+  "CMakeFiles/twimob_core.dir/core/predictor.cc.o.d"
+  "CMakeFiles/twimob_core.dir/core/report.cc.o"
+  "CMakeFiles/twimob_core.dir/core/report.cc.o.d"
+  "CMakeFiles/twimob_core.dir/core/scales.cc.o"
+  "CMakeFiles/twimob_core.dir/core/scales.cc.o.d"
+  "libtwimob_core.a"
+  "libtwimob_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twimob_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twimob_epi.dir/epi/seir.cc.o"
+  "CMakeFiles/twimob_epi.dir/epi/seir.cc.o.d"
+  "CMakeFiles/twimob_epi.dir/epi/stochastic_seir.cc.o"
+  "CMakeFiles/twimob_epi.dir/epi/stochastic_seir.cc.o.d"
+  "libtwimob_epi.a"
+  "libtwimob_epi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twimob_epi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/bbox.cc" "src/CMakeFiles/twimob_geo.dir/geo/bbox.cc.o" "gcc" "src/CMakeFiles/twimob_geo.dir/geo/bbox.cc.o.d"
+  "/root/repo/src/geo/geodesic.cc" "src/CMakeFiles/twimob_geo.dir/geo/geodesic.cc.o" "gcc" "src/CMakeFiles/twimob_geo.dir/geo/geodesic.cc.o.d"
+  "/root/repo/src/geo/geohash.cc" "src/CMakeFiles/twimob_geo.dir/geo/geohash.cc.o" "gcc" "src/CMakeFiles/twimob_geo.dir/geo/geohash.cc.o.d"
+  "/root/repo/src/geo/grid_index.cc" "src/CMakeFiles/twimob_geo.dir/geo/grid_index.cc.o" "gcc" "src/CMakeFiles/twimob_geo.dir/geo/grid_index.cc.o.d"
+  "/root/repo/src/geo/kdtree.cc" "src/CMakeFiles/twimob_geo.dir/geo/kdtree.cc.o" "gcc" "src/CMakeFiles/twimob_geo.dir/geo/kdtree.cc.o.d"
+  "/root/repo/src/geo/latlon.cc" "src/CMakeFiles/twimob_geo.dir/geo/latlon.cc.o" "gcc" "src/CMakeFiles/twimob_geo.dir/geo/latlon.cc.o.d"
+  "/root/repo/src/geo/polygon.cc" "src/CMakeFiles/twimob_geo.dir/geo/polygon.cc.o" "gcc" "src/CMakeFiles/twimob_geo.dir/geo/polygon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/twimob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twimob_geo.dir/geo/bbox.cc.o"
+  "CMakeFiles/twimob_geo.dir/geo/bbox.cc.o.d"
+  "CMakeFiles/twimob_geo.dir/geo/geodesic.cc.o"
+  "CMakeFiles/twimob_geo.dir/geo/geodesic.cc.o.d"
+  "CMakeFiles/twimob_geo.dir/geo/geohash.cc.o"
+  "CMakeFiles/twimob_geo.dir/geo/geohash.cc.o.d"
+  "CMakeFiles/twimob_geo.dir/geo/grid_index.cc.o"
+  "CMakeFiles/twimob_geo.dir/geo/grid_index.cc.o.d"
+  "CMakeFiles/twimob_geo.dir/geo/kdtree.cc.o"
+  "CMakeFiles/twimob_geo.dir/geo/kdtree.cc.o.d"
+  "CMakeFiles/twimob_geo.dir/geo/latlon.cc.o"
+  "CMakeFiles/twimob_geo.dir/geo/latlon.cc.o.d"
+  "CMakeFiles/twimob_geo.dir/geo/polygon.cc.o"
+  "CMakeFiles/twimob_geo.dir/geo/polygon.cc.o.d"
+  "libtwimob_geo.a"
+  "libtwimob_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twimob_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/constrained_gravity.cc" "src/CMakeFiles/twimob_mobility.dir/mobility/constrained_gravity.cc.o" "gcc" "src/CMakeFiles/twimob_mobility.dir/mobility/constrained_gravity.cc.o.d"
+  "/root/repo/src/mobility/displacement.cc" "src/CMakeFiles/twimob_mobility.dir/mobility/displacement.cc.o" "gcc" "src/CMakeFiles/twimob_mobility.dir/mobility/displacement.cc.o.d"
+  "/root/repo/src/mobility/gravity_model.cc" "src/CMakeFiles/twimob_mobility.dir/mobility/gravity_model.cc.o" "gcc" "src/CMakeFiles/twimob_mobility.dir/mobility/gravity_model.cc.o.d"
+  "/root/repo/src/mobility/home_inference.cc" "src/CMakeFiles/twimob_mobility.dir/mobility/home_inference.cc.o" "gcc" "src/CMakeFiles/twimob_mobility.dir/mobility/home_inference.cc.o.d"
+  "/root/repo/src/mobility/intervening_opportunities.cc" "src/CMakeFiles/twimob_mobility.dir/mobility/intervening_opportunities.cc.o" "gcc" "src/CMakeFiles/twimob_mobility.dir/mobility/intervening_opportunities.cc.o.d"
+  "/root/repo/src/mobility/model_eval.cc" "src/CMakeFiles/twimob_mobility.dir/mobility/model_eval.cc.o" "gcc" "src/CMakeFiles/twimob_mobility.dir/mobility/model_eval.cc.o.d"
+  "/root/repo/src/mobility/od_matrix.cc" "src/CMakeFiles/twimob_mobility.dir/mobility/od_matrix.cc.o" "gcc" "src/CMakeFiles/twimob_mobility.dir/mobility/od_matrix.cc.o.d"
+  "/root/repo/src/mobility/radiation_model.cc" "src/CMakeFiles/twimob_mobility.dir/mobility/radiation_model.cc.o" "gcc" "src/CMakeFiles/twimob_mobility.dir/mobility/radiation_model.cc.o.d"
+  "/root/repo/src/mobility/trip_extractor.cc" "src/CMakeFiles/twimob_mobility.dir/mobility/trip_extractor.cc.o" "gcc" "src/CMakeFiles/twimob_mobility.dir/mobility/trip_extractor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/twimob_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_census.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_tweetdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twimob_mobility.dir/mobility/constrained_gravity.cc.o"
+  "CMakeFiles/twimob_mobility.dir/mobility/constrained_gravity.cc.o.d"
+  "CMakeFiles/twimob_mobility.dir/mobility/displacement.cc.o"
+  "CMakeFiles/twimob_mobility.dir/mobility/displacement.cc.o.d"
+  "CMakeFiles/twimob_mobility.dir/mobility/gravity_model.cc.o"
+  "CMakeFiles/twimob_mobility.dir/mobility/gravity_model.cc.o.d"
+  "CMakeFiles/twimob_mobility.dir/mobility/home_inference.cc.o"
+  "CMakeFiles/twimob_mobility.dir/mobility/home_inference.cc.o.d"
+  "CMakeFiles/twimob_mobility.dir/mobility/intervening_opportunities.cc.o"
+  "CMakeFiles/twimob_mobility.dir/mobility/intervening_opportunities.cc.o.d"
+  "CMakeFiles/twimob_mobility.dir/mobility/model_eval.cc.o"
+  "CMakeFiles/twimob_mobility.dir/mobility/model_eval.cc.o.d"
+  "CMakeFiles/twimob_mobility.dir/mobility/od_matrix.cc.o"
+  "CMakeFiles/twimob_mobility.dir/mobility/od_matrix.cc.o.d"
+  "CMakeFiles/twimob_mobility.dir/mobility/radiation_model.cc.o"
+  "CMakeFiles/twimob_mobility.dir/mobility/radiation_model.cc.o.d"
+  "CMakeFiles/twimob_mobility.dir/mobility/trip_extractor.cc.o"
+  "CMakeFiles/twimob_mobility.dir/mobility/trip_extractor.cc.o.d"
+  "libtwimob_mobility.a"
+  "libtwimob_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twimob_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twimob_random.dir/random/distributions.cc.o"
+  "CMakeFiles/twimob_random.dir/random/distributions.cc.o.d"
+  "CMakeFiles/twimob_random.dir/random/rng.cc.o"
+  "CMakeFiles/twimob_random.dir/random/rng.cc.o.d"
+  "libtwimob_random.a"
+  "libtwimob_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twimob_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/binning.cc" "src/CMakeFiles/twimob_stats.dir/stats/binning.cc.o" "gcc" "src/CMakeFiles/twimob_stats.dir/stats/binning.cc.o.d"
+  "/root/repo/src/stats/bootstrap.cc" "src/CMakeFiles/twimob_stats.dir/stats/bootstrap.cc.o" "gcc" "src/CMakeFiles/twimob_stats.dir/stats/bootstrap.cc.o.d"
+  "/root/repo/src/stats/correlation.cc" "src/CMakeFiles/twimob_stats.dir/stats/correlation.cc.o" "gcc" "src/CMakeFiles/twimob_stats.dir/stats/correlation.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/twimob_stats.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/twimob_stats.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/twimob_stats.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/twimob_stats.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/power_law.cc" "src/CMakeFiles/twimob_stats.dir/stats/power_law.cc.o" "gcc" "src/CMakeFiles/twimob_stats.dir/stats/power_law.cc.o.d"
+  "/root/repo/src/stats/regression.cc" "src/CMakeFiles/twimob_stats.dir/stats/regression.cc.o" "gcc" "src/CMakeFiles/twimob_stats.dir/stats/regression.cc.o.d"
+  "/root/repo/src/stats/special_functions.cc" "src/CMakeFiles/twimob_stats.dir/stats/special_functions.cc.o" "gcc" "src/CMakeFiles/twimob_stats.dir/stats/special_functions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/twimob_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twimob_stats.dir/stats/binning.cc.o"
+  "CMakeFiles/twimob_stats.dir/stats/binning.cc.o.d"
+  "CMakeFiles/twimob_stats.dir/stats/bootstrap.cc.o"
+  "CMakeFiles/twimob_stats.dir/stats/bootstrap.cc.o.d"
+  "CMakeFiles/twimob_stats.dir/stats/correlation.cc.o"
+  "CMakeFiles/twimob_stats.dir/stats/correlation.cc.o.d"
+  "CMakeFiles/twimob_stats.dir/stats/descriptive.cc.o"
+  "CMakeFiles/twimob_stats.dir/stats/descriptive.cc.o.d"
+  "CMakeFiles/twimob_stats.dir/stats/histogram.cc.o"
+  "CMakeFiles/twimob_stats.dir/stats/histogram.cc.o.d"
+  "CMakeFiles/twimob_stats.dir/stats/power_law.cc.o"
+  "CMakeFiles/twimob_stats.dir/stats/power_law.cc.o.d"
+  "CMakeFiles/twimob_stats.dir/stats/regression.cc.o"
+  "CMakeFiles/twimob_stats.dir/stats/regression.cc.o.d"
+  "CMakeFiles/twimob_stats.dir/stats/special_functions.cc.o"
+  "CMakeFiles/twimob_stats.dir/stats/special_functions.cc.o.d"
+  "libtwimob_stats.a"
+  "libtwimob_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twimob_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

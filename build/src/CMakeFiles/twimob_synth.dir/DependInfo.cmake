@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/mobility_ground_truth.cc" "src/CMakeFiles/twimob_synth.dir/synth/mobility_ground_truth.cc.o" "gcc" "src/CMakeFiles/twimob_synth.dir/synth/mobility_ground_truth.cc.o.d"
+  "/root/repo/src/synth/tweet_generator.cc" "src/CMakeFiles/twimob_synth.dir/synth/tweet_generator.cc.o" "gcc" "src/CMakeFiles/twimob_synth.dir/synth/tweet_generator.cc.o.d"
+  "/root/repo/src/synth/user_model.cc" "src/CMakeFiles/twimob_synth.dir/synth/user_model.cc.o" "gcc" "src/CMakeFiles/twimob_synth.dir/synth/user_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/twimob_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_census.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_tweetdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

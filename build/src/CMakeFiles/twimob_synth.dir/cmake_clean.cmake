@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twimob_synth.dir/synth/mobility_ground_truth.cc.o"
+  "CMakeFiles/twimob_synth.dir/synth/mobility_ground_truth.cc.o.d"
+  "CMakeFiles/twimob_synth.dir/synth/tweet_generator.cc.o"
+  "CMakeFiles/twimob_synth.dir/synth/tweet_generator.cc.o.d"
+  "CMakeFiles/twimob_synth.dir/synth/user_model.cc.o"
+  "CMakeFiles/twimob_synth.dir/synth/user_model.cc.o.d"
+  "libtwimob_synth.a"
+  "libtwimob_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twimob_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tweetdb/binary_codec.cc" "src/CMakeFiles/twimob_tweetdb.dir/tweetdb/binary_codec.cc.o" "gcc" "src/CMakeFiles/twimob_tweetdb.dir/tweetdb/binary_codec.cc.o.d"
+  "/root/repo/src/tweetdb/block.cc" "src/CMakeFiles/twimob_tweetdb.dir/tweetdb/block.cc.o" "gcc" "src/CMakeFiles/twimob_tweetdb.dir/tweetdb/block.cc.o.d"
+  "/root/repo/src/tweetdb/column.cc" "src/CMakeFiles/twimob_tweetdb.dir/tweetdb/column.cc.o" "gcc" "src/CMakeFiles/twimob_tweetdb.dir/tweetdb/column.cc.o.d"
+  "/root/repo/src/tweetdb/csv_codec.cc" "src/CMakeFiles/twimob_tweetdb.dir/tweetdb/csv_codec.cc.o" "gcc" "src/CMakeFiles/twimob_tweetdb.dir/tweetdb/csv_codec.cc.o.d"
+  "/root/repo/src/tweetdb/encoding.cc" "src/CMakeFiles/twimob_tweetdb.dir/tweetdb/encoding.cc.o" "gcc" "src/CMakeFiles/twimob_tweetdb.dir/tweetdb/encoding.cc.o.d"
+  "/root/repo/src/tweetdb/query.cc" "src/CMakeFiles/twimob_tweetdb.dir/tweetdb/query.cc.o" "gcc" "src/CMakeFiles/twimob_tweetdb.dir/tweetdb/query.cc.o.d"
+  "/root/repo/src/tweetdb/table.cc" "src/CMakeFiles/twimob_tweetdb.dir/tweetdb/table.cc.o" "gcc" "src/CMakeFiles/twimob_tweetdb.dir/tweetdb/table.cc.o.d"
+  "/root/repo/src/tweetdb/tweet.cc" "src/CMakeFiles/twimob_tweetdb.dir/tweetdb/tweet.cc.o" "gcc" "src/CMakeFiles/twimob_tweetdb.dir/tweetdb/tweet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/twimob_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

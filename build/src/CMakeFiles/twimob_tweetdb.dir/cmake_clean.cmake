@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twimob_tweetdb.dir/tweetdb/binary_codec.cc.o"
+  "CMakeFiles/twimob_tweetdb.dir/tweetdb/binary_codec.cc.o.d"
+  "CMakeFiles/twimob_tweetdb.dir/tweetdb/block.cc.o"
+  "CMakeFiles/twimob_tweetdb.dir/tweetdb/block.cc.o.d"
+  "CMakeFiles/twimob_tweetdb.dir/tweetdb/column.cc.o"
+  "CMakeFiles/twimob_tweetdb.dir/tweetdb/column.cc.o.d"
+  "CMakeFiles/twimob_tweetdb.dir/tweetdb/csv_codec.cc.o"
+  "CMakeFiles/twimob_tweetdb.dir/tweetdb/csv_codec.cc.o.d"
+  "CMakeFiles/twimob_tweetdb.dir/tweetdb/encoding.cc.o"
+  "CMakeFiles/twimob_tweetdb.dir/tweetdb/encoding.cc.o.d"
+  "CMakeFiles/twimob_tweetdb.dir/tweetdb/query.cc.o"
+  "CMakeFiles/twimob_tweetdb.dir/tweetdb/query.cc.o.d"
+  "CMakeFiles/twimob_tweetdb.dir/tweetdb/table.cc.o"
+  "CMakeFiles/twimob_tweetdb.dir/tweetdb/table.cc.o.d"
+  "CMakeFiles/twimob_tweetdb.dir/tweetdb/tweet.cc.o"
+  "CMakeFiles/twimob_tweetdb.dir/tweetdb/tweet.cc.o.d"
+  "libtwimob_tweetdb.a"
+  "libtwimob_tweetdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twimob_tweetdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

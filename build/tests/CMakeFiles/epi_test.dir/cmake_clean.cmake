@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epi_test.dir/epi/seir_test.cc.o"
+  "CMakeFiles/epi_test.dir/epi/seir_test.cc.o.d"
+  "CMakeFiles/epi_test.dir/epi/stochastic_seir_test.cc.o"
+  "CMakeFiles/epi_test.dir/epi/stochastic_seir_test.cc.o.d"
+  "epi_test"
+  "epi_test.pdb"
+  "epi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

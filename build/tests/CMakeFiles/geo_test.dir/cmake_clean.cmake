@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_test.dir/geo/bbox_test.cc.o"
+  "CMakeFiles/geo_test.dir/geo/bbox_test.cc.o.d"
+  "CMakeFiles/geo_test.dir/geo/geodesic_test.cc.o"
+  "CMakeFiles/geo_test.dir/geo/geodesic_test.cc.o.d"
+  "CMakeFiles/geo_test.dir/geo/geohash_test.cc.o"
+  "CMakeFiles/geo_test.dir/geo/geohash_test.cc.o.d"
+  "CMakeFiles/geo_test.dir/geo/grid_index_test.cc.o"
+  "CMakeFiles/geo_test.dir/geo/grid_index_test.cc.o.d"
+  "CMakeFiles/geo_test.dir/geo/kdtree_test.cc.o"
+  "CMakeFiles/geo_test.dir/geo/kdtree_test.cc.o.d"
+  "CMakeFiles/geo_test.dir/geo/latlon_test.cc.o"
+  "CMakeFiles/geo_test.dir/geo/latlon_test.cc.o.d"
+  "CMakeFiles/geo_test.dir/geo/polygon_test.cc.o"
+  "CMakeFiles/geo_test.dir/geo/polygon_test.cc.o.d"
+  "geo_test"
+  "geo_test.pdb"
+  "geo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

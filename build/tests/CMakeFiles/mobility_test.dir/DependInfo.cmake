@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mobility/constrained_gravity_test.cc" "tests/CMakeFiles/mobility_test.dir/mobility/constrained_gravity_test.cc.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/constrained_gravity_test.cc.o.d"
+  "/root/repo/tests/mobility/displacement_test.cc" "tests/CMakeFiles/mobility_test.dir/mobility/displacement_test.cc.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/displacement_test.cc.o.d"
+  "/root/repo/tests/mobility/gravity_model_test.cc" "tests/CMakeFiles/mobility_test.dir/mobility/gravity_model_test.cc.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/gravity_model_test.cc.o.d"
+  "/root/repo/tests/mobility/home_inference_test.cc" "tests/CMakeFiles/mobility_test.dir/mobility/home_inference_test.cc.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/home_inference_test.cc.o.d"
+  "/root/repo/tests/mobility/intervening_opportunities_test.cc" "tests/CMakeFiles/mobility_test.dir/mobility/intervening_opportunities_test.cc.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/intervening_opportunities_test.cc.o.d"
+  "/root/repo/tests/mobility/model_eval_test.cc" "tests/CMakeFiles/mobility_test.dir/mobility/model_eval_test.cc.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/model_eval_test.cc.o.d"
+  "/root/repo/tests/mobility/od_matrix_test.cc" "tests/CMakeFiles/mobility_test.dir/mobility/od_matrix_test.cc.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/od_matrix_test.cc.o.d"
+  "/root/repo/tests/mobility/radiation_model_test.cc" "tests/CMakeFiles/mobility_test.dir/mobility/radiation_model_test.cc.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/radiation_model_test.cc.o.d"
+  "/root/repo/tests/mobility/trip_extractor_test.cc" "tests/CMakeFiles/mobility_test.dir/mobility/trip_extractor_test.cc.o" "gcc" "tests/CMakeFiles/mobility_test.dir/mobility/trip_extractor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/twimob_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_epi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_census.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_tweetdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

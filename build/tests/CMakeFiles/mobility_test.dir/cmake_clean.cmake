@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_test.dir/mobility/constrained_gravity_test.cc.o"
+  "CMakeFiles/mobility_test.dir/mobility/constrained_gravity_test.cc.o.d"
+  "CMakeFiles/mobility_test.dir/mobility/displacement_test.cc.o"
+  "CMakeFiles/mobility_test.dir/mobility/displacement_test.cc.o.d"
+  "CMakeFiles/mobility_test.dir/mobility/gravity_model_test.cc.o"
+  "CMakeFiles/mobility_test.dir/mobility/gravity_model_test.cc.o.d"
+  "CMakeFiles/mobility_test.dir/mobility/home_inference_test.cc.o"
+  "CMakeFiles/mobility_test.dir/mobility/home_inference_test.cc.o.d"
+  "CMakeFiles/mobility_test.dir/mobility/intervening_opportunities_test.cc.o"
+  "CMakeFiles/mobility_test.dir/mobility/intervening_opportunities_test.cc.o.d"
+  "CMakeFiles/mobility_test.dir/mobility/model_eval_test.cc.o"
+  "CMakeFiles/mobility_test.dir/mobility/model_eval_test.cc.o.d"
+  "CMakeFiles/mobility_test.dir/mobility/od_matrix_test.cc.o"
+  "CMakeFiles/mobility_test.dir/mobility/od_matrix_test.cc.o.d"
+  "CMakeFiles/mobility_test.dir/mobility/radiation_model_test.cc.o"
+  "CMakeFiles/mobility_test.dir/mobility/radiation_model_test.cc.o.d"
+  "CMakeFiles/mobility_test.dir/mobility/trip_extractor_test.cc.o"
+  "CMakeFiles/mobility_test.dir/mobility/trip_extractor_test.cc.o.d"
+  "mobility_test"
+  "mobility_test.pdb"
+  "mobility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/synth/generator_test.cc" "tests/CMakeFiles/synth_test.dir/synth/generator_test.cc.o" "gcc" "tests/CMakeFiles/synth_test.dir/synth/generator_test.cc.o.d"
+  "/root/repo/tests/synth/ground_truth_test.cc" "tests/CMakeFiles/synth_test.dir/synth/ground_truth_test.cc.o" "gcc" "tests/CMakeFiles/synth_test.dir/synth/ground_truth_test.cc.o.d"
+  "/root/repo/tests/synth/user_model_test.cc" "tests/CMakeFiles/synth_test.dir/synth/user_model_test.cc.o" "gcc" "tests/CMakeFiles/synth_test.dir/synth/user_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/twimob_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_epi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_census.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_tweetdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

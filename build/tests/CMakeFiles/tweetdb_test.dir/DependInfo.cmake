@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tweetdb/binary_codec_test.cc" "tests/CMakeFiles/tweetdb_test.dir/tweetdb/binary_codec_test.cc.o" "gcc" "tests/CMakeFiles/tweetdb_test.dir/tweetdb/binary_codec_test.cc.o.d"
+  "/root/repo/tests/tweetdb/block_test.cc" "tests/CMakeFiles/tweetdb_test.dir/tweetdb/block_test.cc.o" "gcc" "tests/CMakeFiles/tweetdb_test.dir/tweetdb/block_test.cc.o.d"
+  "/root/repo/tests/tweetdb/column_test.cc" "tests/CMakeFiles/tweetdb_test.dir/tweetdb/column_test.cc.o" "gcc" "tests/CMakeFiles/tweetdb_test.dir/tweetdb/column_test.cc.o.d"
+  "/root/repo/tests/tweetdb/corruption_test.cc" "tests/CMakeFiles/tweetdb_test.dir/tweetdb/corruption_test.cc.o" "gcc" "tests/CMakeFiles/tweetdb_test.dir/tweetdb/corruption_test.cc.o.d"
+  "/root/repo/tests/tweetdb/csv_codec_test.cc" "tests/CMakeFiles/tweetdb_test.dir/tweetdb/csv_codec_test.cc.o" "gcc" "tests/CMakeFiles/tweetdb_test.dir/tweetdb/csv_codec_test.cc.o.d"
+  "/root/repo/tests/tweetdb/encoding_test.cc" "tests/CMakeFiles/tweetdb_test.dir/tweetdb/encoding_test.cc.o" "gcc" "tests/CMakeFiles/tweetdb_test.dir/tweetdb/encoding_test.cc.o.d"
+  "/root/repo/tests/tweetdb/query_test.cc" "tests/CMakeFiles/tweetdb_test.dir/tweetdb/query_test.cc.o" "gcc" "tests/CMakeFiles/tweetdb_test.dir/tweetdb/query_test.cc.o.d"
+  "/root/repo/tests/tweetdb/table_test.cc" "tests/CMakeFiles/tweetdb_test.dir/tweetdb/table_test.cc.o" "gcc" "tests/CMakeFiles/tweetdb_test.dir/tweetdb/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/twimob_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_epi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_census.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_tweetdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

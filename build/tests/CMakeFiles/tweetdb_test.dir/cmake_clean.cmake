@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tweetdb_test.dir/tweetdb/binary_codec_test.cc.o"
+  "CMakeFiles/tweetdb_test.dir/tweetdb/binary_codec_test.cc.o.d"
+  "CMakeFiles/tweetdb_test.dir/tweetdb/block_test.cc.o"
+  "CMakeFiles/tweetdb_test.dir/tweetdb/block_test.cc.o.d"
+  "CMakeFiles/tweetdb_test.dir/tweetdb/column_test.cc.o"
+  "CMakeFiles/tweetdb_test.dir/tweetdb/column_test.cc.o.d"
+  "CMakeFiles/tweetdb_test.dir/tweetdb/corruption_test.cc.o"
+  "CMakeFiles/tweetdb_test.dir/tweetdb/corruption_test.cc.o.d"
+  "CMakeFiles/tweetdb_test.dir/tweetdb/csv_codec_test.cc.o"
+  "CMakeFiles/tweetdb_test.dir/tweetdb/csv_codec_test.cc.o.d"
+  "CMakeFiles/tweetdb_test.dir/tweetdb/encoding_test.cc.o"
+  "CMakeFiles/tweetdb_test.dir/tweetdb/encoding_test.cc.o.d"
+  "CMakeFiles/tweetdb_test.dir/tweetdb/query_test.cc.o"
+  "CMakeFiles/tweetdb_test.dir/tweetdb/query_test.cc.o.d"
+  "CMakeFiles/tweetdb_test.dir/tweetdb/table_test.cc.o"
+  "CMakeFiles/tweetdb_test.dir/tweetdb/table_test.cc.o.d"
+  "tweetdb_test"
+  "tweetdb_test.pdb"
+  "tweetdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tweetdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
