@@ -1,10 +1,11 @@
 #include "bench_util.h"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "common/string_util.h"
+#include "common/time_util.h"
+#include "core/report.h"
 #include "tweetdb/binary_codec.h"
 
 namespace twimob::bench {
@@ -17,12 +18,6 @@ uint64_t EnvOr(const char* name, uint64_t fallback) {
   auto parsed = ParseInt64(value);
   if (!parsed.ok() || *parsed <= 0) return fallback;
   return static_cast<uint64_t>(*parsed);
-}
-
-double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
 }
 
 }  // namespace
@@ -64,14 +59,14 @@ Result<tweetdb::TweetTable> LoadOrGenerateCorpus() {
 
   std::fprintf(stderr, "[bench] generating corpus: %zu users, seed %llu...\n",
                BenchUserCount(), static_cast<unsigned long long>(BenchSeed()));
-  const double t0 = NowSeconds();
+  const double t0 = MonotonicSeconds();
   auto generator = synth::TweetGenerator::Create(BenchCorpusConfig());
   if (!generator.ok()) return generator.status();
   auto table = generator->Generate();
   if (!table.ok()) return table.status();
   table->CompactByUserTime();
   std::fprintf(stderr, "[bench] generated %zu tweets in %.1fs\n",
-               table->num_rows(), NowSeconds() - t0);
+               table->num_rows(), MonotonicSeconds() - t0);
 
   Status persisted = tweetdb::WriteBinaryFile(*table, cache);
   if (persisted.ok()) {
@@ -81,6 +76,14 @@ Result<tweetdb::TweetTable> LoadOrGenerateCorpus() {
                  persisted.ToString().c_str());
   }
   return table;
+}
+
+Status RunAnalysisStages(core::AnalysisContext& ctx, core::PipelineState& state) {
+  const core::StageList stages = core::StageEngine::AnalysisStages(state.config);
+  TWIMOB_RETURN_IF_ERROR(core::StageEngine::Run(ctx, stages, state));
+  std::fprintf(stderr, "[bench] %zu threads\n%s", ctx.num_threads(),
+               core::RenderTraceTable(state.result.trace).c_str());
+  return Status::OK();
 }
 
 }  // namespace twimob::bench

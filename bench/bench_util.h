@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "core/stage_engine.h"
 #include "synth/tweet_generator.h"
 #include "tweetdb/table.h"
 
@@ -27,6 +28,13 @@ Result<tweetdb::TweetTable> LoadOrGenerateCorpus();
 
 /// Cache file path for the current scale/seed.
 std::string CorpusCachePath();
+
+/// Runs the staged engine's analysis stages for `state.config` over
+/// `state` on `ctx`'s pool, then prints the per-stage trace table to
+/// stderr. The benches compose their experiments on top of the resulting
+/// `state.result` (and, e.g., `state.estimator`) instead of hand-wiring
+/// the corpus → population → trips → fit sequence.
+Status RunAnalysisStages(core::AnalysisContext& ctx, core::PipelineState& state);
 
 }  // namespace twimob::bench
 

@@ -1,12 +1,14 @@
 // Regenerates the paper's Figure 3: census population vs rescaled Twitter
 // population at the three geographic scales, including (b) the 0.5 km metro
 // radius variant, plus the pooled 60-sample Pearson correlation.
+//
+// Runs on the staged execution engine (population-only stage list); the
+// per-stage trace goes to stderr.
 
 #include <cstdio>
 
 #include "bench_util.h"
 #include "core/pipeline.h"
-#include "core/population_estimator.h"
 #include "core/report.h"
 
 namespace twimob {
@@ -19,37 +21,28 @@ int Run() {
     return 1;
   }
 
-  auto estimator = core::PopulationEstimator::Build(*table);
-  if (!estimator.ok()) {
-    std::fprintf(stderr, "estimator failed: %s\n",
-                 estimator.status().ToString().c_str());
+  core::AnalysisContext ctx;
+  core::PipelineConfig config;
+  config.run_mobility = false;  // population-only: compact → index → population
+  core::PipelineState state(config);
+  state.external_table = &*table;
+  Status run = bench::RunAnalysisStages(ctx, state);
+  if (!run.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", run.ToString().c_str());
     return 1;
   }
 
   // Part (a): the three paper scales.
-  std::vector<core::PopulationEstimateResult> results;
-  for (const core::ScaleSpec& spec : core::PaperScales()) {
-    auto result = estimator->Estimate(spec);
-    if (!result.ok()) {
-      std::fprintf(stderr, "estimate failed: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("%s\n", core::RenderAreaTable(*result).c_str());
-    results.push_back(std::move(*result));
+  for (const core::PopulationEstimateResult& result : state.result.population) {
+    std::printf("%s\n", core::RenderAreaTable(result).c_str());
   }
-
-  core::PipelineResult summary;
-  summary.population = results;
-  auto pooled = core::PooledPopulationCorrelation(results);
-  if (pooled.ok()) summary.pooled_population_correlation = *pooled;
-  std::printf("%s\n", core::RenderPopulationReport(summary).c_str());
+  std::printf("%s\n", core::RenderPopulationReport(state.result).c_str());
 
   // Part (b): shrink the metropolitan search radius to 0.5 km — the paper
-  // reports a significant error increase.
+  // reports a significant error increase. Reuses the run's spatial index.
   const core::ScaleSpec tight =
       core::MakeScaleSpec(census::Scale::kMetropolitan, 500.0);
-  auto tight_result = estimator->Estimate(tight);
+  auto tight_result = state.estimator->Estimate(tight, &ctx.pool());
   if (!tight_result.ok()) {
     std::fprintf(stderr, "0.5km estimate failed: %s\n",
                  tight_result.status().ToString().c_str());
@@ -59,7 +52,7 @@ int Run() {
       "=== FIGURE 3(b): Metropolitan with radius 0.5 km ===\n"
       "r(2.0km) = %.3f vs r(0.5km) = %.3f  — the paper reports a significant "
       "error increase at 0.5 km\n",
-      results[2].correlation.r, tight_result->correlation.r);
+      state.result.population[2].correlation.r, tight_result->correlation.r);
   return 0;
 }
 

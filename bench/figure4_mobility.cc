@@ -2,6 +2,9 @@
 // Gravity 4Param / Gravity 2Param / Radiation at the three scales. Prints
 // the fitted parameters, a sample of the per-pair scatter (the grey
 // crosses) and the log-binned means (the red dots).
+//
+// Runs on the staged execution engine; the per-stage trace (including the
+// trips@<scale> and fit@<scale>/<model> breakdown) goes to stderr.
 
 #include <algorithm>
 #include <cstdio>
@@ -19,37 +22,34 @@ int Run() {
     std::fprintf(stderr, "corpus failed: %s\n", table.status().ToString().c_str());
     return 1;
   }
-  auto estimator = core::PopulationEstimator::Build(*table);
-  if (!estimator.ok()) {
-    std::fprintf(stderr, "estimator failed: %s\n",
-                 estimator.status().ToString().c_str());
+
+  core::AnalysisContext ctx;
+  core::PipelineState state{core::PipelineConfig{}};
+  state.external_table = &*table;
+  Status run = bench::RunAnalysisStages(ctx, state);
+  if (!run.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", run.ToString().c_str());
     return 1;
   }
 
-  for (const core::ScaleSpec& spec : core::PaperScales()) {
-    auto result = core::Pipeline::AnalyzeMobility(*table, *estimator, spec);
-    if (!result.ok()) {
-      std::fprintf(stderr, "mobility failed at %s: %s\n", spec.name.c_str(),
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("%s", core::RenderMobilityScale(*result).c_str());
+  for (const core::ScaleMobilityResult& result : state.result.mobility) {
+    std::printf("%s", core::RenderMobilityScale(result).c_str());
 
     // A deterministic sample of the grey crosses (largest observed flows).
-    std::vector<size_t> order(result->observations.size());
+    std::vector<size_t> order(result.observations.size());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return result->observations[a].flow > result->observations[b].flow;
+      return result.observations[a].flow > result.observations[b].flow;
     });
     std::printf("  top OD pairs (observed vs per-model estimates):\n");
     std::printf("  %6s %6s %12s %12s %12s %12s\n", "src", "dst", "observed",
                 "grav4", "grav2", "radiation");
     for (size_t k = 0; k < std::min<size_t>(10, order.size()); ++k) {
       const size_t i = order[k];
-      const auto& o = result->observations[i];
+      const auto& o = result.observations[i];
       std::printf("  %6zu %6zu %12.1f %12.1f %12.1f %12.1f\n", o.src, o.dst,
-                  o.flow, result->models[0].estimated[i],
-                  result->models[1].estimated[i], result->models[2].estimated[i]);
+                  o.flow, result.models[0].estimated[i],
+                  result.models[1].estimated[i], result.models[2].estimated[i]);
     }
     std::printf("\n");
   }

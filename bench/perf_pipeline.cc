@@ -1,0 +1,155 @@
+// Staged-engine performance profile: runs the full analysis stage list
+// (compact → index → population → trips@scale → fit@scale) twice on the
+// bench corpus — once on a 1-thread pool, once at the default thread count
+// (override with TWIMOB_THREADS) — and prints the per-stage wall-time
+// breakdown with speedups, plus a determinism verdict: the engine contract
+// is that both runs produce byte-identical results.
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+
+namespace twimob {
+namespace {
+
+bool BitEq(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool BitEq(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!BitEq(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+/// Bitwise comparison of everything the pipeline computes; any divergence
+/// between the 1-thread and N-thread runs is a determinism bug.
+bool ResultsIdentical(const core::PipelineResult& a,
+                      const core::PipelineResult& b) {
+  if (a.population.size() != b.population.size()) return false;
+  for (size_t s = 0; s < a.population.size(); ++s) {
+    const auto& pa = a.population[s];
+    const auto& pb = b.population[s];
+    if (pa.areas.size() != pb.areas.size()) return false;
+    if (!BitEq(pa.correlation.r, pb.correlation.r) ||
+        !BitEq(pa.rescale_factor, pb.rescale_factor)) {
+      return false;
+    }
+    for (size_t i = 0; i < pa.areas.size(); ++i) {
+      if (pa.areas[i].unique_users != pb.areas[i].unique_users ||
+          pa.areas[i].tweet_count != pb.areas[i].tweet_count ||
+          !BitEq(pa.areas[i].rescaled_estimate, pb.areas[i].rescaled_estimate)) {
+        return false;
+      }
+    }
+  }
+  if (!BitEq(a.pooled_population_correlation.r,
+             b.pooled_population_correlation.r)) {
+    return false;
+  }
+  if (a.mobility.size() != b.mobility.size()) return false;
+  for (size_t s = 0; s < a.mobility.size(); ++s) {
+    const auto& ma = a.mobility[s];
+    const auto& mb = b.mobility[s];
+    if (ma.extraction.inter_area_trips != mb.extraction.inter_area_trips ||
+        ma.observations.size() != mb.observations.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < ma.observations.size(); ++i) {
+      if (ma.observations[i].src != mb.observations[i].src ||
+          ma.observations[i].dst != mb.observations[i].dst ||
+          !BitEq(ma.observations[i].flow, mb.observations[i].flow)) {
+        return false;
+      }
+    }
+    if (ma.models.size() != mb.models.size()) return false;
+    for (size_t m = 0; m < ma.models.size(); ++m) {
+      if (!BitEq(ma.models[m].metrics.pearson_r, mb.models[m].metrics.pearson_r) ||
+          !BitEq(ma.models[m].metrics.hit_rate, mb.models[m].metrics.hit_rate) ||
+          !BitEq(ma.models[m].estimated, mb.models[m].estimated)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int Run() {
+  auto table = bench::LoadOrGenerateCorpus();
+  if (!table.ok()) {
+    std::fprintf(stderr, "corpus failed: %s\n", table.status().ToString().c_str());
+    return 1;
+  }
+
+  const core::PipelineConfig config;
+  core::AnalysisContext serial_ctx(1);
+  core::PipelineState serial_state(config);
+  serial_state.external_table = &*table;
+  std::fprintf(stderr, "[perf_pipeline] serial run (1 thread)...\n");
+  Status serial = bench::RunAnalysisStages(serial_ctx, serial_state);
+  if (!serial.ok()) {
+    std::fprintf(stderr, "serial run failed: %s\n", serial.ToString().c_str());
+    return 1;
+  }
+
+  core::AnalysisContext pooled_ctx;  // TWIMOB_THREADS or hardware_concurrency
+  core::PipelineState pooled_state(config);
+  pooled_state.external_table = &*table;
+  std::fprintf(stderr, "[perf_pipeline] pooled run (%zu threads)...\n",
+               pooled_ctx.num_threads());
+  Status pooled = bench::RunAnalysisStages(pooled_ctx, pooled_state);
+  if (!pooled.ok()) {
+    std::fprintf(stderr, "pooled run failed: %s\n", pooled.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("PIPELINE STAGE TIMES — 1 thread vs %zu threads (%zu tweets)\n",
+              pooled_ctx.num_threads(), table->num_rows());
+  TablePrinter tp({"Stage", "1 thread", StrFormat("%zu threads",
+                                                  pooled_ctx.num_threads()),
+                   "Speedup"});
+  double serial_mobility = 0.0, pooled_mobility = 0.0;
+  double serial_total = 0.0, pooled_total = 0.0;
+  for (const core::StageRecord& r : serial_state.result.trace.stages()) {
+    if (r.name.find('/') != std::string::npos) continue;  // per-model subs
+    const core::StageRecord* p = pooled_state.result.trace.Find(r.name);
+    if (p == nullptr) continue;
+    tp.AddRow({r.name, StrFormat("%8.1f ms", r.wall_seconds * 1e3),
+               StrFormat("%8.1f ms", p->wall_seconds * 1e3),
+               p->wall_seconds > 0.0
+                   ? StrFormat("%.2fx", r.wall_seconds / p->wall_seconds)
+                   : "-"});
+    serial_total += r.wall_seconds;
+    pooled_total += p->wall_seconds;
+    if (r.name.rfind("trips@", 0) == 0 || r.name.rfind("fit@", 0) == 0) {
+      serial_mobility += r.wall_seconds;
+      pooled_mobility += p->wall_seconds;
+    }
+  }
+  std::printf("%s", tp.ToString().c_str());
+  std::printf("mobility stages (trips+fit): %.1f ms -> %.1f ms (%.2fx)\n",
+              serial_mobility * 1e3, pooled_mobility * 1e3,
+              pooled_mobility > 0.0 ? serial_mobility / pooled_mobility : 0.0);
+  std::printf("end to end: %.1f ms -> %.1f ms (%.2fx)\n", serial_total * 1e3,
+              pooled_total * 1e3,
+              pooled_total > 0.0 ? serial_total / pooled_total : 0.0);
+
+  const bool identical =
+      ResultsIdentical(serial_state.result, pooled_state.result);
+  std::printf("DETERMINISM: 1-thread and %zu-thread results bitwise %s\n",
+              pooled_ctx.num_threads(),
+              identical ? "IDENTICAL (contract holds)" : "DIFFERENT (BUG)");
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace twimob
+
+int main() { return twimob::Run(); }

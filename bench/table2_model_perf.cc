@@ -1,6 +1,8 @@
 // Regenerates the paper's Table II: Pearson correlation (upper) and
 // HitRate@50% (lower) for the three mobility models at the three scales.
 // The paper's values are printed alongside for comparison.
+//
+// Runs on the staged execution engine; the per-stage trace goes to stderr.
 
 #include <algorithm>
 #include <cstdio>
@@ -18,23 +20,16 @@ int Run() {
     std::fprintf(stderr, "corpus failed: %s\n", table.status().ToString().c_str());
     return 1;
   }
-  auto estimator = core::PopulationEstimator::Build(*table);
-  if (!estimator.ok()) {
-    std::fprintf(stderr, "estimator failed: %s\n",
-                 estimator.status().ToString().c_str());
+
+  core::AnalysisContext ctx;
+  core::PipelineState state{core::PipelineConfig{}};
+  state.external_table = &*table;
+  Status run = bench::RunAnalysisStages(ctx, state);
+  if (!run.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n", run.ToString().c_str());
     return 1;
   }
-
-  core::PipelineResult result;
-  for (const core::ScaleSpec& spec : core::PaperScales()) {
-    auto mob = core::Pipeline::AnalyzeMobility(*table, *estimator, spec);
-    if (!mob.ok()) {
-      std::fprintf(stderr, "mobility failed at %s: %s\n", spec.name.c_str(),
-                   mob.status().ToString().c_str());
-      return 1;
-    }
-    result.mobility.push_back(std::move(*mob));
-  }
+  const core::PipelineResult& result = state.result;
 
   std::printf("%s\n", core::RenderTableII(result).c_str());
   std::printf(

@@ -157,9 +157,8 @@ bench/CMakeFiles/ablation_trip_gap.dir/ablation_trip_gap.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
- /usr/include/c++/12/bits/ostream.tcc \
- /root/repo/src/synth/tweet_generator.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/ostream.tcc /root/repo/src/core/stage_engine.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -199,28 +198,50 @@ bench/CMakeFiles/ablation_trip_gap.dir/ablation_trip_gap.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/common/time_util.h /root/repo/src/random/distributions.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/random/rng.h \
- /root/repo/src/synth/mobility_ground_truth.h \
- /root/repo/src/synth/user_model.h /root/repo/src/census/census_data.h \
- /root/repo/src/census/area.h /root/repo/src/geo/latlon.h \
- /root/repo/src/tweetdb/table.h /root/repo/src/tweetdb/block.h \
- /root/repo/src/geo/bbox.h /root/repo/src/tweetdb/tweet.h \
- /root/repo/src/common/string_util.h \
- /root/repo/src/common/table_printer.h \
- /root/repo/src/core/population_estimator.h /root/repo/src/core/scales.h \
- /root/repo/src/geo/grid_index.h /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/core/analysis_context.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/geo/geodesic.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/tweetdb/query.h /root/repo/src/geo/bbox.h \
+ /root/repo/src/geo/latlon.h /root/repo/src/tweetdb/table.h \
+ /root/repo/src/tweetdb/block.h /root/repo/src/tweetdb/tweet.h \
+ /root/repo/src/common/time_util.h /root/repo/src/core/pipeline.h \
+ /root/repo/src/core/population_estimator.h /root/repo/src/core/scales.h \
+ /root/repo/src/census/census_data.h /root/repo/src/census/area.h \
+ /root/repo/src/geo/grid_index.h /root/repo/src/geo/geodesic.h \
  /root/repo/src/stats/correlation.h \
  /root/repo/src/mobility/gravity_model.h \
- /root/repo/src/mobility/od_matrix.h /usr/include/c++/12/cstddef \
- /root/repo/src/mobility/model_eval.h /root/repo/src/stats/binning.h \
- /root/repo/src/mobility/radiation_model.h \
- /root/repo/src/mobility/trip_extractor.h
+ /root/repo/src/mobility/od_matrix.h /root/repo/src/mobility/model_eval.h \
+ /root/repo/src/stats/binning.h /root/repo/src/mobility/radiation_model.h \
+ /root/repo/src/mobility/trip_extractor.h \
+ /root/repo/src/synth/tweet_generator.h \
+ /root/repo/src/random/distributions.h /root/repo/src/random/rng.h \
+ /root/repo/src/synth/mobility_ground_truth.h \
+ /root/repo/src/synth/user_model.h /root/repo/src/common/string_util.h \
+ /root/repo/src/common/table_printer.h

@@ -228,7 +228,32 @@ bench/CMakeFiles/perf_models.dir/perf_models.cc.o: \
  /root/repo/src/geo/latlon.h /root/repo/src/mobility/gravity_model.h \
  /root/repo/src/mobility/od_matrix.h \
  /root/repo/src/mobility/radiation_model.h \
- /root/repo/src/mobility/trip_extractor.h /root/repo/src/tweetdb/table.h \
+ /root/repo/src/mobility/trip_extractor.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/mutex /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/thread /root/repo/src/tweetdb/table.h \
  /root/repo/src/tweetdb/block.h /root/repo/src/geo/bbox.h \
  /root/repo/src/tweetdb/tweet.h /root/repo/src/common/time_util.h \
  /root/repo/src/random/rng.h /root/repo/src/stats/regression.h

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/perf_pipeline.cc" "bench/CMakeFiles/perf_pipeline.dir/perf_pipeline.cc.o" "gcc" "bench/CMakeFiles/perf_pipeline.dir/perf_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/twimob_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_epi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_census.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_tweetdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/twimob_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -8,11 +8,13 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis_context.cc" "src/CMakeFiles/twimob_core.dir/core/analysis_context.cc.o" "gcc" "src/CMakeFiles/twimob_core.dir/core/analysis_context.cc.o.d"
   "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/twimob_core.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/twimob_core.dir/core/pipeline.cc.o.d"
   "/root/repo/src/core/population_estimator.cc" "src/CMakeFiles/twimob_core.dir/core/population_estimator.cc.o" "gcc" "src/CMakeFiles/twimob_core.dir/core/population_estimator.cc.o.d"
   "/root/repo/src/core/predictor.cc" "src/CMakeFiles/twimob_core.dir/core/predictor.cc.o" "gcc" "src/CMakeFiles/twimob_core.dir/core/predictor.cc.o.d"
   "/root/repo/src/core/report.cc" "src/CMakeFiles/twimob_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/twimob_core.dir/core/report.cc.o.d"
   "/root/repo/src/core/scales.cc" "src/CMakeFiles/twimob_core.dir/core/scales.cc.o" "gcc" "src/CMakeFiles/twimob_core.dir/core/scales.cc.o.d"
+  "/root/repo/src/core/stage_engine.cc" "src/CMakeFiles/twimob_core.dir/core/stage_engine.cc.o" "gcc" "src/CMakeFiles/twimob_core.dir/core/stage_engine.cc.o.d"
   )
 
 # Targets to which this target links.

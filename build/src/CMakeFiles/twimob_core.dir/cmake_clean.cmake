@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/twimob_core.dir/core/analysis_context.cc.o"
+  "CMakeFiles/twimob_core.dir/core/analysis_context.cc.o.d"
   "CMakeFiles/twimob_core.dir/core/pipeline.cc.o"
   "CMakeFiles/twimob_core.dir/core/pipeline.cc.o.d"
   "CMakeFiles/twimob_core.dir/core/population_estimator.cc.o"
@@ -9,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/twimob_core.dir/core/report.cc.o.d"
   "CMakeFiles/twimob_core.dir/core/scales.cc.o"
   "CMakeFiles/twimob_core.dir/core/scales.cc.o.d"
+  "CMakeFiles/twimob_core.dir/core/stage_engine.cc.o"
+  "CMakeFiles/twimob_core.dir/core/stage_engine.cc.o.d"
   "libtwimob_core.a"
   "libtwimob_core.pdb"
 )

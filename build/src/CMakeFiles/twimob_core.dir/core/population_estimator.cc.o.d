@@ -202,24 +202,41 @@ src/CMakeFiles/twimob_core.dir/core/population_estimator.cc.o: \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/common/status.h /root/repo/src/core/scales.h \
- /root/repo/src/census/census_data.h /root/repo/src/census/area.h \
- /root/repo/src/geo/latlon.h /root/repo/src/geo/grid_index.h \
+ /root/repo/src/common/status.h /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/geo/bbox.h \
- /root/repo/src/geo/geodesic.h /root/repo/src/stats/correlation.h \
- /root/repo/src/tweetdb/table.h /root/repo/src/tweetdb/block.h \
- /root/repo/src/tweetdb/tweet.h /root/repo/src/common/time_util.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/core/scales.h /root/repo/src/census/census_data.h \
+ /root/repo/src/census/area.h /root/repo/src/geo/latlon.h \
+ /root/repo/src/geo/grid_index.h /root/repo/src/geo/bbox.h \
+ /root/repo/src/geo/geodesic.h /root/repo/src/stats/correlation.h \
+ /root/repo/src/tweetdb/query.h /root/repo/src/tweetdb/table.h \
+ /root/repo/src/tweetdb/block.h /root/repo/src/tweetdb/tweet.h \
+ /root/repo/src/common/time_util.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/stats/descriptive.h /usr/include/c++/12/cstddef
+ /root/repo/src/stats/descriptive.h

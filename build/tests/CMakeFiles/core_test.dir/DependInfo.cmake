@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/predictor_test.cc" "tests/CMakeFiles/core_test.dir/core/predictor_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/predictor_test.cc.o.d"
   "/root/repo/tests/core/report_test.cc" "tests/CMakeFiles/core_test.dir/core/report_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/report_test.cc.o.d"
   "/root/repo/tests/core/scales_test.cc" "tests/CMakeFiles/core_test.dir/core/scales_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/scales_test.cc.o.d"
+  "/root/repo/tests/core/stage_engine_test.cc" "tests/CMakeFiles/core_test.dir/core/stage_engine_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/stage_engine_test.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/core_test.dir/core/report_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/scales_test.cc.o"
   "CMakeFiles/core_test.dir/core/scales_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/stage_engine_test.cc.o"
+  "CMakeFiles/core_test.dir/core/stage_engine_test.cc.o.d"
   "core_test"
   "core_test.pdb"
   "core_test[1]_tests.cmake"

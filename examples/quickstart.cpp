@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   for (const auto& scale : result->mobility) {
     std::cout << core::RenderMobilityScale(scale) << "\n";
   }
-  std::cout << core::RenderTableII(*result);
+  std::cout << core::RenderTableII(*result) << "\n";
+  std::cout << core::RenderTraceTable(result->trace);
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 namespace twimob {
 
@@ -60,19 +62,75 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+
+// Completion latch of one ParallelFor call: the caller only waits for its
+// own chunks, not for unrelated tasks in the pool.
+struct BatchLatch {
+  std::mutex mu;
+  std::condition_variable done;
+  size_t remaining = 0;
+};
+
+}  // namespace
+
 void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
   if (count == 0) return;
-  const size_t batches = std::min(count, workers_.size() * 4);
+  const size_t batches = std::min(count, std::max<size_t>(workers_.size(), 1) * 4);
   const size_t chunk = (count + batches - 1) / batches;
-  for (size_t b = 0; b < batches; ++b) {
-    const size_t begin = b * chunk;
-    const size_t end = std::min(count, begin + chunk);
-    if (begin >= end) break;
-    Submit([begin, end, &fn]() {
-      for (size_t i = begin; i < end; ++i) fn(i);
-    });
+
+  std::vector<std::pair<size_t, size_t>> ranges;
+  ranges.reserve(batches);
+  for (size_t begin = 0; begin < count; begin += chunk) {
+    ranges.emplace_back(begin, std::min(count, begin + chunk));
   }
-  Wait();
+
+  auto latch = std::make_shared<BatchLatch>();
+  latch->remaining = ranges.size();
+  auto run_range = [&fn, latch](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    std::unique_lock<std::mutex> lock(latch->mu);
+    if (--latch->remaining == 0) latch->done.notify_all();
+  };
+
+  // `fn` and `ranges` outlive every chunk because this call returns only
+  // after the latch opens.
+  for (size_t r = 1; r < ranges.size(); ++r) {
+    const auto [begin, end] = ranges[r];
+    Submit([run_range, begin, end]() { run_range(begin, end); });
+  }
+  run_range(ranges[0].first, ranges[0].second);
+
+  // Help drain the queue while waiting: a nested call from within a pool
+  // task executes its own (and other queued) chunks instead of blocking on
+  // workers that may all be busy, so nesting cannot deadlock.
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(latch->mu);
+      if (latch->remaining == 0) return;
+    }
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop();
+        ++in_flight_;
+      }
+    }
+    if (task) {
+      task();
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    } else {
+      // Queue empty: every outstanding chunk is already running in a
+      // worker, whose completion notifies the latch.
+      std::unique_lock<std::mutex> lock(latch->mu);
+      if (latch->remaining == 0) return;
+      latch->done.wait(lock);
+    }
+  }
 }
 
 }  // namespace twimob

@@ -37,7 +37,13 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Runs fn(i) for i in [0, count) across the pool, blocking until done.
-  /// Work is split into contiguous chunks, one batch per worker.
+  /// Work is split into contiguous chunks; the calling thread executes the
+  /// first chunk itself and then helps drain the pool's queue while waiting,
+  /// so the call only blocks on its own chunks and is safe to issue from
+  /// within a pool task (nested calls cannot deadlock, even on a one-thread
+  /// pool). Chunk boundaries depend only on `count` and the pool size, never
+  /// on scheduling, so callers writing into per-index slots stay
+  /// deterministic.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
  private:

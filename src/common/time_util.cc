@@ -1,5 +1,6 @@
 #include "common/time_util.h"
 
+#include <chrono>
 #include <ctime>
 
 #include "common/string_util.h"
@@ -27,6 +28,12 @@ std::string FormatDuration(double seconds) {
     return StrFormat("%.1fmin", seconds / kSecondsPerMinute);
   }
   return StrFormat("%.0fs", seconds);
+}
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace twimob

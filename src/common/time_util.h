@@ -27,6 +27,10 @@ std::string FormatIso8601(UnixSeconds t);
 /// "12.0min", "42s".
 std::string FormatDuration(double seconds);
 
+/// Monotonic wall clock in fractional seconds (steady_clock), for stage and
+/// bench timing. Only differences between two readings are meaningful.
+double MonotonicSeconds();
+
 }  // namespace twimob
 
 #endif  // TWIMOB_COMMON_TIME_UTIL_H_

@@ -1,0 +1,62 @@
+#include "core/analysis_context.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace twimob::core {
+
+void StageRecord::AddCounter(std::string counter_name, int64_t value) {
+  counters.push_back(StageCounter{std::move(counter_name), value});
+}
+
+int64_t StageRecord::Counter(std::string_view counter_name) const {
+  for (const StageCounter& c : counters) {
+    if (c.name == counter_name) return c.value;
+  }
+  return 0;
+}
+
+void StageRecord::SetScan(const tweetdb::ScanStatistics& statistics) {
+  scan = statistics;
+  has_scan = true;
+}
+
+StageRecord& PipelineTrace::AddStage(std::string name) {
+  stages_.push_back(StageRecord{});
+  stages_.back().name = std::move(name);
+  return stages_.back();
+}
+
+void PipelineTrace::Append(StageRecord record) {
+  stages_.push_back(std::move(record));
+}
+
+const StageRecord* PipelineTrace::Find(std::string_view name) const {
+  for (const StageRecord& r : stages_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+double PipelineTrace::TotalWallSeconds() const {
+  double total = 0.0;
+  for (const StageRecord& r : stages_) total += r.wall_seconds;
+  return total;
+}
+
+AnalysisContext::AnalysisContext(size_t num_threads)
+    : pool_(num_threads == 0 ? DefaultThreadCount() : num_threads) {}
+
+size_t AnalysisContext::DefaultThreadCount() {
+  if (const char* env = std::getenv("TWIMOB_THREADS"); env != nullptr) {
+    auto parsed = ParseInt64(env);
+    if (parsed.ok() && *parsed > 0) return static_cast<size_t>(*parsed);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace twimob::core

@@ -1,0 +1,108 @@
+#ifndef TWIMOB_CORE_ANALYSIS_CONTEXT_H_
+#define TWIMOB_CORE_ANALYSIS_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "tweetdb/query.h"
+
+namespace twimob::core {
+
+/// One named counter of a pipeline stage (row/trip/pair counts, ...).
+struct StageCounter {
+  std::string name;
+  int64_t value = 0;
+};
+
+/// Execution record of one named pipeline stage.
+struct StageRecord {
+  std::string name;
+  double wall_seconds = 0.0;
+  /// Counters in insertion order (rows, trips, pairs, ... per stage).
+  std::vector<StageCounter> counters;
+  /// Merged storage-scan statistics of the stage, when it scanned the
+  /// tweet store (see `has_scan`).
+  tweetdb::ScanStatistics scan;
+  bool has_scan = false;
+
+  /// Appends one counter.
+  void AddCounter(std::string counter_name, int64_t value);
+
+  /// Value of the named counter, or 0 when absent.
+  int64_t Counter(std::string_view counter_name) const;
+
+  /// Attaches merged scan statistics and sets `has_scan`.
+  void SetScan(const tweetdb::ScanStatistics& statistics);
+};
+
+/// Per-stage instrumentation accumulated over one or more pipeline runs.
+///
+/// Records are appended in stage-*completion* order by the thread that
+/// orchestrates the stages (a composite stage may append sub-records, e.g.
+/// "fit@National/Radiation", before its own record). The trace is not
+/// thread-safe; parallel work inside a stage must finish before the stage
+/// reports into it.
+class PipelineTrace {
+ public:
+  /// Appends an empty record for `name` and returns it for filling in.
+  StageRecord& AddStage(std::string name);
+
+  /// Appends an already-filled record.
+  void Append(StageRecord record);
+
+  const std::vector<StageRecord>& stages() const { return stages_; }
+  size_t size() const { return stages_.size(); }
+
+  /// First record with the given stage name, or nullptr.
+  const StageRecord* Find(std::string_view name) const;
+
+  /// Sum of all stage wall times. Sub-records of composite stages overlap
+  /// their parent, so this can exceed the end-to-end wall time.
+  double TotalWallSeconds() const;
+
+  void Clear() { stages_.clear(); }
+
+ private:
+  std::vector<StageRecord> stages_;
+};
+
+/// Shared execution environment threaded through every pipeline layer: the
+/// worker pool the data-parallel stages run on, plus the trace accumulating
+/// per-stage wall time, scan statistics and row/trip/pair counters.
+///
+/// Ownership: the context owns its pool and trace. Stages and analysis
+/// helpers borrow the context for the duration of a call and must not
+/// retain references past its lifetime. One context may serve many
+/// sequential runs (the trace accumulates across them); concurrent runs
+/// must use separate contexts. Results are independent of the thread
+/// count: every parallel stage uses fixed chunking and ordered merges.
+class AnalysisContext {
+ public:
+  /// Starts a pool with `num_threads` workers; 0 reads TWIMOB_THREADS from
+  /// the environment, falling back to hardware concurrency (min 1).
+  explicit AnalysisContext(size_t num_threads = 0);
+
+  AnalysisContext(const AnalysisContext&) = delete;
+  AnalysisContext& operator=(const AnalysisContext&) = delete;
+
+  ThreadPool& pool() { return pool_; }
+  size_t num_threads() const { return pool_.num_threads(); }
+
+  PipelineTrace& trace() { return trace_; }
+  const PipelineTrace& trace() const { return trace_; }
+
+  /// The thread count `AnalysisContext(0)` would use right now
+  /// (TWIMOB_THREADS when set and positive, else hardware concurrency).
+  static size_t DefaultThreadCount();
+
+ private:
+  ThreadPool pool_;
+  PipelineTrace trace_;
+};
+
+}  // namespace twimob::core
+
+#endif  // TWIMOB_CORE_ANALYSIS_CONTEXT_H_

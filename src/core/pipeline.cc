@@ -2,150 +2,67 @@
 
 #include <utility>
 
-#include "geo/geodesic.h"
+#include "core/stage_engine.h"
 
 namespace twimob::core {
 
-namespace {
-
-// Flat row-major pairwise great-circle distance matrix of the area centres.
-std::vector<double> PairwiseDistances(const std::vector<census::Area>& areas) {
-  const size_t n = areas.size();
-  std::vector<double> d(n * n, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      const double dist = geo::HaversineMeters(areas[i].center, areas[j].center);
-      d[i * n + j] = dist;
-      d[j * n + i] = dist;
-    }
-  }
-  return d;
-}
-
-Result<ModelSummary> SummarizeGravity(
-    const std::vector<mobility::FlowObservation>& obs,
-    mobility::GravityVariant variant, const std::vector<double>& observed) {
-  auto model = mobility::GravityModel::Fit(obs, variant);
-  if (!model.ok()) return model.status();
-  ModelSummary s;
-  s.model_name = mobility::GravityVariantName(variant);
-  s.log10_c = model->log10_c();
-  s.alpha = model->alpha();
-  s.beta = model->beta();
-  s.gamma = model->gamma();
-  s.estimated = model->PredictAll(obs);
-  auto metrics = mobility::EvaluateModel(s.estimated, observed);
-  if (!metrics.ok()) return metrics.status();
-  s.metrics = *metrics;
-  return s;
-}
-
-Result<ModelSummary> SummarizeRadiation(
-    const std::vector<mobility::FlowObservation>& obs,
-    const std::vector<census::Area>& areas, const std::vector<double>& masses,
-    const std::vector<double>& observed) {
-  auto model = mobility::RadiationModel::Fit(obs, areas, masses);
-  if (!model.ok()) return model.status();
-  ModelSummary s;
-  s.model_name = "Radiation";
-  s.log10_c = model->log10_c();
-  s.estimated = model->PredictAll(obs);
-  auto metrics = mobility::EvaluateModel(s.estimated, observed);
-  if (!metrics.ok()) return metrics.status();
-  s.metrics = *metrics;
-  return s;
-}
-
-}  // namespace
-
 Result<ScaleMobilityResult> Pipeline::AnalyzeMobility(
     const tweetdb::TweetTable& table, const PopulationEstimator& estimator,
-    const ScaleSpec& spec) {
+    const ScaleSpec& spec, AnalysisContext* ctx) {
+  if (ctx == nullptr) {
+    AnalysisContext local;
+    return AnalyzeMobility(table, estimator, spec, &local);
+  }
+
   ScaleMobilityResult result;
   result.scale_name = spec.name;
   result.radius_m = spec.radius_m;
 
-  auto od = mobility::ExtractTrips(table, spec.areas, spec.radius_m,
-                                   &result.extraction);
+  auto od = mobility::ExtractTripsParallel(table, spec.areas, spec.radius_m,
+                                           ctx->pool(), &result.extraction);
   if (!od.ok()) return od.status();
 
   // Masses: the Twitter population of each area (distinct users within ε),
   // which is what the paper fits on before proposing the census swap.
-  std::vector<double> masses;
-  masses.reserve(spec.areas.size());
-  for (const census::Area& a : spec.areas) {
-    masses.push_back(static_cast<double>(
-        estimator.CountUniqueUsers(a.center, spec.radius_m)));
-  }
-
-  const std::vector<double> distances = PairwiseDistances(spec.areas);
+  const std::vector<double> masses = CountAreaMasses(estimator, spec, ctx->pool());
+  const std::vector<double> distances = PairwiseDistances(spec.areas, ctx->pool());
   result.observations = mobility::BuildObservations(*od, masses, distances);
 
   std::vector<double> observed;
   observed.reserve(result.observations.size());
   for (const auto& o : result.observations) observed.push_back(o.flow);
 
-  auto g4 = SummarizeGravity(result.observations,
-                             mobility::GravityVariant::kFourParam, observed);
-  if (!g4.ok()) return g4.status();
-  auto g2 = SummarizeGravity(result.observations,
-                             mobility::GravityVariant::kTwoParam, observed);
-  if (!g2.ok()) return g2.status();
-  auto rad = SummarizeRadiation(result.observations, spec.areas, masses, observed);
-  if (!rad.ok()) return rad.status();
-
-  result.models.push_back(std::move(*g4));
-  result.models.push_back(std::move(*g2));
-  result.models.push_back(std::move(*rad));
+  auto models = FitPaperModels(result.observations, spec.areas, masses, observed,
+                               ctx->pool());
+  if (!models.ok()) return models.status();
+  result.models = std::move(*models);
   return result;
 }
 
 Result<PipelineResult> Pipeline::RunOnTable(tweetdb::TweetTable& table,
-                                            const PipelineConfig& config) {
-  if (!table.sorted_by_user_time()) table.CompactByUserTime();
-
-  PipelineResult result;
-
-  auto estimator = PopulationEstimator::Build(table);
-  if (!estimator.ok()) return estimator.status();
-
-  std::vector<ScaleSpec> specs = PaperScales();
-  if (config.metro_radius_override_m > 0.0) {
-    specs[2] = MakeScaleSpec(census::Scale::kMetropolitan,
-                             config.metro_radius_override_m);
+                                            const PipelineConfig& config,
+                                            AnalysisContext* ctx) {
+  if (ctx == nullptr) {
+    AnalysisContext local;
+    return RunOnTable(table, config, &local);
   }
-
-  for (const ScaleSpec& spec : specs) {
-    auto pop = estimator->Estimate(spec);
-    if (!pop.ok()) return pop.status();
-    result.population.push_back(std::move(*pop));
-  }
-  auto pooled = PooledPopulationCorrelation(result.population);
-  if (!pooled.ok()) return pooled.status();
-  result.pooled_population_correlation = *pooled;
-
-  if (config.run_mobility) {
-    for (const ScaleSpec& spec : specs) {
-      auto mob = AnalyzeMobility(table, *estimator, spec);
-      if (!mob.ok()) return mob.status();
-      result.mobility.push_back(std::move(*mob));
-    }
-  }
-  return result;
+  PipelineState state(config);
+  state.external_table = &table;
+  const StageList stages = StageEngine::AnalysisStages(config);
+  TWIMOB_RETURN_IF_ERROR(StageEngine::Run(*ctx, stages, state));
+  return std::move(state.result);
 }
 
-Result<PipelineResult> Pipeline::Run(const PipelineConfig& config) {
-  auto generator = synth::TweetGenerator::Create(config.corpus);
-  if (!generator.ok()) return generator.status();
-
-  synth::GenerationReport report;
-  auto table = generator->Generate(&report);
-  if (!table.ok()) return table.status();
-
-  auto result = RunOnTable(*table, config);
-  if (!result.ok()) return result.status();
-  result->generation = report;
-  return result;
+Result<PipelineResult> Pipeline::Run(const PipelineConfig& config,
+                                     AnalysisContext* ctx) {
+  if (ctx == nullptr) {
+    AnalysisContext local;
+    return Run(config, &local);
+  }
+  PipelineState state(config);
+  const StageList stages = StageEngine::FullPipeline(config);
+  TWIMOB_RETURN_IF_ERROR(StageEngine::Run(*ctx, stages, state));
+  return std::move(state.result);
 }
 
 }  // namespace twimob::core

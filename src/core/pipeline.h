@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/analysis_context.h"
 #include "core/population_estimator.h"
 #include "core/scales.h"
 #include "mobility/gravity_model.h"
@@ -48,6 +49,9 @@ struct PipelineResult {
   stats::CorrelationResult pooled_population_correlation;
   /// Per-scale mobility results (paper order).
   std::vector<ScaleMobilityResult> mobility;
+  /// Per-stage instrumentation of this run (wall time, scan statistics,
+  /// row/trip/pair counters), in stage-completion order.
+  PipelineTrace trace;
 };
 
 /// Pipeline configuration: the corpus plus optional scale-radius overrides.
@@ -62,21 +66,31 @@ struct PipelineConfig {
 /// The paper's full pipeline: synthesize corpus → columnar store → compact
 /// → population estimation at three scales → trip extraction → model
 /// fitting → metrics.
+///
+/// A thin facade over the staged execution engine (stage_engine.h): each
+/// call assembles the named stages (`synthesize`, `compact`, `index`,
+/// `population`, `trips@<scale>`, `fit@<scale>`) and runs them on the
+/// context's thread pool. Every parallel stage uses fixed chunking and
+/// ordered merges, so results are byte-identical for any thread count.
 class Pipeline {
  public:
-  /// Generates a corpus per `config.corpus` and analyses it.
-  static Result<PipelineResult> Run(const PipelineConfig& config);
+  /// Generates a corpus per `config.corpus` and analyses it. When `ctx` is
+  /// null a context with the default thread count is created for the call;
+  /// otherwise the run executes on `ctx`'s pool and appends to its trace.
+  static Result<PipelineResult> Run(const PipelineConfig& config,
+                                    AnalysisContext* ctx = nullptr);
 
   /// Analyses an existing table (e.g. loaded from CSV/binary). The table
   /// is compacted in place when not already sorted.
   static Result<PipelineResult> RunOnTable(tweetdb::TweetTable& table,
-                                           const PipelineConfig& config);
+                                           const PipelineConfig& config,
+                                           AnalysisContext* ctx = nullptr);
 
   /// The mobility stage alone, for one scale. `estimator` supplies the
   /// per-area masses (unique Twitter users, as the paper uses).
   static Result<ScaleMobilityResult> AnalyzeMobility(
       const tweetdb::TweetTable& table, const PopulationEstimator& estimator,
-      const ScaleSpec& spec);
+      const ScaleSpec& spec, AnalysisContext* ctx = nullptr);
 };
 
 }  // namespace twimob::core

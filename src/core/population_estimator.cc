@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "geo/bbox.h"
 #include "stats/descriptive.h"
@@ -15,19 +16,54 @@ constexpr double kIndexCellDegrees = 0.05;
 }  // namespace
 
 Result<PopulationEstimator> PopulationEstimator::Build(
-    const tweetdb::TweetTable& table) {
+    const tweetdb::TweetTable& table, ThreadPool* pool,
+    tweetdb::ScanStatistics* scan_stats) {
   // Bounds: the Australian study box, extended to cover stray points so no
   // tweet is clamped into a wrong cell's neighbourhood.
   geo::BoundingBox bounds = geo::AustraliaBoundingBox();
+
+  if (pool != nullptr && table.fully_sealed()) {
+    // Block-parallel gather into per-block buffers; the merge below walks
+    // blocks in order, so the index contents match the serial build.
+    const size_t num_blocks = table.num_blocks();
+    std::vector<std::vector<geo::IndexedPoint>> per_block(num_blocks);
+    std::vector<geo::BoundingBox> per_block_bounds(num_blocks, bounds);
+    const tweetdb::ScanSpec match_all;
+    tweetdb::ScanStatistics stats = tweetdb::ParallelScanTable(
+        table, match_all, *pool,
+        [&per_block, &per_block_bounds](size_t b, const tweetdb::Tweet& t) {
+          per_block[b].push_back(geo::IndexedPoint{t.pos, t.user_id});
+          per_block_bounds[b].ExtendToInclude(t.pos);
+        });
+    if (scan_stats != nullptr) *scan_stats = stats;
+
+    for (const geo::BoundingBox& bb : per_block_bounds) {
+      bounds.ExtendToInclude(geo::LatLon{bb.min_lat, bb.min_lon});
+      bounds.ExtendToInclude(geo::LatLon{bb.max_lat, bb.max_lon});
+    }
+    auto index = geo::GridIndex::Create(bounds, kIndexCellDegrees);
+    if (!index.ok()) return index.status();
+    auto owned = std::make_unique<geo::GridIndex>(std::move(*index));
+    for (const std::vector<geo::IndexedPoint>& points : per_block) {
+      owned->InsertAll(points);
+    }
+    return PopulationEstimator(std::move(owned));
+  }
+
   table.ForEachRow(
       [&bounds](const tweetdb::Tweet& t) { bounds.ExtendToInclude(t.pos); });
-
   auto index = geo::GridIndex::Create(bounds, kIndexCellDegrees);
   if (!index.ok()) return index.status();
   auto owned = std::make_unique<geo::GridIndex>(std::move(*index));
   table.ForEachRow([&owned](const tweetdb::Tweet& t) {
     owned->Insert(geo::IndexedPoint{t.pos, t.user_id});
   });
+  if (scan_stats != nullptr) {
+    *scan_stats = tweetdb::ScanStatistics{};
+    scan_stats->blocks_total = table.num_blocks();
+    scan_stats->rows_scanned = table.num_rows();
+    scan_stats->rows_matched = table.num_rows();
+  }
   return PopulationEstimator(std::move(owned));
 }
 
@@ -46,12 +82,28 @@ size_t PopulationEstimator::CountTweets(const geo::LatLon& center,
 }
 
 Result<PopulationEstimateResult> PopulationEstimator::Estimate(
-    const ScaleSpec& spec) const {
+    const ScaleSpec& spec, ThreadPool* pool) const {
   if (spec.areas.empty()) {
     return Status::InvalidArgument("Estimate: scale spec has no areas");
   }
   if (!(spec.radius_m > 0.0)) {
     return Status::InvalidArgument("Estimate: radius must be positive");
+  }
+
+  // Per-area counts, into per-area slots when a pool is supplied; the
+  // aggregation below runs in area order either way, so the parallel and
+  // serial paths agree exactly.
+  const size_t n = spec.areas.size();
+  std::vector<size_t> unique_users(n, 0);
+  std::vector<size_t> tweet_counts(n, 0);
+  auto count_area = [this, &spec, &unique_users, &tweet_counts](size_t i) {
+    unique_users[i] = CountUniqueUsers(spec.areas[i].center, spec.radius_m);
+    tweet_counts[i] = CountTweets(spec.areas[i].center, spec.radius_m);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(n, count_area);
+  } else {
+    for (size_t i = 0; i < n; ++i) count_area(i);
   }
 
   PopulationEstimateResult result;
@@ -61,18 +113,19 @@ Result<PopulationEstimateResult> PopulationEstimator::Estimate(
   double total_users = 0.0;
   double total_census = 0.0;
   std::vector<double> users_vec, census_vec;
-  for (const census::Area& area : spec.areas) {
+  for (size_t i = 0; i < n; ++i) {
+    const census::Area& area = spec.areas[i];
     AreaPopulationEstimate est;
     est.area_id = area.id;
     est.name = area.name;
-    est.unique_users = CountUniqueUsers(area.center, spec.radius_m);
-    est.tweet_count = CountTweets(area.center, spec.radius_m);
+    est.unique_users = unique_users[i];
+    est.tweet_count = tweet_counts[i];
     est.census_population = area.population;
     result.areas.push_back(std::move(est));
 
-    total_users += static_cast<double>(result.areas.back().unique_users);
+    total_users += static_cast<double>(unique_users[i]);
     total_census += area.population;
-    users_vec.push_back(static_cast<double>(result.areas.back().unique_users));
+    users_vec.push_back(static_cast<double>(unique_users[i]));
     census_vec.push_back(area.population);
   }
 

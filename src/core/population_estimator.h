@@ -6,9 +6,11 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/scales.h"
 #include "geo/grid_index.h"
 #include "stats/correlation.h"
+#include "tweetdb/query.h"
 #include "tweetdb/table.h"
 
 namespace twimob::core {
@@ -44,7 +46,15 @@ class PopulationEstimator {
  public:
   /// Indexes every tweet of `table` into a uniform grid (cell ≈ 0.05°).
   /// The table must outlive nothing — all data is copied into the index.
-  static Result<PopulationEstimator> Build(const tweetdb::TweetTable& table);
+  ///
+  /// With a `pool` and a fully-sealed table, rows are gathered with a
+  /// block-parallel scan (per-block buffers merged in block order, so the
+  /// index is identical to the serial build); otherwise a serial row scan
+  /// is used. `scan_stats`, when non-null, receives the merged storage-scan
+  /// statistics of the build.
+  static Result<PopulationEstimator> Build(
+      const tweetdb::TweetTable& table, ThreadPool* pool = nullptr,
+      tweetdb::ScanStatistics* scan_stats = nullptr);
 
   /// Distinct users with at least one tweet within radius_m of `center`.
   size_t CountUniqueUsers(const geo::LatLon& center, double radius_m) const;
@@ -52,8 +62,11 @@ class PopulationEstimator {
   /// Tweets within radius_m of `center`.
   size_t CountTweets(const geo::LatLon& center, double radius_m) const;
 
-  /// Full estimate for one scale spec.
-  Result<PopulationEstimateResult> Estimate(const ScaleSpec& spec) const;
+  /// Full estimate for one scale spec. With a `pool`, the per-area radius
+  /// queries run data-parallel into per-area slots; aggregation stays in
+  /// area order, so the result matches the serial path exactly.
+  Result<PopulationEstimateResult> Estimate(const ScaleSpec& spec,
+                                            ThreadPool* pool = nullptr) const;
 
   size_t num_indexed_tweets() const { return index_->size(); }
 

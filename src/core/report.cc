@@ -115,6 +115,43 @@ std::string RenderTableII(const PipelineResult& result) {
   return out + tp.ToString();
 }
 
+std::string RenderTraceTable(const PipelineTrace& trace) {
+  std::string out = "PIPELINE TRACE — PER-STAGE BREAKDOWN\n";
+  if (trace.stages().empty()) return out + "(no stages recorded)\n";
+
+  // Sub-records ("fit@Scale/Model") overlap their parent stage; exclude
+  // them from the total so shares sum to ~100%.
+  double total = 0.0;
+  for (const StageRecord& r : trace.stages()) {
+    if (r.name.find('/') == std::string::npos) total += r.wall_seconds;
+  }
+
+  TablePrinter tp({"Stage", "Wall", "Share", "Scan", "Counters"});
+  for (const StageRecord& r : trace.stages()) {
+    const bool sub = r.name.find('/') != std::string::npos;
+    std::string scan = "-";
+    if (r.has_scan) {
+      scan = StrFormat("%zu rows, %zu/%zu blocks pruned", r.scan.rows_scanned,
+                       r.scan.blocks_pruned, r.scan.blocks_total);
+    }
+    std::string counters;
+    for (const StageCounter& c : r.counters) {
+      if (!counters.empty()) counters += " ";
+      counters += StrFormat("%s=%lld", c.name.c_str(),
+                            static_cast<long long>(c.value));
+    }
+    tp.AddRow({(sub ? "  " : "") + r.name,
+               StrFormat("%8.1f ms", r.wall_seconds * 1e3),
+               sub || total <= 0.0
+                   ? "-"
+                   : StrFormat("%5.1f%%", 100.0 * r.wall_seconds / total),
+               scan, counters.empty() ? "-" : counters});
+  }
+  out += tp.ToString();
+  out += StrFormat("total (top-level stages): %.1f ms\n", total * 1e3);
+  return out;
+}
+
 std::string RenderMobilityScale(const ScaleMobilityResult& result) {
   std::string out = StrFormat(
       "FIGURE 4 (%s, radius %.1f km): %zu OD pairs with flow, %zu trips\n",

@@ -27,6 +27,10 @@ std::string RenderTableII(const PipelineResult& result);
 /// parameters and the log-binned estimated-vs-observed series.
 std::string RenderMobilityScale(const ScaleMobilityResult& result);
 
+/// Renders the per-stage trace as a breakdown table: wall time, share of
+/// the total, storage-scan statistics, and the stage's counters.
+std::string RenderTraceTable(const PipelineTrace& trace);
+
 }  // namespace twimob::core
 
 #endif  // TWIMOB_CORE_REPORT_H_

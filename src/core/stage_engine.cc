@@ -1,0 +1,369 @@
+#include "core/stage_engine.h"
+
+#include <iterator>
+#include <utility>
+
+#include "common/time_util.h"
+#include "geo/geodesic.h"
+
+namespace twimob::core {
+
+namespace {
+
+/// Fills state.specs on first use: the paper scales with the config's
+/// metropolitan radius override applied. The override is looked up by
+/// census::Scale::kMetropolitan — never by position — so reordering or
+/// adding scales cannot silently override the wrong radius.
+void EnsureSpecs(PipelineState& state) {
+  if (!state.specs.empty()) return;
+  state.specs = PaperScales();
+  if (state.config.metro_radius_override_m > 0.0) {
+    for (ScaleSpec& spec : state.specs) {
+      if (spec.scale == census::Scale::kMetropolitan) {
+        spec = MakeScaleSpec(census::Scale::kMetropolitan,
+                             state.config.metro_radius_override_m);
+      }
+    }
+  }
+}
+
+Result<ModelSummary> SummarizeGravity(
+    const std::vector<mobility::FlowObservation>& obs,
+    mobility::GravityVariant variant, const std::vector<double>& observed) {
+  auto model = mobility::GravityModel::Fit(obs, variant);
+  if (!model.ok()) return model.status();
+  ModelSummary s;
+  s.model_name = mobility::GravityVariantName(variant);
+  s.log10_c = model->log10_c();
+  s.alpha = model->alpha();
+  s.beta = model->beta();
+  s.gamma = model->gamma();
+  s.estimated = model->PredictAll(obs);
+  auto metrics = mobility::EvaluateModel(s.estimated, observed);
+  if (!metrics.ok()) return metrics.status();
+  s.metrics = *metrics;
+  return s;
+}
+
+Result<ModelSummary> SummarizeRadiation(
+    const std::vector<mobility::FlowObservation>& obs,
+    const std::vector<census::Area>& areas, const std::vector<double>& masses,
+    const std::vector<double>& observed) {
+  auto model = mobility::RadiationModel::Fit(obs, areas, masses);
+  if (!model.ok()) return model.status();
+  ModelSummary s;
+  s.model_name = "Radiation";
+  s.log10_c = model->log10_c();
+  s.estimated = model->PredictAll(obs);
+  auto metrics = mobility::EvaluateModel(s.estimated, observed);
+  if (!metrics.ok()) return metrics.status();
+  s.metrics = *metrics;
+  return s;
+}
+
+class SynthesizeStage : public Stage {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "synthesize";
+    return kName;
+  }
+
+  Status Run(AnalysisContext&, PipelineState& state, StageRecord& record) override {
+    auto generator = synth::TweetGenerator::Create(state.config.corpus);
+    if (!generator.ok()) return generator.status();
+    synth::GenerationReport report;
+    auto table = generator->Generate(&report);
+    if (!table.ok()) return table.status();
+    state.owned_table = std::move(*table);
+    state.external_table = nullptr;
+    state.result.generation = report;
+    record.AddCounter("users", static_cast<int64_t>(report.num_users));
+    record.AddCounter("tweets", static_cast<int64_t>(report.num_tweets));
+    return Status::OK();
+  }
+};
+
+class CompactStage : public Stage {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "compact";
+    return kName;
+  }
+
+  Status Run(AnalysisContext&, PipelineState& state, StageRecord& record) override {
+    tweetdb::TweetTable& table = state.table();
+    const bool already_sorted = table.sorted_by_user_time();
+    if (!already_sorted) table.CompactByUserTime();
+    record.AddCounter("rows", static_cast<int64_t>(table.num_rows()));
+    record.AddCounter("blocks", static_cast<int64_t>(table.num_blocks()));
+    record.AddCounter("already_sorted", already_sorted ? 1 : 0);
+    return Status::OK();
+  }
+};
+
+class IndexStage : public Stage {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "index";
+    return kName;
+  }
+
+  Status Run(AnalysisContext& ctx, PipelineState& state,
+             StageRecord& record) override {
+    tweetdb::ScanStatistics scan;
+    auto estimator =
+        PopulationEstimator::Build(state.table(), &ctx.pool(), &scan);
+    if (!estimator.ok()) return estimator.status();
+    state.estimator = std::move(*estimator);
+    record.SetScan(scan);
+    record.AddCounter("indexed_tweets",
+                      static_cast<int64_t>(state.estimator->num_indexed_tweets()));
+    return Status::OK();
+  }
+};
+
+class PopulationStage : public Stage {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "population";
+    return kName;
+  }
+
+  Status Run(AnalysisContext& ctx, PipelineState& state,
+             StageRecord& record) override {
+    if (!state.estimator.has_value()) {
+      return Status::FailedPrecondition(
+          "population stage requires the index stage to run first");
+    }
+    EnsureSpecs(state);
+    size_t samples = 0;
+    for (const ScaleSpec& spec : state.specs) {
+      auto pop = state.estimator->Estimate(spec, &ctx.pool());
+      if (!pop.ok()) return pop.status();
+      samples += pop->areas.size();
+      state.result.population.push_back(std::move(*pop));
+    }
+    auto pooled = PooledPopulationCorrelation(state.result.population);
+    if (!pooled.ok()) return pooled.status();
+    state.result.pooled_population_correlation = *pooled;
+    record.AddCounter("scales", static_cast<int64_t>(state.specs.size()));
+    record.AddCounter("samples", static_cast<int64_t>(samples));
+    return Status::OK();
+  }
+};
+
+class TripsStage : public Stage {
+ public:
+  explicit TripsStage(size_t scale_pos)
+      : scale_pos_(scale_pos),
+        name_("trips@" + census::ScaleName(census::kAllScales[scale_pos])) {}
+
+  const std::string& name() const override { return name_; }
+
+  Status Run(AnalysisContext& ctx, PipelineState& state,
+             StageRecord& record) override {
+    if (!state.estimator.has_value()) {
+      return Status::FailedPrecondition(
+          "trips stage requires the index stage to run first");
+    }
+    EnsureSpecs(state);
+    if (scale_pos_ >= state.specs.size()) {
+      return Status::InvalidArgument("trips stage: no such scale");
+    }
+    const ScaleSpec& spec = state.specs[scale_pos_];
+
+    ScaleMobilityResult scale_result;
+    scale_result.scale_name = spec.name;
+    scale_result.radius_m = spec.radius_m;
+    auto od = mobility::ExtractTripsParallel(state.table(), spec.areas,
+                                             spec.radius_m, ctx.pool(),
+                                             &scale_result.extraction);
+    if (!od.ok()) return od.status();
+
+    PipelineState::ScaleWork work;
+    work.masses = CountAreaMasses(*state.estimator, spec, ctx.pool());
+    work.distances = PairwiseDistances(spec.areas, ctx.pool());
+    scale_result.observations =
+        mobility::BuildObservations(*od, work.masses, work.distances);
+    work.observed.reserve(scale_result.observations.size());
+    for (const auto& o : scale_result.observations) {
+      work.observed.push_back(o.flow);
+    }
+
+    // The extraction is itself a full storage scan; surface it alongside
+    // the extraction counters.
+    tweetdb::ScanStatistics scan;
+    scan.blocks_total = state.table().num_blocks();
+    scan.rows_scanned = scale_result.extraction.tweets_seen;
+    scan.rows_matched = scale_result.extraction.tweets_in_some_area;
+    record.SetScan(scan);
+    record.AddCounter("rows", static_cast<int64_t>(
+                                  scale_result.extraction.tweets_seen));
+    record.AddCounter("trips", static_cast<int64_t>(
+                                   scale_result.extraction.inter_area_trips));
+    record.AddCounter("pairs",
+                      static_cast<int64_t>(scale_result.observations.size()));
+
+    state.result.mobility.push_back(std::move(scale_result));
+    state.scale_work.push_back(std::move(work));
+    return Status::OK();
+  }
+
+ private:
+  size_t scale_pos_;
+  std::string name_;
+};
+
+class FitStage : public Stage {
+ public:
+  explicit FitStage(size_t scale_pos)
+      : scale_pos_(scale_pos),
+        name_("fit@" + census::ScaleName(census::kAllScales[scale_pos])) {}
+
+  const std::string& name() const override { return name_; }
+
+  Status Run(AnalysisContext& ctx, PipelineState& state,
+             StageRecord& record) override {
+    if (scale_pos_ >= state.result.mobility.size() ||
+        scale_pos_ >= state.scale_work.size()) {
+      return Status::FailedPrecondition(
+          "fit stage requires the matching trips stage to run first");
+    }
+    EnsureSpecs(state);
+    ScaleMobilityResult& scale_result = state.result.mobility[scale_pos_];
+    const PipelineState::ScaleWork& work = state.scale_work[scale_pos_];
+
+    double per_model_seconds[3] = {0.0, 0.0, 0.0};
+    auto models = FitPaperModels(scale_result.observations,
+                                 state.specs[scale_pos_].areas, work.masses,
+                                 work.observed, ctx.pool(), per_model_seconds);
+    if (!models.ok()) return models.status();
+
+    for (size_t m = 0; m < models->size(); ++m) {
+      StageRecord sub;
+      sub.name = name_ + "/" + (*models)[m].model_name;
+      sub.wall_seconds = per_model_seconds[m];
+      sub.AddCounter("pairs",
+                     static_cast<int64_t>(scale_result.observations.size()));
+      ctx.trace().Append(sub);
+      state.result.trace.Append(std::move(sub));
+    }
+    record.AddCounter("models", static_cast<int64_t>(models->size()));
+    record.AddCounter("pairs",
+                      static_cast<int64_t>(scale_result.observations.size()));
+    scale_result.models = std::move(*models);
+    return Status::OK();
+  }
+
+ private:
+  size_t scale_pos_;
+  std::string name_;
+};
+
+}  // namespace
+
+StageList StageEngine::FullPipeline(const PipelineConfig& config) {
+  StageList stages;
+  stages.push_back(std::make_unique<SynthesizeStage>());
+  for (auto& stage : AnalysisStages(config)) stages.push_back(std::move(stage));
+  return stages;
+}
+
+StageList StageEngine::AnalysisStages(const PipelineConfig& config) {
+  StageList stages;
+  stages.push_back(std::make_unique<CompactStage>());
+  stages.push_back(std::make_unique<IndexStage>());
+  stages.push_back(std::make_unique<PopulationStage>());
+  if (config.run_mobility) {
+    for (size_t s = 0; s < std::size(census::kAllScales); ++s) {
+      stages.push_back(std::make_unique<TripsStage>(s));
+      stages.push_back(std::make_unique<FitStage>(s));
+    }
+  }
+  return stages;
+}
+
+Status StageEngine::Run(AnalysisContext& ctx, const StageList& stages,
+                        PipelineState& state) {
+  for (const std::unique_ptr<Stage>& stage : stages) {
+    StageRecord record;
+    record.name = stage->name();
+    const double t0 = MonotonicSeconds();
+    Status status = stage->Run(ctx, state, record);
+    record.wall_seconds = MonotonicSeconds() - t0;
+    ctx.trace().Append(record);
+    state.result.trace.Append(std::move(record));
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+std::vector<double> CountAreaMasses(const PopulationEstimator& estimator,
+                                    const ScaleSpec& spec, ThreadPool& pool) {
+  std::vector<double> masses(spec.areas.size(), 0.0);
+  pool.ParallelFor(spec.areas.size(), [&estimator, &spec, &masses](size_t i) {
+    masses[i] = static_cast<double>(
+        estimator.CountUniqueUsers(spec.areas[i].center, spec.radius_m));
+  });
+  return masses;
+}
+
+std::vector<double> PairwiseDistances(const std::vector<census::Area>& areas,
+                                      ThreadPool& pool) {
+  const size_t n = areas.size();
+  std::vector<double> d(n * n, 0.0);
+  // Each task owns row i's upper triangle; the serial mirror pass below
+  // keeps every (i, j) computed exactly once, as in the serial evaluation.
+  pool.ParallelFor(n, [&areas, &d, n](size_t i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      d[i * n + j] = geo::HaversineMeters(areas[i].center, areas[j].center);
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) d[j * n + i] = d[i * n + j];
+  }
+  return d;
+}
+
+Result<std::vector<ModelSummary>> FitPaperModels(
+    const std::vector<mobility::FlowObservation>& observations,
+    const std::vector<census::Area>& areas, const std::vector<double>& masses,
+    const std::vector<double>& observed, ThreadPool& pool,
+    double* per_model_seconds) {
+  // The three fits are independent; run them concurrently into fixed
+  // slots, then check in paper column order.
+  Result<ModelSummary> slots[3] = {
+      Status::Internal("not fitted"), Status::Internal("not fitted"),
+      Status::Internal("not fitted")};
+  double seconds[3] = {0.0, 0.0, 0.0};
+  pool.ParallelFor(3, [&](size_t m) {
+    const double t0 = MonotonicSeconds();
+    switch (m) {
+      case 0:
+        slots[0] = SummarizeGravity(observations,
+                                    mobility::GravityVariant::kFourParam,
+                                    observed);
+        break;
+      case 1:
+        slots[1] = SummarizeGravity(observations,
+                                    mobility::GravityVariant::kTwoParam,
+                                    observed);
+        break;
+      default:
+        slots[2] = SummarizeRadiation(observations, areas, masses, observed);
+        break;
+    }
+    seconds[m] = MonotonicSeconds() - t0;
+  });
+
+  std::vector<ModelSummary> models;
+  models.reserve(3);
+  for (size_t m = 0; m < 3; ++m) {
+    if (!slots[m].ok()) return slots[m].status();
+    models.push_back(std::move(*slots[m]));
+    if (per_model_seconds != nullptr) per_model_seconds[m] = seconds[m];
+  }
+  return models;
+}
+
+}  // namespace twimob::core

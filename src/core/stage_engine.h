@@ -1,0 +1,117 @@
+#ifndef TWIMOB_CORE_STAGE_ENGINE_H_
+#define TWIMOB_CORE_STAGE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/analysis_context.h"
+#include "core/pipeline.h"
+
+namespace twimob::core {
+
+/// Mutable state shared by the stages of one pipeline run. Create one per
+/// run; stages fill it in sequence, and `result` holds the final output.
+struct PipelineState {
+  explicit PipelineState(const PipelineConfig& c) : config(c) {}
+
+  PipelineState(const PipelineState&) = delete;
+  PipelineState& operator=(const PipelineState&) = delete;
+
+  PipelineConfig config;
+
+  /// Caller-supplied table (RunOnTable-style runs). When null, the
+  /// `synthesize` stage generates into `owned_table`.
+  tweetdb::TweetTable* external_table = nullptr;
+  tweetdb::TweetTable owned_table;
+
+  /// The table this run analyses.
+  tweetdb::TweetTable& table() {
+    return external_table != nullptr ? *external_table : owned_table;
+  }
+
+  /// Filled by the `index` stage; later stages require it.
+  std::optional<PopulationEstimator> estimator;
+
+  /// The paper scales (with the config's metro override applied), filled on
+  /// first use by any stage that needs them.
+  std::vector<ScaleSpec> specs;
+
+  /// Intermediates handed from `trips@<scale>` to `fit@<scale>`, one entry
+  /// per completed trips stage (parallel to `result.mobility`).
+  struct ScaleWork {
+    std::vector<double> masses;     ///< per-area Twitter population
+    std::vector<double> distances;  ///< flat row-major pairwise matrix
+    std::vector<double> observed;   ///< observed flows, parallel to
+                                    ///< result.mobility[i].observations
+  };
+  std::vector<ScaleWork> scale_work;
+
+  PipelineResult result;
+};
+
+/// A named pipeline unit. Stages run sequentially on the orchestration
+/// thread and parallelise internally via ctx.pool(); every implementation
+/// must keep its result independent of the pool's thread count (fixed
+/// chunking, ordered merges — see DESIGN.md "Staged execution engine").
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  /// Stable stage name, e.g. "compact" or "trips@National".
+  virtual const std::string& name() const = 0;
+
+  /// Runs the stage. `record` is this stage's trace record (wall time is
+  /// filled by the engine); composite stages may append extra sub-records
+  /// to ctx.trace() before returning.
+  virtual Status Run(AnalysisContext& ctx, PipelineState& state,
+                     StageRecord& record) = 0;
+};
+
+using StageList = std::vector<std::unique_ptr<Stage>>;
+
+/// Assembles and executes named stages over a shared AnalysisContext. The
+/// benches and examples compose stage lists instead of hand-wiring the
+/// corpus → population → trips → fit sequence.
+class StageEngine {
+ public:
+  /// The full paper pipeline: synthesize, then AnalysisStages().
+  static StageList FullPipeline(const PipelineConfig& config);
+
+  /// The analysis stages for an existing table: `compact`, `index`,
+  /// `population`, and (when config.run_mobility) `trips@<scale>` +
+  /// `fit@<scale>` per paper scale.
+  static StageList AnalysisStages(const PipelineConfig& config);
+
+  /// Runs the stages in order, timing each into ctx.trace() (and
+  /// state.result.trace). Stops at the first failing stage; its partial
+  /// record is still appended to the trace.
+  static Status Run(AnalysisContext& ctx, const StageList& stages,
+                    PipelineState& state);
+};
+
+/// Pool-parallel per-area masses (unique Twitter users within the scale's
+/// radius), in area order — what the paper fits the models on.
+std::vector<double> CountAreaMasses(const PopulationEstimator& estimator,
+                                    const ScaleSpec& spec, ThreadPool& pool);
+
+/// Pool-parallel flat row-major pairwise great-circle distance matrix of
+/// the area centres. Each pair is computed once (upper triangle) and
+/// mirrored, matching the serial evaluation exactly.
+std::vector<double> PairwiseDistances(const std::vector<census::Area>& areas,
+                                      ThreadPool& pool);
+
+/// Fits the paper's three models (Gravity 4P, Gravity 2P, Radiation — in
+/// paper column order) concurrently on the pool. `per_model_seconds`, when
+/// non-null, receives three per-model wall times.
+Result<std::vector<ModelSummary>> FitPaperModels(
+    const std::vector<mobility::FlowObservation>& observations,
+    const std::vector<census::Area>& areas, const std::vector<double>& masses,
+    const std::vector<double>& observed, ThreadPool& pool,
+    double* per_model_seconds = nullptr);
+
+}  // namespace twimob::core
+
+#endif  // TWIMOB_CORE_STAGE_ENGINE_H_

@@ -2,10 +2,94 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <utility>
 
 #include "geo/geodesic.h"
 
 namespace twimob::mobility {
+
+namespace {
+
+Status ValidateArgs(const tweetdb::TweetTable& table,
+                    const std::vector<census::Area>& areas, double radius_m,
+                    const TripOptions& options) {
+  if (areas.empty()) {
+    return Status::InvalidArgument("ExtractTrips requires at least one area");
+  }
+  if (!(radius_m > 0.0)) {
+    return Status::InvalidArgument("ExtractTrips requires a positive radius");
+  }
+  if (options.max_gap_seconds < 0) {
+    return Status::InvalidArgument("ExtractTrips requires max_gap_seconds >= 0");
+  }
+  if (!table.sorted_by_user_time()) {
+    return Status::FailedPrecondition(
+        "ExtractTrips requires a table compacted by (user, time); call "
+        "CompactByUserTime() first");
+  }
+  return Status::OK();
+}
+
+// The per-row state machine shared by the serial and block-parallel paths:
+// feeding the same rows in the same order produces the same flows and
+// counters wherever the machine runs.
+class TripAccumulator {
+ public:
+  TripAccumulator(const std::vector<census::Area>& areas, double radius_m,
+                  const TripOptions& options, OdMatrix* od)
+      : areas_(areas), radius_m_(radius_m), options_(options), od_(od) {}
+
+  void Process(const tweetdb::Tweet& t) {
+    ++stats_.tweets_seen;
+    const std::optional<size_t> area = AssignToArea(t.pos, areas_, radius_m_);
+    if (area.has_value()) ++stats_.tweets_in_some_area;
+
+    if (have_prev_ && t.user_id == prev_user_) {
+      ++stats_.consecutive_pairs;
+      const bool gap_ok = options_.max_gap_seconds == 0 ||
+                          t.timestamp - prev_time_ <= options_.max_gap_seconds;
+      if (!gap_ok) {
+        ++stats_.gap_filtered_pairs;
+      } else if (prev_area_.has_value() && area.has_value()) {
+        if (*prev_area_ != *area) {
+          od_->AddFlow(*prev_area_, *area, 1.0);
+          ++stats_.inter_area_trips;
+        } else {
+          ++stats_.intra_area_pairs;
+        }
+      }
+    }
+    prev_user_ = t.user_id;
+    prev_time_ = t.timestamp;
+    prev_area_ = area;
+    have_prev_ = true;
+  }
+
+  const ExtractionStats& stats() const { return stats_; }
+
+ private:
+  const std::vector<census::Area>& areas_;
+  const double radius_m_;
+  const TripOptions& options_;
+  OdMatrix* od_;
+  ExtractionStats stats_;
+  uint64_t prev_user_ = 0;
+  int64_t prev_time_ = 0;
+  bool have_prev_ = false;
+  std::optional<size_t> prev_area_;
+};
+
+void MergeStats(const ExtractionStats& from, ExtractionStats* into) {
+  into->tweets_seen += from.tweets_seen;
+  into->tweets_in_some_area += from.tweets_in_some_area;
+  into->consecutive_pairs += from.consecutive_pairs;
+  into->inter_area_trips += from.inter_area_trips;
+  into->intra_area_pairs += from.intra_area_pairs;
+  into->gap_filtered_pairs += from.gap_filtered_pairs;
+}
+
+}  // namespace
 
 std::optional<size_t> AssignToArea(const geo::LatLon& pos,
                                    const std::vector<census::Area>& areas,
@@ -30,58 +114,93 @@ Result<OdMatrix> ExtractTrips(const tweetdb::TweetTable& table,
                               const std::vector<census::Area>& areas,
                               double radius_m, ExtractionStats* stats,
                               const TripOptions& options) {
-  if (areas.empty()) {
-    return Status::InvalidArgument("ExtractTrips requires at least one area");
-  }
-  if (!(radius_m > 0.0)) {
-    return Status::InvalidArgument("ExtractTrips requires a positive radius");
-  }
-  if (options.max_gap_seconds < 0) {
-    return Status::InvalidArgument("ExtractTrips requires max_gap_seconds >= 0");
-  }
-  if (!table.sorted_by_user_time()) {
-    return Status::FailedPrecondition(
-        "ExtractTrips requires a table compacted by (user, time); call "
-        "CompactByUserTime() first");
-  }
+  TWIMOB_RETURN_IF_ERROR(ValidateArgs(table, areas, radius_m, options));
 
   auto od = OdMatrix::Create(areas.size());
   if (!od.ok()) return od.status();
 
-  ExtractionStats local;
-  uint64_t prev_user = 0;
-  int64_t prev_time = 0;
-  bool have_prev = false;
-  std::optional<size_t> prev_area;
+  TripAccumulator acc(areas, radius_m, options, &*od);
+  table.ForEachRow([&acc](const tweetdb::Tweet& t) { acc.Process(t); });
 
-  table.ForEachRow([&](const tweetdb::Tweet& t) {
-    ++local.tweets_seen;
-    const std::optional<size_t> area = AssignToArea(t.pos, areas, radius_m);
-    if (area.has_value()) ++local.tweets_in_some_area;
+  if (stats != nullptr) *stats = acc.stats();
+  return std::move(*od);
+}
 
-    if (have_prev && t.user_id == prev_user) {
-      ++local.consecutive_pairs;
-      const bool gap_ok = options.max_gap_seconds == 0 ||
-                          t.timestamp - prev_time <= options.max_gap_seconds;
-      if (!gap_ok) {
-        ++local.gap_filtered_pairs;
-      } else if (prev_area.has_value() && area.has_value()) {
-        if (*prev_area != *area) {
-          od->AddFlow(*prev_area, *area, 1.0);
-          ++local.inter_area_trips;
-        } else {
-          ++local.intra_area_pairs;
-        }
+Result<OdMatrix> ExtractTripsParallel(const tweetdb::TweetTable& table,
+                                      const std::vector<census::Area>& areas,
+                                      double radius_m, ThreadPool& pool,
+                                      ExtractionStats* stats,
+                                      const TripOptions& options) {
+  TWIMOB_RETURN_IF_ERROR(ValidateArgs(table, areas, radius_m, options));
+  if (!table.fully_sealed()) {
+    // Rows in the active tail are invisible to block iteration.
+    return ExtractTrips(table, areas, radius_m, stats, options);
+  }
+
+  const size_t num_blocks = table.num_blocks();
+  std::vector<std::unique_ptr<OdMatrix>> partial(num_blocks);
+  std::vector<ExtractionStats> partial_stats(num_blocks);
+
+  pool.ParallelFor(num_blocks, [&](size_t b) {
+    const tweetdb::Block& block = table.block(b);
+    const size_t rows = block.num_rows();
+    if (rows == 0) return;
+
+    // Head rows continuing the run of the previous non-empty block's last
+    // user belong to that run's owner; skip them here.
+    size_t start = 0;
+    for (size_t pb = b; pb-- > 0;) {
+      const tweetdb::Block& prev = table.block(pb);
+      if (prev.num_rows() == 0) continue;
+      const uint64_t boundary_user = prev.GetRow(prev.num_rows() - 1).user_id;
+      while (start < rows && block.GetRow(start).user_id == boundary_user) {
+        ++start;
       }
+      break;
     }
-    prev_user = t.user_id;
-    prev_time = t.timestamp;
-    prev_area = area;
-    have_prev = true;
+    if (start == rows) return;  // the whole block continues an earlier run
+
+    auto od = OdMatrix::Create(areas.size());  // cannot fail: areas validated
+    TripAccumulator acc(areas, radius_m, options, &*od);
+    for (size_t i = start; i < rows; ++i) acc.Process(block.GetRow(i));
+
+    // Follow the last run owned by this block across block boundaries; the
+    // next blocks' own tasks skip these rows.
+    const uint64_t run_user = block.GetRow(rows - 1).user_id;
+    for (size_t nb = b + 1; nb < num_blocks; ++nb) {
+      const tweetdb::Block& next = table.block(nb);
+      const size_t n = next.num_rows();
+      size_t i = 0;
+      for (; i < n; ++i) {
+        const tweetdb::Tweet t = next.GetRow(i);
+        if (t.user_id != run_user) break;
+        acc.Process(t);
+      }
+      if (i < n) break;  // the run ended inside this block
+    }
+
+    partial_stats[b] = acc.stats();
+    partial[b] = std::make_unique<OdMatrix>(std::move(*od));
   });
 
-  if (stats != nullptr) *stats = local;
-  return std::move(*od);
+  // Ordered merge: block order regardless of scheduling, so the totals are
+  // identical to the serial extractor's for any thread count.
+  auto merged = OdMatrix::Create(areas.size());
+  if (!merged.ok()) return merged.status();
+  ExtractionStats total;
+  const size_t n = areas.size();
+  for (size_t b = 0; b < num_blocks; ++b) {
+    MergeStats(partial_stats[b], &total);
+    if (partial[b] == nullptr) continue;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        const double flow = partial[b]->Flow(i, j);
+        if (flow > 0.0) merged->AddFlow(i, j, flow);
+      }
+    }
+  }
+  if (stats != nullptr) *stats = total;
+  return std::move(*merged);
 }
 
 }  // namespace twimob::mobility

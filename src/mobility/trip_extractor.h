@@ -6,6 +6,7 @@
 
 #include "census/area.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "mobility/od_matrix.h"
 #include "tweetdb/table.h"
 
@@ -49,6 +50,22 @@ Result<OdMatrix> ExtractTrips(const tweetdb::TweetTable& table,
                               const std::vector<census::Area>& areas,
                               double radius_m, ExtractionStats* stats = nullptr,
                               const TripOptions& options = TripOptions{});
+
+/// Block-parallel ExtractTrips: storage blocks are distributed over `pool`;
+/// each task owns the user runs *starting* in its block (head rows
+/// continuing a run from an earlier block are skipped and processed by that
+/// run's owner, which follows its last run across block boundaries).
+/// Per-block OD matrices and counters are merged in block order, so the
+/// result is byte-identical to the serial extractor for any thread count —
+/// chunking is per block, never per thread.
+///
+/// Same preconditions as ExtractTrips; additionally falls back to the
+/// serial path when the table has unsealed rows.
+Result<OdMatrix> ExtractTripsParallel(const tweetdb::TweetTable& table,
+                                      const std::vector<census::Area>& areas,
+                                      double radius_m, ThreadPool& pool,
+                                      ExtractionStats* stats = nullptr,
+                                      const TripOptions& options = TripOptions{});
 
 }  // namespace twimob::mobility
 

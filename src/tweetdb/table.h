@@ -53,6 +53,11 @@ class TweetTable {
   /// Number of sealed blocks (after SealActive()).
   size_t num_blocks() const { return blocks_.size(); }
 
+  /// True when every row lives in a sealed block (empty active tail) — the
+  /// precondition of the block-parallel scan and extraction paths. Always
+  /// true after CompactByUserTime() or SealActive().
+  bool fully_sealed() const { return active_.empty(); }
+
   const Block& block(size_t i) const { return blocks_[i].block; }
   const BlockStats& block_stats(size_t i) const { return blocks_[i].stats; }
 

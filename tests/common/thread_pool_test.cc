@@ -81,6 +81,69 @@ TEST(ThreadPoolTest, WaitBetweenBatches) {
   }
 }
 
+TEST(ThreadPoolTest, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(3, [&hits](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, SubmitFromWithinTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&pool, &counter]() {
+      counter.fetch_add(1);
+      pool.Submit([&counter]() { counter.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  const size_t outer = 16, inner = 16;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  pool.ParallelFor(outer, [&pool, &hits, inner](size_t i) {
+    pool.ParallelFor(inner, [&hits, i, inner](size_t j) {
+      hits[i * inner + j].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (size_t k = 0; k < hits.size(); ++k) {
+    EXPECT_EQ(hits[k].load(), 1) << k;
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForOnSingleThreadPool) {
+  // The caller must help drain the queue; a one-thread pool is the
+  // worst case for nested calls.
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> hits(9);
+  pool.ParallelFor(3, [&pool, &hits](size_t i) {
+    pool.ParallelFor(3, [&hits, i](size_t j) {
+      hits[i * 3 + j].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (size_t k = 0; k < hits.size(); ++k) {
+    EXPECT_EQ(hits[k].load(), 1) << k;
+  }
+}
+
+TEST(ThreadPoolTest, WaitAfterParallelForHasNothingLeft) {
+  // ParallelFor already blocks until its own chunks are done; a following
+  // Wait() on the now-empty queue must return immediately.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(100, [&counter](size_t) { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
 TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
   std::atomic<int> counter{0};
   {

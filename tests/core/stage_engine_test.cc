@@ -1,0 +1,237 @@
+#include "core/stage_engine.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace twimob::core {
+namespace {
+
+PipelineConfig SmallConfig() {
+  PipelineConfig config;
+  config.corpus.num_users = 4000;
+  config.corpus.seed = 11;
+  return config;
+}
+
+bool BitEq(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+class StageEngineTest : public ::testing::Test {
+ protected:
+  // One shared full run for the trace-shape assertions.
+  static const PipelineResult& SharedResult() {
+    static const PipelineResult result = [] {
+      auto run = Pipeline::Run(SmallConfig());
+      EXPECT_TRUE(run.ok()) << run.status().ToString();
+      return std::move(*run);
+    }();
+    return result;
+  }
+};
+
+TEST_F(StageEngineTest, TraceListsStagesInExecutionOrder) {
+  const PipelineTrace& trace = SharedResult().trace;
+  std::vector<std::string> top_level;
+  for (const StageRecord& r : trace.stages()) {
+    if (r.name.find('/') == std::string::npos) top_level.push_back(r.name);
+  }
+  const std::vector<std::string> expected = {
+      "synthesize",   "compact",       "index",
+      "population",   "trips@National", "fit@National",
+      "trips@State",  "fit@State",     "trips@Metropolitan",
+      "fit@Metropolitan"};
+  EXPECT_EQ(top_level, expected);
+}
+
+TEST_F(StageEngineTest, FitStagesCarryPerModelSubRecords) {
+  const PipelineTrace& trace = SharedResult().trace;
+  for (const char* scale : {"National", "State", "Metropolitan"}) {
+    for (const char* model :
+         {"Gravity 4Param", "Gravity 2Param", "Radiation"}) {
+      const std::string name = std::string("fit@") + scale + "/" + model;
+      const StageRecord* sub = trace.Find(name);
+      ASSERT_NE(sub, nullptr) << name;
+      EXPECT_GT(sub->Counter("pairs"), 0) << name;
+    }
+  }
+}
+
+TEST_F(StageEngineTest, TraceCountersAndScanArePopulated) {
+  const PipelineResult& result = SharedResult();
+  const PipelineTrace& trace = result.trace;
+
+  const StageRecord* synth = trace.Find("synthesize");
+  ASSERT_NE(synth, nullptr);
+  EXPECT_EQ(synth->Counter("users"), 4000);
+  EXPECT_EQ(synth->Counter("tweets"),
+            static_cast<int64_t>(result.generation.num_tweets));
+
+  const StageRecord* index = trace.Find("index");
+  ASSERT_NE(index, nullptr);
+  ASSERT_TRUE(index->has_scan);
+  EXPECT_EQ(index->scan.rows_scanned, result.generation.num_tweets);
+  EXPECT_GT(index->scan.blocks_total, 0u);
+  EXPECT_EQ(index->Counter("indexed_tweets"),
+            static_cast<int64_t>(result.generation.num_tweets));
+
+  const StageRecord* trips = trace.Find("trips@National");
+  ASSERT_NE(trips, nullptr);
+  ASSERT_TRUE(trips->has_scan);
+  EXPECT_EQ(trips->Counter("rows"),
+            static_cast<int64_t>(result.generation.num_tweets));
+  EXPECT_EQ(trips->Counter("trips"),
+            static_cast<int64_t>(result.mobility[0].extraction.inter_area_trips));
+  EXPECT_EQ(trips->Counter("pairs"),
+            static_cast<int64_t>(result.mobility[0].observations.size()));
+  // A counter a stage never set reads as zero.
+  EXPECT_EQ(trips->Counter("no_such_counter"), 0);
+}
+
+TEST_F(StageEngineTest, RenderTraceTableShowsEveryStage) {
+  const std::string rendered = RenderTraceTable(SharedResult().trace);
+  for (const char* name : {"synthesize", "compact", "index", "population",
+                           "trips@National", "fit@Metropolitan/Radiation"}) {
+    EXPECT_NE(rendered.find(name), std::string::npos) << name;
+  }
+}
+
+TEST_F(StageEngineTest, ThreadCountDoesNotChangeResults) {
+  const PipelineConfig config = SmallConfig();
+  AnalysisContext serial_ctx(1);
+  auto serial = Pipeline::Run(config, &serial_ctx);
+  ASSERT_TRUE(serial.ok());
+  AnalysisContext pooled_ctx(4);
+  auto pooled = Pipeline::Run(config, &pooled_ctx);
+  ASSERT_TRUE(pooled.ok());
+
+  ASSERT_EQ(pooled->population.size(), serial->population.size());
+  for (size_t s = 0; s < serial->population.size(); ++s) {
+    const auto& a = serial->population[s];
+    const auto& b = pooled->population[s];
+    EXPECT_TRUE(BitEq(b.correlation.r, a.correlation.r)) << s;
+    EXPECT_TRUE(BitEq(b.rescale_factor, a.rescale_factor)) << s;
+    ASSERT_EQ(b.areas.size(), a.areas.size());
+    for (size_t i = 0; i < a.areas.size(); ++i) {
+      EXPECT_EQ(b.areas[i].unique_users, a.areas[i].unique_users) << s;
+      EXPECT_EQ(b.areas[i].tweet_count, a.areas[i].tweet_count) << s;
+    }
+  }
+  EXPECT_TRUE(BitEq(pooled->pooled_population_correlation.r,
+                    serial->pooled_population_correlation.r));
+
+  ASSERT_EQ(pooled->mobility.size(), serial->mobility.size());
+  for (size_t s = 0; s < serial->mobility.size(); ++s) {
+    const auto& a = serial->mobility[s];
+    const auto& b = pooled->mobility[s];
+    EXPECT_EQ(b.extraction.inter_area_trips, a.extraction.inter_area_trips);
+    ASSERT_EQ(b.observations.size(), a.observations.size()) << s;
+    for (size_t i = 0; i < a.observations.size(); ++i) {
+      EXPECT_EQ(b.observations[i].src, a.observations[i].src);
+      EXPECT_EQ(b.observations[i].dst, a.observations[i].dst);
+      EXPECT_TRUE(BitEq(b.observations[i].flow, a.observations[i].flow));
+      EXPECT_TRUE(BitEq(b.observations[i].d_meters, a.observations[i].d_meters));
+    }
+    ASSERT_EQ(b.models.size(), a.models.size());
+    for (size_t m = 0; m < a.models.size(); ++m) {
+      EXPECT_TRUE(
+          BitEq(b.models[m].metrics.pearson_r, a.models[m].metrics.pearson_r))
+          << s << "/" << m;
+      EXPECT_TRUE(
+          BitEq(b.models[m].metrics.hit_rate, a.models[m].metrics.hit_rate));
+      ASSERT_EQ(b.models[m].estimated.size(), a.models[m].estimated.size());
+      for (size_t i = 0; i < a.models[m].estimated.size(); ++i) {
+        EXPECT_TRUE(BitEq(b.models[m].estimated[i], a.models[m].estimated[i]));
+      }
+    }
+  }
+}
+
+TEST_F(StageEngineTest, MetroOverrideAppliesToMetropolitanOnly) {
+  PipelineConfig config = SmallConfig();
+  config.metro_radius_override_m = 500.0;
+  config.run_mobility = false;
+  auto result = Pipeline::Run(config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->population.size(), 3u);
+  // The override must land on the metropolitan scale — found by its enum,
+  // not by position — and leave the other radii alone.
+  EXPECT_DOUBLE_EQ(result->population[0].radius_m, 50000.0);
+  EXPECT_DOUBLE_EQ(result->population[1].radius_m, 25000.0);
+  EXPECT_DOUBLE_EQ(result->population[2].radius_m, 500.0);
+  EXPECT_EQ(result->population[2].scale_name, "Metropolitan");
+}
+
+TEST_F(StageEngineTest, ContextTraceAccumulatesAcrossRuns) {
+  PipelineConfig config = SmallConfig();
+  config.run_mobility = false;
+  AnalysisContext ctx(1);
+  ASSERT_TRUE(Pipeline::Run(config, &ctx).ok());
+  const size_t after_first = ctx.trace().size();
+  EXPECT_EQ(after_first, 4u);  // synthesize, compact, index, population
+  ASSERT_TRUE(Pipeline::Run(config, &ctx).ok());
+  EXPECT_EQ(ctx.trace().size(), 2 * after_first);
+}
+
+class FailingStage : public Stage {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "boom";
+    return kName;
+  }
+  Status Run(AnalysisContext&, PipelineState&, StageRecord& record) override {
+    record.AddCounter("attempts", 1);
+    return Status::Internal("stage exploded");
+  }
+};
+
+class NeverReachedStage : public Stage {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "never";
+    return kName;
+  }
+  Status Run(AnalysisContext&, PipelineState&, StageRecord&) override {
+    ADD_FAILURE() << "engine must stop at the first failing stage";
+    return Status::OK();
+  }
+};
+
+TEST(StageEngineRunTest, StopsAtFirstFailureAndKeepsItsRecord) {
+  AnalysisContext ctx(1);
+  PipelineState state{PipelineConfig{}};
+  StageList stages;
+  stages.push_back(std::make_unique<FailingStage>());
+  stages.push_back(std::make_unique<NeverReachedStage>());
+  Status status = StageEngine::Run(ctx, stages, state);
+  EXPECT_FALSE(status.ok());
+  ASSERT_EQ(ctx.trace().size(), 1u);
+  EXPECT_EQ(ctx.trace().stages()[0].name, "boom");
+  EXPECT_EQ(ctx.trace().stages()[0].Counter("attempts"), 1);
+  ASSERT_NE(state.result.trace.Find("boom"), nullptr);
+}
+
+TEST(PipelineTraceTest, FindCounterAndTotals) {
+  PipelineTrace trace;
+  StageRecord& a = trace.AddStage("alpha");
+  a.wall_seconds = 0.25;
+  a.AddCounter("rows", 7);
+  StageRecord b;
+  b.name = "beta";
+  b.wall_seconds = 0.75;
+  trace.Append(b);
+
+  ASSERT_NE(trace.Find("alpha"), nullptr);
+  EXPECT_EQ(trace.Find("alpha")->Counter("rows"), 7);
+  EXPECT_EQ(trace.Find("alpha")->Counter("missing"), 0);
+  EXPECT_EQ(trace.Find("gamma"), nullptr);
+  EXPECT_DOUBLE_EQ(trace.TotalWallSeconds(), 1.0);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+}  // namespace
+}  // namespace twimob::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "random/rng.h"
+
 namespace twimob::mobility {
 namespace {
 
@@ -164,6 +166,119 @@ TEST(ExtractTripsTest, RadiusControlsAssignment) {
   auto narrow = ExtractTrips(table, areas, 2000.0);
   ASSERT_TRUE(narrow.ok());
   EXPECT_DOUBLE_EQ(narrow->TotalFlow(), 0.0);
+}
+
+void ExpectSameFlowsAndStats(const OdMatrix& serial, const ExtractionStats& s,
+                             const OdMatrix& parallel,
+                             const ExtractionStats& p) {
+  ASSERT_EQ(parallel.num_areas(), serial.num_areas());
+  for (size_t i = 0; i < serial.num_areas(); ++i) {
+    for (size_t j = 0; j < serial.num_areas(); ++j) {
+      EXPECT_DOUBLE_EQ(parallel.Flow(i, j), serial.Flow(i, j)) << i << "," << j;
+    }
+  }
+  EXPECT_EQ(p.tweets_seen, s.tweets_seen);
+  EXPECT_EQ(p.tweets_in_some_area, s.tweets_in_some_area);
+  EXPECT_EQ(p.consecutive_pairs, s.consecutive_pairs);
+  EXPECT_EQ(p.inter_area_trips, s.inter_area_trips);
+  EXPECT_EQ(p.intra_area_pairs, s.intra_area_pairs);
+  EXPECT_EQ(p.gap_filtered_pairs, s.gap_filtered_pairs);
+}
+
+TEST(ExtractTripsParallelTest, MatchesSerialAcrossPoolSizes) {
+  const auto areas = TwoAreas();
+  const geo::LatLon spots[] = {{-33.0, 151.0}, {-37.0, 145.0}, {-20.0, 120.0}};
+
+  // Small blocks force many user runs to span block boundaries, which is
+  // exactly what the run-ownership rules must get right.
+  tweetdb::TweetTable table(16);
+  random::Xoshiro256 rng(99);
+  for (uint64_t user = 0; user < 40; ++user) {
+    const size_t run = 3 + rng.NextUint64(10);
+    for (size_t k = 0; k < run; ++k) {
+      ASSERT_TRUE(table
+                      .Append(At(user, static_cast<int64_t>(100 * k),
+                                 spots[rng.NextUint64(3)]))
+                      .ok());
+    }
+  }
+  table.CompactByUserTime();
+  ASSERT_GT(table.num_blocks(), 4u);
+
+  ExtractionStats serial_stats;
+  auto serial = ExtractTrips(table, areas, 50000.0, &serial_stats);
+  ASSERT_TRUE(serial.ok());
+
+  for (size_t threads : {1u, 2u, 5u}) {
+    ThreadPool pool(threads);
+    ExtractionStats parallel_stats;
+    auto parallel =
+        ExtractTripsParallel(table, areas, 50000.0, pool, &parallel_stats);
+    ASSERT_TRUE(parallel.ok()) << threads << " threads";
+    ExpectSameFlowsAndStats(*serial, serial_stats, *parallel, parallel_stats);
+  }
+}
+
+TEST(ExtractTripsParallelTest, RunSpanningManyBlocksStaysWithOwner) {
+  const auto areas = TwoAreas();
+  const geo::LatLon alpha{-33.0, 151.0};
+  const geo::LatLon beta{-37.0, 145.0};
+
+  // block capacity 2: user 1's alternating run covers four blocks; user 2
+  // starts mid-block. The trips across every block boundary must count
+  // exactly once.
+  tweetdb::TweetTable table(2);
+  for (int k = 0; k < 7; ++k) {
+    ASSERT_TRUE(table.Append(At(1, 100 * k, k % 2 == 0 ? alpha : beta)).ok());
+  }
+  ASSERT_TRUE(table.Append(At(2, 100, beta)).ok());
+  ASSERT_TRUE(table.Append(At(2, 200, alpha)).ok());
+  table.CompactByUserTime();
+  ASSERT_GE(table.num_blocks(), 4u);
+
+  ExtractionStats serial_stats;
+  auto serial = ExtractTrips(table, areas, 50000.0, &serial_stats);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_DOUBLE_EQ(serial->Flow(0, 1), 3.0);  // user 1: A->B x3
+  EXPECT_DOUBLE_EQ(serial->Flow(1, 0), 4.0);  // user 1: B->A x3, user 2: x1
+
+  ThreadPool pool(4);
+  ExtractionStats parallel_stats;
+  auto parallel =
+      ExtractTripsParallel(table, areas, 50000.0, pool, &parallel_stats);
+  ASSERT_TRUE(parallel.ok());
+  ExpectSameFlowsAndStats(*serial, serial_stats, *parallel, parallel_stats);
+}
+
+TEST(ExtractTripsParallelTest, OptionsApplyOnTheParallelPath) {
+  const auto areas = TwoAreas();
+  const geo::LatLon alpha{-33.0, 151.0};
+  const geo::LatLon beta{-37.0, 145.0};
+  tweetdb::TweetTable table(2);
+  ASSERT_TRUE(table.Append(At(1, 0, alpha)).ok());
+  ASSERT_TRUE(table.Append(At(1, 3600, beta)).ok());
+  ASSERT_TRUE(table.Append(At(1, 3600 + 40 * 86400, alpha)).ok());
+  table.CompactByUserTime();
+
+  TripOptions day_cap;
+  day_cap.max_gap_seconds = 86400;
+  ThreadPool pool(3);
+  ExtractionStats stats;
+  auto od =
+      ExtractTripsParallel(table, areas, 50000.0, pool, &stats, day_cap);
+  ASSERT_TRUE(od.ok());
+  EXPECT_DOUBLE_EQ(od->Flow(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(od->Flow(1, 0), 0.0);  // stale pair dropped
+  EXPECT_EQ(stats.gap_filtered_pairs, 1u);
+}
+
+TEST(ExtractTripsParallelTest, UncompactedTableFailsLikeSerial) {
+  tweetdb::TweetTable table;
+  ASSERT_TRUE(table.Append(At(1, 1, geo::LatLon{-33.0, 151.0})).ok());
+  ThreadPool pool(2);
+  EXPECT_TRUE(ExtractTripsParallel(table, TwoAreas(), 50000.0, pool)
+                  .status()
+                  .IsFailedPrecondition());
 }
 
 }  // namespace

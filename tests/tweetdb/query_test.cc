@@ -199,6 +199,78 @@ TEST(ParallelScanTest, EmptyTableAndEmptyResult) {
   EXPECT_EQ(stats.blocks_total, 0u);
 }
 
+TEST(ParallelScanTest, FullyPrunedBlocksMatchSerial) {
+  // A bbox far outside the data prunes every block via the zone maps; the
+  // parallel scan must report the same (all-pruned) statistics as the
+  // serial one and visit no rows.
+  TweetTable table = RandomTable(5000, 256, 25);
+  table.CompactByUserTime();
+  ThreadPool pool(4);
+
+  ScanSpec spec;
+  spec.bbox = geo::BoundingBox{40.0, -10.0, 60.0, 10.0};  // Europe: no data
+
+  size_t serial = 99;
+  ScanStatistics serial_stats = CountMatching(table, spec, &serial);
+  size_t parallel = 99;
+  ScanStatistics parallel_stats =
+      ParallelCountMatching(table, spec, pool, &parallel);
+
+  EXPECT_EQ(serial, 0u);
+  EXPECT_EQ(parallel, 0u);
+  EXPECT_EQ(serial_stats.blocks_pruned, serial_stats.blocks_total);
+  EXPECT_EQ(parallel_stats.blocks_pruned, parallel_stats.blocks_pruned);
+  EXPECT_EQ(parallel_stats.blocks_total, serial_stats.blocks_total);
+  EXPECT_EQ(parallel_stats.rows_scanned, 0u);
+  EXPECT_EQ(serial_stats.rows_scanned, 0u);
+}
+
+TEST(ParallelScanTest, MixOfPrunedAndScannedBlocksMatchesSerial) {
+  // (user,time) compaction clusters users into blocks, so a single-user
+  // spec prunes most blocks and scans a few — the merged parallel
+  // statistics and the visited rows must match the serial scan exactly.
+  TweetTable table = RandomTable(8000, 128, 27);
+  table.CompactByUserTime();
+  ThreadPool pool(4);
+
+  ScanSpec spec;
+  spec.user_id = 17;
+
+  size_t serial = 0;
+  ScanStatistics serial_stats = CountMatching(table, spec, &serial);
+  ASSERT_GT(serial, 0u);
+  ASSERT_GT(serial_stats.blocks_pruned, 0u);
+  ASSERT_LT(serial_stats.blocks_pruned, serial_stats.blocks_total);
+
+  size_t parallel = 0;
+  ScanStatistics parallel_stats =
+      ParallelCountMatching(table, spec, pool, &parallel);
+  EXPECT_EQ(parallel, serial);
+  EXPECT_EQ(parallel_stats.rows_scanned, serial_stats.rows_scanned);
+  EXPECT_EQ(parallel_stats.rows_matched, serial_stats.rows_matched);
+  EXPECT_EQ(parallel_stats.blocks_pruned, serial_stats.blocks_pruned);
+  EXPECT_EQ(parallel_stats.blocks_total, serial_stats.blocks_total);
+
+  // Per-block buffers flattened in block order must equal the serial
+  // visit order (the ordered-merge pattern the engine's index build uses).
+  std::vector<Tweet> serial_rows;
+  CollectMatching(table, spec, &serial_rows);
+  std::vector<std::vector<Tweet>> per_block(table.num_blocks());
+  ParallelScanTable(table, spec, pool,
+                    [&per_block](size_t block, const Tweet& t) {
+                      per_block[block].push_back(t);  // safe: one task per block
+                    });
+  std::vector<Tweet> merged;
+  for (const auto& rows : per_block) {
+    merged.insert(merged.end(), rows.begin(), rows.end());
+  }
+  ASSERT_EQ(merged.size(), serial_rows.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].user_id, serial_rows[i].user_id) << i;
+    EXPECT_EQ(merged[i].timestamp, serial_rows[i].timestamp) << i;
+  }
+}
+
 TEST(ParallelScanTest, PerBlockCallbackSeesOwnBlockIndex) {
   TweetTable table = RandomTable(2000, 128, 23);
   ThreadPool pool(4);
