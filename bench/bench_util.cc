@@ -39,8 +39,10 @@ synth::CorpusConfig BenchCorpusConfig() {
 std::string CorpusCachePath() {
   const char* tmp = std::getenv("TMPDIR");
   const std::string dir = tmp != nullptr ? tmp : "/tmp";
-  return StrFormat("%s/twimob_bench_corpus_u%zu_s%llu.twdb", dir.c_str(),
-                   BenchUserCount(),
+  // The storage format version is part of the key, so a format bump can
+  // never make the benches analyse a stale cache written by an older build.
+  return StrFormat("%s/twimob_bench_corpus_v%u_u%zu_s%llu.twdb", dir.c_str(),
+                   tweetdb::kBinaryFormatVersion, BenchUserCount(),
                    static_cast<unsigned long long>(BenchSeed()));
 }
 

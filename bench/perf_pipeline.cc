@@ -2,9 +2,14 @@
 // (compact → index → population → trips@scale → fit@scale) twice on the
 // bench corpus — once on a 1-thread pool, once at the default thread count
 // (override with TWIMOB_THREADS) — and prints the per-stage wall-time
-// breakdown with speedups, plus a determinism verdict: the engine contract
-// is that both runs produce byte-identical results.
+// breakdown with speedups, plus two determinism verdicts enforced by the
+// engine contract:
+//   1. thread-count invariance — the 1-thread and N-thread runs produce
+//      byte-identical results, including on a multi-shard dataset;
+//   2. shard-count invariance — Pipeline::Run at a fixed seed produces
+//      byte-identical results for 1, 4 and 16 time shards.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -146,7 +151,54 @@ int Run() {
   std::printf("DETERMINISM: 1-thread and %zu-thread results bitwise %s\n",
               pooled_ctx.num_threads(),
               identical ? "IDENTICAL (contract holds)" : "DIFFERENT (BUG)");
-  return identical ? 0 : 1;
+
+  // Shard-count invariance: the same seed analysed as 1, 4 and 16 time
+  // shards must produce byte-identical results (the corpus is regenerated
+  // per run, capped so the sweep stays quick at paper scale), and the
+  // 16-shard run must itself be thread-count invariant.
+  const size_t shard_users = std::min<size_t>(bench::BenchUserCount(), 20000);
+  core::PipelineConfig shard_config;
+  shard_config.corpus = bench::BenchCorpusConfig();
+  shard_config.corpus.num_users = shard_users;
+
+  const size_t kShardCounts[] = {1, 4, 16};
+  core::PipelineResult shard_results[3];
+  for (size_t i = 0; i < 3; ++i) {
+    shard_config.num_shards = kShardCounts[i];
+    core::AnalysisContext ctx;
+    std::fprintf(stderr, "[perf_pipeline] shard sweep: %zu users, %zu shards\n",
+                 shard_users, kShardCounts[i]);
+    auto result = core::Pipeline::Run(shard_config, &ctx);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%zu-shard run failed: %s\n", kShardCounts[i],
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    shard_results[i] = std::move(*result);
+  }
+  const bool shards_invariant =
+      ResultsIdentical(shard_results[0], shard_results[1]) &&
+      ResultsIdentical(shard_results[0], shard_results[2]);
+  std::printf("SHARD INVARIANCE: 1/4/16-shard results bitwise %s\n",
+              shards_invariant ? "IDENTICAL (contract holds)"
+                               : "DIFFERENT (BUG)");
+
+  shard_config.num_shards = 16;
+  core::AnalysisContext sharded_serial_ctx(1);
+  auto sharded_serial = core::Pipeline::Run(shard_config, &sharded_serial_ctx);
+  if (!sharded_serial.ok()) {
+    std::fprintf(stderr, "16-shard serial run failed: %s\n",
+                 sharded_serial.status().ToString().c_str());
+    return 1;
+  }
+  const bool sharded_threads_invariant =
+      ResultsIdentical(*sharded_serial, shard_results[2]);
+  std::printf(
+      "SHARD DETERMINISM: 16-shard 1-thread vs pooled results bitwise %s\n",
+      sharded_threads_invariant ? "IDENTICAL (contract holds)"
+                                : "DIFFERENT (BUG)");
+
+  return (identical && shards_invariant && sharded_threads_invariant) ? 0 : 1;
 }
 
 }  // namespace

@@ -3,7 +3,10 @@
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart [num_users]
+//   ./build/examples/quickstart [num_users] [num_shards]
+//
+// num_shards > 1 stores the corpus as that many time-partitioned shards
+// (results are byte-identical for every shard count).
 
 #include <cstdlib>
 #include <iostream>
@@ -17,9 +20,14 @@ int main(int argc, char** argv) {
   core::PipelineConfig config;
   config.corpus.num_users = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 40000;
   config.corpus.seed = 7;
+  config.num_shards = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
 
   std::cout << "Generating a synthetic corpus of " << config.corpus.num_users
-            << " users and running the paper pipeline...\n\n";
+            << " users";
+  if (config.num_shards > 1) {
+    std::cout << " into " << config.num_shards << " time shards";
+  }
+  std::cout << " and running the paper pipeline...\n\n";
 
   auto result = core::Pipeline::Run(config);
   if (!result.ok()) {

@@ -61,6 +61,11 @@ struct PipelineConfig {
   double metro_radius_override_m = 0.0;
   /// Skip the mobility stage (population-only runs are much faster).
   bool run_mobility = true;
+  /// Number of time shards the synthesized corpus is partitioned into
+  /// (PartitionSpec::ForWindow over the collection window). 0 or 1 keeps
+  /// the single-shard layout, byte-identical to the monolithic-table path;
+  /// results are byte-identical for every value (DESIGN.md §3.2).
+  size_t num_shards = 1;
 };
 
 /// The paper's full pipeline: synthesize corpus → columnar store → compact
@@ -70,8 +75,10 @@ struct PipelineConfig {
 /// A thin facade over the staged execution engine (stage_engine.h): each
 /// call assembles the named stages (`synthesize`, `compact`, `index`,
 /// `population`, `trips@<scale>`, `fit@<scale>`) and runs them on the
-/// context's thread pool. Every parallel stage uses fixed chunking and
-/// ordered merges, so results are byte-identical for any thread count.
+/// context's thread pool. The corpus lives in a time-partitioned
+/// tweetdb::TweetDataset (config.num_shards shards); every parallel stage
+/// uses fixed chunking and ordered merges, so results are byte-identical
+/// for any thread count and any shard count.
 class Pipeline {
  public:
   /// Generates a corpus per `config.corpus` and analyses it. When `ctx` is

@@ -67,6 +67,60 @@ Result<PopulationEstimator> PopulationEstimator::Build(
   return PopulationEstimator(std::move(owned));
 }
 
+Result<PopulationEstimator> PopulationEstimator::Build(
+    const tweetdb::TweetDataset& dataset, ThreadPool* pool,
+    tweetdb::ScanStatistics* scan_stats) {
+  if (dataset.num_shards() == 1) {
+    return Build(dataset.shard(0), pool, scan_stats);
+  }
+  geo::BoundingBox bounds = geo::AustraliaBoundingBox();
+
+  if (pool != nullptr && dataset.fully_sealed()) {
+    // (shard, block)-parallel gather into per-global-block buffers; the
+    // merge walks global blocks in order, so the index contents are fixed
+    // for any thread count.
+    const size_t num_blocks = dataset.num_blocks();
+    std::vector<std::vector<geo::IndexedPoint>> per_block(num_blocks);
+    std::vector<geo::BoundingBox> per_block_bounds(num_blocks, bounds);
+    const tweetdb::ScanSpec match_all;
+    tweetdb::ScanStatistics stats = tweetdb::ParallelScanDataset(
+        dataset, match_all, *pool,
+        [&per_block, &per_block_bounds](size_t b, const tweetdb::Tweet& t) {
+          per_block[b].push_back(geo::IndexedPoint{t.pos, t.user_id});
+          per_block_bounds[b].ExtendToInclude(t.pos);
+        });
+    if (scan_stats != nullptr) *scan_stats = stats;
+
+    for (const geo::BoundingBox& bb : per_block_bounds) {
+      bounds.ExtendToInclude(geo::LatLon{bb.min_lat, bb.min_lon});
+      bounds.ExtendToInclude(geo::LatLon{bb.max_lat, bb.max_lon});
+    }
+    auto index = geo::GridIndex::Create(bounds, kIndexCellDegrees);
+    if (!index.ok()) return index.status();
+    auto owned = std::make_unique<geo::GridIndex>(std::move(*index));
+    for (const std::vector<geo::IndexedPoint>& points : per_block) {
+      owned->InsertAll(points);
+    }
+    return PopulationEstimator(std::move(owned));
+  }
+
+  dataset.ForEachRow(
+      [&bounds](const tweetdb::Tweet& t) { bounds.ExtendToInclude(t.pos); });
+  auto index = geo::GridIndex::Create(bounds, kIndexCellDegrees);
+  if (!index.ok()) return index.status();
+  auto owned = std::make_unique<geo::GridIndex>(std::move(*index));
+  dataset.ForEachRow([&owned](const tweetdb::Tweet& t) {
+    owned->Insert(geo::IndexedPoint{t.pos, t.user_id});
+  });
+  if (scan_stats != nullptr) {
+    *scan_stats = tweetdb::ScanStatistics{};
+    scan_stats->blocks_total = dataset.num_blocks();
+    scan_stats->rows_scanned = dataset.num_rows();
+    scan_stats->rows_matched = dataset.num_rows();
+  }
+  return PopulationEstimator(std::move(owned));
+}
+
 size_t PopulationEstimator::CountUniqueUsers(const geo::LatLon& center,
                                              double radius_m) const {
   std::unordered_set<uint64_t> users;

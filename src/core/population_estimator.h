@@ -56,6 +56,16 @@ class PopulationEstimator {
       const tweetdb::TweetTable& table, ThreadPool* pool = nullptr,
       tweetdb::ScanStatistics* scan_stats = nullptr);
 
+  /// Cross-shard build: indexes every tweet of a partitioned dataset. With
+  /// a pool and fully-sealed shards, rows are gathered with a (shard,
+  /// block)-parallel scan merged in global block order; a single-shard
+  /// dataset delegates to the table build exactly. Counting queries are
+  /// insertion-order-independent, so estimates are byte-identical for any
+  /// shard count.
+  static Result<PopulationEstimator> Build(
+      const tweetdb::TweetDataset& dataset, ThreadPool* pool = nullptr,
+      tweetdb::ScanStatistics* scan_stats = nullptr);
+
   /// Distinct users with at least one tweet within radius_m of `center`.
   size_t CountUniqueUsers(const geo::LatLon& center, double radius_m) const;
 

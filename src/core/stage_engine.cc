@@ -1,6 +1,8 @@
 #include "core/stage_engine.h"
 
+#include <algorithm>
 #include <iterator>
+#include <string>
 #include <utility>
 
 #include "common/time_util.h"
@@ -71,14 +73,26 @@ class SynthesizeStage : public Stage {
   Status Run(AnalysisContext&, PipelineState& state, StageRecord& record) override {
     auto generator = synth::TweetGenerator::Create(state.config.corpus);
     if (!generator.ok()) return generator.status();
+    // Streaming ingest: user batches are routed into the time shards as
+    // they are generated; the full corpus is never materialised outside
+    // the dataset.
+    const size_t shards = std::max<size_t>(1, state.config.num_shards);
+    const tweetdb::PartitionSpec partition =
+        shards > 1 ? tweetdb::PartitionSpec::ForWindow(
+                         state.config.corpus.window_start,
+                         state.config.corpus.window_end, shards)
+                   : tweetdb::PartitionSpec::Single();
     synth::GenerationReport report;
-    auto table = generator->Generate(&report);
-    if (!table.ok()) return table.status();
-    state.owned_table = std::move(*table);
-    state.external_table = nullptr;
+    auto dataset = generator->GenerateDataset(partition, &report);
+    if (!dataset.ok()) return dataset.status();
+    state.dataset = std::move(*dataset);
     state.result.generation = report;
     record.AddCounter("users", static_cast<int64_t>(report.num_users));
     record.AddCounter("tweets", static_cast<int64_t>(report.num_tweets));
+    if (state.dataset.num_shards() > 1) {
+      record.AddCounter("shards",
+                        static_cast<int64_t>(state.dataset.num_shards()));
+    }
     return Status::OK();
   }
 };
@@ -90,13 +104,31 @@ class CompactStage : public Stage {
     return kName;
   }
 
-  Status Run(AnalysisContext&, PipelineState& state, StageRecord& record) override {
-    tweetdb::TweetTable& table = state.table();
-    const bool already_sorted = table.sorted_by_user_time();
-    if (!already_sorted) table.CompactByUserTime();
-    record.AddCounter("rows", static_cast<int64_t>(table.num_rows()));
-    record.AddCounter("blocks", static_cast<int64_t>(table.num_blocks()));
+  Status Run(AnalysisContext& ctx, PipelineState& state,
+             StageRecord& record) override {
+    tweetdb::TweetDataset& dataset = state.dataset;
+    const bool already_sorted = dataset.sorted_by_user_time();
+    std::vector<double> per_shard_seconds;
+    if (!already_sorted) dataset.CompactShards(&ctx.pool(), &per_shard_seconds);
+    record.AddCounter("rows", static_cast<int64_t>(dataset.num_rows()));
+    record.AddCounter("blocks", static_cast<int64_t>(dataset.num_blocks()));
     record.AddCounter("already_sorted", already_sorted ? 1 : 0);
+    // Per-shard compaction rows, only when actually partitioned — the
+    // single-shard trace keeps its historical shape.
+    if (dataset.num_shards() > 1) {
+      record.AddCounter("shards", static_cast<int64_t>(dataset.num_shards()));
+      for (size_t s = 0; s < dataset.num_shards(); ++s) {
+        StageRecord sub;
+        sub.name = name() + "/shard" + std::to_string(dataset.shard_key(s));
+        sub.wall_seconds =
+            s < per_shard_seconds.size() ? per_shard_seconds[s] : 0.0;
+        sub.AddCounter("rows", static_cast<int64_t>(dataset.shard(s).num_rows()));
+        sub.AddCounter("blocks",
+                       static_cast<int64_t>(dataset.shard(s).num_blocks()));
+        ctx.trace().Append(sub);
+        state.result.trace.Append(std::move(sub));
+      }
+    }
     return Status::OK();
   }
 };
@@ -112,12 +144,29 @@ class IndexStage : public Stage {
              StageRecord& record) override {
     tweetdb::ScanStatistics scan;
     auto estimator =
-        PopulationEstimator::Build(state.table(), &ctx.pool(), &scan);
+        PopulationEstimator::Build(state.dataset, &ctx.pool(), &scan);
     if (!estimator.ok()) return estimator.status();
     state.estimator = std::move(*estimator);
     record.SetScan(scan);
     record.AddCounter("indexed_tweets",
                       static_cast<int64_t>(state.estimator->num_indexed_tweets()));
+    // Per-shard scan rows, only when actually partitioned.
+    if (state.dataset.num_shards() > 1) {
+      for (size_t s = 0; s < state.dataset.num_shards(); ++s) {
+        const tweetdb::TweetTable& shard = state.dataset.shard(s);
+        StageRecord sub;
+        sub.name =
+            name() + "/shard" + std::to_string(state.dataset.shard_key(s));
+        tweetdb::ScanStatistics shard_scan;
+        shard_scan.blocks_total = shard.num_blocks();
+        shard_scan.rows_scanned = shard.num_rows();
+        shard_scan.rows_matched = shard.num_rows();
+        sub.SetScan(shard_scan);
+        sub.AddCounter("rows", static_cast<int64_t>(shard.num_rows()));
+        ctx.trace().Append(sub);
+        state.result.trace.Append(std::move(sub));
+      }
+    }
     return Status::OK();
   }
 };
@@ -175,9 +224,9 @@ class TripsStage : public Stage {
     ScaleMobilityResult scale_result;
     scale_result.scale_name = spec.name;
     scale_result.radius_m = spec.radius_m;
-    auto od = mobility::ExtractTripsParallel(state.table(), spec.areas,
-                                             spec.radius_m, ctx.pool(),
-                                             &scale_result.extraction);
+    auto od = mobility::ExtractTripsDataset(state.dataset, spec.areas,
+                                            spec.radius_m, ctx.pool(),
+                                            &scale_result.extraction);
     if (!od.ok()) return od.status();
 
     PipelineState::ScaleWork work;
@@ -193,7 +242,7 @@ class TripsStage : public Stage {
     // The extraction is itself a full storage scan; surface it alongside
     // the extraction counters.
     tweetdb::ScanStatistics scan;
-    scan.blocks_total = state.table().num_blocks();
+    scan.blocks_total = state.dataset.num_blocks();
     scan.rows_scanned = scale_result.extraction.tweets_seen;
     scan.rows_matched = scale_result.extraction.tweets_in_some_area;
     record.SetScan(scan);
@@ -285,17 +334,30 @@ StageList StageEngine::AnalysisStages(const PipelineConfig& config) {
 
 Status StageEngine::Run(AnalysisContext& ctx, const StageList& stages,
                         PipelineState& state) {
+  // Adopt a caller-supplied table as a single-shard dataset for the run
+  // (blocks and sort flag preserved exactly — the bytes the monolithic
+  // path analysed) and hand it back afterwards, even when a stage fails,
+  // so callers can inspect or reuse the compacted table.
+  tweetdb::TweetTable* external = state.external_table;
+  if (external != nullptr) {
+    state.dataset = tweetdb::TweetDataset::FromTable(std::move(*external));
+  }
+  Status status = Status::OK();
   for (const std::unique_ptr<Stage>& stage : stages) {
     StageRecord record;
     record.name = stage->name();
     const double t0 = MonotonicSeconds();
-    Status status = stage->Run(ctx, state, record);
+    status = stage->Run(ctx, state, record);
     record.wall_seconds = MonotonicSeconds() - t0;
     ctx.trace().Append(record);
     state.result.trace.Append(std::move(record));
-    if (!status.ok()) return status;
+    if (!status.ok()) break;
   }
-  return Status::OK();
+  if (external != nullptr) {
+    *external = std::move(state.dataset).ReleaseTable();
+    state.dataset = tweetdb::TweetDataset();
+  }
+  return status;
 }
 
 std::vector<double> CountAreaMasses(const PopulationEstimator& estimator,

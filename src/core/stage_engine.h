@@ -9,6 +9,8 @@
 #include "common/status.h"
 #include "core/analysis_context.h"
 #include "core/pipeline.h"
+#include "tweetdb/dataset.h"
+#include "tweetdb/table.h"
 
 namespace twimob::core {
 
@@ -22,15 +24,16 @@ struct PipelineState {
 
   PipelineConfig config;
 
-  /// Caller-supplied table (RunOnTable-style runs). When null, the
-  /// `synthesize` stage generates into `owned_table`.
+  /// Caller-supplied table (RunOnTable-style runs). When non-null,
+  /// StageEngine::Run adopts it into `dataset` as a single shard for the
+  /// run and hands it back — compacted — when the run finishes (also on
+  /// stage failure), so callers can inspect or reuse it.
   tweetdb::TweetTable* external_table = nullptr;
-  tweetdb::TweetTable owned_table;
 
-  /// The table this run analyses.
-  tweetdb::TweetTable& table() {
-    return external_table != nullptr ? *external_table : owned_table;
-  }
+  /// The partitioned store this run analyses: filled by the `synthesize`
+  /// stage (streaming ingest, config.num_shards time shards) or adopted
+  /// from `external_table` by the engine.
+  tweetdb::TweetDataset dataset;
 
   /// Filled by the `index` stage; later stages require it.
   std::optional<PopulationEstimator> estimator;

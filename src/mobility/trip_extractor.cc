@@ -89,6 +89,27 @@ void MergeStats(const ExtractionStats& from, ExtractionStats* into) {
   into->gap_filtered_pairs += from.gap_filtered_pairs;
 }
 
+/// Feeds `user`'s rows of `table` starting at (block, row) into `acc`,
+/// following the run across block boundaries until the user changes.
+void FeedRun(const tweetdb::TweetTable& table, size_t block, size_t row,
+             uint64_t user, TripAccumulator& acc) {
+  for (size_t b = block; b < table.num_blocks(); ++b) {
+    const tweetdb::Block& blk = table.block(b);
+    const size_t n = blk.num_rows();
+    for (size_t i = (b == block ? row : 0); i < n; ++i) {
+      const tweetdb::Tweet t = blk.GetRow(i);
+      if (t.user_id != user) return;
+      acc.Process(t);
+    }
+  }
+}
+
+/// True iff `user` has at least one row in the compacted `table`.
+bool ContainsUser(const tweetdb::TweetTable& table, uint64_t user) {
+  const auto [b, r] = table.LowerBoundUser(user);
+  return b < table.num_blocks() && table.block(b).GetRow(r).user_id == user;
+}
+
 }  // namespace
 
 std::optional<size_t> AssignToArea(const geo::LatLon& pos,
@@ -195,6 +216,125 @@ Result<OdMatrix> ExtractTripsParallel(const tweetdb::TweetTable& table,
     for (size_t i = 0; i < n; ++i) {
       for (size_t j = 0; j < n; ++j) {
         const double flow = partial[b]->Flow(i, j);
+        if (flow > 0.0) merged->AddFlow(i, j, flow);
+      }
+    }
+  }
+  if (stats != nullptr) *stats = total;
+  return std::move(*merged);
+}
+
+Result<OdMatrix> ExtractTripsDataset(const tweetdb::TweetDataset& dataset,
+                                     const std::vector<census::Area>& areas,
+                                     double radius_m, ThreadPool& pool,
+                                     ExtractionStats* stats,
+                                     const TripOptions& options) {
+  if (dataset.num_shards() == 1) {
+    // The single-shard layout must reproduce the monolithic path exactly.
+    return ExtractTripsParallel(dataset.shard(0), areas, radius_m, pool, stats,
+                                options);
+  }
+  if (areas.empty()) {
+    return Status::InvalidArgument("ExtractTrips requires at least one area");
+  }
+  if (!(radius_m > 0.0)) {
+    return Status::InvalidArgument("ExtractTrips requires a positive radius");
+  }
+  if (options.max_gap_seconds < 0) {
+    return Status::InvalidArgument("ExtractTrips requires max_gap_seconds >= 0");
+  }
+  if (dataset.num_shards() == 0) {
+    if (stats != nullptr) *stats = ExtractionStats{};
+    return OdMatrix::Create(areas.size());
+  }
+  if (!dataset.sorted_by_user_time() || !dataset.fully_sealed()) {
+    return Status::FailedPrecondition(
+        "ExtractTripsDataset requires every shard compacted by (user, time); "
+        "call CompactShards() first");
+  }
+
+  // Fixed chunking by (shard, block) in shard-key-major order.
+  const size_t num_shards = dataset.num_shards();
+  std::vector<std::pair<size_t, size_t>> chunks;
+  chunks.reserve(dataset.num_blocks());
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (size_t b = 0; b < dataset.shard(s).num_blocks(); ++b) {
+      chunks.emplace_back(s, b);
+    }
+  }
+
+  std::vector<std::unique_ptr<OdMatrix>> partial(chunks.size());
+  std::vector<ExtractionStats> partial_stats(chunks.size());
+
+  pool.ParallelFor(chunks.size(), [&](size_t g) {
+    const auto [s, b] = chunks[g];
+    const tweetdb::TweetTable& table = dataset.shard(s);
+    const tweetdb::Block& block = table.block(b);
+    const size_t rows = block.num_rows();
+    if (rows == 0) return;
+
+    // Head rows continuing the previous non-empty block's last run belong
+    // to that run's owner within this shard.
+    size_t start = 0;
+    for (size_t pb = b; pb-- > 0;) {
+      const tweetdb::Block& prev = table.block(pb);
+      if (prev.num_rows() == 0) continue;
+      const uint64_t boundary_user = prev.GetRow(prev.num_rows() - 1).user_id;
+      while (start < rows && block.GetRow(start).user_id == boundary_user) {
+        ++start;
+      }
+      break;
+    }
+    if (start == rows) return;
+
+    auto od = OdMatrix::Create(areas.size());  // cannot fail: areas validated
+    TripAccumulator acc(areas, radius_m, options, &*od);
+    bool fed_any = false;
+    size_t i = start;
+    while (i < rows) {
+      const uint64_t user = block.GetRow(i).user_id;
+      // This chunk owns the run iff the user appears in no earlier shard
+      // (time partitioning puts a user's earliest rows in their first
+      // shard, which is where their global run starts).
+      bool owned = true;
+      for (size_t ps = 0; ps < s; ++ps) {
+        if (ContainsUser(dataset.shard(ps), user)) {
+          owned = false;
+          break;
+        }
+      }
+      if (owned) {
+        FeedRun(table, b, i, user, acc);
+        for (size_t ns = s + 1; ns < num_shards; ++ns) {
+          const tweetdb::TweetTable& next = dataset.shard(ns);
+          const auto [nb, nr] = next.LowerBoundUser(user);
+          if (nb < next.num_blocks() &&
+              next.block(nb).GetRow(nr).user_id == user) {
+            FeedRun(next, nb, nr, user, acc);
+          }
+        }
+        fed_any = true;
+      }
+      while (i < rows && block.GetRow(i).user_id == user) ++i;
+    }
+    if (!fed_any) return;
+
+    partial_stats[g] = acc.stats();
+    partial[g] = std::make_unique<OdMatrix>(std::move(*od));
+  });
+
+  // Ordered merge in global (shard, block) order — identical totals for
+  // any thread count.
+  auto merged = OdMatrix::Create(areas.size());
+  if (!merged.ok()) return merged.status();
+  ExtractionStats total;
+  const size_t n = areas.size();
+  for (size_t g = 0; g < chunks.size(); ++g) {
+    MergeStats(partial_stats[g], &total);
+    if (partial[g] == nullptr) continue;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        const double flow = partial[g]->Flow(i, j);
         if (flow > 0.0) merged->AddFlow(i, j, flow);
       }
     }

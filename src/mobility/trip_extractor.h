@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "mobility/od_matrix.h"
+#include "tweetdb/dataset.h"
 #include "tweetdb/table.h"
 
 namespace twimob::mobility {
@@ -66,6 +67,23 @@ Result<OdMatrix> ExtractTripsParallel(const tweetdb::TweetTable& table,
                                       double radius_m, ThreadPool& pool,
                                       ExtractionStats* stats = nullptr,
                                       const TripOptions& options = TripOptions{});
+
+/// Cross-shard ExtractTripsParallel over a time-partitioned dataset. Every
+/// shard must be compacted by (user, time) and sealed. Because the shards
+/// partition time, a user's merged row sequence is their per-shard runs in
+/// shard-key order; a task owns the user runs starting in its (shard,
+/// block) chunk whose user appears in no earlier shard, and follows each
+/// owned run through later blocks and later shards (located by zone-map
+/// binary search). Partial OD matrices and counters merge in global
+/// (shard, block) order, so the result is byte-identical to a single
+/// globally-compacted table's extraction for any thread count and any
+/// shard count. A single-shard dataset delegates to ExtractTripsParallel
+/// exactly.
+Result<OdMatrix> ExtractTripsDataset(const tweetdb::TweetDataset& dataset,
+                                     const std::vector<census::Area>& areas,
+                                     double radius_m, ThreadPool& pool,
+                                     ExtractionStats* stats = nullptr,
+                                     const TripOptions& options = TripOptions{});
 
 }  // namespace twimob::mobility
 

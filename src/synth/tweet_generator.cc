@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "geo/bbox.h"
@@ -129,13 +130,13 @@ size_t TweetGenerator::SampleNextLocation(const UserProfile& profile, size_t cur
   return count - 1;
 }
 
-Result<tweetdb::TweetTable> TweetGenerator::Generate(GenerationReport* report) {
+Status TweetGenerator::GenerateBatches(const BatchSink& sink,
+                                       GenerationReport* report) {
   random::Xoshiro256 rng(config_.seed);
   const geo::BoundingBox study_box = geo::AustraliaBoundingBox();
   const double window =
       static_cast<double>(config_.window_end - config_.window_start);
 
-  tweetdb::TweetTable table;
   GenerationReport rep;
   rep.alpha_used = user_model_->alpha();
   rep.num_users = config_.num_users;
@@ -145,6 +146,7 @@ Result<tweetdb::TweetTable> TweetGenerator::Generate(GenerationReport* report) {
   size_t waiting_count = 0;
 
   std::vector<double> waits;
+  std::vector<tweetdb::Tweet> batch;
   for (uint64_t u = 0; u < config_.num_users; ++u) {
     const uint64_t user_id = u + 1;  // ids are 1-based; 0 is reserved
     UserProfile profile = GenerateUserProfile(user_id, rng);
@@ -176,6 +178,8 @@ Result<tweetdb::TweetTable> TweetGenerator::Generate(GenerationReport* report) {
                rng.NextDouble() * (window - total_span);
 
     // Markov walk over the user's location set; locations[0] is home.
+    batch.clear();
+    batch.reserve(n);
     size_t current = 0;
     for (size_t k = 0; k < n; ++k) {
       tweetdb::Tweet tweet;
@@ -196,7 +200,7 @@ Result<tweetdb::TweetTable> TweetGenerator::Generate(GenerationReport* report) {
           tweet.pos.lon = base.lon + dx / geo::MetersPerDegreeLon(base.lat);
         }
       } while (!tweet.pos.IsValid());
-      TWIMOB_RETURN_IF_ERROR(table.Append(tweet));
+      batch.push_back(tweet);
 
       if (k + 1 < n) {
         t += waits[k];
@@ -205,6 +209,8 @@ Result<tweetdb::TweetTable> TweetGenerator::Generate(GenerationReport* report) {
         }
       }
     }
+    rep.num_tweets += batch.size();
+    TWIMOB_RETURN_IF_ERROR(sink(batch));
 
     // Tail statistics for Table I.
     if (n > 50) ++rep.users_over_50;
@@ -213,7 +219,6 @@ Result<tweetdb::TweetTable> TweetGenerator::Generate(GenerationReport* report) {
     if (n > 1000) ++rep.users_over_1000;
   }
 
-  rep.num_tweets = table.num_rows();
   rep.mean_tweets_per_user =
       static_cast<double>(rep.num_tweets) / static_cast<double>(rep.num_users);
   rep.mean_waiting_hours =
@@ -221,7 +226,26 @@ Result<tweetdb::TweetTable> TweetGenerator::Generate(GenerationReport* report) {
   rep.mean_locations_per_user =
       total_locations / static_cast<double>(config_.num_users);
   if (report != nullptr) *report = rep;
-  return table;
+  return Status::OK();
+}
+
+Result<tweetdb::TweetDataset> TweetGenerator::GenerateDataset(
+    const tweetdb::PartitionSpec& partition, GenerationReport* report) {
+  tweetdb::TweetDataset dataset(partition);
+  TWIMOB_RETURN_IF_ERROR(GenerateBatches(
+      [&dataset](const std::vector<tweetdb::Tweet>& batch) {
+        return dataset.AppendBatch(batch);
+      },
+      report));
+  return dataset;
+}
+
+Result<tweetdb::TweetTable> TweetGenerator::Generate(GenerationReport* report) {
+  // The single partition routes every batch to one shard, whose table is
+  // byte-for-byte what the pre-streaming generator built.
+  TWIMOB_ASSIGN_OR_RETURN(tweetdb::TweetDataset dataset,
+                          GenerateDataset(tweetdb::PartitionSpec::Single(), report));
+  return std::move(dataset).ReleaseTable();
 }
 
 }  // namespace twimob::synth

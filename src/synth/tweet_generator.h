@@ -2,13 +2,16 @@
 #define TWIMOB_SYNTH_TWEET_GENERATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "common/result.h"
 #include "common/time_util.h"
 #include "random/distributions.h"
 #include "synth/mobility_ground_truth.h"
 #include "synth/user_model.h"
+#include "tweetdb/dataset.h"
 #include "tweetdb/table.h"
 
 namespace twimob::synth {
@@ -80,6 +83,22 @@ class TweetGenerator {
 
   TweetGenerator(TweetGenerator&&) noexcept = default;
   TweetGenerator& operator=(TweetGenerator&&) noexcept = default;
+
+  /// A batch sink for streaming generation: receives one bounded batch of
+  /// rows at a time (one user's tweets, time-sorted) and may route them
+  /// anywhere. Returning a non-OK status aborts generation.
+  using BatchSink = std::function<Status(const std::vector<tweetdb::Tweet>&)>;
+
+  /// Streaming core: generates the corpus user by user, handing each
+  /// user's tweets to `sink` as one batch — the full corpus is never
+  /// materialised by the generator. Deterministic for a fixed config.
+  Status GenerateBatches(const BatchSink& sink, GenerationReport* report = nullptr);
+
+  /// Streaming ingest into a time-partitioned dataset: batches are routed
+  /// to shards by timestamp as they are emitted. With the single (default)
+  /// partition this produces byte-for-byte the table Generate() builds.
+  Result<tweetdb::TweetDataset> GenerateDataset(
+      const tweetdb::PartitionSpec& partition, GenerationReport* report = nullptr);
 
   /// Generates the full corpus into a fresh table (rows in user-major
   /// order; callers typically CompactByUserTime afterwards — generation

@@ -1,14 +1,33 @@
 #include "tweetdb/binary_codec.h"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "common/string_util.h"
 #include "tweetdb/encoding.h"
 
 namespace twimob::tweetdb {
 
 namespace {
 constexpr char kMagic[4] = {'T', 'W', 'D', 'B'};
+constexpr char kManifestMagic[4] = {'T', 'W', 'D', 'M'};
+// Decode guard: no real dataset needs more shards than this; a corrupt
+// count must fail fast instead of driving a huge allocation.
+constexpr uint64_t kMaxManifestShards = 1u << 20;
+
+void PutDouble(std::string* dst, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+bool GetDouble(std::string_view* src, double* value) {
+  uint64_t bits;
+  if (!GetFixed64(src, &bits)) return false;
+  std::memcpy(value, &bits, sizeof(bits));
+  return true;
+}
 }  // namespace
 
 std::string EncodeTable(const TweetTable& table) {
@@ -90,6 +109,133 @@ Result<TweetTable> ReadBinaryFile(const std::string& path) {
   if (!in && !in.eof()) return Status::IOError("read failed: " + path);
   const std::string bytes = ss.str();
   return DecodeTable(bytes);
+}
+
+std::string EncodeManifest(const Manifest& manifest) {
+  std::string out;
+  out.append(kManifestMagic, 4);
+  PutFixed32(&out, kBinaryFormatVersion);
+  PutFixed64(&out, static_cast<uint64_t>(manifest.partition.origin));
+  PutFixed64(&out, static_cast<uint64_t>(manifest.partition.width_seconds));
+  PutFixed64(&out, manifest.shards.size());
+  for (const ShardSummary& s : manifest.shards) {
+    PutFixed64(&out, static_cast<uint64_t>(s.key));
+    PutFixed64(&out, s.num_rows);
+    PutFixed64(&out, s.min_user);
+    PutFixed64(&out, s.max_user);
+    PutFixed64(&out, static_cast<uint64_t>(s.min_time));
+    PutFixed64(&out, static_cast<uint64_t>(s.max_time));
+    PutDouble(&out, s.bbox.min_lat);
+    PutDouble(&out, s.bbox.min_lon);
+    PutDouble(&out, s.bbox.max_lat);
+    PutDouble(&out, s.bbox.max_lon);
+  }
+  return out;
+}
+
+Result<Manifest> DecodeManifest(std::string_view bytes) {
+  if (bytes.size() < 4 || std::string_view(bytes.data(), 4) !=
+                              std::string_view(kManifestMagic, 4)) {
+    return Status::IOError("bad magic: not a twimob dataset manifest");
+  }
+  bytes.remove_prefix(4);
+  Manifest manifest;
+  if (!GetFixed32(&bytes, &manifest.format_version)) {
+    return Status::IOError("truncated manifest header");
+  }
+  if (manifest.format_version != kBinaryFormatVersion) {
+    return Status::IOError("unsupported manifest format version " +
+                           std::to_string(manifest.format_version));
+  }
+  uint64_t origin, width, shard_count;
+  if (!GetFixed64(&bytes, &origin) || !GetFixed64(&bytes, &width) ||
+      !GetFixed64(&bytes, &shard_count)) {
+    return Status::IOError("truncated manifest header");
+  }
+  manifest.partition.origin = static_cast<int64_t>(origin);
+  manifest.partition.width_seconds = static_cast<int64_t>(width);
+  if (manifest.partition.width_seconds < 0) {
+    return Status::IOError("manifest partition width is negative");
+  }
+  if (shard_count > kMaxManifestShards) {
+    return Status::IOError("implausible manifest shard count " +
+                           std::to_string(shard_count));
+  }
+  manifest.shards.reserve(shard_count);
+  for (uint64_t i = 0; i < shard_count; ++i) {
+    ShardSummary s;
+    uint64_t key, min_time, max_time;
+    if (!GetFixed64(&bytes, &key) || !GetFixed64(&bytes, &s.num_rows) ||
+        !GetFixed64(&bytes, &s.min_user) || !GetFixed64(&bytes, &s.max_user) ||
+        !GetFixed64(&bytes, &min_time) || !GetFixed64(&bytes, &max_time) ||
+        !GetDouble(&bytes, &s.bbox.min_lat) ||
+        !GetDouble(&bytes, &s.bbox.min_lon) ||
+        !GetDouble(&bytes, &s.bbox.max_lat) ||
+        !GetDouble(&bytes, &s.bbox.max_lon)) {
+      return Status::IOError("truncated manifest: shard " + std::to_string(i) +
+                             " of " + std::to_string(shard_count));
+    }
+    s.key = static_cast<int64_t>(key);
+    s.min_time = static_cast<int64_t>(min_time);
+    s.max_time = static_cast<int64_t>(max_time);
+    if (!manifest.shards.empty() && manifest.shards.back().key >= s.key) {
+      if (manifest.shards.back().key == s.key) {
+        return Status::IOError("duplicate shard key " + std::to_string(s.key));
+      }
+      return Status::IOError("manifest shard keys out of order");
+    }
+    manifest.shards.push_back(s);
+  }
+  if (!bytes.empty()) {
+    return Status::IOError("trailing bytes after the last manifest entry");
+  }
+  return manifest;
+}
+
+std::string ShardFilePath(const std::string& manifest_path, int64_t key) {
+  return StrFormat("%s.shard-%lld", manifest_path.c_str(),
+                   static_cast<long long>(key));
+}
+
+Status WriteDatasetFiles(TweetDataset& dataset, const std::string& path) {
+  dataset.SealAll();
+  Manifest manifest = dataset.BuildManifest();
+  manifest.format_version = kBinaryFormatVersion;
+  const std::string bytes = EncodeManifest(manifest);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  for (size_t i = 0; i < dataset.num_shards(); ++i) {
+    TWIMOB_RETURN_IF_ERROR(WriteBinaryFile(
+        dataset.mutable_shard(i), ShardFilePath(path, dataset.shard_key(i))));
+  }
+  return Status::OK();
+}
+
+Result<TweetDataset> ReadDatasetFiles(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (!in && !in.eof()) return Status::IOError("read failed: " + path);
+  auto manifest = DecodeManifest(ss.str());
+  if (!manifest.ok()) return manifest.status();
+
+  TweetDataset dataset(manifest->partition);
+  for (const ShardSummary& s : manifest->shards) {
+    auto table = ReadBinaryFile(ShardFilePath(path, s.key));
+    if (!table.ok()) return table.status();
+    if (table->num_rows() != s.num_rows) {
+      return Status::IOError(StrFormat(
+          "shard %lld row count mismatch: manifest says %llu, file has %zu",
+          static_cast<long long>(s.key),
+          static_cast<unsigned long long>(s.num_rows), table->num_rows()));
+    }
+    TWIMOB_RETURN_IF_ERROR(dataset.AdoptShard(s.key, std::move(*table)));
+  }
+  return dataset;
 }
 
 }  // namespace twimob::tweetdb

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "tweetdb/dataset.h"
 #include "tweetdb/table.h"
 
 namespace twimob::tweetdb {
@@ -16,8 +17,13 @@ namespace twimob::tweetdb {
 /// or fixed-width bit packing — whichever is smaller for the block.
 /// Compact (~6–8 bytes/row on the synthetic corpus) and loss-free at the
 /// store's fixed-point coordinate resolution.
+///
+/// Version 3 adds the partitioned-dataset container: a manifest file
+/// ("TWDM" magic) describing the partition spec and one zone-map summary
+/// per shard, alongside one table file ("TWDB") per shard. Table files are
+/// otherwise unchanged from version 2 (same block encoding).
 
-inline constexpr uint32_t kBinaryFormatVersion = 2;
+inline constexpr uint32_t kBinaryFormatVersion = 3;
 
 /// Serialises the table into a byte string (active tail is NOT included;
 /// callers seal first — WriteBinaryFile does).
@@ -47,6 +53,35 @@ struct TableDescription {
 /// Encodes the table's sealed blocks and reports size statistics (seal the
 /// active tail first to account for every row).
 TableDescription DescribeTable(const TweetTable& table);
+
+/// Manifest file format (little-endian):
+///   magic "TWDM" (4 bytes) | version fixed32 | partition origin fixed64 |
+///   partition width fixed64 | shard count fixed64 | per shard:
+///   key fixed64 | rows fixed64 | min/max user fixed64 | min/max time
+///   fixed64 | bbox 4 x double (IEEE-754 bits, fixed64).
+/// Shards must appear in strictly ascending key order; duplicates are a
+/// decode error.
+
+/// Serialises a manifest into a byte string.
+std::string EncodeManifest(const Manifest& manifest);
+
+/// Decodes a manifest, validating magic, version, shard-count sanity and
+/// key ordering. Never crashes on malformed input.
+Result<Manifest> DecodeManifest(std::string_view bytes);
+
+/// The shard file path of `key` for a dataset rooted at `manifest_path`
+/// (e.g. "corpus.twdb" -> "corpus.twdb.shard-<key>").
+std::string ShardFilePath(const std::string& manifest_path, int64_t key);
+
+/// Seals the dataset and writes its manifest to `path` plus one table file
+/// per shard at ShardFilePath(path, key).
+Status WriteDatasetFiles(TweetDataset& dataset, const std::string& path);
+
+/// Reads a dataset previously written by WriteDatasetFiles: decodes the
+/// manifest, loads every shard file, and verifies each shard's row count
+/// against its manifest entry. Any mismatch, truncation, version skew or
+/// duplicate key is a Status error — never a crash.
+Result<TweetDataset> ReadDatasetFiles(const std::string& path);
 
 }  // namespace twimob::tweetdb
 

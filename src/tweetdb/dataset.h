@@ -1,0 +1,224 @@
+#ifndef TWIMOB_TWEETDB_DATASET_H_
+#define TWIMOB_TWEETDB_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "geo/bbox.h"
+#include "tweetdb/table.h"
+
+namespace twimob::tweetdb {
+
+/// How a dataset maps row timestamps to shard partition keys: fixed-width
+/// time windows anchored at `origin`. Key k covers
+/// [origin + k*width_seconds, origin + (k+1)*width_seconds). A width of 0
+/// means "unpartitioned" — every row maps to key 0 (the single-shard
+/// layout, byte-identical to the monolithic TweetTable path).
+struct PartitionSpec {
+  int64_t origin = 0;
+  int64_t width_seconds = 0;
+
+  /// The partition key of a timestamp (floor division; negative offsets
+  /// map to negative keys, so out-of-window rows still route somewhere).
+  int64_t KeyForTime(int64_t timestamp) const;
+
+  /// The unpartitioned spec (everything in shard 0).
+  static PartitionSpec Single();
+
+  /// Splits [start, end) into `num_shards` equal windows (the last window
+  /// absorbs the rounding remainder). `num_shards` 0 behaves as 1.
+  static PartitionSpec ForWindow(int64_t start, int64_t end, size_t num_shards);
+
+  friend bool operator==(const PartitionSpec& a, const PartitionSpec& b) {
+    return a.origin == b.origin && a.width_seconds == b.width_seconds;
+  }
+};
+
+/// Manifest entry for one shard: its partition key, row count, and the
+/// shard-level zone map (the union of the shard's block zone maps), which
+/// lets readers prune whole shard files without opening them.
+struct ShardSummary {
+  int64_t key = 0;
+  uint64_t num_rows = 0;
+  uint64_t min_user = 0;
+  uint64_t max_user = 0;
+  int64_t min_time = 0;
+  int64_t max_time = 0;
+  geo::BoundingBox bbox;
+};
+
+/// On-disk description of a partitioned dataset: the format version, the
+/// partition scheme, and one summary per shard in ascending key order.
+/// Encoded/decoded by the binary codec (binary_codec.h).
+struct Manifest {
+  uint32_t format_version = 0;  ///< kBinaryFormatVersion at write time
+  PartitionSpec partition;
+  std::vector<ShardSummary> shards;
+};
+
+/// A set of time-partitioned shards, each an independent TweetTable.
+///
+/// The dataset is the unit the pipeline analyses: ingest routes rows to
+/// shards by timestamp, compaction sorts each shard independently (and in
+/// parallel), and the cross-shard iteration/scan helpers below present the
+/// shards as one logical store. Because shards partition *time* and each
+/// shard is compacted by (user, time, lat, lon) — a total order — the
+/// k-way merged row sequence is exactly the sequence a single compacted
+/// table would produce, which is what makes analysis results independent
+/// of the shard count.
+class TweetDataset {
+ public:
+  explicit TweetDataset(PartitionSpec partition = PartitionSpec::Single(),
+                        size_t block_capacity = kDefaultBlockCapacity);
+
+  TweetDataset(TweetDataset&&) noexcept = default;
+  TweetDataset& operator=(TweetDataset&&) noexcept = default;
+  TweetDataset(const TweetDataset&) = delete;
+  TweetDataset& operator=(const TweetDataset&) = delete;
+
+  /// Appends one validated row to the shard owning its timestamp, creating
+  /// the shard on first use. Invalid rows are rejected with InvalidArgument.
+  Status Append(const Tweet& tweet);
+
+  /// Appends a batch of rows (the streaming-ingest unit — generators emit
+  /// bounded batches instead of materializing the corpus).
+  Status AppendBatch(const std::vector<Tweet>& batch);
+
+  const PartitionSpec& partition() const { return partition_; }
+  size_t block_capacity() const { return block_capacity_; }
+
+  /// Total rows across all shards.
+  size_t num_rows() const;
+  /// Total sealed blocks across all shards.
+  size_t num_blocks() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  /// Shards are held in ascending partition-key order.
+  int64_t shard_key(size_t i) const { return shards_[i].key; }
+  const TweetTable& shard(size_t i) const { return shards_[i].table; }
+  TweetTable& mutable_shard(size_t i) { return shards_[i].table; }
+
+  /// Seals every shard's active tail.
+  void SealAll();
+  /// True when every shard is fully sealed (vacuously true when empty).
+  bool fully_sealed() const;
+
+  /// Compacts every shard by (user, time); with a pool the shards compact
+  /// in parallel (each shard is independent, so the result is identical
+  /// for any thread count). `per_shard_seconds`, when non-null, receives
+  /// one wall time per shard in shard order.
+  void CompactShards(ThreadPool* pool = nullptr,
+                     std::vector<double>* per_shard_seconds = nullptr);
+
+  /// True when every shard is compacted by (user, time).
+  bool sorted_by_user_time() const;
+
+  /// Invokes `fn(const Tweet&)` for every row in storage order: shards in
+  /// ascending key order, each in its own block order.
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    for (const Shard& s : shards_) s.table.ForEachRow(fn);
+  }
+
+  /// Invokes `fn(const Tweet&)` for every row in global (user, time, lat,
+  /// lon) order via a k-way merge of the shards — the cross-shard per-user
+  /// iteration. Requires every shard compacted and sealed; the merged
+  /// sequence equals what one globally compacted table would store.
+  template <typename Fn>
+  void ForEachRowMerged(Fn&& fn) const;
+
+  /// Distinct user count across all shards.
+  size_t CountDistinctUsers() const;
+
+  /// The manifest describing the current shards (seal first so the zone
+  /// maps cover every row). `format_version` is filled by the codec.
+  Manifest BuildManifest() const;
+
+  /// Wraps an existing table as a dataset. With the default single
+  /// partition the table becomes shard 0 wholesale — blocks, sort flag and
+  /// bytes preserved exactly. With a real partition spec the rows are
+  /// re-routed (re-ingested) into time shards.
+  static TweetDataset FromTable(TweetTable table,
+                                PartitionSpec partition = PartitionSpec::Single());
+
+  /// Moves the data back out as one table. For a single shard this is the
+  /// exact inverse of FromTable (no copy); for multiple sorted shards the
+  /// rows k-way merge into one compacted table.
+  TweetTable ReleaseTable() &&;
+
+  /// Internal: adopts a fully-built shard under `key` (used by the binary
+  /// codec). Rejects duplicate keys.
+  Status AdoptShard(int64_t key, TweetTable table);
+
+ private:
+  struct Shard {
+    int64_t key = 0;
+    TweetTable table;
+  };
+
+  /// The shard owning `key`, created (in sorted position) on first use.
+  TweetTable& ShardForKey(int64_t key);
+
+  PartitionSpec partition_;
+  size_t block_capacity_;
+  std::vector<Shard> shards_;  ///< ascending key order
+};
+
+template <typename Fn>
+void TweetDataset::ForEachRowMerged(Fn&& fn) const {
+  // Cursors over the shards, min-heap ordered by (user, time, lat, lon).
+  // Ties across shards break by shard order; fully equal rows are
+  // interchangeable, and rows with equal (user, time) but different
+  // coordinates are totally ordered by UserTimeLess, so the sequence is a
+  // deterministic total order.
+  struct Cursor {
+    const TweetTable* table;
+    size_t shard_idx;
+    size_t block = 0;
+    size_t row = 0;
+
+    bool AtEnd() const { return block >= table->num_blocks(); }
+    Tweet Get() const { return table->block(block).GetRow(row); }
+    void Advance() {
+      ++row;
+      while (block < table->num_blocks() &&
+             row >= table->block(block).num_rows()) {
+        ++block;
+        row = 0;
+      }
+    }
+  };
+
+  std::vector<Cursor> cursors;
+  cursors.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Cursor c{&shards_[s].table, s};
+    if (!c.AtEnd() && c.table->block(0).num_rows() == 0) c.Advance();
+    if (!c.AtEnd()) cursors.push_back(c);
+  }
+  auto cursor_greater = [](const Cursor& a, const Cursor& b) {
+    const Tweet ta = a.Get();
+    const Tweet tb = b.Get();
+    if (UserTimeLess(tb, ta)) return true;
+    if (UserTimeLess(ta, tb)) return false;
+    return a.shard_idx > b.shard_idx;
+  };
+  std::make_heap(cursors.begin(), cursors.end(), cursor_greater);
+  while (!cursors.empty()) {
+    std::pop_heap(cursors.begin(), cursors.end(), cursor_greater);
+    Cursor& top = cursors.back();
+    fn(top.Get());
+    top.Advance();
+    if (top.AtEnd()) {
+      cursors.pop_back();
+    } else {
+      std::push_heap(cursors.begin(), cursors.end(), cursor_greater);
+    }
+  }
+}
+
+}  // namespace twimob::tweetdb
+
+#endif  // TWIMOB_TWEETDB_DATASET_H_

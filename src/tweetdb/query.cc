@@ -55,4 +55,17 @@ ScanStatistics ParallelCountMatching(const TweetTable& table, const ScanSpec& sp
   return stats;
 }
 
+ScanStatistics ParallelCountMatchingDataset(const TweetDataset& dataset,
+                                            const ScanSpec& spec,
+                                            ThreadPool& pool, size_t* count) {
+  std::vector<size_t> per_block(dataset.num_blocks(), 0);
+  ScanStatistics stats = ParallelScanDataset(
+      dataset, spec, pool,
+      [&per_block](size_t block, const Tweet&) { ++per_block[block]; });
+  size_t total = 0;
+  for (size_t c : per_block) total += c;
+  *count = total;
+  return stats;
+}
+
 }  // namespace twimob::tweetdb

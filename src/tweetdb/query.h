@@ -6,6 +6,7 @@
 
 #include "common/thread_pool.h"
 #include "geo/bbox.h"
+#include "tweetdb/dataset.h"
 #include "tweetdb/table.h"
 
 namespace twimob::tweetdb {
@@ -107,6 +108,78 @@ ScanStatistics ParallelScanTable(const TweetTable& table, const ScanSpec& spec,
 /// Parallel count of matching rows.
 ScanStatistics ParallelCountMatching(const TweetTable& table, const ScanSpec& spec,
                                      ThreadPool& pool, size_t* count);
+
+/// Serial cross-shard scan: shards are visited in ascending key order, each
+/// with the block-pruned ScanTable path; `fn(const Tweet&)` runs on every
+/// match. Statistics merge across shards.
+template <typename Fn>
+ScanStatistics ScanDataset(const TweetDataset& dataset, const ScanSpec& spec,
+                           Fn&& fn) {
+  ScanStatistics total;
+  for (size_t s = 0; s < dataset.num_shards(); ++s) {
+    const ScanStatistics stats = ScanTable(dataset.shard(s), spec, fn);
+    total.blocks_total += stats.blocks_total;
+    total.blocks_pruned += stats.blocks_pruned;
+    total.rows_scanned += stats.rows_scanned;
+    total.rows_matched += stats.rows_matched;
+  }
+  return total;
+}
+
+/// Data-parallel cross-shard scan. Chunking is fixed by (shard, block):
+/// every sealed block of every shard gets a global index in (shard key,
+/// block) order and `fn` is invoked as fn(global_block_index, const Tweet&)
+/// for every match. `fn` MUST be safe to call concurrently from different
+/// blocks (e.g. write into per-global-block slots). The merge of the
+/// statistics runs in global block order, so results are identical for any
+/// thread count, and a single-shard dataset reproduces ParallelScanTable
+/// exactly.
+template <typename Fn>
+ScanStatistics ParallelScanDataset(const TweetDataset& dataset,
+                                   const ScanSpec& spec, ThreadPool& pool,
+                                   Fn&& fn) {
+  // Global block index -> (shard, block) map, in shard-major order.
+  std::vector<std::pair<size_t, size_t>> block_map;
+  block_map.reserve(dataset.num_blocks());
+  for (size_t s = 0; s < dataset.num_shards(); ++s) {
+    for (size_t b = 0; b < dataset.shard(s).num_blocks(); ++b) {
+      block_map.emplace_back(s, b);
+    }
+  }
+  std::vector<ScanStatistics> per_block(block_map.size());
+  pool.ParallelFor(block_map.size(), [&](size_t g) {
+    const auto [s, b] = block_map[g];
+    const TweetTable& table = dataset.shard(s);
+    ScanStatistics& stats = per_block[g];
+    if (!spec.MayMatchBlock(table.block_stats(b))) {
+      ++stats.blocks_pruned;
+      return;
+    }
+    const Block& block = table.block(b);
+    const size_t n = block.num_rows();
+    for (size_t i = 0; i < n; ++i) {
+      ++stats.rows_scanned;
+      Tweet t = block.GetRow(i);
+      if (spec.Matches(t)) {
+        ++stats.rows_matched;
+        fn(g, t);
+      }
+    }
+  });
+  ScanStatistics total;
+  total.blocks_total = block_map.size();
+  for (const ScanStatistics& s : per_block) {
+    total.blocks_pruned += s.blocks_pruned;
+    total.rows_scanned += s.rows_scanned;
+    total.rows_matched += s.rows_matched;
+  }
+  return total;
+}
+
+/// Parallel cross-shard count of matching rows.
+ScanStatistics ParallelCountMatchingDataset(const TweetDataset& dataset,
+                                            const ScanSpec& spec,
+                                            ThreadPool& pool, size_t* count);
 
 /// Materialises the rows matching `spec` into a fresh table, preserving
 /// scan order. When the source is compacted by (user, time) the result is

@@ -132,6 +132,29 @@ TweetTable TweetTable::Merge(std::vector<TweetTable> tables,
   return merged;
 }
 
+std::pair<size_t, size_t> TweetTable::LowerBoundUser(uint64_t user) const {
+  TWIMOB_DCHECK(fully_sealed());
+  // Zone maps order blocks by max_user in a compacted table; find the
+  // first block that can contain `user` or anything greater.
+  size_t lo = 0, hi = blocks_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (blocks_[mid].stats.max_user < user) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  for (size_t b = lo; b < blocks_.size(); ++b) {
+    const std::vector<uint64_t>& users = blocks_[b].block.user_ids();
+    auto it = std::lower_bound(users.begin(), users.end(), user);
+    if (it != users.end()) {
+      return {b, static_cast<size_t>(it - users.begin())};
+    }
+  }
+  return {blocks_.size(), 0};
+}
+
 void TweetTable::AdoptSealedBlock(Block block) {
   if (block.empty()) return;
   StoredBlock sb;

@@ -2,6 +2,7 @@
 #define TWIMOB_TWEETDB_TABLE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -76,6 +77,14 @@ class TweetTable {
 
   /// Internal: appends an already-sealed block (used by the binary codec).
   void AdoptSealedBlock(Block block);
+
+  /// Position of the first row whose user_id is >= `user`, as a
+  /// (block, row) pair, or (num_blocks(), 0) when every row is smaller.
+  /// Requires a fully-sealed table compacted by (user, time); zone maps
+  /// narrow the search to one block boundary, then the user column is
+  /// binary-searched. The cross-shard iteration uses this to locate a
+  /// user's run in each shard without scanning.
+  std::pair<size_t, size_t> LowerBoundUser(uint64_t user) const;
 
   /// K-way merges tables into one compacted-by-(user,time) table — the
   /// multi-collection ingestion path (e.g. combining monthly corpora).

@@ -153,6 +153,84 @@ TEST(PipelineConfigTest, RunOnTableCompactsWhenNeeded) {
   EXPECT_EQ(run->population.size(), 3u);
 }
 
+TEST(PipelineShardingTest, ResultsInvariantAcrossShardCounts) {
+  // The same seed analysed as 1, 4 and 16 time shards must produce
+  // byte-identical results end to end — population counts, extracted
+  // trips, and fitted model parameters (DESIGN.md §3.2).
+  PipelineConfig config;
+  config.corpus.num_users = 4000;
+  config.corpus.seed = 99;
+
+  config.num_shards = 1;
+  auto baseline = Pipeline::Run(config);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  for (size_t shards : {4u, 16u}) {
+    config.num_shards = shards;
+    auto run = Pipeline::Run(config);
+    ASSERT_TRUE(run.ok()) << run.status();
+
+    EXPECT_EQ(run->generation.num_tweets, baseline->generation.num_tweets);
+    ASSERT_EQ(run->population.size(), baseline->population.size());
+    for (size_t s = 0; s < baseline->population.size(); ++s) {
+      const auto& pa = baseline->population[s];
+      const auto& pb = run->population[s];
+      ASSERT_EQ(pa.areas.size(), pb.areas.size());
+      for (size_t i = 0; i < pa.areas.size(); ++i) {
+        EXPECT_EQ(pa.areas[i].unique_users, pb.areas[i].unique_users)
+            << shards << " shards, scale " << s << " area " << i;
+        EXPECT_EQ(pa.areas[i].tweet_count, pb.areas[i].tweet_count);
+      }
+      EXPECT_EQ(pa.correlation.r, pb.correlation.r);
+    }
+    ASSERT_EQ(run->mobility.size(), baseline->mobility.size());
+    for (size_t s = 0; s < baseline->mobility.size(); ++s) {
+      const auto& ma = baseline->mobility[s];
+      const auto& mb = run->mobility[s];
+      EXPECT_EQ(ma.extraction.tweets_seen, mb.extraction.tweets_seen);
+      EXPECT_EQ(ma.extraction.consecutive_pairs, mb.extraction.consecutive_pairs);
+      EXPECT_EQ(ma.extraction.inter_area_trips, mb.extraction.inter_area_trips);
+      ASSERT_EQ(ma.observations.size(), mb.observations.size());
+      for (size_t i = 0; i < ma.observations.size(); ++i) {
+        EXPECT_EQ(ma.observations[i].src, mb.observations[i].src);
+        EXPECT_EQ(ma.observations[i].dst, mb.observations[i].dst);
+        EXPECT_EQ(ma.observations[i].flow, mb.observations[i].flow);
+      }
+      ASSERT_EQ(ma.models.size(), mb.models.size());
+      for (size_t m = 0; m < ma.models.size(); ++m) {
+        EXPECT_EQ(ma.models[m].metrics.pearson_r, mb.models[m].metrics.pearson_r);
+        EXPECT_EQ(ma.models[m].alpha, mb.models[m].alpha);
+        EXPECT_EQ(ma.models[m].beta, mb.models[m].beta);
+        EXPECT_EQ(ma.models[m].gamma, mb.models[m].gamma);
+      }
+    }
+  }
+}
+
+TEST(PipelineShardingTest, PerShardTraceRowsOnlyWhenPartitioned) {
+  PipelineConfig config;
+  config.corpus.num_users = 2000;
+  config.corpus.seed = 17;
+  config.run_mobility = false;
+
+  auto single = Pipeline::Run(config);
+  ASSERT_TRUE(single.ok());
+  for (const StageRecord& r : single->trace.stages()) {
+    EXPECT_EQ(r.name.find("/shard"), std::string::npos) << r.name;
+  }
+
+  config.num_shards = 4;
+  auto sharded = Pipeline::Run(config);
+  ASSERT_TRUE(sharded.ok());
+  size_t compact_subs = 0, index_subs = 0;
+  for (const StageRecord& r : sharded->trace.stages()) {
+    if (r.name.rfind("compact/shard", 0) == 0) ++compact_subs;
+    if (r.name.rfind("index/shard", 0) == 0) ++index_subs;
+  }
+  EXPECT_GT(compact_subs, 1u);
+  EXPECT_EQ(compact_subs, index_subs);
+}
+
 TEST(PipelineIntegrationTest, CsvRoundTripPreservesAnalysis) {
   // End-to-end through the interchange format: generate → CSV → ingest →
   // analyse must agree with analysing the generated table directly

@@ -2,6 +2,8 @@
 // crash, hang, or return success with an inconsistent table — the contract
 // a storage layer owes its callers.
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -9,6 +11,7 @@
 #include "random/rng.h"
 #include "tweetdb/binary_codec.h"
 #include "tweetdb/block.h"
+#include "tweetdb/dataset.h"
 #include "tweetdb/table.h"
 
 namespace twimob::tweetdb {
@@ -90,6 +93,133 @@ TEST(CorruptionTest, GarbageWithValidHeaderNeverCrashes) {
     auto decoded = DecodeTable(bytes);
     (void)decoded;  // must simply not crash or hang
   }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest (v3 partitioned-dataset container) corruption properties.
+
+TweetDataset SmallDataset(uint64_t seed) {
+  random::Xoshiro256 rng(seed);
+  TweetDataset dataset(PartitionSpec{0, 250000}, 128);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(dataset
+                    .Append(Tweet{rng.NextUint64(50) + 1,
+                                  static_cast<int64_t>(rng.NextUint64(1000000)),
+                                  geo::LatLon{rng.NextUniform(-44, -10),
+                                              rng.NextUniform(113, 154)}})
+                    .ok());
+  }
+  dataset.SealAll();
+  EXPECT_GT(dataset.num_shards(), 1u);
+  return dataset;
+}
+
+std::string SmallManifestBytes(uint64_t seed) {
+  TweetDataset dataset = SmallDataset(seed);
+  Manifest manifest = dataset.BuildManifest();
+  return EncodeManifest(manifest);
+}
+
+TEST(ManifestCorruptionTest, TruncationsAtEveryPrefixAreErrors) {
+  const std::string bytes = SmallManifestBytes(7);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto decoded = DecodeManifest(std::string_view(bytes.data(), cut));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << cut << " bytes decoded";
+  }
+  EXPECT_TRUE(DecodeManifest(bytes).ok());
+}
+
+TEST(ManifestCorruptionTest, VersionSkewRejected) {
+  std::string bytes = SmallManifestBytes(8);
+  bytes[4] = 99;  // little-endian fixed32 version field follows the magic
+  auto decoded = DecodeManifest(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos);
+}
+
+TEST(ManifestCorruptionTest, DuplicateShardKeysRejected) {
+  Manifest manifest;
+  manifest.partition = PartitionSpec{0, 1000};
+  ShardSummary s;
+  s.key = 3;
+  s.num_rows = 1;
+  manifest.shards.push_back(s);
+  manifest.shards.push_back(s);  // duplicate key 3
+  auto decoded = DecodeManifest(EncodeManifest(manifest));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(ManifestCorruptionTest, OutOfOrderShardKeysRejected) {
+  Manifest manifest;
+  manifest.partition = PartitionSpec{0, 1000};
+  ShardSummary a, b;
+  a.key = 5;
+  b.key = 2;
+  manifest.shards.push_back(a);
+  manifest.shards.push_back(b);
+  EXPECT_FALSE(DecodeManifest(EncodeManifest(manifest)).ok());
+}
+
+TEST(ManifestCorruptionTest, TrailingBytesRejected) {
+  std::string bytes = SmallManifestBytes(9);
+  bytes.push_back('\x01');
+  EXPECT_FALSE(DecodeManifest(bytes).ok());
+}
+
+TEST(ManifestCorruptionTest, SingleByteFlipsNeverCrash) {
+  const std::string bytes = SmallManifestBytes(10);
+  random::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string corrupted = bytes;
+    const size_t pos = rng.NextUint64(corrupted.size());
+    corrupted[pos] ^= static_cast<char>(1 + rng.NextUint64(255));
+    auto decoded = DecodeManifest(corrupted);
+    (void)decoded;  // must simply not crash or hang
+  }
+}
+
+TEST(ManifestCorruptionTest, ImplausibleShardCountFailsFast) {
+  // A header claiming 2^40 shards must fail fast, not allocate.
+  Manifest manifest;
+  manifest.partition = PartitionSpec{0, 1000};
+  std::string bytes = EncodeManifest(manifest);
+  const uint64_t huge = 1ULL << 40;
+  // Shard count is the third fixed64 after magic+version (offset 4+4+8+8).
+  for (int i = 0; i < 8; ++i) {
+    bytes[24 + i] = static_cast<char>((huge >> (8 * i)) & 0xFF);
+  }
+  auto decoded = DecodeManifest(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("implausible"), std::string::npos);
+}
+
+TEST(ManifestCorruptionTest, ShardRowCountMismatchRejectedOnRead) {
+  const std::string path =
+      testing::TempDir() + "/twimob_manifest_mismatch.twdb";
+  TweetDataset dataset = SmallDataset(12);
+  ASSERT_TRUE(WriteDatasetFiles(dataset, path).ok());
+  ASSERT_TRUE(ReadDatasetFiles(path).ok());
+
+  // Tamper the manifest: claim one extra row in the first shard.
+  Manifest manifest = dataset.BuildManifest();
+  manifest.shards[0].num_rows += 1;
+  const std::string bytes = EncodeManifest(manifest);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  auto reread = ReadDatasetFiles(path);
+  ASSERT_FALSE(reread.ok());
+  EXPECT_NE(reread.status().message().find("mismatch"), std::string::npos);
+}
+
+TEST(ManifestCorruptionTest, MissingShardFileIsAnError) {
+  const std::string path = testing::TempDir() + "/twimob_manifest_missing.twdb";
+  TweetDataset dataset = SmallDataset(13);
+  ASSERT_TRUE(WriteDatasetFiles(dataset, path).ok());
+  std::remove(ShardFilePath(path, dataset.shard_key(0)).c_str());
+  EXPECT_FALSE(ReadDatasetFiles(path).ok());
 }
 
 TEST(CorruptionTest, BlockDecodeRejectsHugeRowCountClaims) {
