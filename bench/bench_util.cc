@@ -1,5 +1,6 @@
 #include "bench_util.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -21,6 +22,102 @@ uint64_t EnvOr(const char* name, uint64_t fallback) {
 }
 
 }  // namespace
+
+JsonWriter& JsonWriter::BeginObject(const std::string& key) {
+  Prefix(key);
+  out_ += '{';
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  has_elements_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray(const std::string& key) {
+  Prefix(key);
+  out_ += '[';
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  has_elements_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(const std::string& key, double value) {
+  Prefix(key);
+  // %.17g round-trips every finite double; JSON has no NaN/Inf literal.
+  if (std::isfinite(value)) {
+    out_ += StrFormat("%.17g", value);
+  } else {
+    out_ += "null";
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(const std::string& key, uint64_t value) {
+  Prefix(key);
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(const std::string& key, bool value) {
+  Prefix(key);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Field(const std::string& key, const std::string& value) {
+  Prefix(key);
+  out_ += '"';
+  for (const char c : value) {
+    if (c == '"' || c == '\\') {
+      out_ += '\\';
+      out_ += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out_ += StrFormat("\\u%04x", static_cast<unsigned>(c));
+    } else {
+      out_ += c;
+    }
+  }
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) { return Field("", v); }
+JsonWriter& JsonWriter::Value(uint64_t v) { return Field("", v); }
+JsonWriter& JsonWriter::Value(const std::string& v) { return Field("", v); }
+
+void JsonWriter::Prefix(const std::string& key) {
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) out_ += ',';
+    has_elements_.back() = true;
+  }
+  if (!key.empty()) {
+    out_ += '"';
+    out_ += key;  // keys are programmer-chosen identifiers, no escaping needed
+    out_ += "\":";
+  }
+}
+
+Status JsonWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("JsonWriter: cannot open " + path);
+  }
+  const size_t written = std::fwrite(out_.data(), 1, out_.size(), f);
+  const bool nl = std::fputc('\n', f) != EOF;
+  const bool closed = std::fclose(f) == 0;
+  if (written != out_.size() || !nl || !closed) {
+    return Status::IOError("JsonWriter: short write to " + path);
+  }
+  return Status::OK();
+}
 
 size_t BenchUserCount() {
   // Paper scale by default (Table I: 473,956 unique users).

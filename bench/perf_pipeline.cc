@@ -8,6 +8,10 @@
 //      byte-identical results, including on a multi-shard dataset;
 //   2. shard-count invariance — Pipeline::Run at a fixed seed produces
 //      byte-identical results for 1, 4 and 16 time shards.
+//
+// `--json <path>` additionally writes the machine-readable profile
+// (per-stage wall times, thread/shard counts, speedup ratios, corpus size,
+// storage format version, verdicts) for the CI artifact upload.
 
 #include <algorithm>
 #include <cstdio>
@@ -18,6 +22,7 @@
 #include "common/table_printer.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "tweetdb/binary_codec.h"
 
 namespace twimob {
 namespace {
@@ -86,7 +91,7 @@ bool ResultsIdentical(const core::PipelineResult& a,
   return true;
 }
 
-int Run() {
+int Run(const char* json_path) {
   auto table = bench::LoadOrGenerateCorpus();
   if (!table.ok()) {
     std::fprintf(stderr, "corpus failed: %s\n", table.status().ToString().c_str());
@@ -139,12 +144,47 @@ int Run() {
     }
   }
   std::printf("%s", tp.ToString().c_str());
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "pipeline");
+  json.BeginObject("corpus")
+      .Field("users", bench::BenchUserCount())
+      .Field("tweets", table->num_rows())
+      .Field("seed", bench::BenchSeed())
+      .Field("format_version", static_cast<uint64_t>(tweetdb::kBinaryFormatVersion))
+      .EndObject();
+  json.BeginObject("threads")
+      .Field("serial", uint64_t{1})
+      .Field("pooled", pooled_ctx.num_threads())
+      .EndObject();
+  json.BeginArray("stages");
+  for (const core::StageRecord& r : serial_state.result.trace.stages()) {
+    if (r.name.find('/') != std::string::npos) continue;  // per-model subs
+    const core::StageRecord* p = pooled_state.result.trace.Find(r.name);
+    if (p == nullptr) continue;
+    json.BeginObject()
+        .Field("name", r.name)
+        .Field("serial_ms", r.wall_seconds * 1e3)
+        .Field("pooled_ms", p->wall_seconds * 1e3)
+        .Field("speedup",
+               p->wall_seconds > 0.0 ? r.wall_seconds / p->wall_seconds : 0.0)
+        .EndObject();
+  }
+  json.EndArray();
   std::printf("mobility stages (trips+fit): %.1f ms -> %.1f ms (%.2fx)\n",
               serial_mobility * 1e3, pooled_mobility * 1e3,
               pooled_mobility > 0.0 ? serial_mobility / pooled_mobility : 0.0);
   std::printf("end to end: %.1f ms -> %.1f ms (%.2fx)\n", serial_total * 1e3,
               pooled_total * 1e3,
               pooled_total > 0.0 ? serial_total / pooled_total : 0.0);
+
+  json.BeginObject("totals")
+      .Field("serial_ms", serial_total * 1e3)
+      .Field("pooled_ms", pooled_total * 1e3)
+      .Field("speedup", pooled_total > 0.0 ? serial_total / pooled_total : 0.0)
+      .Field("mobility_serial_ms", serial_mobility * 1e3)
+      .Field("mobility_pooled_ms", pooled_mobility * 1e3)
+      .EndObject();
 
   const bool identical =
       ResultsIdentical(serial_state.result, pooled_state.result);
@@ -198,10 +238,44 @@ int Run() {
       sharded_threads_invariant ? "IDENTICAL (contract holds)"
                                 : "DIFFERENT (BUG)");
 
+  json.BeginObject("shard_sweep")
+      .Field("users", shard_users)
+      .BeginArray("shard_counts")
+      .Value(uint64_t{1})
+      .Value(uint64_t{4})
+      .Value(uint64_t{16})
+      .EndArray()
+      .EndObject();
+  json.BeginObject("determinism")
+      .Field("thread_invariant", identical)
+      .Field("shard_invariant", shards_invariant)
+      .Field("sharded_thread_invariant", sharded_threads_invariant)
+      .EndObject();
+  json.EndObject();
+  if (json_path != nullptr) {
+    const Status written = json.WriteFile(json_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "json write failed: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[perf_pipeline] wrote %s\n", json_path);
+  }
+
   return (identical && shards_invariant && sharded_threads_invariant) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace twimob
 
-int main() { return twimob::Run(); }
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  return twimob::Run(json_path);
+}

@@ -1,109 +1,276 @@
-// Ablation A3 (google-benchmark): grid index vs k-d tree vs linear scan
-// for the ε-radius queries the population/mobility pipeline performs.
+// Ablation A3: spatial-index comparison for the ε-radius queries the
+// population pipeline performs — sealed CSR grid vs unsealed grid vs k-d
+// tree vs linear scan at the paper's radii (0.5 / 2 / 25 / 50 km), over a
+// clustered synthetic point set (default 1M points; override with
+// TWIMOB_SPATIAL_POINTS).
+//
+// Two verdicts are enforced by the exit code:
+//   1. byte identity — sealed QueryRadius returns exactly the unsealed
+//      index's points in the same order at every radius, and
+//      CountDistinctIds matches the hash-set count over the unsealed scan;
+//   2. speedup — at ε = 50 km on ≥ 1M points the sealed count must be at
+//      least 2x faster than the unsealed one (the interior-cell contract).
+//
+// `--json <path>` writes the machine-readable profile (per-query wall
+// times, speedups, interior/boundary cell breakdown, corpus size, storage
+// format version) for the CI artifact upload.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_set>
+#include <vector>
 
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/time_util.h"
+#include "geo/bbox.h"
 #include "geo/geodesic.h"
 #include "geo/grid_index.h"
 #include "geo/kdtree.h"
+#include "geo/sealed_grid_index.h"
 #include "random/rng.h"
+#include "tweetdb/binary_codec.h"
 
-namespace twimob::geo {
+namespace twimob {
 namespace {
 
-std::vector<IndexedPoint> RandomPoints(size_t n) {
+// Defeats dead-code elimination of the timed query results.
+volatile uint64_t g_sink = 0;
+
+size_t PointCount() {
+  const char* value = std::getenv("TWIMOB_SPATIAL_POINTS");
+  if (value == nullptr) return 1000000;
+  auto parsed = ParseInt64(value);
+  if (!parsed.ok() || *parsed <= 0) return 1000000;
+  return static_cast<size_t>(*parsed);
+}
+
+std::vector<geo::IndexedPoint> RandomPoints(size_t n) {
   random::Xoshiro256 rng(7);
-  std::vector<IndexedPoint> pts;
+  // ~13 points per id, mirroring the corpus' tweets-per-user ratio so the
+  // distinct-id queries exercise real duplicate merging.
+  const uint64_t num_ids = std::max<uint64_t>(1, n / 13);
+  std::vector<geo::IndexedPoint> pts;
   pts.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     // Clustered around Sydney with a broad national background, mimicking
     // the corpus distribution the pipeline actually queries.
     if (rng.NextBernoulli(0.6)) {
-      pts.push_back(IndexedPoint{
-          LatLon{-33.87 + rng.NextGaussian() * 0.3,
-                 151.21 + rng.NextGaussian() * 0.3},
-          i});
+      pts.push_back(geo::IndexedPoint{
+          geo::LatLon{-33.87 + rng.NextGaussian() * 0.3,
+                      151.21 + rng.NextGaussian() * 0.3},
+          i % num_ids});
     } else {
-      pts.push_back(IndexedPoint{LatLon{rng.NextUniform(-44.0, -10.0),
-                                        rng.NextUniform(113.0, 154.0)},
-                                 i});
+      pts.push_back(geo::IndexedPoint{
+          geo::LatLon{rng.NextUniform(-44.0, -10.0), rng.NextUniform(113.0, 154.0)},
+          i % num_ids});
     }
   }
   return pts;
 }
 
-const LatLon kQueryCenter{-33.8688, 151.2093};
+constexpr geo::LatLon kQueryCenter{-33.8688, 151.2093};
+constexpr double kRadiiMeters[] = {500.0, 2000.0, 25000.0, 50000.0};
+constexpr double kCellDegrees = 0.05;
 
-void BM_LinearRadius(benchmark::State& state) {
-  const auto pts = RandomPoints(static_cast<size_t>(state.range(0)));
-  const double radius = static_cast<double>(state.range(1));
-  for (auto _ : state) {
-    size_t count = 0;
-    for (const auto& p : pts) {
-      if (HaversineMeters(kQueryCenter, p.pos) <= radius) ++count;
+/// Mean wall time per call, microseconds. One warmup call, then repeats
+/// until at least `min_reps` calls and `min_seconds` of elapsed time.
+template <typename Fn>
+double TimePerCallUs(Fn&& fn, size_t min_reps = 5, double min_seconds = 0.05) {
+  g_sink = g_sink + fn();
+  size_t reps = 0;
+  const double t0 = MonotonicSeconds();
+  double elapsed = 0.0;
+  do {
+    g_sink = g_sink + fn();
+    ++reps;
+    elapsed = MonotonicSeconds() - t0;
+  } while (reps < min_reps || elapsed < min_seconds);
+  return elapsed / static_cast<double>(reps) * 1e6;
+}
+
+bool BitEq(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Byte identity: same points, same order, same coordinate bits.
+bool SamePoints(const std::vector<geo::IndexedPoint>& a,
+                const std::vector<geo::IndexedPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || !BitEq(a[i].pos.lat, b[i].pos.lat) ||
+        !BitEq(a[i].pos.lon, b[i].pos.lon)) {
+      return false;
     }
-    benchmark::DoNotOptimize(count);
   }
+  return true;
 }
-BENCHMARK(BM_LinearRadius)
-    ->Args({1000000, 2000})
-    ->Args({1000000, 50000});
 
-void BM_GridRadius(benchmark::State& state) {
-  const auto pts = RandomPoints(static_cast<size_t>(state.range(0)));
-  auto index = GridIndex::Create(AustraliaBoundingBox(), 0.05);
+size_t HashDistinctIds(const geo::GridIndex& index, const geo::LatLon& center,
+                       double radius_m) {
+  std::unordered_set<uint64_t> ids;
+  index.ForEachInRadius(center, radius_m,
+                        [&ids](const geo::IndexedPoint& p) { ids.insert(p.id); });
+  return ids.size();
+}
+
+int Run(const char* json_path) {
+  const size_t n = PointCount();
+  std::fprintf(stderr, "[perf_spatial] generating %zu points...\n", n);
+  const auto pts = RandomPoints(n);
+
+  double t = MonotonicSeconds();
+  auto index = geo::GridIndex::Create(geo::AustraliaBoundingBox(), kCellDegrees);
+  if (!index.ok()) {
+    std::fprintf(stderr, "grid create failed: %s\n",
+                 index.status().ToString().c_str());
+    return 1;
+  }
   index->InsertAll(pts);
-  const double radius = static_cast<double>(state.range(1));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(index->CountRadius(kQueryCenter, radius));
-  }
-}
-BENCHMARK(BM_GridRadius)
-    ->Args({1000000, 2000})
-    ->Args({1000000, 50000});
+  const double insert_ms = (MonotonicSeconds() - t) * 1e3;
 
-void BM_KdTreeRadius(benchmark::State& state) {
-  auto tree = KdTree::Build(RandomPoints(static_cast<size_t>(state.range(0))));
-  const double radius = static_cast<double>(state.range(1));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tree.CountRadius(kQueryCenter, radius));
-  }
-}
-BENCHMARK(BM_KdTreeRadius)
-    ->Args({1000000, 2000})
-    ->Args({1000000, 50000});
+  t = MonotonicSeconds();
+  const geo::SealedGridIndex sealed = index->Seal();
+  const double seal_ms = (MonotonicSeconds() - t) * 1e3;
 
-void BM_GridBuild(benchmark::State& state) {
-  const auto pts = RandomPoints(static_cast<size_t>(state.range(0)));
-  for (auto _ : state) {
-    auto index = GridIndex::Create(AustraliaBoundingBox(), 0.05);
-    index->InsertAll(pts);
-    benchmark::DoNotOptimize(index->size());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_GridBuild)->Arg(1000000);
+  t = MonotonicSeconds();
+  const geo::KdTree tree = geo::KdTree::Build(pts);
+  const double kdtree_build_ms = (MonotonicSeconds() - t) * 1e3;
 
-void BM_KdTreeBuild(benchmark::State& state) {
-  const auto pts = RandomPoints(static_cast<size_t>(state.range(0)));
-  for (auto _ : state) {
-    auto tree = KdTree::Build(pts);
-    benchmark::DoNotOptimize(tree.size());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_KdTreeBuild)->Arg(1000000);
+  std::printf("SPATIAL INDEX PERF — %zu points, cell %.2f°\n", n, kCellDegrees);
+  std::printf("build: insert %.1f ms, seal %.1f ms (%zu cells), k-d tree %.1f ms\n",
+              insert_ms, seal_ms, sealed.num_nonempty_cells(), kdtree_build_ms);
 
-void BM_KdTreeNearest(benchmark::State& state) {
-  auto tree = KdTree::Build(RandomPoints(1000000));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        tree.NearestNeighbors(kQueryCenter, static_cast<size_t>(state.range(0))));
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "spatial");
+  json.Field("num_points", n);
+  json.Field("cell_degrees", kCellDegrees);
+  json.Field("format_version", static_cast<uint64_t>(tweetdb::kBinaryFormatVersion));
+  json.BeginObject("build")
+      .Field("insert_ms", insert_ms)
+      .Field("seal_ms", seal_ms)
+      .Field("kdtree_build_ms", kdtree_build_ms)
+      .Field("nonempty_cells", sealed.num_nonempty_cells())
+      .EndObject();
+
+  TablePrinter tp({"Radius", "Count", "Unsealed", "Sealed", "KdTree", "Linear",
+                   "Speedup", "Interior cells"});
+  bool all_identical = true;
+  double speedup_50km = 0.0;
+  json.BeginArray("queries");
+  for (const double radius : kRadiiMeters) {
+    // Byte identity first: the sealed index must reproduce the unsealed
+    // query results exactly — points, order, and coordinate bits.
+    const bool identical =
+        SamePoints(index->QueryRadius(kQueryCenter, radius),
+                   sealed.QueryRadius(kQueryCenter, radius)) &&
+        index->CountRadius(kQueryCenter, radius) ==
+            sealed.CountRadius(kQueryCenter, radius) &&
+        HashDistinctIds(*index, kQueryCenter, radius) ==
+            sealed.CountDistinctIds(kQueryCenter, radius);
+    all_identical = all_identical && identical;
+
+    geo::RadiusQueryProfile profile;
+    const size_t count = sealed.CountRadiusProfiled(kQueryCenter, radius, &profile);
+
+    const double unsealed_us =
+        TimePerCallUs([&] { return index->CountRadius(kQueryCenter, radius); });
+    const double sealed_us =
+        TimePerCallUs([&] { return sealed.CountRadius(kQueryCenter, radius); });
+    const double kdtree_us =
+        TimePerCallUs([&] { return tree.CountRadius(kQueryCenter, radius); });
+    const double linear_us = TimePerCallUs(
+        [&] {
+          size_t c = 0;
+          for (const auto& p : pts) {
+            if (geo::HaversineMeters(kQueryCenter, p.pos) <= radius) ++c;
+          }
+          return c;
+        },
+        2, 0.02);
+    const double distinct_unsealed_us = TimePerCallUs(
+        [&] { return HashDistinctIds(*index, kQueryCenter, radius); }, 2, 0.02);
+    const double distinct_sealed_us = TimePerCallUs(
+        [&] { return sealed.CountDistinctIds(kQueryCenter, radius); }, 2, 0.02);
+
+    const double speedup = sealed_us > 0.0 ? unsealed_us / sealed_us : 0.0;
+    if (radius == 50000.0) speedup_50km = speedup;
+
+    tp.AddRow({StrFormat("%.1f km", radius / 1000.0), StrFormat("%zu", count),
+               StrFormat("%9.1f us", unsealed_us), StrFormat("%9.1f us", sealed_us),
+               StrFormat("%9.1f us", kdtree_us), StrFormat("%9.1f us", linear_us),
+               StrFormat("%.1fx", speedup),
+               StrFormat("%zu/%zu", profile.cells_interior,
+                         profile.cells_candidate)});
+
+    json.BeginObject()
+        .Field("radius_m", radius)
+        .Field("count", count)
+        .Field("unsealed_us", unsealed_us)
+        .Field("sealed_us", sealed_us)
+        .Field("kdtree_us", kdtree_us)
+        .Field("linear_us", linear_us)
+        .Field("distinct_unsealed_us", distinct_unsealed_us)
+        .Field("distinct_sealed_us", distinct_sealed_us)
+        .Field("speedup_sealed_vs_unsealed", speedup)
+        .Field("cells_candidate", profile.cells_candidate)
+        .Field("cells_interior", profile.cells_interior)
+        .Field("cells_boundary", profile.cells_boundary)
+        .Field("points_interior", profile.points_interior)
+        .Field("points_tested", profile.points_tested)
+        .Field("byte_identical", identical)
+        .EndObject();
   }
+  json.EndArray();
+  std::printf("%s", tp.ToString().c_str());
+
+  // The ≥2x acceptance gate only binds at the 1M-point scale the criterion
+  // names; smaller runs (CI smoke) report but do not enforce it.
+  const bool enforce_speedup = n >= 1000000;
+  const bool speedup_ok = !enforce_speedup || speedup_50km >= 2.0;
+  std::printf("BYTE IDENTITY: sealed vs unsealed query results %s\n",
+              all_identical ? "IDENTICAL (contract holds)" : "DIFFERENT (BUG)");
+  std::printf("SPEEDUP AT 50 km: %.1fx sealed vs unsealed%s\n", speedup_50km,
+              enforce_speedup ? (speedup_ok ? " (>= 2x gate PASSED)"
+                                            : " (>= 2x gate FAILED)")
+                              : " (gate not enforced below 1M points)");
+
+  json.BeginObject("verdict")
+      .Field("byte_identical", all_identical)
+      .Field("speedup_50km", speedup_50km)
+      .Field("speedup_gate_enforced", enforce_speedup)
+      .Field("speedup_gate_passed", speedup_ok)
+      .EndObject();
+  json.EndObject();
+  if (json_path != nullptr) {
+    const Status written = json.WriteFile(json_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "json write failed: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[perf_spatial] wrote %s\n", json_path);
+  }
+  std::fprintf(stderr, "[perf_spatial] sink %llu\n",
+               static_cast<unsigned long long>(g_sink));
+
+  return (all_identical && speedup_ok) ? 0 : 1;
 }
-BENCHMARK(BM_KdTreeNearest)->Arg(1)->Arg(20);
 
 }  // namespace
-}  // namespace twimob::geo
+}  // namespace twimob
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  return twimob::Run(json_path);
+}

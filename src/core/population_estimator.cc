@@ -1,7 +1,6 @@
 #include "core/population_estimator.h"
 
 #include <algorithm>
-#include <unordered_set>
 #include <utility>
 
 #include "geo/bbox.h"
@@ -43,20 +42,20 @@ Result<PopulationEstimator> PopulationEstimator::Build(
     }
     auto index = geo::GridIndex::Create(bounds, kIndexCellDegrees);
     if (!index.ok()) return index.status();
-    auto owned = std::make_unique<geo::GridIndex>(std::move(*index));
+    geo::GridIndex grid = std::move(*index);
     for (const std::vector<geo::IndexedPoint>& points : per_block) {
-      owned->InsertAll(points);
+      grid.InsertAll(points);
     }
-    return PopulationEstimator(std::move(owned));
+    return PopulationEstimator(std::make_unique<geo::SealedGridIndex>(grid.Seal()));
   }
 
   table.ForEachRow(
       [&bounds](const tweetdb::Tweet& t) { bounds.ExtendToInclude(t.pos); });
   auto index = geo::GridIndex::Create(bounds, kIndexCellDegrees);
   if (!index.ok()) return index.status();
-  auto owned = std::make_unique<geo::GridIndex>(std::move(*index));
-  table.ForEachRow([&owned](const tweetdb::Tweet& t) {
-    owned->Insert(geo::IndexedPoint{t.pos, t.user_id});
+  geo::GridIndex grid = std::move(*index);
+  table.ForEachRow([&grid](const tweetdb::Tweet& t) {
+    grid.Insert(geo::IndexedPoint{t.pos, t.user_id});
   });
   if (scan_stats != nullptr) {
     *scan_stats = tweetdb::ScanStatistics{};
@@ -64,7 +63,7 @@ Result<PopulationEstimator> PopulationEstimator::Build(
     scan_stats->rows_scanned = table.num_rows();
     scan_stats->rows_matched = table.num_rows();
   }
-  return PopulationEstimator(std::move(owned));
+  return PopulationEstimator(std::make_unique<geo::SealedGridIndex>(grid.Seal()));
 }
 
 Result<PopulationEstimator> PopulationEstimator::Build(
@@ -97,20 +96,20 @@ Result<PopulationEstimator> PopulationEstimator::Build(
     }
     auto index = geo::GridIndex::Create(bounds, kIndexCellDegrees);
     if (!index.ok()) return index.status();
-    auto owned = std::make_unique<geo::GridIndex>(std::move(*index));
+    geo::GridIndex grid = std::move(*index);
     for (const std::vector<geo::IndexedPoint>& points : per_block) {
-      owned->InsertAll(points);
+      grid.InsertAll(points);
     }
-    return PopulationEstimator(std::move(owned));
+    return PopulationEstimator(std::make_unique<geo::SealedGridIndex>(grid.Seal()));
   }
 
   dataset.ForEachRow(
       [&bounds](const tweetdb::Tweet& t) { bounds.ExtendToInclude(t.pos); });
   auto index = geo::GridIndex::Create(bounds, kIndexCellDegrees);
   if (!index.ok()) return index.status();
-  auto owned = std::make_unique<geo::GridIndex>(std::move(*index));
-  dataset.ForEachRow([&owned](const tweetdb::Tweet& t) {
-    owned->Insert(geo::IndexedPoint{t.pos, t.user_id});
+  geo::GridIndex grid = std::move(*index);
+  dataset.ForEachRow([&grid](const tweetdb::Tweet& t) {
+    grid.Insert(geo::IndexedPoint{t.pos, t.user_id});
   });
   if (scan_stats != nullptr) {
     *scan_stats = tweetdb::ScanStatistics{};
@@ -118,16 +117,12 @@ Result<PopulationEstimator> PopulationEstimator::Build(
     scan_stats->rows_scanned = dataset.num_rows();
     scan_stats->rows_matched = dataset.num_rows();
   }
-  return PopulationEstimator(std::move(owned));
+  return PopulationEstimator(std::make_unique<geo::SealedGridIndex>(grid.Seal()));
 }
 
 size_t PopulationEstimator::CountUniqueUsers(const geo::LatLon& center,
                                              double radius_m) const {
-  std::unordered_set<uint64_t> users;
-  index_->ForEachInRadius(center, radius_m, [&users](const geo::IndexedPoint& p) {
-    users.insert(p.id);
-  });
-  return users.size();
+  return index_->CountDistinctIds(center, radius_m);
 }
 
 size_t PopulationEstimator::CountTweets(const geo::LatLon& center,

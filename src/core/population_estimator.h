@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "core/scales.h"
 #include "geo/grid_index.h"
+#include "geo/sealed_grid_index.h"
 #include "stats/correlation.h"
 #include "tweetdb/query.h"
 #include "tweetdb/table.h"
@@ -67,6 +68,8 @@ class PopulationEstimator {
       tweetdb::ScanStatistics* scan_stats = nullptr);
 
   /// Distinct users with at least one tweet within radius_m of `center`.
+  /// Backed by the sealed index's hash-free interior-cell merge; boundary
+  /// cells fall back to sort-and-unique.
   size_t CountUniqueUsers(const geo::LatLon& center, double radius_m) const;
 
   /// Tweets within radius_m of `center`.
@@ -81,10 +84,12 @@ class PopulationEstimator {
   size_t num_indexed_tweets() const { return index_->size(); }
 
  private:
-  explicit PopulationEstimator(std::unique_ptr<geo::GridIndex> index)
+  explicit PopulationEstimator(std::unique_ptr<geo::SealedGridIndex> index)
       : index_(std::move(index)) {}
 
-  std::unique_ptr<geo::GridIndex> index_;
+  /// The build loads a mutable GridIndex and seals it: every query below
+  /// runs on the immutable CSR form (byte-identical to the unsealed index).
+  std::unique_ptr<geo::SealedGridIndex> index_;
 };
 
 /// Pools per-scale estimates into the paper's 60-sample comparison

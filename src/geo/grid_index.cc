@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "geo/geodesic.h"
+#include "geo/sealed_grid_index.h"
 
 namespace twimob::geo {
 
@@ -20,34 +22,15 @@ Result<GridIndex> GridIndex::Create(const BoundingBox& bounds, double cell_deg) 
   return GridIndex(bounds, cell_deg, cols);
 }
 
-int64_t GridIndex::CellKey(const LatLon& p) const {
-  const double lat = std::clamp(p.lat, bounds_.min_lat, bounds_.max_lat);
-  const double lon = std::clamp(p.lon, bounds_.min_lon, bounds_.max_lon);
-  const int64_t row = static_cast<int64_t>((lat - bounds_.min_lat) / cell_deg_);
-  int64_t col = static_cast<int64_t>((lon - bounds_.min_lon) / cell_deg_);
-  col = std::min(col, cols_ - 1);
-  return row * cols_ + col;
-}
-
-void GridIndex::CellRange(const BoundingBox& box, int64_t* row0, int64_t* row1,
-                          int64_t* col0, int64_t* col1) const {
-  const double lat0 = std::clamp(box.min_lat, bounds_.min_lat, bounds_.max_lat);
-  const double lat1 = std::clamp(box.max_lat, bounds_.min_lat, bounds_.max_lat);
-  const double lon0 = std::clamp(box.min_lon, bounds_.min_lon, bounds_.max_lon);
-  const double lon1 = std::clamp(box.max_lon, bounds_.min_lon, bounds_.max_lon);
-  *row0 = static_cast<int64_t>((lat0 - bounds_.min_lat) / cell_deg_);
-  *row1 = static_cast<int64_t>((lat1 - bounds_.min_lat) / cell_deg_);
-  *col0 = static_cast<int64_t>((lon0 - bounds_.min_lon) / cell_deg_);
-  *col1 = std::min(static_cast<int64_t>((lon1 - bounds_.min_lon) / cell_deg_),
-                   cols_ - 1);
-}
-
 void GridIndex::Insert(const IndexedPoint& point) {
   cells_[CellKey(point.pos)].push_back(point);
   ++size_;
 }
 
 void GridIndex::InsertAll(const std::vector<IndexedPoint>& points) {
+  // Real corpora put well over 8 points into the average occupied cell, so
+  // batch/8 buckets over-provisions; rehashing on growth stays the rare case.
+  cells_.reserve(cells_.size() + points.size() / 8 + 1);
   for (const auto& p : points) Insert(p);
 }
 
@@ -78,6 +61,62 @@ std::vector<IndexedPoint> GridIndex::QueryBox(const BoundingBox& box) const {
     }
   }
   return out;
+}
+
+SealedGridIndex GridIndex::Seal() const {
+  SealedGridIndex sealed;
+  sealed.bounds_ = bounds_;
+  sealed.cell_deg_ = cell_deg_;
+  sealed.cols_ = cols_;
+
+  const size_t num_cells = cells_.size();
+  sealed.cell_keys_.reserve(num_cells);
+  for (const auto& [key, points] : cells_) sealed.cell_keys_.push_back(key);
+  std::sort(sealed.cell_keys_.begin(), sealed.cell_keys_.end());
+
+  sealed.offsets_.reserve(num_cells + 1);
+  sealed.id_offsets_.reserve(num_cells + 1);
+  sealed.lats_.reserve(size_);
+  sealed.lons_.reserve(size_);
+  sealed.ids_.reserve(size_);
+  sealed.cell_min_lat_.reserve(num_cells);
+  sealed.cell_max_lat_.reserve(num_cells);
+  sealed.cell_min_lon_.reserve(num_cells);
+  sealed.cell_max_lon_.reserve(num_cells);
+
+  sealed.offsets_.push_back(0);
+  sealed.id_offsets_.push_back(0);
+  std::vector<uint64_t> cell_ids;
+  for (const int64_t key : sealed.cell_keys_) {
+    const std::vector<IndexedPoint>& points = cells_.at(key);
+    double min_lat = std::numeric_limits<double>::infinity();
+    double max_lat = -std::numeric_limits<double>::infinity();
+    double min_lon = std::numeric_limits<double>::infinity();
+    double max_lon = -std::numeric_limits<double>::infinity();
+    cell_ids.clear();
+    cell_ids.reserve(points.size());
+    for (const IndexedPoint& p : points) {
+      sealed.lats_.push_back(p.pos.lat);
+      sealed.lons_.push_back(p.pos.lon);
+      sealed.ids_.push_back(p.id);
+      min_lat = std::min(min_lat, p.pos.lat);
+      max_lat = std::max(max_lat, p.pos.lat);
+      min_lon = std::min(min_lon, p.pos.lon);
+      max_lon = std::max(max_lon, p.pos.lon);
+      cell_ids.push_back(p.id);
+    }
+    sealed.offsets_.push_back(sealed.ids_.size());
+    sealed.cell_min_lat_.push_back(min_lat);
+    sealed.cell_max_lat_.push_back(max_lat);
+    sealed.cell_min_lon_.push_back(min_lon);
+    sealed.cell_max_lon_.push_back(max_lon);
+    std::sort(cell_ids.begin(), cell_ids.end());
+    cell_ids.erase(std::unique(cell_ids.begin(), cell_ids.end()), cell_ids.end());
+    sealed.unique_ids_.insert(sealed.unique_ids_.end(), cell_ids.begin(),
+                              cell_ids.end());
+    sealed.id_offsets_.push_back(sealed.unique_ids_.size());
+  }
+  return sealed;
 }
 
 }  // namespace twimob::geo

@@ -1,6 +1,7 @@
 #ifndef TWIMOB_GEO_GRID_INDEX_H_
 #define TWIMOB_GEO_GRID_INDEX_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -12,12 +13,47 @@
 
 namespace twimob::geo {
 
+class SealedGridIndex;
+
 /// A point with an opaque payload id (e.g. a row id in the tweet store or a
 /// user id).
 struct IndexedPoint {
   LatLon pos;
   uint64_t id = 0;
 };
+
+namespace grid_internal {
+
+/// Cell key (`row * cols + col`) of `p` on a grid over `bounds` with
+/// `cell_deg`-degree cells. Out-of-bounds points clamp into the edge cells.
+/// Shared by the mutable and sealed indexes so both bucket identically.
+inline int64_t CellKeyFor(const BoundingBox& bounds, double cell_deg, int64_t cols,
+                          const LatLon& p) {
+  const double lat = std::clamp(p.lat, bounds.min_lat, bounds.max_lat);
+  const double lon = std::clamp(p.lon, bounds.min_lon, bounds.max_lon);
+  const int64_t row = static_cast<int64_t>((lat - bounds.min_lat) / cell_deg);
+  int64_t col = static_cast<int64_t>((lon - bounds.min_lon) / cell_deg);
+  col = std::min(col, cols - 1);
+  return row * cols + col;
+}
+
+/// Row/column range of the cells intersecting `box`, clamped to `bounds`.
+/// Shared by the mutable and sealed indexes so both scan the same cells.
+inline void CellRangeFor(const BoundingBox& bounds, double cell_deg, int64_t cols,
+                         const BoundingBox& box, int64_t* row0, int64_t* row1,
+                         int64_t* col0, int64_t* col1) {
+  const double lat0 = std::clamp(box.min_lat, bounds.min_lat, bounds.max_lat);
+  const double lat1 = std::clamp(box.max_lat, bounds.min_lat, bounds.max_lat);
+  const double lon0 = std::clamp(box.min_lon, bounds.min_lon, bounds.max_lon);
+  const double lon1 = std::clamp(box.max_lon, bounds.min_lon, bounds.max_lon);
+  *row0 = static_cast<int64_t>((lat0 - bounds.min_lat) / cell_deg);
+  *row1 = static_cast<int64_t>((lat1 - bounds.min_lat) / cell_deg);
+  *col0 = static_cast<int64_t>((lon0 - bounds.min_lon) / cell_deg);
+  *col1 =
+      std::min(static_cast<int64_t>((lon1 - bounds.min_lon) / cell_deg), cols - 1);
+}
+
+}  // namespace grid_internal
 
 /// A uniform latitude/longitude grid index over a fixed bounding box.
 ///
@@ -26,6 +62,10 @@ struct IndexedPoint {
 /// verifies candidates with the haversine distance. This is the index the
 /// population/mobility pipeline uses for its ε-radius aggregations (50 km /
 /// 25 km / 2 km / 0.5 km in the paper).
+///
+/// Once loading is finished, `Seal()` produces a `SealedGridIndex` — an
+/// immutable CSR form with interior/boundary cell classification that
+/// answers the same queries byte-identically but much faster.
 class GridIndex {
  public:
   /// Creates an index over `bounds` with cells of `cell_deg` degrees on each
@@ -36,7 +76,7 @@ class GridIndex {
   /// cells (they remain retrievable; their true coordinates are kept).
   void Insert(const IndexedPoint& point);
 
-  /// Bulk insertion.
+  /// Bulk insertion; reserves hash-map capacity from the batch size.
   void InsertAll(const std::vector<IndexedPoint>& points);
 
   /// All points within `radius_m` metres (inclusive) of `center`.
@@ -52,6 +92,11 @@ class GridIndex {
   /// All points whose coordinates fall inside `box`.
   std::vector<IndexedPoint> QueryBox(const BoundingBox& box) const;
 
+  /// Flattens the index into its immutable query-optimised form. The sealed
+  /// index answers every radius query byte-identically to this one (same
+  /// points, same order); the mutable index is left untouched.
+  SealedGridIndex Seal() const;
+
   size_t size() const { return size_; }
   const BoundingBox& bounds() const { return bounds_; }
   double cell_deg() const { return cell_deg_; }
@@ -63,9 +108,14 @@ class GridIndex {
   GridIndex(const BoundingBox& bounds, double cell_deg, int64_t cols)
       : bounds_(bounds), cell_deg_(cell_deg), cols_(cols) {}
 
-  int64_t CellKey(const LatLon& p) const;
+  int64_t CellKey(const LatLon& p) const {
+    return grid_internal::CellKeyFor(bounds_, cell_deg_, cols_, p);
+  }
   void CellRange(const BoundingBox& box, int64_t* row0, int64_t* row1, int64_t* col0,
-                 int64_t* col1) const;
+                 int64_t* col1) const {
+    grid_internal::CellRangeFor(bounds_, cell_deg_, cols_, box, row0, row1, col0,
+                                col1);
+  }
 
   BoundingBox bounds_;
   double cell_deg_;

@@ -1,0 +1,137 @@
+#include "geo/sealed_grid_index.h"
+
+#include <queue>
+#include <utility>
+
+namespace twimob::geo {
+namespace {
+
+/// Number of distinct values in the union of `merged` (sorted unique) and
+/// `extra` (sorted unique), via a two-pointer sweep.
+size_t CountUnion(const uint64_t* merged, size_t merged_size, const uint64_t* extra,
+                  size_t extra_size) {
+  size_t i = 0, j = 0, n = 0;
+  while (i < merged_size && j < extra_size) {
+    if (merged[i] < extra[j]) {
+      ++i;
+    } else if (extra[j] < merged[i]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+    ++n;
+  }
+  return n + (merged_size - i) + (extra_size - j);
+}
+
+}  // namespace
+
+std::vector<IndexedPoint> SealedGridIndex::QueryRadius(const LatLon& center,
+                                                       double radius_m) const {
+  std::vector<IndexedPoint> out;
+  ForEachInRadius(center, radius_m,
+                  [&out](const IndexedPoint& p) { out.push_back(p); });
+  return out;
+}
+
+size_t SealedGridIndex::CountRadius(const LatLon& center, double radius_m) const {
+  return CountRadiusProfiled(center, radius_m, nullptr);
+}
+
+size_t SealedGridIndex::CountRadiusProfiled(const LatLon& center, double radius_m,
+                                            RadiusQueryProfile* profile) const {
+  const BoundingBox box = BoundingBoxForRadius(center, radius_m);
+  const bool use_equirect = radius_m < kEquirectPrefilterMaxRadiusMeters;
+  const double lat_band_deg = LatitudeBandDegrees(radius_m);
+  const double prefilter_m = radius_m * kEquirectPrefilterMargin;
+  size_t n = 0;
+  VisitCandidateCells(box, [&](size_t cell) {
+    const size_t begin = offsets_[cell];
+    const size_t end = offsets_[cell + 1];
+    if (profile != nullptr) ++profile->cells_candidate;
+    if (CellInsideCircle(cell, center, radius_m)) {
+      n += end - begin;  // no per-point work: the whole cell is inside
+      if (profile != nullptr) {
+        ++profile->cells_interior;
+        profile->points_interior += end - begin;
+      }
+      return;
+    }
+    if (profile != nullptr) ++profile->cells_boundary;
+    for (size_t i = begin; i < end; ++i) {
+      const LatLon p{lats_[i], lons_[i]};
+      if (std::fabs(p.lat - center.lat) > lat_band_deg) continue;
+      if (use_equirect && EquirectangularMeters(center, p) > prefilter_m) continue;
+      if (profile != nullptr) ++profile->points_tested;
+      if (HaversineMeters(center, p) <= radius_m) ++n;
+    }
+  });
+  return n;
+}
+
+size_t SealedGridIndex::CountDistinctIds(const LatLon& center, double radius_m) const {
+  const BoundingBox box = BoundingBoxForRadius(center, radius_m);
+  const bool use_equirect = radius_m < kEquirectPrefilterMaxRadiusMeters;
+  const double lat_band_deg = LatitudeBandDegrees(radius_m);
+  const double prefilter_m = radius_m * kEquirectPrefilterMargin;
+
+  std::vector<size_t> interior_cells;
+  std::vector<uint64_t> boundary_ids;
+  VisitCandidateCells(box, [&](size_t cell) {
+    if (CellInsideCircle(cell, center, radius_m)) {
+      interior_cells.push_back(cell);
+      return;
+    }
+    const size_t begin = offsets_[cell];
+    const size_t end = offsets_[cell + 1];
+    for (size_t i = begin; i < end; ++i) {
+      const LatLon p{lats_[i], lons_[i]};
+      if (std::fabs(p.lat - center.lat) > lat_band_deg) continue;
+      if (use_equirect && EquirectangularMeters(center, p) > prefilter_m) continue;
+      if (HaversineMeters(center, p) <= radius_m) boundary_ids.push_back(ids_[i]);
+    }
+  });
+
+  std::sort(boundary_ids.begin(), boundary_ids.end());
+  boundary_ids.erase(std::unique(boundary_ids.begin(), boundary_ids.end()),
+                     boundary_ids.end());
+
+  if (interior_cells.empty()) return boundary_ids.size();
+  if (interior_cells.size() == 1) {
+    const size_t cell = interior_cells.front();
+    return CountUnion(unique_ids_.data() + id_offsets_[cell],
+                      id_offsets_[cell + 1] - id_offsets_[cell],
+                      boundary_ids.data(), boundary_ids.size());
+  }
+
+  // K-way heap merge of the interior cells' pre-sorted unique id lists —
+  // O(M log k) with no hashing, M = total interior list length.
+  size_t total_len = 0;
+  for (const size_t cell : interior_cells) {
+    total_len += id_offsets_[cell + 1] - id_offsets_[cell];
+  }
+  std::vector<uint64_t> merged;
+  merged.reserve(total_len);
+  std::vector<size_t> cursor(interior_cells.size());
+  using HeapEntry = std::pair<uint64_t, size_t>;  // (id value, interior list idx)
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> heap;
+  for (size_t k = 0; k < interior_cells.size(); ++k) {
+    cursor[k] = id_offsets_[interior_cells[k]];
+    if (cursor[k] < id_offsets_[interior_cells[k] + 1]) {
+      heap.emplace(unique_ids_[cursor[k]], k);
+    }
+  }
+  while (!heap.empty()) {
+    const auto [value, k] = heap.top();
+    heap.pop();
+    if (merged.empty() || merged.back() != value) merged.push_back(value);
+    if (++cursor[k] < id_offsets_[interior_cells[k] + 1]) {
+      heap.emplace(unique_ids_[cursor[k]], k);
+    }
+  }
+  return CountUnion(merged.data(), merged.size(), boundary_ids.data(),
+                    boundary_ids.size());
+}
+
+}  // namespace twimob::geo

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/string_util.h"
 #include "mobility/radiation_model.h"
@@ -77,6 +78,9 @@ Result<InterveningOpportunitiesModel> InterveningOpportunitiesModel::Fit(
         "InterveningOpportunitiesModel::Fit: total mass must be positive");
   }
 
+  // Pairwise distances once up front; every s sum below (and in Predict)
+  // reads the cache instead of recomputing O(A) haversines.
+  AreaDistanceMatrix distances(areas);
   std::vector<PreparedObservation> prepared;
   for (const FlowObservation& o : observations) {
     if (!(o.flow > 0.0) || !(o.n > 0.0) || !(o.d_meters > 0.0)) continue;
@@ -85,7 +89,7 @@ Result<InterveningOpportunitiesModel> InterveningOpportunitiesModel::Fit(
           "InterveningOpportunitiesModel::Fit: observation out of range");
     }
     PreparedObservation p;
-    p.s = RadiationModel::InterveningPopulation(areas, masses, o.src, o.dst,
+    p.s = RadiationModel::InterveningPopulation(distances, masses, o.src, o.dst,
                                                 o.d_meters);
     p.n = o.n;
     p.log_flow = std::log10(o.flow);
@@ -134,13 +138,15 @@ Result<InterveningOpportunitiesModel> InterveningOpportunitiesModel::Fit(
     return Status::Internal(
         "InterveningOpportunitiesModel::Fit: search failed to find a usable L");
   }
-  return InterveningOpportunitiesModel(l, c, areas, masses, prepared.size());
+  return InterveningOpportunitiesModel(l, c, std::move(distances), masses,
+                                       prepared.size());
 }
 
 double InterveningOpportunitiesModel::Predict(const FlowObservation& obs) const {
-  if (obs.src >= areas_.size() || obs.dst >= areas_.size()) return 0.0;
-  const double s = RadiationModel::InterveningPopulation(areas_, masses_, obs.src,
-                                                         obs.dst, obs.d_meters);
+  if (obs.src >= distances_.size() || obs.dst >= distances_.size()) return 0.0;
+  const double s = RadiationModel::InterveningPopulation(distances_, masses_,
+                                                         obs.src, obs.dst,
+                                                         obs.d_meters);
   return std::pow(10.0, log10_c_) * Kernel(l_, s, obs.n);
 }
 

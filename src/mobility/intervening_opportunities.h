@@ -7,6 +7,7 @@
 #include "census/area.h"
 #include "common/result.h"
 #include "mobility/gravity_model.h"
+#include "mobility/radiation_model.h"
 
 namespace twimob::mobility {
 
@@ -29,8 +30,8 @@ class InterveningOpportunitiesModel {
       const std::vector<FlowObservation>& observations,
       const std::vector<census::Area>& areas, const std::vector<double>& masses);
 
-  /// Predicted flow for one observation (s recomputed from the stored
-  /// geometry).
+  /// Predicted flow for one observation (s summed over the cached distance
+  /// matrix).
   double Predict(const FlowObservation& obs) const;
 
   /// Predictions for a batch, parallel to the input.
@@ -44,11 +45,11 @@ class InterveningOpportunitiesModel {
 
  private:
   InterveningOpportunitiesModel(double l, double log10_c,
-                                std::vector<census::Area> areas,
+                                AreaDistanceMatrix distances,
                                 std::vector<double> masses, size_t n_obs)
       : l_(l),
         log10_c_(log10_c),
-        areas_(std::move(areas)),
+        distances_(std::move(distances)),
         masses_(std::move(masses)),
         n_obs_(n_obs) {}
 
@@ -57,7 +58,8 @@ class InterveningOpportunitiesModel {
 
   double l_;
   double log10_c_;
-  std::vector<census::Area> areas_;
+  /// Pairwise centre distances, cached at Fit; Predict's s sums reuse them.
+  AreaDistanceMatrix distances_;
   std::vector<double> masses_;
   size_t n_obs_;
 };

@@ -1,11 +1,22 @@
 #include "mobility/radiation_model.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/string_util.h"
 #include "geo/geodesic.h"
 
 namespace twimob::mobility {
+
+AreaDistanceMatrix::AreaDistanceMatrix(const std::vector<census::Area>& areas)
+    : size_(areas.size()) {
+  dist_.resize(size_ * size_, 0.0);
+  for (size_t i = 0; i < size_; ++i) {
+    for (size_t j = 0; j < size_; ++j) {
+      dist_[i * size_ + j] = geo::HaversineMeters(areas[i].center, areas[j].center);
+    }
+  }
+}
 
 double RadiationModel::InterveningPopulation(const std::vector<census::Area>& areas,
                                              const std::vector<double>& masses,
@@ -17,6 +28,18 @@ double RadiationModel::InterveningPopulation(const std::vector<census::Area>& ar
     if (geo::HaversineMeters(areas[src].center, areas[k].center) <= d_meters) {
       s += masses[k];
     }
+  }
+  return s;
+}
+
+double RadiationModel::InterveningPopulation(const AreaDistanceMatrix& distances,
+                                             const std::vector<double>& masses,
+                                             size_t src, size_t dst,
+                                             double d_meters) {
+  double s = 0.0;
+  for (size_t k = 0; k < distances.size(); ++k) {
+    if (k == src || k == dst) continue;
+    if (distances(src, k) <= d_meters) s += masses[k];
   }
   return s;
 }
@@ -33,6 +56,9 @@ Result<RadiationModel> RadiationModel::Fit(
   if (areas.size() != masses.size()) {
     return Status::InvalidArgument("RadiationModel::Fit: areas/masses mismatch");
   }
+  // Pairwise distances once up front; every s sum below (and in Predict)
+  // reads the cache instead of recomputing O(A) haversines.
+  AreaDistanceMatrix distances(areas);
   // Least-squares fit of the intercept in log space:
   // log10 P = log10 C + log10 kernel  =>  log10 C = mean(log10 P - log10 kernel).
   double sum = 0.0;
@@ -43,7 +69,7 @@ Result<RadiationModel> RadiationModel::Fit(
       return Status::InvalidArgument("RadiationModel::Fit: observation out of range");
     }
     const double s =
-        InterveningPopulation(areas, masses, o.src, o.dst, o.d_meters);
+        InterveningPopulation(distances, masses, o.src, o.dst, o.d_meters);
     const double kernel = Kernel(o.m, o.n, s);
     if (!(kernel > 0.0)) continue;
     sum += std::log10(o.flow) - std::log10(kernel);
@@ -52,13 +78,14 @@ Result<RadiationModel> RadiationModel::Fit(
   if (count == 0) {
     return Status::InvalidArgument("RadiationModel::Fit: no usable observations");
   }
-  return RadiationModel(sum / static_cast<double>(count), areas, masses, count);
+  return RadiationModel(sum / static_cast<double>(count), std::move(distances),
+                        masses, count);
 }
 
 double RadiationModel::Predict(const FlowObservation& obs) const {
-  if (obs.src >= areas_.size() || obs.dst >= areas_.size()) return 0.0;
+  if (obs.src >= distances_.size() || obs.dst >= distances_.size()) return 0.0;
   const double s =
-      InterveningPopulation(areas_, masses_, obs.src, obs.dst, obs.d_meters);
+      InterveningPopulation(distances_, masses_, obs.src, obs.dst, obs.d_meters);
   const double kernel = Kernel(obs.m, obs.n, s);
   return std::pow(10.0, log10_c_) * kernel;
 }

@@ -10,6 +10,26 @@
 
 namespace twimob::mobility {
 
+/// Pairwise haversine distances between area centres, computed once and
+/// reused by every intervening-population evaluation. Entry (i, j) is
+/// exactly HaversineMeters(areas[i].center, areas[j].center), so the cached
+/// form of the s sum is byte-identical to the recomputing one.
+class AreaDistanceMatrix {
+ public:
+  AreaDistanceMatrix() = default;
+
+  /// Builds the dense A×A matrix — O(A²) haversines paid once per fit
+  /// instead of O(A) per InterveningPopulation call.
+  explicit AreaDistanceMatrix(const std::vector<census::Area>& areas);
+
+  double operator()(size_t i, size_t j) const { return dist_[i * size_ + j]; }
+  size_t size() const { return size_; }
+
+ private:
+  size_t size_ = 0;
+  std::vector<double> dist_;
+};
+
 /// The radiation model (paper eq. 3, after Simini et al. 2012):
 ///   P = C · m n / ((m + s)(m + n + s))
 /// where s is the total population within radius d of the origin centre,
@@ -24,6 +44,12 @@ class RadiationModel {
                                       const std::vector<double>& masses, size_t src,
                                       size_t dst, double d_meters);
 
+  /// Cached form: same sum over the same k order, with the distances read
+  /// from the precomputed matrix — byte-identical to the recomputing form.
+  static double InterveningPopulation(const AreaDistanceMatrix& distances,
+                                      const std::vector<double>& masses, size_t src,
+                                      size_t dst, double d_meters);
+
   /// Fits C on the observations with positive flow/masses/distance. The s
   /// term is computed from (areas, masses). Fails when no usable
   /// observation remains.
@@ -31,8 +57,8 @@ class RadiationModel {
                                     const std::vector<census::Area>& areas,
                                     const std::vector<double>& masses);
 
-  /// Predicted flow for one observation (s recomputed from the stored
-  /// geometry).
+  /// Predicted flow for one observation (s summed over the cached distance
+  /// matrix).
   double Predict(const FlowObservation& obs) const;
 
   /// Predictions for a batch, parallel to the input.
@@ -44,10 +70,10 @@ class RadiationModel {
   std::string ToString() const;
 
  private:
-  RadiationModel(double log10_c, std::vector<census::Area> areas,
+  RadiationModel(double log10_c, AreaDistanceMatrix distances,
                  std::vector<double> masses, size_t n_obs)
       : log10_c_(log10_c),
-        areas_(std::move(areas)),
+        distances_(std::move(distances)),
         masses_(std::move(masses)),
         n_obs_(n_obs) {}
 
@@ -56,7 +82,8 @@ class RadiationModel {
   static double Kernel(double m, double n, double s);
 
   double log10_c_;
-  std::vector<census::Area> areas_;
+  /// Pairwise centre distances, cached at Fit; Predict's s sums reuse them.
+  AreaDistanceMatrix distances_;
   std::vector<double> masses_;
   size_t n_obs_;
 };

@@ -38,17 +38,19 @@ class TripAccumulator {
  public:
   TripAccumulator(const std::vector<census::Area>& areas, double radius_m,
                   const TripOptions& options, OdMatrix* od)
-      : areas_(areas), radius_m_(radius_m), options_(options), od_(od) {}
+      : assigner_(areas, radius_m), options_(options), od_(od) {}
 
-  void Process(const tweetdb::Tweet& t) {
+  /// Columnar entry point: the gather loops feed decoded column values
+  /// directly, never materialising a Tweet.
+  void Process(uint64_t user, int64_t time, const geo::LatLon& pos) {
     ++stats_.tweets_seen;
-    const std::optional<size_t> area = AssignToArea(t.pos, areas_, radius_m_);
+    const std::optional<size_t> area = assigner_.Assign(pos);
     if (area.has_value()) ++stats_.tweets_in_some_area;
 
-    if (have_prev_ && t.user_id == prev_user_) {
+    if (have_prev_ && user == prev_user_) {
       ++stats_.consecutive_pairs;
       const bool gap_ok = options_.max_gap_seconds == 0 ||
-                          t.timestamp - prev_time_ <= options_.max_gap_seconds;
+                          time - prev_time_ <= options_.max_gap_seconds;
       if (!gap_ok) {
         ++stats_.gap_filtered_pairs;
       } else if (prev_area_.has_value() && area.has_value()) {
@@ -60,17 +62,18 @@ class TripAccumulator {
         }
       }
     }
-    prev_user_ = t.user_id;
-    prev_time_ = t.timestamp;
+    prev_user_ = user;
+    prev_time_ = time;
     prev_area_ = area;
     have_prev_ = true;
   }
 
+  void Process(const tweetdb::Tweet& t) { Process(t.user_id, t.timestamp, t.pos); }
+
   const ExtractionStats& stats() const { return stats_; }
 
  private:
-  const std::vector<census::Area>& areas_;
-  const double radius_m_;
+  const AreaAssigner assigner_;
   const TripOptions& options_;
   OdMatrix* od_;
   ExtractionStats stats_;
@@ -89,46 +92,89 @@ void MergeStats(const ExtractionStats& from, ExtractionStats* into) {
   into->gap_filtered_pairs += from.gap_filtered_pairs;
 }
 
+/// Feeds rows [begin, end) of `block` into `acc` straight from the column
+/// vectors — the coordinate decode matches Block::GetRow bit for bit.
+void FeedBlockRows(const tweetdb::Block& block, size_t begin, size_t end,
+                   TripAccumulator& acc) {
+  const uint64_t* users = block.user_ids().data();
+  const int64_t* times = block.timestamps().data();
+  const int32_t* lats = block.lat_fixed().data();
+  const int32_t* lons = block.lon_fixed().data();
+  for (size_t i = begin; i < end; ++i) {
+    acc.Process(users[i], times[i],
+                geo::LatLon{geo::FixedToDegrees(lats[i]),
+                            geo::FixedToDegrees(lons[i])});
+  }
+}
+
+/// Length of the prefix of [begin, num_rows) whose rows belong to `user`.
+size_t UserRunEnd(const tweetdb::Block& block, size_t begin, uint64_t user) {
+  const uint64_t* users = block.user_ids().data();
+  const size_t n = block.num_rows();
+  size_t i = begin;
+  while (i < n && users[i] == user) ++i;
+  return i;
+}
+
 /// Feeds `user`'s rows of `table` starting at (block, row) into `acc`,
 /// following the run across block boundaries until the user changes.
 void FeedRun(const tweetdb::TweetTable& table, size_t block, size_t row,
              uint64_t user, TripAccumulator& acc) {
   for (size_t b = block; b < table.num_blocks(); ++b) {
     const tweetdb::Block& blk = table.block(b);
-    const size_t n = blk.num_rows();
-    for (size_t i = (b == block ? row : 0); i < n; ++i) {
-      const tweetdb::Tweet t = blk.GetRow(i);
-      if (t.user_id != user) return;
-      acc.Process(t);
-    }
+    const size_t begin = (b == block ? row : 0);
+    const size_t end = UserRunEnd(blk, begin, user);
+    FeedBlockRows(blk, begin, end, acc);
+    if (end < blk.num_rows()) return;  // the run ended inside this block
   }
 }
 
 /// True iff `user` has at least one row in the compacted `table`.
 bool ContainsUser(const tweetdb::TweetTable& table, uint64_t user) {
   const auto [b, r] = table.LowerBoundUser(user);
-  return b < table.num_blocks() && table.block(b).GetRow(r).user_id == user;
+  return b < table.num_blocks() && table.block(b).user_ids()[r] == user;
 }
 
 }  // namespace
 
-std::optional<size_t> AssignToArea(const geo::LatLon& pos,
-                                   const std::vector<census::Area>& areas,
-                                   double radius_m) {
+AreaAssigner::AreaAssigner(const std::vector<census::Area>& areas, double radius_m)
+    : radius_m_(radius_m),
+      prefilter_m_(radius_m * 1.01),
+      lat_band_deg_(radius_m / geo::MetersPerDegreeLat() * (1.0 + 1e-9)) {
+  lats_.reserve(areas.size());
+  lons_.reserve(areas.size());
+  for (const census::Area& a : areas) {
+    lats_.push_back(a.center.lat);
+    lons_.push_back(a.center.lon);
+  }
+}
+
+std::optional<size_t> AreaAssigner::Assign(const geo::LatLon& pos) const {
   double best = std::numeric_limits<double>::infinity();
   std::optional<size_t> best_idx;
-  for (size_t i = 0; i < areas.size(); ++i) {
+  const size_t n = lats_.size();
+  for (size_t i = 0; i < n; ++i) {
+    // Exact reject: great-circle distance is at least the meridian leg, so
+    // a centre more than radius/MetersPerDegreeLat degrees of latitude away
+    // can never pass the haversine test (the 1e-9 slack absorbs rounding).
+    if (std::fabs(lats_[i] - pos.lat) > lat_band_deg_) continue;
+    const geo::LatLon center{lats_[i], lons_[i]};
     // Cheap equirectangular pre-filter (<0.5% error at these ranges) with a
     // 1% safety margin before the exact haversine check.
-    const double approx = geo::EquirectangularMeters(pos, areas[i].center);
-    if (approx > radius_m * 1.01) continue;
-    const double d = geo::HaversineMeters(pos, areas[i].center);
-    if (d <= radius_m && d < best) {
+    if (geo::EquirectangularMeters(pos, center) > prefilter_m_) continue;
+    const double d = geo::HaversineMeters(pos, center);
+    if (d <= radius_m_ && d < best) {
       best = d;
       best_idx = i;
     }
   }
   return best_idx;
+}
+
+std::optional<size_t> AssignToArea(const geo::LatLon& pos,
+                                   const std::vector<census::Area>& areas,
+                                   double radius_m) {
+  return AreaAssigner(areas, radius_m).Assign(pos);
 }
 
 Result<OdMatrix> ExtractTrips(const tweetdb::TweetTable& table,
@@ -141,7 +187,15 @@ Result<OdMatrix> ExtractTrips(const tweetdb::TweetTable& table,
   if (!od.ok()) return od.status();
 
   TripAccumulator acc(areas, radius_m, options, &*od);
-  table.ForEachRow([&acc](const tweetdb::Tweet& t) { acc.Process(t); });
+  if (table.fully_sealed()) {
+    for (size_t b = 0; b < table.num_blocks(); ++b) {
+      const tweetdb::Block& block = table.block(b);
+      FeedBlockRows(block, 0, block.num_rows(), acc);
+    }
+  } else {
+    // Rows in the active tail are invisible to block iteration.
+    table.ForEachRow([&acc](const tweetdb::Tweet& t) { acc.Process(t); });
+  }
 
   if (stats != nullptr) *stats = acc.stats();
   return std::move(*od);
@@ -173,31 +227,23 @@ Result<OdMatrix> ExtractTripsParallel(const tweetdb::TweetTable& table,
     for (size_t pb = b; pb-- > 0;) {
       const tweetdb::Block& prev = table.block(pb);
       if (prev.num_rows() == 0) continue;
-      const uint64_t boundary_user = prev.GetRow(prev.num_rows() - 1).user_id;
-      while (start < rows && block.GetRow(start).user_id == boundary_user) {
-        ++start;
-      }
+      start = UserRunEnd(block, 0, prev.user_ids().back());
       break;
     }
     if (start == rows) return;  // the whole block continues an earlier run
 
     auto od = OdMatrix::Create(areas.size());  // cannot fail: areas validated
     TripAccumulator acc(areas, radius_m, options, &*od);
-    for (size_t i = start; i < rows; ++i) acc.Process(block.GetRow(i));
+    FeedBlockRows(block, start, rows, acc);
 
     // Follow the last run owned by this block across block boundaries; the
     // next blocks' own tasks skip these rows.
-    const uint64_t run_user = block.GetRow(rows - 1).user_id;
+    const uint64_t run_user = block.user_ids().back();
     for (size_t nb = b + 1; nb < num_blocks; ++nb) {
       const tweetdb::Block& next = table.block(nb);
-      const size_t n = next.num_rows();
-      size_t i = 0;
-      for (; i < n; ++i) {
-        const tweetdb::Tweet t = next.GetRow(i);
-        if (t.user_id != run_user) break;
-        acc.Process(t);
-      }
-      if (i < n) break;  // the run ended inside this block
+      const size_t end = UserRunEnd(next, 0, run_user);
+      FeedBlockRows(next, 0, end, acc);
+      if (end < next.num_rows()) break;  // the run ended inside this block
     }
 
     partial_stats[b] = acc.stats();
@@ -272,6 +318,7 @@ Result<OdMatrix> ExtractTripsDataset(const tweetdb::TweetDataset& dataset,
     const tweetdb::Block& block = table.block(b);
     const size_t rows = block.num_rows();
     if (rows == 0) return;
+    const uint64_t* users = block.user_ids().data();
 
     // Head rows continuing the previous non-empty block's last run belong
     // to that run's owner within this shard.
@@ -279,10 +326,7 @@ Result<OdMatrix> ExtractTripsDataset(const tweetdb::TweetDataset& dataset,
     for (size_t pb = b; pb-- > 0;) {
       const tweetdb::Block& prev = table.block(pb);
       if (prev.num_rows() == 0) continue;
-      const uint64_t boundary_user = prev.GetRow(prev.num_rows() - 1).user_id;
-      while (start < rows && block.GetRow(start).user_id == boundary_user) {
-        ++start;
-      }
+      start = UserRunEnd(block, 0, prev.user_ids().back());
       break;
     }
     if (start == rows) return;
@@ -292,7 +336,7 @@ Result<OdMatrix> ExtractTripsDataset(const tweetdb::TweetDataset& dataset,
     bool fed_any = false;
     size_t i = start;
     while (i < rows) {
-      const uint64_t user = block.GetRow(i).user_id;
+      const uint64_t user = users[i];
       // This chunk owns the run iff the user appears in no earlier shard
       // (time partitioning puts a user's earliest rows in their first
       // shard, which is where their global run starts).
@@ -308,14 +352,13 @@ Result<OdMatrix> ExtractTripsDataset(const tweetdb::TweetDataset& dataset,
         for (size_t ns = s + 1; ns < num_shards; ++ns) {
           const tweetdb::TweetTable& next = dataset.shard(ns);
           const auto [nb, nr] = next.LowerBoundUser(user);
-          if (nb < next.num_blocks() &&
-              next.block(nb).GetRow(nr).user_id == user) {
+          if (nb < next.num_blocks() && next.block(nb).user_ids()[nr] == user) {
             FeedRun(next, nb, nr, user, acc);
           }
         }
         fed_any = true;
       }
-      while (i < rows && block.GetRow(i).user_id == user) ++i;
+      i = UserRunEnd(block, i, user);
     }
     if (!fed_any) return;
 

@@ -30,6 +30,28 @@ std::optional<size_t> AssignToArea(const geo::LatLon& pos,
                                    const std::vector<census::Area>& areas,
                                    double radius_m);
 
+/// Precomputed form of AssignToArea for streaming many points against one
+/// (areas, radius) pair — the trip extractors assign every tweet this way.
+/// Centre coordinates are held in structure-of-arrays layout and the reject
+/// thresholds (exact latitude band, equirectangular prefilter margin) are
+/// hoisted out of the per-point loop. `Assign` returns exactly what
+/// `AssignToArea` returns for the same inputs.
+class AreaAssigner {
+ public:
+  AreaAssigner(const std::vector<census::Area>& areas, double radius_m);
+
+  /// Nearest centre within the radius, or nullopt; identical output (index
+  /// and tie-breaks) to AssignToArea(pos, areas, radius_m).
+  std::optional<size_t> Assign(const geo::LatLon& pos) const;
+
+ private:
+  std::vector<double> lats_;
+  std::vector<double> lons_;
+  double radius_m_;
+  double prefilter_m_;    ///< equirectangular reject threshold (1% margin)
+  double lat_band_deg_;   ///< exact meridian-leg reject threshold, degrees
+};
+
 /// Options of the trip extraction.
 struct TripOptions {
   /// Consecutive pairs further apart in time than this are not trips

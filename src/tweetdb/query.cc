@@ -1,6 +1,40 @@
 #include "tweetdb/query.h"
 
+#include <cmath>
+#include <limits>
+
 namespace twimob::tweetdb {
+namespace {
+
+/// Smallest fixed-point value v (over the widened int64 domain) with
+/// FixedToDegrees(v) >= deg — i.e. double(v) / kFixedPointScale >= deg,
+/// which is monotone in v. Values outside the int32 column domain clamp to
+/// a bound that keeps the comparison exact: everything below the domain
+/// passes, everything above fails. `deg` must be finite.
+int64_t FirstFixedAtLeast(double deg) {
+  constexpr int64_t kLo = std::numeric_limits<int32_t>::min();
+  constexpr int64_t kHi = std::numeric_limits<int32_t>::max();
+  if (deg <= static_cast<double>(kLo) / geo::kFixedPointScale) return kLo;
+  if (deg > static_cast<double>(kHi) / geo::kFixedPointScale) return kHi + 1;
+  // floor can land 1 ulp off; walk the last step exactly.
+  int64_t v = static_cast<int64_t>(std::floor(deg * geo::kFixedPointScale)) - 1;
+  while (static_cast<double>(v) / geo::kFixedPointScale < deg) ++v;
+  return v;
+}
+
+/// Largest fixed-point value v with FixedToDegrees(v) <= deg; mirror of
+/// FirstFixedAtLeast.
+int64_t LastFixedAtMost(double deg) {
+  constexpr int64_t kLo = std::numeric_limits<int32_t>::min();
+  constexpr int64_t kHi = std::numeric_limits<int32_t>::max();
+  if (deg >= static_cast<double>(kHi) / geo::kFixedPointScale) return kHi;
+  if (deg < static_cast<double>(kLo) / geo::kFixedPointScale) return kLo - 1;
+  int64_t v = static_cast<int64_t>(std::ceil(deg * geo::kFixedPointScale)) + 1;
+  while (static_cast<double>(v) / geo::kFixedPointScale > deg) --v;
+  return v;
+}
+
+}  // namespace
 
 bool ScanSpec::Matches(const Tweet& t) const {
   if (user_id.has_value() && t.user_id != *user_id) return false;
@@ -22,16 +56,118 @@ bool ScanSpec::MayMatchBlock(const BlockStats& stats) const {
   return true;
 }
 
+void FilterBlockColumnar(const Block& block, const ScanSpec& spec,
+                         std::vector<uint32_t>* sel) {
+  sel->clear();
+  const size_t n = block.num_rows();
+  bool seeded = false;
+  // First active predicate seeds the selection from all rows; later ones
+  // compact the survivors in place. Ascending row order is preserved, so
+  // gathers fire in the same order as the row-at-a-time scan.
+  const auto apply = [&](auto&& pred) {
+    if (!seeded) {
+      sel->reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        if (pred(i)) sel->push_back(i);
+      }
+      seeded = true;
+      return;
+    }
+    size_t out = 0;
+    for (const uint32_t i : *sel) {
+      if (pred(i)) (*sel)[out++] = i;
+    }
+    sel->resize(out);
+  };
+
+  if (spec.user_id.has_value()) {
+    const uint64_t want = *spec.user_id;
+    const uint64_t* users = block.user_ids().data();
+    apply([users, want](uint32_t i) { return users[i] == want; });
+  }
+  if (spec.min_time.has_value() || spec.max_time.has_value()) {
+    const int64_t lo = spec.min_time.value_or(std::numeric_limits<int64_t>::min());
+    const int64_t* times = block.timestamps().data();
+    if (spec.max_time.has_value()) {
+      const int64_t hi = *spec.max_time;  // exclusive
+      apply([times, lo, hi](uint32_t i) { return times[i] >= lo && times[i] < hi; });
+    } else {
+      apply([times, lo](uint32_t i) { return times[i] >= lo; });
+    }
+  }
+  if (spec.bbox.has_value()) {
+    const geo::BoundingBox& box = *spec.bbox;
+    // An empty/NaN box contains no point; BoundingBox::Contains is a chain
+    // of >= / <= compares, so min > max (or any NaN bound) rejects all rows.
+    if (!(box.min_lat <= box.max_lat) || !(box.min_lon <= box.max_lon)) {
+      sel->clear();
+      return;
+    }
+    // Compile the degree bounds down to fixed-point so the scan compares
+    // integers; the thresholds reproduce Contains(FixedToDegrees(v))
+    // exactly (FixedToDegrees is monotone).
+    const int64_t lat_lo = FirstFixedAtLeast(box.min_lat);
+    const int64_t lat_hi = LastFixedAtMost(box.max_lat);
+    const int64_t lon_lo = FirstFixedAtLeast(box.min_lon);
+    const int64_t lon_hi = LastFixedAtMost(box.max_lon);
+    const int32_t* lats = block.lat_fixed().data();
+    const int32_t* lons = block.lon_fixed().data();
+    apply([=](uint32_t i) {
+      return lats[i] >= lat_lo && lats[i] <= lat_hi && lons[i] >= lon_lo &&
+             lons[i] <= lon_hi;
+    });
+  }
+  if (!seeded) {
+    sel->reserve(n);
+    for (uint32_t i = 0; i < n; ++i) sel->push_back(i);
+  }
+}
+
+namespace internal {
+
+size_t CountBlockColumnar(const Block& block, const ScanSpec& spec,
+                          std::vector<uint32_t>& sel_scratch,
+                          ScanStatistics& stats) {
+  const size_t n = block.num_rows();
+  stats.rows_scanned += n;
+  if (spec.MatchesAllRows()) {
+    stats.rows_matched += n;
+    return n;
+  }
+  FilterBlockColumnar(block, spec, &sel_scratch);
+  stats.rows_matched += sel_scratch.size();
+  return sel_scratch.size();
+}
+
+}  // namespace internal
+
 ScanStatistics CountMatching(const TweetTable& table, const ScanSpec& spec,
                              size_t* count) {
+  ScanStatistics stats;
+  stats.blocks_total = table.num_blocks();
+  std::vector<uint32_t> sel;
   size_t n = 0;
-  ScanStatistics stats = ScanTable(table, spec, [&n](const Tweet&) { ++n; });
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    if (!spec.MayMatchBlock(table.block_stats(b))) {
+      ++stats.blocks_pruned;
+      continue;
+    }
+    n += internal::CountBlockColumnar(table.block(b), spec, sel, stats);
+  }
   *count = n;
   return stats;
 }
 
 ScanStatistics CollectMatching(const TweetTable& table, const ScanSpec& spec,
                                std::vector<Tweet>* out) {
+  // Zone-map size hint: a match can only come from a non-pruned block.
+  size_t may_rows = 0;
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    if (spec.MayMatchBlock(table.block_stats(b))) {
+      may_rows += table.block_stats(b).num_rows;
+    }
+  }
+  out->reserve(out->size() + may_rows);
   return ScanTable(table, spec, [out](const Tweet& t) { out->push_back(t); });
 }
 
@@ -45,27 +181,64 @@ TweetTable FilterTable(const TweetTable& table, const ScanSpec& spec) {
 
 ScanStatistics ParallelCountMatching(const TweetTable& table, const ScanSpec& spec,
                                      ThreadPool& pool, size_t* count) {
-  std::vector<size_t> per_block(table.num_blocks(), 0);
-  ScanStatistics stats = ParallelScanTable(
-      table, spec, pool,
-      [&per_block](size_t block, const Tweet&) { ++per_block[block]; });
-  size_t total = 0;
-  for (size_t c : per_block) total += c;
-  *count = total;
-  return stats;
+  std::vector<size_t> per_count(table.num_blocks(), 0);
+  std::vector<ScanStatistics> per_stats(table.num_blocks());
+  pool.ParallelFor(table.num_blocks(), [&](size_t b) {
+    if (!spec.MayMatchBlock(table.block_stats(b))) {
+      ++per_stats[b].blocks_pruned;
+      return;
+    }
+    std::vector<uint32_t> sel;
+    per_count[b] =
+        internal::CountBlockColumnar(table.block(b), spec, sel, per_stats[b]);
+  });
+  ScanStatistics total;
+  total.blocks_total = table.num_blocks();
+  size_t n = 0;
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    total.blocks_pruned += per_stats[b].blocks_pruned;
+    total.rows_scanned += per_stats[b].rows_scanned;
+    total.rows_matched += per_stats[b].rows_matched;
+    n += per_count[b];
+  }
+  *count = n;
+  return total;
 }
 
 ScanStatistics ParallelCountMatchingDataset(const TweetDataset& dataset,
                                             const ScanSpec& spec,
                                             ThreadPool& pool, size_t* count) {
-  std::vector<size_t> per_block(dataset.num_blocks(), 0);
-  ScanStatistics stats = ParallelScanDataset(
-      dataset, spec, pool,
-      [&per_block](size_t block, const Tweet&) { ++per_block[block]; });
-  size_t total = 0;
-  for (size_t c : per_block) total += c;
-  *count = total;
-  return stats;
+  std::vector<std::pair<size_t, size_t>> block_map;
+  block_map.reserve(dataset.num_blocks());
+  for (size_t s = 0; s < dataset.num_shards(); ++s) {
+    for (size_t b = 0; b < dataset.shard(s).num_blocks(); ++b) {
+      block_map.emplace_back(s, b);
+    }
+  }
+  std::vector<size_t> per_count(block_map.size(), 0);
+  std::vector<ScanStatistics> per_stats(block_map.size());
+  pool.ParallelFor(block_map.size(), [&](size_t g) {
+    const auto [s, b] = block_map[g];
+    const TweetTable& table = dataset.shard(s);
+    if (!spec.MayMatchBlock(table.block_stats(b))) {
+      ++per_stats[g].blocks_pruned;
+      return;
+    }
+    std::vector<uint32_t> sel;
+    per_count[g] =
+        internal::CountBlockColumnar(table.block(b), spec, sel, per_stats[g]);
+  });
+  ScanStatistics total;
+  total.blocks_total = block_map.size();
+  size_t n = 0;
+  for (size_t g = 0; g < block_map.size(); ++g) {
+    total.blocks_pruned += per_stats[g].blocks_pruned;
+    total.rows_scanned += per_stats[g].rows_scanned;
+    total.rows_matched += per_stats[g].rows_matched;
+    n += per_count[g];
+  }
+  *count = n;
+  return total;
 }
 
 }  // namespace twimob::tweetdb

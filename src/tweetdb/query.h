@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "geo/bbox.h"
+#include "geo/latlon.h"
 #include "tweetdb/dataset.h"
 #include "tweetdb/table.h"
 
@@ -21,6 +23,13 @@ struct ScanSpec {
   /// True iff the row satisfies every set member.
   bool Matches(const Tweet& t) const;
 
+  /// True iff no member is set — every row matches; scanners skip predicate
+  /// evaluation entirely (the population-index build path).
+  bool MatchesAllRows() const {
+    return !bbox.has_value() && !min_time.has_value() && !max_time.has_value() &&
+           !user_id.has_value();
+  }
+
   /// True iff a block with these zone-map stats can contain a match;
   /// false lets the scanner skip the block without decoding rows.
   bool MayMatchBlock(const BlockStats& stats) const;
@@ -35,6 +44,56 @@ struct ScanStatistics {
   size_t rows_matched = 0;
 };
 
+/// Columnar predicate kernel: evaluates `spec` against `block`'s column
+/// vectors and fills `sel` with the indices of the matching rows, ascending.
+/// Equivalent to testing `spec.Matches(block.GetRow(i))` for every row, but
+/// runs one column at a time (seed pass over the most selective column,
+/// refine passes over the survivors) with the bbox test compiled down to
+/// integer compares on the fixed-point coordinate columns. With no
+/// predicate set the selection is the identity.
+void FilterBlockColumnar(const Block& block, const ScanSpec& spec,
+                         std::vector<uint32_t>* sel);
+
+namespace internal {
+
+/// Materialises row `i` exactly as `Block::GetRow` does — gathers of
+/// selected rows are bit-identical to the row-at-a-time scan.
+inline Tweet GatherRow(const Block& block, size_t i) {
+  Tweet t;
+  t.user_id = block.user_ids()[i];
+  t.timestamp = block.timestamps()[i];
+  t.pos.lat = geo::FixedToDegrees(block.lat_fixed()[i]);
+  t.pos.lon = geo::FixedToDegrees(block.lon_fixed()[i]);
+  return t;
+}
+
+/// Scans one non-pruned block through the columnar kernel: filter into
+/// `sel_scratch`, then gather only the selected rows for `fn(const Tweet&)`.
+/// Match-all specs gather every row directly without a selection list.
+/// Row order (and therefore `fn` invocation order) is identical to the
+/// row-at-a-time loop.
+template <typename RowFn>
+void ScanBlockColumnar(const Block& block, const ScanSpec& spec,
+                       std::vector<uint32_t>& sel_scratch, ScanStatistics& stats,
+                       RowFn&& fn) {
+  const size_t n = block.num_rows();
+  stats.rows_scanned += n;
+  if (spec.MatchesAllRows()) {
+    stats.rows_matched += n;
+    for (size_t i = 0; i < n; ++i) fn(GatherRow(block, i));
+    return;
+  }
+  FilterBlockColumnar(block, spec, &sel_scratch);
+  stats.rows_matched += sel_scratch.size();
+  for (const uint32_t i : sel_scratch) fn(GatherRow(block, i));
+}
+
+/// Count-only form: evaluates the predicates but never gathers rows.
+size_t CountBlockColumnar(const Block& block, const ScanSpec& spec,
+                          std::vector<uint32_t>& sel_scratch, ScanStatistics& stats);
+
+}  // namespace internal
+
 /// Scans `table` (sealed blocks and the active tail must be sealed first —
 /// call table.SealActive()), invoking `fn(const Tweet&)` on every match.
 /// Returns pruning statistics.
@@ -42,21 +101,13 @@ template <typename Fn>
 ScanStatistics ScanTable(const TweetTable& table, const ScanSpec& spec, Fn&& fn) {
   ScanStatistics stats;
   stats.blocks_total = table.num_blocks();
+  std::vector<uint32_t> sel;
   for (size_t b = 0; b < table.num_blocks(); ++b) {
     if (!spec.MayMatchBlock(table.block_stats(b))) {
       ++stats.blocks_pruned;
       continue;
     }
-    const Block& block = table.block(b);
-    const size_t n = block.num_rows();
-    for (size_t i = 0; i < n; ++i) {
-      ++stats.rows_scanned;
-      Tweet t = block.GetRow(i);
-      if (spec.Matches(t)) {
-        ++stats.rows_matched;
-        fn(t);
-      }
-    }
+    internal::ScanBlockColumnar(table.block(b), spec, sel, stats, fn);
   }
   return stats;
 }
@@ -65,7 +116,8 @@ ScanStatistics ScanTable(const TweetTable& table, const ScanSpec& spec, Fn&& fn)
 ScanStatistics CountMatching(const TweetTable& table, const ScanSpec& spec,
                              size_t* count);
 
-/// Materialises matching rows.
+/// Materialises matching rows. Reserves `out` capacity from the zone maps
+/// (total rows of the non-pruned blocks).
 ScanStatistics CollectMatching(const TweetTable& table, const ScanSpec& spec,
                                std::vector<Tweet>* out);
 
@@ -84,16 +136,9 @@ ScanStatistics ParallelScanTable(const TweetTable& table, const ScanSpec& spec,
       ++stats.blocks_pruned;
       return;
     }
-    const Block& block = table.block(b);
-    const size_t n = block.num_rows();
-    for (size_t i = 0; i < n; ++i) {
-      ++stats.rows_scanned;
-      Tweet t = block.GetRow(i);
-      if (spec.Matches(t)) {
-        ++stats.rows_matched;
-        fn(b, t);
-      }
-    }
+    std::vector<uint32_t> sel;
+    internal::ScanBlockColumnar(table.block(b), spec, sel, stats,
+                                [&fn, b](const Tweet& t) { fn(b, t); });
   });
   ScanStatistics total;
   total.blocks_total = num_blocks;
@@ -155,16 +200,9 @@ ScanStatistics ParallelScanDataset(const TweetDataset& dataset,
       ++stats.blocks_pruned;
       return;
     }
-    const Block& block = table.block(b);
-    const size_t n = block.num_rows();
-    for (size_t i = 0; i < n; ++i) {
-      ++stats.rows_scanned;
-      Tweet t = block.GetRow(i);
-      if (spec.Matches(t)) {
-        ++stats.rows_matched;
-        fn(g, t);
-      }
-    }
+    std::vector<uint32_t> sel;
+    internal::ScanBlockColumnar(table.block(b), spec, sel, stats,
+                                [&fn, g](const Tweet& t) { fn(g, t); });
   });
   ScanStatistics total;
   total.blocks_total = block_map.size();

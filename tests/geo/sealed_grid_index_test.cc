@@ -1,0 +1,173 @@
+#include "geo/sealed_grid_index.h"
+
+#include <cstring>
+#include <set>
+#include <tuple>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesic.h"
+#include "geo/grid_index.h"
+#include "random/rng.h"
+
+namespace twimob::geo {
+namespace {
+
+/// Clustered + uniform points with duplicated ids (~60 points per id), so
+/// the distinct-id queries exercise real merging across cells.
+std::vector<IndexedPoint> RandomPoints(size_t n, uint64_t seed,
+                                       const BoundingBox& box) {
+  random::Xoshiro256 rng(seed);
+  std::vector<IndexedPoint> pts;
+  pts.reserve(n);
+  const LatLon cluster{-33.87, 151.21};
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.5)) {
+      pts.push_back(IndexedPoint{LatLon{cluster.lat + rng.NextGaussian() * 0.2,
+                                        cluster.lon + rng.NextGaussian() * 0.2},
+                                 i % 50});
+    } else {
+      pts.push_back(IndexedPoint{LatLon{rng.NextUniform(box.min_lat, box.max_lat),
+                                        rng.NextUniform(box.min_lon, box.max_lon)},
+                                 i % 50});
+    }
+  }
+  return pts;
+}
+
+bool BitEq(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// The sealed contract: identical points, identical order, identical bits.
+void ExpectSamePoints(const std::vector<IndexedPoint>& unsealed,
+                      const std::vector<IndexedPoint>& sealed) {
+  ASSERT_EQ(unsealed.size(), sealed.size());
+  for (size_t i = 0; i < unsealed.size(); ++i) {
+    EXPECT_EQ(unsealed[i].id, sealed[i].id) << "at " << i;
+    EXPECT_TRUE(BitEq(unsealed[i].pos.lat, sealed[i].pos.lat)) << "at " << i;
+    EXPECT_TRUE(BitEq(unsealed[i].pos.lon, sealed[i].pos.lon)) << "at " << i;
+  }
+}
+
+size_t HashDistinct(const GridIndex& index, const LatLon& center, double radius_m) {
+  std::unordered_set<uint64_t> ids;
+  index.ForEachInRadius(center, radius_m,
+                        [&ids](const IndexedPoint& p) { ids.insert(p.id); });
+  return ids.size();
+}
+
+/// (cell_deg, radius_m) sweep spanning sub-cell (ε = 0.5 km), boundary-heavy,
+/// and interior-heavy (ε = 50 km) regimes for every cell size.
+class SealedVsUnsealedTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SealedVsUnsealedTest, QueriesAreByteIdentical) {
+  const auto [cell_deg, radius_m] = GetParam();
+  const BoundingBox box{-36.0, 148.0, -32.0, 153.0};
+  auto idx = GridIndex::Create(box, cell_deg);
+  ASSERT_TRUE(idx.ok());
+  const auto pts = RandomPoints(4000, 42, box);
+  idx->InsertAll(pts);
+  const SealedGridIndex sealed = idx->Seal();
+  EXPECT_EQ(sealed.size(), idx->size());
+  EXPECT_EQ(sealed.num_nonempty_cells(), idx->num_nonempty_cells());
+
+  random::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 12; ++trial) {
+    const LatLon center{rng.NextUniform(box.min_lat, box.max_lat),
+                        rng.NextUniform(box.min_lon, box.max_lon)};
+    ExpectSamePoints(idx->QueryRadius(center, radius_m),
+                     sealed.QueryRadius(center, radius_m));
+    EXPECT_EQ(sealed.CountRadius(center, radius_m),
+              idx->CountRadius(center, radius_m));
+    EXPECT_EQ(sealed.CountDistinctIds(center, radius_m),
+              HashDistinct(*idx, center, radius_m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CellAndRadius, SealedVsUnsealedTest,
+    ::testing::Combine(::testing::Values(0.02, 0.05, 0.5),
+                       ::testing::Values(500.0, 2000.0, 25000.0, 50000.0)));
+
+TEST(SealedGridIndexTest, EmptyIndexSealsToEmpty) {
+  auto idx = GridIndex::Create(AustraliaBoundingBox(), 0.1);
+  ASSERT_TRUE(idx.ok());
+  const SealedGridIndex sealed = idx->Seal();
+  EXPECT_EQ(sealed.size(), 0u);
+  EXPECT_EQ(sealed.num_nonempty_cells(), 0u);
+  EXPECT_TRUE(sealed.QueryRadius(LatLon{-33.87, 151.21}, 50000.0).empty());
+  EXPECT_EQ(sealed.CountRadius(LatLon{-33.87, 151.21}, 50000.0), 0u);
+  EXPECT_EQ(sealed.CountDistinctIds(LatLon{-33.87, 151.21}, 50000.0), 0u);
+}
+
+TEST(SealedGridIndexTest, RadiusIsInclusiveOfBoundary) {
+  auto idx = GridIndex::Create(AustraliaBoundingBox(), 0.1);
+  ASSERT_TRUE(idx.ok());
+  const LatLon center{-33.0, 151.0};
+  const LatLon at_radius = DestinationPoint(center, 90.0, 10000.0);
+  idx->Insert(IndexedPoint{at_radius, 1});
+  const SealedGridIndex sealed = idx->Seal();
+  const double d = HaversineMeters(center, at_radius);
+  EXPECT_EQ(sealed.CountRadius(center, d), 1u);
+  EXPECT_EQ(sealed.CountRadius(center, d - 1.0), 0u);
+}
+
+TEST(SealedGridIndexTest, ClampedOutOfBoundsPointsKeepTrueCoordinates) {
+  const BoundingBox bounds{-36.0, 148.0, -32.0, 153.0};
+  auto idx = GridIndex::Create(bounds, 0.1);
+  ASSERT_TRUE(idx.ok());
+  const IndexedPoint outside{LatLon{-31.9, 150.0}, 99};
+  idx->Insert(outside);
+  const SealedGridIndex sealed = idx->Seal();
+  auto found = sealed.QueryRadius(LatLon{-32.0, 150.0}, 20000.0);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].id, 99u);
+  EXPECT_EQ(found[0].pos, outside.pos);
+  // Interior classification must use the cell's point bounding box, not its
+  // geometric rect: a 12 km circle at -32.05 covers the whole top-row cell
+  // geometrically, but the clamped point's true position (-31.9, ~16.7 km
+  // away) is outside the radius and must not be counted.
+  EXPECT_EQ(sealed.CountRadius(LatLon{-32.05, 150.0}, 12000.0), 0u);
+}
+
+TEST(SealedGridIndexTest, ProfileCountsAreConsistent) {
+  const BoundingBox box{-36.0, 148.0, -32.0, 153.0};
+  auto idx = GridIndex::Create(box, 0.05);
+  ASSERT_TRUE(idx.ok());
+  idx->InsertAll(RandomPoints(4000, 11, box));
+  const SealedGridIndex sealed = idx->Seal();
+
+  RadiusQueryProfile profile;
+  const LatLon center{-33.87, 151.21};
+  const size_t count = sealed.CountRadiusProfiled(center, 50000.0, &profile);
+  EXPECT_EQ(count, idx->CountRadius(center, 50000.0));
+  EXPECT_EQ(profile.cells_interior + profile.cells_boundary,
+            profile.cells_candidate);
+  // A 50 km circle over 0.05° cells must consume whole interior cells.
+  EXPECT_GT(profile.cells_interior, 0u);
+  EXPECT_GE(count, profile.points_interior);
+  // Every non-interior candidate point is distance-tested.
+  EXPECT_GE(profile.points_tested + profile.points_interior, count);
+}
+
+TEST(SealedGridIndexTest, DistinctIdsMergesAcrossInteriorCells) {
+  const BoundingBox box{-36.0, 148.0, -32.0, 153.0};
+  auto idx = GridIndex::Create(box, 0.05);
+  ASSERT_TRUE(idx.ok());
+  // The same id in many cells: distinct count must be 1 regardless of how
+  // many interior/boundary cells the circle covers.
+  for (int i = 0; i < 200; ++i) {
+    idx->Insert(IndexedPoint{LatLon{-33.9 + (i % 20) * 0.01, 151.0 + (i / 20) * 0.01},
+                             7});
+  }
+  const SealedGridIndex sealed = idx->Seal();
+  EXPECT_EQ(sealed.CountDistinctIds(LatLon{-33.8, 151.05}, 60000.0), 1u);
+  EXPECT_EQ(sealed.CountDistinctIds(LatLon{-35.9, 148.1}, 100.0), 0u);
+}
+
+}  // namespace
+}  // namespace twimob::geo

@@ -130,6 +130,37 @@ TEST(RadiationModelTest, InterveningPopulationDampensFlows) {
   EXPECT_GT(model->Predict(near_pair), model->Predict(far_pair));
 }
 
+TEST(AreaDistanceMatrixTest, EntriesAreExactHaversines) {
+  const auto areas = LineAreas();
+  const AreaDistanceMatrix distances(areas);
+  ASSERT_EQ(distances.size(), areas.size());
+  for (size_t i = 0; i < areas.size(); ++i) {
+    for (size_t j = 0; j < areas.size(); ++j) {
+      // Bit equality, not tolerance: the cached s sums must be
+      // byte-identical to the recomputing form.
+      EXPECT_EQ(distances(i, j),
+                geo::HaversineMeters(areas[i].center, areas[j].center));
+    }
+  }
+}
+
+TEST(AreaDistanceMatrixTest, CachedInterveningPopulationIsBitIdentical) {
+  const auto areas = LineAreas();
+  const AreaDistanceMatrix distances(areas);
+  for (size_t i = 0; i < areas.size(); ++i) {
+    for (size_t j = 0; j < areas.size(); ++j) {
+      if (i == j) continue;
+      const double d = geo::HaversineMeters(areas[i].center, areas[j].center);
+      // Sweep radii below, at, and above the pair distance.
+      for (const double r : {0.5 * d, d, 1.5 * d}) {
+        EXPECT_EQ(RadiationModel::InterveningPopulation(distances, kMasses, i, j, r),
+                  RadiationModel::InterveningPopulation(areas, kMasses, i, j, r))
+            << "i=" << i << " j=" << j << " r=" << r;
+      }
+    }
+  }
+}
+
 TEST(RadiationModelTest, ToStringMentionsModel) {
   const auto areas = LineAreas();
   auto model = RadiationModel::Fit(RadiationObservations(areas, kMasses, 1.5),

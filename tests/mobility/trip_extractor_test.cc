@@ -1,7 +1,11 @@
 #include "mobility/trip_extractor.h"
 
+#include <limits>
+#include <optional>
+
 #include <gtest/gtest.h>
 
+#include "geo/geodesic.h"
 #include "random/rng.h"
 
 namespace twimob::mobility {
@@ -279,6 +283,58 @@ TEST(ExtractTripsParallelTest, UncompactedTableFailsLikeSerial) {
   EXPECT_TRUE(ExtractTripsParallel(table, TwoAreas(), 50000.0, pool)
                   .status()
                   .IsFailedPrecondition());
+}
+
+/// Reference assignment with no prefilters: nearest centre within radius,
+/// first index winning ties (strict `<`), exactly AssignToArea's contract.
+std::optional<size_t> BruteAssign(const geo::LatLon& pos,
+                                  const std::vector<census::Area>& areas,
+                                  double radius_m) {
+  double best = std::numeric_limits<double>::infinity();
+  std::optional<size_t> best_idx;
+  for (size_t i = 0; i < areas.size(); ++i) {
+    const double d = geo::HaversineMeters(pos, areas[i].center);
+    if (d <= radius_m && d < best) {
+      best = d;
+      best_idx = i;
+    }
+  }
+  return best_idx;
+}
+
+TEST(AreaAssignerTest, PrefiltersNeverChangeTheAssignment) {
+  random::Xoshiro256 rng(99);
+  std::vector<census::Area> areas;
+  for (size_t i = 0; i < 40; ++i) {
+    areas.push_back(census::Area{static_cast<uint32_t>(i), "A",
+                                 geo::LatLon{rng.NextUniform(-38.0, -30.0),
+                                             rng.NextUniform(145.0, 153.0)},
+                                 100.0});
+  }
+  for (const double radius_m : {2000.0, 50000.0, 400000.0}) {
+    const AreaAssigner assigner(areas, radius_m);
+    for (int trial = 0; trial < 300; ++trial) {
+      const geo::LatLon p{rng.NextUniform(-40.0, -28.0),
+                          rng.NextUniform(143.0, 155.0)};
+      const auto expected = AssignToArea(p, areas, radius_m);
+      const auto fast = assigner.Assign(p);
+      EXPECT_EQ(fast, expected) << p.ToString() << " r=" << radius_m;
+      EXPECT_EQ(fast, BruteAssign(p, areas, radius_m))
+          << p.ToString() << " r=" << radius_m;
+    }
+  }
+}
+
+TEST(AreaAssignerTest, PointExactlyAtRadiusIsAssigned) {
+  const auto areas = TwoAreas();
+  const geo::LatLon at_radius =
+      geo::DestinationPoint(areas[0].center, 45.0, 10000.0);
+  const double d = geo::HaversineMeters(at_radius, areas[0].center);
+  const AreaAssigner assigner(areas, d);
+  const auto got = assigner.Assign(at_radius);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 0u);
+  EXPECT_FALSE(AreaAssigner(areas, d - 1.0).Assign(at_radius).has_value());
 }
 
 }  // namespace
