@@ -8,6 +8,7 @@
 #include "common/time_util.h"
 #include "core/report.h"
 #include "tweetdb/binary_codec.h"
+#include "tweetdb/storage_env.h"
 
 namespace twimob::bench {
 
@@ -106,17 +107,9 @@ void JsonWriter::Prefix(const std::string& key) {
 }
 
 Status JsonWriter::WriteFile(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::IOError("JsonWriter: cannot open " + path);
-  }
-  const size_t written = std::fwrite(out_.data(), 1, out_.size(), f);
-  const bool nl = std::fputc('\n', f) != EOF;
-  const bool closed = std::fclose(f) == 0;
-  if (written != out_.size() || !nl || !closed) {
-    return Status::IOError("JsonWriter: short write to " + path);
-  }
-  return Status::OK();
+  // Atomic tmp + rename: a crash mid-write leaves either the previous
+  // artifact or the complete new one, never a torn JSON document.
+  return tweetdb::AtomicWriteFile(*tweetdb::Env::Default(), path, out_ + "\n");
 }
 
 size_t BenchUserCount() {
@@ -145,6 +138,7 @@ std::string CorpusCachePath() {
 
 Result<tweetdb::TweetTable> LoadOrGenerateCorpus() {
   const std::string cache = CorpusCachePath();
+  tweetdb::Env& env = *tweetdb::Env::Default();
   {
     auto cached = tweetdb::ReadBinaryFile(cache);
     if (cached.ok()) {
@@ -153,6 +147,15 @@ Result<tweetdb::TweetTable> LoadOrGenerateCorpus() {
       // Cached corpora were compacted before writing; restore the flag.
       cached->CompactByUserTime();
       return cached;
+    }
+    if (env.FileExists(cache)) {
+      // The file is there but failed checksum/format verification — a relic
+      // of a crashed bench run or an older build. Never analyse it: delete
+      // and regenerate from the seed.
+      std::fprintf(stderr,
+                   "[bench] cache %s failed verification (%s); regenerating\n",
+                   cache.c_str(), cached.status().ToString().c_str());
+      (void)env.RemoveFile(cache);
     }
   }
 

@@ -1,9 +1,23 @@
 // Ablation A4 / storage micro-benchmarks (google-benchmark): ingest
-// throughput, block codec speed, and the effect of zone-map pruning on
-// scans.
+// throughput, block codec speed, checksum (CRC32C) overhead, and the
+// effect of zone-map pruning on scans.
+//
+// `--json <path>` skips google-benchmark and instead writes the
+// machine-readable checksum/codec profile (`BENCH_tweetdb.json`: format
+// version, DescribeTable storage accounting, CRC32C / encode / decode
+// throughput, verify-vs-no-verify overhead) via bench::JsonWriter. CI's
+// perf-smoke job uploads it as an artifact.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "bench_util.h"
+#include "common/crc32c.h"
+#include "common/time_util.h"
 #include "geo/bbox.h"
 #include "random/rng.h"
 #include "tweetdb/binary_codec.h"
@@ -58,18 +72,37 @@ void BM_EncodeTable(benchmark::State& state) {
 }
 BENCHMARK(BM_EncodeTable)->Arg(100000);
 
+// Decode with checksum verification on (the default) vs off — the cost of
+// the v4 integrity guarantee on the read path.
 void BM_DecodeTable(benchmark::State& state) {
   TweetTable table = BuildTable(static_cast<size_t>(state.range(0)), true);
   const std::string bytes = EncodeTable(table);
+  DecodeOptions options;
+  options.verify_checksums = state.range(1) != 0;
   state.counters["bytes_per_row"] =
       static_cast<double>(bytes.size()) / static_cast<double>(state.range(0));
   for (auto _ : state) {
-    auto decoded = DecodeTable(bytes);
+    auto decoded = DecodeTable(bytes, options);
     benchmark::DoNotOptimize(decoded.ok());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_DecodeTable)->Arg(100000);
+BENCHMARK(BM_DecodeTable)
+    ->Args({100000, 1})   // verify_checksums = true (production default)
+    ->Args({100000, 0});  // verification off: upper bound on decode speed
+
+// Raw CRC32C throughput over the encoded table blob (slice-by-8).
+void BM_Crc32c(benchmark::State& state) {
+  TweetTable table = BuildTable(static_cast<size_t>(state.range(0)), true);
+  const std::string bytes = EncodeTable(table);
+  for (auto _ : state) {
+    uint32_t crc = Crc32c(bytes.data(), bytes.size());
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_Crc32c)->Arg(100000);
 
 // The A4 question: zone-map pruning vs full scan for a selective predicate.
 void BM_ScanUserFilter(benchmark::State& state) {
@@ -120,7 +153,110 @@ void BM_ScanBboxFilter(benchmark::State& state) {
 }
 BENCHMARK(BM_ScanBboxFilter);
 
+template <typename Fn>
+double BestOfSeconds(int repeats, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < repeats; ++i) {
+    const double t0 = MonotonicSeconds();
+    fn();
+    best = std::min(best, MonotonicSeconds() - t0);
+  }
+  return best;
+}
+
+/// The machine-readable checksum/codec profile behind `--json`.
+int RunJsonProfile(const char* json_path) {
+  if (!Crc32cSelfTest()) {
+    std::fprintf(stderr, "[perf_tweetdb] CRC32C self-test FAILED\n");
+    return 1;
+  }
+  const size_t kRows = 1000000;
+  std::fprintf(stderr, "[perf_tweetdb] building %zu-row table...\n", kRows);
+  TweetTable table = BuildTable(kRows, true);
+  const TableDescription desc = DescribeTable(table);
+  const std::string bytes = EncodeTable(table);
+  const double mib = static_cast<double>(bytes.size()) / (1024.0 * 1024.0);
+
+  const double crc_s = BestOfSeconds(5, [&] {
+    uint32_t crc = Crc32c(bytes.data(), bytes.size());
+    benchmark::DoNotOptimize(crc);
+  });
+  const double encode_s = BestOfSeconds(3, [&] {
+    std::string encoded = EncodeTable(table);
+    benchmark::DoNotOptimize(encoded.size());
+  });
+  DecodeOptions no_verify;
+  no_verify.verify_checksums = false;
+  const double decode_verify_s = BestOfSeconds(3, [&] {
+    auto decoded = DecodeTable(bytes);
+    if (!decoded.ok()) std::abort();
+    benchmark::DoNotOptimize(decoded->num_rows());
+  });
+  const double decode_raw_s = BestOfSeconds(3, [&] {
+    auto decoded = DecodeTable(bytes, no_verify);
+    if (!decoded.ok()) std::abort();
+    benchmark::DoNotOptimize(decoded->num_rows());
+  });
+  const double overhead_pct =
+      decode_raw_s > 0.0
+          ? 100.0 * (decode_verify_s - decode_raw_s) / decode_raw_s
+          : 0.0;
+
+  std::fprintf(stderr,
+               "[perf_tweetdb] crc32c %.0f MiB/s | encode %.0f MiB/s | decode "
+               "%.0f MiB/s verified, %.0f MiB/s raw (overhead %.1f%%)\n",
+               mib / crc_s, mib / encode_s, mib / decode_verify_s,
+               mib / decode_raw_s, overhead_pct);
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "tweetdb");
+  json.Field("format_version", static_cast<uint64_t>(kBinaryFormatVersion));
+  json.BeginObject("corpus")
+      .Field("rows", static_cast<uint64_t>(desc.num_rows))
+      .Field("blocks", static_cast<uint64_t>(desc.num_blocks))
+      .Field("encoded_bytes", static_cast<uint64_t>(desc.encoded_bytes))
+      .Field("bytes_per_row", desc.bytes_per_row)
+      .Field("compression_ratio", desc.compression_ratio)
+      .EndObject();
+  json.BeginObject("checksum")
+      .Field("crc32c_mib_per_s", mib / crc_s)
+      .Field("encode_mib_per_s", mib / encode_s)
+      .Field("decode_verify_mib_per_s", mib / decode_verify_s)
+      .Field("decode_no_verify_mib_per_s", mib / decode_raw_s)
+      .Field("verify_overhead_pct", overhead_pct)
+      .EndObject();
+  json.EndObject();
+  const Status written = json.WriteFile(json_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "[perf_tweetdb] json write failed: %s\n",
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[perf_tweetdb] wrote %s\n", json_path);
+  return 0;
+}
+
 }  // namespace
 }  // namespace twimob::tweetdb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[i + 1];
+      // Remove both arguments so google-benchmark never sees them.
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+  if (json_path != nullptr) {
+    return twimob::tweetdb::RunJsonProfile(json_path);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -21,6 +21,7 @@ enum class StatusCode : int {
   kFailedPrecondition = 6,
   kUnimplemented = 7,
   kInternal = 8,
+  kUnavailable = 9,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -79,6 +80,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff the status is OK.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -98,6 +102,10 @@ class Status {
   bool IsFailedPrecondition() const { return code_ == StatusCode::kFailedPrecondition; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  /// Unavailable marks *transient* failures (e.g. an injected or real
+  /// intermittent I/O error) that callers may retry; see
+  /// tweetdb::WriteOptions for the storage layer's retry budget.
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -25,6 +25,31 @@ void StageRecord::SetScan(const tweetdb::ScanStatistics& statistics) {
   has_scan = true;
 }
 
+StageRecord MakeRecoveryRecord(const tweetdb::RecoveryReport& report,
+                               double wall_seconds) {
+  StageRecord record;
+  record.name = "recover";
+  record.wall_seconds = wall_seconds;
+  record.degraded = report.degraded();
+  record.AddCounter("rows_expected",
+                    static_cast<int64_t>(report.rows_expected()));
+  record.AddCounter("rows_recovered",
+                    static_cast<int64_t>(report.rows_recovered()));
+  if (report.shards_dropped() > 0) {
+    record.AddCounter("shards_dropped",
+                      static_cast<int64_t>(report.shards_dropped()));
+  }
+  if (report.blocks_dropped() > 0) {
+    record.AddCounter("blocks_dropped",
+                      static_cast<int64_t>(report.blocks_dropped()));
+  }
+  if (report.checksum_failures() > 0) {
+    record.AddCounter("checksum_failures",
+                      static_cast<int64_t>(report.checksum_failures()));
+  }
+  return record;
+}
+
 StageRecord& PipelineTrace::AddStage(std::string name) {
   stages_.push_back(StageRecord{});
   stages_.back().name = std::move(name);

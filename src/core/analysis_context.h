@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "tweetdb/dataset.h"
 #include "tweetdb/query.h"
 
 namespace twimob::core {
@@ -27,6 +28,11 @@ struct StageRecord {
   /// tweet store (see `has_scan`).
   tweetdb::ScanStatistics scan;
   bool has_scan = false;
+  /// True when the stage ran on salvaged (partially recovered) data — set
+  /// by the engine for every stage of a run whose dataset loaded with a
+  /// degraded RecoveryReport, and rendered as a warning by
+  /// RenderTraceTable.
+  bool degraded = false;
 
   /// Appends one counter.
   void AddCounter(std::string counter_name, int64_t value);
@@ -37,6 +43,13 @@ struct StageRecord {
   /// Attaches merged scan statistics and sets `has_scan`.
   void SetScan(const tweetdb::ScanStatistics& statistics);
 };
+
+/// Builds the trace record for a dataset-recovery step: counters carry the
+/// report's row/shard/block accounting and `degraded` mirrors
+/// report.degraded(). The engine prepends it when a run starts from a
+/// recovered dataset (PipelineState::recovery).
+StageRecord MakeRecoveryRecord(const tweetdb::RecoveryReport& report,
+                               double wall_seconds);
 
 /// Per-stage instrumentation accumulated over one or more pipeline runs.
 ///

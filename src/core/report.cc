@@ -127,8 +127,10 @@ std::string RenderTraceTable(const PipelineTrace& trace) {
   }
 
   TablePrinter tp({"Stage", "Wall", "Share", "Scan", "Counters"});
+  bool any_degraded = false;
   for (const StageRecord& r : trace.stages()) {
     const bool sub = r.name.find('/') != std::string::npos;
+    any_degraded = any_degraded || r.degraded;
     std::string scan = "-";
     if (r.has_scan) {
       scan = StrFormat("%zu rows, %zu/%zu blocks pruned", r.scan.rows_scanned,
@@ -140,7 +142,7 @@ std::string RenderTraceTable(const PipelineTrace& trace) {
       counters += StrFormat("%s=%lld", c.name.c_str(),
                             static_cast<long long>(c.value));
     }
-    tp.AddRow({(sub ? "  " : "") + r.name,
+    tp.AddRow({(r.degraded ? "! " : sub ? "  " : "") + r.name,
                StrFormat("%8.1f ms", r.wall_seconds * 1e3),
                sub || total <= 0.0
                    ? "-"
@@ -149,6 +151,11 @@ std::string RenderTraceTable(const PipelineTrace& trace) {
   }
   out += tp.ToString();
   out += StrFormat("total (top-level stages): %.1f ms\n", total * 1e3);
+  if (any_degraded) {
+    out +=
+        "! marked stages ran on salvaged (partially recovered) data — see "
+        "the recover stage counters for what was lost\n";
+  }
   return out;
 }
 

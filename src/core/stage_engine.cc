@@ -342,10 +342,22 @@ Status StageEngine::Run(AnalysisContext& ctx, const StageList& stages,
   if (external != nullptr) {
     state.dataset = tweetdb::TweetDataset::FromTable(std::move(*external));
   }
+  // A run over a recovered dataset starts with the recovery's own record;
+  // when the recovery was degraded (salvaged data), every stage of the run
+  // is flagged as having analysed partial data.
+  bool degraded_run = false;
+  if (state.recovery.has_value()) {
+    StageRecord recover =
+        MakeRecoveryRecord(*state.recovery, state.recovery_seconds);
+    degraded_run = recover.degraded;
+    ctx.trace().Append(recover);
+    state.result.trace.Append(std::move(recover));
+  }
   Status status = Status::OK();
   for (const std::unique_ptr<Stage>& stage : stages) {
     StageRecord record;
     record.name = stage->name();
+    record.degraded = degraded_run;
     const double t0 = MonotonicSeconds();
     status = stage->Run(ctx, state, record);
     record.wall_seconds = MonotonicSeconds() - t0;

@@ -35,6 +35,15 @@ struct PipelineState {
   /// from `external_table` by the engine.
   tweetdb::TweetDataset dataset;
 
+  /// Recovery outcome of loading `dataset` from storage, set by the caller
+  /// (alongside `recovery_seconds`) when the run analyses a dataset opened
+  /// with tweetdb::ReadDatasetFiles. The engine prepends a "recover" trace
+  /// record from it, and a degraded report marks every stage record of the
+  /// run as running on partial data (StageRecord::degraded).
+  std::optional<tweetdb::RecoveryReport> recovery;
+  /// Wall seconds the caller spent opening/recovering the dataset.
+  double recovery_seconds = 0.0;
+
   /// Filled by the `index` stage; later stages require it.
   std::optional<PopulationEstimator> estimator;
 

@@ -1,9 +1,9 @@
 #include "tweetdb/binary_codec.h"
 
 #include <cstring>
-#include <fstream>
-#include <sstream>
+#include <utility>
 
+#include "common/crc32c.h"
 #include "common/string_util.h"
 #include "tweetdb/encoding.h"
 
@@ -15,6 +15,8 @@ constexpr char kManifestMagic[4] = {'T', 'W', 'D', 'M'};
 // Decode guard: no real dataset needs more shards than this; a corrupt
 // count must fail fast instead of driving a huge allocation.
 constexpr uint64_t kMaxManifestShards = 1u << 20;
+// magic + version + block count — the CRC-guarded table header prefix.
+constexpr size_t kTableHeaderPrefix = 16;
 
 void PutDouble(std::string* dst, double value) {
   uint64_t bits;
@@ -28,6 +30,93 @@ bool GetDouble(std::string_view* src, double* value) {
   std::memcpy(value, &bits, sizeof(bits));
   return true;
 }
+
+size_t VarintLength(uint64_t value) {
+  size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Validates the v4 table header (magic, version, header CRC) and leaves
+/// `*bytes` positioned at the first block frame. `verify_crc` false skips
+/// only the checksum comparison, not the structural checks.
+Result<uint64_t> DecodeTableHeader(std::string_view* bytes, bool verify_crc) {
+  const std::string_view full = *bytes;
+  if (bytes->size() < 4 || std::string_view(bytes->data(), 4) !=
+                               std::string_view(kMagic, 4)) {
+    return Status::IOError("bad magic: not a twimob binary table");
+  }
+  bytes->remove_prefix(4);
+  uint32_t version;
+  if (!GetFixed32(bytes, &version)) return Status::IOError("truncated header");
+  if (version != kBinaryFormatVersion) {
+    return Status::IOError("unsupported format version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kBinaryFormatVersion) + ")");
+  }
+  uint64_t num_blocks;
+  if (!GetFixed64(bytes, &num_blocks)) return Status::IOError("truncated header");
+  uint32_t stored_crc;
+  if (!GetFixed32(bytes, &stored_crc)) return Status::IOError("truncated header");
+  if (verify_crc &&
+      stored_crc != Crc32c(full.data(), kTableHeaderPrefix)) {
+    return Status::IOError("table header checksum mismatch");
+  }
+  return num_blocks;
+}
+
+/// Consumes one block frame (length varint + CRC fixed32) and yields the
+/// payload view. Returns an error on framing loss; `*crc_ok` reports the
+/// checksum verdict (always true when `verify_crc` is off).
+Status DecodeBlockFrame(std::string_view* bytes, bool verify_crc,
+                        std::string_view* payload, bool* crc_ok) {
+  uint64_t len;
+  if (!GetVarint64(bytes, &len)) return Status::IOError("truncated block frame");
+  uint32_t stored_crc;
+  if (!GetFixed32(bytes, &stored_crc)) {
+    return Status::IOError("truncated block frame");
+  }
+  if (len > bytes->size()) {
+    return Status::IOError("block length exceeds remaining bytes");
+  }
+  *payload = std::string_view(bytes->data(), len);
+  bytes->remove_prefix(len);
+  *crc_ok = !verify_crc || stored_crc == Crc32c(payload->data(), payload->size());
+  return Status::OK();
+}
+
+/// Decodes one verified block payload; the payload must be consumed
+/// exactly (a correct CRC with leftover bytes means an encoder bug or a
+/// forged frame — reject it).
+Result<Block> DecodeBlockPayload(std::string_view payload) {
+  auto block = Block::Decode(&payload);
+  if (!block.ok()) return block.status();
+  if (!payload.empty()) {
+    return Status::IOError("block payload has trailing bytes");
+  }
+  return block;
+}
+
+/// Reads the generation out of a v4 manifest header without validating the
+/// body — used to pick a fresh generation when the installed manifest no
+/// longer decodes. Returns 0 when the bytes are not a v4 manifest.
+uint64_t PeekManifestGeneration(std::string_view bytes) {
+  if (bytes.size() < 16 || std::string_view(bytes.data(), 4) !=
+                               std::string_view(kManifestMagic, 4)) {
+    return 0;
+  }
+  bytes.remove_prefix(4);
+  uint32_t version;
+  if (!GetFixed32(&bytes, &version) || version != kBinaryFormatVersion) return 0;
+  uint64_t generation = 0;
+  GetFixed64(&bytes, &generation);
+  return generation;
+}
+
+Env& ResolveEnv(Env* env) { return env != nullptr ? *env : *Env::Default(); }
 }  // namespace
 
 std::string EncodeTable(const TweetTable& table) {
@@ -35,31 +124,34 @@ std::string EncodeTable(const TweetTable& table) {
   out.append(kMagic, 4);
   PutFixed32(&out, kBinaryFormatVersion);
   PutFixed64(&out, table.num_blocks());
+  PutFixed32(&out, Crc32c(out.data(), out.size()));
+  std::string scratch;
   for (size_t b = 0; b < table.num_blocks(); ++b) {
-    table.block(b).EncodeTo(&out);
+    scratch.clear();
+    table.block(b).EncodeTo(&scratch);
+    PutVarint64(&out, scratch.size());
+    PutFixed32(&out, Crc32c(scratch.data(), scratch.size()));
+    out.append(scratch);
   }
   return out;
 }
 
-Result<TweetTable> DecodeTable(std::string_view bytes) {
-  if (bytes.size() < 4 || std::string_view(bytes.data(), 4) !=
-                              std::string_view(kMagic, 4)) {
-    return Status::IOError("bad magic: not a twimob binary table");
-  }
-  bytes.remove_prefix(4);
-  uint32_t version;
-  if (!GetFixed32(&bytes, &version)) return Status::IOError("truncated header");
-  if (version != kBinaryFormatVersion) {
-    return Status::IOError("unsupported format version " + std::to_string(version));
-  }
-  uint64_t num_blocks;
-  if (!GetFixed64(&bytes, &num_blocks)) return Status::IOError("truncated header");
-
+Result<TweetTable> DecodeTable(std::string_view bytes,
+                               const DecodeOptions& options) {
+  TWIMOB_ASSIGN_OR_RETURN(const uint64_t num_blocks,
+                          DecodeTableHeader(&bytes, options.verify_checksums));
   TweetTable table;
   for (uint64_t b = 0; b < num_blocks; ++b) {
-    auto block = Block::Decode(&bytes);
-    if (!block.ok()) return block.status();
-    table.AdoptSealedBlock(std::move(*block));
+    std::string_view payload;
+    bool crc_ok;
+    TWIMOB_RETURN_IF_ERROR(
+        DecodeBlockFrame(&bytes, options.verify_checksums, &payload, &crc_ok));
+    if (!crc_ok) {
+      return Status::IOError("block " + std::to_string(b) +
+                             " checksum mismatch");
+    }
+    TWIMOB_ASSIGN_OR_RETURN(Block block, DecodeBlockPayload(payload));
+    table.AdoptSealedBlock(std::move(block));
   }
   if (!bytes.empty()) {
     return Status::IOError("trailing bytes after the last block");
@@ -67,15 +159,44 @@ Result<TweetTable> DecodeTable(std::string_view bytes) {
   return table;
 }
 
-Status WriteBinaryFile(TweetTable& table, const std::string& path) {
+Result<TweetTable> DecodeTableSalvage(std::string_view bytes,
+                                      TableSalvageReport* report) {
+  TableSalvageReport local;
+  TableSalvageReport& r = report != nullptr ? *report : local;
+  r = TableSalvageReport{};
+  // The header guards the framing; without it nothing downstream can be
+  // trusted, so a damaged header fails the whole blob (callers drop the
+  // shard and account for it).
+  TWIMOB_ASSIGN_OR_RETURN(const uint64_t num_blocks,
+                          DecodeTableHeader(&bytes, /*verify_crc=*/true));
+  r.blocks_total = num_blocks;
+  TweetTable table;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    std::string_view payload;
+    bool crc_ok;
+    if (!DecodeBlockFrame(&bytes, /*verify_crc=*/true, &payload, &crc_ok).ok()) {
+      // Framing loss: the length prefix itself is gone, so every later
+      // frame boundary is unknowable. Drop the remainder.
+      r.truncated = true;
+      break;
+    }
+    if (!crc_ok) {
+      ++r.checksum_failures;
+      continue;  // the length prefix still bounds the damage — skip one block
+    }
+    auto block = DecodeBlockPayload(payload);
+    if (!block.ok()) continue;  // verified CRC but undecodable: count as dropped
+    r.rows_recovered += block->num_rows();
+    ++r.blocks_recovered;
+    table.AdoptSealedBlock(std::move(*block));
+  }
+  return table;
+}
+
+Status WriteBinaryFile(TweetTable& table, const std::string& path, Env* env,
+                       const WriteOptions& options) {
   table.SealActive();
-  const std::string bytes = EncodeTable(table);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFile(ResolveEnv(env), path, EncodeTable(table), options);
 }
 
 TableDescription DescribeTable(const TweetTable& table) {
@@ -85,10 +206,11 @@ TableDescription DescribeTable(const TweetTable& table) {
   for (size_t b = 0; b < table.num_blocks(); ++b) {
     scratch.clear();
     table.block(b).EncodeTo(&scratch);
-    d.encoded_bytes += scratch.size();
+    // payload + length varint + payload CRC32C
+    d.encoded_bytes += scratch.size() + VarintLength(scratch.size()) + 4;
     d.num_rows += table.block(b).num_rows();
   }
-  d.encoded_bytes += 16;  // magic + version + block count
+  d.encoded_bytes += kTableHeaderPrefix + 4;  // header + header CRC32C
   d.raw_bytes = d.num_rows * 24;  // u64 user + i64 ts + 2x i32 coords
   if (d.num_rows > 0) {
     d.bytes_per_row =
@@ -101,13 +223,9 @@ TableDescription DescribeTable(const TweetTable& table) {
   return d;
 }
 
-Result<TweetTable> ReadBinaryFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open for reading: " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  if (!in && !in.eof()) return Status::IOError("read failed: " + path);
-  const std::string bytes = ss.str();
+Result<TweetTable> ReadBinaryFile(const std::string& path, Env* env) {
+  TWIMOB_ASSIGN_OR_RETURN(const std::string bytes,
+                          ReadFileToString(ResolveEnv(env), path));
   return DecodeTable(bytes);
 }
 
@@ -115,6 +233,7 @@ std::string EncodeManifest(const Manifest& manifest) {
   std::string out;
   out.append(kManifestMagic, 4);
   PutFixed32(&out, kBinaryFormatVersion);
+  PutFixed64(&out, manifest.generation);
   PutFixed64(&out, static_cast<uint64_t>(manifest.partition.origin));
   PutFixed64(&out, static_cast<uint64_t>(manifest.partition.width_seconds));
   PutFixed64(&out, manifest.shards.size());
@@ -130,10 +249,12 @@ std::string EncodeManifest(const Manifest& manifest) {
     PutDouble(&out, s.bbox.max_lat);
     PutDouble(&out, s.bbox.max_lon);
   }
+  PutFixed32(&out, Crc32c(out.data(), out.size()));
   return out;
 }
 
 Result<Manifest> DecodeManifest(std::string_view bytes) {
+  const std::string_view full = bytes;
   if (bytes.size() < 4 || std::string_view(bytes.data(), 4) !=
                               std::string_view(kManifestMagic, 4)) {
     return Status::IOError("bad magic: not a twimob dataset manifest");
@@ -143,12 +264,27 @@ Result<Manifest> DecodeManifest(std::string_view bytes) {
   if (!GetFixed32(&bytes, &manifest.format_version)) {
     return Status::IOError("truncated manifest header");
   }
+  // Version before checksum: a v3 manifest has no trailing CRC, and the
+  // caller deserves "version skew", not "checksum mismatch".
   if (manifest.format_version != kBinaryFormatVersion) {
     return Status::IOError("unsupported manifest format version " +
-                           std::to_string(manifest.format_version));
+                           std::to_string(manifest.format_version) +
+                           " (expected " +
+                           std::to_string(kBinaryFormatVersion) + ")");
   }
+  if (full.size() < 4 + 4 + 4) {
+    return Status::IOError("truncated manifest header");
+  }
+  uint32_t stored_crc;
+  std::string_view tail(full.data() + full.size() - 4, 4);
+  if (!GetFixed32(&tail, &stored_crc) ||
+      stored_crc != Crc32c(full.data(), full.size() - 4)) {
+    return Status::IOError("manifest checksum mismatch");
+  }
+  bytes.remove_suffix(4);  // the trailing CRC, already consumed above
   uint64_t origin, width, shard_count;
-  if (!GetFixed64(&bytes, &origin) || !GetFixed64(&bytes, &width) ||
+  if (!GetFixed64(&bytes, &manifest.generation) ||
+      !GetFixed64(&bytes, &origin) || !GetFixed64(&bytes, &width) ||
       !GetFixed64(&bytes, &shard_count)) {
     return Status::IOError("truncated manifest header");
   }
@@ -192,48 +328,133 @@ Result<Manifest> DecodeManifest(std::string_view bytes) {
   return manifest;
 }
 
-std::string ShardFilePath(const std::string& manifest_path, int64_t key) {
-  return StrFormat("%s.shard-%lld", manifest_path.c_str(),
+std::string ShardFilePath(const std::string& manifest_path, uint64_t generation,
+                          int64_t key) {
+  return StrFormat("%s.g%llu.shard-%lld", manifest_path.c_str(),
+                   static_cast<unsigned long long>(generation),
                    static_cast<long long>(key));
 }
 
-Status WriteDatasetFiles(TweetDataset& dataset, const std::string& path) {
+Status WriteDatasetFiles(TweetDataset& dataset, const std::string& path,
+                         Env* env_in, const WriteOptions& options) {
+  Env& env = ResolveEnv(env_in);
   dataset.SealAll();
   Manifest manifest = dataset.BuildManifest();
   manifest.format_version = kBinaryFormatVersion;
-  const std::string bytes = EncodeManifest(manifest);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) return Status::IOError("write failed: " + path);
+
+  // A rewrite must never touch the files the installed manifest points at,
+  // so the new dataset goes under the next generation and the old files
+  // are removed only after the new manifest is in place.
+  manifest.generation = 1;
+  Manifest old_manifest;
+  bool have_old = false;
+  if (env.FileExists(path)) {
+    TWIMOB_ASSIGN_OR_RETURN(const std::string old_bytes,
+                            ReadFileToString(env, path));
+    auto old_decoded = DecodeManifest(old_bytes);
+    if (old_decoded.ok()) {
+      old_manifest = std::move(*old_decoded);
+      have_old = true;
+      manifest.generation = old_manifest.generation + 1;
+    } else {
+      // The installed manifest is unreadable (e.g. version skew). The old
+      // dataset is already lost to strict readers; just avoid reusing its
+      // generation so stale shard files cannot alias new ones.
+      manifest.generation = PeekManifestGeneration(old_bytes) + 1;
+    }
+  }
+
+  // Shard files first...
   for (size_t i = 0; i < dataset.num_shards(); ++i) {
-    TWIMOB_RETURN_IF_ERROR(WriteBinaryFile(
-        dataset.mutable_shard(i), ShardFilePath(path, dataset.shard_key(i))));
+    dataset.mutable_shard(i).SealActive();
+    TWIMOB_RETURN_IF_ERROR(AtomicWriteFile(
+        env, ShardFilePath(path, manifest.generation, dataset.shard_key(i)),
+        EncodeTable(dataset.shard(i)), options));
+  }
+  // ...the manifest last: its rename is the commit point.
+  TWIMOB_RETURN_IF_ERROR(
+      AtomicWriteFile(env, path, EncodeManifest(manifest), options));
+
+  // Garbage-collect the superseded generation. Best effort: a leftover
+  // file wastes space but can never be read (wrong generation in its name).
+  if (have_old && old_manifest.generation != manifest.generation) {
+    for (const ShardSummary& s : old_manifest.shards) {
+      (void)env.RemoveFile(ShardFilePath(path, old_manifest.generation, s.key));
+    }
   }
   return Status::OK();
 }
 
-Result<TweetDataset> ReadDatasetFiles(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open for reading: " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  if (!in && !in.eof()) return Status::IOError("read failed: " + path);
-  auto manifest = DecodeManifest(ss.str());
-  if (!manifest.ok()) return manifest.status();
+Result<TweetDataset> ReadDatasetFiles(const std::string& path,
+                                      RecoveryPolicy policy,
+                                      RecoveryReport* report, Env* env_in) {
+  Env& env = ResolveEnv(env_in);
+  RecoveryReport local;
+  RecoveryReport& r = report != nullptr ? *report : local;
+  r = RecoveryReport{};
+  r.policy = policy;
 
-  TweetDataset dataset(manifest->partition);
-  for (const ShardSummary& s : manifest->shards) {
-    auto table = ReadBinaryFile(ShardFilePath(path, s.key));
-    if (!table.ok()) return table.status();
-    if (table->num_rows() != s.num_rows) {
-      return Status::IOError(StrFormat(
-          "shard %lld row count mismatch: manifest says %llu, file has %zu",
-          static_cast<long long>(s.key),
-          static_cast<unsigned long long>(s.num_rows), table->num_rows()));
+  // The manifest is required under both policies: it is small, written
+  // atomically and CRC-guarded, and without it the dataset's shape (keys,
+  // generation, partition) is unknowable.
+  TWIMOB_ASSIGN_OR_RETURN(const std::string manifest_bytes,
+                          ReadFileToString(env, path));
+  TWIMOB_ASSIGN_OR_RETURN(Manifest manifest, DecodeManifest(manifest_bytes));
+  r.generation = manifest.generation;
+
+  TweetDataset dataset(manifest.partition);
+  for (const ShardSummary& s : manifest.shards) {
+    ShardRecovery rec;
+    rec.key = s.key;
+    rec.rows_expected = s.num_rows;
+    const std::string shard_path = ShardFilePath(path, manifest.generation, s.key);
+    auto bytes = ReadFileToString(env, shard_path);
+    if (!bytes.ok()) {
+      if (policy == RecoveryPolicy::kStrict) return bytes.status();
+      rec.dropped = true;
+      rec.status = bytes.status();
+      r.shards.push_back(std::move(rec));
+      continue;
     }
-    TWIMOB_RETURN_IF_ERROR(dataset.AdoptShard(s.key, std::move(*table)));
+    if (policy == RecoveryPolicy::kStrict) {
+      auto table = DecodeTable(*bytes);
+      if (!table.ok()) return table.status();
+      if (table->num_rows() != s.num_rows) {
+        return Status::IOError(StrFormat(
+            "shard %lld row count mismatch: manifest says %llu, file has %zu",
+            static_cast<long long>(s.key),
+            static_cast<unsigned long long>(s.num_rows), table->num_rows()));
+      }
+      rec.rows_recovered = table->num_rows();
+      rec.blocks_total = table->num_blocks();
+      TWIMOB_RETURN_IF_ERROR(dataset.AdoptShard(s.key, std::move(*table)));
+    } else {
+      TableSalvageReport tsr;
+      auto table = DecodeTableSalvage(*bytes, &tsr);
+      if (!table.ok()) {
+        rec.dropped = true;
+        rec.status = table.status();
+        r.shards.push_back(std::move(rec));
+        continue;
+      }
+      rec.blocks_total = tsr.blocks_total;
+      rec.blocks_dropped = tsr.blocks_total - tsr.blocks_recovered;
+      rec.checksum_failures = tsr.checksum_failures;
+      rec.truncated = tsr.truncated;
+      rec.rows_recovered = tsr.rows_recovered;
+      if (rec.rows_recovered != rec.rows_expected && rec.status.ok() &&
+          rec.blocks_dropped == 0 && !rec.truncated) {
+        rec.status = Status::IOError(
+            "shard rows disagree with manifest with all blocks intact");
+      }
+      const Status adopt = dataset.AdoptShard(s.key, std::move(*table));
+      if (!adopt.ok()) {
+        rec.dropped = true;
+        rec.rows_recovered = 0;
+        rec.status = adopt;
+      }
+    }
+    r.shards.push_back(std::move(rec));
   }
   return dataset;
 }

@@ -1,17 +1,21 @@
 #ifndef TWIMOB_TWEETDB_BINARY_CODEC_H_
 #define TWIMOB_TWEETDB_BINARY_CODEC_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"
 #include "tweetdb/dataset.h"
+#include "tweetdb/storage_env.h"
 #include "tweetdb/table.h"
 
 namespace twimob::tweetdb {
 
 /// Binary table file format (little-endian):
 ///   magic "TWDB" (4 bytes) | version fixed32 | block count fixed64 |
-///   blocks... (block.h encoding, self-delimiting)
+///   header CRC32C fixed32 (over the preceding 16 bytes) | per block:
+///   payload length varint | payload CRC32C fixed32 | payload (block.h
+///   encoding).
 /// Version 2 blocks carry a per-column encoding tag: integer columns pick
 /// delta-varint or frame-of-reference bit packing, user codes pick varint
 /// or fixed-width bit packing — whichever is smaller for the block.
@@ -20,27 +24,64 @@ namespace twimob::tweetdb {
 ///
 /// Version 3 adds the partitioned-dataset container: a manifest file
 /// ("TWDM" magic) describing the partition spec and one zone-map summary
-/// per shard, alongside one table file ("TWDB") per shard. Table files are
-/// otherwise unchanged from version 2 (same block encoding).
+/// per shard, alongside one table file ("TWDB") per shard.
+///
+/// Version 4 adds end-to-end integrity and crash consistency: a header
+/// CRC32C guards the block count before it drives any allocation, each
+/// block payload is length-prefixed and carries its own CRC32C (verified
+/// before the block decoder trusts any embedded length), manifests carry a
+/// write generation plus a whole-file trailing CRC32C, shard files are
+/// generation-qualified, and every dataset write goes through the storage
+/// Env with write-temp / fsync / atomic-rename, manifest last.
 
-inline constexpr uint32_t kBinaryFormatVersion = 3;
+inline constexpr uint32_t kBinaryFormatVersion = 4;
+
+/// Decode-time knobs.
+struct DecodeOptions {
+  /// Verify the header and per-block CRC32C checksums (the default; turn
+  /// off only to measure raw decode throughput — see perf_tweetdb).
+  bool verify_checksums = true;
+};
 
 /// Serialises the table into a byte string (active tail is NOT included;
 /// callers seal first — WriteBinaryFile does).
 std::string EncodeTable(const TweetTable& table);
 
-/// Decodes a table from bytes.
-Result<TweetTable> DecodeTable(std::string_view bytes);
+/// Decodes a table from bytes, verifying checksums per `options`. Any
+/// corruption — bad magic, version skew, checksum mismatch, truncation,
+/// trailing bytes — is a Status error, never a crash.
+Result<TweetTable> DecodeTable(std::string_view bytes,
+                               const DecodeOptions& options = {});
 
-/// Seals and writes the table to `path`. The table is mutated only by the
-/// seal (no rows change).
-Status WriteBinaryFile(TweetTable& table, const std::string& path);
+/// What DecodeTableSalvage managed to pull out of a damaged table blob.
+struct TableSalvageReport {
+  uint64_t blocks_total = 0;       ///< block count the header declared
+  uint64_t blocks_recovered = 0;
+  uint64_t checksum_failures = 0;  ///< blocks skipped for CRC mismatch
+  uint64_t rows_recovered = 0;
+  bool truncated = false;          ///< framing ended before blocks_total
+};
+
+/// Best-effort decode: recovers every block whose CRC32C verifies,
+/// skipping corrupt blocks by their length prefix. The header (magic,
+/// version, block count, header CRC) must be intact — without it the
+/// framing cannot be trusted and the whole blob is an error. `report`
+/// (optional) receives exact accounting.
+Result<TweetTable> DecodeTableSalvage(std::string_view bytes,
+                                      TableSalvageReport* report = nullptr);
+
+/// Seals and writes the table to `path` via AtomicWriteFile (write temp,
+/// sync, rename — a crash leaves the old file or the new one, never a torn
+/// hybrid). The table is mutated only by the seal (no rows change).
+Status WriteBinaryFile(TweetTable& table, const std::string& path,
+                       Env* env = nullptr, const WriteOptions& options = {});
 
 /// Reads a table previously written by WriteBinaryFile.
-Result<TweetTable> ReadBinaryFile(const std::string& path);
+Result<TweetTable> ReadBinaryFile(const std::string& path, Env* env = nullptr);
 
 /// Storage accounting for one table (computed by encoding the sealed
-/// blocks — the numbers the file on disk would have).
+/// blocks — the numbers the file on disk would have, including the
+/// per-block length + CRC32C framing).
 struct TableDescription {
   size_t num_rows = 0;
   size_t num_blocks = 0;
@@ -55,33 +96,49 @@ struct TableDescription {
 TableDescription DescribeTable(const TweetTable& table);
 
 /// Manifest file format (little-endian):
-///   magic "TWDM" (4 bytes) | version fixed32 | partition origin fixed64 |
-///   partition width fixed64 | shard count fixed64 | per shard:
-///   key fixed64 | rows fixed64 | min/max user fixed64 | min/max time
-///   fixed64 | bbox 4 x double (IEEE-754 bits, fixed64).
+///   magic "TWDM" (4 bytes) | version fixed32 | generation fixed64 |
+///   partition origin fixed64 | partition width fixed64 | shard count
+///   fixed64 | per shard: key fixed64 | rows fixed64 | min/max user
+///   fixed64 | min/max time fixed64 | bbox 4 x double (IEEE-754 bits,
+///   fixed64) | trailing CRC32C fixed32 over all preceding bytes.
 /// Shards must appear in strictly ascending key order; duplicates are a
 /// decode error.
 
 /// Serialises a manifest into a byte string.
 std::string EncodeManifest(const Manifest& manifest);
 
-/// Decodes a manifest, validating magic, version, shard-count sanity and
-/// key ordering. Never crashes on malformed input.
+/// Decodes a manifest, validating magic, version, the whole-file CRC32C,
+/// shard-count sanity and key ordering. Never crashes on malformed input.
 Result<Manifest> DecodeManifest(std::string_view bytes);
 
-/// The shard file path of `key` for a dataset rooted at `manifest_path`
-/// (e.g. "corpus.twdb" -> "corpus.twdb.shard-<key>").
-std::string ShardFilePath(const std::string& manifest_path, int64_t key);
+/// The shard file path of `key` at write `generation` for a dataset rooted
+/// at `manifest_path` (e.g. "corpus.twdb" -> "corpus.twdb.g1.shard-<key>").
+/// Generation-qualified names are what make rewrites crash-consistent: a
+/// new generation never overwrites the files the installed manifest
+/// references.
+std::string ShardFilePath(const std::string& manifest_path, uint64_t generation,
+                          int64_t key);
 
-/// Seals the dataset and writes its manifest to `path` plus one table file
-/// per shard at ShardFilePath(path, key).
-Status WriteDatasetFiles(TweetDataset& dataset, const std::string& path);
+/// Seals the dataset and atomically writes it under a fresh generation:
+/// every shard file first (temp + sync + rename each), the manifest LAST,
+/// then best-effort removal of the previous generation's shard files. A
+/// crash at any operation leaves the previous dataset fully readable or
+/// the new one fully installed — never a mix. `env` defaults to
+/// Env::Default().
+Status WriteDatasetFiles(TweetDataset& dataset, const std::string& path,
+                         Env* env = nullptr, const WriteOptions& options = {});
 
-/// Reads a dataset previously written by WriteDatasetFiles: decodes the
-/// manifest, loads every shard file, and verifies each shard's row count
-/// against its manifest entry. Any mismatch, truncation, version skew or
-/// duplicate key is a Status error — never a crash.
-Result<TweetDataset> ReadDatasetFiles(const std::string& path);
+/// Reads a dataset previously written by WriteDatasetFiles. Under
+/// RecoveryPolicy::kStrict any mismatch, corruption, truncation, version
+/// skew or duplicate key is a Status error — never a crash. Under
+/// kSalvage, damaged blocks and unreadable shards are dropped and the
+/// remainder is returned; `report` (optional under either policy)
+/// receives per-shard accounting. The manifest itself must decode (it is
+/// written atomically and CRC-guarded, so a damaged manifest means the
+/// dataset's shape is unknown).
+Result<TweetDataset> ReadDatasetFiles(
+    const std::string& path, RecoveryPolicy policy = RecoveryPolicy::kStrict,
+    RecoveryReport* report = nullptr, Env* env = nullptr);
 
 }  // namespace twimob::tweetdb
 

@@ -4,9 +4,63 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/string_util.h"
 #include "common/time_util.h"
 
 namespace twimob::tweetdb {
+
+uint64_t RecoveryReport::rows_expected() const {
+  uint64_t n = 0;
+  for (const ShardRecovery& s : shards) n += s.rows_expected;
+  return n;
+}
+
+uint64_t RecoveryReport::rows_recovered() const {
+  uint64_t n = 0;
+  for (const ShardRecovery& s : shards) n += s.rows_recovered;
+  return n;
+}
+
+uint64_t RecoveryReport::shards_dropped() const {
+  uint64_t n = 0;
+  for (const ShardRecovery& s : shards) n += s.dropped ? 1 : 0;
+  return n;
+}
+
+uint64_t RecoveryReport::blocks_dropped() const {
+  uint64_t n = 0;
+  for (const ShardRecovery& s : shards) n += s.blocks_dropped;
+  return n;
+}
+
+uint64_t RecoveryReport::checksum_failures() const {
+  uint64_t n = 0;
+  for (const ShardRecovery& s : shards) n += s.checksum_failures;
+  return n;
+}
+
+bool RecoveryReport::degraded() const {
+  for (const ShardRecovery& s : shards) {
+    if (s.dropped || s.truncated || s.blocks_dropped > 0 ||
+        s.checksum_failures > 0 || s.rows_recovered != s.rows_expected) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string RecoveryReport::ToString() const {
+  return StrFormat(
+      "%s gen %llu: recovered %llu/%llu rows across %zu shards "
+      "(%llu dropped shards, %llu dropped blocks, %llu checksum failures)",
+      policy == RecoveryPolicy::kSalvage ? "salvage" : "strict",
+      static_cast<unsigned long long>(generation),
+      static_cast<unsigned long long>(rows_recovered()),
+      static_cast<unsigned long long>(rows_expected()), shards.size(),
+      static_cast<unsigned long long>(shards_dropped()),
+      static_cast<unsigned long long>(blocks_dropped()),
+      static_cast<unsigned long long>(checksum_failures()));
+}
 
 int64_t PartitionSpec::KeyForTime(int64_t timestamp) const {
   if (width_seconds <= 0) return 0;

@@ -2,6 +2,7 @@
 #define TWIMOB_TWEETDB_DATASET_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -50,12 +51,68 @@ struct ShardSummary {
 };
 
 /// On-disk description of a partitioned dataset: the format version, the
-/// partition scheme, and one summary per shard in ascending key order.
-/// Encoded/decoded by the binary codec (binary_codec.h).
+/// write generation, the partition scheme, and one summary per shard in
+/// ascending key order. Encoded/decoded by the binary codec
+/// (binary_codec.h).
+///
+/// `generation` makes dataset rewrites crash-consistent: every
+/// WriteDatasetFiles stamps a fresh generation and writes its shard files
+/// under generation-qualified names, so a crash mid-rewrite can never tear
+/// the shard files the previous (still-installed) manifest points at.
 struct Manifest {
   uint32_t format_version = 0;  ///< kBinaryFormatVersion at write time
+  uint64_t generation = 1;      ///< monotonic per dataset path, starts at 1
   PartitionSpec partition;
   std::vector<ShardSummary> shards;
+};
+
+/// How ReadDatasetFiles treats a damaged dataset.
+enum class RecoveryPolicy {
+  /// Any checksum failure, truncation, missing shard file or row-count
+  /// mismatch is a Status error (the default — corruption never passes
+  /// silently).
+  kStrict,
+  /// Recover every block whose checksum verifies; drop corrupt blocks and
+  /// unreadable shards, and account for every loss in the RecoveryReport.
+  kSalvage,
+};
+
+/// Per-shard salvage accounting: what the manifest promised, what the
+/// shard file yielded, and what was dropped on the floor.
+struct ShardRecovery {
+  int64_t key = 0;
+  bool dropped = false;           ///< whole shard lost (unreadable/bad header)
+  bool truncated = false;         ///< block framing ended early
+  uint64_t rows_expected = 0;     ///< manifest row count
+  uint64_t rows_recovered = 0;
+  uint64_t blocks_total = 0;      ///< block count the shard header declared
+  uint64_t blocks_dropped = 0;
+  uint64_t checksum_failures = 0;
+  Status status = Status::OK();   ///< first error observed for this shard
+};
+
+/// The outcome of a ReadDatasetFiles call: which policy ran, which
+/// generation was opened, and exact per-shard row/block accounting. A
+/// degraded report is surfaced by the analysis pipeline (the trace marks
+/// every downstream stage as running on partial data).
+struct RecoveryReport {
+  RecoveryPolicy policy = RecoveryPolicy::kStrict;
+  uint64_t generation = 0;
+  std::vector<ShardRecovery> shards;
+
+  /// Sums over shards.
+  uint64_t rows_expected() const;
+  uint64_t rows_recovered() const;
+  uint64_t shards_dropped() const;
+  uint64_t blocks_dropped() const;
+  uint64_t checksum_failures() const;
+
+  /// True when any data was lost or any shard deviated from its manifest
+  /// entry — the dataset opened, but not at full fidelity.
+  bool degraded() const;
+
+  /// One-line human-readable summary ("recovered 9980/10000 rows, ...").
+  std::string ToString() const;
 };
 
 /// A set of time-partitioned shards, each an independent TweetTable.

@@ -1,0 +1,76 @@
+#include "common/crc32c.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+
+namespace twimob {
+namespace {
+
+/// Bit-at-a-time reference implementation the slice-by-8 fast path is
+/// checked against on random inputs.
+uint32_t ReferenceCrc32c(const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc ^= p[i];
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+TEST(Crc32cTest, StandardVectors) {
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32c("a", 1), 0xC1D04330u);
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, SelfTestPasses) { EXPECT_TRUE(Crc32cSelfTest()); }
+
+TEST(Crc32cTest, MatchesReferenceOnRandomBuffers) {
+  random::Xoshiro256 rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Lengths around the slice-by-8 boundaries (0..40 bytes) plus larger
+    // unaligned buffers.
+    const size_t n = trial < 41 ? static_cast<size_t>(trial)
+                                : 1000 + rng.NextUint64(5000);
+    std::string buf(n, '\0');
+    for (char& c : buf) c = static_cast<char>(rng.NextUint64(256));
+    EXPECT_EQ(Crc32c(buf.data(), n), ReferenceCrc32c(buf.data(), n)) << n;
+  }
+}
+
+TEST(Crc32cTest, ExtendEqualsOneShot) {
+  random::Xoshiro256 rng(43);
+  std::string buf(4096, '\0');
+  for (char& c : buf) c = static_cast<char>(rng.NextUint64(256));
+  const uint32_t whole = Crc32c(buf.data(), buf.size());
+  for (size_t split : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                       size_t{1000}, buf.size()}) {
+    const uint32_t part = Crc32cExtend(Crc32c(buf.data(), split),
+                                       buf.data() + split, buf.size() - split);
+    EXPECT_EQ(part, whole) << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsEverySingleByteFlip) {
+  random::Xoshiro256 rng(44);
+  std::string buf(256, '\0');
+  for (char& c : buf) c = static_cast<char>(rng.NextUint64(256));
+  const uint32_t clean = Crc32c(buf.data(), buf.size());
+  for (size_t i = 0; i < buf.size(); ++i) {
+    std::string corrupt = buf;
+    corrupt[i] ^= static_cast<char>(1 + rng.NextUint64(255));
+    EXPECT_NE(Crc32c(corrupt.data(), corrupt.size()), clean) << i;
+  }
+}
+
+}  // namespace
+}  // namespace twimob

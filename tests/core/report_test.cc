@@ -102,6 +102,33 @@ TEST(ReportTest, TableIIHandlesMissingMobility) {
   EXPECT_NE(s.find("skipped"), std::string::npos);
 }
 
+TEST(ReportTest, TraceTableMarksDegradedStagesWithFootnote) {
+  PipelineTrace trace;
+  StageRecord& recover = trace.AddStage("recover");
+  recover.wall_seconds = 0.001;
+  recover.degraded = true;
+  recover.AddCounter("rows_expected", 100);
+  recover.AddCounter("rows_recovered", 90);
+  StageRecord& compact = trace.AddStage("compact");
+  compact.wall_seconds = 0.002;
+  compact.degraded = true;
+
+  const std::string s = RenderTraceTable(trace);
+  EXPECT_NE(s.find("! recover"), std::string::npos);
+  EXPECT_NE(s.find("! compact"), std::string::npos);
+  EXPECT_NE(s.find("rows_recovered=90"), std::string::npos);
+  EXPECT_NE(s.find("salvaged"), std::string::npos);
+}
+
+TEST(ReportTest, TraceTableOmitsFootnoteWhenClean) {
+  PipelineTrace trace;
+  StageRecord& compact = trace.AddStage("compact");
+  compact.wall_seconds = 0.002;
+  const std::string s = RenderTraceTable(trace);
+  EXPECT_EQ(s.find("! "), std::string::npos);
+  EXPECT_EQ(s.find("salvaged"), std::string::npos);
+}
+
 TEST(ReportTest, MobilityScaleShowsModelsAndBins) {
   const std::string s = RenderMobilityScale(FakeResult().mobility[0]);
   EXPECT_NE(s.find("FIGURE 4"), std::string::npos);

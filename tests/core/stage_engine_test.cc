@@ -200,6 +200,74 @@ class NeverReachedStage : public Stage {
   }
 };
 
+class NoopStage : public Stage {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "noop";
+    return kName;
+  }
+  Status Run(AnalysisContext&, PipelineState&, StageRecord&) override {
+    return Status::OK();
+  }
+};
+
+tweetdb::RecoveryReport OneShardReport(uint64_t rows_recovered,
+                                       uint64_t blocks_dropped) {
+  tweetdb::RecoveryReport report;
+  report.policy = tweetdb::RecoveryPolicy::kSalvage;
+  report.generation = 3;
+  tweetdb::ShardRecovery shard;
+  shard.key = 0;
+  shard.rows_expected = 100;
+  shard.rows_recovered = rows_recovered;
+  shard.blocks_total = 4;
+  shard.blocks_dropped = blocks_dropped;
+  shard.checksum_failures = blocks_dropped;
+  report.shards.push_back(shard);
+  return report;
+}
+
+TEST(StageEngineRunTest, DegradedRecoveryMarksEveryStageRecord) {
+  AnalysisContext ctx(1);
+  PipelineState state{PipelineConfig{}};
+  state.recovery = OneShardReport(/*rows_recovered=*/90, /*blocks_dropped=*/1);
+  state.recovery_seconds = 0.25;
+  StageList stages;
+  stages.push_back(std::make_unique<NoopStage>());
+  ASSERT_TRUE(StageEngine::Run(ctx, stages, state).ok());
+
+  ASSERT_EQ(ctx.trace().size(), 2u);
+  const StageRecord& recover = ctx.trace().stages()[0];
+  EXPECT_EQ(recover.name, "recover");
+  EXPECT_TRUE(recover.degraded);
+  EXPECT_DOUBLE_EQ(recover.wall_seconds, 0.25);
+  EXPECT_EQ(recover.Counter("rows_expected"), 100);
+  EXPECT_EQ(recover.Counter("rows_recovered"), 90);
+  EXPECT_EQ(recover.Counter("blocks_dropped"), 1);
+  EXPECT_EQ(recover.Counter("checksum_failures"), 1);
+  // Every downstream stage of the run carries the degraded mark.
+  EXPECT_EQ(ctx.trace().stages()[1].name, "noop");
+  EXPECT_TRUE(ctx.trace().stages()[1].degraded);
+  ASSERT_NE(state.result.trace.Find("recover"), nullptr);
+  EXPECT_TRUE(state.result.trace.Find("recover")->degraded);
+  ASSERT_NE(state.result.trace.Find("noop"), nullptr);
+  EXPECT_TRUE(state.result.trace.Find("noop")->degraded);
+}
+
+TEST(StageEngineRunTest, CleanRecoveryLeavesStageRecordsUnmarked) {
+  AnalysisContext ctx(1);
+  PipelineState state{PipelineConfig{}};
+  state.recovery = OneShardReport(/*rows_recovered=*/100, /*blocks_dropped=*/0);
+  StageList stages;
+  stages.push_back(std::make_unique<NoopStage>());
+  ASSERT_TRUE(StageEngine::Run(ctx, stages, state).ok());
+
+  ASSERT_EQ(ctx.trace().size(), 2u);
+  EXPECT_EQ(ctx.trace().stages()[0].name, "recover");
+  EXPECT_FALSE(ctx.trace().stages()[0].degraded);
+  EXPECT_FALSE(ctx.trace().stages()[1].degraded);
+}
+
 TEST(StageEngineRunTest, StopsAtFirstFailureAndKeepsItsRecord) {
   AnalysisContext ctx(1);
   PipelineState state{PipelineConfig{}};

@@ -1,0 +1,201 @@
+// Storage-env contract tests: the POSIX implementation round-trips bytes
+// and the fault-injection wrapper is deterministic, crashes stay down,
+// torn writes persist strict prefixes, and AtomicWriteFile's retry budget
+// handles transient errors with bounded, jittered backoff.
+
+#include "tweetdb/storage_env.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace twimob::tweetdb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(PosixEnvTest, WriteReadRoundTrip) {
+  Env& env = *Env::Default();
+  const std::string path = TempPath("env_roundtrip.bin");
+  auto file = env.NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("hello ").ok());
+  ASSERT_TRUE((*file)->Append("world").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Close().ok());
+
+  EXPECT_TRUE(env.FileExists(path));
+  auto bytes = ReadFileToString(env, path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "hello world");
+
+  auto reader = env.NewRandomAccessFile(path);
+  ASSERT_TRUE(reader.ok());
+  auto size = (*reader)->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11u);
+  std::string chunk;
+  ASSERT_TRUE((*reader)->Read(6, 5, &chunk).ok());
+  EXPECT_EQ(chunk, "world");
+  // Reading past the end returns the available suffix, not an error.
+  ASSERT_TRUE((*reader)->Read(6, 100, &chunk).ok());
+  EXPECT_EQ(chunk, "world");
+
+  ASSERT_TRUE(env.RemoveFile(path).ok());
+  EXPECT_FALSE(env.FileExists(path));
+}
+
+TEST(PosixEnvTest, RenameReplacesAtomically) {
+  Env& env = *Env::Default();
+  const std::string a = TempPath("env_rename_a.bin");
+  const std::string b = TempPath("env_rename_b.bin");
+  ASSERT_TRUE(AtomicWriteFile(env, a, "new").ok());
+  ASSERT_TRUE(AtomicWriteFile(env, b, "old").ok());
+  ASSERT_TRUE(env.RenameFile(a, b).ok());
+  EXPECT_FALSE(env.FileExists(a));
+  auto bytes = ReadFileToString(env, b);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "new");
+  ASSERT_TRUE(env.RemoveFile(b).ok());
+}
+
+TEST(PosixEnvTest, MissingFileErrors) {
+  Env& env = *Env::Default();
+  EXPECT_FALSE(env.FileExists("/definitely/not/here"));
+  EXPECT_TRUE(ReadFileToString(env, "/definitely/not/here").status().IsIOError());
+  EXPECT_TRUE(env.RemoveFile("/definitely/not/here").IsIOError());
+}
+
+TEST(AtomicWriteFileTest, LeavesNoTempFileOnSuccess) {
+  Env& env = *Env::Default();
+  const std::string path = TempPath("env_atomic.bin");
+  ASSERT_TRUE(AtomicWriteFile(env, path, "payload").ok());
+  EXPECT_TRUE(env.FileExists(path));
+  EXPECT_FALSE(env.FileExists(TempPathFor(path)));
+  auto bytes = ReadFileToString(env, path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "payload");
+  ASSERT_TRUE(env.RemoveFile(path).ok());
+}
+
+TEST(FaultInjectionTest, OperationCountingIsDeterministic) {
+  FaultInjectionEnv env(Env::Default(), /*seed=*/1);
+  const std::string path = TempPath("env_fault_count.bin");
+  uint64_t counts[2];
+  for (int round = 0; round < 2; ++round) {
+    env.set_plan({});
+    ASSERT_TRUE(AtomicWriteFile(env, path, "abc").ok());
+    counts[round] = env.operations();
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+  // open + append + sync + close + rename = 5 gated operations.
+  EXPECT_EQ(counts[0], 5u);
+  ASSERT_TRUE(Env::Default()->RemoveFile(path).ok());
+}
+
+TEST(FaultInjectionTest, CrashStaysDownAndPreservesTarget) {
+  FaultInjectionEnv env(Env::Default(), 2);
+  const std::string path = TempPath("env_fault_crash.bin");
+  ASSERT_TRUE(AtomicWriteFile(*Env::Default(), path, "old").ok());
+  for (uint64_t at = 0; at < 5; ++at) {
+    env.set_plan({FaultInjectionEnv::FaultKind::kCrash, at});
+    const Status s = AtomicWriteFile(env, path, "new-contents");
+    EXPECT_FALSE(s.ok()) << "crash at " << at;
+    EXPECT_TRUE(env.crashed());
+    // The old file survives every pre-rename crash; the rename itself
+    // (op 4) fails without side effects under injection.
+    auto bytes = ReadFileToString(*Env::Default(), path);
+    ASSERT_TRUE(bytes.ok());
+    EXPECT_EQ(*bytes, "old") << "crash at " << at;
+  }
+  ASSERT_TRUE(Env::Default()->RemoveFile(path).ok());
+  (void)Env::Default()->RemoveFile(TempPathFor(path));
+}
+
+TEST(FaultInjectionTest, TornWritePersistsStrictPrefix) {
+  FaultInjectionEnv env(Env::Default(), 3);
+  const std::string path = TempPath("env_fault_torn.bin");
+  const std::string data(1000, 'x');
+  env.set_plan({FaultInjectionEnv::FaultKind::kTornWrite, /*at=*/1});  // the append
+  EXPECT_FALSE(AtomicWriteFile(env, path, data).ok());
+  EXPECT_TRUE(env.crashed());
+  // The tmp file holds a strict prefix; the target was never created.
+  EXPECT_FALSE(Env::Default()->FileExists(path));
+  auto torn = ReadFileToString(*Env::Default(), TempPathFor(path));
+  ASSERT_TRUE(torn.ok());
+  EXPECT_LT(torn->size(), data.size());
+  ASSERT_TRUE(Env::Default()->RemoveFile(TempPathFor(path)).ok());
+}
+
+TEST(FaultInjectionTest, TransientErrorIsRetriedWithBackoff) {
+  FaultInjectionEnv env(Env::Default(), 4);
+  const std::string path = TempPath("env_fault_transient.bin");
+  env.set_plan({FaultInjectionEnv::FaultKind::kTransient, /*at=*/1,
+                /*transient_failures=*/2});
+  WriteOptions options;
+  options.max_retries = 3;
+  options.backoff_base_ms = 2.0;
+  ASSERT_TRUE(AtomicWriteFile(env, path, "persisted", options).ok());
+  auto bytes = ReadFileToString(*Env::Default(), path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "persisted");
+  // The faulted append fails the first attempt; the second consecutive
+  // transient failure lands on that attempt's cleanup RemoveFile (the env
+  // fails *consecutive operations*, not consecutive attempts). One failed
+  // attempt -> one jittered backoff in [0.5, 1.5)x of 2ms.
+  EXPECT_GE(env.slept_ms(), 1.0);
+  EXPECT_LT(env.slept_ms(), 3.0);
+  const double first_slept = env.slept_ms();
+
+  // Same plan + seed replays identically: backoff jitter is deterministic.
+  ASSERT_TRUE(Env::Default()->RemoveFile(path).ok());
+  env.set_plan({FaultInjectionEnv::FaultKind::kTransient, /*at=*/1,
+                /*transient_failures=*/2});
+  ASSERT_TRUE(AtomicWriteFile(env, path, "persisted", options).ok());
+  EXPECT_DOUBLE_EQ(env.slept_ms(), first_slept);
+  ASSERT_TRUE(Env::Default()->RemoveFile(path).ok());
+}
+
+TEST(FaultInjectionTest, RetryBudgetExhaustionFails) {
+  FaultInjectionEnv env(Env::Default(), 5);
+  const std::string path = TempPath("env_fault_budget.bin");
+  env.set_plan({FaultInjectionEnv::FaultKind::kTransient, /*at=*/0,
+                /*transient_failures=*/100});
+  WriteOptions options;
+  options.max_retries = 2;
+  const Status s = AtomicWriteFile(env, path, "never", options);
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_FALSE(Env::Default()->FileExists(path));
+}
+
+TEST(FaultInjectionTest, NoSpaceFailsWithoutCrashing) {
+  FaultInjectionEnv env(Env::Default(), 6);
+  const std::string path = TempPath("env_fault_enospc.bin");
+  env.set_plan({FaultInjectionEnv::FaultKind::kNoSpace, /*at=*/1});  // the append
+  const Status s = AtomicWriteFile(env, path, "data");
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_NE(s.message().find("no space"), std::string::npos);
+  EXPECT_FALSE(env.crashed());
+  EXPECT_FALSE(Env::Default()->FileExists(path));
+  // The env stays usable: a clean retry with a fresh plan succeeds.
+  env.set_plan({});
+  ASSERT_TRUE(AtomicWriteFile(env, path, "data").ok());
+  ASSERT_TRUE(Env::Default()->RemoveFile(path).ok());
+}
+
+TEST(FaultInjectionTest, ShortReadReturnsPrefix) {
+  Env& real = *Env::Default();
+  const std::string path = TempPath("env_fault_shortread.bin");
+  ASSERT_TRUE(AtomicWriteFile(real, path, std::string(500, 'y')).ok());
+  FaultInjectionEnv env(&real, 7);
+  env.set_plan({FaultInjectionEnv::FaultKind::kShortRead, /*at=*/1});  // the read
+  auto bytes = ReadFileToString(env, path, /*max_retries=*/0);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_LT(bytes->size(), 500u);
+  ASSERT_TRUE(real.RemoveFile(path).ok());
+}
+
+}  // namespace
+}  // namespace twimob::tweetdb
