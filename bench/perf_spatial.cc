@@ -15,6 +15,7 @@
 // times, speedups, interior/boundary cell breakdown, corpus size, storage
 // format version) for the CI artifact upload.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -143,12 +144,70 @@ int Run(const char* json_path) {
   std::printf("build: insert %.1f ms, seal %.1f ms (%zu cells), k-d tree %.1f ms\n",
               insert_ms, seal_ms, sealed.num_nonempty_cells(), kdtree_build_ms);
 
+  // Geodesic kernel micro-profile: batched-origin haversine over the SoA
+  // columns vs the pairwise scalar call, and the SIMD-dispatched lat-band
+  // select vs its scalar reference (identical index lists enforced first).
+  const size_t kGeodesicProbe = std::min<size_t>(n, 200000);
+  std::vector<double> probe_lats(kGeodesicProbe), probe_lons(kGeodesicProbe);
+  for (size_t i = 0; i < kGeodesicProbe; ++i) {
+    probe_lats[i] = pts[i].pos.lat;
+    probe_lons[i] = pts[i].pos.lon;
+  }
+  std::vector<double> dists(kGeodesicProbe);
+  const geo::HaversineBatch batch(kQueryCenter);
+  const double batch_us = TimePerCallUs([&] {
+    batch.DistancesTo(probe_lats.data(), probe_lons.data(), kGeodesicProbe,
+                      dists.data());
+    return static_cast<size_t>(dists[0]);
+  });
+  const double pairwise_us = TimePerCallUs([&] {
+    for (size_t i = 0; i < kGeodesicProbe; ++i) {
+      dists[i] = geo::HaversineMeters(
+          kQueryCenter, geo::LatLon{probe_lats[i], probe_lons[i]});
+    }
+    return static_cast<size_t>(dists[0]);
+  });
+  std::vector<uint32_t> band_simd, band_scalar;
+  geo::SelectWithinLatBand(probe_lats.data(), kGeodesicProbe, kQueryCenter.lat,
+                           0.45, &band_simd);
+  geo::SelectWithinLatBandScalar(probe_lats.data(), kGeodesicProbe,
+                                 kQueryCenter.lat, 0.45, &band_scalar);
+  const bool band_identical = band_simd == band_scalar;
+  const double band_us = TimePerCallUs([&] {
+    band_simd.clear();
+    geo::SelectWithinLatBand(probe_lats.data(), kGeodesicProbe, kQueryCenter.lat,
+                             0.45, &band_simd);
+    return band_simd.size();
+  });
+  const double band_scalar_us = TimePerCallUs([&] {
+    band_scalar.clear();
+    geo::SelectWithinLatBandScalar(probe_lats.data(), kGeodesicProbe,
+                                   kQueryCenter.lat, 0.45, &band_scalar);
+    return band_scalar.size();
+  });
+  const double mpts = static_cast<double>(kGeodesicProbe);  // points per call
+  std::printf(
+      "geodesic kernels (%s): haversine batch %.1f Mpt/s (pairwise %.1f), "
+      "lat-band select %s %.0f Mpt/s (scalar %.0f, %.1fx, lists %s)\n",
+      geo::LatBandKernelImplementation(), mpts / batch_us, mpts / pairwise_us,
+      geo::LatBandKernelImplementation(), mpts / band_us, mpts / band_scalar_us,
+      band_scalar_us / band_us, band_identical ? "identical" : "DIFFERENT");
+
   bench::JsonWriter json;
   json.BeginObject();
   json.Field("bench", "spatial");
   json.Field("num_points", n);
   json.Field("cell_degrees", kCellDegrees);
   json.Field("format_version", static_cast<uint64_t>(tweetdb::kBinaryFormatVersion));
+  json.BeginObject("kernels")
+      .Field("latband_implementation", geo::LatBandKernelImplementation())
+      .Field("latband_select_mpts_per_s", mpts / band_us)
+      .Field("latband_scalar_mpts_per_s", mpts / band_scalar_us)
+      .Field("latband_simd_speedup", band_scalar_us / band_us)
+      .Field("latband_identical", band_identical)
+      .Field("haversine_batch_mpts_per_s", mpts / batch_us)
+      .Field("haversine_pairwise_mpts_per_s", mpts / pairwise_us)
+      .EndObject();
   json.BeginObject("build")
       .Field("insert_ms", insert_ms)
       .Field("seal_ms", seal_ms)
@@ -256,7 +315,7 @@ int Run(const char* json_path) {
   std::fprintf(stderr, "[perf_spatial] sink %llu\n",
                static_cast<unsigned long long>(g_sink));
 
-  return (all_identical && speedup_ok) ? 0 : 1;
+  return (all_identical && speedup_ok && band_identical) ? 0 : 1;
 }
 
 }  // namespace

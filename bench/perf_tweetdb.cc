@@ -16,6 +16,7 @@
 #include <limits>
 
 #include "bench_util.h"
+#include "common/cpu_features.h"
 #include "common/crc32c.h"
 #include "common/time_util.h"
 #include "geo/bbox.h"
@@ -181,6 +182,45 @@ int RunJsonProfile(const char* json_path) {
     uint32_t crc = Crc32c(bytes.data(), bytes.size());
     benchmark::DoNotOptimize(crc);
   });
+  const double crc_scalar_s = BestOfSeconds(5, [&] {
+    uint32_t crc = Crc32cScalar(bytes.data(), bytes.size());
+    benchmark::DoNotOptimize(crc);
+  });
+
+  // Dispatched vs always-scalar FilterBlockColumnar over every block of the
+  // 1M-row table (Sydney bbox: the pipeline's hot spatial predicate). The
+  // selection lists must match exactly — the speedup is only meaningful if
+  // the kernels agree.
+  ScanSpec bbox_spec;
+  bbox_spec.bbox = geo::BoundingBox{-35.0, 150.0, -33.0, 152.0};
+  std::vector<uint32_t> sel;
+  std::vector<uint32_t> sel_scalar;
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    FilterBlockColumnar(table.block(b), bbox_spec, &sel);
+    FilterBlockColumnarScalar(table.block(b), bbox_spec, &sel_scalar);
+    if (sel != sel_scalar) {
+      std::fprintf(stderr,
+                   "[perf_tweetdb] SIMD/scalar selection MISMATCH in block %zu\n",
+                   b);
+      return 1;
+    }
+  }
+  const double filter_simd_s = BestOfSeconds(5, [&] {
+    size_t matched = 0;
+    for (size_t b = 0; b < table.num_blocks(); ++b) {
+      FilterBlockColumnar(table.block(b), bbox_spec, &sel);
+      matched += sel.size();
+    }
+    benchmark::DoNotOptimize(matched);
+  });
+  const double filter_scalar_s = BestOfSeconds(5, [&] {
+    size_t matched = 0;
+    for (size_t b = 0; b < table.num_blocks(); ++b) {
+      FilterBlockColumnarScalar(table.block(b), bbox_spec, &sel_scalar);
+      matched += sel_scalar.size();
+    }
+    benchmark::DoNotOptimize(matched);
+  });
   const double encode_s = BestOfSeconds(3, [&] {
     std::string encoded = EncodeTable(table);
     benchmark::DoNotOptimize(encoded.size());
@@ -202,16 +242,33 @@ int RunJsonProfile(const char* json_path) {
           ? 100.0 * (decode_verify_s - decode_raw_s) / decode_raw_s
           : 0.0;
 
+  const double gib = static_cast<double>(bytes.size()) /
+                     (1024.0 * 1024.0 * 1024.0);
+  const double crc_speedup = crc_s > 0.0 ? crc_scalar_s / crc_s : 1.0;
+  const double filter_speedup =
+      filter_simd_s > 0.0 ? filter_scalar_s / filter_simd_s : 1.0;
   std::fprintf(stderr,
-               "[perf_tweetdb] crc32c %.0f MiB/s | encode %.0f MiB/s | decode "
-               "%.0f MiB/s verified, %.0f MiB/s raw (overhead %.1f%%)\n",
-               mib / crc_s, mib / encode_s, mib / decode_verify_s,
-               mib / decode_raw_s, overhead_pct);
+               "[perf_tweetdb] crc32c %s %.2f GiB/s (scalar %.2f, %.1fx) | "
+               "encode %.0f MiB/s | decode %.0f MiB/s verified, %.0f MiB/s raw "
+               "(overhead %.1f%%) | filter %s %.1fx scalar\n",
+               Crc32cImplementation(), gib / crc_s, gib / crc_scalar_s,
+               crc_speedup, mib / encode_s, mib / decode_verify_s,
+               mib / decode_raw_s, overhead_pct, FilterKernelsImplementation(),
+               filter_speedup);
 
   bench::JsonWriter json;
   json.BeginObject();
   json.Field("bench", "tweetdb");
   json.Field("format_version", static_cast<uint64_t>(kBinaryFormatVersion));
+  json.BeginObject("kernels")
+      .Field("cpu_features", CpuFeaturesSummary(GetCpuFeatures()))
+      .Field("crc32c_implementation", Crc32cImplementation())
+      .Field("filter_implementation", FilterKernelsImplementation())
+      .Field("crc32c_hw_gibps", gib / crc_s)
+      .Field("crc32c_scalar_gibps", gib / crc_scalar_s)
+      .Field("crc32c_speedup", crc_speedup)
+      .Field("filter_simd_speedup", filter_speedup)
+      .EndObject();
   json.BeginObject("corpus")
       .Field("rows", static_cast<uint64_t>(desc.num_rows))
       .Field("blocks", static_cast<uint64_t>(desc.num_blocks))
@@ -223,6 +280,7 @@ int RunJsonProfile(const char* json_path) {
       .Field("crc32c_mib_per_s", mib / crc_s)
       .Field("encode_mib_per_s", mib / encode_s)
       .Field("decode_verify_mib_per_s", mib / decode_verify_s)
+      .Field("decode_verified_mibps", mib / decode_verify_s)
       .Field("decode_no_verify_mib_per_s", mib / decode_raw_s)
       .Field("verify_overhead_pct", overhead_pct)
       .EndObject();

@@ -1,0 +1,58 @@
+#include "common/cpu_features.h"
+
+#include <cstdlib>
+
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#endif
+
+namespace twimob {
+
+namespace {
+
+bool ForceScalarRequested() {
+  const char* value = std::getenv("TWIMOB_FORCE_SCALAR");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+}  // namespace
+
+CpuFeatures DetectCpuFeatures() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports runs CPUID once per process under the hood and
+  // folds in the OSXSAVE/XCR0 checks AVX2 needs.
+  f.sse42 = __builtin_cpu_supports("sse4.2") != 0;
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+#elif defined(__aarch64__) && defined(__linux__) && defined(HWCAP_CRC32)
+  f.arm_crc32 = (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#endif
+  return f;
+}
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+    f.force_scalar = ForceScalarRequested();
+    if (!f.force_scalar) f = DetectCpuFeatures();
+    return f;
+  }();
+  return features;
+}
+
+std::string CpuFeaturesSummary(const CpuFeatures& features) {
+  if (features.force_scalar) return "scalar (forced)";
+  std::string out;
+  const auto add = [&out](const char* name) {
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  if (features.sse42) add("sse4.2");
+  if (features.avx2) add("avx2");
+  if (features.arm_crc32) add("armv8-crc");
+  if (out.empty()) out = "scalar";
+  return out;
+}
+
+}  // namespace twimob

@@ -1,0 +1,43 @@
+#ifndef TWIMOB_COMMON_CPU_FEATURES_H_
+#define TWIMOB_COMMON_CPU_FEATURES_H_
+
+#include <string>
+
+namespace twimob {
+
+/// Runtime CPU capabilities the SIMD kernel layer dispatches on.
+///
+/// Every accelerated kernel in the tree (hardware CRC32C, the vectorized
+/// columnar filters, the batched geodesic prefilters) resolves its function
+/// pointer exactly once from these bits, keeps a scalar reference
+/// implementation, and is contractually byte-identical to it — so flipping
+/// any bit here can change throughput but never a result.
+struct CpuFeatures {
+  bool sse42 = false;      ///< x86-64 SSE4.2 (hardware CRC32C, 128-bit compares)
+  bool avx2 = false;       ///< x86-64 AVX2 (256-bit packed compares)
+  bool arm_crc32 = false;  ///< ARMv8 CRC32 extension (__crc32cd)
+
+  /// True iff TWIMOB_FORCE_SCALAR was set: every bit above is cleared and
+  /// all kernels run their scalar reference paths.
+  bool force_scalar = false;
+};
+
+/// Raw hardware detection (CPUID on x86-64, hwcap on ARMv8 Linux),
+/// ignoring the TWIMOB_FORCE_SCALAR override. Benches report it; dispatch
+/// must use GetCpuFeatures() instead.
+CpuFeatures DetectCpuFeatures();
+
+/// The effective feature set every kernel dispatches on: hardware detection
+/// with the `TWIMOB_FORCE_SCALAR=1` environment override applied (any
+/// non-empty value other than "0" clears every feature bit). Detected once
+/// on first use and cached for the life of the process, so dispatch
+/// decisions are stable.
+const CpuFeatures& GetCpuFeatures();
+
+/// Human-readable summary, e.g. "sse4.2 avx2" or "scalar (forced)" — the
+/// bench JSON profiles record it so throughput numbers are attributable.
+std::string CpuFeaturesSummary(const CpuFeatures& features);
+
+}  // namespace twimob
+
+#endif  // TWIMOB_COMMON_CPU_FEATURES_H_

@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "common/cpu_features.h"
+#include "common/crc32c_internal.h"
+
 namespace twimob {
 
 namespace {
@@ -41,9 +44,26 @@ inline bool HostIsLittleEndian() {
   return byte == 1;
 }
 
+/// Resolves the dispatched kernel exactly once per process: the hardware
+/// kernel when the build has one, the running CPU supports it, and
+/// TWIMOB_FORCE_SCALAR is not set; the slice-by-8 reference otherwise.
+crc32c_internal::Crc32cKernel ResolveKernel() {
+  const crc32c_internal::Crc32cKernel hw = crc32c_internal::HardwareKernel();
+  if (hw != nullptr && !GetCpuFeatures().force_scalar &&
+      crc32c_internal::HardwareKernelUsable()) {
+    return hw;
+  }
+  return &Crc32cExtendScalar;
+}
+
+crc32c_internal::Crc32cKernel DispatchedKernel() {
+  static const crc32c_internal::Crc32cKernel kernel = ResolveKernel();
+  return kernel;
+}
+
 }  // namespace
 
-uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+uint32_t Crc32cExtendScalar(uint32_t crc, const void* data, size_t n) {
   const Crc32cTables& tb = Tables();
   const unsigned char* p = static_cast<const unsigned char*>(data);
   uint32_t state = crc ^ 0xFFFFFFFFu;
@@ -74,7 +94,21 @@ uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
   return state ^ 0xFFFFFFFFu;
 }
 
+uint32_t Crc32cScalar(const void* data, size_t n) {
+  return Crc32cExtendScalar(0, data, n);
+}
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  return DispatchedKernel()(crc, data, n);
+}
+
 uint32_t Crc32c(const void* data, size_t n) { return Crc32cExtend(0, data, n); }
+
+const char* Crc32cImplementation() {
+  return DispatchedKernel() == &Crc32cExtendScalar
+             ? "slice-by-8"
+             : crc32c_internal::HardwareKernelName();
+}
 
 bool Crc32cSelfTest() {
   // RFC 3720 §B.4 vectors plus the classic check value.

@@ -8,8 +8,13 @@ namespace twimob {
 
 /// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
 /// checksum guarding every storage-format header and block payload
-/// (tweetdb binary format v4). Slice-by-8 table lookup, ~1 byte/cycle on
-/// commodity hardware; byte-order independent output.
+/// (tweetdb binary format v4). The entry points below dispatch once, at
+/// first use, on the runtime CPU features (common/cpu_features.h): SSE4.2
+/// `_mm_crc32_u64` with a 3-way stream interleave on x86-64, `__crc32cd`
+/// on ARMv8, and the slice-by-8 table implementation as the always-built
+/// reference fallback (also forced by `TWIMOB_FORCE_SCALAR=1`). All
+/// implementations produce identical output for every input; the
+/// differential test sweeps every length 0–4096 against the scalar form.
 
 /// CRC32C of `n` bytes at `data`.
 uint32_t Crc32c(const void* data, size_t n);
@@ -18,9 +23,23 @@ uint32_t Crc32c(const void* data, size_t n);
 /// bytes, as if the two buffers had been checksummed in one call.
 uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
 
+/// The portable slice-by-8 reference implementation, never dispatched to
+/// hardware — differential tests and the checksum bench compare the
+/// accelerated kernels against it.
+uint32_t Crc32cScalar(const void* data, size_t n);
+
+/// Scalar-reference form of Crc32cExtend.
+uint32_t Crc32cExtendScalar(uint32_t crc, const void* data, size_t n);
+
+/// Name of the implementation Crc32c/Crc32cExtend dispatch to on this
+/// process: "sse4.2-3way", "armv8-crc", or "slice-by-8". Recorded by the
+/// bench JSON profiles.
+const char* Crc32cImplementation();
+
 /// Verifies the implementation against the standard test vectors
 /// ("123456789" -> 0xE3069283, RFC 3720 §B.4). Cheap; storage self-checks
-/// call it once before trusting any checksum comparison.
+/// call it once before trusting any checksum comparison. Exercises the
+/// dispatched implementation.
 bool Crc32cSelfTest();
 
 }  // namespace twimob

@@ -1,0 +1,31 @@
+#ifndef TWIMOB_COMMON_CRC32C_INTERNAL_H_
+#define TWIMOB_COMMON_CRC32C_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace twimob::crc32c_internal {
+
+/// Signature shared by every CRC32C kernel: extends `crc` (a finalized
+/// CRC32C value) over `n` more bytes and returns the finalized result.
+using Crc32cKernel = uint32_t (*)(uint32_t crc, const void* data, size_t n);
+
+/// The hardware kernel compiled for this target, or nullptr when the build
+/// has none (e.g. a plain RISC-V target). The pointer being non-null says
+/// nothing about the *running* CPU — callers must still check
+/// HardwareKernelUsable().
+Crc32cKernel HardwareKernel();
+
+/// True iff HardwareKernel() is non-null AND the running CPU advertises
+/// the instruction set it needs (SSE4.2 on x86-64, the CRC32 extension on
+/// ARMv8). Does not consult TWIMOB_FORCE_SCALAR — dispatch applies that
+/// separately via GetCpuFeatures().
+bool HardwareKernelUsable();
+
+/// Display name of the hardware kernel ("sse4.2-3way", "armv8-crc");
+/// meaningless when HardwareKernel() is null.
+const char* HardwareKernelName();
+
+}  // namespace twimob::crc32c_internal
+
+#endif  // TWIMOB_COMMON_CRC32C_INTERNAL_H_

@@ -1,0 +1,238 @@
+// Hardware CRC32C kernels. x86-64: SSE4.2 `_mm_crc32_u64` over three
+// independent streams (the instruction has 3-cycle latency but 1/cycle
+// throughput, so three interleaved lanes keep the unit saturated), with the
+// per-lane CRCs recombined through precomputed GF(2) "advance over N zero
+// bytes" operator tables. ARMv8: `__crc32cd` straight-line. Both compute
+// the exact CRC32C value of the slice-by-8 reference for every input —
+// the crc32c differential test sweeps lengths 0–4096 at several
+// misalignments to prove it.
+//
+// The functions carry `target` attributes instead of per-file -m flags so
+// the rest of the translation unit (and the library) stays buildable for
+// the baseline ISA; callers reach them only through the runtime dispatcher
+// in crc32c.cc.
+
+#include "common/crc32c_internal.h"
+
+#include <cstring>
+
+#include "common/cpu_features.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TWIMOB_CRC32C_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+#define TWIMOB_CRC32C_ARM 1
+#include <arm_acle.h>
+#endif
+
+namespace twimob::crc32c_internal {
+
+#if defined(TWIMOB_CRC32C_X86) || defined(TWIMOB_CRC32C_ARM)
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // CRC32C, reflected
+
+/// Block length of each interleaved stream in the main loop, and of the
+/// shorter mop-up loop. Both must be powers of two (the zero-operator
+/// construction squares its way up to the length).
+constexpr size_t kLongBlock = 8192;
+constexpr size_t kShortBlock = 256;
+
+/// mat * vec over GF(2): each set bit of `vec` selects a row of `mat` to
+/// XOR into the product.
+uint32_t Gf2MatrixTimes(const uint32_t* mat, uint32_t vec) {
+  uint32_t sum = 0;
+  while (vec != 0) {
+    if (vec & 1) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+/// square = mat * mat over GF(2).
+void Gf2MatrixSquare(uint32_t* square, const uint32_t* mat) {
+  for (int n = 0; n < 32; ++n) square[n] = Gf2MatrixTimes(mat, mat[n]);
+}
+
+/// Builds in `even` the 32x32 GF(2) operator that advances a CRC32C state
+/// over `len` zero bytes. `len` must be a power of two.
+void Crc32cZerosOp(uint32_t* even, size_t len) {
+  // Operator for one zero bit.
+  uint32_t odd[32];
+  odd[0] = kPoly;
+  uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  Gf2MatrixSquare(even, odd);  // two zero bits
+  Gf2MatrixSquare(odd, even);  // four zero bits
+  // Each further squaring doubles the zero count; the first lands the
+  // one-zero-byte operator in `even`.
+  do {
+    Gf2MatrixSquare(even, odd);
+    len >>= 1;
+    if (len == 0) return;
+    Gf2MatrixSquare(odd, even);
+    len >>= 1;
+  } while (len != 0);
+  for (int n = 0; n < 32; ++n) even[n] = odd[n];
+}
+
+/// Expands a zero-advance operator into four byte-indexed lookup tables so
+/// applying it costs four loads and three XORs.
+void Crc32cZerosTable(uint32_t zeros[4][256], size_t len) {
+  uint32_t op[32];
+  Crc32cZerosOp(op, len);
+  for (uint32_t n = 0; n < 256; ++n) {
+    zeros[0][n] = Gf2MatrixTimes(op, n);
+    zeros[1][n] = Gf2MatrixTimes(op, n << 8);
+    zeros[2][n] = Gf2MatrixTimes(op, n << 16);
+    zeros[3][n] = Gf2MatrixTimes(op, n << 24);
+  }
+}
+
+/// The two combine tables, generated once at first use (thread-safe
+/// function-local static): advance-over-kLongBlock and kShortBlock zeros.
+struct CombineTables {
+  uint32_t long_block[4][256];
+  uint32_t short_block[4][256];
+
+  CombineTables() {
+    Crc32cZerosTable(long_block, kLongBlock);
+    Crc32cZerosTable(short_block, kShortBlock);
+  }
+};
+
+const CombineTables& Tables() {
+  static const CombineTables tables;
+  return tables;
+}
+
+inline uint32_t Shift(const uint32_t zeros[4][256], uint32_t crc) {
+  return zeros[0][crc & 0xFF] ^ zeros[1][(crc >> 8) & 0xFF] ^
+         zeros[2][(crc >> 16) & 0xFF] ^ zeros[3][crc >> 24];
+}
+
+#if defined(TWIMOB_CRC32C_X86)
+__attribute__((target("sse4.2"))) inline uint64_t CrcU64(uint64_t crc,
+                                                         uint64_t word) {
+  return _mm_crc32_u64(crc, word);
+}
+__attribute__((target("sse4.2"))) inline uint64_t CrcU8(uint64_t crc,
+                                                        uint8_t byte) {
+  return _mm_crc32_u8(static_cast<uint32_t>(crc), byte);
+}
+#define TWIMOB_CRC_TARGET __attribute__((target("sse4.2")))
+#else  // TWIMOB_CRC32C_ARM
+// GCC spells the aarch64 target attribute "+crc", clang spells it "crc".
+#if defined(__clang__)
+#define TWIMOB_CRC_TARGET __attribute__((target("crc")))
+#else
+#define TWIMOB_CRC_TARGET __attribute__((target("+crc")))
+#endif
+TWIMOB_CRC_TARGET inline uint64_t CrcU64(uint64_t crc, uint64_t word) {
+  return __crc32cd(static_cast<uint32_t>(crc), word);
+}
+TWIMOB_CRC_TARGET inline uint64_t CrcU8(uint64_t crc, uint8_t byte) {
+  return __crc32cb(static_cast<uint32_t>(crc), byte);
+}
+#endif
+
+/// The interleaved hardware kernel. Structure (after Mark Adler's
+/// crc32c.c): align to 8 bytes, fold three kLongBlock streams per
+/// iteration while they last, then three kShortBlock streams, then single
+/// 8-byte words, then trailing bytes.
+TWIMOB_CRC_TARGET uint32_t Crc32cHardware(uint32_t crc, const void* data,
+                                          size_t n) {
+  const CombineTables& tables = Tables();
+  const unsigned char* next = static_cast<const unsigned char*>(data);
+  uint64_t crc0 = crc ^ 0xFFFFFFFFu;
+
+  while (n > 0 && (reinterpret_cast<uintptr_t>(next) & 7) != 0) {
+    crc0 = CrcU8(crc0, *next++);
+    --n;
+  }
+
+  const auto load64 = [](const unsigned char* p) {
+    uint64_t word;
+    std::memcpy(&word, p, sizeof(word));
+    return word;
+  };
+
+  while (n >= 3 * kLongBlock) {
+    uint64_t crc1 = 0;
+    uint64_t crc2 = 0;
+    const unsigned char* const end = next + kLongBlock;
+    do {
+      crc0 = CrcU64(crc0, load64(next));
+      crc1 = CrcU64(crc1, load64(next + kLongBlock));
+      crc2 = CrcU64(crc2, load64(next + 2 * kLongBlock));
+      next += 8;
+    } while (next < end);
+    crc0 = Shift(tables.long_block, static_cast<uint32_t>(crc0)) ^ crc1;
+    crc0 = Shift(tables.long_block, static_cast<uint32_t>(crc0)) ^ crc2;
+    next += 2 * kLongBlock;
+    n -= 3 * kLongBlock;
+  }
+
+  while (n >= 3 * kShortBlock) {
+    uint64_t crc1 = 0;
+    uint64_t crc2 = 0;
+    const unsigned char* const end = next + kShortBlock;
+    do {
+      crc0 = CrcU64(crc0, load64(next));
+      crc1 = CrcU64(crc1, load64(next + kShortBlock));
+      crc2 = CrcU64(crc2, load64(next + 2 * kShortBlock));
+      next += 8;
+    } while (next < end);
+    crc0 = Shift(tables.short_block, static_cast<uint32_t>(crc0)) ^ crc1;
+    crc0 = Shift(tables.short_block, static_cast<uint32_t>(crc0)) ^ crc2;
+    next += 2 * kShortBlock;
+    n -= 3 * kShortBlock;
+  }
+
+  while (n >= 8) {
+    crc0 = CrcU64(crc0, load64(next));
+    next += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc0 = CrcU8(crc0, *next++);
+    --n;
+  }
+  return static_cast<uint32_t>(crc0) ^ 0xFFFFFFFFu;
+}
+
+}  // namespace
+
+Crc32cKernel HardwareKernel() { return &Crc32cHardware; }
+
+bool HardwareKernelUsable() {
+#if defined(TWIMOB_CRC32C_X86)
+  return DetectCpuFeatures().sse42;
+#else
+  return DetectCpuFeatures().arm_crc32;
+#endif
+}
+
+const char* HardwareKernelName() {
+#if defined(TWIMOB_CRC32C_X86)
+  return "sse4.2-3way";
+#else
+  return "armv8-crc";
+#endif
+}
+
+#else  // no hardware CRC32C on this target
+
+Crc32cKernel HardwareKernel() { return nullptr; }
+bool HardwareKernelUsable() { return false; }
+const char* HardwareKernelName() { return "none"; }
+
+#endif
+
+}  // namespace twimob::crc32c_internal

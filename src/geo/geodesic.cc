@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/cpu_features.h"
+
 namespace twimob::geo {
 
 double HaversineMeters(const LatLon& a, const LatLon& b) {
@@ -128,5 +130,65 @@ double MetersPerDegreeLon(double lat_deg) {
 }
 
 double MetersPerDegreeLat() { return kEarthRadiusMeters * kDegToRad; }
+
+HaversineBatch::HaversineBatch(const LatLon& origin)
+    : origin_(origin),
+      // The exact expressions HaversineMeters computes for its first
+      // argument — hoisting them cannot change any bit of the result.
+      lat1_rad_(origin.lat * kDegToRad),
+      cos_lat1_(std::cos(origin.lat * kDegToRad)) {}
+
+double HaversineBatch::DistanceTo(const LatLon& p) const {
+  const double lat2 = p.lat * kDegToRad;
+  const double dlat = (p.lat - origin_.lat) * kDegToRad;
+  const double dlon = (p.lon - origin_.lon) * kDegToRad;
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlon = std::sin(dlon / 2.0);
+  const double h =
+      sin_dlat * sin_dlat + cos_lat1_ * std::cos(lat2) * sin_dlon * sin_dlon;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+void HaversineBatch::DistancesTo(const double* lats, const double* lons, size_t n,
+                                 double* dist) const {
+  for (size_t i = 0; i < n; ++i) {
+    dist[i] = DistanceTo(LatLon{lats[i], lons[i]});
+  }
+}
+
+void SelectWithinLatBandScalar(const double* lats, size_t n, double center_lat,
+                               double band_deg, std::vector<uint32_t>* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if (!(std::fabs(lats[i] - center_lat) > band_deg)) {
+      out->push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+namespace {
+
+geodesic_internal::LatBandKernel DispatchedLatBandKernel() {
+  static const geodesic_internal::LatBandKernel kernel =
+      []() -> geodesic_internal::LatBandKernel {
+    const geodesic_internal::LatBandKernel simd =
+        geodesic_internal::SimdLatBandKernel();
+    if (simd != nullptr && !GetCpuFeatures().force_scalar) return simd;
+    return &SelectWithinLatBandScalar;
+  }();
+  return kernel;
+}
+
+}  // namespace
+
+void SelectWithinLatBand(const double* lats, size_t n, double center_lat,
+                         double band_deg, std::vector<uint32_t>* out) {
+  DispatchedLatBandKernel()(lats, n, center_lat, band_deg, out);
+}
+
+const char* LatBandKernelImplementation() {
+  return DispatchedLatBandKernel() == &SelectWithinLatBandScalar
+             ? "scalar"
+             : geodesic_internal::SimdLatBandKernelName();
+}
 
 }  // namespace twimob::geo

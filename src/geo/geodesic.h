@@ -1,6 +1,10 @@
 #ifndef TWIMOB_GEO_GEODESIC_H_
 #define TWIMOB_GEO_GEODESIC_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "geo/latlon.h"
 
 namespace twimob::geo {
@@ -36,6 +40,65 @@ double MetersPerDegreeLon(double lat_deg);
 
 /// Width of one degree of latitude, metres (constant on the sphere).
 double MetersPerDegreeLat();
+
+/// Fixed-origin haversine batch: hoists the origin-dependent terms
+/// (latitude in radians and its cosine) out of the per-point formula, for
+/// loops that measure many points against one origin — the sealed-index
+/// boundary filter and the mobility models' distance matrices. Every
+/// distance is bit-identical to HaversineMeters(origin, p): the hoisted
+/// terms are computed by the exact expressions of the scalar formula, and
+/// the per-point operation sequence is unchanged.
+class HaversineBatch {
+ public:
+  explicit HaversineBatch(const LatLon& origin);
+
+  /// HaversineMeters(origin, p), bit for bit.
+  double DistanceTo(const LatLon& p) const;
+
+  /// SoA form: dist[i] = HaversineMeters(origin, {lats[i], lons[i]}) for
+  /// every i < n, bit for bit. The transcendentals stay scalar per lane —
+  /// vectorised sin/asin would change the bits.
+  void DistancesTo(const double* lats, const double* lons, size_t n,
+                   double* dist) const;
+
+ private:
+  LatLon origin_;
+  double lat1_rad_ = 0.0;
+  double cos_lat1_ = 0.0;
+};
+
+/// Appends to `out` the indices i < n whose latitude passes the band keep
+/// decision `!(fabs(lats[i] - center_lat) > band_deg)` — note the negated
+/// form: a NaN latitude compares false and is KEPT, exactly like the
+/// scalar reject `fabs(...) > band ? skip : keep`. Ascending order;
+/// `out` is appended to, not cleared. SIMD-dispatched (AVX2 packed
+/// subtract/abs/compare are IEEE-exact, so both paths make identical
+/// decisions); SelectWithinLatBandScalar is the always-scalar reference.
+void SelectWithinLatBand(const double* lats, size_t n, double center_lat,
+                         double band_deg, std::vector<uint32_t>* out);
+
+/// Reference form of SelectWithinLatBand (plain loop, never vectorised).
+void SelectWithinLatBandScalar(const double* lats, size_t n, double center_lat,
+                               double band_deg, std::vector<uint32_t>* out);
+
+/// Name of the lat-band select kernel SelectWithinLatBand dispatches to
+/// ("avx2" or "scalar"), resolved once per process.
+const char* LatBandKernelImplementation();
+
+namespace geodesic_internal {
+
+/// Kernel signature for the lat-band select; SimdLatBandKernel returns the
+/// build's vectorised kernel when the running CPU supports it (ignoring
+/// TWIMOB_FORCE_SCALAR — dispatch applies that separately), else nullptr.
+using LatBandKernel = void (*)(const double* lats, size_t n, double center_lat,
+                               double band_deg, std::vector<uint32_t>* out);
+LatBandKernel SimdLatBandKernel();
+
+/// Display name of the SIMD kernel; meaningless when SimdLatBandKernel()
+/// is null.
+const char* SimdLatBandKernelName();
+
+}  // namespace geodesic_internal
 
 }  // namespace twimob::geo
 

@@ -1,0 +1,75 @@
+// Vectorized latitude-band select for the sealed-index boundary filter:
+// 4 double lanes per AVX2 iteration, packed subtract / abs (sign-bit
+// clear) / compare, movemask + ctz emission, scalar tail. Subtraction,
+// fabs, and ordered/unordered compares are IEEE-exact operations, so the
+// kernel makes bit-identical keep decisions to the scalar reference —
+// including NaN latitudes, which the unordered NOT-greater-than predicate
+// keeps exactly like the scalar `!(fabs(diff) > band)` form. No
+// transcendentals run here; the haversine itself stays scalar per lane.
+//
+// The function carries a `target` attribute instead of per-file -m flags
+// so the library stays buildable for the baseline ISA; callers reach it
+// only through the runtime dispatcher in geodesic.cc.
+
+#include "geo/geodesic.h"
+
+#include <cmath>
+
+#include "common/cpu_features.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TWIMOB_GEODESIC_X86 1
+#include <immintrin.h>
+#endif
+
+namespace twimob::geo::geodesic_internal {
+
+#if defined(TWIMOB_GEODESIC_X86)
+
+namespace {
+
+__attribute__((target("avx2"))) void SelectWithinLatBandAvx2(
+    const double* lats, size_t n, double center_lat, double band_deg,
+    std::vector<uint32_t>* out) {
+  const __m256d vcenter = _mm256_set1_pd(center_lat);
+  const __m256d vband = _mm256_set1_pd(band_deg);
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vlat = _mm256_loadu_pd(lats + i);
+    const __m256d vabs = _mm256_andnot_pd(sign_mask, _mm256_sub_pd(vlat, vcenter));
+    // keep lane: NOT (|diff| > band), unordered (NaN) lanes keep.
+    const __m256d keep_mask = _mm256_cmp_pd(vabs, vband, _CMP_NGT_UQ);
+    unsigned keep = static_cast<unsigned>(_mm256_movemask_pd(keep_mask));
+    while (keep != 0) {
+      out->push_back(static_cast<uint32_t>(i) +
+                     static_cast<uint32_t>(__builtin_ctz(keep)));
+      keep &= keep - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (!(std::fabs(lats[i] - center_lat) > band_deg)) {
+      out->push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+}  // namespace
+
+LatBandKernel SimdLatBandKernel() {
+  static const LatBandKernel kernel = []() -> LatBandKernel {
+    return DetectCpuFeatures().avx2 ? &SelectWithinLatBandAvx2 : nullptr;
+  }();
+  return kernel;
+}
+
+const char* SimdLatBandKernelName() { return "avx2"; }
+
+#else  // no vectorized lat-band select on this target
+
+LatBandKernel SimdLatBandKernel() { return nullptr; }
+const char* SimdLatBandKernelName() { return "none"; }
+
+#endif
+
+}  // namespace twimob::geo::geodesic_internal

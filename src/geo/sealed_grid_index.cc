@@ -27,6 +27,24 @@ size_t CountUnion(const uint64_t* merged, size_t merged_size, const uint64_t* ex
 
 }  // namespace
 
+void SealedGridIndex::FilterBoundaryCell(
+    size_t begin, size_t end, const LatLon& center, double radius_m,
+    bool use_equirect, double lat_band_deg, double prefilter_m,
+    const HaversineBatch& batch, std::vector<uint32_t>& band_scratch,
+    size_t* points_tested, std::vector<uint32_t>& accepted) const {
+  band_scratch.clear();
+  SelectWithinLatBand(lats_.data() + begin, end - begin, center.lat,
+                      lat_band_deg, &band_scratch);
+  accepted.clear();
+  for (const uint32_t rel : band_scratch) {
+    const size_t i = begin + rel;
+    const LatLon p{lats_[i], lons_[i]};
+    if (use_equirect && EquirectangularMeters(center, p) > prefilter_m) continue;
+    if (points_tested != nullptr) ++*points_tested;
+    if (batch.DistanceTo(p) <= radius_m) accepted.push_back(rel);
+  }
+}
+
 std::vector<IndexedPoint> SealedGridIndex::QueryRadius(const LatLon& center,
                                                        double radius_m) const {
   std::vector<IndexedPoint> out;
@@ -45,6 +63,9 @@ size_t SealedGridIndex::CountRadiusProfiled(const LatLon& center, double radius_
   const bool use_equirect = radius_m < kEquirectPrefilterMaxRadiusMeters;
   const double lat_band_deg = LatitudeBandDegrees(radius_m);
   const double prefilter_m = radius_m * kEquirectPrefilterMargin;
+  const HaversineBatch batch(center);
+  std::vector<uint32_t> band_scratch;
+  std::vector<uint32_t> accepted;
   size_t n = 0;
   VisitCandidateCells(box, [&](size_t cell) {
     const size_t begin = offsets_[cell];
@@ -59,13 +80,11 @@ size_t SealedGridIndex::CountRadiusProfiled(const LatLon& center, double radius_
       return;
     }
     if (profile != nullptr) ++profile->cells_boundary;
-    for (size_t i = begin; i < end; ++i) {
-      const LatLon p{lats_[i], lons_[i]};
-      if (std::fabs(p.lat - center.lat) > lat_band_deg) continue;
-      if (use_equirect && EquirectangularMeters(center, p) > prefilter_m) continue;
-      if (profile != nullptr) ++profile->points_tested;
-      if (HaversineMeters(center, p) <= radius_m) ++n;
-    }
+    FilterBoundaryCell(begin, end, center, radius_m, use_equirect, lat_band_deg,
+                       prefilter_m, batch, band_scratch,
+                       profile != nullptr ? &profile->points_tested : nullptr,
+                       accepted);
+    n += accepted.size();
   });
   return n;
 }
@@ -76,6 +95,9 @@ size_t SealedGridIndex::CountDistinctIds(const LatLon& center, double radius_m) 
   const double lat_band_deg = LatitudeBandDegrees(radius_m);
   const double prefilter_m = radius_m * kEquirectPrefilterMargin;
 
+  const HaversineBatch batch(center);
+  std::vector<uint32_t> band_scratch;
+  std::vector<uint32_t> accepted;
   std::vector<size_t> interior_cells;
   std::vector<uint64_t> boundary_ids;
   VisitCandidateCells(box, [&](size_t cell) {
@@ -85,12 +107,9 @@ size_t SealedGridIndex::CountDistinctIds(const LatLon& center, double radius_m) 
     }
     const size_t begin = offsets_[cell];
     const size_t end = offsets_[cell + 1];
-    for (size_t i = begin; i < end; ++i) {
-      const LatLon p{lats_[i], lons_[i]};
-      if (std::fabs(p.lat - center.lat) > lat_band_deg) continue;
-      if (use_equirect && EquirectangularMeters(center, p) > prefilter_m) continue;
-      if (HaversineMeters(center, p) <= radius_m) boundary_ids.push_back(ids_[i]);
-    }
+    FilterBoundaryCell(begin, end, center, radius_m, use_equirect, lat_band_deg,
+                       prefilter_m, batch, band_scratch, nullptr, accepted);
+    for (const uint32_t rel : accepted) boundary_ids.push_back(ids_[begin + rel]);
   });
 
   std::sort(boundary_ids.begin(), boundary_ids.end());

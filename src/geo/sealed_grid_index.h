@@ -128,6 +128,23 @@ class SealedGridIndex {
   template <typename CellFn>
   void VisitCandidateCells(const BoundingBox& box, CellFn&& fn) const;
 
+  /// Boundary-cell point filter over the SoA rows [begin, end): runs the
+  /// SIMD-dispatched latitude-band select, then the equirectangular
+  /// prefilter and the exact haversine (origin terms hoisted in `batch`,
+  /// bit-identical to the scalar formula) on the survivors. Fills
+  /// `accepted` (cleared first) with the cell-relative indices of the
+  /// points inside the circle, ascending — the same points, in the same
+  /// order, as the scalar per-point loop. `band_scratch` is caller-owned
+  /// scratch reused across cells; `points_tested` (may be null) counts
+  /// points that reached the haversine check.
+  void FilterBoundaryCell(size_t begin, size_t end, const LatLon& center,
+                          double radius_m, bool use_equirect,
+                          double lat_band_deg, double prefilter_m,
+                          const HaversineBatch& batch,
+                          std::vector<uint32_t>& band_scratch,
+                          size_t* points_tested,
+                          std::vector<uint32_t>& accepted) const;
+
   BoundingBox bounds_;
   double cell_deg_ = 0.0;
   int64_t cols_ = 1;
@@ -177,6 +194,9 @@ void SealedGridIndex::ForEachInRadius(const LatLon& center, double radius_m,
   const bool use_equirect = radius_m < kEquirectPrefilterMaxRadiusMeters;
   const double lat_band_deg = LatitudeBandDegrees(radius_m);
   const double prefilter_m = radius_m * kEquirectPrefilterMargin;
+  const HaversineBatch batch(center);
+  std::vector<uint32_t> band_scratch;
+  std::vector<uint32_t> accepted;
   VisitCandidateCells(box, [&](size_t cell) {
     const size_t begin = offsets_[cell];
     const size_t end = offsets_[cell + 1];
@@ -186,11 +206,11 @@ void SealedGridIndex::ForEachInRadius(const LatLon& center, double radius_m,
       }
       return;
     }
-    for (size_t i = begin; i < end; ++i) {
-      const LatLon p{lats_[i], lons_[i]};
-      if (std::fabs(p.lat - center.lat) > lat_band_deg) continue;
-      if (use_equirect && EquirectangularMeters(center, p) > prefilter_m) continue;
-      if (HaversineMeters(center, p) <= radius_m) fn(IndexedPoint{p, ids_[i]});
+    FilterBoundaryCell(begin, end, center, radius_m, use_equirect, lat_band_deg,
+                       prefilter_m, batch, band_scratch, nullptr, accepted);
+    for (const uint32_t rel : accepted) {
+      const size_t i = begin + rel;
+      fn(IndexedPoint{LatLon{lats_[i], lons_[i]}, ids_[i]});
     }
   });
 }

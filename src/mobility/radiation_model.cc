@@ -11,10 +11,18 @@ namespace twimob::mobility {
 AreaDistanceMatrix::AreaDistanceMatrix(const std::vector<census::Area>& areas)
     : size_(areas.size()) {
   dist_.resize(size_ * size_, 0.0);
+  // SoA centre columns + per-row HaversineBatch: the origin trig is
+  // computed once per row instead of once per pair. Bit-identical to the
+  // pairwise HaversineMeters loop (the batch hoists exactly the scalar
+  // formula's origin terms).
+  std::vector<double> lats(size_), lons(size_);
+  for (size_t j = 0; j < size_; ++j) {
+    lats[j] = areas[j].center.lat;
+    lons[j] = areas[j].center.lon;
+  }
   for (size_t i = 0; i < size_; ++i) {
-    for (size_t j = 0; j < size_; ++j) {
-      dist_[i * size_ + j] = geo::HaversineMeters(areas[i].center, areas[j].center);
-    }
+    const geo::HaversineBatch batch(areas[i].center);
+    batch.DistancesTo(lats.data(), lons.data(), size_, dist_.data() + i * size_);
   }
 }
 

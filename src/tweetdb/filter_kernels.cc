@@ -1,0 +1,58 @@
+#include "tweetdb/filter_kernels.h"
+
+#include "common/cpu_features.h"
+
+namespace twimob::tweetdb::filter_internal {
+namespace {
+
+void UserEqSeedScalar(const uint64_t* users, size_t n, uint64_t want,
+                      std::vector<uint32_t>* sel) {
+  for (uint32_t i = 0; i < n; ++i) {
+    if (users[i] == want) sel->push_back(i);
+  }
+}
+
+void TimeRangeSeedScalar(const int64_t* times, size_t n, int64_t lo, int64_t hi,
+                         std::vector<uint32_t>* sel) {
+  for (uint32_t i = 0; i < n; ++i) {
+    if (times[i] >= lo && times[i] < hi) sel->push_back(i);
+  }
+}
+
+void TimeMinSeedScalar(const int64_t* times, size_t n, int64_t lo,
+                       std::vector<uint32_t>* sel) {
+  for (uint32_t i = 0; i < n; ++i) {
+    if (times[i] >= lo) sel->push_back(i);
+  }
+}
+
+void BboxSeedScalar(const int32_t* lats, const int32_t* lons, size_t n,
+                    int32_t lat_lo, int32_t lat_hi, int32_t lon_lo,
+                    int32_t lon_hi, std::vector<uint32_t>* sel) {
+  for (uint32_t i = 0; i < n; ++i) {
+    if (lats[i] >= lat_lo && lats[i] <= lat_hi && lons[i] >= lon_lo &&
+        lons[i] <= lon_hi) {
+      sel->push_back(i);
+    }
+  }
+}
+
+}  // namespace
+
+const FilterKernels& ScalarFilterKernels() {
+  static const FilterKernels kScalar = {&UserEqSeedScalar, &TimeRangeSeedScalar,
+                                        &TimeMinSeedScalar, &BboxSeedScalar,
+                                        "scalar"};
+  return kScalar;
+}
+
+const FilterKernels& ActiveFilterKernels() {
+  static const FilterKernels* const active = []() -> const FilterKernels* {
+    const FilterKernels* simd = SimdFilterKernels();
+    if (simd != nullptr && !GetCpuFeatures().force_scalar) return simd;
+    return &ScalarFilterKernels();
+  }();
+  return *active;
+}
+
+}  // namespace twimob::tweetdb::filter_internal

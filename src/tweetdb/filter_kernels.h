@@ -1,0 +1,54 @@
+#ifndef TWIMOB_TWEETDB_FILTER_KERNELS_H_
+#define TWIMOB_TWEETDB_FILTER_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace twimob::tweetdb::filter_internal {
+
+/// Seed-pass kernels for FilterBlockColumnar: each scans a full column of
+/// `n` rows and appends the indices of the matching rows to `sel` in
+/// ascending order (the caller has already reserved capacity for `n`
+/// entries). A SIMD kernel set and the scalar set must produce identical
+/// selection lists for every input — the columnar differential test sweeps
+/// row counts across vector-width boundaries to enforce this. Integer
+/// compares vectorize exactly, so this is a structural requirement, not a
+/// tolerance.
+struct FilterKernels {
+  /// Rows with users[i] == want.
+  void (*user_eq_seed)(const uint64_t* users, size_t n, uint64_t want,
+                       std::vector<uint32_t>* sel);
+  /// Rows with lo <= times[i] < hi (lo inclusive, hi exclusive).
+  void (*time_range_seed)(const int64_t* times, size_t n, int64_t lo, int64_t hi,
+                          std::vector<uint32_t>* sel);
+  /// Rows with times[i] >= lo.
+  void (*time_min_seed)(const int64_t* times, size_t n, int64_t lo,
+                        std::vector<uint32_t>* sel);
+  /// Rows inside the inclusive fixed-point box. The caller has already
+  /// clamped the widened int64 thresholds into the int32 column domain and
+  /// rejected empty ranges, so lat_lo <= lat_hi and lon_lo <= lon_hi.
+  void (*bbox_seed)(const int32_t* lats, const int32_t* lons, size_t n,
+                    int32_t lat_lo, int32_t lat_hi, int32_t lon_lo,
+                    int32_t lon_hi, std::vector<uint32_t>* sel);
+  /// Display name: "avx2", "sse4.2", or "scalar".
+  const char* name;
+};
+
+/// The portable reference kernels (plain per-row loops).
+const FilterKernels& ScalarFilterKernels();
+
+/// The best vectorized kernel set this build has for the running CPU
+/// (AVX2 preferred over SSE4.2), or nullptr when the build has none or the
+/// CPU supports none. Ignores TWIMOB_FORCE_SCALAR — dispatch applies that
+/// separately.
+const FilterKernels* SimdFilterKernels();
+
+/// The kernel set FilterBlockColumnar dispatches to, resolved once per
+/// process: SimdFilterKernels() unless absent or TWIMOB_FORCE_SCALAR is
+/// set, the scalar reference otherwise.
+const FilterKernels& ActiveFilterKernels();
+
+}  // namespace twimob::tweetdb::filter_internal
+
+#endif  // TWIMOB_TWEETDB_FILTER_KERNELS_H_

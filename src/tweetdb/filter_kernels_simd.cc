@@ -1,0 +1,228 @@
+// Vectorized seed-pass kernels for FilterBlockColumnar. AVX2: 8 int32
+// lanes for the fixed-point bbox compare, 4 int64 lanes for timestamps and
+// user ids; SSE4.2 halves the widths (pcmpgtq needs SSE4.2). Each kernel
+// runs packed compares, converts the lane mask to bits with movemask, and
+// emits selected row indices with a ctz loop; the sub-vector tail reuses
+// the exact scalar compare. Integer compares are bit-exact, so every
+// kernel produces the same selection list as the scalar reference — the
+// columnar differential test enforces this across vector-width boundaries.
+//
+// Functions carry `target` attributes instead of per-file -m flags so the
+// library stays buildable for the baseline ISA; callers reach them only
+// through ActiveFilterKernels().
+
+#include "tweetdb/filter_kernels.h"
+
+#include "common/cpu_features.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TWIMOB_FILTER_X86 1
+#include <immintrin.h>
+#endif
+
+namespace twimob::tweetdb::filter_internal {
+
+#if defined(TWIMOB_FILTER_X86)
+
+namespace {
+
+/// Appends the set bits of `keep` (lane numbers) offset by `base` to `sel`.
+inline void EmitBits(unsigned keep, uint32_t base, std::vector<uint32_t>* sel) {
+  while (keep != 0) {
+    sel->push_back(base + static_cast<uint32_t>(__builtin_ctz(keep)));
+    keep &= keep - 1;
+  }
+}
+
+// ---------------------------------------------------------------- AVX2 --
+
+__attribute__((target("avx2"))) void UserEqSeedAvx2(const uint64_t* users,
+                                                    size_t n, uint64_t want,
+                                                    std::vector<uint32_t>* sel) {
+  const __m256i vwant = _mm256_set1_epi64x(static_cast<int64_t>(want));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(users + i));
+    const unsigned keep = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(v, vwant))));
+    EmitBits(keep, static_cast<uint32_t>(i), sel);
+  }
+  for (; i < n; ++i) {
+    if (users[i] == want) sel->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+__attribute__((target("avx2"))) void TimeRangeSeedAvx2(
+    const int64_t* times, size_t n, int64_t lo, int64_t hi,
+    std::vector<uint32_t>* sel) {
+  const __m256i vlo = _mm256_set1_epi64x(lo);
+  const __m256i vhi = _mm256_set1_epi64x(hi);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(times + i));
+    // keep lane: v >= lo (NOT lo > v) AND v < hi (hi > v).
+    const __m256i keep_mask = _mm256_andnot_si256(_mm256_cmpgt_epi64(vlo, v),
+                                                  _mm256_cmpgt_epi64(vhi, v));
+    const unsigned keep = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(keep_mask)));
+    EmitBits(keep, static_cast<uint32_t>(i), sel);
+  }
+  for (; i < n; ++i) {
+    if (times[i] >= lo && times[i] < hi) sel->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+__attribute__((target("avx2"))) void TimeMinSeedAvx2(const int64_t* times,
+                                                     size_t n, int64_t lo,
+                                                     std::vector<uint32_t>* sel) {
+  const __m256i vlo = _mm256_set1_epi64x(lo);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(times + i));
+    const unsigned reject = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(vlo, v))));
+    EmitBits(~reject & 0xFu, static_cast<uint32_t>(i), sel);
+  }
+  for (; i < n; ++i) {
+    if (times[i] >= lo) sel->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+__attribute__((target("avx2"))) void BboxSeedAvx2(const int32_t* lats,
+                                                  const int32_t* lons, size_t n,
+                                                  int32_t lat_lo, int32_t lat_hi,
+                                                  int32_t lon_lo, int32_t lon_hi,
+                                                  std::vector<uint32_t>* sel) {
+  const __m256i vlat_lo = _mm256_set1_epi32(lat_lo);
+  const __m256i vlat_hi = _mm256_set1_epi32(lat_hi);
+  const __m256i vlon_lo = _mm256_set1_epi32(lon_lo);
+  const __m256i vlon_hi = _mm256_set1_epi32(lon_hi);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vlat =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lats + i));
+    const __m256i vlon =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lons + i));
+    // reject lane: outside the box on either axis.
+    __m256i reject = _mm256_or_si256(_mm256_cmpgt_epi32(vlat_lo, vlat),
+                                     _mm256_cmpgt_epi32(vlat, vlat_hi));
+    reject = _mm256_or_si256(reject, _mm256_cmpgt_epi32(vlon_lo, vlon));
+    reject = _mm256_or_si256(reject, _mm256_cmpgt_epi32(vlon, vlon_hi));
+    const unsigned keep =
+        static_cast<unsigned>(
+            _mm256_movemask_ps(_mm256_castsi256_ps(reject))) ^ 0xFFu;
+    EmitBits(keep, static_cast<uint32_t>(i), sel);
+  }
+  for (; i < n; ++i) {
+    if (lats[i] >= lat_lo && lats[i] <= lat_hi && lons[i] >= lon_lo &&
+        lons[i] <= lon_hi) {
+      sel->push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+// -------------------------------------------------------------- SSE4.2 --
+
+__attribute__((target("sse4.2"))) void UserEqSeedSse42(
+    const uint64_t* users, size_t n, uint64_t want, std::vector<uint32_t>* sel) {
+  const __m128i vwant = _mm_set1_epi64x(static_cast<int64_t>(want));
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(users + i));
+    const unsigned keep = static_cast<unsigned>(
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(v, vwant))));
+    EmitBits(keep, static_cast<uint32_t>(i), sel);
+  }
+  for (; i < n; ++i) {
+    if (users[i] == want) sel->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+__attribute__((target("sse4.2"))) void TimeRangeSeedSse42(
+    const int64_t* times, size_t n, int64_t lo, int64_t hi,
+    std::vector<uint32_t>* sel) {
+  const __m128i vlo = _mm_set1_epi64x(lo);
+  const __m128i vhi = _mm_set1_epi64x(hi);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(times + i));
+    const __m128i keep_mask =
+        _mm_andnot_si128(_mm_cmpgt_epi64(vlo, v), _mm_cmpgt_epi64(vhi, v));
+    const unsigned keep =
+        static_cast<unsigned>(_mm_movemask_pd(_mm_castsi128_pd(keep_mask)));
+    EmitBits(keep, static_cast<uint32_t>(i), sel);
+  }
+  for (; i < n; ++i) {
+    if (times[i] >= lo && times[i] < hi) sel->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+__attribute__((target("sse4.2"))) void TimeMinSeedSse42(
+    const int64_t* times, size_t n, int64_t lo, std::vector<uint32_t>* sel) {
+  const __m128i vlo = _mm_set1_epi64x(lo);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(times + i));
+    const unsigned reject = static_cast<unsigned>(
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpgt_epi64(vlo, v))));
+    EmitBits(~reject & 0x3u, static_cast<uint32_t>(i), sel);
+  }
+  for (; i < n; ++i) {
+    if (times[i] >= lo) sel->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+__attribute__((target("sse4.2"))) void BboxSeedSse42(
+    const int32_t* lats, const int32_t* lons, size_t n, int32_t lat_lo,
+    int32_t lat_hi, int32_t lon_lo, int32_t lon_hi, std::vector<uint32_t>* sel) {
+  const __m128i vlat_lo = _mm_set1_epi32(lat_lo);
+  const __m128i vlat_hi = _mm_set1_epi32(lat_hi);
+  const __m128i vlon_lo = _mm_set1_epi32(lon_lo);
+  const __m128i vlon_hi = _mm_set1_epi32(lon_hi);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vlat = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lats + i));
+    const __m128i vlon = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lons + i));
+    __m128i reject = _mm_or_si128(_mm_cmpgt_epi32(vlat_lo, vlat),
+                                  _mm_cmpgt_epi32(vlat, vlat_hi));
+    reject = _mm_or_si128(reject, _mm_cmpgt_epi32(vlon_lo, vlon));
+    reject = _mm_or_si128(reject, _mm_cmpgt_epi32(vlon, vlon_hi));
+    const unsigned keep =
+        static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(reject))) ^ 0xFu;
+    EmitBits(keep, static_cast<uint32_t>(i), sel);
+  }
+  for (; i < n; ++i) {
+    if (lats[i] >= lat_lo && lats[i] <= lat_hi && lons[i] >= lon_lo &&
+        lons[i] <= lon_hi) {
+      sel->push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+const FilterKernels kAvx2Kernels = {&UserEqSeedAvx2, &TimeRangeSeedAvx2,
+                                    &TimeMinSeedAvx2, &BboxSeedAvx2, "avx2"};
+const FilterKernels kSse42Kernels = {&UserEqSeedSse42, &TimeRangeSeedSse42,
+                                     &TimeMinSeedSse42, &BboxSeedSse42, "sse4.2"};
+
+}  // namespace
+
+const FilterKernels* SimdFilterKernels() {
+  static const FilterKernels* const best = []() -> const FilterKernels* {
+    const CpuFeatures f = DetectCpuFeatures();
+    if (f.avx2) return &kAvx2Kernels;
+    if (f.sse42) return &kSse42Kernels;
+    return nullptr;
+  }();
+  return best;
+}
+
+#else  // no vectorized kernels on this target
+
+const FilterKernels* SimdFilterKernels() { return nullptr; }
+
+#endif
+
+}  // namespace twimob::tweetdb::filter_internal

@@ -1,7 +1,11 @@
 #include "tweetdb/query.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
+
+#include "tweetdb/filter_kernels.h"
 
 namespace twimob::tweetdb {
 namespace {
@@ -56,23 +60,22 @@ bool ScanSpec::MayMatchBlock(const BlockStats& stats) const {
   return true;
 }
 
-void FilterBlockColumnar(const Block& block, const ScanSpec& spec,
-                         std::vector<uint32_t>* sel) {
+namespace {
+
+/// Shared body of FilterBlockColumnar / FilterBlockColumnarScalar: the
+/// first active predicate seeds the selection from all rows through a
+/// kernel from `kernels`; later predicates compact the survivors in place
+/// with scalar refine passes (gather-indexed, so there is nothing
+/// contiguous to vectorize — and the seed pass over all n rows is where
+/// the time goes). Ascending row order is preserved, so gathers fire in
+/// the same order as the row-at-a-time scan.
+void FilterBlockColumnarImpl(const Block& block, const ScanSpec& spec,
+                             std::vector<uint32_t>* sel,
+                             const filter_internal::FilterKernels& kernels) {
   sel->clear();
   const size_t n = block.num_rows();
   bool seeded = false;
-  // First active predicate seeds the selection from all rows; later ones
-  // compact the survivors in place. Ascending row order is preserved, so
-  // gathers fire in the same order as the row-at-a-time scan.
-  const auto apply = [&](auto&& pred) {
-    if (!seeded) {
-      sel->reserve(n);
-      for (uint32_t i = 0; i < n; ++i) {
-        if (pred(i)) sel->push_back(i);
-      }
-      seeded = true;
-      return;
-    }
+  const auto refine = [&](auto&& pred) {
     size_t out = 0;
     for (const uint32_t i : *sel) {
       if (pred(i)) (*sel)[out++] = i;
@@ -81,18 +84,27 @@ void FilterBlockColumnar(const Block& block, const ScanSpec& spec,
   };
 
   if (spec.user_id.has_value()) {
-    const uint64_t want = *spec.user_id;
-    const uint64_t* users = block.user_ids().data();
-    apply([users, want](uint32_t i) { return users[i] == want; });
+    // First predicate in the order, so always a seed when present.
+    sel->reserve(n);
+    kernels.user_eq_seed(block.user_ids().data(), n, *spec.user_id, sel);
+    seeded = true;
   }
   if (spec.min_time.has_value() || spec.max_time.has_value()) {
     const int64_t lo = spec.min_time.value_or(std::numeric_limits<int64_t>::min());
     const int64_t* times = block.timestamps().data();
-    if (spec.max_time.has_value()) {
+    if (!seeded) {
+      sel->reserve(n);
+      if (spec.max_time.has_value()) {
+        kernels.time_range_seed(times, n, lo, *spec.max_time, sel);
+      } else {
+        kernels.time_min_seed(times, n, lo, sel);
+      }
+      seeded = true;
+    } else if (spec.max_time.has_value()) {
       const int64_t hi = *spec.max_time;  // exclusive
-      apply([times, lo, hi](uint32_t i) { return times[i] >= lo && times[i] < hi; });
+      refine([times, lo, hi](uint32_t i) { return times[i] >= lo && times[i] < hi; });
     } else {
-      apply([times, lo](uint32_t i) { return times[i] >= lo; });
+      refine([times, lo](uint32_t i) { return times[i] >= lo; });
     }
   }
   if (spec.bbox.has_value()) {
@@ -105,17 +117,38 @@ void FilterBlockColumnar(const Block& block, const ScanSpec& spec,
     }
     // Compile the degree bounds down to fixed-point so the scan compares
     // integers; the thresholds reproduce Contains(FixedToDegrees(v))
-    // exactly (FixedToDegrees is monotone).
+    // exactly (FixedToDegrees is monotone). The widened int64 thresholds
+    // leave the int32 column domain only when the box edge is outside it:
+    // a low bound above the domain (or high bound below it) rejects every
+    // row, and the remaining cases clamp exactly (everything below the
+    // domain passes a low bound, everything above passes a high bound).
     const int64_t lat_lo = FirstFixedAtLeast(box.min_lat);
     const int64_t lat_hi = LastFixedAtMost(box.max_lat);
     const int64_t lon_lo = FirstFixedAtLeast(box.min_lon);
     const int64_t lon_hi = LastFixedAtMost(box.max_lon);
+    if (lat_lo > lat_hi || lon_lo > lon_hi) {
+      sel->clear();
+      return;
+    }
+    constexpr int64_t kLo = std::numeric_limits<int32_t>::min();
+    constexpr int64_t kHi = std::numeric_limits<int32_t>::max();
+    const int32_t lat_lo32 = static_cast<int32_t>(std::max(lat_lo, kLo));
+    const int32_t lat_hi32 = static_cast<int32_t>(std::min(lat_hi, kHi));
+    const int32_t lon_lo32 = static_cast<int32_t>(std::max(lon_lo, kLo));
+    const int32_t lon_hi32 = static_cast<int32_t>(std::min(lon_hi, kHi));
     const int32_t* lats = block.lat_fixed().data();
     const int32_t* lons = block.lon_fixed().data();
-    apply([=](uint32_t i) {
-      return lats[i] >= lat_lo && lats[i] <= lat_hi && lons[i] >= lon_lo &&
-             lons[i] <= lon_hi;
-    });
+    if (!seeded) {
+      sel->reserve(n);
+      kernels.bbox_seed(lats, lons, n, lat_lo32, lat_hi32, lon_lo32, lon_hi32,
+                        sel);
+      seeded = true;
+    } else {
+      refine([=](uint32_t i) {
+        return lats[i] >= lat_lo32 && lats[i] <= lat_hi32 &&
+               lons[i] >= lon_lo32 && lons[i] <= lon_hi32;
+      });
+    }
   }
   if (!seeded) {
     sel->reserve(n);
@@ -123,7 +156,47 @@ void FilterBlockColumnar(const Block& block, const ScanSpec& spec,
   }
 }
 
+}  // namespace
+
+void FilterBlockColumnar(const Block& block, const ScanSpec& spec,
+                         std::vector<uint32_t>* sel) {
+  FilterBlockColumnarImpl(block, spec, sel,
+                          filter_internal::ActiveFilterKernels());
+}
+
+void FilterBlockColumnarScalar(const Block& block, const ScanSpec& spec,
+                               std::vector<uint32_t>* sel) {
+  FilterBlockColumnarImpl(block, spec, sel,
+                          filter_internal::ScalarFilterKernels());
+}
+
+const char* FilterKernelsImplementation() {
+  return filter_internal::ActiveFilterKernels().name;
+}
+
 namespace internal {
+
+namespace {
+
+/// Per-thread cache of one selection-list vector. Acquire moves it out
+/// (leaving an empty, capacity-less vector behind), so a nested scan on
+/// the same thread gets a fresh allocation instead of aliasing the
+/// outer scan's list.
+std::vector<uint32_t>& ScratchSlot() {
+  thread_local std::vector<uint32_t> slot;
+  return slot;
+}
+
+}  // namespace
+
+std::vector<uint32_t> AcquireSelectionScratch() {
+  return std::move(ScratchSlot());
+}
+
+void ReleaseSelectionScratch(std::vector<uint32_t> scratch) {
+  scratch.clear();
+  ScratchSlot() = std::move(scratch);
+}
 
 size_t CountBlockColumnar(const Block& block, const ScanSpec& spec,
                           std::vector<uint32_t>& sel_scratch,
@@ -145,7 +218,7 @@ ScanStatistics CountMatching(const TweetTable& table, const ScanSpec& spec,
                              size_t* count) {
   ScanStatistics stats;
   stats.blocks_total = table.num_blocks();
-  std::vector<uint32_t> sel;
+  std::vector<uint32_t> sel = internal::AcquireSelectionScratch();
   size_t n = 0;
   for (size_t b = 0; b < table.num_blocks(); ++b) {
     if (!spec.MayMatchBlock(table.block_stats(b))) {
@@ -154,6 +227,7 @@ ScanStatistics CountMatching(const TweetTable& table, const ScanSpec& spec,
     }
     n += internal::CountBlockColumnar(table.block(b), spec, sel, stats);
   }
+  internal::ReleaseSelectionScratch(std::move(sel));
   *count = n;
   return stats;
 }
@@ -188,9 +262,10 @@ ScanStatistics ParallelCountMatching(const TweetTable& table, const ScanSpec& sp
       ++per_stats[b].blocks_pruned;
       return;
     }
-    std::vector<uint32_t> sel;
+    std::vector<uint32_t> sel = internal::AcquireSelectionScratch();
     per_count[b] =
         internal::CountBlockColumnar(table.block(b), spec, sel, per_stats[b]);
+    internal::ReleaseSelectionScratch(std::move(sel));
   });
   ScanStatistics total;
   total.blocks_total = table.num_blocks();
@@ -224,9 +299,10 @@ ScanStatistics ParallelCountMatchingDataset(const TweetDataset& dataset,
       ++per_stats[g].blocks_pruned;
       return;
     }
-    std::vector<uint32_t> sel;
+    std::vector<uint32_t> sel = internal::AcquireSelectionScratch();
     per_count[g] =
         internal::CountBlockColumnar(table.block(b), spec, sel, per_stats[g]);
+    internal::ReleaseSelectionScratch(std::move(sel));
   });
   ScanStatistics total;
   total.blocks_total = block_map.size();

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -54,7 +55,31 @@ struct ScanStatistics {
 void FilterBlockColumnar(const Block& block, const ScanSpec& spec,
                          std::vector<uint32_t>* sel);
 
+/// Reference form of FilterBlockColumnar that always runs the scalar
+/// kernels, regardless of CPU features or TWIMOB_FORCE_SCALAR. The
+/// dispatched form must produce an identical selection list for every
+/// input — differential tests and the perf_tweetdb speedup probe compare
+/// the two.
+void FilterBlockColumnarScalar(const Block& block, const ScanSpec& spec,
+                               std::vector<uint32_t>* sel);
+
+/// Name of the kernel set FilterBlockColumnar dispatches to ("avx2",
+/// "sse4.2", or "scalar"), resolved once per process.
+const char* FilterKernelsImplementation();
+
 namespace internal {
+
+/// Takes the calling thread's cached selection-list scratch vector (empty,
+/// but with whatever capacity earlier scans grew it to), or a fresh vector
+/// when the cache is checked out — a scan started from inside another
+/// scan's row callback simply allocates. Pass the vector back through
+/// ReleaseSelectionScratch when the scan finishes so the capacity is
+/// reused instead of reallocated per block.
+std::vector<uint32_t> AcquireSelectionScratch();
+
+/// Returns a scratch vector to the calling thread's cache (cleared, with
+/// capacity intact).
+void ReleaseSelectionScratch(std::vector<uint32_t> scratch);
 
 /// Materialises row `i` exactly as `Block::GetRow` does — gathers of
 /// selected rows are bit-identical to the row-at-a-time scan.
@@ -92,6 +117,23 @@ void ScanBlockColumnar(const Block& block, const ScanSpec& spec,
 size_t CountBlockColumnar(const Block& block, const ScanSpec& spec,
                           std::vector<uint32_t>& sel_scratch, ScanStatistics& stats);
 
+/// ScanTable body with a caller-provided selection scratch, so multi-table
+/// scans (ScanDataset) reuse one allocation across every shard.
+template <typename Fn>
+ScanStatistics ScanTableWithScratch(const TweetTable& table, const ScanSpec& spec,
+                                    std::vector<uint32_t>& sel, Fn&& fn) {
+  ScanStatistics stats;
+  stats.blocks_total = table.num_blocks();
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    if (!spec.MayMatchBlock(table.block_stats(b))) {
+      ++stats.blocks_pruned;
+      continue;
+    }
+    ScanBlockColumnar(table.block(b), spec, sel, stats, fn);
+  }
+  return stats;
+}
+
 }  // namespace internal
 
 /// Scans `table` (sealed blocks and the active tail must be sealed first —
@@ -99,16 +141,10 @@ size_t CountBlockColumnar(const Block& block, const ScanSpec& spec,
 /// Returns pruning statistics.
 template <typename Fn>
 ScanStatistics ScanTable(const TweetTable& table, const ScanSpec& spec, Fn&& fn) {
-  ScanStatistics stats;
-  stats.blocks_total = table.num_blocks();
-  std::vector<uint32_t> sel;
-  for (size_t b = 0; b < table.num_blocks(); ++b) {
-    if (!spec.MayMatchBlock(table.block_stats(b))) {
-      ++stats.blocks_pruned;
-      continue;
-    }
-    internal::ScanBlockColumnar(table.block(b), spec, sel, stats, fn);
-  }
+  std::vector<uint32_t> sel = internal::AcquireSelectionScratch();
+  const ScanStatistics stats =
+      internal::ScanTableWithScratch(table, spec, sel, fn);
+  internal::ReleaseSelectionScratch(std::move(sel));
   return stats;
 }
 
@@ -136,9 +172,10 @@ ScanStatistics ParallelScanTable(const TweetTable& table, const ScanSpec& spec,
       ++stats.blocks_pruned;
       return;
     }
-    std::vector<uint32_t> sel;
+    std::vector<uint32_t> sel = internal::AcquireSelectionScratch();
     internal::ScanBlockColumnar(table.block(b), spec, sel, stats,
                                 [&fn, b](const Tweet& t) { fn(b, t); });
+    internal::ReleaseSelectionScratch(std::move(sel));
   });
   ScanStatistics total;
   total.blocks_total = num_blocks;
@@ -161,13 +198,19 @@ template <typename Fn>
 ScanStatistics ScanDataset(const TweetDataset& dataset, const ScanSpec& spec,
                            Fn&& fn) {
   ScanStatistics total;
+  // One selection scratch for the whole dataset: the first block grows it
+  // to its row count and every later block (in every shard) reuses the
+  // capacity.
+  std::vector<uint32_t> sel = internal::AcquireSelectionScratch();
   for (size_t s = 0; s < dataset.num_shards(); ++s) {
-    const ScanStatistics stats = ScanTable(dataset.shard(s), spec, fn);
+    const ScanStatistics stats =
+        internal::ScanTableWithScratch(dataset.shard(s), spec, sel, fn);
     total.blocks_total += stats.blocks_total;
     total.blocks_pruned += stats.blocks_pruned;
     total.rows_scanned += stats.rows_scanned;
     total.rows_matched += stats.rows_matched;
   }
+  internal::ReleaseSelectionScratch(std::move(sel));
   return total;
 }
 
@@ -200,9 +243,10 @@ ScanStatistics ParallelScanDataset(const TweetDataset& dataset,
       ++stats.blocks_pruned;
       return;
     }
-    std::vector<uint32_t> sel;
+    std::vector<uint32_t> sel = internal::AcquireSelectionScratch();
     internal::ScanBlockColumnar(table.block(b), spec, sel, stats,
                                 [&fn, g](const Tweet& t) { fn(g, t); });
+    internal::ReleaseSelectionScratch(std::move(sel));
   });
   ScanStatistics total;
   total.blocks_total = block_map.size();

@@ -1,0 +1,55 @@
+#include "common/cpu_features.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace twimob {
+namespace {
+
+TEST(CpuFeaturesTest, DetectionIsStable) {
+  const CpuFeatures a = DetectCpuFeatures();
+  const CpuFeatures b = DetectCpuFeatures();
+  EXPECT_EQ(a.sse42, b.sse42);
+  EXPECT_EQ(a.avx2, b.avx2);
+  EXPECT_EQ(a.arm_crc32, b.arm_crc32);
+}
+
+TEST(CpuFeaturesTest, Avx2ImpliesSse42) {
+  // Every AVX2 CPU has SSE4.2; a violation means the detection code is
+  // reading the wrong bits.
+  const CpuFeatures f = DetectCpuFeatures();
+  if (f.avx2) {
+    EXPECT_TRUE(f.sse42);
+  }
+}
+
+TEST(CpuFeaturesTest, CachedFeaturesMatchDetectionUnlessForced) {
+  const CpuFeatures& cached = GetCpuFeatures();
+  const CpuFeatures raw = DetectCpuFeatures();
+  if (cached.force_scalar) {
+    EXPECT_FALSE(cached.sse42);
+    EXPECT_FALSE(cached.avx2);
+    EXPECT_FALSE(cached.arm_crc32);
+  } else {
+    EXPECT_EQ(cached.sse42, raw.sse42);
+    EXPECT_EQ(cached.avx2, raw.avx2);
+    EXPECT_EQ(cached.arm_crc32, raw.arm_crc32);
+  }
+}
+
+TEST(CpuFeaturesTest, SummaryIsNonEmpty) {
+  EXPECT_FALSE(CpuFeaturesSummary(GetCpuFeatures()).empty());
+  EXPECT_FALSE(CpuFeaturesSummary(DetectCpuFeatures()).empty());
+}
+
+TEST(CpuFeaturesTest, SummarySpellsForcedScalar) {
+  CpuFeatures forced;
+  forced.force_scalar = true;
+  EXPECT_EQ(CpuFeaturesSummary(forced), "scalar (forced)");
+  const CpuFeatures none;
+  EXPECT_EQ(CpuFeaturesSummary(none), "scalar");
+}
+
+}  // namespace
+}  // namespace twimob

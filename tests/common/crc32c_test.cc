@@ -60,6 +60,58 @@ TEST(Crc32cTest, ExtendEqualsOneShot) {
   }
 }
 
+/// Differential sweep: the dispatched implementation (hardware CRC32C when
+/// the CPU has it, slice-by-8 otherwise) must agree with the scalar
+/// reference on every length 0–4096, at several misaligned base offsets —
+/// the prologue/interleave/tail structure of the hardware kernel makes
+/// short and misaligned buffers the risky cases.
+class Crc32cDifferentialTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Crc32cDifferentialTest, HardwareMatchesScalarOnEveryLengthTo4096) {
+  const size_t offset = GetParam();
+  random::Xoshiro256 rng(1000 + offset);
+  std::vector<unsigned char> buf(offset + 4096);
+  for (unsigned char& c : buf) c = static_cast<unsigned char>(rng.NextUint64(256));
+  const unsigned char* base = buf.data() + offset;
+  for (size_t n = 0; n <= 4096; ++n) {
+    const uint32_t dispatched = Crc32c(base, n);
+    const uint32_t scalar = Crc32cScalar(base, n);
+    ASSERT_EQ(dispatched, scalar) << "offset " << offset << " length " << n;
+    // Extend must agree too (non-zero incoming state).
+    ASSERT_EQ(Crc32cExtend(0xDEADBEEFu, base, n),
+              Crc32cExtendScalar(0xDEADBEEFu, base, n))
+        << "offset " << offset << " length " << n;
+  }
+}
+
+TEST_P(Crc32cDifferentialTest, HardwareMatchesScalarAcrossInterleaveBlocks) {
+  // The 3-way interleaved kernel switches structure at 3x256 and 3x8192
+  // bytes; sweep lengths straddling both boundaries (the 0–4096 sweep
+  // covers the short-block loop but not the long one).
+  const size_t offset = GetParam();
+  random::Xoshiro256 rng(2000 + offset);
+  const size_t kMax = 3 * 8192 + 1024;
+  std::vector<unsigned char> buf(offset + kMax);
+  for (unsigned char& c : buf) c = static_cast<unsigned char>(rng.NextUint64(256));
+  const unsigned char* base = buf.data() + offset;
+  for (const size_t n :
+       {size_t{3 * 256 - 1}, size_t{3 * 256}, size_t{3 * 256 + 1},
+        size_t{3 * 8192 - 1}, size_t{3 * 8192}, size_t{3 * 8192 + 1}, kMax}) {
+    ASSERT_EQ(Crc32c(base, n), Crc32cScalar(base, n))
+        << "offset " << offset << " length " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Misalignments, Crc32cDifferentialTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 7, 8, 13));
+
+TEST(Crc32cTest, ImplementationNameIsKnown) {
+  const std::string name = Crc32cImplementation();
+  EXPECT_TRUE(name == "sse4.2-3way" || name == "armv8-crc" ||
+              name == "slice-by-8")
+      << name;
+}
+
 TEST(Crc32cTest, DetectsEverySingleByteFlip) {
   random::Xoshiro256 rng(44);
   std::string buf(256, '\0');

@@ -1,8 +1,14 @@
 #include "geo/geodesic.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "random/rng.h"
 
 namespace twimob::geo {
 namespace {
@@ -136,6 +142,71 @@ TEST(MetersPerDegreeTest, LatitudeConstantLongitudeShrinks) {
   EXPECT_NEAR(MetersPerDegreeLon(0.0), 111195.0, 10.0);
   EXPECT_LT(MetersPerDegreeLon(-60.0), MetersPerDegreeLon(-30.0));
   EXPECT_NEAR(MetersPerDegreeLon(60.0), MetersPerDegreeLon(0.0) * 0.5, 10.0);
+}
+
+TEST(HaversineBatchTest, BitIdenticalToScalarHaversine) {
+  // The batch hoists the origin terms; every distance must still be the
+  // exact bits HaversineMeters produces, including degenerate pairs.
+  random::Xoshiro256 rng(71);
+  std::vector<LatLon> origins{kSydney, kPerth, LatLon{0.0, 0.0},
+                              LatLon{-89.999, 179.999}};
+  for (int t = 0; t < 16; ++t) {
+    origins.push_back(
+        LatLon{rng.NextUniform(-90.0, 90.0), rng.NextUniform(-180.0, 180.0)});
+  }
+  constexpr size_t kPoints = 257;  // odd count: exercises any tail handling
+  std::vector<double> lats(kPoints), lons(kPoints), dist(kPoints);
+  for (size_t i = 0; i < kPoints; ++i) {
+    lats[i] = rng.NextUniform(-90.0, 90.0);
+    lons[i] = rng.NextUniform(-180.0, 180.0);
+  }
+  for (const LatLon& origin : origins) {
+    const HaversineBatch batch(origin);
+    EXPECT_EQ(batch.DistanceTo(origin), HaversineMeters(origin, origin));
+    batch.DistancesTo(lats.data(), lons.data(), kPoints, dist.data());
+    for (size_t i = 0; i < kPoints; ++i) {
+      const LatLon p{lats[i], lons[i]};
+      ASSERT_EQ(dist[i], HaversineMeters(origin, p)) << "point " << i;
+      ASSERT_EQ(batch.DistanceTo(p), HaversineMeters(origin, p)) << "point " << i;
+    }
+  }
+}
+
+TEST(SelectWithinLatBandTest, DispatchedMatchesScalarIncludingNaN) {
+  // The dispatched (possibly AVX2) select must emit the exact index list
+  // of the scalar reference for lengths straddling the 4-lane width, with
+  // NaN latitudes KEPT (the keep decision is !(fabs(diff) > band), which
+  // is true for NaN — the downstream haversine then rejects it).
+  random::Xoshiro256 rng(72);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                         size_t{5}, size_t{7}, size_t{8}, size_t{9}, size_t{63},
+                         size_t{64}, size_t{100}, size_t{1000}}) {
+    std::vector<double> lats(n);
+    for (size_t i = 0; i < n; ++i) {
+      lats[i] = rng.NextUniform(-44.0, -10.0);
+      if (n > 4 && i % 5 == 0) lats[i] = nan;
+    }
+    for (const double band : {0.0, 0.05, 0.5, 90.0}) {
+      std::vector<uint32_t> dispatched, scalar;
+      SelectWithinLatBand(lats.data(), n, -33.8, band, &dispatched);
+      SelectWithinLatBandScalar(lats.data(), n, -33.8, band, &scalar);
+      EXPECT_EQ(dispatched, scalar) << "n " << n << " band " << band;
+      // NaN lanes are kept by both.
+      for (size_t i = 0; i < n; ++i) {
+        if (std::isnan(lats[i])) {
+          EXPECT_TRUE(std::find(scalar.begin(), scalar.end(),
+                                static_cast<uint32_t>(i)) != scalar.end())
+              << "NaN at " << i << " dropped";
+        }
+      }
+    }
+  }
+}
+
+TEST(SelectWithinLatBandTest, ImplementationNameIsKnown) {
+  const std::string name = LatBandKernelImplementation();
+  EXPECT_TRUE(name == "avx2" || name == "scalar") << name;
 }
 
 }  // namespace
