@@ -1,0 +1,534 @@
+// Serving-layer performance profile: builds a dataset on disk, opens it
+// through serve::SnapshotCatalog, and drives serve::QueryService with a
+// mixed workload (population-within-radius, SoA point batches, OD-flow and
+// model-prediction lookups) of at least one million queries. Reports
+//   * per-kind latency percentiles (p50/p99) from a single-threaded probe,
+//   * sustained multi-thread throughput (QPS) over the mixed workload,
+//   * the batched-vs-unbatched point-query speedup (bit-identical answers),
+// and enforces the serving determinism contract:
+//   1. snapshots analysed with 1 worker thread and with the default pool
+//      serve byte-identical answers;
+//   2. answers are byte-identical while a writer commits fresh generations
+//      and a refresher swaps them in concurrently with the queries.
+//
+// `--json <path>` writes the machine-readable profile (BENCH_server.json)
+// for the CI artifact upload.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "census/census_data.h"
+#include "common/string_util.h"
+#include "random/rng.h"
+#include "serve/query_service.h"
+#include "serve/snapshot_catalog.h"
+#include "synth/tweet_generator.h"
+#include "tweetdb/binary_codec.h"
+
+namespace twimob {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The serving corpus is capped: the bench measures query latency and
+/// refresh behaviour, not corpus generation, and every Refresh() re-runs
+/// the full analysis. The cap is logged, never silent.
+constexpr size_t kMaxServerUsers = 150000;
+
+/// One deterministic mixed-query workload. Flattens every answer into
+/// doubles so two runs compare bitwise; any failed query aborts the run.
+/// Mix per iteration (r in [0,16)): r==0 population, r in [1,6] one SoA
+/// batch of 32 points, r in [7,11] OD flow, else model prediction.
+struct WorkloadResult {
+  std::vector<double> values;
+  bool ok = true;
+};
+
+WorkloadResult RunWorkload(const serve::QueryService& service, uint64_t seed,
+                           int iterations) {
+  random::Xoshiro256 rng(seed);
+  WorkloadResult out;
+  std::vector<double> lats;
+  std::vector<double> lons;
+  for (int i = 0; i < iterations; ++i) {
+    const uint64_t r = rng.NextUint64(16);
+    const size_t scale = rng.NextUint64(3);
+    if (r == 0) {
+      const auto& areas =
+          census::AreasForScale(census::kAllScales[scale]);
+      const census::Area& area = areas[rng.NextUint64(areas.size())];
+      const geo::LatLon center{area.center.lat + rng.NextUniform(-0.05, 0.05),
+                               area.center.lon + rng.NextUniform(-0.05, 0.05)};
+      auto a = service.Population(center, rng.NextUniform(1000.0, 20000.0));
+      if (!a.ok()) return {{}, false};
+      out.values.push_back(static_cast<double>(a->unique_users));
+      out.values.push_back(static_cast<double>(a->tweets));
+    } else if (r <= 6) {
+      lats.clear();
+      lons.clear();
+      for (int p = 0; p < 32; ++p) {
+        lats.push_back(rng.NextUniform(-44.0, -10.0));
+        lons.push_back(rng.NextUniform(113.0, 154.0));
+      }
+      auto batch = service.PointEstimateBatch(scale, lats.data(), lons.data(),
+                                              lats.size());
+      if (!batch.ok()) return {{}, false};
+      for (const serve::PointAnswer& p : *batch) {
+        out.values.push_back(static_cast<double>(p.area));
+        out.values.push_back(p.rescaled_estimate);
+      }
+    } else if (r <= 11) {
+      auto a = service.OdFlow(scale, rng.NextUint64(20), rng.NextUint64(20));
+      if (!a.ok()) return {{}, false};
+      out.values.push_back(a->observed);
+    } else {
+      auto a = service.Predict(scale, rng.NextUint64(3), rng.NextUint64(20),
+                               rng.NextUint64(20));
+      if (!a.ok()) return {{}, false};
+      out.values.push_back(a->estimated);
+    }
+  }
+  return out;
+}
+
+bool BitwiseEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+struct LatencySummary {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  uint64_t samples = 0;
+};
+
+LatencySummary Summarize(std::vector<double>& micros) {
+  LatencySummary s;
+  s.samples = micros.size();
+  if (micros.empty()) return s;
+  std::sort(micros.begin(), micros.end());
+  s.p50_us = micros[micros.size() / 2];
+  s.p99_us = micros[std::min(micros.size() - 1,
+                             static_cast<size_t>(micros.size() * 0.99))];
+  double sum = 0.0;
+  for (double v : micros) sum += v;
+  s.mean_us = sum / static_cast<double>(micros.size());
+  return s;
+}
+
+void EmitLatency(bench::JsonWriter& json, const std::string& key,
+                 const LatencySummary& s) {
+  json.BeginObject(key)
+      .Field("p50_us", s.p50_us)
+      .Field("p99_us", s.p99_us)
+      .Field("mean_us", s.mean_us)
+      .Field("samples", s.samples)
+      .EndObject();
+}
+
+std::string ServerDatasetPath(size_t users, uint64_t seed) {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  return StrFormat("%s/twimob_bench_server_u%zu_s%llu_v%u.twdb", dir.c_str(),
+                   users, static_cast<unsigned long long>(seed),
+                   static_cast<unsigned>(tweetdb::kBinaryFormatVersion));
+}
+
+int Run(const char* json_path) {
+  size_t users = bench::BenchUserCount();
+  bool capped = false;
+  if (users > kMaxServerUsers) {
+    std::fprintf(stderr,
+                 "[perf_server] capping corpus to %zu users (requested %zu): "
+                 "the bench measures serving, not generation\n",
+                 kMaxServerUsers, users);
+    users = kMaxServerUsers;
+    capped = true;
+  }
+
+  core::PipelineConfig config;
+  config.corpus = bench::BenchCorpusConfig();
+  config.corpus.num_users = users;
+  config.num_shards = 4;
+
+  std::fprintf(stderr, "[perf_server] generating corpus (%zu users)...\n",
+               users);
+  auto generator = synth::TweetGenerator::Create(config.corpus);
+  if (!generator.ok()) {
+    std::fprintf(stderr, "generator failed: %s\n",
+                 generator.status().ToString().c_str());
+    return 1;
+  }
+  auto dataset = generator->GenerateDataset(tweetdb::PartitionSpec::ForWindow(
+      config.corpus.window_start, config.corpus.window_end, config.num_shards));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "corpus failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  const std::string path = ServerDatasetPath(users, bench::BenchSeed());
+  Status written = tweetdb::WriteDatasetFiles(*dataset, path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "dataset write failed: %s\n",
+                 written.ToString().c_str());
+    return 1;
+  }
+
+  // Open the serving catalog (default analysis pool) and a 1-thread twin
+  // for the thread-invariance verdict.
+  serve::CatalogOptions options;
+  options.analysis = config;
+  std::fprintf(stderr, "[perf_server] opening catalog (analysis run)...\n");
+  const Clock::time_point open_start = Clock::now();
+  auto catalog = serve::SnapshotCatalog::Open(path, options);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 catalog.status().ToString().c_str());
+    return 1;
+  }
+  const double load_seconds = SecondsSince(open_start);
+  const serve::QueryService service(catalog->get());
+
+  std::fprintf(stderr, "[perf_server] 1-thread twin catalog (serial run)...\n");
+  serve::CatalogOptions serial_options = options;
+  serial_options.num_threads = 1;
+  auto serial_catalog = serve::SnapshotCatalog::Open(path, serial_options);
+  if (!serial_catalog.ok()) {
+    std::fprintf(stderr, "serial open failed: %s\n",
+                 serial_catalog.status().ToString().c_str());
+    return 1;
+  }
+  bool thread_invariant;
+  {
+    const serve::QueryService serial_service(serial_catalog->get());
+    const WorkloadResult pooled = RunWorkload(service, 7001, 2000);
+    const WorkloadResult serial = RunWorkload(serial_service, 7001, 2000);
+    thread_invariant =
+        pooled.ok && serial.ok && BitwiseEqual(pooled.values, serial.values);
+  }
+  serial_catalog->reset();  // drop the twin's pin
+  std::printf("THREAD INVARIANCE: 1-thread vs pooled snapshots bitwise %s\n",
+              thread_invariant ? "IDENTICAL (contract holds)"
+                               : "DIFFERENT (BUG)");
+
+  // --- Latency percentiles, one kind at a time, single thread. ----------
+  std::fprintf(stderr, "[perf_server] latency probe...\n");
+  random::Xoshiro256 rng(4242);
+  std::vector<double> pop_us, point_us, batch_point_us, od_us, predict_us;
+  for (int i = 0; i < 2000; ++i) {
+    const size_t scale = rng.NextUint64(3);
+    const auto& areas = census::AreasForScale(census::kAllScales[scale]);
+    const census::Area& area = areas[rng.NextUint64(areas.size())];
+    const geo::LatLon center{area.center.lat + rng.NextUniform(-0.05, 0.05),
+                             area.center.lon + rng.NextUniform(-0.05, 0.05)};
+    const double radius = rng.NextUniform(1000.0, 20000.0);
+    const Clock::time_point t0 = Clock::now();
+    if (!service.Population(center, radius).ok()) return 1;
+    pop_us.push_back(SecondsSince(t0) * 1e6);
+  }
+  for (int i = 0; i < 20000; ++i) {
+    const size_t scale = rng.NextUint64(3);
+    const geo::LatLon pos{rng.NextUniform(-44.0, -10.0),
+                          rng.NextUniform(113.0, 154.0)};
+    const Clock::time_point t0 = Clock::now();
+    if (!service.PointEstimate(scale, pos).ok()) return 1;
+    point_us.push_back(SecondsSince(t0) * 1e6);
+  }
+  {
+    std::vector<double> lats(256), lons(256);
+    for (int i = 0; i < 2000; ++i) {
+      const size_t scale = rng.NextUint64(3);
+      for (size_t p = 0; p < lats.size(); ++p) {
+        lats[p] = rng.NextUniform(-44.0, -10.0);
+        lons[p] = rng.NextUniform(113.0, 154.0);
+      }
+      const Clock::time_point t0 = Clock::now();
+      if (!service.PointEstimateBatch(scale, lats.data(), lons.data(),
+                                      lats.size())
+               .ok()) {
+        return 1;
+      }
+      batch_point_us.push_back(SecondsSince(t0) * 1e6 /
+                               static_cast<double>(lats.size()));
+    }
+  }
+  for (int i = 0; i < 50000; ++i) {
+    const size_t scale = rng.NextUint64(3);
+    const Clock::time_point t0 = Clock::now();
+    if (!service.OdFlow(scale, rng.NextUint64(20), rng.NextUint64(20)).ok()) {
+      return 1;
+    }
+    od_us.push_back(SecondsSince(t0) * 1e6);
+  }
+  for (int i = 0; i < 50000; ++i) {
+    const size_t scale = rng.NextUint64(3);
+    const Clock::time_point t0 = Clock::now();
+    if (!service
+             .Predict(scale, rng.NextUint64(3), rng.NextUint64(20),
+                      rng.NextUint64(20))
+             .ok()) {
+      return 1;
+    }
+    predict_us.push_back(SecondsSince(t0) * 1e6);
+  }
+  const LatencySummary pop_lat = Summarize(pop_us);
+  const LatencySummary point_lat = Summarize(point_us);
+  const LatencySummary batch_lat = Summarize(batch_point_us);
+  const LatencySummary od_lat = Summarize(od_us);
+  const LatencySummary predict_lat = Summarize(predict_us);
+  std::printf("LATENCY (single thread, microseconds)\n");
+  std::printf("  %-22s p50 %10.2f   p99 %10.2f\n", "population", pop_lat.p50_us,
+              pop_lat.p99_us);
+  std::printf("  %-22s p50 %10.2f   p99 %10.2f\n", "point (unbatched)",
+              point_lat.p50_us, point_lat.p99_us);
+  std::printf("  %-22s p50 %10.2f   p99 %10.2f\n", "point (batched, /pt)",
+              batch_lat.p50_us, batch_lat.p99_us);
+  std::printf("  %-22s p50 %10.2f   p99 %10.2f\n", "od_flow", od_lat.p50_us,
+              od_lat.p99_us);
+  std::printf("  %-22s p50 %10.2f   p99 %10.2f\n", "predict", predict_lat.p50_us,
+              predict_lat.p99_us);
+
+  // --- Batched vs unbatched point assignment, bit-identity enforced. ----
+  std::fprintf(stderr, "[perf_server] batched vs unbatched points...\n");
+  bool batch_identical = true;
+  double unbatched_seconds = 0.0;
+  double batched_seconds = 0.0;
+  size_t batch_points = 0;
+  {
+    constexpr size_t kPoints = 100000;
+    constexpr size_t kBatch = 256;
+    std::vector<double> lats(kPoints), lons(kPoints);
+    for (size_t i = 0; i < kPoints; ++i) {
+      lats[i] = rng.NextUniform(-44.0, -10.0);
+      lons[i] = rng.NextUniform(113.0, 154.0);
+    }
+    for (size_t scale = 0; scale < 3; ++scale) {
+      std::vector<serve::PointAnswer> single(kPoints);
+      Clock::time_point t0 = Clock::now();
+      for (size_t i = 0; i < kPoints; ++i) {
+        auto one = service.PointEstimate(scale, geo::LatLon{lats[i], lons[i]});
+        if (!one.ok()) return 1;
+        single[i] = *one;
+      }
+      unbatched_seconds += SecondsSince(t0);
+      std::vector<serve::PointAnswer> batched;
+      batched.reserve(kPoints);
+      t0 = Clock::now();
+      for (size_t i = 0; i < kPoints; i += kBatch) {
+        const size_t n = std::min(kBatch, kPoints - i);
+        auto chunk =
+            service.PointEstimateBatch(scale, &lats[i], &lons[i], n);
+        if (!chunk.ok()) return 1;
+        batched.insert(batched.end(), chunk->begin(), chunk->end());
+      }
+      batched_seconds += SecondsSince(t0);
+      for (size_t i = 0; i < kPoints; ++i) {
+        if (batched[i].area != single[i].area ||
+            std::memcmp(&batched[i].distance_m, &single[i].distance_m,
+                        sizeof(double)) != 0) {
+          batch_identical = false;
+        }
+      }
+      batch_points += kPoints;
+    }
+  }
+  const double batch_speedup =
+      batched_seconds > 0.0 ? unbatched_seconds / batched_seconds : 0.0;
+  std::printf("BATCHING: %zu points, unbatched %.1f ms, batched %.1f ms "
+              "(%.2fx), answers bitwise %s\n",
+              batch_points, unbatched_seconds * 1e3, batched_seconds * 1e3,
+              batch_speedup,
+              batch_identical ? "IDENTICAL (contract holds)"
+                              : "DIFFERENT (BUG)");
+
+  // --- Sustained mixed throughput across query threads. -----------------
+  const size_t query_threads = std::max<size_t>(
+      2, std::min<size_t>(8, std::thread::hardware_concurrency()));
+  constexpr int kTotalIterations = 90000;  // ~12.6 queries/iteration => >1M
+  const int per_thread =
+      static_cast<int>((kTotalIterations + query_threads - 1) / query_threads);
+  std::fprintf(stderr, "[perf_server] throughput: %zu threads x %d iters...\n",
+               query_threads, per_thread);
+  const serve::ServiceStats before = service.stats();
+  std::atomic<bool> workload_ok{true};
+  const Clock::time_point tp0 = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < query_threads; ++t) {
+      threads.emplace_back([&service, &workload_ok, t, per_thread] {
+        if (!RunWorkload(service, 9000 + t, per_thread).ok) {
+          workload_ok.store(false, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const double throughput_seconds = SecondsSince(tp0);
+  const serve::ServiceStats after = service.stats();
+  const uint64_t throughput_queries =
+      (after.population_queries - before.population_queries) +
+      (after.point_queries - before.point_queries) +
+      (after.od_queries - before.od_queries) +
+      (after.predict_queries - before.predict_queries);
+  const double qps = throughput_queries / throughput_seconds;
+  if (!workload_ok.load()) {
+    std::fprintf(stderr, "throughput workload had failing queries\n");
+    return 1;
+  }
+  std::printf("THROUGHPUT: %llu mixed queries on %zu threads in %.2f s "
+              "(%.0f QPS)\n",
+              static_cast<unsigned long long>(throughput_queries),
+              query_threads, throughput_seconds, qps);
+
+  // --- Answers are invariant under concurrent commits + refreshes. ------
+  std::fprintf(stderr, "[perf_server] refresh-under-load invariance...\n");
+  constexpr int kRefreshIterations = 400;
+  constexpr int kCommits = 2;
+  const WorkloadResult ref_a = RunWorkload(service, 5001, kRefreshIterations);
+  const WorkloadResult ref_b = RunWorkload(service, 5002, kRefreshIterations);
+  if (!ref_a.ok || !ref_b.ok) return 1;
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> swaps{0};
+  std::atomic<int> mismatches{0};
+  {
+    std::thread writer([&dataset, &path, &writer_done] {
+      for (int k = 0; k < kCommits; ++k) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (!tweetdb::WriteDatasetFiles(*dataset, path).ok()) break;
+      }
+      writer_done.store(true, std::memory_order_release);
+    });
+    std::thread refresher([&catalog, &writer_done, &swaps] {
+      while (!writer_done.load(std::memory_order_acquire)) {
+        auto refreshed = (*catalog)->Refresh();
+        if (refreshed.ok() && *refreshed) {
+          swaps.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+    std::vector<std::thread> queriers;
+    for (int t = 0; t < 2; ++t) {
+      queriers.emplace_back([&service, &ref_a, &ref_b, &writer_done,
+                             &mismatches, t] {
+        const WorkloadResult& ref = (t == 0) ? ref_a : ref_b;
+        const uint64_t seed = (t == 0) ? 5001 : 5002;
+        do {
+          const WorkloadResult got =
+              RunWorkload(service, seed, kRefreshIterations);
+          if (!got.ok || !BitwiseEqual(got.values, ref.values)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        } while (!writer_done.load(std::memory_order_acquire));
+      });
+    }
+    for (std::thread& q : queriers) q.join();
+    writer.join();
+    refresher.join();
+  }
+  auto final_refresh = (*catalog)->Refresh();
+  if (!final_refresh.ok()) return 1;
+  const bool refresh_invariant = mismatches.load() == 0;
+  std::printf("REFRESH INVARIANCE: answers across %d commits / %d swaps "
+              "bitwise %s\n",
+              kCommits, swaps.load(),
+              refresh_invariant ? "IDENTICAL (contract holds)"
+                                : "DIFFERENT (BUG)");
+
+  const serve::ServiceStats stats = service.stats();
+  const uint64_t total_queries = stats.population_queries +
+                                 stats.point_queries + stats.od_queries +
+                                 stats.predict_queries;
+  std::printf("TOTAL: %llu queries served (generation %llu)\n",
+              static_cast<unsigned long long>(total_queries),
+              static_cast<unsigned long long>((*catalog)->current_generation()));
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "server");
+  json.BeginObject("corpus")
+      .Field("users", users)
+      .Field("tweets", dataset->num_rows())
+      .Field("seed", bench::BenchSeed())
+      .Field("shards", config.num_shards)
+      .Field("capped", capped)
+      .Field("format_version",
+             static_cast<uint64_t>(tweetdb::kBinaryFormatVersion))
+      .EndObject();
+  json.BeginObject("snapshot")
+      .Field("generation", (*catalog)->current_generation())
+      .Field("load_ms", load_seconds * 1e3)
+      .EndObject();
+  json.BeginObject("latency");
+  EmitLatency(json, "population", pop_lat);
+  EmitLatency(json, "point", point_lat);
+  EmitLatency(json, "point_batched_per_point", batch_lat);
+  EmitLatency(json, "od_flow", od_lat);
+  EmitLatency(json, "predict", predict_lat);
+  json.EndObject();
+  json.BeginObject("throughput")
+      .Field("threads", query_threads)
+      .Field("queries", throughput_queries)
+      .Field("wall_s", throughput_seconds)
+      .Field("qps", qps)
+      .EndObject();
+  json.BeginObject("batching")
+      .Field("points", batch_points)
+      .Field("unbatched_ms", unbatched_seconds * 1e3)
+      .Field("batched_ms", batched_seconds * 1e3)
+      .Field("speedup", batch_speedup)
+      .Field("bit_identical", batch_identical)
+      .EndObject();
+  json.BeginObject("determinism")
+      .Field("thread_invariant", thread_invariant)
+      .Field("refresh_invariant", refresh_invariant)
+      .Field("refresh_swaps", swaps.load())
+      .EndObject();
+  json.Field("total_queries", total_queries);
+  json.EndObject();
+  if (json_path != nullptr) {
+    const Status status = json.WriteFile(json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "json write failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[perf_server] wrote %s\n", json_path);
+  }
+
+  return (thread_invariant && refresh_invariant && batch_identical &&
+          total_queries >= 1000000)
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace twimob
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  return twimob::Run(json_path);
+}

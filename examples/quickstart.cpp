@@ -1,5 +1,7 @@
 // Quickstart: generate a small synthetic corpus, run the full paper
-// pipeline, and print the population and mobility reports.
+// pipeline into an immutable analysis snapshot, print the population and
+// mobility reports, then serve a few live queries from the snapshot
+// through the embedded query service.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -10,9 +12,11 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
-#include "core/pipeline.h"
+#include "core/analysis_snapshot.h"
 #include "core/report.h"
+#include "serve/query_service.h"
 
 int main(int argc, char** argv) {
   using namespace twimob;
@@ -29,18 +33,50 @@ int main(int argc, char** argv) {
   }
   std::cout << " and running the paper pipeline...\n\n";
 
-  auto result = core::Pipeline::Run(config);
-  if (!result.ok()) {
-    std::cerr << "pipeline failed: " << result.status() << "\n";
+  auto built = core::AnalysisSnapshot::Build(config);
+  if (!built.ok()) {
+    std::cerr << "pipeline failed: " << built.status() << "\n";
     return 1;
   }
+  const auto snapshot =
+      std::make_shared<const core::AnalysisSnapshot>(std::move(*built));
+  const core::PipelineResult& result = snapshot->result();
 
-  std::cout << core::RenderTableI(result->generation, config.corpus) << "\n";
-  std::cout << core::RenderPopulationReport(*result) << "\n";
-  for (const auto& scale : result->mobility) {
+  std::cout << core::RenderTableI(result.generation, config.corpus) << "\n";
+  std::cout << core::RenderPopulationReport(result) << "\n";
+  for (const auto& scale : result.mobility) {
     std::cout << core::RenderMobilityScale(scale) << "\n";
   }
-  std::cout << core::RenderTableII(*result) << "\n";
-  std::cout << core::RenderTraceTable(result->trace);
+  std::cout << core::RenderTableII(result) << "\n";
+  std::cout << core::RenderTraceTable(result.trace);
+
+  // Serve demo: the same snapshot now answers ad-hoc queries through the
+  // embedded query service (concurrent-safe; see src/serve).
+  std::cout << "\nServing live queries from the sealed snapshot...\n";
+  const serve::QueryService service(snapshot);
+
+  const geo::LatLon sydney{-33.8688, 151.2093};
+  if (auto population = service.Population(sydney, 25000.0); population.ok()) {
+    std::cout << "  population within 25 km of Sydney CBD: "
+              << population->unique_users << " unique users, "
+              << population->tweets << " tweets\n";
+  }
+  if (auto point = service.PointEstimate(0, sydney); point.ok()) {
+    std::cout << "  Sydney CBD maps to national-scale area #" << point->area
+              << " (census " << point->census_population << ", estimated "
+              << point->rescaled_estimate << ")\n";
+  }
+  if (auto flow = service.OdFlow(0, 0, 1); flow.ok()) {
+    std::cout << "  observed national flow area 0 -> 1: " << flow->observed
+              << "\n";
+  }
+  if (auto predicted = service.Predict(0, 0, 0, 1); predicted.ok()) {
+    std::cout << "  Gravity-4P predicted flow area 0 -> 1: "
+              << predicted->estimated << "\n";
+  }
+  const serve::ServiceStats stats = service.stats();
+  std::cout << "  served " << (stats.population_queries + stats.point_queries +
+                               stats.od_queries + stats.predict_queries)
+            << " queries\n";
   return 0;
 }

@@ -1,0 +1,91 @@
+#include "core/analysis_snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/stage_engine.h"
+
+namespace twimob::core {
+
+namespace {
+
+/// Spreads one scale's sparse observation list (and each model's parallel
+/// `estimated` vector) into dense row-major matrices. Pairs the extraction
+/// never observed stay 0 — exactly what the paper's flow definition gives
+/// them.
+ScaleServingTables BuildScaleTables(const ScaleSpec& spec,
+                                    const ScaleMobilityResult& scale) {
+  ScaleServingTables tables;
+  tables.scale_name = scale.scale_name;
+  tables.num_areas = spec.areas.size();
+  const size_t n = tables.num_areas;
+  tables.observed.assign(n * n, 0.0);
+  for (const mobility::FlowObservation& obs : scale.observations) {
+    tables.observed[obs.src * n + obs.dst] = obs.flow;
+  }
+  tables.model_names.reserve(scale.models.size());
+  tables.model_estimates.reserve(scale.models.size());
+  for (const ModelSummary& model : scale.models) {
+    std::vector<double> dense(n * n, 0.0);
+    const size_t pairs =
+        std::min(scale.observations.size(), model.estimated.size());
+    for (size_t i = 0; i < pairs; ++i) {
+      const mobility::FlowObservation& obs = scale.observations[i];
+      dense[obs.src * n + obs.dst] = model.estimated[i];
+    }
+    tables.model_names.push_back(model.model_name);
+    tables.model_estimates.push_back(std::move(dense));
+  }
+  return tables;
+}
+
+}  // namespace
+
+AnalysisSnapshot AnalysisSnapshot::Seal(PipelineState&& state,
+                                        SnapshotSource source) {
+  AnalysisSnapshot snapshot;
+  snapshot.dataset_ = std::move(state.dataset);
+  snapshot.source_ = std::move(source);
+  snapshot.estimator_ = std::move(state.estimator);
+  snapshot.specs_ = std::move(state.specs);
+  snapshot.result_ = std::move(state.result);
+  const size_t scales =
+      std::min(snapshot.specs_.size(), snapshot.result_.mobility.size());
+  snapshot.serving_tables_.reserve(scales);
+  for (size_t s = 0; s < scales; ++s) {
+    snapshot.serving_tables_.push_back(
+        BuildScaleTables(snapshot.specs_[s], snapshot.result_.mobility[s]));
+  }
+  return snapshot;
+}
+
+Result<AnalysisSnapshot> AnalysisSnapshot::Build(const PipelineConfig& config,
+                                                 AnalysisContext* ctx) {
+  if (ctx == nullptr) {
+    AnalysisContext local;
+    return Build(config, &local);
+  }
+  PipelineState state(config);
+  const StageList stages = StageEngine::FullPipeline(config);
+  TWIMOB_RETURN_IF_ERROR(StageEngine::Run(*ctx, stages, state));
+  return Seal(std::move(state), SnapshotSource{});
+}
+
+Result<AnalysisSnapshot> AnalysisSnapshot::Analyze(tweetdb::TweetDataset dataset,
+                                                   const PipelineConfig& config,
+                                                   SnapshotSource source,
+                                                   AnalysisContext* ctx) {
+  if (ctx == nullptr) {
+    AnalysisContext local;
+    return Analyze(std::move(dataset), config, std::move(source), &local);
+  }
+  PipelineState state(config);
+  state.dataset = std::move(dataset);
+  state.recovery = source.recovery;
+  state.recovery_seconds = source.recovery_seconds;
+  const StageList stages = StageEngine::AnalysisStages(config);
+  TWIMOB_RETURN_IF_ERROR(StageEngine::Run(*ctx, stages, state));
+  return Seal(std::move(state), std::move(source));
+}
+
+}  // namespace twimob::core

@@ -1,0 +1,131 @@
+#ifndef TWIMOB_CORE_ANALYSIS_SNAPSHOT_H_
+#define TWIMOB_CORE_ANALYSIS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/analysis_context.h"
+#include "core/pipeline.h"
+#include "core/population_estimator.h"
+#include "core/scales.h"
+#include "tweetdb/dataset.h"
+#include "tweetdb/generation_pins.h"
+
+namespace twimob::core {
+
+/// Where a snapshot's dataset came from. Default-constructed means an
+/// in-memory corpus (generation 0, nothing pinned); the serve layer fills
+/// it from the `TWDM` manifest when opening a dataset path.
+struct SnapshotSource {
+  /// The dataset generation the snapshot analysed (0 = in-memory corpus).
+  uint64_t generation = 0;
+  /// Keeps the generation's shard files exempt from writer GC for the
+  /// snapshot's lifetime (see tweetdb/generation_pins.h).
+  tweetdb::GenerationPin pin;
+  /// Recovery outcome when the dataset was opened from storage.
+  std::optional<tweetdb::RecoveryReport> recovery;
+  /// Wall seconds spent opening/recovering the dataset.
+  double recovery_seconds = 0.0;
+};
+
+/// Dense per-scale lookup tables the query service answers OD-flow and
+/// model-prediction requests from: the observed Twitter flows and every
+/// fitted model's estimates, spread from the sparse observation list into
+/// row-major `n x n` matrices at build time so a lookup is one load.
+struct ScaleServingTables {
+  std::string scale_name;
+  size_t num_areas = 0;
+  /// Observed (extracted) flows, row-major; absent pairs are 0.
+  std::vector<double> observed;
+  /// models[m] is the dense estimate matrix of result.mobility.models[m]
+  /// (paper column order: Gravity 4P, Gravity 2P, Radiation).
+  std::vector<std::vector<double>> model_estimates;
+  std::vector<std::string> model_names;
+};
+
+/// An immutable, self-contained analysis artifact: the pinned dataset, the
+/// sealed spatial index, the per-scale population estimates and the fitted
+/// mobility models of one pipeline run, packaged for concurrent serving.
+///
+/// Immutability contract: after Build/Analyze returns, nothing in the
+/// snapshot ever changes — every accessor is const, queries share one
+/// snapshot from many threads without synchronisation, and refreshing to a
+/// newer dataset generation means building a NEW snapshot and atomically
+/// swapping the pointer (serve::SnapshotCatalog), never mutating this one.
+/// In-flight readers keep the old snapshot alive via shared ownership; its
+/// storage generation stays pinned (exempt from writer GC) until the last
+/// reference drops.
+class AnalysisSnapshot {
+ public:
+  /// Synthesizes a corpus per `config.corpus` and analyses it (the full
+  /// staged pipeline). When `ctx` is null a context with the default
+  /// thread count is created for the call.
+  static Result<AnalysisSnapshot> Build(const PipelineConfig& config,
+                                        AnalysisContext* ctx = nullptr);
+
+  /// Analyses an existing dataset (e.g. one opened from storage with
+  /// tweetdb::ReadDatasetFiles): compaction, spatial index, population
+  /// estimates and — when `config.run_mobility` — trip extraction and
+  /// model fits. `source` records the dataset's provenance and carries the
+  /// generation pin the snapshot keeps for its lifetime.
+  static Result<AnalysisSnapshot> Analyze(tweetdb::TweetDataset dataset,
+                                          const PipelineConfig& config,
+                                          SnapshotSource source = {},
+                                          AnalysisContext* ctx = nullptr);
+
+  AnalysisSnapshot(AnalysisSnapshot&&) noexcept = default;
+  AnalysisSnapshot& operator=(AnalysisSnapshot&&) noexcept = default;
+  AnalysisSnapshot(const AnalysisSnapshot&) = delete;
+  AnalysisSnapshot& operator=(const AnalysisSnapshot&) = delete;
+
+  /// The compacted, sealed dataset the snapshot analysed.
+  const tweetdb::TweetDataset& dataset() const { return dataset_; }
+
+  /// The dataset generation (0 for in-memory corpora).
+  uint64_t generation() const { return source_.generation; }
+
+  /// Recovery outcome of opening the dataset, when it came from storage.
+  const std::optional<tweetdb::RecoveryReport>& recovery() const {
+    return source_.recovery;
+  }
+
+  /// The sealed-index population estimator (radius queries at any ε).
+  const PopulationEstimator& estimator() const { return *estimator_; }
+
+  /// The scales the snapshot was analysed at (paper order, with the
+  /// config's metro override applied).
+  const std::vector<ScaleSpec>& specs() const { return specs_; }
+
+  /// Everything the pipeline computed (population, mobility, trace).
+  const PipelineResult& result() const { return result_; }
+
+  /// Serving tables of scale `i` (parallel to specs()); empty vector when
+  /// the snapshot was built with `run_mobility = false`.
+  const std::vector<ScaleServingTables>& serving_tables() const {
+    return serving_tables_;
+  }
+
+  /// Moves the pipeline result out (Pipeline::Run's thin-consumer path).
+  PipelineResult TakeResult() && { return std::move(result_); }
+
+ private:
+  AnalysisSnapshot() = default;
+
+  /// Assembles the immutable artifact from a finished pipeline run.
+  static AnalysisSnapshot Seal(struct PipelineState&& state,
+                               SnapshotSource source);
+
+  tweetdb::TweetDataset dataset_;
+  SnapshotSource source_;
+  std::optional<PopulationEstimator> estimator_;
+  std::vector<ScaleSpec> specs_;
+  PipelineResult result_;
+  std::vector<ScaleServingTables> serving_tables_;
+};
+
+}  // namespace twimob::core
+
+#endif  // TWIMOB_CORE_ANALYSIS_SNAPSHOT_H_

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/analysis_snapshot.h"
 #include "core/stage_engine.h"
 
 namespace twimob::core {
@@ -55,14 +56,11 @@ Result<PipelineResult> Pipeline::RunOnTable(tweetdb::TweetTable& table,
 
 Result<PipelineResult> Pipeline::Run(const PipelineConfig& config,
                                      AnalysisContext* ctx) {
-  if (ctx == nullptr) {
-    AnalysisContext local;
-    return Run(config, &local);
-  }
-  PipelineState state(config);
-  const StageList stages = StageEngine::FullPipeline(config);
-  TWIMOB_RETURN_IF_ERROR(StageEngine::Run(*ctx, stages, state));
-  return std::move(state.result);
+  // Thin consumer of the snapshot build: the staged run lands in an
+  // immutable AnalysisSnapshot and Run moves the result out of it.
+  auto snapshot = AnalysisSnapshot::Build(config, ctx);
+  if (!snapshot.ok()) return snapshot.status();
+  return std::move(*snapshot).TakeResult();
 }
 
 }  // namespace twimob::core

@@ -1,0 +1,75 @@
+#include "serve/point_batch.h"
+
+#include <cmath>
+#include <limits>
+
+namespace twimob::serve {
+
+PointBatchAssigner::PointBatchAssigner(const std::vector<census::Area>& areas,
+                                       double radius_m)
+    : radius_m_(radius_m),
+      lat_band_deg_(radius_m / geo::MetersPerDegreeLat() * (1.0 + 1e-9)) {
+  lats_.reserve(areas.size());
+  lons_.reserve(areas.size());
+  batches_.reserve(areas.size());
+  for (const census::Area& a : areas) {
+    lats_.push_back(a.center.lat);
+    lons_.push_back(a.center.lon);
+    batches_.emplace_back(a.center);
+  }
+}
+
+PointAssignment PointBatchAssigner::AssignScalar(const geo::LatLon& pos) const {
+  PointAssignment best;
+  best.distance_m = std::numeric_limits<double>::infinity();
+  const size_t n = lats_.size();
+  for (size_t i = 0; i < n; ++i) {
+    // The exact lat-band reject. IEEE subtraction negates exactly, so this
+    // is the same decision SelectWithinLatBand's keep predicate makes for
+    // the batch path (a NaN latitude compares false and is kept).
+    if (std::fabs(pos.lat - lats_[i]) > lat_band_deg_) continue;
+    const double d = batches_[i].DistanceTo(pos);
+    if (d <= radius_m_ && d < best.distance_m) {
+      best.area = static_cast<int32_t>(i);
+      best.distance_m = d;
+    }
+  }
+  return best;
+}
+
+void PointBatchAssigner::AssignBatch(const double* lats, const double* lons,
+                                     size_t n, PointAssignment* out) const {
+  for (size_t k = 0; k < n; ++k) {
+    out[k] = PointAssignment{};
+    out[k].distance_m = std::numeric_limits<double>::infinity();
+  }
+  std::vector<uint32_t> selected;
+  std::vector<double> gathered_lats;
+  std::vector<double> gathered_lons;
+  std::vector<double> distances;
+  const size_t num_centres = lats_.size();
+  for (size_t i = 0; i < num_centres; ++i) {
+    selected.clear();
+    geo::SelectWithinLatBand(lats, n, lats_[i], lat_band_deg_, &selected);
+    if (selected.empty()) continue;
+    gathered_lats.resize(selected.size());
+    gathered_lons.resize(selected.size());
+    for (size_t j = 0; j < selected.size(); ++j) {
+      gathered_lats[j] = lats[selected[j]];
+      gathered_lons[j] = lons[selected[j]];
+    }
+    distances.resize(selected.size());
+    batches_[i].DistancesTo(gathered_lats.data(), gathered_lons.data(),
+                            selected.size(), distances.data());
+    for (size_t j = 0; j < selected.size(); ++j) {
+      const double d = distances[j];
+      PointAssignment& slot = out[selected[j]];
+      if (d <= radius_m_ && d < slot.distance_m) {
+        slot.area = static_cast<int32_t>(i);
+        slot.distance_m = d;
+      }
+    }
+  }
+}
+
+}  // namespace twimob::serve

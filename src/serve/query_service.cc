@@ -1,0 +1,164 @@
+#include "serve/query_service.h"
+
+#include <utility>
+
+namespace twimob::serve {
+
+QueryService::QueryService(
+    std::shared_ptr<const core::AnalysisSnapshot> snapshot)
+    : fixed_(std::move(snapshot)) {}
+
+QueryService::QueryService(const SnapshotCatalog* catalog)
+    : catalog_(catalog) {}
+
+std::shared_ptr<const core::AnalysisSnapshot> QueryService::Acquire() const {
+  if (fixed_ != nullptr) return fixed_;
+  return catalog_->Current();
+}
+
+Result<PopulationAnswer> QueryService::Population(const geo::LatLon& center,
+                                                  double radius_m) const {
+  if (!(radius_m > 0.0)) {
+    return Status::InvalidArgument("population query: radius must be > 0");
+  }
+  const std::shared_ptr<const core::AnalysisSnapshot> snapshot = Acquire();
+  PopulationAnswer answer;
+  answer.unique_users = snapshot->estimator().CountUniqueUsers(center, radius_m);
+  answer.tweets = snapshot->estimator().CountTweets(center, radius_m);
+  population_queries_.fetch_add(1, std::memory_order_relaxed);
+  return answer;
+}
+
+void QueryService::FillPointAnswer(const core::AnalysisSnapshot& snapshot,
+                                   size_t scale,
+                                   const PointAssignment& assignment,
+                                   PointAnswer* answer) {
+  answer->area = assignment.area;
+  answer->distance_m = assignment.distance_m;
+  if (assignment.area == PointAssignment::kNoArea) return;
+  const auto& population = snapshot.result().population;
+  if (scale >= population.size()) return;
+  const auto& areas = population[scale].areas;
+  const size_t idx = static_cast<size_t>(assignment.area);
+  if (idx >= areas.size()) return;
+  answer->census_population = areas[idx].census_population;
+  answer->rescaled_estimate = areas[idx].rescaled_estimate;
+}
+
+Result<PointAnswer> QueryService::PointEstimate(size_t scale,
+                                                const geo::LatLon& pos) const {
+  const std::shared_ptr<const core::AnalysisSnapshot> snapshot = Acquire();
+  if (scale >= snapshot->specs().size()) {
+    return Status::InvalidArgument("point query: no such scale");
+  }
+  const core::ScaleSpec& spec = snapshot->specs()[scale];
+  // ~20 centres per scale, so building the assigner per request is a
+  // handful of trig evaluations — cheap enough to keep the path stateless
+  // (and therefore lock-free under concurrent Refresh()).
+  const PointBatchAssigner assigner(spec.areas, spec.radius_m);
+  PointAnswer answer;
+  FillPointAnswer(*snapshot, scale, assigner.AssignScalar(pos), &answer);
+  point_queries_.fetch_add(1, std::memory_order_relaxed);
+  return answer;
+}
+
+Result<std::vector<PointAnswer>> QueryService::PointEstimateBatch(
+    size_t scale, const double* lats, const double* lons, size_t n) const {
+  const std::shared_ptr<const core::AnalysisSnapshot> snapshot = Acquire();
+  if (scale >= snapshot->specs().size()) {
+    return Status::InvalidArgument("point batch query: no such scale");
+  }
+  const core::ScaleSpec& spec = snapshot->specs()[scale];
+  const PointBatchAssigner assigner(spec.areas, spec.radius_m);
+  std::vector<PointAssignment> assignments(n);
+  assigner.AssignBatch(lats, lons, n, assignments.data());
+  std::vector<PointAnswer> answers(n);
+  for (size_t i = 0; i < n; ++i) {
+    FillPointAnswer(*snapshot, scale, assignments[i], &answers[i]);
+  }
+  point_queries_.fetch_add(n, std::memory_order_relaxed);
+  return answers;
+}
+
+Result<OdFlowAnswer> QueryService::OdFlow(size_t scale, size_t src,
+                                          size_t dst) const {
+  const std::shared_ptr<const core::AnalysisSnapshot> snapshot = Acquire();
+  const auto& tables = snapshot->serving_tables();
+  if (tables.empty()) {
+    return Status::FailedPrecondition(
+        "OD-flow query: snapshot was built without mobility analysis");
+  }
+  if (scale >= tables.size()) {
+    return Status::InvalidArgument("OD-flow query: no such scale");
+  }
+  const core::ScaleServingTables& t = tables[scale];
+  if (src >= t.num_areas || dst >= t.num_areas) {
+    return Status::InvalidArgument("OD-flow query: area index out of range");
+  }
+  OdFlowAnswer answer;
+  answer.observed = t.observed[src * t.num_areas + dst];
+  od_queries_.fetch_add(1, std::memory_order_relaxed);
+  return answer;
+}
+
+Result<PredictAnswer> QueryService::Predict(size_t scale, size_t model,
+                                            size_t src, size_t dst) const {
+  const std::shared_ptr<const core::AnalysisSnapshot> snapshot = Acquire();
+  const auto& tables = snapshot->serving_tables();
+  if (tables.empty()) {
+    return Status::FailedPrecondition(
+        "predict query: snapshot was built without mobility analysis");
+  }
+  if (scale >= tables.size()) {
+    return Status::InvalidArgument("predict query: no such scale");
+  }
+  const core::ScaleServingTables& t = tables[scale];
+  if (model >= t.model_estimates.size()) {
+    return Status::InvalidArgument("predict query: no such model");
+  }
+  if (src >= t.num_areas || dst >= t.num_areas) {
+    return Status::InvalidArgument("predict query: area index out of range");
+  }
+  PredictAnswer answer;
+  answer.estimated = t.model_estimates[model][src * t.num_areas + dst];
+  predict_queries_.fetch_add(1, std::memory_order_relaxed);
+  return answer;
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  s.population_queries = population_queries_.load(std::memory_order_relaxed);
+  s.point_queries = point_queries_.load(std::memory_order_relaxed);
+  s.od_queries = od_queries_.load(std::memory_order_relaxed);
+  s.predict_queries = predict_queries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+PointQueryBatcher::PointQueryBatcher(const QueryService* service, size_t scale,
+                                     size_t batch_size)
+    : service_(service),
+      scale_(scale),
+      batch_size_(batch_size < 1 ? 1 : batch_size) {
+  lats_.reserve(batch_size_);
+  lons_.reserve(batch_size_);
+}
+
+Status PointQueryBatcher::Add(const geo::LatLon& pos) {
+  lats_.push_back(pos.lat);
+  lons_.push_back(pos.lon);
+  if (lats_.size() >= batch_size_) return Flush();
+  return Status::OK();
+}
+
+Status PointQueryBatcher::Flush() {
+  if (lats_.empty()) return Status::OK();
+  auto batch = service_->PointEstimateBatch(scale_, lats_.data(), lons_.data(),
+                                            lats_.size());
+  if (!batch.ok()) return batch.status();
+  answers_.insert(answers_.end(), batch->begin(), batch->end());
+  lats_.clear();
+  lons_.clear();
+  return Status::OK();
+}
+
+}  // namespace twimob::serve

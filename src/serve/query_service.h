@@ -1,0 +1,163 @@
+#ifndef TWIMOB_SERVE_QUERY_SERVICE_H_
+#define TWIMOB_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/analysis_snapshot.h"
+#include "geo/latlon.h"
+#include "serve/point_batch.h"
+#include "serve/snapshot_catalog.h"
+
+namespace twimob::serve {
+
+/// Answer to a population-within-radius query.
+struct PopulationAnswer {
+  size_t unique_users = 0;  ///< distinct users within ε — "Twitter population"
+  size_t tweets = 0;        ///< tweets within ε
+};
+
+/// Answer to a point-estimate query: the area the point maps to at the
+/// requested scale, plus that area's served population numbers.
+struct PointAnswer {
+  /// Assigned area index, or PointAssignment::kNoArea.
+  int32_t area = PointAssignment::kNoArea;
+  /// Distance to the assigned centre, metres (+inf when unassigned).
+  double distance_m = 0.0;
+  /// Census resident population of the area (0 when unassigned).
+  double census_population = 0.0;
+  /// Rescaled Twitter-population estimate of the area (0 when unassigned).
+  double rescaled_estimate = 0.0;
+};
+
+/// Answer to an OD-flow query: the observed Twitter flow of one area pair.
+struct OdFlowAnswer {
+  double observed = 0.0;
+};
+
+/// Answer to a model-prediction query: one fitted model's estimated flow
+/// for one area pair.
+struct PredictAnswer {
+  double estimated = 0.0;
+};
+
+/// Cumulative query counters (relaxed atomics; exact once queries quiesce).
+struct ServiceStats {
+  uint64_t population_queries = 0;
+  uint64_t point_queries = 0;  ///< points assigned (batch counts each point)
+  uint64_t od_queries = 0;
+  uint64_t predict_queries = 0;
+};
+
+/// Embedded concurrent query service over analysis snapshots.
+///
+/// Every query acquires a snapshot (for a catalog-backed service: one
+/// lock-free atomic load; for a fixed-snapshot service: the pinned member),
+/// answers entirely from that snapshot's immutable state, and drops the
+/// reference. No query path takes a lock, and answers depend only on the
+/// snapshot's analysed content — never on thread interleaving or on which
+/// generation happened to serve — so results are byte-identical across
+/// thread counts and across concurrent Refresh() swaps of
+/// content-equivalent generations (serving_stress_test.cc proves both).
+///
+/// Point queries come in an unbatched form and a SoA-batched form; the
+/// batched form routes through the SIMD geodesic kernels and is
+/// bit-identical to the unbatched one (see PointBatchAssigner).
+class QueryService {
+ public:
+  /// Serves one fixed snapshot (never refreshed). The snapshot must not be
+  /// null.
+  explicit QueryService(std::shared_ptr<const core::AnalysisSnapshot> snapshot);
+
+  /// Serves `catalog->Current()` per request; Refresh() on the catalog
+  /// atomically changes which snapshot later queries see. The catalog must
+  /// outlive the service.
+  explicit QueryService(const SnapshotCatalog* catalog);
+
+  /// Distinct users and tweets within `radius_m` of `center` (the paper's
+  /// population primitive at caller-chosen ε).
+  Result<PopulationAnswer> Population(const geo::LatLon& center,
+                                      double radius_m) const;
+
+  /// Maps one point to its area at scale `scale` (index into specs()).
+  Result<PointAnswer> PointEstimate(size_t scale, const geo::LatLon& pos) const;
+
+  /// Batched point queries in SoA form: the request-batching fast path.
+  /// Bit-identical to PointEstimate on each point.
+  Result<std::vector<PointAnswer>> PointEstimateBatch(size_t scale,
+                                                      const double* lats,
+                                                      const double* lons,
+                                                      size_t n) const;
+
+  /// Observed Twitter flow from area `src` to `dst` at scale `scale`.
+  Result<OdFlowAnswer> OdFlow(size_t scale, size_t src, size_t dst) const;
+
+  /// Flow predicted by fitted model `model` (paper column order: 0 =
+  /// Gravity 4P, 1 = Gravity 2P, 2 = Radiation) for (`src`, `dst`).
+  Result<PredictAnswer> Predict(size_t scale, size_t model, size_t src,
+                                size_t dst) const;
+
+  /// The snapshot a query issued now would answer from.
+  std::shared_ptr<const core::AnalysisSnapshot> snapshot() const {
+    return Acquire();
+  }
+
+  /// Cumulative counters across all threads.
+  ServiceStats stats() const;
+
+ private:
+  std::shared_ptr<const core::AnalysisSnapshot> Acquire() const;
+
+  /// Fills the population fields of `answer` from the snapshot's served
+  /// estimates when the point was assigned.
+  static void FillPointAnswer(const core::AnalysisSnapshot& snapshot,
+                              size_t scale, const PointAssignment& assignment,
+                              PointAnswer* answer);
+
+  std::shared_ptr<const core::AnalysisSnapshot> fixed_;
+  const SnapshotCatalog* catalog_ = nullptr;
+
+  mutable std::atomic<uint64_t> population_queries_{0};
+  mutable std::atomic<uint64_t> point_queries_{0};
+  mutable std::atomic<uint64_t> od_queries_{0};
+  mutable std::atomic<uint64_t> predict_queries_{0};
+};
+
+/// Request-batching front end for point queries: accumulates points into
+/// SoA columns and flushes them through QueryService::PointEstimateBatch
+/// once `batch_size` points are pending (or on demand), so interactive
+/// point lookups ride the SIMD kernels in groups instead of one haversine
+/// at a time. Not thread-safe — one batcher per producing thread; the
+/// underlying service is the shared, concurrent object.
+class PointQueryBatcher {
+ public:
+  PointQueryBatcher(const QueryService* service, size_t scale,
+                    size_t batch_size = 256);
+
+  /// Queues one point; flushes automatically when the batch fills.
+  Status Add(const geo::LatLon& pos);
+
+  /// Flushes pending points (no-op when empty).
+  Status Flush();
+
+  /// Answers in submission order, appended by each flush.
+  const std::vector<PointAnswer>& answers() const { return answers_; }
+
+  size_t pending() const { return lats_.size(); }
+
+ private:
+  const QueryService* service_;
+  size_t scale_;
+  size_t batch_size_;
+  std::vector<double> lats_;
+  std::vector<double> lons_;
+  std::vector<PointAnswer> answers_;
+};
+
+}  // namespace twimob::serve
+
+#endif  // TWIMOB_SERVE_QUERY_SERVICE_H_

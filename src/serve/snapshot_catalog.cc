@@ -1,0 +1,95 @@
+#include "serve/snapshot_catalog.h"
+
+#include <utility>
+
+#include "common/time_util.h"
+#include "tweetdb/binary_codec.h"
+#include "tweetdb/generation_pins.h"
+
+namespace twimob::serve {
+
+Result<tweetdb::Manifest> PeekManifest(tweetdb::Env& env,
+                                       const std::string& path) {
+  auto bytes = tweetdb::ReadFileToString(env, path);
+  if (!bytes.ok()) return bytes.status();
+  return tweetdb::DecodeManifest(*bytes);
+}
+
+tweetdb::Env& SnapshotCatalog::env() const {
+  return options_.env != nullptr ? *options_.env : *tweetdb::Env::Default();
+}
+
+Result<std::shared_ptr<const core::AnalysisSnapshot>>
+SnapshotCatalog::LoadCommitted(uint64_t skip_if_generation) {
+  Status last_error = Status::OK();
+  const int attempts = options_.max_open_retries < 1 ? 1 : options_.max_open_retries;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    auto manifest = PeekManifest(env(), path_);
+    if (!manifest.ok()) return manifest.status();
+    const uint64_t generation = manifest->generation;
+    if (generation == skip_if_generation) {
+      return std::shared_ptr<const core::AnalysisSnapshot>();
+    }
+
+    // Pin before reading shard data: from here on, a writer that commits a
+    // newer generation defers (never deletes) this generation's files.
+    tweetdb::GenerationPin pin(path_, generation);
+    const double t0 = MonotonicSeconds();
+    tweetdb::RecoveryReport report;
+    auto dataset =
+        tweetdb::ReadDatasetFiles(path_, options_.policy, &report, &env());
+    const double recovery_seconds = MonotonicSeconds() - t0;
+    if (!dataset.ok()) {
+      // The writer may have committed — and GC'd the peeked generation —
+      // between the peek and the pin; retry on the newer manifest.
+      last_error = dataset.status();
+      continue;
+    }
+    if (report.generation != generation) {
+      // Same race, but the newer generation's files were already complete:
+      // the read succeeded on a generation we did not pin. Retry so the pin
+      // and the data always name the same generation.
+      continue;
+    }
+
+    core::SnapshotSource source;
+    source.generation = generation;
+    source.pin = std::move(pin);
+    source.recovery = report;
+    source.recovery_seconds = recovery_seconds;
+    core::AnalysisContext ctx(options_.num_threads);
+    auto snapshot = core::AnalysisSnapshot::Analyze(
+        std::move(*dataset), options_.analysis, std::move(source), &ctx);
+    if (!snapshot.ok()) return snapshot.status();
+    return std::make_shared<const core::AnalysisSnapshot>(std::move(*snapshot));
+  }
+  if (!last_error.ok()) return last_error;
+  return Status::Unavailable(
+      "snapshot catalog: writer kept outpacing the pin-then-read loop at " +
+      path_);
+}
+
+Result<std::unique_ptr<SnapshotCatalog>> SnapshotCatalog::Open(
+    std::string path, CatalogOptions options) {
+  std::unique_ptr<SnapshotCatalog> catalog(
+      new SnapshotCatalog(std::move(path), options));
+  auto snapshot = catalog->LoadCommitted(/*skip_if_generation=*/0);
+  if (!snapshot.ok()) return snapshot.status();
+  // Generations start at 1, so skip_if_generation=0 never matches and the
+  // load always returns a snapshot here.
+  catalog->current_.store(std::move(*snapshot), std::memory_order_release);
+  return catalog;
+}
+
+Result<bool> SnapshotCatalog::Refresh() {
+  std::lock_guard<std::mutex> lock(refresh_mu_);
+  const uint64_t installed =
+      current_.load(std::memory_order_acquire)->generation();
+  auto snapshot = LoadCommitted(/*skip_if_generation=*/installed);
+  if (!snapshot.ok()) return snapshot.status();
+  if (*snapshot == nullptr) return false;
+  current_.store(std::move(*snapshot), std::memory_order_release);
+  return true;
+}
+
+}  // namespace twimob::serve

@@ -6,6 +6,7 @@
 #include "common/crc32c.h"
 #include "common/string_util.h"
 #include "tweetdb/encoding.h"
+#include "tweetdb/generation_pins.h"
 
 namespace twimob::tweetdb {
 
@@ -377,10 +378,25 @@ Status WriteDatasetFiles(TweetDataset& dataset, const std::string& path,
 
   // Garbage-collect the superseded generation. Best effort: a leftover
   // file wastes space but can never be read (wrong generation in its name).
+  // A generation pinned by a live snapshot (serve layer readers) is never
+  // deleted here — its files are deferred and swept by a later commit once
+  // the pin count drops to zero.
   if (have_old && old_manifest.generation != manifest.generation) {
+    std::vector<std::string> old_files;
+    old_files.reserve(old_manifest.shards.size());
     for (const ShardSummary& s : old_manifest.shards) {
-      (void)env.RemoveFile(ShardFilePath(path, old_manifest.generation, s.key));
+      old_files.push_back(ShardFilePath(path, old_manifest.generation, s.key));
     }
+    if (IsGenerationPinned(path, old_manifest.generation)) {
+      DeferGenerationRemoval(path, old_manifest.generation, std::move(old_files));
+    } else {
+      for (const std::string& f : old_files) (void)env.RemoveFile(f);
+    }
+  }
+  // Sweep generations whose removal an earlier commit deferred and whose
+  // pins have since been released.
+  for (const std::string& f : TakeUnpinnedDeferredFiles(path)) {
+    (void)env.RemoveFile(f);
   }
   return Status::OK();
 }

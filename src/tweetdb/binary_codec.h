@@ -125,6 +125,12 @@ std::string ShardFilePath(const std::string& manifest_path, uint64_t generation,
 /// crash at any operation leaves the previous dataset fully readable or
 /// the new one fully installed — never a mix. `env` defaults to
 /// Env::Default().
+///
+/// GC is refcount-aware: a superseded generation still pinned by a live
+/// `GenerationPin` (generation_pins.h — the serve layer pins the
+/// generation each AnalysisSnapshot was opened from) is deferred instead
+/// of deleted, and swept by a later commit once its pins are released, so
+/// a writer commit can never delete shard files under a reader.
 Status WriteDatasetFiles(TweetDataset& dataset, const std::string& path,
                          Env* env = nullptr, const WriteOptions& options = {});
 

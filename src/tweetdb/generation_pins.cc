@@ -1,0 +1,117 @@
+#include "tweetdb/generation_pins.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace twimob::tweetdb {
+
+namespace {
+
+/// Process-wide pin registry. The mutex only guards pin bookkeeping —
+/// snapshot open/close and writer commits — never the query read path.
+struct PinRegistry {
+  std::mutex mu;
+  /// (path, generation) -> live pin count.
+  std::map<std::pair<std::string, uint64_t>, uint64_t> pins;
+  /// (path, generation) -> shard files whose removal was deferred.
+  std::map<std::pair<std::string, uint64_t>, std::vector<std::string>> deferred;
+
+  static PinRegistry& Instance() {
+    static PinRegistry* registry = new PinRegistry();  // never destructed
+    return *registry;
+  }
+};
+
+}  // namespace
+
+GenerationPin::GenerationPin(std::string path, uint64_t generation)
+    : path_(std::move(path)), generation_(generation), armed_(true) {
+  PinRegistry& r = PinRegistry::Instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ++r.pins[{path_, generation_}];
+}
+
+GenerationPin::~GenerationPin() { Release(); }
+
+GenerationPin::GenerationPin(GenerationPin&& other) noexcept
+    : path_(std::move(other.path_)),
+      generation_(other.generation_),
+      armed_(other.armed_) {
+  other.armed_ = false;
+}
+
+GenerationPin& GenerationPin::operator=(GenerationPin&& other) noexcept {
+  if (this != &other) {
+    Release();
+    path_ = std::move(other.path_);
+    generation_ = other.generation_;
+    armed_ = other.armed_;
+    other.armed_ = false;
+  }
+  return *this;
+}
+
+void GenerationPin::Release() {
+  if (!armed_) return;
+  armed_ = false;
+  PinRegistry& r = PinRegistry::Instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.pins.find({path_, generation_});
+  if (it == r.pins.end()) return;
+  if (--it->second == 0) r.pins.erase(it);
+}
+
+bool IsGenerationPinned(const std::string& path, uint64_t generation) {
+  PinRegistry& r = PinRegistry::Instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.pins.count({path, generation}) != 0;
+}
+
+void DeferGenerationRemoval(const std::string& path, uint64_t generation,
+                            std::vector<std::string> files) {
+  PinRegistry& r = PinRegistry::Instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string>& slot = r.deferred[{path, generation}];
+  for (std::string& f : files) slot.push_back(std::move(f));
+}
+
+std::vector<std::string> TakeUnpinnedDeferredFiles(const std::string& path) {
+  PinRegistry& r = PinRegistry::Instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> out;
+  for (auto it = r.deferred.lower_bound({path, 0}); it != r.deferred.end();) {
+    if (it->first.first != path) break;
+    if (r.pins.count(it->first) != 0) {
+      ++it;
+      continue;
+    }
+    for (std::string& f : it->second) out.push_back(std::move(f));
+    it = r.deferred.erase(it);
+  }
+  return out;
+}
+
+namespace internal {
+
+uint64_t GenerationPinCount(const std::string& path, uint64_t generation) {
+  PinRegistry& r = PinRegistry::Instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.pins.find({path, generation});
+  return it == r.pins.end() ? 0 : it->second;
+}
+
+size_t DeferredGenerationCount(const std::string& path) {
+  PinRegistry& r = PinRegistry::Instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  size_t n = 0;
+  for (auto it = r.deferred.lower_bound({path, 0});
+       it != r.deferred.end() && it->first.first == path; ++it) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace internal
+
+}  // namespace twimob::tweetdb

@@ -1,0 +1,163 @@
+// Bit-identity of the batched point assigner: AssignBatch must equal
+// AssignScalar point for point (area index and distance bits) at every
+// paper scale, in both kernel dispatch modes (the forced-scalar CI job
+// re-runs this suite with TWIMOB_FORCE_SCALAR=1).
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/scales.h"
+#include "mobility/trip_extractor.h"
+#include "random/rng.h"
+#include "serve/point_batch.h"
+
+namespace twimob::serve {
+namespace {
+
+bool BitEq(double a, double b) {
+  uint64_t ua = 0;
+  uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+class PointBatchScaleTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PointBatchScaleTest, BatchMatchesScalarBitForBit) {
+  const core::ScaleSpec spec = core::PaperScales()[GetParam()];
+  const PointBatchAssigner assigner(spec.areas, spec.radius_m);
+
+  random::Xoshiro256 rng(777 + GetParam());
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{64},
+                         size_t{1000}}) {
+    std::vector<double> lats;
+    std::vector<double> lons;
+    for (size_t i = 0; i < n; ++i) {
+      // Mix of in-area, nearby and far-away points: random AU bbox points
+      // plus exact centres and centre-adjacent jitters.
+      if (i % 5 == 0 && !spec.areas.empty()) {
+        const auto& c = spec.areas[i % spec.areas.size()].center;
+        lats.push_back(c.lat + rng.NextUniform(-0.01, 0.01));
+        lons.push_back(c.lon + rng.NextUniform(-0.01, 0.01));
+      } else {
+        lats.push_back(rng.NextUniform(-44.0, -10.0));
+        lons.push_back(rng.NextUniform(113.0, 154.0));
+      }
+    }
+    std::vector<PointAssignment> batch(n);
+    assigner.AssignBatch(lats.data(), lons.data(), n, batch.data());
+    for (size_t i = 0; i < n; ++i) {
+      const PointAssignment scalar =
+          assigner.AssignScalar(geo::LatLon{lats[i], lons[i]});
+      ASSERT_EQ(batch[i].area, scalar.area) << "n=" << n << " i=" << i;
+      ASSERT_TRUE(BitEq(batch[i].distance_m, scalar.distance_m))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(PointBatchScaleTest, CentresAssignToThemselves) {
+  const core::ScaleSpec spec = core::PaperScales()[GetParam()];
+  const PointBatchAssigner assigner(spec.areas, spec.radius_m);
+  std::vector<double> lats;
+  std::vector<double> lons;
+  for (const auto& area : spec.areas) {
+    lats.push_back(area.center.lat);
+    lons.push_back(area.center.lon);
+  }
+  std::vector<PointAssignment> batch(lats.size());
+  assigner.AssignBatch(lats.data(), lons.data(), lats.size(), batch.data());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_NE(batch[i].area, PointAssignment::kNoArea) << spec.areas[i].name;
+    // A centre maps to itself unless another centre sits closer than its
+    // own zero distance — impossible — or ties at 0 with a lower index.
+    const PointAssignment scalar =
+        assigner.AssignScalar(spec.areas[i].center);
+    EXPECT_EQ(batch[i].area, scalar.area);
+    EXPECT_EQ(batch[i].distance_m, 0.0);
+  }
+}
+
+TEST_P(PointBatchScaleTest, AgreesWithMobilityAssignerOnRandomPoints) {
+  // Semantic agreement with the trip extractor's assigner (the serve layer
+  // fixes the opposite haversine argument order, so agreement is exact for
+  // any point not within ~1 ulp of the ε boundary or of an inter-centre
+  // tie — vanishingly unlikely for these fixed seeds, and deterministic).
+  const core::ScaleSpec spec = core::PaperScales()[GetParam()];
+  const PointBatchAssigner assigner(spec.areas, spec.radius_m);
+  const mobility::AreaAssigner reference(spec.areas, spec.radius_m);
+  random::Xoshiro256 rng(4242 + GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const geo::LatLon pos{rng.NextUniform(-44.0, -10.0),
+                          rng.NextUniform(113.0, 154.0)};
+    const PointAssignment got = assigner.AssignScalar(pos);
+    const std::optional<size_t> want = reference.Assign(pos);
+    if (want.has_value()) {
+      ASSERT_NE(got.area, PointAssignment::kNoArea) << "i=" << i;
+      EXPECT_EQ(static_cast<size_t>(got.area), *want) << "i=" << i;
+    } else {
+      EXPECT_EQ(got.area, PointAssignment::kNoArea) << "i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperScales, PointBatchScaleTest,
+                         ::testing::Values(size_t{0}, size_t{1}, size_t{2}),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return core::PaperScales()[info.param].name;
+                         });
+
+TEST(PointBatchTest, NanLatitudeIsHandledIdentically) {
+  const core::ScaleSpec spec = core::PaperScales()[0];
+  const PointBatchAssigner assigner(spec.areas, spec.radius_m);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double lats[] = {nan, spec.areas[0].center.lat};
+  const double lons[] = {spec.areas[0].center.lon, spec.areas[0].center.lon};
+  PointAssignment batch[2];
+  assigner.AssignBatch(lats, lons, 2, batch);
+  const PointAssignment scalar0 = assigner.AssignScalar({lats[0], lons[0]});
+  const PointAssignment scalar1 = assigner.AssignScalar({lats[1], lons[1]});
+  // A NaN latitude passes the band keep predicate in both paths, then every
+  // haversine distance is NaN, which fails `d <= radius`: unassigned.
+  EXPECT_EQ(batch[0].area, PointAssignment::kNoArea);
+  EXPECT_EQ(scalar0.area, PointAssignment::kNoArea);
+  EXPECT_EQ(batch[1].area, scalar1.area);
+}
+
+TEST(PointBatchTest, TieBreaksToLowestIndexInBothPaths) {
+  // Two centres at identical coordinates: every query point is exactly
+  // equidistant (bit-identical haversine inputs), so `d < best` strictly
+  // must keep the first centre in both paths.
+  std::vector<census::Area> areas(2);
+  areas[0].id = 0;
+  areas[0].center = geo::LatLon{-33.9, 151.1};
+  areas[1].id = 1;
+  areas[1].center = geo::LatLon{-33.9, 151.1};
+  const PointBatchAssigner assigner(areas, 500000.0);
+  const double lat = -33.8;
+  const double lon = 151.2;
+  PointAssignment batch;
+  assigner.AssignBatch(&lat, &lon, 1, &batch);
+  const PointAssignment scalar = assigner.AssignScalar({lat, lon});
+  EXPECT_EQ(scalar.area, 0);
+  EXPECT_EQ(batch.area, 0);
+  EXPECT_TRUE(BitEq(batch.distance_m, scalar.distance_m));
+}
+
+TEST(PointBatchTest, EmptyAreaListAssignsNothing) {
+  const PointBatchAssigner assigner({}, 1000.0);
+  const double lat = -33.8;
+  const double lon = 151.2;
+  PointAssignment batch;
+  assigner.AssignBatch(&lat, &lon, 1, &batch);
+  EXPECT_EQ(batch.area, PointAssignment::kNoArea);
+  EXPECT_EQ(assigner.AssignScalar({lat, lon}).area, PointAssignment::kNoArea);
+}
+
+}  // namespace
+}  // namespace twimob::serve

@@ -1,0 +1,218 @@
+// QueryService: every answer must equal the corresponding lookup on the
+// snapshot's immutable analysis results, the batched point path must be
+// bit-identical to the unbatched one, and invalid requests must be typed
+// errors, never crashes.
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/analysis_snapshot.h"
+#include "random/rng.h"
+#include "serve/query_service.h"
+
+namespace twimob::serve {
+namespace {
+
+bool BitEq(double a, double b) {
+  uint64_t ua = 0;
+  uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+/// One analysed snapshot shared by every test (building it dominates the
+/// suite's runtime, so do it once).
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::PipelineConfig config;
+    config.corpus.num_users = 4000;
+    config.num_shards = 2;
+    auto built = core::AnalysisSnapshot::Build(config);
+    ASSERT_TRUE(built.ok()) << built.status().message();
+    snapshot_ = new std::shared_ptr<const core::AnalysisSnapshot>(
+        std::make_shared<const core::AnalysisSnapshot>(std::move(*built)));
+  }
+
+  static void TearDownTestSuite() {
+    delete snapshot_;
+    snapshot_ = nullptr;
+  }
+
+  static const core::AnalysisSnapshot& snapshot() { return **snapshot_; }
+  static std::shared_ptr<const core::AnalysisSnapshot> shared() {
+    return *snapshot_;
+  }
+
+  static std::shared_ptr<const core::AnalysisSnapshot>* snapshot_;
+};
+
+std::shared_ptr<const core::AnalysisSnapshot>* QueryServiceTest::snapshot_ =
+    nullptr;
+
+TEST_F(QueryServiceTest, PopulationMatchesEstimator) {
+  const QueryService service(shared());
+  const geo::LatLon sydney{-33.8688, 151.2093};
+  for (const double radius : {2000.0, 25000.0, 50000.0}) {
+    auto answer = service.Population(sydney, radius);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_EQ(answer->unique_users,
+              snapshot().estimator().CountUniqueUsers(sydney, radius));
+    EXPECT_EQ(answer->tweets,
+              snapshot().estimator().CountTweets(sydney, radius));
+  }
+  EXPECT_FALSE(service.Population(sydney, 0.0).ok());
+  EXPECT_FALSE(service.Population(sydney, -5.0).ok());
+}
+
+TEST_F(QueryServiceTest, PointEstimateReturnsAreaAndServedPopulations) {
+  const QueryService service(shared());
+  for (size_t scale = 0; scale < snapshot().specs().size(); ++scale) {
+    const auto& spec = snapshot().specs()[scale];
+    const auto& estimates = snapshot().result().population[scale].areas;
+    for (size_t a = 0; a < spec.areas.size(); ++a) {
+      auto answer = service.PointEstimate(scale, spec.areas[a].center);
+      ASSERT_TRUE(answer.ok());
+      ASSERT_NE(answer->area, PointAssignment::kNoArea);
+      const size_t idx = static_cast<size_t>(answer->area);
+      EXPECT_EQ(answer->census_population, estimates[idx].census_population);
+      EXPECT_EQ(answer->rescaled_estimate, estimates[idx].rescaled_estimate);
+    }
+  }
+  // A point in the open ocean maps to no area at any scale.
+  for (size_t scale = 0; scale < snapshot().specs().size(); ++scale) {
+    auto answer = service.PointEstimate(scale, geo::LatLon{-20.0, 90.0});
+    ASSERT_TRUE(answer.ok());
+    EXPECT_EQ(answer->area, PointAssignment::kNoArea);
+    EXPECT_EQ(answer->census_population, 0.0);
+  }
+  EXPECT_FALSE(service.PointEstimate(99, geo::LatLon{0, 0}).ok());
+}
+
+TEST_F(QueryServiceTest, BatchedPointsAreBitIdenticalToUnbatched) {
+  const QueryService service(shared());
+  random::Xoshiro256 rng(99);
+  std::vector<double> lats;
+  std::vector<double> lons;
+  for (int i = 0; i < 500; ++i) {
+    lats.push_back(rng.NextUniform(-44.0, -10.0));
+    lons.push_back(rng.NextUniform(113.0, 154.0));
+  }
+  for (size_t scale = 0; scale < snapshot().specs().size(); ++scale) {
+    auto batch =
+        service.PointEstimateBatch(scale, lats.data(), lons.data(), lats.size());
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(batch->size(), lats.size());
+    for (size_t i = 0; i < lats.size(); ++i) {
+      auto one = service.PointEstimate(scale, geo::LatLon{lats[i], lons[i]});
+      ASSERT_TRUE(one.ok());
+      ASSERT_EQ((*batch)[i].area, one->area) << "scale=" << scale << " i=" << i;
+      ASSERT_TRUE(BitEq((*batch)[i].distance_m, one->distance_m));
+      ASSERT_TRUE(BitEq((*batch)[i].rescaled_estimate, one->rescaled_estimate));
+    }
+  }
+  EXPECT_FALSE(service.PointEstimateBatch(99, lats.data(), lons.data(), 1).ok());
+}
+
+TEST_F(QueryServiceTest, OdFlowMatchesObservations) {
+  const QueryService service(shared());
+  const auto& mobility = snapshot().result().mobility;
+  ASSERT_EQ(mobility.size(), snapshot().serving_tables().size());
+  for (size_t scale = 0; scale < mobility.size(); ++scale) {
+    const size_t n = snapshot().serving_tables()[scale].num_areas;
+    // Every observed pair answers its flow.
+    for (const auto& obs : mobility[scale].observations) {
+      auto answer = service.OdFlow(scale, obs.src, obs.dst);
+      ASSERT_TRUE(answer.ok());
+      EXPECT_EQ(answer->observed, obs.flow);
+    }
+    // Diagonal pairs were never observations (flows are off-diagonal): 0.
+    auto diag = service.OdFlow(scale, 0, 0);
+    ASSERT_TRUE(diag.ok());
+    EXPECT_EQ(diag->observed, 0.0);
+    EXPECT_FALSE(service.OdFlow(scale, n, 0).ok());
+    EXPECT_FALSE(service.OdFlow(scale, 0, n).ok());
+  }
+  EXPECT_FALSE(service.OdFlow(99, 0, 0).ok());
+}
+
+TEST_F(QueryServiceTest, PredictMatchesFittedModelEstimates) {
+  const QueryService service(shared());
+  const auto& mobility = snapshot().result().mobility;
+  for (size_t scale = 0; scale < mobility.size(); ++scale) {
+    const auto& models = mobility[scale].models;
+    ASSERT_EQ(models.size(), 3u);
+    for (size_t m = 0; m < models.size(); ++m) {
+      for (size_t i = 0; i < mobility[scale].observations.size(); ++i) {
+        const auto& obs = mobility[scale].observations[i];
+        auto answer = service.Predict(scale, m, obs.src, obs.dst);
+        ASSERT_TRUE(answer.ok());
+        ASSERT_TRUE(BitEq(answer->estimated, models[m].estimated[i]))
+            << "scale=" << scale << " model=" << m << " pair=" << i;
+      }
+    }
+    EXPECT_FALSE(service.Predict(scale, 3, 0, 1).ok());
+  }
+  EXPECT_FALSE(service.Predict(99, 0, 0, 1).ok());
+}
+
+TEST_F(QueryServiceTest, StatsCountEveryQuery) {
+  const QueryService service(shared());
+  ASSERT_TRUE(service.Population(geo::LatLon{-33.9, 151.2}, 2000.0).ok());
+  ASSERT_TRUE(service.PointEstimate(0, geo::LatLon{-33.9, 151.2}).ok());
+  const double lats[] = {-33.9, -37.8};
+  const double lons[] = {151.2, 144.9};
+  ASSERT_TRUE(service.PointEstimateBatch(0, lats, lons, 2).ok());
+  ASSERT_TRUE(service.OdFlow(0, 0, 1).ok());
+  ASSERT_TRUE(service.Predict(0, 0, 0, 1).ok());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.population_queries, 1u);
+  EXPECT_EQ(stats.point_queries, 3u);  // 1 single + 2 batched
+  EXPECT_EQ(stats.od_queries, 1u);
+  EXPECT_EQ(stats.predict_queries, 1u);
+}
+
+TEST_F(QueryServiceTest, BatcherFlushesInSubmissionOrder) {
+  const QueryService service(shared());
+  PointQueryBatcher batcher(&service, /*scale=*/0, /*batch_size=*/3);
+  random::Xoshiro256 rng(123);
+  std::vector<geo::LatLon> points;
+  for (int i = 0; i < 8; ++i) {
+    points.push_back(geo::LatLon{rng.NextUniform(-44.0, -10.0),
+                                 rng.NextUniform(113.0, 154.0)});
+    ASSERT_TRUE(batcher.Add(points.back()).ok());
+  }
+  EXPECT_EQ(batcher.pending(), 2u);  // 8 points, two auto-flushes of 3
+  ASSERT_TRUE(batcher.Flush().ok());
+  EXPECT_EQ(batcher.pending(), 0u);
+  ASSERT_EQ(batcher.answers().size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    auto one = service.PointEstimate(0, points[i]);
+    ASSERT_TRUE(one.ok());
+    EXPECT_EQ(batcher.answers()[i].area, one->area) << "i=" << i;
+    EXPECT_TRUE(BitEq(batcher.answers()[i].distance_m, one->distance_m));
+  }
+}
+
+TEST(QueryServiceNoMobilityTest, FlowQueriesFailCleanlyWithoutMobility) {
+  core::PipelineConfig config;
+  config.corpus.num_users = 1500;
+  config.run_mobility = false;
+  auto built = core::AnalysisSnapshot::Build(config);
+  ASSERT_TRUE(built.ok());
+  const QueryService service(
+      std::make_shared<const core::AnalysisSnapshot>(std::move(*built)));
+  EXPECT_FALSE(service.OdFlow(0, 0, 1).ok());
+  EXPECT_FALSE(service.Predict(0, 0, 0, 1).ok());
+  // Population and point queries still serve.
+  EXPECT_TRUE(service.Population(geo::LatLon{-33.9, 151.2}, 2000.0).ok());
+  EXPECT_TRUE(service.PointEstimate(0, geo::LatLon{-33.9, 151.2}).ok());
+}
+
+}  // namespace
+}  // namespace twimob::serve

@@ -1,0 +1,212 @@
+// Serving-layer stress: many query threads, a refresher, and a committing
+// writer all running concurrently. Every query answer must be byte-identical
+// to the serial reference no matter which snapshot generation served it and
+// no matter the thread interleaving — content-equivalent generations are
+// indistinguishable to queries. Run under ThreadSanitizer in CI.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.h"
+#include "serve/query_service.h"
+#include "serve/snapshot_catalog.h"
+#include "synth/tweet_generator.h"
+#include "tweetdb/binary_codec.h"
+
+namespace twimob::serve {
+namespace {
+
+core::PipelineConfig StressConfig() {
+  core::PipelineConfig config;
+  config.corpus.num_users = 800;
+  config.num_shards = 2;
+  return config;
+}
+
+tweetdb::TweetDataset GenerateCorpus(const core::PipelineConfig& config) {
+  auto generator = synth::TweetGenerator::Create(config.corpus);
+  EXPECT_TRUE(generator.ok());
+  auto dataset = generator->GenerateDataset(tweetdb::PartitionSpec::ForWindow(
+      config.corpus.window_start, config.corpus.window_end,
+      config.num_shards));
+  EXPECT_TRUE(dataset.ok());
+  return std::move(*dataset);
+}
+
+/// One deterministic mixed-query workload; answers are flattened to doubles
+/// so runs compare bitwise. Seeded per thread, independent of interleaving.
+std::vector<double> RunWorkload(const QueryService& service, uint64_t seed,
+                                int iterations) {
+  random::Xoshiro256 rng(seed);
+  std::vector<double> answers;
+  std::vector<double> lats;
+  std::vector<double> lons;
+  for (int i = 0; i < iterations; ++i) {
+    const uint64_t kind = rng.NextUint64(4);
+    const size_t scale = rng.NextUint64(3);
+    if (kind == 0) {
+      const geo::LatLon center{rng.NextUniform(-44.0, -10.0),
+                               rng.NextUniform(113.0, 154.0)};
+      auto answer = service.Population(center, rng.NextUniform(1000.0, 60000.0));
+      EXPECT_TRUE(answer.ok());
+      answers.push_back(static_cast<double>(answer->unique_users));
+      answers.push_back(static_cast<double>(answer->tweets));
+    } else if (kind == 1) {
+      lats.clear();
+      lons.clear();
+      for (int p = 0; p < 32; ++p) {
+        lats.push_back(rng.NextUniform(-44.0, -10.0));
+        lons.push_back(rng.NextUniform(113.0, 154.0));
+      }
+      auto batch =
+          service.PointEstimateBatch(scale, lats.data(), lons.data(), lats.size());
+      EXPECT_TRUE(batch.ok());
+      for (const PointAnswer& a : *batch) {
+        answers.push_back(static_cast<double>(a.area));
+        answers.push_back(a.rescaled_estimate);
+      }
+    } else if (kind == 2) {
+      auto answer = service.OdFlow(scale, rng.NextUint64(20), rng.NextUint64(20));
+      EXPECT_TRUE(answer.ok());
+      answers.push_back(answer->observed);
+    } else {
+      auto answer = service.Predict(scale, rng.NextUint64(3), rng.NextUint64(20),
+                                    rng.NextUint64(20));
+      EXPECT_TRUE(answer.ok());
+      answers.push_back(answer->estimated);
+    }
+  }
+  return answers;
+}
+
+bool BitwiseEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+TEST(ServingStressTest, ConcurrentQueriesRefreshAndCommitsAgreeWithSerial) {
+  const std::string path = testing::TempDir() + "/twimob_serving_stress.twdb";
+  std::remove(path.c_str());
+  const core::PipelineConfig config = StressConfig();
+  tweetdb::TweetDataset corpus = GenerateCorpus(config);
+  ASSERT_TRUE(tweetdb::WriteDatasetFiles(corpus, path).ok());
+
+  CatalogOptions options;
+  options.analysis = config;
+  options.num_threads = 2;
+  auto catalog = SnapshotCatalog::Open(path, options);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().message();
+  const QueryService service(catalog->get());
+
+  constexpr int kQueryThreads = 4;
+  constexpr int kIterations = 60;
+  constexpr int kCommits = 3;
+
+  // Serial references, one workload per future query thread, all answered
+  // by the generation-1 snapshot.
+  std::vector<std::vector<double>> reference(kQueryThreads);
+  for (int t = 0; t < kQueryThreads; ++t) {
+    reference[t] = RunWorkload(service, 1000 + t, kIterations);
+    ASSERT_FALSE(reference[t].empty());
+  }
+
+  // Writer: commits the SAME corpus content under fresh generations — a
+  // swap changes the snapshot object, never the answers.
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&corpus, &path, &writer_done] {
+    for (int k = 0; k < kCommits; ++k) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      EXPECT_TRUE(tweetdb::WriteDatasetFiles(corpus, path).ok());
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  // Refresher: races the writer's commits; each Refresh either no-ops or
+  // atomically swaps in a content-identical snapshot.
+  std::atomic<int> swaps{0};
+  std::thread refresher([&catalog, &writer_done, &swaps] {
+    while (!writer_done.load(std::memory_order_acquire)) {
+      auto refreshed = (*catalog)->Refresh();
+      EXPECT_TRUE(refreshed.ok()) << refreshed.status().message();
+      if (refreshed.ok() && *refreshed) {
+        swaps.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  // Query threads: replay the reference workloads while generations churn.
+  std::vector<std::thread> queriers;
+  std::vector<int> mismatches(kQueryThreads, 0);
+  for (int t = 0; t < kQueryThreads; ++t) {
+    queriers.emplace_back([&service, &reference, &mismatches, t] {
+      for (int round = 0; round < 3; ++round) {
+        const std::vector<double> got =
+            RunWorkload(service, 1000 + t, kIterations);
+        if (!BitwiseEqual(got, reference[t])) ++mismatches[t];
+      }
+    });
+  }
+  for (std::thread& q : queriers) q.join();
+  writer.join();
+  refresher.join();
+
+  for (int t = 0; t < kQueryThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0)
+        << "thread " << t << " saw answers change across refreshes";
+  }
+
+  // Drain to the final committed generation and re-check one workload.
+  auto final_refresh = (*catalog)->Refresh();
+  ASSERT_TRUE(final_refresh.ok());
+  EXPECT_EQ((*catalog)->current_generation(),
+            static_cast<uint64_t>(1 + kCommits));
+  EXPECT_TRUE(BitwiseEqual(RunWorkload(service, 1000, kIterations),
+                           reference[0]));
+
+  // The service counted every query from every thread (smoke check that
+  // the relaxed counters are not dropping increments).
+  const ServiceStats stats = service.stats();
+  EXPECT_GT(stats.population_queries + stats.point_queries + stats.od_queries +
+                stats.predict_queries,
+            0u);
+}
+
+TEST(ServingStressTest, ServedAnswersAreThreadCountInvariant) {
+  // The same committed generation analysed with 1 and 3 worker threads must
+  // serve bit-identical answers — the staged engine's determinism surfaces
+  // intact through the serving layer.
+  const std::string path = testing::TempDir() + "/twimob_serving_threads.twdb";
+  std::remove(path.c_str());
+  const core::PipelineConfig config = StressConfig();
+  tweetdb::TweetDataset corpus = GenerateCorpus(config);
+  ASSERT_TRUE(tweetdb::WriteDatasetFiles(corpus, path).ok());
+
+  CatalogOptions one_thread;
+  one_thread.analysis = config;
+  one_thread.num_threads = 1;
+  CatalogOptions three_threads;
+  three_threads.analysis = config;
+  three_threads.num_threads = 3;
+
+  auto catalog1 = SnapshotCatalog::Open(path, one_thread);
+  ASSERT_TRUE(catalog1.ok());
+  auto catalog3 = SnapshotCatalog::Open(path, three_threads);
+  ASSERT_TRUE(catalog3.ok());
+
+  const QueryService service1(catalog1->get());
+  const QueryService service3(catalog3->get());
+  EXPECT_TRUE(BitwiseEqual(RunWorkload(service1, 555, 40),
+                           RunWorkload(service3, 555, 40)));
+}
+
+}  // namespace
+}  // namespace twimob::serve
