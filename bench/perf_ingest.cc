@@ -1,0 +1,366 @@
+// Incremental-ingest performance profile: streams a synthetic corpus
+// through tweetdb::IngestWriter batch by batch (LSM-style delta commits),
+// compacts periodically on a thread pool, and maintains a
+// core::DeltaAccumulator alongside. Reports
+//   * sustained append throughput (rows/sec) and per-commit latency,
+//   * compaction wall times and the generations they produced,
+//   * incremental model-refresh wall time vs a full from-scratch rebuild
+//     of the final corpus (the O(new data) claim, plus the bitwise
+//     incremental == rebuild verdict),
+//   * serving freshness: the wall-clock lag from one more delta commit to
+//     serve::SnapshotCatalog serving it.
+//
+// `--json <path>` writes the machine-readable profile (BENCH_ingest.json)
+// for the CI artifact upload.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "core/analysis_snapshot.h"
+#include "core/delta_accumulator.h"
+#include "serve/snapshot_catalog.h"
+#include "synth/tweet_generator.h"
+#include "tweetdb/binary_codec.h"
+#include "tweetdb/ingest.h"
+
+namespace twimob {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The ingest corpus is capped: the bench measures the append/compact/
+/// refresh lifecycle, and every refresh re-fits the paper models. The cap
+/// is logged, never silent.
+constexpr size_t kMaxIngestUsers = 150000;
+
+std::string IngestDatasetPath(size_t users, uint64_t seed) {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  return StrFormat("%s/twimob_bench_ingest_u%zu_s%llu_v%u.twdb", dir.c_str(),
+                   users, static_cast<unsigned long long>(seed),
+                   static_cast<unsigned>(tweetdb::kBinaryFormatVersion));
+}
+
+/// Flattens an analysis (either side of the incremental-vs-rebuild
+/// comparison) into doubles so the verdict is a memcmp, not a tolerance.
+std::vector<double> Flatten(
+    const std::vector<core::PopulationEstimateResult>& population,
+    const stats::CorrelationResult& pooled,
+    const std::vector<core::ScaleMobilityResult>& mobility) {
+  std::vector<double> out;
+  for (const auto& scale : population) {
+    out.push_back(scale.rescale_factor);
+    out.push_back(scale.median_users);
+    out.push_back(scale.correlation.r);
+    out.push_back(scale.correlation.p_value);
+    for (const auto& area : scale.areas) {
+      out.push_back(static_cast<double>(area.unique_users));
+      out.push_back(static_cast<double>(area.tweet_count));
+      out.push_back(area.rescaled_estimate);
+    }
+  }
+  out.push_back(pooled.r);
+  out.push_back(pooled.p_value);
+  for (const auto& scale : mobility) {
+    out.push_back(static_cast<double>(scale.extraction.inter_area_trips));
+    out.push_back(static_cast<double>(scale.observations.size()));
+    for (const auto& obs : scale.observations) out.push_back(obs.flow);
+    for (const auto& model : scale.models) {
+      out.push_back(model.log10_c);
+      out.push_back(model.alpha);
+      out.push_back(model.beta);
+      out.push_back(model.gamma);
+      out.push_back(model.metrics.pearson_r);
+      out.push_back(model.metrics.rmsle);
+      for (double e : model.estimated) out.push_back(e);
+    }
+  }
+  return out;
+}
+
+bool BitwiseEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+int Run(const char* json_path) {
+  size_t users = bench::BenchUserCount();
+  bool capped = false;
+  if (users > kMaxIngestUsers) {
+    std::fprintf(stderr,
+                 "[perf_ingest] capping corpus to %zu users (requested %zu): "
+                 "the bench measures ingest, not generation\n",
+                 kMaxIngestUsers, users);
+    users = kMaxIngestUsers;
+    capped = true;
+  }
+
+  core::PipelineConfig config;
+  config.corpus = bench::BenchCorpusConfig();
+  config.corpus.num_users = users;
+  config.num_shards = 4;
+
+  std::fprintf(stderr, "[perf_ingest] generating corpus (%zu users)...\n",
+               users);
+  auto generator = synth::TweetGenerator::Create(config.corpus);
+  if (!generator.ok()) {
+    std::fprintf(stderr, "generator failed: %s\n",
+                 generator.status().ToString().c_str());
+    return 1;
+  }
+  auto corpus = generator->GenerateDataset(tweetdb::PartitionSpec::ForWindow(
+      config.corpus.window_start, config.corpus.window_end, config.num_shards));
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "corpus failed: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<tweetdb::Tweet> rows;
+  rows.reserve(corpus->num_rows());
+  corpus->ForEachRow([&rows](const tweetdb::Tweet& t) { rows.push_back(t); });
+
+  // The stream: 16 slices; the last is held back for the freshness probe.
+  constexpr size_t kBatches = 16;
+  const size_t batch_size = rows.size() / kBatches + 1;
+  std::vector<std::vector<tweetdb::Tweet>> batches;
+  for (size_t off = 0; off < rows.size(); off += batch_size) {
+    const size_t end = std::min(rows.size(), off + batch_size);
+    batches.emplace_back(rows.begin() + off, rows.begin() + end);
+  }
+
+  const std::string path = IngestDatasetPath(users, bench::BenchSeed());
+  std::remove(path.c_str());
+  tweetdb::IngestOptions ingest_options;
+  ingest_options.partition = tweetdb::PartitionSpec::ForWindow(
+      config.corpus.window_start, config.corpus.window_end, config.num_shards);
+  auto writer = tweetdb::IngestWriter::Open(path, ingest_options);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 writer.status().ToString().c_str());
+    return 1;
+  }
+
+  auto accumulator = core::DeltaAccumulator::Create(config);
+  if (!accumulator.ok()) {
+    std::fprintf(stderr, "accumulator failed: %s\n",
+                 accumulator.status().ToString().c_str());
+    return 1;
+  }
+  core::AnalysisContext ctx;
+  ThreadPool pool;
+
+  // --- Stream phase: append + incremental ingest, compact every 4. ------
+  std::fprintf(stderr, "[perf_ingest] streaming %zu batches (%zu rows)...\n",
+               batches.size() - 1, rows.size() - batches.back().size());
+  double append_seconds = 0.0;
+  double ingest_seconds = 0.0;
+  double compact_seconds = 0.0;
+  double refresh_seconds = 0.0;
+  uint64_t appended_rows = 0;
+  uint64_t compactions = 0;
+  uint64_t refreshes = 0;
+  for (size_t b = 0; b + 1 < batches.size(); ++b) {
+    Clock::time_point t0 = Clock::now();
+    const Status append = (*writer)->AppendBatch(batches[b]);
+    append_seconds += SecondsSince(t0);
+    if (!append.ok()) {
+      std::fprintf(stderr, "append failed: %s\n", append.ToString().c_str());
+      return 1;
+    }
+    appended_rows += batches[b].size();
+
+    t0 = Clock::now();
+    const Status ingest = accumulator->Ingest(batches[b]);
+    ingest_seconds += SecondsSince(t0);
+    if (!ingest.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", ingest.ToString().c_str());
+      return 1;
+    }
+
+    if ((b + 1) % 4 == 0) {
+      t0 = Clock::now();
+      auto compacted = (*writer)->Compact(&pool);
+      compact_seconds += SecondsSince(t0);
+      if (!compacted.ok()) {
+        std::fprintf(stderr, "compact failed: %s\n",
+                     compacted.status().ToString().c_str());
+        return 1;
+      }
+      if (*compacted) ++compactions;
+
+      t0 = Clock::now();
+      auto refreshed = accumulator->Refresh(&ctx);
+      refresh_seconds += SecondsSince(t0);
+      if (!refreshed.ok()) {
+        std::fprintf(stderr, "refresh failed: %s\n",
+                     refreshed.status().ToString().c_str());
+        return 1;
+      }
+      ++refreshes;
+    }
+  }
+  const double append_rows_per_sec =
+      append_seconds > 0.0 ? appended_rows / append_seconds : 0.0;
+  std::printf("APPEND: %llu rows in %zu batches, %.2f s commit wall "
+              "(%.0f rows/s)\n",
+              static_cast<unsigned long long>(appended_rows),
+              batches.size() - 1, append_seconds, append_rows_per_sec);
+  std::printf("COMPACT: %llu compactions, %.2f s total (generation %llu, "
+              "%zu deltas pending)\n",
+              static_cast<unsigned long long>(compactions), compact_seconds,
+              static_cast<unsigned long long>((*writer)->manifest().generation),
+              (*writer)->pending_deltas());
+
+  // --- Freshness probe: one more delta commit -> served. ----------------
+  std::fprintf(stderr, "[perf_ingest] freshness probe...\n");
+  serve::CatalogOptions catalog_options;
+  catalog_options.analysis = config;
+  auto catalog = serve::SnapshotCatalog::Open(path, catalog_options);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "catalog open failed: %s\n",
+                 catalog.status().ToString().c_str());
+    return 1;
+  }
+  Clock::time_point fresh0 = Clock::now();
+  if (!(*writer)->AppendBatch(batches.back()).ok()) return 1;
+  auto swapped = (*catalog)->Refresh();
+  const double freshness_seconds = SecondsSince(fresh0);
+  if (!swapped.ok()) {
+    std::fprintf(stderr, "refresh failed: %s\n",
+                 swapped.status().ToString().c_str());
+    return 1;
+  }
+  const bool freshness_swapped = *swapped;
+  std::printf("FRESHNESS: delta commit -> served in %.2f s (swap %s, "
+              "generation %llu, ingest seq %llu)\n",
+              freshness_seconds, freshness_swapped ? "yes" : "NO (BUG)",
+              static_cast<unsigned long long>((*catalog)->current_generation()),
+              static_cast<unsigned long long>((*catalog)->current_ingest_seq()));
+
+  // --- Incremental refresh vs full rebuild on the final corpus. ---------
+  std::fprintf(stderr, "[perf_ingest] incremental vs rebuild...\n");
+  if (!accumulator->Ingest(batches.back()).ok()) return 1;
+  Clock::time_point t0 = Clock::now();
+  auto incremental = accumulator->Refresh(&ctx);
+  const double incremental_seconds = SecondsSince(t0);
+  if (!incremental.ok()) {
+    std::fprintf(stderr, "incremental refresh failed: %s\n",
+                 incremental.status().ToString().c_str());
+    return 1;
+  }
+
+  t0 = Clock::now();
+  auto reread = tweetdb::ReadDatasetFiles(path);
+  if (!reread.ok()) {
+    std::fprintf(stderr, "reread failed: %s\n",
+                 reread.status().ToString().c_str());
+    return 1;
+  }
+  auto rebuild =
+      core::AnalysisSnapshot::Analyze(std::move(*reread), config, {}, &ctx);
+  const double rebuild_seconds = SecondsSince(t0);
+  if (!rebuild.ok()) {
+    std::fprintf(stderr, "rebuild failed: %s\n",
+                 rebuild.status().ToString().c_str());
+    return 1;
+  }
+
+  const bool matches = BitwiseEqual(
+      Flatten(incremental->population,
+              incremental->pooled_population_correlation,
+              incremental->mobility),
+      Flatten(rebuild->result().population,
+              rebuild->result().pooled_population_correlation,
+              rebuild->result().mobility));
+  const double refresh_speedup =
+      incremental_seconds > 0.0 ? rebuild_seconds / incremental_seconds : 0.0;
+  std::printf("REFRESH: incremental %.2f s vs rebuild %.2f s (%.2fx), "
+              "results bitwise %s\n",
+              incremental_seconds, rebuild_seconds, refresh_speedup,
+              matches ? "IDENTICAL (contract holds)" : "DIFFERENT (BUG)");
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "ingest");
+  json.BeginObject("corpus")
+      .Field("users", users)
+      .Field("tweets", static_cast<uint64_t>(rows.size()))
+      .Field("seed", bench::BenchSeed())
+      .Field("shards", config.num_shards)
+      .Field("capped", capped)
+      .Field("format_version",
+             static_cast<uint64_t>(tweetdb::kBinaryFormatVersion))
+      .EndObject();
+  json.BeginObject("append")
+      .Field("batches", static_cast<uint64_t>(batches.size() - 1))
+      .Field("rows", appended_rows)
+      .Field("commit_wall_s", append_seconds)
+      .Field("rows_per_sec", append_rows_per_sec)
+      .EndObject();
+  json.BeginObject("compaction")
+      .Field("count", compactions)
+      .Field("wall_s", compact_seconds)
+      .Field("final_generation", (*writer)->manifest().generation)
+      .Field("pending_deltas", static_cast<uint64_t>((*writer)->pending_deltas()))
+      .EndObject();
+  json.BeginObject("incremental")
+      .Field("ingest_wall_s", ingest_seconds)
+      .Field("mid_stream_refreshes", refreshes)
+      .Field("mid_stream_refresh_wall_s", refresh_seconds)
+      .Field("final_refresh_s", incremental_seconds)
+      .EndObject();
+  json.BeginObject("rebuild")
+      .Field("analyze_s", rebuild_seconds)
+      .Field("refresh_speedup", refresh_speedup)
+      .EndObject();
+  json.BeginObject("freshness")
+      .Field("append_to_served_s", freshness_seconds)
+      .Field("swapped", freshness_swapped)
+      .Field("served_generation", (*catalog)->current_generation())
+      .Field("served_ingest_seq", (*catalog)->current_ingest_seq())
+      .EndObject();
+  json.BeginObject("determinism")
+      .Field("incremental_matches_rebuild", matches)
+      .EndObject();
+  json.EndObject();
+  if (json_path != nullptr) {
+    const Status status = json.WriteFile(json_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "json write failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[perf_ingest] wrote %s\n", json_path);
+  }
+
+  return (matches && freshness_swapped && compactions > 0) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace twimob
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  return twimob::Run(json_path);
+}

@@ -1,0 +1,20 @@
+// ThreadSanitizer runtime hook: default suppressions compiled into every
+// binary of a -DTWIMOB_SANITIZE=thread build (linked as an OBJECT library
+// from the top-level CMakeLists, so no TSAN_OPTIONS setup is needed).
+//
+// The only suppressed frames are libstdc++'s std::atomic<std::shared_ptr>
+// internals (_Sp_atomic): it guards its plain _M_ptr field with a lock
+// bit inside one atomic word, but load() releases that lock with a
+// relaxed fetch_sub, so TSan cannot derive a happens-before edge from the
+// reader's unlock RMW to the next writer's locked swap and reports the
+// library's own field accesses as a race (the mutual exclusion is real on
+// every supported architecture — the lock-bit RMW chain orders the
+// accesses). This hits SnapshotCatalog under refresh churn: Current()'s
+// lock-free load racing a Refresh() store. Suppressing by the _Sp_atomic
+// frame keeps every twimob code path fully checked.
+
+extern "C" const char* __tsan_default_suppressions();
+
+extern "C" const char* __tsan_default_suppressions() {
+  return "race:std::_Sp_atomic\n";
+}

@@ -22,6 +22,11 @@ namespace twimob::core {
 struct SnapshotSource {
   /// The dataset generation the snapshot analysed (0 = in-memory corpus).
   uint64_t generation = 0;
+  /// The manifest's append cursor when the dataset was opened;
+  /// (generation, ingest_seq) is the monotonic commit version the serve
+  /// layer keys refreshes on, so delta appends within one generation are
+  /// picked up just like compactions.
+  uint64_t ingest_seq = 0;
   /// Keeps the generation's shard files exempt from writer GC for the
   /// snapshot's lifetime (see tweetdb/generation_pins.h).
   tweetdb::GenerationPin pin;
@@ -86,6 +91,10 @@ class AnalysisSnapshot {
 
   /// The dataset generation (0 for in-memory corpora).
   uint64_t generation() const { return source_.generation; }
+
+  /// The append cursor the snapshot was analysed at; with generation()
+  /// this is the commit version of the analysed data.
+  uint64_t ingest_seq() const { return source_.ingest_seq; }
 
   /// Recovery outcome of opening the dataset, when it came from storage.
   const std::optional<tweetdb::RecoveryReport>& recovery() const {

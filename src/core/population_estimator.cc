@@ -155,6 +155,17 @@ Result<PopulationEstimateResult> PopulationEstimator::Estimate(
     for (size_t i = 0; i < n; ++i) count_area(i);
   }
 
+  return AssemblePopulationEstimate(spec, unique_users, tweet_counts);
+}
+
+Result<PopulationEstimateResult> AssemblePopulationEstimate(
+    const ScaleSpec& spec, const std::vector<size_t>& unique_users,
+    const std::vector<size_t>& tweet_counts) {
+  const size_t n = spec.areas.size();
+  if (unique_users.size() != n || tweet_counts.size() != n) {
+    return Status::InvalidArgument(
+        "AssemblePopulationEstimate: count vectors must parallel spec.areas");
+  }
   PopulationEstimateResult result;
   result.scale_name = spec.name;
   result.radius_m = spec.radius_m;

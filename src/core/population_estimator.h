@@ -92,6 +92,16 @@ class PopulationEstimator {
   std::unique_ptr<geo::SealedGridIndex> index_;
 };
 
+/// Assembles one scale's PopulationEstimateResult from per-area counts
+/// (`unique_users[i]` / `tweet_counts[i]` parallel to `spec.areas`): the
+/// rescale factor, rescaled estimates, median and Pearson correlation.
+/// This is the arithmetic tail of PopulationEstimator::Estimate, shared
+/// with the incremental path (core::DeltaAccumulator) so both produce
+/// bitwise-identical results from identical counts.
+Result<PopulationEstimateResult> AssemblePopulationEstimate(
+    const ScaleSpec& spec, const std::vector<size_t>& unique_users,
+    const std::vector<size_t>& tweet_counts);
+
 /// Pools per-scale estimates into the paper's 60-sample comparison
 /// (Figure 3a): Pearson correlation of the rescaled Twitter populations
 /// against census populations across all areas of all supplied results.

@@ -12,21 +12,10 @@ namespace twimob::core {
 
 namespace {
 
-/// Fills state.specs on first use: the paper scales with the config's
-/// metropolitan radius override applied. The override is looked up by
-/// census::Scale::kMetropolitan — never by position — so reordering or
-/// adding scales cannot silently override the wrong radius.
+/// Fills state.specs on first use with ResolveScaleSpecs(state.config).
 void EnsureSpecs(PipelineState& state) {
   if (!state.specs.empty()) return;
-  state.specs = PaperScales();
-  if (state.config.metro_radius_override_m > 0.0) {
-    for (ScaleSpec& spec : state.specs) {
-      if (spec.scale == census::Scale::kMetropolitan) {
-        spec = MakeScaleSpec(census::Scale::kMetropolitan,
-                             state.config.metro_radius_override_m);
-      }
-    }
-  }
+  state.specs = ResolveScaleSpecs(state.config);
 }
 
 Result<ModelSummary> SummarizeGravity(
@@ -370,6 +359,22 @@ Status StageEngine::Run(AnalysisContext& ctx, const StageList& stages,
     state.dataset = tweetdb::TweetDataset();
   }
   return status;
+}
+
+std::vector<ScaleSpec> ResolveScaleSpecs(const PipelineConfig& config) {
+  // The override is looked up by census::Scale::kMetropolitan — never by
+  // position — so reordering or adding scales cannot silently override the
+  // wrong radius.
+  std::vector<ScaleSpec> specs = PaperScales();
+  if (config.metro_radius_override_m > 0.0) {
+    for (ScaleSpec& spec : specs) {
+      if (spec.scale == census::Scale::kMetropolitan) {
+        spec = MakeScaleSpec(census::Scale::kMetropolitan,
+                             config.metro_radius_override_m);
+      }
+    }
+  }
+  return specs;
 }
 
 std::vector<double> CountAreaMasses(const PopulationEstimator& estimator,

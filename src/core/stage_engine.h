@@ -104,6 +104,12 @@ class StageEngine {
                     PipelineState& state);
 };
 
+/// The scales a run with `config` analyses: the paper scales with the
+/// config's metropolitan radius override applied (looked up by scale, never
+/// by position). Shared by the staged pipeline and the incremental path
+/// (core::DeltaAccumulator) so both see identical specs.
+std::vector<ScaleSpec> ResolveScaleSpecs(const PipelineConfig& config);
+
 /// Pool-parallel per-area masses (unique Twitter users within the scale's
 /// radius), in area order — what the paper fits the models on.
 std::vector<double> CountAreaMasses(const PopulationEstimator& estimator,

@@ -20,14 +20,16 @@ tweetdb::Env& SnapshotCatalog::env() const {
 }
 
 Result<std::shared_ptr<const core::AnalysisSnapshot>>
-SnapshotCatalog::LoadCommitted(uint64_t skip_if_generation) {
+SnapshotCatalog::LoadCommitted(uint64_t skip_if_generation,
+                               uint64_t skip_if_seq) {
   Status last_error = Status::OK();
   const int attempts = options_.max_open_retries < 1 ? 1 : options_.max_open_retries;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     auto manifest = PeekManifest(env(), path_);
     if (!manifest.ok()) return manifest.status();
     const uint64_t generation = manifest->generation;
-    if (generation == skip_if_generation) {
+    if (generation == skip_if_generation &&
+        manifest->next_delta_seq == skip_if_seq) {
       return std::shared_ptr<const core::AnalysisSnapshot>();
     }
 
@@ -54,6 +56,10 @@ SnapshotCatalog::LoadCommitted(uint64_t skip_if_generation) {
 
     core::SnapshotSource source;
     source.generation = generation;
+    // The cursor the read actually observed — deltas appended between the
+    // peek and the read are folded in and reflected here, so the snapshot's
+    // commit version never understates its content.
+    source.ingest_seq = report.next_delta_seq;
     source.pin = std::move(pin);
     source.recovery = report;
     source.recovery_seconds = recovery_seconds;
@@ -73,7 +79,8 @@ Result<std::unique_ptr<SnapshotCatalog>> SnapshotCatalog::Open(
     std::string path, CatalogOptions options) {
   std::unique_ptr<SnapshotCatalog> catalog(
       new SnapshotCatalog(std::move(path), options));
-  auto snapshot = catalog->LoadCommitted(/*skip_if_generation=*/0);
+  auto snapshot =
+      catalog->LoadCommitted(/*skip_if_generation=*/0, /*skip_if_seq=*/0);
   if (!snapshot.ok()) return snapshot.status();
   // Generations start at 1, so skip_if_generation=0 never matches and the
   // load always returns a snapshot here.
@@ -83,9 +90,10 @@ Result<std::unique_ptr<SnapshotCatalog>> SnapshotCatalog::Open(
 
 Result<bool> SnapshotCatalog::Refresh() {
   std::lock_guard<std::mutex> lock(refresh_mu_);
-  const uint64_t installed =
-      current_.load(std::memory_order_acquire)->generation();
-  auto snapshot = LoadCommitted(/*skip_if_generation=*/installed);
+  const std::shared_ptr<const core::AnalysisSnapshot> installed =
+      current_.load(std::memory_order_acquire);
+  auto snapshot =
+      LoadCommitted(installed->generation(), installed->ingest_seq());
   if (!snapshot.ok()) return snapshot.status();
   if (*snapshot == nullptr) return false;
   current_.store(std::move(*snapshot), std::memory_order_release);

@@ -45,10 +45,12 @@ struct CatalogOptions {
 ///   * `Refresh()` may be called from any thread; refreshers serialise on a
 ///     mutex among themselves only — queries never touch it. A refresh that
 ///     finds no newer committed generation is cheap (one manifest read).
-///   * The writer is any WriteDatasetFiles caller on the same path in this
-///     process. The catalog pins the generation it serves, so the writer's
-///     post-commit GC defers (never deletes) the pinned shard files; the
-///     pin is released when the last snapshot reference drops.
+///   * The writer is any WriteDatasetFiles caller or tweetdb::IngestWriter
+///     on the same path in this process. The catalog pins the generation
+///     it serves, so the writer's post-commit GC (including a compaction
+///     superseding the generation's shard and delta files) defers — never
+///     deletes — the pinned files; the pin is released when the last
+///     snapshot reference drops.
 ///
 /// Crash consistency: the catalog only ever observes committed manifests
 /// (written atomically, CRC-guarded, manifest-last), so a writer crash
@@ -68,15 +70,23 @@ class SnapshotCatalog {
     return current_.load(std::memory_order_acquire);
   }
 
-  /// Checks the manifest for a newer committed generation; when one is
-  /// found, analyses it and atomically swaps it in. Returns true when a
-  /// swap happened, false when the installed generation is still current.
-  /// In-flight readers of the previous snapshot are unaffected.
+  /// Checks the manifest for a newer commit — a compacted generation or a
+  /// delta append that advanced the ingest cursor within the installed
+  /// generation; when one is found, analyses it and atomically swaps it
+  /// in. Returns true when a swap happened, false when the installed
+  /// commit version (generation, ingest_seq) is still current. Repeated
+  /// calls with no new commits are idempotent no-ops (one manifest read
+  /// each). In-flight readers of the previous snapshot are unaffected.
   Result<bool> Refresh();
 
   /// Generation of the snapshot Current() returns right now.
   uint64_t current_generation() const {
     return Current()->generation();
+  }
+
+  /// Ingest cursor of the snapshot Current() returns right now.
+  uint64_t current_ingest_seq() const {
+    return Current()->ingest_seq();
   }
 
   const std::string& path() const { return path_; }
@@ -88,11 +98,13 @@ class SnapshotCatalog {
   /// Pin-then-read loop: peeks the manifest, pins the committed generation,
   /// re-reads the dataset and verifies it still carries the pinned
   /// generation (a writer may commit — and GC — between peek and pin;
-  /// each such race retries on the newer manifest). When
-  /// `skip_if_generation` matches the committed generation, returns null
-  /// without loading (the Refresh no-op path).
+  /// each such race retries on the newer manifest). When the committed
+  /// commit version equals (skip_if_generation, skip_if_seq), returns null
+  /// without loading (the Refresh no-op path). A read that folds deltas
+  /// appended after the peek (same generation, higher cursor) is accepted
+  /// — the pin names the generation, and fresher data is never stale.
   Result<std::shared_ptr<const core::AnalysisSnapshot>> LoadCommitted(
-      uint64_t skip_if_generation);
+      uint64_t skip_if_generation, uint64_t skip_if_seq);
 
   tweetdb::Env& env() const;
 

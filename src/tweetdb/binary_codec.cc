@@ -1,7 +1,9 @@
 #include "tweetdb/binary_codec.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 #include "common/crc32c.h"
 #include "common/string_util.h"
@@ -16,6 +18,8 @@ constexpr char kManifestMagic[4] = {'T', 'W', 'D', 'M'};
 // Decode guard: no real dataset needs more shards than this; a corrupt
 // count must fail fast instead of driving a huge allocation.
 constexpr uint64_t kMaxManifestShards = 1u << 20;
+// Same guard for the delta list (compaction keeps it short in practice).
+constexpr uint64_t kMaxManifestDeltas = 1u << 20;
 // magic + version + block count — the CRC-guarded table header prefix.
 constexpr size_t kTableHeaderPrefix = 16;
 
@@ -230,25 +234,57 @@ Result<TweetTable> ReadBinaryFile(const std::string& path, Env* env) {
   return DecodeTable(bytes);
 }
 
+namespace {
+// The zone-map tail shared by shard and delta records: rows, user/time
+// ranges, bounding box.
+template <typename Summary>
+void EncodeSummaryTail(std::string* out, const Summary& s) {
+  PutFixed64(out, s.num_rows);
+  PutFixed64(out, s.min_user);
+  PutFixed64(out, s.max_user);
+  PutFixed64(out, static_cast<uint64_t>(s.min_time));
+  PutFixed64(out, static_cast<uint64_t>(s.max_time));
+  PutDouble(out, s.bbox.min_lat);
+  PutDouble(out, s.bbox.min_lon);
+  PutDouble(out, s.bbox.max_lat);
+  PutDouble(out, s.bbox.max_lon);
+}
+
+template <typename Summary>
+bool DecodeSummaryTail(std::string_view* bytes, Summary* s) {
+  uint64_t min_time, max_time;
+  if (!GetFixed64(bytes, &s->num_rows) || !GetFixed64(bytes, &s->min_user) ||
+      !GetFixed64(bytes, &s->max_user) || !GetFixed64(bytes, &min_time) ||
+      !GetFixed64(bytes, &max_time) || !GetDouble(bytes, &s->bbox.min_lat) ||
+      !GetDouble(bytes, &s->bbox.min_lon) ||
+      !GetDouble(bytes, &s->bbox.max_lat) ||
+      !GetDouble(bytes, &s->bbox.max_lon)) {
+    return false;
+  }
+  s->min_time = static_cast<int64_t>(min_time);
+  s->max_time = static_cast<int64_t>(max_time);
+  return true;
+}
+}  // namespace
+
 std::string EncodeManifest(const Manifest& manifest) {
   std::string out;
   out.append(kManifestMagic, 4);
   PutFixed32(&out, kBinaryFormatVersion);
   PutFixed64(&out, manifest.generation);
+  PutFixed64(&out, manifest.next_delta_seq);
   PutFixed64(&out, static_cast<uint64_t>(manifest.partition.origin));
   PutFixed64(&out, static_cast<uint64_t>(manifest.partition.width_seconds));
   PutFixed64(&out, manifest.shards.size());
   for (const ShardSummary& s : manifest.shards) {
     PutFixed64(&out, static_cast<uint64_t>(s.key));
-    PutFixed64(&out, s.num_rows);
-    PutFixed64(&out, s.min_user);
-    PutFixed64(&out, s.max_user);
-    PutFixed64(&out, static_cast<uint64_t>(s.min_time));
-    PutFixed64(&out, static_cast<uint64_t>(s.max_time));
-    PutDouble(&out, s.bbox.min_lat);
-    PutDouble(&out, s.bbox.min_lon);
-    PutDouble(&out, s.bbox.max_lat);
-    PutDouble(&out, s.bbox.max_lon);
+    EncodeSummaryTail(&out, s);
+  }
+  PutFixed64(&out, manifest.deltas.size());
+  for (const DeltaSummary& d : manifest.deltas) {
+    PutFixed64(&out, d.generation);
+    PutFixed64(&out, d.seq);
+    EncodeSummaryTail(&out, d);
   }
   PutFixed32(&out, Crc32c(out.data(), out.size()));
   return out;
@@ -285,6 +321,7 @@ Result<Manifest> DecodeManifest(std::string_view bytes) {
   bytes.remove_suffix(4);  // the trailing CRC, already consumed above
   uint64_t origin, width, shard_count;
   if (!GetFixed64(&bytes, &manifest.generation) ||
+      !GetFixed64(&bytes, &manifest.next_delta_seq) ||
       !GetFixed64(&bytes, &origin) || !GetFixed64(&bytes, &width) ||
       !GetFixed64(&bytes, &shard_count)) {
     return Status::IOError("truncated manifest header");
@@ -301,20 +338,12 @@ Result<Manifest> DecodeManifest(std::string_view bytes) {
   manifest.shards.reserve(shard_count);
   for (uint64_t i = 0; i < shard_count; ++i) {
     ShardSummary s;
-    uint64_t key, min_time, max_time;
-    if (!GetFixed64(&bytes, &key) || !GetFixed64(&bytes, &s.num_rows) ||
-        !GetFixed64(&bytes, &s.min_user) || !GetFixed64(&bytes, &s.max_user) ||
-        !GetFixed64(&bytes, &min_time) || !GetFixed64(&bytes, &max_time) ||
-        !GetDouble(&bytes, &s.bbox.min_lat) ||
-        !GetDouble(&bytes, &s.bbox.min_lon) ||
-        !GetDouble(&bytes, &s.bbox.max_lat) ||
-        !GetDouble(&bytes, &s.bbox.max_lon)) {
+    uint64_t key;
+    if (!GetFixed64(&bytes, &key) || !DecodeSummaryTail(&bytes, &s)) {
       return Status::IOError("truncated manifest: shard " + std::to_string(i) +
                              " of " + std::to_string(shard_count));
     }
     s.key = static_cast<int64_t>(key);
-    s.min_time = static_cast<int64_t>(min_time);
-    s.max_time = static_cast<int64_t>(max_time);
     if (!manifest.shards.empty() && manifest.shards.back().key >= s.key) {
       if (manifest.shards.back().key == s.key) {
         return Status::IOError("duplicate shard key " + std::to_string(s.key));
@@ -322,6 +351,37 @@ Result<Manifest> DecodeManifest(std::string_view bytes) {
       return Status::IOError("manifest shard keys out of order");
     }
     manifest.shards.push_back(s);
+  }
+  uint64_t delta_count;
+  if (!GetFixed64(&bytes, &delta_count)) {
+    return Status::IOError("truncated manifest: missing delta count");
+  }
+  if (delta_count > kMaxManifestDeltas) {
+    return Status::IOError("implausible manifest delta count " +
+                           std::to_string(delta_count));
+  }
+  manifest.deltas.reserve(delta_count);
+  for (uint64_t i = 0; i < delta_count; ++i) {
+    DeltaSummary d;
+    if (!GetFixed64(&bytes, &d.generation) || !GetFixed64(&bytes, &d.seq) ||
+        !DecodeSummaryTail(&bytes, &d)) {
+      return Status::IOError("truncated manifest: delta " + std::to_string(i) +
+                             " of " + std::to_string(delta_count));
+    }
+    if (!manifest.deltas.empty() && manifest.deltas.back().seq >= d.seq) {
+      if (manifest.deltas.back().seq == d.seq) {
+        return Status::IOError("duplicate delta seq " + std::to_string(d.seq));
+      }
+      return Status::IOError("manifest delta seqs out of order");
+    }
+    if (d.seq >= manifest.next_delta_seq) {
+      // The cursor names the next seq to hand out; a recorded delta at or
+      // past it means a corrupt (or hand-forged) manifest.
+      return Status::IOError("delta seq " + std::to_string(d.seq) +
+                             " not below the append cursor " +
+                             std::to_string(manifest.next_delta_seq));
+    }
+    manifest.deltas.push_back(d);
   }
   if (!bytes.empty()) {
     return Status::IOError("trailing bytes after the last manifest entry");
@@ -334,6 +394,42 @@ std::string ShardFilePath(const std::string& manifest_path, uint64_t generation,
   return StrFormat("%s.g%llu.shard-%lld", manifest_path.c_str(),
                    static_cast<unsigned long long>(generation),
                    static_cast<long long>(key));
+}
+
+std::string DeltaFilePath(const std::string& manifest_path, uint64_t generation,
+                          uint64_t seq) {
+  return StrFormat("%s.g%llu.delta-%llu", manifest_path.c_str(),
+                   static_cast<unsigned long long>(generation),
+                   static_cast<unsigned long long>(seq));
+}
+
+namespace {
+std::vector<std::string> ManifestFiles(const std::string& manifest_path,
+                                       const Manifest& manifest) {
+  std::vector<std::string> files;
+  files.reserve(manifest.shards.size() + manifest.deltas.size());
+  for (const ShardSummary& s : manifest.shards) {
+    files.push_back(ShardFilePath(manifest_path, manifest.generation, s.key));
+  }
+  for (const DeltaSummary& d : manifest.deltas) {
+    files.push_back(DeltaFilePath(manifest_path, d.generation, d.seq));
+  }
+  return files;
+}
+}  // namespace
+
+std::vector<std::string> ManifestFileSetDifference(
+    const std::string& manifest_path, const Manifest& old_manifest,
+    const Manifest& new_manifest) {
+  std::vector<std::string> keep = ManifestFiles(manifest_path, new_manifest);
+  std::sort(keep.begin(), keep.end());
+  std::vector<std::string> removable;
+  for (std::string& f : ManifestFiles(manifest_path, old_manifest)) {
+    if (!std::binary_search(keep.begin(), keep.end(), f)) {
+      removable.push_back(std::move(f));
+    }
+  }
+  return removable;
 }
 
 Status WriteDatasetFiles(TweetDataset& dataset, const std::string& path,
@@ -357,6 +453,9 @@ Status WriteDatasetFiles(TweetDataset& dataset, const std::string& path,
       old_manifest = std::move(*old_decoded);
       have_old = true;
       manifest.generation = old_manifest.generation + 1;
+      // A full rewrite subsumes any pending deltas, but the append cursor
+      // never rewinds: (generation, next_delta_seq) stays monotonic.
+      manifest.next_delta_seq = old_manifest.next_delta_seq;
     } else {
       // The installed manifest is unreadable (e.g. version skew). The old
       // dataset is already lost to strict readers; just avoid reusing its
@@ -376,17 +475,15 @@ Status WriteDatasetFiles(TweetDataset& dataset, const std::string& path,
   TWIMOB_RETURN_IF_ERROR(
       AtomicWriteFile(env, path, EncodeManifest(manifest), options));
 
-  // Garbage-collect the superseded generation. Best effort: a leftover
-  // file wastes space but can never be read (wrong generation in its name).
-  // A generation pinned by a live snapshot (serve layer readers) is never
-  // deleted here — its files are deferred and swept by a later commit once
-  // the pin count drops to zero.
+  // Garbage-collect by file-set difference: every file the old manifest
+  // referenced (shards and deltas alike) that the new manifest no longer
+  // references. Best effort: a leftover file wastes space but can never be
+  // read (no installed manifest names it). A generation pinned by a live
+  // snapshot (serve layer readers) is never deleted here — its files are
+  // deferred and swept by a later commit once the pin count drops to zero.
   if (have_old && old_manifest.generation != manifest.generation) {
-    std::vector<std::string> old_files;
-    old_files.reserve(old_manifest.shards.size());
-    for (const ShardSummary& s : old_manifest.shards) {
-      old_files.push_back(ShardFilePath(path, old_manifest.generation, s.key));
-    }
+    std::vector<std::string> old_files =
+        ManifestFileSetDifference(path, old_manifest, manifest);
     if (IsGenerationPinned(path, old_manifest.generation)) {
       DeferGenerationRemoval(path, old_manifest.generation, std::move(old_files));
     } else {
@@ -417,6 +514,7 @@ Result<TweetDataset> ReadDatasetFiles(const std::string& path,
                           ReadFileToString(env, path));
   TWIMOB_ASSIGN_OR_RETURN(Manifest manifest, DecodeManifest(manifest_bytes));
   r.generation = manifest.generation;
+  r.next_delta_seq = manifest.next_delta_seq;
 
   TweetDataset dataset(manifest.partition);
   for (const ShardSummary& s : manifest.shards) {
@@ -472,6 +570,68 @@ Result<TweetDataset> ReadDatasetFiles(const std::string& path,
     }
     r.shards.push_back(std::move(rec));
   }
+
+  // Fold appended deltas into their time shards, in manifest (seq) order —
+  // a fixed order, so the merged dataset is deterministic. The shards end
+  // up unsorted whenever any delta carried rows; the analysis compact
+  // stage re-sorts, and the total-order sort makes the result identical to
+  // compacting a dataset that ingested the same rows directly.
+  for (const DeltaSummary& d : manifest.deltas) {
+    ShardRecovery rec;
+    rec.key = static_cast<int64_t>(d.seq);
+    rec.rows_expected = d.num_rows;
+    const std::string delta_path = DeltaFilePath(path, d.generation, d.seq);
+    auto bytes = ReadFileToString(env, delta_path);
+    if (!bytes.ok()) {
+      if (policy == RecoveryPolicy::kStrict) return bytes.status();
+      rec.dropped = true;
+      rec.status = bytes.status();
+      r.deltas.push_back(std::move(rec));
+      continue;
+    }
+    if (policy == RecoveryPolicy::kStrict) {
+      auto table = DecodeTable(*bytes);
+      if (!table.ok()) return table.status();
+      if (table->num_rows() != d.num_rows) {
+        return Status::IOError(StrFormat(
+            "delta %llu row count mismatch: manifest says %llu, file has %zu",
+            static_cast<unsigned long long>(d.seq),
+            static_cast<unsigned long long>(d.num_rows), table->num_rows()));
+      }
+      rec.rows_recovered = table->num_rows();
+      rec.blocks_total = table->num_blocks();
+      Status append = Status::OK();
+      table->ForEachRow([&dataset, &append](const Tweet& t) {
+        if (append.ok()) append = dataset.Append(t);
+      });
+      TWIMOB_RETURN_IF_ERROR(append);
+    } else {
+      TableSalvageReport tsr;
+      auto table = DecodeTableSalvage(*bytes, &tsr);
+      if (!table.ok()) {
+        rec.dropped = true;
+        rec.status = table.status();
+        r.deltas.push_back(std::move(rec));
+        continue;
+      }
+      rec.blocks_total = tsr.blocks_total;
+      rec.blocks_dropped = tsr.blocks_total - tsr.blocks_recovered;
+      rec.checksum_failures = tsr.checksum_failures;
+      rec.truncated = tsr.truncated;
+      table->ForEachRow([&dataset, &rec](const Tweet& t) {
+        if (dataset.Append(t).ok()) ++rec.rows_recovered;
+      });
+      if (rec.rows_recovered != rec.rows_expected && rec.status.ok() &&
+          rec.blocks_dropped == 0 && !rec.truncated) {
+        rec.status = Status::IOError(
+            "delta rows disagree with manifest with all blocks intact");
+      }
+    }
+    r.deltas.push_back(std::move(rec));
+  }
+  // Delta rows land in active tails; hand back a fully sealed dataset so
+  // the block-parallel scan paths stay available.
+  if (!manifest.deltas.empty()) dataset.SealAll();
   return dataset;
 }
 

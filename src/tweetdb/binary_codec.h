@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "tweetdb/dataset.h"
@@ -33,8 +34,17 @@ namespace twimob::tweetdb {
 /// write generation plus a whole-file trailing CRC32C, shard files are
 /// generation-qualified, and every dataset write goes through the storage
 /// Env with write-temp / fsync / atomic-rename, manifest last.
+///
+/// Version 5 adds incremental ingest: the manifest carries an append
+/// cursor (`next_delta_seq`) plus zero or more delta records — small
+/// immutable `<path>.g<gen>.delta-<seq>` table files (ordinary "TWDB"
+/// blobs with the same header/block CRC32C discipline) appended after the
+/// generation's shards were sealed. Every append commits by rewriting the
+/// manifest atomically (manifest rename stays the single commit point),
+/// and LSM-style compaction (tweetdb/ingest.h) merges deltas into the next
+/// sealed generation under the same old-or-new contract.
 
-inline constexpr uint32_t kBinaryFormatVersion = 4;
+inline constexpr uint32_t kBinaryFormatVersion = 5;
 
 /// Decode-time knobs.
 struct DecodeOptions {
@@ -97,12 +107,16 @@ TableDescription DescribeTable(const TweetTable& table);
 
 /// Manifest file format (little-endian):
 ///   magic "TWDM" (4 bytes) | version fixed32 | generation fixed64 |
-///   partition origin fixed64 | partition width fixed64 | shard count
-///   fixed64 | per shard: key fixed64 | rows fixed64 | min/max user
-///   fixed64 | min/max time fixed64 | bbox 4 x double (IEEE-754 bits,
-///   fixed64) | trailing CRC32C fixed32 over all preceding bytes.
-/// Shards must appear in strictly ascending key order; duplicates are a
-/// decode error.
+///   next delta seq fixed64 | partition origin fixed64 | partition width
+///   fixed64 | shard count fixed64 | per shard: key fixed64 | rows
+///   fixed64 | min/max user fixed64 | min/max time fixed64 | bbox
+///   4 x double (IEEE-754 bits, fixed64) | delta count fixed64 | per
+///   delta: born generation fixed64 | seq fixed64 | rows fixed64 |
+///   min/max user fixed64 | min/max time fixed64 | bbox 4 x double |
+///   trailing CRC32C fixed32 over all preceding bytes.
+/// Shards must appear in strictly ascending key order and deltas in
+/// strictly ascending seq order (every seq below next_delta_seq);
+/// duplicates and disorder are decode errors.
 
 /// Serialises a manifest into a byte string.
 std::string EncodeManifest(const Manifest& manifest);
@@ -119,6 +133,22 @@ Result<Manifest> DecodeManifest(std::string_view bytes);
 std::string ShardFilePath(const std::string& manifest_path, uint64_t generation,
                           int64_t key);
 
+/// The delta file path of append `seq` born under `generation` (e.g.
+/// "corpus.twdb" -> "corpus.twdb.g1.delta-3"). Delta files are ordinary
+/// "TWDB" table blobs; the generation in the name is the one recorded in
+/// the DeltaSummary, which compaction preserves when carrying an unmerged
+/// delta into the next generation.
+std::string DeltaFilePath(const std::string& manifest_path, uint64_t generation,
+                          uint64_t seq);
+
+/// The GC removal set after a commit supersedes `old_manifest`: every file
+/// `old_manifest` references (shard and delta files alike) that
+/// `new_manifest` does not. Deltas a compaction carries forward appear in
+/// both manifests and are therefore never in the set.
+std::vector<std::string> ManifestFileSetDifference(
+    const std::string& manifest_path, const Manifest& old_manifest,
+    const Manifest& new_manifest);
+
 /// Seals the dataset and atomically writes it under a fresh generation:
 /// every shard file first (temp + sync + rename each), the manifest LAST,
 /// then best-effort removal of the previous generation's shard files. A
@@ -126,22 +156,32 @@ std::string ShardFilePath(const std::string& manifest_path, uint64_t generation,
 /// the new one fully installed — never a mix. `env` defaults to
 /// Env::Default().
 ///
-/// GC is refcount-aware: a superseded generation still pinned by a live
-/// `GenerationPin` (generation_pins.h — the serve layer pins the
+/// GC is refcount-aware and works on the file-set difference: every file
+/// the old manifest referenced (shards AND deltas) that the new manifest
+/// no longer references is removed. A superseded generation still pinned
+/// by a live `GenerationPin` (generation_pins.h — the serve layer pins the
 /// generation each AnalysisSnapshot was opened from) is deferred instead
 /// of deleted, and swept by a later commit once its pins are released, so
-/// a writer commit can never delete shard files under a reader.
+/// a writer commit can never delete files under a reader.
+///
+/// A full rewrite subsumes any pending deltas: the new manifest carries
+/// none, but the old manifest's append cursor (`next_delta_seq`) is
+/// preserved so the commit version stays monotonic.
 Status WriteDatasetFiles(TweetDataset& dataset, const std::string& path,
                          Env* env = nullptr, const WriteOptions& options = {});
 
-/// Reads a dataset previously written by WriteDatasetFiles. Under
-/// RecoveryPolicy::kStrict any mismatch, corruption, truncation, version
-/// skew or duplicate key is a Status error — never a crash. Under
-/// kSalvage, damaged blocks and unreadable shards are dropped and the
-/// remainder is returned; `report` (optional under either policy)
-/// receives per-shard accounting. The manifest itself must decode (it is
-/// written atomically and CRC-guarded, so a damaged manifest means the
-/// dataset's shape is unknown).
+/// Reads a dataset previously written by WriteDatasetFiles (and possibly
+/// appended to by tweetdb::IngestWriter). Under RecoveryPolicy::kStrict
+/// any mismatch, corruption, truncation, version skew or duplicate key is
+/// a Status error — never a crash. Under kSalvage, damaged blocks and
+/// unreadable shards/deltas are dropped and the remainder is returned;
+/// `report` (optional under either policy) receives per-shard and
+/// per-delta accounting. Delta rows are re-routed into their time shards
+/// in manifest (seq) order, so the merged dataset is deterministic; the
+/// result is sealed but its shards are unsorted whenever any delta rows
+/// were folded in (the analysis compact stage re-sorts). The manifest
+/// itself must decode (it is written atomically and CRC-guarded, so a
+/// damaged manifest means the dataset's shape is unknown).
 Result<TweetDataset> ReadDatasetFiles(
     const std::string& path, RecoveryPolicy policy = RecoveryPolicy::kStrict,
     RecoveryReport* report = nullptr, Env* env = nullptr);

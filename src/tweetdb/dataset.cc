@@ -9,48 +9,55 @@
 
 namespace twimob::tweetdb {
 
-uint64_t RecoveryReport::rows_expected() const {
+namespace {
+// Deltas are accounted with the same per-file record as shards, so every
+// aggregate folds both lists.
+template <typename Fn>
+uint64_t SumOver(const RecoveryReport& r, Fn&& fn) {
   uint64_t n = 0;
-  for (const ShardRecovery& s : shards) n += s.rows_expected;
+  for (const ShardRecovery& s : r.shards) n += fn(s);
+  for (const ShardRecovery& s : r.deltas) n += fn(s);
   return n;
+}
+}  // namespace
+
+uint64_t RecoveryReport::rows_expected() const {
+  return SumOver(*this, [](const ShardRecovery& s) { return s.rows_expected; });
 }
 
 uint64_t RecoveryReport::rows_recovered() const {
-  uint64_t n = 0;
-  for (const ShardRecovery& s : shards) n += s.rows_recovered;
-  return n;
+  return SumOver(*this, [](const ShardRecovery& s) { return s.rows_recovered; });
 }
 
 uint64_t RecoveryReport::shards_dropped() const {
-  uint64_t n = 0;
-  for (const ShardRecovery& s : shards) n += s.dropped ? 1 : 0;
-  return n;
+  return SumOver(*this,
+                 [](const ShardRecovery& s) -> uint64_t { return s.dropped ? 1 : 0; });
 }
 
 uint64_t RecoveryReport::blocks_dropped() const {
-  uint64_t n = 0;
-  for (const ShardRecovery& s : shards) n += s.blocks_dropped;
-  return n;
+  return SumOver(*this, [](const ShardRecovery& s) { return s.blocks_dropped; });
 }
 
 uint64_t RecoveryReport::checksum_failures() const {
-  uint64_t n = 0;
-  for (const ShardRecovery& s : shards) n += s.checksum_failures;
-  return n;
+  return SumOver(*this, [](const ShardRecovery& s) { return s.checksum_failures; });
 }
 
 bool RecoveryReport::degraded() const {
+  const auto bad = [](const ShardRecovery& s) {
+    return s.dropped || s.truncated || s.blocks_dropped > 0 ||
+           s.checksum_failures > 0 || s.rows_recovered != s.rows_expected;
+  };
   for (const ShardRecovery& s : shards) {
-    if (s.dropped || s.truncated || s.blocks_dropped > 0 ||
-        s.checksum_failures > 0 || s.rows_recovered != s.rows_expected) {
-      return true;
-    }
+    if (bad(s)) return true;
+  }
+  for (const ShardRecovery& s : deltas) {
+    if (bad(s)) return true;
   }
   return false;
 }
 
 std::string RecoveryReport::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "%s gen %llu: recovered %llu/%llu rows across %zu shards "
       "(%llu dropped shards, %llu dropped blocks, %llu checksum failures)",
       policy == RecoveryPolicy::kSalvage ? "salvage" : "strict",
@@ -60,6 +67,10 @@ std::string RecoveryReport::ToString() const {
       static_cast<unsigned long long>(shards_dropped()),
       static_cast<unsigned long long>(blocks_dropped()),
       static_cast<unsigned long long>(checksum_failures()));
+  if (!deltas.empty()) {
+    out += StrFormat(" + %zu deltas", deltas.size());
+  }
+  return out;
 }
 
 int64_t PartitionSpec::KeyForTime(int64_t timestamp) const {

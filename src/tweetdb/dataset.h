@@ -50,20 +50,46 @@ struct ShardSummary {
   geo::BoundingBox bbox;
 };
 
+/// Manifest entry for one delta file: a small immutable batch appended
+/// after the generation's shards were sealed (the LSM-style ingest path,
+/// see tweetdb/ingest.h). `generation` is the generation the delta was
+/// born under — a compaction that carries an unmerged delta forward keeps
+/// the original value so the file name (`<path>.g<gen>.delta-<seq>`) stays
+/// resolvable. `seq` is the dataset-wide append sequence number: strictly
+/// ascending across the manifest's delta list, never reused.
+struct DeltaSummary {
+  uint64_t generation = 0;
+  uint64_t seq = 0;
+  uint64_t num_rows = 0;
+  uint64_t min_user = 0;
+  uint64_t max_user = 0;
+  int64_t min_time = 0;
+  int64_t max_time = 0;
+  geo::BoundingBox bbox;
+};
+
 /// On-disk description of a partitioned dataset: the format version, the
-/// write generation, the partition scheme, and one summary per shard in
-/// ascending key order. Encoded/decoded by the binary codec
+/// write generation, the partition scheme, one summary per shard in
+/// ascending key order, and (since v5) the appended-but-uncompacted delta
+/// files in ascending seq order. Encoded/decoded by the binary codec
 /// (binary_codec.h).
 ///
 /// `generation` makes dataset rewrites crash-consistent: every
 /// WriteDatasetFiles stamps a fresh generation and writes its shard files
 /// under generation-qualified names, so a crash mid-rewrite can never tear
 /// the shard files the previous (still-installed) manifest points at.
+///
+/// `next_delta_seq` is the append cursor: the seq the next AppendBatch will
+/// use. It only ever grows (compaction preserves it), so the pair
+/// (generation, next_delta_seq) is a monotonic commit version — the serve
+/// layer compares it to decide whether anything new was committed.
 struct Manifest {
   uint32_t format_version = 0;  ///< kBinaryFormatVersion at write time
   uint64_t generation = 1;      ///< monotonic per dataset path, starts at 1
+  uint64_t next_delta_seq = 0;  ///< seq of the next delta append; never resets
   PartitionSpec partition;
   std::vector<ShardSummary> shards;
+  std::vector<DeltaSummary> deltas;  ///< ascending seq order
 };
 
 /// How ReadDatasetFiles treats a damaged dataset.
@@ -94,13 +120,19 @@ struct ShardRecovery {
 /// The outcome of a ReadDatasetFiles call: which policy ran, which
 /// generation was opened, and exact per-shard row/block accounting. A
 /// degraded report is surfaced by the analysis pipeline (the trace marks
-/// every downstream stage as running on partial data).
+/// every downstream stage as running on partial data). Delta files (the
+/// v5 ingest path) are accounted exactly like shards, keyed by their seq.
 struct RecoveryReport {
   RecoveryPolicy policy = RecoveryPolicy::kStrict;
   uint64_t generation = 0;
+  /// The manifest's append cursor; (generation, next_delta_seq) is the
+  /// commit version the serve layer keys refreshes on.
+  uint64_t next_delta_seq = 0;
   std::vector<ShardRecovery> shards;
+  /// Per-delta accounting (ShardRecovery::key holds the delta seq).
+  std::vector<ShardRecovery> deltas;
 
-  /// Sums over shards.
+  /// Sums over shards and deltas.
   uint64_t rows_expected() const;
   uint64_t rows_recovered() const;
   uint64_t shards_dropped() const;

@@ -1,0 +1,225 @@
+#include "tweetdb/ingest.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+#include "tweetdb/binary_codec.h"
+#include "tweetdb/generation_pins.h"
+
+namespace twimob::tweetdb {
+
+namespace {
+
+/// Zone-map summary of a sealed delta table: the union of its block stats
+/// (the same union BuildManifest computes per shard).
+void FillSummaryFromTable(const TweetTable& table, DeltaSummary* d) {
+  d->num_rows = table.num_rows();
+  bool first = true;
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    const BlockStats& stats = table.block_stats(b);
+    if (stats.num_rows == 0) continue;
+    if (first) {
+      d->min_user = stats.min_user;
+      d->max_user = stats.max_user;
+      d->min_time = stats.min_time;
+      d->max_time = stats.max_time;
+      d->bbox = stats.bbox;
+      first = false;
+    } else {
+      d->min_user = std::min(d->min_user, stats.min_user);
+      d->max_user = std::max(d->max_user, stats.max_user);
+      d->min_time = std::min(d->min_time, stats.min_time);
+      d->max_time = std::max(d->max_time, stats.max_time);
+      d->bbox.ExtendToInclude(geo::LatLon{stats.bbox.min_lat, stats.bbox.min_lon});
+      d->bbox.ExtendToInclude(geo::LatLon{stats.bbox.max_lat, stats.bbox.max_lon});
+    }
+  }
+}
+
+/// Reads one committed "TWDB" blob and checks it against its manifest row
+/// count — compaction inputs are always verified before they are merged.
+Result<TweetTable> ReadCommittedTable(Env& env, const std::string& file_path,
+                                      uint64_t expected_rows,
+                                      const char* what) {
+  TWIMOB_ASSIGN_OR_RETURN(const std::string bytes,
+                          ReadFileToString(env, file_path));
+  TWIMOB_ASSIGN_OR_RETURN(TweetTable table, DecodeTable(bytes));
+  if (table.num_rows() != expected_rows) {
+    return Status::IOError(StrFormat(
+        "%s row count mismatch at %s: manifest says %llu, file has %zu", what,
+        file_path.c_str(), static_cast<unsigned long long>(expected_rows),
+        table.num_rows()));
+  }
+  return table;
+}
+
+}  // namespace
+
+Env& IngestWriter::env() const {
+  return env_ != nullptr ? *env_ : *Env::Default();
+}
+
+Result<std::unique_ptr<IngestWriter>> IngestWriter::Open(std::string path,
+                                                         IngestOptions options,
+                                                         Env* env) {
+  std::unique_ptr<IngestWriter> writer(
+      new IngestWriter(std::move(path), options, env));
+  Env& e = writer->env();
+  if (e.FileExists(writer->path_)) {
+    TWIMOB_ASSIGN_OR_RETURN(const std::string bytes,
+                            ReadFileToString(e, writer->path_));
+    TWIMOB_ASSIGN_OR_RETURN(writer->manifest_, DecodeManifest(bytes));
+  } else {
+    // Initialise an empty generation-1 dataset; the atomic manifest write
+    // is the commit point, so a crash here leaves no dataset at all.
+    Manifest fresh;
+    fresh.format_version = kBinaryFormatVersion;
+    fresh.generation = 1;
+    fresh.partition = options.partition;
+    TWIMOB_RETURN_IF_ERROR(
+        AtomicWriteFile(e, writer->path_, EncodeManifest(fresh), options.write));
+    writer->manifest_ = std::move(fresh);
+  }
+  return writer;
+}
+
+Status IngestWriter::AppendBatch(const std::vector<Tweet>& batch) {
+  if (batch.empty()) return Status::OK();
+  TweetTable delta(options_.block_capacity);
+  for (const Tweet& t : batch) {
+    if (!t.IsValid()) {
+      return Status::InvalidArgument("invalid tweet: " + t.ToString());
+    }
+    TWIMOB_RETURN_IF_ERROR(delta.Append(t));
+  }
+  delta.SealActive();
+  const std::string encoded = EncodeTable(delta);
+
+  // The commit sequence (delta file, then manifest) runs under the commit
+  // mutex so appends serialise with each other and with a compaction's
+  // commit phase — never with its merge.
+  std::lock_guard<std::mutex> lock(mu_);
+  DeltaSummary summary;
+  summary.generation = manifest_.generation;
+  summary.seq = manifest_.next_delta_seq;
+  FillSummaryFromTable(delta, &summary);
+  // The delta file first: the installed manifest does not reference it
+  // yet, so a crash after this write leaves only an orphan the retried
+  // append atomically replaces (same seq — the cursor only advances at the
+  // manifest commit below).
+  TWIMOB_RETURN_IF_ERROR(
+      AtomicWriteFile(env(), DeltaFilePath(path_, summary.generation, summary.seq),
+                      encoded, options_.write));
+  Manifest next = manifest_;
+  next.format_version = kBinaryFormatVersion;
+  next.deltas.push_back(summary);
+  next.next_delta_seq = summary.seq + 1;
+  TWIMOB_RETURN_IF_ERROR(
+      AtomicWriteFile(env(), path_, EncodeManifest(next), options_.write));
+  manifest_ = std::move(next);
+  // Sweep files whose removal an earlier commit deferred and whose pins
+  // have since been released.
+  for (const std::string& f : TakeUnpinnedDeferredFiles(path_)) {
+    (void)env().RemoveFile(f);
+  }
+  return Status::OK();
+}
+
+Result<bool> IngestWriter::Compact(ThreadPool* pool) {
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+
+  // Snapshot the committed manifest; deltas appended after this point are
+  // carried into the new manifest untouched (a later compaction merges
+  // them).
+  Manifest base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    base = manifest_;
+  }
+  if (base.deltas.empty()) return false;
+
+  // Merge phase, outside the commit mutex: rebuild the dataset from the
+  // snapshot's immutable files, route every delta row into its time shard,
+  // and sort each shard by the (user, time, lat, lon) total order. The
+  // output depends only on the committed row set, so the compacted shard
+  // files are byte-identical at any thread count.
+  TweetDataset merged(base.partition, options_.block_capacity);
+  for (const ShardSummary& s : base.shards) {
+    TWIMOB_ASSIGN_OR_RETURN(
+        TweetTable table,
+        ReadCommittedTable(env(), ShardFilePath(path_, base.generation, s.key),
+                           s.num_rows, "shard"));
+    TWIMOB_RETURN_IF_ERROR(merged.AdoptShard(s.key, std::move(table)));
+  }
+  for (const DeltaSummary& d : base.deltas) {
+    TWIMOB_ASSIGN_OR_RETURN(
+        TweetTable table,
+        ReadCommittedTable(env(), DeltaFilePath(path_, d.generation, d.seq),
+                           d.num_rows, "delta"));
+    Status append = Status::OK();
+    table.ForEachRow([&merged, &append](const Tweet& t) {
+      if (append.ok()) append = merged.Append(t);
+    });
+    TWIMOB_RETURN_IF_ERROR(append);
+  }
+  merged.SealAll();
+  merged.CompactShards(pool);
+
+  // The next generation's shard files never alias the installed ones
+  // (generation-qualified names), so they can be written outside the
+  // commit mutex too; a crashed compaction's leftovers are atomically
+  // replaced by the retry.
+  const uint64_t new_generation = base.generation + 1;
+  for (size_t i = 0; i < merged.num_shards(); ++i) {
+    merged.mutable_shard(i).SealActive();
+    TWIMOB_RETURN_IF_ERROR(AtomicWriteFile(
+        env(), ShardFilePath(path_, new_generation, merged.shard_key(i)),
+        EncodeTable(merged.shard(i)), options_.write));
+  }
+
+  // Commit phase: install the compacted manifest, carrying forward every
+  // delta committed after the snapshot, then GC the files the new manifest
+  // no longer references (pin-aware, like WriteDatasetFiles).
+  std::lock_guard<std::mutex> lock(mu_);
+  Manifest next = merged.BuildManifest();
+  next.format_version = kBinaryFormatVersion;
+  next.generation = new_generation;
+  next.next_delta_seq = manifest_.next_delta_seq;
+  const uint64_t last_merged_seq = base.deltas.back().seq;
+  for (const DeltaSummary& d : manifest_.deltas) {
+    if (d.seq > last_merged_seq) next.deltas.push_back(d);
+  }
+  TWIMOB_RETURN_IF_ERROR(
+      AtomicWriteFile(env(), path_, EncodeManifest(next), options_.write));
+
+  std::vector<std::string> removable =
+      ManifestFileSetDifference(path_, manifest_, next);
+  if (IsGenerationPinned(path_, base.generation)) {
+    DeferGenerationRemoval(path_, base.generation, std::move(removable));
+  } else {
+    for (const std::string& f : removable) (void)env().RemoveFile(f);
+  }
+  manifest_ = std::move(next);
+  for (const std::string& f : TakeUnpinnedDeferredFiles(path_)) {
+    (void)env().RemoveFile(f);
+  }
+  return true;
+}
+
+Result<bool> IngestWriter::MaybeCompact(ThreadPool* pool) {
+  if (pending_deltas() < options_.compact_trigger) return false;
+  return Compact(pool);
+}
+
+Manifest IngestWriter::manifest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_;
+}
+
+size_t IngestWriter::pending_deltas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_.deltas.size();
+}
+
+}  // namespace twimob::tweetdb

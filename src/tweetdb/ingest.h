@@ -1,0 +1,123 @@
+#ifndef TWIMOB_TWEETDB_INGEST_H_
+#define TWIMOB_TWEETDB_INGEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "tweetdb/dataset.h"
+#include "tweetdb/storage_env.h"
+#include "tweetdb/table.h"
+#include "tweetdb/tweet.h"
+
+namespace twimob::tweetdb {
+
+/// Knobs for the incremental-ingest writer.
+struct IngestOptions {
+  /// Partition spec of a dataset Open() creates fresh; ignored when the
+  /// path already holds a committed manifest (its spec wins).
+  PartitionSpec partition;
+  /// Block capacity of delta tables and compacted shards.
+  size_t block_capacity = kDefaultBlockCapacity;
+  /// Durability/retry knobs of every file the writer commits.
+  WriteOptions write;
+  /// Pending-delta count at which MaybeCompact() actually compacts.
+  size_t compact_trigger = 8;
+};
+
+/// The single-writer append/compact lifecycle of one dataset path — the
+/// LSM-style ingest side of the storage engine (format v5).
+///
+/// `AppendBatch` encodes a batch as one small immutable delta file
+/// (`<path>.g<gen>.delta-<seq>`, an ordinary "TWDB" blob with the v4
+/// header/block CRC32C discipline) and then commits it by atomically
+/// rewriting the manifest with the new delta record — the manifest rename
+/// stays the single commit point, so a crash anywhere leaves exactly the
+/// old dataset or exactly the new one. `Compact` merges the sealed base
+/// shards and every committed delta into the next generation: rows are
+/// routed to their time shards, each shard is compacted by the
+/// (user, time, lat, lon) total order (pool-parallel across shards), and
+/// the new manifest carries forward any delta appended while the merge was
+/// running. The merge output depends only on the committed row set — never
+/// on thread count or append/compact interleaving — so compacted shard
+/// files are byte-identical at any pool size.
+///
+/// Concurrency contract (single writer process, many threads):
+///   * `AppendBatch` may be called from one thread while `Compact` runs on
+///     another: appends serialise on the commit mutex, the heavy merge
+///     runs outside it, and a delta committed mid-merge is carried into
+///     the compacted manifest untouched (merged by a later compaction).
+///   * Concurrent `Compact` calls serialise among themselves.
+///   * Readers (`ReadDatasetFiles`, serve::SnapshotCatalog) never block:
+///     every commit is atomic, and the GC of superseded files is
+///     generation-pin aware exactly like WriteDatasetFiles' (a pinned
+///     generation's shard and delta files are deferred, never deleted
+///     under a reader).
+///
+/// Crash consistency: an interrupted append leaves at most an orphaned
+/// delta file the installed manifest never references (the retried append
+/// reuses its seq and atomically replaces it); an interrupted compaction
+/// leaves the old manifest installed with every delta intact — compacted
+/// rows are never lost, and the retry rebuilds the next generation from
+/// scratch (fault_injection_test.cc sweeps both paths).
+class IngestWriter {
+ public:
+  /// Opens the dataset at `path` for appending. A missing path is
+  /// initialised as an empty generation-1 dataset (the initial manifest
+  /// commit is itself atomic); an existing path must hold a decodable
+  /// manifest. `env` defaults to Env::Default().
+  static Result<std::unique_ptr<IngestWriter>> Open(std::string path,
+                                                    IngestOptions options = {},
+                                                    Env* env = nullptr);
+
+  /// Appends one batch of validated rows as a delta: writes the delta file,
+  /// then commits the manifest recording it. An empty batch is a no-op.
+  Status AppendBatch(const std::vector<Tweet>& batch);
+
+  /// Merges every committed delta into the next sealed generation. With a
+  /// `pool` the per-shard sorts run in parallel (byte-identical output for
+  /// any thread count); submit `Compact` itself to a pool for background
+  /// compaction. Returns false (without touching storage) when there is
+  /// nothing to compact.
+  Result<bool> Compact(ThreadPool* pool = nullptr);
+
+  /// Compacts only when at least `options.compact_trigger` deltas are
+  /// pending — the ingest loop's cheap periodic call.
+  Result<bool> MaybeCompact(ThreadPool* pool = nullptr);
+
+  /// Snapshot of the committed manifest (copy; taken under the commit
+  /// mutex).
+  Manifest manifest() const;
+
+  /// Committed deltas not yet compacted.
+  size_t pending_deltas() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  IngestWriter(std::string path, IngestOptions options, Env* env)
+      : path_(std::move(path)), options_(options), env_(env) {}
+
+  Env& env() const;
+
+  const std::string path_;
+  const IngestOptions options_;
+  Env* const env_;
+
+  /// Serialises whole compactions among themselves (held across the merge).
+  std::mutex compact_mu_;
+  /// Guards `manifest_` and every manifest commit; never held across the
+  /// merge, so appends proceed while a compaction is merging.
+  mutable std::mutex mu_;
+  /// In-memory mirror of the installed manifest (single-writer invariant:
+  /// nothing else commits to `path_` while this writer lives).
+  Manifest manifest_;
+};
+
+}  // namespace twimob::tweetdb
+
+#endif  // TWIMOB_TWEETDB_INGEST_H_

@@ -4,6 +4,7 @@
 // no matter the thread interleaving — content-equivalent generations are
 // indistinguishable to queries. Run under ThreadSanitizer in CI.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -20,6 +21,7 @@
 #include "serve/snapshot_catalog.h"
 #include "synth/tweet_generator.h"
 #include "tweetdb/binary_codec.h"
+#include "tweetdb/ingest.h"
 
 namespace twimob::serve {
 namespace {
@@ -178,6 +180,122 @@ TEST(ServingStressTest, ConcurrentQueriesRefreshAndCommitsAgreeWithSerial) {
   EXPECT_GT(stats.population_queries + stats.point_queries + stats.od_queries +
                 stats.predict_queries,
             0u);
+}
+
+TEST(ServingStressTest, LiveIngestWithCompactionServesConsistentSnapshots) {
+  // The full ingest lifecycle under concurrency: an appender commits delta
+  // batches, a compactor merges them into fresh generations, a refresher
+  // picks up every commit, and query threads pin snapshots mid-churn. Each
+  // pinned snapshot must answer a workload bit-identically twice (snapshot
+  // content is frozen no matter how many commits land meanwhile), and the
+  // data each thread sees only ever grows. Run under TSan in CI.
+  const std::string path = testing::TempDir() + "/twimob_serving_ingest.twdb";
+  std::remove(path.c_str());
+  const core::PipelineConfig config = StressConfig();
+  tweetdb::TweetDataset corpus = GenerateCorpus(config);
+  const size_t base_rows = corpus.num_rows();
+  ASSERT_TRUE(tweetdb::WriteDatasetFiles(corpus, path).ok());
+
+  // The append stream: a second corpus sliced into batches.
+  core::PipelineConfig stream_config = StressConfig();
+  stream_config.corpus.num_users = 400;
+  stream_config.corpus.seed = 4242;
+  tweetdb::TweetDataset stream = GenerateCorpus(stream_config);
+  std::vector<tweetdb::Tweet> stream_rows;
+  stream.ForEachRow(
+      [&stream_rows](const tweetdb::Tweet& t) { stream_rows.push_back(t); });
+  constexpr size_t kBatches = 6;
+  const size_t batch_size = stream_rows.size() / kBatches + 1;
+
+  CatalogOptions options;
+  options.analysis = config;
+  options.num_threads = 2;
+  auto catalog = SnapshotCatalog::Open(path, options);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().message();
+
+  auto writer = tweetdb::IngestWriter::Open(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().message();
+
+  // Appender: commits the stream batch by batch.
+  std::atomic<bool> ingest_done{false};
+  std::thread appender([&] {
+    for (size_t off = 0; off < stream_rows.size(); off += batch_size) {
+      const size_t end = std::min(stream_rows.size(), off + batch_size);
+      EXPECT_TRUE(
+          (*writer)
+              ->AppendBatch(std::vector<tweetdb::Tweet>(
+                  stream_rows.begin() + off, stream_rows.begin() + end))
+              .ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ingest_done.store(true, std::memory_order_release);
+  });
+
+  // Compactor: races the appender on the same writer; deltas committed
+  // mid-merge are carried forward, never lost.
+  std::thread compactor([&] {
+    while (!ingest_done.load(std::memory_order_acquire)) {
+      auto compacted = (*writer)->Compact();
+      EXPECT_TRUE(compacted.ok()) << compacted.status().message();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  // Refresher: every commit — delta append or compaction — is a newer
+  // commit version; swaps must never go backwards.
+  std::thread refresher([&] {
+    while (!ingest_done.load(std::memory_order_acquire)) {
+      auto refreshed = (*catalog)->Refresh();
+      EXPECT_TRUE(refreshed.ok()) << refreshed.status().message();
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+  });
+
+  // Queriers: pin a snapshot, answer the same workload twice against it —
+  // bitwise equal even while commits churn underneath — and watch the
+  // served row count only ever grow.
+  std::vector<std::thread> queriers;
+  std::vector<int> failures(3, 0);
+  for (int t = 0; t < 3; ++t) {
+    queriers.emplace_back([&catalog, &failures, &ingest_done, t] {
+      size_t prev_rows = 0;
+      int round = 0;
+      while (!ingest_done.load(std::memory_order_acquire) || round < 4) {
+        const auto snapshot = (*catalog)->Current();
+        const QueryService pinned(snapshot);
+        const uint64_t seed = 9000 + 100 * t + round;
+        if (!BitwiseEqual(RunWorkload(pinned, seed, 20),
+                          RunWorkload(pinned, seed, 20))) {
+          ++failures[t];
+        }
+        if (snapshot->dataset().num_rows() < prev_rows) ++failures[t];
+        prev_rows = snapshot->dataset().num_rows();
+        ++round;
+      }
+    });
+  }
+
+  appender.join();
+  compactor.join();
+  refresher.join();
+  for (std::thread& q : queriers) q.join();
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(failures[t], 0) << "querier " << t;
+  }
+
+  // Drain: the final refresh serves every appended row exactly once, and a
+  // cold catalog opened on the final state answers identically — the served
+  // content depends only on the committed rows, not on the ingest history.
+  ASSERT_TRUE((*catalog)->Refresh().ok());
+  const auto final_snapshot = (*catalog)->Current();
+  EXPECT_EQ(final_snapshot->dataset().num_rows(),
+            base_rows + stream_rows.size());
+  auto cold = SnapshotCatalog::Open(path, options);
+  ASSERT_TRUE(cold.ok()) << cold.status().message();
+  const QueryService warm_service(final_snapshot);
+  const QueryService cold_service((*cold)->Current());
+  EXPECT_TRUE(BitwiseEqual(RunWorkload(warm_service, 31337, 40),
+                           RunWorkload(cold_service, 31337, 40)));
 }
 
 TEST(ServingStressTest, ServedAnswersAreThreadCountInvariant) {

@@ -14,6 +14,7 @@
 #include "serve/snapshot_catalog.h"
 #include "tweetdb/binary_codec.h"
 #include "tweetdb/generation_pins.h"
+#include "tweetdb/ingest.h"
 
 namespace twimob::serve {
 namespace {
@@ -149,6 +150,108 @@ TEST(SnapshotCatalogTest, DroppingTheLastReaderUnpinsAndLaterCommitsSweep) {
   EXPECT_FALSE(env.FileExists(gen1_shard0));
   ASSERT_TRUE(*(*catalog)->Refresh());
   EXPECT_EQ((*catalog)->current_generation(), 3u);
+}
+
+TEST(SnapshotCatalogTest, RefreshPicksUpDeltaAppendsWithinAGeneration) {
+  const std::string path = testing::TempDir() + "/twimob_catalog_delta.twdb";
+  std::remove(path.c_str());
+  TweetDataset gen1 = MakeDataset(39, 500);
+  ASSERT_TRUE(tweetdb::WriteDatasetFiles(gen1, path).ok());
+
+  auto catalog = SnapshotCatalog::Open(path, FastOptions());
+  ASSERT_TRUE(catalog.ok());
+  const auto reader = (*catalog)->Current();
+  ASSERT_EQ((*catalog)->current_generation(), 1u);
+  ASSERT_EQ((*catalog)->current_ingest_seq(), 0u);
+
+  // An ingest writer appends a delta: the generation is unchanged but the
+  // commit version (generation, ingest_seq) advanced, so Refresh swaps.
+  auto writer = tweetdb::IngestWriter::Open(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().message();
+  random::Xoshiro256 rng(71);
+  std::vector<tweetdb::Tweet> batch;
+  for (size_t i = 0; i < 120; ++i) {
+    const auto& areas = census::AreasForScale(census::Scale::kState);
+    const census::Area& area = areas[rng.NextUint64(areas.size())];
+    batch.push_back(tweetdb::Tweet{
+        rng.NextUint64(50) + 1, static_cast<int64_t>(rng.NextUint64(1000000)),
+        geo::LatLon{area.center.lat + rng.NextUniform(-0.004, 0.004),
+                    area.center.lon + rng.NextUniform(-0.004, 0.004)}});
+  }
+  ASSERT_TRUE((*writer)->AppendBatch(batch).ok());
+
+  auto refreshed = (*catalog)->Refresh();
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().message();
+  EXPECT_TRUE(*refreshed);
+  EXPECT_EQ((*catalog)->current_generation(), 1u);
+  EXPECT_EQ((*catalog)->current_ingest_seq(), 1u);
+  EXPECT_EQ((*catalog)->Current()->dataset().num_rows(), 620u);
+
+  // The pre-append reader is untouched; repeated refreshes with no newer
+  // commit are no-ops serving the same snapshot object.
+  EXPECT_EQ(reader->dataset().num_rows(), 500u);
+  const auto installed = (*catalog)->Current();
+  auto again = (*catalog)->Refresh();
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
+  auto once_more = (*catalog)->Refresh();
+  ASSERT_TRUE(once_more.ok());
+  EXPECT_FALSE(*once_more);
+  EXPECT_EQ((*catalog)->Current().get(), installed.get());
+}
+
+TEST(SnapshotCatalogTest, CompactionDefersPinnedDeltaFilesUntilReadersDrop) {
+  const std::string path = testing::TempDir() + "/twimob_catalog_delta_gc.twdb";
+  std::remove(path.c_str());
+  tweetdb::Env& env = *tweetdb::Env::Default();
+  TweetDataset gen1 = MakeDataset(40, 400);
+  ASSERT_TRUE(tweetdb::WriteDatasetFiles(gen1, path).ok());
+
+  auto writer = tweetdb::IngestWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  random::Xoshiro256 rng(72);
+  std::vector<tweetdb::Tweet> batch;
+  for (size_t i = 0; i < 100; ++i) {
+    const auto& areas = census::AreasForScale(census::Scale::kNational);
+    const census::Area& area = areas[rng.NextUint64(areas.size())];
+    batch.push_back(tweetdb::Tweet{
+        rng.NextUint64(50) + 1, static_cast<int64_t>(rng.NextUint64(1000000)),
+        geo::LatLon{area.center.lat + rng.NextUniform(-0.004, 0.004),
+                    area.center.lon + rng.NextUniform(-0.004, 0.004)}});
+  }
+  ASSERT_TRUE((*writer)->AppendBatch(batch).ok());
+  const std::string delta_file = tweetdb::DeltaFilePath(path, 1, 0);
+  ASSERT_TRUE(env.FileExists(delta_file));
+
+  // A reader serves generation 1 including the delta rows.
+  auto catalog = SnapshotCatalog::Open(path, FastOptions());
+  ASSERT_TRUE(catalog.ok());
+  auto reader = (*catalog)->Current();
+  ASSERT_EQ(reader->dataset().num_rows(), 500u);
+  ASSERT_TRUE(tweetdb::IsGenerationPinned(path, 1));
+
+  // Compaction supersedes the delta file, but the born generation is
+  // pinned: the file (and the generation's shards) defer, never vanish
+  // under the reader.
+  auto compacted = (*writer)->Compact();
+  ASSERT_TRUE(compacted.ok());
+  ASSERT_TRUE(*compacted);
+  EXPECT_TRUE(env.FileExists(delta_file));
+  EXPECT_TRUE(env.FileExists(tweetdb::ShardFilePath(path, 1, 0)));
+
+  // The catalog moves to generation 2; the reader still holds the pin.
+  ASSERT_TRUE(*(*catalog)->Refresh());
+  EXPECT_EQ((*catalog)->current_generation(), 2u);
+  EXPECT_EQ((*catalog)->Current()->dataset().num_rows(), 500u);
+  EXPECT_TRUE(env.FileExists(delta_file));
+
+  // Last reader drops → pin released; the next commit sweeps the deferred
+  // delta and shard files.
+  reader.reset();
+  EXPECT_FALSE(tweetdb::IsGenerationPinned(path, 1));
+  ASSERT_TRUE((*writer)->AppendBatch(batch).ok());
+  EXPECT_FALSE(env.FileExists(delta_file));
+  EXPECT_FALSE(env.FileExists(tweetdb::ShardFilePath(path, 1, 0)));
 }
 
 TEST(SnapshotCatalogTest, PeekManifestReadsGenerationWithoutShardData) {

@@ -194,15 +194,105 @@ TEST(ManifestCorruptionTest, ImplausibleShardCountFailsFast) {
   manifest.partition = PartitionSpec{0, 1000};
   std::string bytes = EncodeManifest(manifest);
   const uint64_t huge = 1ULL << 40;
-  // Shard count is the fourth fixed64 after magic+version
-  // (offset 4+4 + generation 8 + origin 8 + width 8).
+  // Shard count is the fifth fixed64 after magic+version
+  // (offset 4+4 + generation 8 + next delta seq 8 + origin 8 + width 8).
   for (int i = 0; i < 8; ++i) {
-    bytes[32 + i] = static_cast<char>((huge >> (8 * i)) & 0xFF);
+    bytes[40 + i] = static_cast<char>((huge >> (8 * i)) & 0xFF);
   }
   PatchManifestCrc(&bytes);
   auto decoded = DecodeManifest(bytes);
   ASSERT_FALSE(decoded.ok());
   EXPECT_NE(decoded.status().message().find("implausible"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// v5 delta records (incremental ingest).
+
+namespace {
+/// A structurally valid manifest with one delta record, for tampering.
+Manifest ManifestWithDelta() {
+  Manifest manifest;
+  manifest.partition = PartitionSpec{0, 1000};
+  manifest.next_delta_seq = 2;
+  DeltaSummary d;
+  d.generation = 1;
+  d.seq = 0;
+  d.num_rows = 1;
+  manifest.deltas.push_back(d);
+  return manifest;
+}
+}  // namespace
+
+TEST(ManifestCorruptionTest, DeltaRecordsRoundTrip) {
+  Manifest manifest = ManifestWithDelta();
+  DeltaSummary d;
+  d.generation = 1;
+  d.seq = 1;
+  d.num_rows = 4;
+  manifest.deltas.push_back(d);
+  auto decoded = DecodeManifest(EncodeManifest(manifest));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->next_delta_seq, 2u);
+  ASSERT_EQ(decoded->deltas.size(), 2u);
+  EXPECT_EQ(decoded->deltas[0].seq, 0u);
+  EXPECT_EQ(decoded->deltas[1].seq, 1u);
+  EXPECT_EQ(decoded->deltas[1].num_rows, 4u);
+}
+
+TEST(ManifestCorruptionTest, DuplicateDeltaSeqsRejected) {
+  Manifest manifest = ManifestWithDelta();
+  manifest.deltas.push_back(manifest.deltas[0]);  // duplicate seq 0
+  auto decoded = DecodeManifest(EncodeManifest(manifest));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("duplicate delta seq"),
+            std::string::npos);
+}
+
+TEST(ManifestCorruptionTest, OutOfOrderDeltaSeqsRejected) {
+  Manifest manifest = ManifestWithDelta();
+  DeltaSummary earlier = manifest.deltas[0];
+  manifest.deltas[0].seq = 1;
+  manifest.deltas.push_back(earlier);  // seq 0 after seq 1
+  auto decoded = DecodeManifest(EncodeManifest(manifest));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("out of order"), std::string::npos);
+}
+
+TEST(ManifestCorruptionTest, DeltaSeqAtOrAboveCursorRejected) {
+  // The append cursor must stay strictly above every committed seq —
+  // otherwise a retried append could silently reuse a live delta's name.
+  Manifest manifest = ManifestWithDelta();
+  manifest.deltas[0].seq = manifest.next_delta_seq;
+  auto decoded = DecodeManifest(EncodeManifest(manifest));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("append cursor"), std::string::npos);
+}
+
+TEST(ManifestCorruptionTest, ImplausibleDeltaCountFailsFast) {
+  Manifest manifest;
+  manifest.partition = PartitionSpec{0, 1000};
+  std::string bytes = EncodeManifest(manifest);
+  const uint64_t huge = 1ULL << 40;
+  // With zero shards, the delta count is the fixed64 right after the shard
+  // count (offset 40), before the trailing CRC.
+  for (int i = 0; i < 8; ++i) {
+    bytes[48 + i] = static_cast<char>((huge >> (8 * i)) & 0xFF);
+  }
+  PatchManifestCrc(&bytes);
+  auto decoded = DecodeManifest(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("implausible"), std::string::npos);
+}
+
+TEST(ManifestCorruptionTest, V4ManifestRejectedWithVersionMessage) {
+  // A v4 manifest (no append cursor, no delta records) must be rejected
+  // with a version-skew message, not misparsed against the v5 layout.
+  std::string bytes = SmallManifestBytes(14);
+  bytes[4] = 4;  // little-endian fixed32 version field follows the magic
+  PatchManifestCrc(&bytes);
+  auto decoded = DecodeManifest(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("version"), std::string::npos);
 }
 
 TEST(ManifestCorruptionTest, ShardRowCountMismatchRejectedOnRead) {

@@ -5,6 +5,7 @@
 // a salvage reopen of the surviving dataset is clean with full row
 // accounting.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <tuple>
@@ -17,6 +18,7 @@
 #include "serve/snapshot_catalog.h"
 #include "tweetdb/binary_codec.h"
 #include "tweetdb/dataset.h"
+#include "tweetdb/ingest.h"
 #include "tweetdb/storage_env.h"
 
 namespace twimob::tweetdb {
@@ -329,6 +331,200 @@ TEST(FaultInjectionServeTest, ReadFaultDuringRefreshLeavesServingIntact) {
     ASSERT_TRUE(recovered.ok()) << "after crash at op " << at;
     EXPECT_TRUE(*recovered);
     EXPECT_EQ((*catalog)->Current()->dataset().num_rows(), rows_b);
+  }
+}
+
+// --- Ingest-writer crash sweeps -------------------------------------------
+//
+// The append/compact lifecycle must uphold the same old-or-new contract as
+// full rewrites: a crashed AppendBatch leaves exactly the previous dataset
+// or exactly the appended one (and a retry lands the batch exactly once),
+// while a crashed compaction NEVER loses a committed delta row — the old
+// manifest keeps every delta until the new generation's manifest commits.
+
+std::vector<Tweet> BatchRows(uint64_t seed, size_t n) {
+  random::Xoshiro256 rng(seed);
+  std::vector<Tweet> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back(Tweet{rng.NextUint64(40) + 1,
+                         static_cast<int64_t>(rng.NextUint64(1000000)),
+                         geo::LatLon{rng.NextUniform(-44, -10),
+                                     rng.NextUniform(113, 154)}});
+  }
+  return rows;
+}
+
+IngestOptions SweepIngestOptions() {
+  IngestOptions options;
+  options.partition = PartitionSpec::ForWindow(0, 1000000, 2);
+  options.block_capacity = 128;
+  return options;
+}
+
+/// Strict-reopens `path` with the real env, sorted by the (user, time, lat,
+/// lon) total order — delta fold order must not matter to the comparison.
+std::vector<Tweet> ReopenRowsSorted(const std::string& path) {
+  std::vector<Tweet> rows = ReopenRows(path);
+  std::sort(rows.begin(), rows.end(), UserTimeLess);
+  return rows;
+}
+
+/// The storage-quantised sorted row set of `batches` merged — the ground
+/// truth an ingest path must land on (built through a plain dataset write
+/// so both sides round-trip the fixed-point position codec).
+std::vector<Tweet> QuantisedSortedRows(
+    const std::string& scratch_path,
+    const std::vector<std::vector<Tweet>>& batches) {
+  std::remove(scratch_path.c_str());
+  TweetDataset dataset(SweepIngestOptions().partition, 128);
+  for (const auto& batch : batches) {
+    EXPECT_TRUE(dataset.AppendBatch(batch).ok());
+  }
+  EXPECT_TRUE(WriteDatasetFiles(dataset, scratch_path).ok());
+  std::vector<Tweet> rows = ReopenRowsSorted(scratch_path);
+  std::remove(scratch_path.c_str());
+  return rows;
+}
+
+TEST(FaultInjectionIngestTest, CrashedAppendLeavesOldOrNewAndRetryLandsOnce) {
+  const std::string path = testing::TempDir() + "/twimob_fault_append.twdb";
+  const std::string scratch = path + ".ref";
+  FaultInjectionEnv fault_env(Env::Default(), 55);
+
+  const std::vector<Tweet> base_batch = BatchRows(501, 200);
+  const std::vector<Tweet> new_batch = BatchRows(502, 150);
+  const std::vector<Tweet> old_rows = QuantisedSortedRows(scratch, {base_batch});
+  const std::vector<Tweet> all_rows =
+      QuantisedSortedRows(scratch, {base_batch, new_batch});
+  ASSERT_NE(old_rows, all_rows);
+
+  // Base state: one committed delta, cursor at 1.
+  auto make_base = [&] {
+    std::remove(path.c_str());
+    auto writer = IngestWriter::Open(path, SweepIngestOptions());
+    ASSERT_TRUE(writer.ok()) << writer.status().message();
+    ASSERT_TRUE((*writer)->AppendBatch(base_batch).ok());
+  };
+
+  // Count the gated operations of one open + append from the base state.
+  make_base();
+  fault_env.set_plan({});
+  {
+    auto writer = IngestWriter::Open(path, SweepIngestOptions(), &fault_env);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendBatch(new_batch).ok());
+  }
+  const uint64_t total_ops = fault_env.operations();
+  ASSERT_GT(total_ops, 0u);
+
+  for (const auto kind : {FaultInjectionEnv::FaultKind::kCrash,
+                          FaultInjectionEnv::FaultKind::kTornWrite}) {
+    for (uint64_t at = 0; at < total_ops; ++at) {
+      make_base();
+      fault_env.set_plan({kind, at});
+      Status append = Status::OK();
+      {
+        auto writer = IngestWriter::Open(path, SweepIngestOptions(), &fault_env);
+        append = writer.ok() ? (*writer)->AppendBatch(new_batch)
+                             : writer.status();
+      }
+      ASSERT_TRUE(fault_env.crashed())
+          << "fault at op " << at << "/" << total_ops << " did not fire";
+
+      // Old-or-new: the committed dataset is exactly the base rows or
+      // exactly base + batch — never a hybrid, never unreadable.
+      const std::vector<Tweet> survived = ReopenRowsSorted(path);
+      if (append.ok()) {
+        EXPECT_EQ(survived, all_rows) << "crash at op " << at;
+      } else {
+        EXPECT_TRUE(survived == old_rows || survived == all_rows)
+            << "crash at op " << at << " tore the dataset";
+      }
+
+      // Retry with a healthy env: reopen resumes the cursor, the orphaned
+      // delta file (if any) is atomically replaced, and the batch lands
+      // exactly once.
+      auto retry = IngestWriter::Open(path, SweepIngestOptions());
+      ASSERT_TRUE(retry.ok()) << "crash at op " << at;
+      if (survived != all_rows) {
+        ASSERT_TRUE((*retry)->AppendBatch(new_batch).ok())
+            << "crash at op " << at;
+      }
+      EXPECT_EQ(ReopenRowsSorted(path), all_rows) << "crash at op " << at;
+      EXPECT_EQ((*retry)->manifest().next_delta_seq, 2u)
+          << "crash at op " << at;
+    }
+  }
+}
+
+TEST(FaultInjectionIngestTest, CrashedCompactionNeverLosesDeltaRows) {
+  const std::string path = testing::TempDir() + "/twimob_fault_compact.twdb";
+  const std::string scratch = path + ".ref";
+  FaultInjectionEnv fault_env(Env::Default(), 66);
+
+  const std::vector<Tweet> b0 = BatchRows(601, 250);
+  const std::vector<Tweet> b1 = BatchRows(602, 180);
+  const std::vector<Tweet> b2 = BatchRows(603, 120);
+  const std::vector<Tweet> all_rows = QuantisedSortedRows(scratch, {b0, b1, b2});
+
+  // Base state: generation 2 shards (one compaction already ran) plus two
+  // committed deltas pending — the merge reads shards AND deltas.
+  auto make_base = [&] {
+    std::remove(path.c_str());
+    auto writer = IngestWriter::Open(path, SweepIngestOptions());
+    ASSERT_TRUE(writer.ok()) << writer.status().message();
+    ASSERT_TRUE((*writer)->AppendBatch(b0).ok());
+    auto compacted = (*writer)->Compact();
+    ASSERT_TRUE(compacted.ok());
+    ASSERT_TRUE(*compacted);
+    ASSERT_TRUE((*writer)->AppendBatch(b1).ok());
+    ASSERT_TRUE((*writer)->AppendBatch(b2).ok());
+  };
+
+  // Count the gated operations of one open + compaction of the base state.
+  make_base();
+  fault_env.set_plan({});
+  {
+    auto writer = IngestWriter::Open(path, SweepIngestOptions(), &fault_env);
+    ASSERT_TRUE(writer.ok());
+    auto compacted = (*writer)->Compact();
+    ASSERT_TRUE(compacted.ok());
+    ASSERT_TRUE(*compacted);
+  }
+  const uint64_t total_ops = fault_env.operations();
+  ASSERT_GT(total_ops, 0u);
+
+  for (const auto kind : {FaultInjectionEnv::FaultKind::kCrash,
+                          FaultInjectionEnv::FaultKind::kTornWrite}) {
+    for (uint64_t at = 0; at < total_ops; ++at) {
+      make_base();
+      fault_env.set_plan({kind, at});
+      {
+        auto writer = IngestWriter::Open(path, SweepIngestOptions(), &fault_env);
+        if (writer.ok()) (void)(*writer)->Compact();
+      }
+      ASSERT_TRUE(fault_env.crashed())
+          << "fault at op " << at << "/" << total_ops << " did not fire";
+
+      // The cardinal invariant: whatever the crash point, EVERY committed
+      // row survives — the old manifest keeps its deltas until the new
+      // generation's manifest rename, which installs the merged rows.
+      EXPECT_EQ(ReopenRowsSorted(path), all_rows)
+          << "crash at op " << at << " lost delta rows";
+
+      // Retry with a healthy env: the compaction completes, the cursor is
+      // preserved, and the dataset is fully merged.
+      auto retry = IngestWriter::Open(path, SweepIngestOptions());
+      ASSERT_TRUE(retry.ok()) << "crash at op " << at;
+      auto compacted = (*retry)->Compact();
+      ASSERT_TRUE(compacted.ok()) << "crash at op " << at << ": "
+                                  << compacted.status().message();
+      const Manifest manifest = (*retry)->manifest();
+      EXPECT_TRUE(manifest.deltas.empty()) << "crash at op " << at;
+      EXPECT_EQ(manifest.next_delta_seq, 3u) << "crash at op " << at;
+      EXPECT_EQ(ReopenRowsSorted(path), all_rows) << "crash at op " << at;
+    }
   }
 }
 
