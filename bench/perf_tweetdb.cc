@@ -5,44 +5,114 @@
 // `--json <path>` skips google-benchmark and instead writes the
 // machine-readable checksum/codec profile (`BENCH_tweetdb.json`: format
 // version, DescribeTable storage accounting, CRC32C / encode / decode
-// throughput, verify-vs-no-verify overhead) via bench::JsonWriter. CI's
-// perf-smoke job uploads it as an artifact.
+// throughput, verify-vs-no-verify overhead, v6 compression ratio,
+// zone-map prune rate and the mapped-vs-eager selective scan speedup)
+// via bench::JsonWriter. CI's perf-smoke job uploads it as an artifact
+// and asserts on the compression/prune fields. `--users N` scales the
+// profile corpus (10 rows per user; default 100,000 users = 1M rows, or
+// $TWIMOB_BENCH_USERS when set); the corpus is cached under $TMPDIR
+// keyed by (format version, users, seed) so repeat runs skip the build.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 
 #include "bench_util.h"
 #include "common/cpu_features.h"
 #include "common/crc32c.h"
+#include "common/string_util.h"
 #include "common/time_util.h"
 #include "geo/bbox.h"
 #include "random/rng.h"
 #include "tweetdb/binary_codec.h"
+#include "tweetdb/block_compression.h"
+#include "tweetdb/dataset.h"
 #include "tweetdb/query.h"
 #include "tweetdb/table.h"
 
 namespace twimob::tweetdb {
 namespace {
 
-Tweet RandomTweet(random::Xoshiro256& rng) {
-  return Tweet{rng.NextUint64(100000) + 1,
+Tweet RandomTweet(random::Xoshiro256& rng, uint64_t num_users = 100000) {
+  return Tweet{rng.NextUint64(num_users) + 1,
                1378000000 + static_cast<int64_t>(rng.NextUint64(20000000)),
                geo::LatLon{rng.NextUniform(-44.0, -10.0),
                            rng.NextUniform(113.0, 154.0)}};
 }
 
-TweetTable BuildTable(size_t rows, bool compact) {
-  random::Xoshiro256 rng(42);
+TweetTable BuildTable(size_t rows, bool compact, uint64_t num_users = 100000,
+                      uint64_t seed = 42) {
+  random::Xoshiro256 rng(seed);
   TweetTable table;
-  for (size_t i = 0; i < rows; ++i) (void)table.Append(RandomTweet(rng));
+  for (size_t i = 0; i < rows; ++i) {
+    (void)table.Append(RandomTweet(rng, num_users));
+  }
   if (compact) {
     table.CompactByUserTime();
   } else {
     table.SealActive();
+  }
+  return table;
+}
+
+/// Profile corpus scale: `--users N` wins, then $TWIMOB_BENCH_USERS, then
+/// 100,000 (1M rows at 10 rows/user — the scale the acceptance numbers in
+/// EXPERIMENTS.md quote).
+size_t DefaultProfileUsers() {
+  const char* env = std::getenv("TWIMOB_BENCH_USERS");
+  if (env != nullptr && *env != '\0') {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 100000;
+}
+
+/// Cache path for the profile corpus. The key carries the format version
+/// (a bump invalidates stale blobs), the user count (two scales must never
+/// collide on one $TMPDIR entry) and the seed.
+std::string ProfileCorpusCachePath(size_t users, uint64_t seed) {
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string dir = tmp != nullptr ? tmp : "/tmp";
+  return StrFormat("%s/twimob_bench_tweetdb_v%u_u%zu_s%llu.twdb", dir.c_str(),
+                   kBinaryFormatVersion, users,
+                   static_cast<unsigned long long>(seed));
+}
+
+/// The (user,time)-compacted profile corpus: 10 rows per user, loaded from
+/// the $TMPDIR cache when a matching blob exists.
+Result<TweetTable> LoadOrBuildProfileCorpus(size_t users, uint64_t seed) {
+  const std::string cache = ProfileCorpusCachePath(users, seed);
+  Env& env = *Env::Default();
+  {
+    auto cached = ReadBinaryFile(cache);
+    if (cached.ok()) {
+      std::fprintf(stderr, "[perf_tweetdb] loaded cached corpus %s (%zu rows)\n",
+                   cache.c_str(), cached->num_rows());
+      cached->CompactByUserTime();  // restore the sortedness flag
+      return cached;
+    }
+    if (env.FileExists(cache)) {
+      std::fprintf(stderr,
+                   "[perf_tweetdb] cache %s failed verification (%s); "
+                   "regenerating\n",
+                   cache.c_str(), cached.status().ToString().c_str());
+      (void)env.RemoveFile(cache);
+    }
+  }
+  const size_t rows = users * 10;
+  std::fprintf(stderr, "[perf_tweetdb] building %zu-row table (%zu users)...\n",
+               rows, users);
+  TweetTable table = BuildTable(rows, /*compact=*/true, users, seed);
+  Status persisted = WriteBinaryFile(table, cache);
+  if (persisted.ok()) {
+    std::fprintf(stderr, "[perf_tweetdb] cached to %s\n", cache.c_str());
+  } else {
+    std::fprintf(stderr, "[perf_tweetdb] cache write failed (%s); continuing\n",
+                 persisted.ToString().c_str());
   }
   return table;
 }
@@ -166,17 +236,26 @@ double BestOfSeconds(int repeats, Fn&& fn) {
 }
 
 /// The machine-readable checksum/codec profile behind `--json`.
-int RunJsonProfile(const char* json_path) {
+int RunJsonProfile(const char* json_path, size_t users) {
   if (!Crc32cSelfTest()) {
     std::fprintf(stderr, "[perf_tweetdb] CRC32C self-test FAILED\n");
     return 1;
   }
-  const size_t kRows = 1000000;
-  std::fprintf(stderr, "[perf_tweetdb] building %zu-row table...\n", kRows);
-  TweetTable table = BuildTable(kRows, true);
+  const uint64_t seed = 42;
+  auto corpus = LoadOrBuildProfileCorpus(users, seed);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "[perf_tweetdb] corpus build failed: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+  TweetTable table = std::move(*corpus);
   const TableDescription desc = DescribeTable(table);
+  const TableDescription desc_raw = DescribeTable(table, /*compress=*/false);
   const std::string bytes = EncodeTable(table);
+  const std::string bytes_raw = EncodeTable(table, /*compress=*/false);
   const double mib = static_cast<double>(bytes.size()) / (1024.0 * 1024.0);
+  const double mib_raw =
+      static_cast<double>(bytes_raw.size()) / (1024.0 * 1024.0);
 
   const double crc_s = BestOfSeconds(5, [&] {
     uint32_t crc = Crc32c(bytes.data(), bytes.size());
@@ -237,10 +316,80 @@ int RunJsonProfile(const char* json_path) {
     if (!decoded.ok()) std::abort();
     benchmark::DoNotOptimize(decoded->num_rows());
   });
+  const double decode_uncompressed_s = BestOfSeconds(3, [&] {
+    auto decoded = DecodeTable(bytes_raw);
+    if (!decoded.ok()) std::abort();
+    benchmark::DoNotOptimize(decoded->num_rows());
+  });
   const double overhead_pct =
       decode_raw_s > 0.0
           ? 100.0 * (decode_verify_s - decode_raw_s) / decode_raw_s
           : 0.0;
+
+  // Zone-map pruning on the v6 directory: the selective scan the paper's
+  // per-user workloads issue (point user filter over the (user,time)-
+  // compacted corpus — well under 10% selectivity).
+  ScanSpec selective;
+  selective.user_id = 777;
+  size_t selective_count = 0;
+  const ScanStatistics scan_stats =
+      CountMatching(table, selective, &selective_count);
+  const double prune_rate =
+      scan_stats.blocks_total > 0
+          ? static_cast<double>(scan_stats.blocks_pruned) /
+                static_cast<double>(scan_stats.blocks_total)
+          : 0.0;
+
+  // Mapped (lazy, prune-rate-dependent decode) vs eager open+scan of the
+  // same on-disk dataset. Cold open each iteration: the eager path pays a
+  // full decode of every block, the mapped path only decodes the blocks
+  // the zone maps fail to prune.
+  const std::string ds_path = ProfileCorpusCachePath(users, seed) + ".ds";
+  {
+    TweetDataset dataset;
+    table.ForEachRow([&dataset](const Tweet& t) { (void)dataset.Append(t); });
+    const Status written = WriteDatasetFiles(dataset, ds_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "[perf_tweetdb] dataset write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+  }
+  size_t eager_count = 0, mapped_count = 0;
+  const double eager_open_scan_s = BestOfSeconds(3, [&] {
+    auto ds = ReadDatasetFiles(ds_path);
+    if (!ds.ok()) std::abort();
+    eager_count = 0;
+    for (size_t i = 0; i < ds->num_shards(); ++i) {
+      size_t c = 0;
+      CountMatching(ds->shard(i), selective, &c);
+      eager_count += c;
+    }
+    benchmark::DoNotOptimize(eager_count);
+  });
+  const double mapped_open_scan_s = BestOfSeconds(3, [&] {
+    auto mapped = MapDatasetFiles(ds_path);
+    if (!mapped.ok()) std::abort();
+    mapped_count = 0;
+    for (size_t i = 0; i < mapped->dataset.num_shards(); ++i) {
+      size_t c = 0;
+      CountMatching(mapped->dataset.shard(i), selective, &c);
+      if (!mapped->dataset.shard(i).LazyDecodeStatus().ok()) std::abort();
+      mapped_count += c;
+    }
+    benchmark::DoNotOptimize(mapped_count);
+  });
+  const bool scan_results_identical =
+      eager_count == selective_count && mapped_count == selective_count;
+  if (!scan_results_identical) {
+    std::fprintf(stderr,
+                 "[perf_tweetdb] selective scan MISMATCH: table %zu, eager "
+                 "%zu, mapped %zu\n",
+                 selective_count, eager_count, mapped_count);
+    return 1;
+  }
+  const double selective_scan_speedup =
+      mapped_open_scan_s > 0.0 ? eager_open_scan_s / mapped_open_scan_s : 1.0;
 
   const double gib = static_cast<double>(bytes.size()) /
                      (1024.0 * 1024.0 * 1024.0);
@@ -255,25 +404,38 @@ int RunJsonProfile(const char* json_path) {
                crc_speedup, mib / encode_s, mib / decode_verify_s,
                mib / decode_raw_s, overhead_pct, FilterKernelsImplementation(),
                filter_speedup);
+  std::fprintf(stderr,
+               "[perf_tweetdb] v6: %.2fx compression (%.1f B/row vs %.1f "
+               "uncompressed) | unpack %s | prune rate %.3f | mapped selective "
+               "open+scan %.1fx eager (%.1f ms vs %.1f ms)\n",
+               desc.compression_ratio, desc.bytes_per_row, desc_raw.bytes_per_row,
+               ActiveUnpackKernels().name, prune_rate, selective_scan_speedup,
+               1e3 * mapped_open_scan_s, 1e3 * eager_open_scan_s);
 
   bench::JsonWriter json;
   json.BeginObject();
   json.Field("bench", "tweetdb");
   json.Field("format_version", static_cast<uint64_t>(kBinaryFormatVersion));
+  json.Field("compression_ratio", desc.compression_ratio);
+  json.Field("zone_map_prune_rate", prune_rate);
+  json.Field("decode_compressed_mibps", mib / decode_verify_s);
   json.BeginObject("kernels")
       .Field("cpu_features", CpuFeaturesSummary(GetCpuFeatures()))
       .Field("crc32c_implementation", Crc32cImplementation())
       .Field("filter_implementation", FilterKernelsImplementation())
+      .Field("unpack_implementation", ActiveUnpackKernels().name)
       .Field("crc32c_hw_gibps", gib / crc_s)
       .Field("crc32c_scalar_gibps", gib / crc_scalar_s)
       .Field("crc32c_speedup", crc_speedup)
       .Field("filter_simd_speedup", filter_speedup)
       .EndObject();
   json.BeginObject("corpus")
+      .Field("users", static_cast<uint64_t>(users))
       .Field("rows", static_cast<uint64_t>(desc.num_rows))
       .Field("blocks", static_cast<uint64_t>(desc.num_blocks))
       .Field("encoded_bytes", static_cast<uint64_t>(desc.encoded_bytes))
       .Field("bytes_per_row", desc.bytes_per_row)
+      .Field("uncompressed_bytes_per_row", desc_raw.bytes_per_row)
       .Field("compression_ratio", desc.compression_ratio)
       .EndObject();
   json.BeginObject("checksum")
@@ -282,7 +444,20 @@ int RunJsonProfile(const char* json_path) {
       .Field("decode_verify_mib_per_s", mib / decode_verify_s)
       .Field("decode_verified_mibps", mib / decode_verify_s)
       .Field("decode_no_verify_mib_per_s", mib / decode_raw_s)
+      .Field("decode_uncompressed_mibps", mib_raw / decode_uncompressed_s)
       .Field("verify_overhead_pct", overhead_pct)
+      .EndObject();
+  json.BeginObject("zone_maps")
+      .Field("scan", "user_eq_777")
+      .Field("blocks_total", static_cast<uint64_t>(scan_stats.blocks_total))
+      .Field("blocks_pruned", static_cast<uint64_t>(scan_stats.blocks_pruned))
+      .Field("zone_map_prune_rate", prune_rate)
+      .EndObject();
+  json.BeginObject("mapped")
+      .Field("eager_open_scan_s", eager_open_scan_s)
+      .Field("mapped_open_scan_s", mapped_open_scan_s)
+      .Field("selective_scan_speedup", selective_scan_speedup)
+      .Field("results_identical", scan_results_identical)
       .EndObject();
   json.EndObject();
   const Status written = json.WriteFile(json_path);
@@ -300,17 +475,30 @@ int RunJsonProfile(const char* json_path) {
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[i + 1];
+  size_t users = twimob::tweetdb::DefaultProfileUsers();
+  for (int i = 1; i < argc;) {
+    const bool is_json = std::strcmp(argv[i], "--json") == 0;
+    const bool is_users = std::strcmp(argv[i], "--users") == 0;
+    if ((is_json || is_users) && i + 1 < argc) {
+      if (is_json) {
+        json_path = argv[i + 1];
+      } else {
+        const long long v = std::atoll(argv[i + 1]);
+        if (v <= 0) {
+          std::fprintf(stderr, "bad --users value: %s\n", argv[i + 1]);
+          return 1;
+        }
+        users = static_cast<size_t>(v);
+      }
       // Remove both arguments so google-benchmark never sees them.
       for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
       argc -= 2;
-      break;
+    } else {
+      ++i;
     }
   }
   if (json_path != nullptr) {
-    return twimob::tweetdb::RunJsonProfile(json_path);
+    return twimob::tweetdb::RunJsonProfile(json_path, users);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

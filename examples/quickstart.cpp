@@ -23,6 +23,7 @@
 #include "core/report.h"
 #include "serve/query_service.h"
 #include "serve/snapshot_catalog.h"
+#include "tweetdb/binary_codec.h"
 #include "tweetdb/ingest.h"
 
 int main(int argc, char** argv) {
@@ -160,5 +161,13 @@ int main(int argc, char** argv) {
             << (*catalog)->Current()->dataset().num_rows()
             << " rows (generation " << (*catalog)->current_generation()
             << ", ingest seq " << (*catalog)->current_ingest_seq() << ")\n";
+
+  auto described = tweetdb::DescribeDataset(path);
+  if (!described.ok()) {
+    std::cerr << "describe failed: " << described.status() << "\n";
+    return 1;
+  }
+  std::cout << "\nOn-disk dataset after the ingest loop:\n"
+            << described->ToString();
   return 0;
 }

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/crc32c.h"
 #include "common/string_util.h"
+#include "geo/latlon.h"
+#include "tweetdb/block_compression.h"
 #include "tweetdb/encoding.h"
 #include "tweetdb/generation_pins.h"
 
@@ -20,8 +24,14 @@ constexpr char kManifestMagic[4] = {'T', 'W', 'D', 'M'};
 constexpr uint64_t kMaxManifestShards = 1u << 20;
 // Same guard for the delta list (compaction keeps it short in practice).
 constexpr uint64_t kMaxManifestDeltas = 1u << 20;
-// magic + version + block count — the CRC-guarded table header prefix.
-constexpr size_t kTableHeaderPrefix = 16;
+// magic + version + flags + block count — the CRC-guarded table header
+// prefix (v6; v5 had no flags word and a 16-byte prefix).
+constexpr size_t kTableHeaderPrefix = 20;
+// Fixed on-disk size of one zone-map directory record: rows + user range +
+// time range as fixed64, the four fixed-point coordinate bounds as fixed32.
+constexpr size_t kZoneMapEntrySize = 56;
+// Flag bits a v6 decoder understands; anything else is version-skew-like.
+constexpr uint32_t kKnownTableFlags = kTableFlagCompressed;
 
 void PutDouble(std::string* dst, double value) {
   uint64_t bits;
@@ -45,10 +55,16 @@ size_t VarintLength(uint64_t value) {
   return n;
 }
 
-/// Validates the v4 table header (magic, version, header CRC) and leaves
-/// `*bytes` positioned at the first block frame. `verify_crc` false skips
-/// only the checksum comparison, not the structural checks.
-Result<uint64_t> DecodeTableHeader(std::string_view* bytes, bool verify_crc) {
+/// The decoded v6 table header.
+struct TableHeader {
+  uint64_t num_blocks = 0;
+  uint32_t flags = 0;
+};
+
+/// Validates the v6 table header (magic, version, flags, header CRC) and
+/// leaves `*bytes` positioned at the zone-map directory. `verify_crc`
+/// false skips only the checksum comparison, not the structural checks.
+Result<TableHeader> DecodeTableHeader(std::string_view* bytes, bool verify_crc) {
   const std::string_view full = *bytes;
   if (bytes->size() < 4 || std::string_view(bytes->data(), 4) !=
                                std::string_view(kMagic, 4)) {
@@ -62,15 +78,154 @@ Result<uint64_t> DecodeTableHeader(std::string_view* bytes, bool verify_crc) {
                            std::to_string(version) + " (expected " +
                            std::to_string(kBinaryFormatVersion) + ")");
   }
-  uint64_t num_blocks;
-  if (!GetFixed64(bytes, &num_blocks)) return Status::IOError("truncated header");
+  TableHeader header;
+  if (!GetFixed32(bytes, &header.flags)) return Status::IOError("truncated header");
+  if ((header.flags & ~kKnownTableFlags) != 0) {
+    return Status::IOError("unsupported table flags " +
+                           std::to_string(header.flags));
+  }
+  if (!GetFixed64(bytes, &header.num_blocks)) {
+    return Status::IOError("truncated header");
+  }
   uint32_t stored_crc;
   if (!GetFixed32(bytes, &stored_crc)) return Status::IOError("truncated header");
   if (verify_crc &&
       stored_crc != Crc32c(full.data(), kTableHeaderPrefix)) {
     return Status::IOError("table header checksum mismatch");
   }
-  return num_blocks;
+  return header;
+}
+
+// ---------------------------------------------------------------------------
+// Zone-map directory: the on-disk twin of BlockStats. Records hold the
+// block columns' exact integer bounds (coordinates in their fixed-point
+// representation, never the derived degrees), so a record both
+// reconstructs BlockStats bit-identically (FixedToDegrees is strictly
+// monotonic: the min over per-row degrees IS the degrees of the fixed
+// minimum) and admits an exact equality check against decoded columns.
+
+struct ZoneMapEntry {
+  uint64_t num_rows = 0;
+  uint64_t min_user = 0;
+  uint64_t max_user = 0;
+  int64_t min_time = 0;
+  int64_t max_time = 0;
+  int32_t min_lat = 0;
+  int32_t max_lat = 0;
+  int32_t min_lon = 0;
+  int32_t max_lon = 0;
+
+  bool operator==(const ZoneMapEntry&) const = default;
+};
+
+ZoneMapEntry ComputeZoneMap(const Block& block) {
+  ZoneMapEntry e;
+  e.num_rows = block.num_rows();
+  if (block.empty()) return e;
+  e.min_user = e.max_user = block.user_ids()[0];
+  e.min_time = e.max_time = block.timestamps()[0];
+  e.min_lat = e.max_lat = block.lat_fixed()[0];
+  e.min_lon = e.max_lon = block.lon_fixed()[0];
+  for (size_t i = 1; i < block.num_rows(); ++i) {
+    e.min_user = std::min(e.min_user, block.user_ids()[i]);
+    e.max_user = std::max(e.max_user, block.user_ids()[i]);
+    e.min_time = std::min(e.min_time, block.timestamps()[i]);
+    e.max_time = std::max(e.max_time, block.timestamps()[i]);
+    e.min_lat = std::min(e.min_lat, block.lat_fixed()[i]);
+    e.max_lat = std::max(e.max_lat, block.lat_fixed()[i]);
+    e.min_lon = std::min(e.min_lon, block.lon_fixed()[i]);
+    e.max_lon = std::max(e.max_lon, block.lon_fixed()[i]);
+  }
+  return e;
+}
+
+void EncodeZoneMapEntry(std::string* dst, const ZoneMapEntry& e) {
+  PutFixed64(dst, e.num_rows);
+  PutFixed64(dst, e.min_user);
+  PutFixed64(dst, e.max_user);
+  PutFixed64(dst, static_cast<uint64_t>(e.min_time));
+  PutFixed64(dst, static_cast<uint64_t>(e.max_time));
+  PutFixed32(dst, static_cast<uint32_t>(e.min_lat));
+  PutFixed32(dst, static_cast<uint32_t>(e.max_lat));
+  PutFixed32(dst, static_cast<uint32_t>(e.min_lon));
+  PutFixed32(dst, static_cast<uint32_t>(e.max_lon));
+}
+
+bool DecodeZoneMapEntry(std::string_view* src, ZoneMapEntry* e) {
+  uint64_t min_time, max_time;
+  uint32_t min_lat, max_lat, min_lon, max_lon;
+  if (!GetFixed64(src, &e->num_rows) || !GetFixed64(src, &e->min_user) ||
+      !GetFixed64(src, &e->max_user) || !GetFixed64(src, &min_time) ||
+      !GetFixed64(src, &max_time) || !GetFixed32(src, &min_lat) ||
+      !GetFixed32(src, &max_lat) || !GetFixed32(src, &min_lon) ||
+      !GetFixed32(src, &max_lon)) {
+    return false;
+  }
+  e->min_time = static_cast<int64_t>(min_time);
+  e->max_time = static_cast<int64_t>(max_time);
+  e->min_lat = static_cast<int32_t>(min_lat);
+  e->max_lat = static_cast<int32_t>(max_lat);
+  e->min_lon = static_cast<int32_t>(min_lon);
+  e->max_lon = static_cast<int32_t>(max_lon);
+  return true;
+}
+
+/// Consumes the directory (records + trailing CRC32C) from the front of
+/// `*bytes`. A Status error means the directory region is truncated and
+/// the block frames cannot even be located; `*crc_ok` reports whether the
+/// records can be trusted (always true when `verify_crc` is off) —
+/// salvage keeps walking frames with an untrusted directory, strict
+/// decoders fail.
+Status ReadZoneMapDirectory(std::string_view* bytes, uint64_t num_blocks,
+                            bool verify_crc, std::vector<ZoneMapEntry>* entries,
+                            bool* crc_ok) {
+  entries->clear();
+  if (num_blocks > bytes->size() / kZoneMapEntrySize) {
+    return Status::IOError("truncated zone-map directory");
+  }
+  const size_t dir_size = static_cast<size_t>(num_blocks) * kZoneMapEntrySize;
+  const std::string_view dir(bytes->data(), dir_size);
+  bytes->remove_prefix(dir_size);
+  uint32_t stored_crc;
+  if (!GetFixed32(bytes, &stored_crc)) {
+    return Status::IOError("truncated zone-map directory checksum");
+  }
+  *crc_ok = !verify_crc || stored_crc == Crc32c(dir.data(), dir.size());
+  entries->reserve(num_blocks);
+  std::string_view cursor = dir;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    ZoneMapEntry e;
+    (void)DecodeZoneMapEntry(&cursor, &e);  // length checked above
+    entries->push_back(e);
+  }
+  return Status::OK();
+}
+
+/// BlockStats reconstructed from a (trusted) directory record —
+/// bit-identical to Block::ComputeStats() of the decoded block because
+/// FixedToDegrees is strictly monotonic.
+BlockStats StatsFromZoneMap(const ZoneMapEntry& e) {
+  BlockStats s;
+  s.num_rows = static_cast<size_t>(e.num_rows);
+  if (e.num_rows == 0) return s;
+  s.min_user = e.min_user;
+  s.max_user = e.max_user;
+  s.min_time = e.min_time;
+  s.max_time = e.max_time;
+  s.bbox = geo::BoundingBox{
+      geo::FixedToDegrees(e.min_lat), geo::FixedToDegrees(e.min_lon),
+      geo::FixedToDegrees(e.max_lat), geo::FixedToDegrees(e.max_lon)};
+  return s;
+}
+
+/// The "fail decode, not misprune" contract: a decoded block whose columns
+/// disagree with its directory record is an error, because scans already
+/// pruned (or failed to prune) on that record.
+Status VerifyZoneMap(const Block& block, const ZoneMapEntry& expected) {
+  if (ComputeZoneMap(block) != expected) {
+    return Status::IOError("zone-map directory disagrees with decoded block");
+  }
+  return Status::OK();
 }
 
 /// Consumes one block frame (length varint + CRC fixed32) and yields the
@@ -105,6 +260,13 @@ Result<Block> DecodeBlockPayload(std::string_view payload) {
   return block;
 }
 
+/// Decodes one verified block payload with the codec `flags` selects.
+Result<Block> DecodeBlockPayloadForFlags(std::string_view payload,
+                                         uint32_t flags) {
+  if ((flags & kTableFlagCompressed) != 0) return DecodeCompressedBlock(payload);
+  return DecodeBlockPayload(payload);
+}
+
 /// Reads the generation out of a v4 manifest header without validating the
 /// body — used to pick a fresh generation when the installed manifest no
 /// longer decodes. Returns 0 when the bytes are not a v4 manifest.
@@ -124,16 +286,28 @@ uint64_t PeekManifestGeneration(std::string_view bytes) {
 Env& ResolveEnv(Env* env) { return env != nullptr ? *env : *Env::Default(); }
 }  // namespace
 
-std::string EncodeTable(const TweetTable& table) {
+std::string EncodeTable(const TweetTable& table, bool compress) {
   std::string out;
   out.append(kMagic, 4);
   PutFixed32(&out, kBinaryFormatVersion);
+  PutFixed32(&out, compress ? kTableFlagCompressed : 0u);
   PutFixed64(&out, table.num_blocks());
   PutFixed32(&out, Crc32c(out.data(), out.size()));
+  // Zone-map directory: one fixed-size record per block, then its CRC32C —
+  // readable (and prunable on) before any payload byte.
+  const size_t dir_start = out.size();
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    EncodeZoneMapEntry(&out, ComputeZoneMap(table.block(b)));
+  }
+  PutFixed32(&out, Crc32c(out.data() + dir_start, out.size() - dir_start));
   std::string scratch;
   for (size_t b = 0; b < table.num_blocks(); ++b) {
     scratch.clear();
-    table.block(b).EncodeTo(&scratch);
+    if (compress) {
+      EncodeCompressedBlock(table.block(b), &scratch);
+    } else {
+      table.block(b).EncodeTo(&scratch);
+    }
     PutVarint64(&out, scratch.size());
     PutFixed32(&out, Crc32c(scratch.data(), scratch.size()));
     out.append(scratch);
@@ -143,10 +317,18 @@ std::string EncodeTable(const TweetTable& table) {
 
 Result<TweetTable> DecodeTable(std::string_view bytes,
                                const DecodeOptions& options) {
-  TWIMOB_ASSIGN_OR_RETURN(const uint64_t num_blocks,
+  TWIMOB_ASSIGN_OR_RETURN(const TableHeader header,
                           DecodeTableHeader(&bytes, options.verify_checksums));
+  std::vector<ZoneMapEntry> zone_maps;
+  bool dir_ok;
+  TWIMOB_RETURN_IF_ERROR(ReadZoneMapDirectory(&bytes, header.num_blocks,
+                                              options.verify_checksums,
+                                              &zone_maps, &dir_ok));
+  if (!dir_ok) {
+    return Status::IOError("zone-map directory checksum mismatch");
+  }
   TweetTable table;
-  for (uint64_t b = 0; b < num_blocks; ++b) {
+  for (uint64_t b = 0; b < header.num_blocks; ++b) {
     std::string_view payload;
     bool crc_ok;
     TWIMOB_RETURN_IF_ERROR(
@@ -155,7 +337,11 @@ Result<TweetTable> DecodeTable(std::string_view bytes,
       return Status::IOError("block " + std::to_string(b) +
                              " checksum mismatch");
     }
-    TWIMOB_ASSIGN_OR_RETURN(Block block, DecodeBlockPayload(payload));
+    TWIMOB_ASSIGN_OR_RETURN(Block block,
+                            DecodeBlockPayloadForFlags(payload, header.flags));
+    if (options.verify_checksums) {
+      TWIMOB_RETURN_IF_ERROR(VerifyZoneMap(block, zone_maps[b]));
+    }
     table.AdoptSealedBlock(std::move(block));
   }
   if (!bytes.empty()) {
@@ -172,11 +358,24 @@ Result<TweetTable> DecodeTableSalvage(std::string_view bytes,
   // The header guards the framing; without it nothing downstream can be
   // trusted, so a damaged header fails the whole blob (callers drop the
   // shard and account for it).
-  TWIMOB_ASSIGN_OR_RETURN(const uint64_t num_blocks,
+  TWIMOB_ASSIGN_OR_RETURN(const TableHeader header,
                           DecodeTableHeader(&bytes, /*verify_crc=*/true));
-  r.blocks_total = num_blocks;
+  r.blocks_total = header.num_blocks;
+  // The directory sits between the header and the first frame: if it
+  // cannot even be consumed the frame region is unlocatable and nothing
+  // past the header is recoverable. A directory that consumes but fails
+  // its CRC is merely untrusted — CRC-clean blocks are still recovered,
+  // minus the zone-map cross-check (their payload CRCs vouch for them).
+  std::vector<ZoneMapEntry> zone_maps;
+  bool dir_ok;
+  if (!ReadZoneMapDirectory(&bytes, header.num_blocks, /*verify_crc=*/true,
+                            &zone_maps, &dir_ok)
+           .ok()) {
+    r.truncated = true;
+    return TweetTable();
+  }
   TweetTable table;
-  for (uint64_t b = 0; b < num_blocks; ++b) {
+  for (uint64_t b = 0; b < header.num_blocks; ++b) {
     std::string_view payload;
     bool crc_ok;
     if (!DecodeBlockFrame(&bytes, /*verify_crc=*/true, &payload, &crc_ok).ok()) {
@@ -189,8 +388,11 @@ Result<TweetTable> DecodeTableSalvage(std::string_view bytes,
       ++r.checksum_failures;
       continue;  // the length prefix still bounds the damage — skip one block
     }
-    auto block = DecodeBlockPayload(payload);
+    auto block = DecodeBlockPayloadForFlags(payload, header.flags);
     if (!block.ok()) continue;  // verified CRC but undecodable: count as dropped
+    if (dir_ok && !VerifyZoneMap(*block, zone_maps[b]).ok()) {
+      continue;  // directory disagrees with the payload: drop, don't misprune
+    }
     r.rows_recovered += block->num_rows();
     ++r.blocks_recovered;
     table.AdoptSealedBlock(std::move(*block));
@@ -204,18 +406,24 @@ Status WriteBinaryFile(TweetTable& table, const std::string& path, Env* env,
   return AtomicWriteFile(ResolveEnv(env), path, EncodeTable(table), options);
 }
 
-TableDescription DescribeTable(const TweetTable& table) {
+TableDescription DescribeTable(const TweetTable& table, bool compress) {
   TableDescription d;
   d.num_blocks = table.num_blocks();
   std::string scratch;
   for (size_t b = 0; b < table.num_blocks(); ++b) {
     scratch.clear();
-    table.block(b).EncodeTo(&scratch);
+    if (compress) {
+      EncodeCompressedBlock(table.block(b), &scratch);
+    } else {
+      table.block(b).EncodeTo(&scratch);
+    }
     // payload + length varint + payload CRC32C
     d.encoded_bytes += scratch.size() + VarintLength(scratch.size()) + 4;
     d.num_rows += table.block(b).num_rows();
   }
-  d.encoded_bytes += kTableHeaderPrefix + 4;  // header + header CRC32C
+  // header + header CRC32C + zone-map directory + directory CRC32C
+  d.encoded_bytes +=
+      kTableHeaderPrefix + 4 + d.num_blocks * kZoneMapEntrySize + 4;
   d.raw_bytes = d.num_rows * 24;  // u64 user + i64 ts + 2x i32 coords
   if (d.num_rows > 0) {
     d.bytes_per_row =
@@ -633,6 +841,207 @@ Result<TweetDataset> ReadDatasetFiles(const std::string& path,
   // the block-parallel scan paths stay available.
   if (!manifest.deltas.empty()) dataset.SealAll();
   return dataset;
+}
+
+Result<MappedDataset> MapDatasetFiles(const std::string& path, Env* env_in) {
+  Env& env = ResolveEnv(env_in);
+  TWIMOB_ASSIGN_OR_RETURN(const std::string manifest_bytes,
+                          ReadFileToString(env, path));
+  TWIMOB_ASSIGN_OR_RETURN(const Manifest manifest,
+                          DecodeManifest(manifest_bytes));
+  // Pin before touching any shard file: from here on a concurrent writer
+  // commit defers its GC of this generation, so no mapped file can be
+  // unlinked while this dataset (or any lazy block holding a mapping
+  // reference) is alive.
+  MappedDataset out{TweetDataset(manifest.partition),
+                    GenerationPin(path, manifest.generation)};
+
+  for (const ShardSummary& s : manifest.shards) {
+    const std::string shard_path =
+        ShardFilePath(path, manifest.generation, s.key);
+    TWIMOB_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> mapping,
+                            env.MmapFile(shard_path));
+    std::string_view bytes = mapping->data();
+    TWIMOB_ASSIGN_OR_RETURN(const TableHeader header,
+                            DecodeTableHeader(&bytes, /*verify_crc=*/true));
+    std::vector<ZoneMapEntry> zone_maps;
+    bool dir_ok;
+    TWIMOB_RETURN_IF_ERROR(ReadZoneMapDirectory(
+        &bytes, header.num_blocks, /*verify_crc=*/true, &zone_maps, &dir_ok));
+    if (!dir_ok) {
+      return Status::IOError("zone-map directory checksum mismatch in " +
+                             shard_path);
+    }
+    // The eager manifest cross-check: with payload decodes deferred, the
+    // directory's row sum stands in for the strict-read row count.
+    uint64_t dir_rows = 0;
+    for (const ZoneMapEntry& e : zone_maps) dir_rows += e.num_rows;
+    if (dir_rows != s.num_rows) {
+      return Status::IOError(StrFormat(
+          "shard %lld row count mismatch: manifest says %llu, directory has %llu",
+          static_cast<long long>(s.key),
+          static_cast<unsigned long long>(s.num_rows),
+          static_cast<unsigned long long>(dir_rows)));
+    }
+    TweetTable table;
+    for (uint64_t b = 0; b < header.num_blocks; ++b) {
+      // Frame parsing stays eager (it bounds every later frame); the
+      // payload hash is deferred with the decode, so the stored CRC is
+      // captured here instead of verified.
+      uint64_t len;
+      uint32_t stored_crc;
+      if (!GetVarint64(&bytes, &len) || !GetFixed32(&bytes, &stored_crc)) {
+        return Status::IOError("truncated block frame in " + shard_path);
+      }
+      if (len > bytes.size()) {
+        return Status::IOError("block length exceeds remaining bytes in " +
+                               shard_path);
+      }
+      const std::string_view payload(bytes.data(), len);
+      bytes.remove_prefix(len);
+      const ZoneMapEntry entry = zone_maps[b];
+      const uint32_t flags = header.flags;
+      auto decode = [mapping, payload, stored_crc, flags,
+                     entry]() -> Result<Block> {
+        if (stored_crc != Crc32c(payload.data(), payload.size())) {
+          return Status::IOError("block checksum mismatch");
+        }
+        TWIMOB_ASSIGN_OR_RETURN(Block block,
+                                DecodeBlockPayloadForFlags(payload, flags));
+        TWIMOB_RETURN_IF_ERROR(VerifyZoneMap(block, entry));
+        return block;
+      };
+      table.AdoptLazyBlock(StatsFromZoneMap(entry),
+                           std::make_unique<LazyBlock>(std::move(decode)));
+    }
+    if (!bytes.empty()) {
+      return Status::IOError("trailing bytes after the last block in " +
+                             shard_path);
+    }
+    TWIMOB_RETURN_IF_ERROR(out.dataset.AdoptShard(s.key, std::move(table)));
+  }
+
+  // Deltas are folded eagerly, exactly like ReadDatasetFiles (same strict
+  // checks, same seq order, same row routing): they are small, and their
+  // rows must be re-routed into time shards row-by-row anyway.
+  for (const DeltaSummary& d : manifest.deltas) {
+    const std::string delta_path = DeltaFilePath(path, d.generation, d.seq);
+    TWIMOB_ASSIGN_OR_RETURN(const std::string delta_bytes,
+                            ReadFileToString(env, delta_path));
+    TWIMOB_ASSIGN_OR_RETURN(TweetTable table, DecodeTable(delta_bytes));
+    if (table.num_rows() != d.num_rows) {
+      return Status::IOError(StrFormat(
+          "delta %llu row count mismatch: manifest says %llu, file has %zu",
+          static_cast<unsigned long long>(d.seq),
+          static_cast<unsigned long long>(d.num_rows), table.num_rows()));
+    }
+    Status append = Status::OK();
+    table.ForEachRow([&out, &append](const Tweet& t) {
+      if (append.ok()) append = out.dataset.Append(t);
+    });
+    TWIMOB_RETURN_IF_ERROR(append);
+  }
+  if (!manifest.deltas.empty()) out.dataset.SealAll();
+  return out;
+}
+
+namespace {
+Result<uint64_t> SizeOfFile(Env& env, const std::string& path) {
+  TWIMOB_ASSIGN_OR_RETURN(const auto file, env.NewRandomAccessFile(path));
+  return file->Size();
+}
+}  // namespace
+
+Result<DatasetDescription> DescribeDataset(const std::string& path,
+                                           Env* env_in) {
+  Env& env = ResolveEnv(env_in);
+  TWIMOB_ASSIGN_OR_RETURN(const std::string manifest_bytes,
+                          ReadFileToString(env, path));
+  TWIMOB_ASSIGN_OR_RETURN(const Manifest manifest,
+                          DecodeManifest(manifest_bytes));
+  DatasetDescription d;
+  d.generation = manifest.generation;
+  d.next_delta_seq = manifest.next_delta_seq;
+  d.manifest_bytes = manifest_bytes.size();
+  for (const ShardSummary& s : manifest.shards) {
+    DatasetDescription::FileEntry e;
+    e.label = StrFormat("shard-%lld", static_cast<long long>(s.key));
+    e.generation = manifest.generation;
+    e.rows = s.num_rows;
+    TWIMOB_ASSIGN_OR_RETURN(
+        e.bytes, SizeOfFile(env, ShardFilePath(path, manifest.generation, s.key)));
+    d.total_rows += e.rows;
+    d.shard_bytes += e.bytes;
+    d.shards.push_back(std::move(e));
+  }
+  for (const DeltaSummary& del : manifest.deltas) {
+    DatasetDescription::FileEntry e;
+    e.label = StrFormat("delta-%llu", static_cast<unsigned long long>(del.seq));
+    e.generation = del.generation;
+    e.rows = del.num_rows;
+    TWIMOB_ASSIGN_OR_RETURN(
+        e.bytes, SizeOfFile(env, DeltaFilePath(path, del.generation, del.seq)));
+    d.total_rows += e.rows;
+    d.delta_bytes += e.bytes;
+    d.deltas.push_back(std::move(e));
+  }
+  const uint64_t on_disk = d.shard_bytes + d.delta_bytes + d.manifest_bytes;
+  if (on_disk > 0) {
+    d.compression_ratio = static_cast<double>(d.total_rows * 24) /
+                          static_cast<double>(on_disk);
+  }
+  return d;
+}
+
+std::string DatasetDescription::ToString() const {
+  std::string out = StrFormat(
+      "dataset generation %llu (append cursor %llu): %llu rows, %llu bytes "
+      "on disk, %.2fx compression vs 24 B/row\n",
+      static_cast<unsigned long long>(generation),
+      static_cast<unsigned long long>(next_delta_seq),
+      static_cast<unsigned long long>(total_rows),
+      static_cast<unsigned long long>(shard_bytes + delta_bytes +
+                                      manifest_bytes),
+      compression_ratio);
+  out += StrFormat("  manifest: %llu bytes\n",
+                   static_cast<unsigned long long>(manifest_bytes));
+  out += StrFormat("  %llu shard(s), %llu bytes:\n",
+                   static_cast<unsigned long long>(shards.size()),
+                   static_cast<unsigned long long>(shard_bytes));
+  for (const FileEntry& e : shards) {
+    out += StrFormat("    g%llu.%s: %llu rows, %llu bytes\n",
+                     static_cast<unsigned long long>(e.generation),
+                     e.label.c_str(), static_cast<unsigned long long>(e.rows),
+                     static_cast<unsigned long long>(e.bytes));
+  }
+  if (deltas.empty()) {
+    out += "  delta backlog: none\n";
+  } else {
+    uint64_t delta_rows = 0;
+    for (const FileEntry& e : deltas) delta_rows += e.rows;
+    out += StrFormat("  delta backlog: %llu file(s), %llu rows, %llu bytes:\n",
+                     static_cast<unsigned long long>(deltas.size()),
+                     static_cast<unsigned long long>(delta_rows),
+                     static_cast<unsigned long long>(delta_bytes));
+    for (const FileEntry& e : deltas) {
+      out += StrFormat("    g%llu.%s: %llu rows, %llu bytes\n",
+                       static_cast<unsigned long long>(e.generation),
+                       e.label.c_str(), static_cast<unsigned long long>(e.rows),
+                       static_cast<unsigned long long>(e.bytes));
+    }
+  }
+  // Per-generation rollup (deltas may span older generations than the
+  // sealed shards after a compaction carried them forward).
+  std::map<uint64_t, uint64_t> rows_by_gen;
+  for (const FileEntry& e : shards) rows_by_gen[e.generation] += e.rows;
+  for (const FileEntry& e : deltas) rows_by_gen[e.generation] += e.rows;
+  out += "  rows by generation:";
+  for (const auto& [gen, rows] : rows_by_gen) {
+    out += StrFormat(" g%llu=%llu", static_cast<unsigned long long>(gen),
+                     static_cast<unsigned long long>(rows));
+  }
+  out += "\n";
+  return out;
 }
 
 }  // namespace twimob::tweetdb

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "tweetdb/dataset.h"
+#include "tweetdb/generation_pins.h"
 #include "tweetdb/storage_env.h"
 #include "tweetdb/table.h"
 
@@ -43,8 +44,33 @@ namespace twimob::tweetdb {
 /// manifest atomically (manifest rename stays the single commit point),
 /// and LSM-style compaction (tweetdb/ingest.h) merges deltas into the next
 /// sealed generation under the same old-or-new contract.
+///
+/// Version 6 adds compressed payloads, persisted zone maps and mapped
+/// reads. The table header grows a fixed32 flags word (bit 0: block
+/// payloads use the delta + frame-of-reference codec of
+/// block_compression.h instead of the v5 per-column encoding; other bits
+/// must be zero), so the CRC-guarded prefix is 20 bytes. Between the
+/// header and the first block frame sits the zone-map directory — one
+/// fixed 56-byte record per block (row count, user range, time range, and
+/// the fixed-point coordinate bounds, all computed from the block's
+/// columns) followed by its own CRC32C — the on-disk twin of the
+/// in-memory BlockStats, read before any payload byte so MayMatchBlock
+/// can prune blocks that were never decompressed. Decoders verify the
+/// decoded columns against the directory entry: a disagreement fails the
+/// block decode rather than misprune a scan. Block frames are unchanged
+/// (length varint + payload CRC32C + payload). Sealed shard files are
+/// compressed by WriteDatasetFiles and compaction; delta files stay
+/// uncompressed (flags 0) so appends stay cheap. MapDatasetFiles opens a
+/// dataset zero-copy through Env::MmapFile, verifying manifest, headers
+/// and directories eagerly but deferring each block's CRC32C + decode +
+/// zone-map check to first touch, with a GenerationPin keeping every
+/// mapped file on disk for the mapping's lifetime.
 
-inline constexpr uint32_t kBinaryFormatVersion = 5;
+inline constexpr uint32_t kBinaryFormatVersion = 6;
+
+/// Table header flags word (v6). Bit 0: block payloads are compressed
+/// (block_compression.h). All other bits must be zero.
+inline constexpr uint32_t kTableFlagCompressed = 1u << 0;
 
 /// Decode-time knobs.
 struct DecodeOptions {
@@ -54,8 +80,11 @@ struct DecodeOptions {
 };
 
 /// Serialises the table into a byte string (active tail is NOT included;
-/// callers seal first — WriteBinaryFile does).
-std::string EncodeTable(const TweetTable& table);
+/// callers seal first — WriteBinaryFile does). `compress` picks the block
+/// payload codec: the v6 delta + frame-of-reference bitpacking (the
+/// default; what sealed shards use) or the uncompressed v5 per-column
+/// encoding (what ingest deltas use — append latency over density).
+std::string EncodeTable(const TweetTable& table, bool compress = true);
 
 /// Decodes a table from bytes, verifying checksums per `options`. Any
 /// corruption — bad magic, version skew, checksum mismatch, truncation,
@@ -102,8 +131,9 @@ struct TableDescription {
 };
 
 /// Encodes the table's sealed blocks and reports size statistics (seal the
-/// active tail first to account for every row).
-TableDescription DescribeTable(const TweetTable& table);
+/// active tail first to account for every row). Sizes reflect the codec
+/// `compress` selects, framing and zone-map directory included.
+TableDescription DescribeTable(const TweetTable& table, bool compress = true);
 
 /// Manifest file format (little-endian):
 ///   magic "TWDM" (4 bytes) | version fixed32 | generation fixed64 |
@@ -185,6 +215,57 @@ Status WriteDatasetFiles(TweetDataset& dataset, const std::string& path,
 Result<TweetDataset> ReadDatasetFiles(
     const std::string& path, RecoveryPolicy policy = RecoveryPolicy::kStrict,
     RecoveryReport* report = nullptr, Env* env = nullptr);
+
+/// A dataset opened zero-copy over memory-mapped shard files. The pin
+/// keeps every file of the mapped generation on disk for the lifetime of
+/// this object (writer commits defer their GC — no file is ever unlinked
+/// while mapped), and each shard block holds a reference to its mapping
+/// until its first decode materialises it.
+struct MappedDataset {
+  TweetDataset dataset;
+  GenerationPin pin;
+};
+
+/// Opens a dataset through Env::MmapFile with per-block lazy decode:
+/// the manifest, every shard header and every zone-map directory are
+/// verified eagerly (strict — any damage is an error, there is no salvage
+/// flavour of a mapped open), but block payloads are not touched; each
+/// block's CRC32C check, decompression and zone-map cross-check run on
+/// first access, so a selective scan only pays for the blocks its
+/// ScanSpec fails to prune. A block that fails its deferred decode
+/// presents as empty and surfaces the error through
+/// TweetTable::LazyDecodeStatus(). Delta files are folded in eagerly
+/// (they are small and must be re-routed row-by-row), matching
+/// ReadDatasetFiles row order exactly.
+Result<MappedDataset> MapDatasetFiles(const std::string& path,
+                                      Env* env = nullptr);
+
+/// Storage accounting for one dataset as installed on disk.
+struct DatasetDescription {
+  uint64_t generation = 0;
+  uint64_t next_delta_seq = 0;
+  struct FileEntry {
+    std::string label;       ///< "shard-<key>" or "delta-<seq>"
+    uint64_t generation = 0; ///< generation the file was born under
+    uint64_t rows = 0;
+    uint64_t bytes = 0;      ///< on-disk file size
+  };
+  std::vector<FileEntry> shards;
+  std::vector<FileEntry> deltas;
+  uint64_t total_rows = 0;
+  uint64_t shard_bytes = 0;
+  uint64_t delta_bytes = 0;
+  uint64_t manifest_bytes = 0;
+  double compression_ratio = 0.0;  ///< 24 B/row raw / total on-disk bytes
+
+  /// Multi-line human-readable rendering: per-shard and per-generation
+  /// row counts, delta backlog, on-disk bytes and the compression ratio.
+  std::string ToString() const;
+};
+
+/// Reads the installed manifest and sizes every file it references.
+Result<DatasetDescription> DescribeDataset(const std::string& path,
+                                           Env* env = nullptr);
 
 }  // namespace twimob::tweetdb
 

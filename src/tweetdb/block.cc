@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/logging.h"
 #include "tweetdb/column.h"
 #include "tweetdb/encoding.h"
 
@@ -129,6 +130,21 @@ Result<Block> Block::Decode(std::string_view* src) {
         decode_coords(src->substr(0, sizes[3]), &block.lon_fixed_));
     src->remove_prefix(sizes[3]);
   }
+  return block;
+}
+
+Block Block::FromColumns(std::vector<uint64_t> user_ids,
+                         std::vector<int64_t> timestamps,
+                         std::vector<int32_t> lat_fixed,
+                         std::vector<int32_t> lon_fixed) {
+  TWIMOB_DCHECK(user_ids.size() == timestamps.size() &&
+                user_ids.size() == lat_fixed.size() &&
+                user_ids.size() == lon_fixed.size());
+  Block block;
+  block.user_ids_ = std::move(user_ids);
+  block.timestamps_ = std::move(timestamps);
+  block.lat_fixed_ = std::move(lat_fixed);
+  block.lon_fixed_ = std::move(lon_fixed);
   return block;
 }
 

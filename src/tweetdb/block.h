@@ -59,6 +59,14 @@ class Block {
   /// Decodes one block from the front of `*src`.
   static Result<Block> Decode(std::string_view* src);
 
+  /// Assembles a block directly from its four columns (all the same length
+  /// — DCHECK-enforced). Used by the v6 compressed-payload decoder
+  /// (block_compression.h), which reconstructs columns wholesale.
+  static Block FromColumns(std::vector<uint64_t> user_ids,
+                           std::vector<int64_t> timestamps,
+                           std::vector<int32_t> lat_fixed,
+                           std::vector<int32_t> lon_fixed);
+
   /// Stable in-place sort of the rows by (user, time).
   void SortByUserTime();
 

@@ -94,7 +94,9 @@ Status IngestWriter::AppendBatch(const std::vector<Tweet>& batch) {
     TWIMOB_RETURN_IF_ERROR(delta.Append(t));
   }
   delta.SealActive();
-  const std::string encoded = EncodeTable(delta);
+  // Deltas stay uncompressed (append latency over density); compaction
+  // rewrites their rows into compressed sealed shards.
+  const std::string encoded = EncodeTable(delta, /*compress=*/false);
 
   // The commit sequence (delta file, then manifest) runs under the commit
   // mutex so appends serialise with each other and with a compaction's

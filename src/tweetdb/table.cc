@@ -56,8 +56,8 @@ std::vector<Tweet> TweetTable::ToVector() const {
 
 size_t TweetTable::CountDistinctUsers() const {
   std::unordered_set<uint64_t> users;
-  for (const StoredBlock& sb : blocks_) {
-    for (uint64_t u : sb.block.user_ids()) users.insert(u);
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    for (uint64_t u : block(b).user_ids()) users.insert(u);
   }
   for (uint64_t u : active_.user_ids()) users.insert(u);
   return users.size();
@@ -146,7 +146,7 @@ std::pair<size_t, size_t> TweetTable::LowerBoundUser(uint64_t user) const {
     }
   }
   for (size_t b = lo; b < blocks_.size(); ++b) {
-    const std::vector<uint64_t>& users = blocks_[b].block.user_ids();
+    const std::vector<uint64_t>& users = block(b).user_ids();
     auto it = std::lower_bound(users.begin(), users.end(), user);
     if (it != users.end()) {
       return {b, static_cast<size_t>(it - users.begin())};
@@ -163,6 +163,23 @@ void TweetTable::AdoptSealedBlock(Block block) {
   sb.block = std::move(block);
   blocks_.push_back(std::move(sb));
   sorted_ = false;
+}
+
+void TweetTable::AdoptLazyBlock(BlockStats stats, std::unique_ptr<LazyBlock> lazy) {
+  if (stats.num_rows == 0) return;
+  StoredBlock sb;
+  sb.stats = stats;
+  num_rows_ += stats.num_rows;
+  sb.lazy = std::move(lazy);
+  blocks_.push_back(std::move(sb));
+  sorted_ = false;
+}
+
+Status TweetTable::LazyDecodeStatus() const {
+  for (const StoredBlock& sb : blocks_) {
+    if (sb.lazy != nullptr) TWIMOB_RETURN_IF_ERROR(sb.lazy->status());
+  }
+  return Status::OK();
 }
 
 }  // namespace twimob::tweetdb

@@ -13,6 +13,7 @@
 
 #include "common/thread_pool.h"
 #include "random/rng.h"
+#include "tweetdb/binary_codec.h"
 #include "tweetdb/dataset.h"
 #include "tweetdb/query.h"
 #include "tweetdb/table.h"
@@ -211,6 +212,103 @@ INSTANTIATE_TEST_SUITE_P(RowCounts, FilterKernelDifferentialTest,
 TEST(FilterKernelDifferentialTest, ImplementationNameIsKnown) {
   const std::string name = FilterKernelsImplementation();
   EXPECT_TRUE(name == "avx2" || name == "sse4.2" || name == "scalar") << name;
+}
+
+/// Adversarial zone-map sweep: specs whose boundaries sit EXACTLY on a
+/// block's persisted min/max (user, time, and fixed-point coordinate
+/// bounds) — the values v6 writes into the on-disk zone-map directory and
+/// MayMatchBlock prunes on. A prune decision that is off by one ULP or one
+/// fixed-point step at either edge silently drops matching rows; the
+/// per-row Matches reference is the oracle.
+class ZoneMapBoundaryTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ZoneMapBoundaryTest, BoundarySpecsAgreeWithPerRowReference) {
+  const size_t block_capacity = GetParam();
+  TweetTable table = RandomTable(600, block_capacity, 57 + block_capacity);
+  table.CompactByUserTime();  // tight, sorted zone maps -> maximal pruning
+
+  std::vector<ScanSpec> specs;
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    const BlockStats& stats = table.block_stats(b);
+    // User equality at both edges of the block's user range.
+    ScanSpec min_user;
+    min_user.user_id = stats.min_user;
+    specs.push_back(min_user);
+    ScanSpec max_user;
+    max_user.user_id = stats.max_user;
+    specs.push_back(max_user);
+    // Degenerate time windows touching exactly one zone-map edge: a prune
+    // that treats either bound as exclusive loses the boundary rows.
+    ScanSpec at_max_time;
+    at_max_time.min_time = stats.max_time;
+    at_max_time.max_time = stats.max_time;
+    specs.push_back(at_max_time);
+    ScanSpec at_min_time;
+    at_min_time.min_time = stats.min_time;
+    at_min_time.max_time = stats.min_time;
+    specs.push_back(at_min_time);
+    // A window whose max is one block's min and min is another's max meets
+    // adjacent blocks only at their edges.
+    ScanSpec half_open;
+    half_open.max_time = stats.min_time;
+    specs.push_back(half_open);
+    // The block's own bbox, and degenerate boxes pinching each corner.
+    ScanSpec exact_box;
+    exact_box.bbox = stats.bbox;
+    specs.push_back(exact_box);
+    ScanSpec min_corner;
+    min_corner.bbox = geo::BoundingBox{stats.bbox.min_lat, stats.bbox.min_lon,
+                                       stats.bbox.min_lat, stats.bbox.min_lon};
+    specs.push_back(min_corner);
+    ScanSpec max_corner;
+    max_corner.bbox = geo::BoundingBox{stats.bbox.max_lat, stats.bbox.max_lon,
+                                       stats.bbox.max_lat, stats.bbox.max_lon};
+    specs.push_back(max_corner);
+    // All predicates pinned to the same block's edges at once.
+    ScanSpec combined;
+    combined.user_id = stats.min_user;
+    combined.min_time = stats.min_time;
+    combined.max_time = stats.max_time;
+    combined.bbox = stats.bbox;
+    specs.push_back(combined);
+  }
+
+  for (size_t spec_idx = 0; spec_idx < specs.size(); ++spec_idx) {
+    const ScanSpec& spec = specs[spec_idx];
+    const std::vector<Tweet> expected = BruteForceMatches(table, spec);
+    std::vector<Tweet> scanned;
+    ScanTable(table, spec, [&scanned](const Tweet& t) { scanned.push_back(t); });
+    ASSERT_EQ(expected.size(), scanned.size()) << "spec " << spec_idx;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_TRUE(SameTweet(expected[i], scanned[i]))
+          << "spec " << spec_idx << " row " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockCapacities, ZoneMapBoundaryTest,
+                         ::testing::Values(1, 2, 3, 7, 64, 600));
+
+TEST(ZoneMapBoundaryTest, PersistedZoneMapsPruneExactlyLikeInMemoryOnes) {
+  // A table round-tripped through the v6 codec prunes on StatsFromZoneMap
+  // (reconstructed from the persisted directory); scan statistics and
+  // results must be identical to the in-memory original.
+  TweetTable table = RandomTable(2000, 128, 83);
+  table.CompactByUserTime();
+  auto decoded = DecodeTable(EncodeTable(table));
+  ASSERT_TRUE(decoded.ok());
+
+  for (const ScanSpec& spec : SpecZoo()) {
+    const std::vector<Tweet> expected = BruteForceMatches(table, spec);
+    std::vector<Tweet> scanned;
+    const ScanStatistics mem_stats = ScanTable(
+        table, spec, [](const Tweet&) {});
+    const ScanStatistics disk_stats = ScanTable(
+        *decoded, spec, [&scanned](const Tweet& t) { scanned.push_back(t); });
+    ExpectSameRows(expected, scanned);
+    EXPECT_EQ(mem_stats.blocks_pruned, disk_stats.blocks_pruned);
+    EXPECT_EQ(mem_stats.rows_scanned, disk_stats.rows_scanned);
+  }
 }
 
 TEST(ScanPathsTest, AllFourPathsMatchForEachRowReference) {

@@ -488,6 +488,150 @@ TEST(DatasetRewriteTest, RewriteBumpsGenerationAndRemovesOldFiles) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// v6 zone-map directory + compressed payload corruption properties.
+
+constexpr size_t kV6HeaderBytes = 24;    // 20-byte CRC-covered prefix + CRC32C
+constexpr size_t kV6ZoneMapRecord = 56;  // fixed directory record size
+
+/// Recomputes the header CRC32C after a deliberate header tamper, so a test
+/// reaches the structural validators (flags check) behind the checksum gate.
+void PatchTableHeaderCrc(std::string* bytes) {
+  ASSERT_GE(bytes->size(), kV6HeaderBytes);
+  const uint32_t crc = Crc32c(bytes->data(), kV6HeaderBytes - 4);
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[kV6HeaderBytes - 4 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+}
+
+/// Recomputes the zone-map directory CRC32C after tampering a record, so the
+/// zone-map-vs-payload cross-check (not the directory checksum) is what
+/// rejects the lie.
+void PatchDirectoryCrc(std::string* bytes, size_t num_blocks) {
+  const size_t dir_size = num_blocks * kV6ZoneMapRecord;
+  ASSERT_GE(bytes->size(), kV6HeaderBytes + dir_size + 4);
+  const uint32_t crc = Crc32c(bytes->data() + kV6HeaderBytes, dir_size);
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[kV6HeaderBytes + dir_size + i] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+}
+
+TEST(CorruptionTest, UncompressedEverySingleByteFlipIsCaught) {
+  // Delta files use the uncompressed codec (flags 0); a flip anywhere in
+  // such a file must be caught exactly like in the compressed default
+  // (which EverySingleByteFlipIsCaught sweeps).
+  TweetTable table = SmallTable(30);
+  const std::string bytes = EncodeTable(table, /*compress=*/false);
+  random::Xoshiro256 rng(31);
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string corrupted = bytes;
+    corrupted[pos] ^= static_cast<char>(1 + rng.NextUint64(255));
+    EXPECT_FALSE(DecodeTable(corrupted).ok()) << "flip at " << pos;
+  }
+}
+
+TEST(CorruptionTest, UnknownTableFlagsRejected) {
+  // The flags word admits only kTableFlagCompressed; any future bit must be
+  // rejected up front (with the CRC re-patched so the flags validator, not
+  // the checksum, is what fires).
+  TweetTable table = SmallTable(32);
+  std::string bytes = EncodeTable(table);
+  bytes[8] |= '\x02';  // flags fixed32 follows magic + version
+  PatchTableHeaderCrc(&bytes);
+  auto decoded = DecodeTable(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("unsupported table flags"),
+            std::string::npos);
+}
+
+TEST(CorruptionTest, ZoneMapLieFailsDecodeInsteadOfMispruning) {
+  // A directory record that disagrees with its (CRC-clean) payload must
+  // fail the decode — scans prune on the record, so accepting the block
+  // would let a tampered directory hide rows from queries. The directory
+  // CRC is re-patched: the cross-check itself has to catch the lie.
+  TweetTable table = SmallTable(33);
+  ASSERT_GT(table.num_blocks(), 2u);
+  std::string bytes = EncodeTable(table);
+  bytes[kV6HeaderBytes + 8] ^= '\x7F';  // block 0's min_user field
+  PatchDirectoryCrc(&bytes, table.num_blocks());
+
+  auto strict = DecodeTable(bytes);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("zone-map"), std::string::npos);
+
+  // Salvage drops exactly the lying block: its payload CRC is fine, but the
+  // trusted directory disagrees, so keeping it would misprune.
+  TableSalvageReport report;
+  auto salvaged = DecodeTableSalvage(bytes, &report);
+  ASSERT_TRUE(salvaged.ok());
+  EXPECT_EQ(report.blocks_total, table.num_blocks());
+  EXPECT_EQ(report.blocks_recovered, table.num_blocks() - 1);
+  EXPECT_EQ(report.checksum_failures, 0u);
+  EXPECT_EQ(salvaged->num_rows(),
+            table.num_rows() - table.block(0).num_rows());
+}
+
+TEST(CorruptionTest, UntrustedDirectorySalvageRecoversEveryBlock) {
+  // A directory whose own CRC fails is merely untrusted: strict decode
+  // refuses, but salvage still recovers every CRC-clean block (their
+  // payload checksums vouch for them; the zone-map cross-check is skipped
+  // because there is no trustworthy record to check against).
+  TweetTable table = SmallTable(34);
+  std::string bytes = EncodeTable(table);
+  bytes[kV6HeaderBytes + 3] ^= '\x10';  // inside block 0's record, CRC stale
+
+  auto strict = DecodeTable(bytes);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("zone-map directory checksum"),
+            std::string::npos);
+
+  TableSalvageReport report;
+  auto salvaged = DecodeTableSalvage(bytes, &report);
+  ASSERT_TRUE(salvaged.ok());
+  EXPECT_EQ(report.blocks_recovered, table.num_blocks());
+  EXPECT_EQ(report.checksum_failures, 0u);
+  EXPECT_EQ(salvaged->num_rows(), table.num_rows());
+}
+
+TEST(CorruptionTest, TruncationInsideDirectoryFailsEvenSalvage) {
+  // Without a complete directory the frame region cannot be located, so
+  // salvage returns an empty (truncated) table rather than guessing.
+  TweetTable table = SmallTable(35);
+  const std::string bytes = EncodeTable(table);
+  const auto cut = std::string_view(bytes.data(), kV6HeaderBytes + 10);
+  EXPECT_FALSE(DecodeTable(cut).ok());
+  TableSalvageReport report;
+  auto salvaged = DecodeTableSalvage(cut, &report);
+  ASSERT_TRUE(salvaged.ok());
+  EXPECT_TRUE(report.truncated);
+  EXPECT_EQ(report.blocks_recovered, 0u);
+  EXPECT_EQ(salvaged->num_rows(), 0u);
+}
+
+TEST(CorruptionTest, CompressedAndUncompressedDecodeToTheSameTable) {
+  // The two codecs are different encodings of the same table: every row,
+  // block boundary and stats value must agree.
+  TweetTable table = SmallTable(36);
+  auto compressed = DecodeTable(EncodeTable(table, /*compress=*/true));
+  auto plain = DecodeTable(EncodeTable(table, /*compress=*/false));
+  ASSERT_TRUE(compressed.ok());
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(compressed->num_blocks(), plain->num_blocks());
+  ASSERT_EQ(compressed->num_rows(), plain->num_rows());
+  for (size_t b = 0; b < compressed->num_blocks(); ++b) {
+    const Block& cb = compressed->block(b);
+    const Block& pb = plain->block(b);
+    ASSERT_EQ(cb.num_rows(), pb.num_rows());
+    for (size_t i = 0; i < cb.num_rows(); ++i) {
+      EXPECT_EQ(cb.user_ids()[i], pb.user_ids()[i]);
+      EXPECT_EQ(cb.timestamps()[i], pb.timestamps()[i]);
+      EXPECT_EQ(cb.lat_fixed()[i], pb.lat_fixed()[i]);
+      EXPECT_EQ(cb.lon_fixed()[i], pb.lon_fixed()[i]);
+    }
+  }
+}
+
 TEST(CorruptionTest, BlockDecodeRejectsHugeRowCountClaims) {
   // A block header claiming 2^60 rows must fail fast, not allocate.
   std::string bytes;
