@@ -31,9 +31,11 @@
 #include "common/string_util.h"
 #include "random/rng.h"
 #include "serve/query_service.h"
+#include "serve/refresh_supervisor.h"
 #include "serve/snapshot_catalog.h"
 #include "synth/tweet_generator.h"
 #include "tweetdb/binary_codec.h"
+#include "tweetdb/storage_env.h"
 
 namespace twimob {
 namespace {
@@ -450,6 +452,112 @@ int Run(const char* json_path) {
               refresh_invariant ? "IDENTICAL (contract holds)"
                                 : "DIFFERENT (BUG)");
 
+  // --- Resilience under a refresh brownout. -----------------------------
+  // A twin catalog reads through a FaultInjectionEnv whose schedule fails
+  // every refresh (a storage brownout) while an admission-limited service
+  // is hammered: queries keep serving off the installed snapshot (p99
+  // measured under the brownout), overload sheds typed kUnavailable, the
+  // supervisor's breaker opens, and once the schedule clears the catalog
+  // must report fresh again within a bounded number of probe steps.
+  std::fprintf(stderr, "[perf_server] resilience brownout...\n");
+  tweetdb::FaultInjectionEnv fault_env(tweetdb::Env::Default(),
+                                       bench::BenchSeed());
+  serve::CatalogOptions fault_options = options;
+  fault_options.env = &fault_env;
+  auto fault_catalog = serve::SnapshotCatalog::Open(path, fault_options);
+  if (!fault_catalog.ok()) {
+    std::fprintf(stderr, "fault open failed: %s\n",
+                 fault_catalog.status().ToString().c_str());
+    return 1;
+  }
+  serve::SupervisorOptions sup_options;
+  sup_options.backoff.jitter_seed = bench::BenchSeed();
+  sup_options.poll_interval_ms = 2.0;
+  serve::RefreshSupervisor supervisor(fault_catalog->get(), sup_options);
+  {
+    tweetdb::FaultInjectionEnv::FaultSchedule brownout;
+    brownout.windows.push_back({
+        tweetdb::FaultInjectionEnv::FaultKind::kTransient, 0,
+        ~uint64_t{0}, 0.0});
+    fault_env.set_schedule(brownout);
+  }
+  serve::ServiceLimits limits;
+  limits.max_inflight = 2;
+  const serve::QueryService limited(fault_catalog->get(), limits);
+
+  supervisor.Start();
+  constexpr int kBrownoutThreads = 4;
+  constexpr int kBrownoutPerThread = 8000;
+  std::atomic<uint64_t> brownout_served{0};
+  std::atomic<uint64_t> brownout_shed{0};
+  std::atomic<bool> brownout_ok{true};
+  std::vector<std::vector<double>> brownout_us(kBrownoutThreads);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kBrownoutThreads; ++t) {
+      threads.emplace_back([&, t] {
+        random::Xoshiro256 qrng(6000 + t);
+        auto& samples = brownout_us[t];
+        samples.reserve(kBrownoutPerThread);
+        for (int i = 0; i < kBrownoutPerThread; ++i) {
+          const geo::LatLon center{qrng.NextUniform(-44.0, -10.0),
+                                   qrng.NextUniform(113.0, 154.0)};
+          const double radius = qrng.NextUniform(1000.0, 20000.0);
+          const Clock::time_point t0 = Clock::now();
+          const auto answer = limited.Population(center, radius);
+          if (answer.ok()) {
+            samples.push_back(SecondsSince(t0) * 1e6);
+            brownout_served.fetch_add(1, std::memory_order_relaxed);
+          } else if (answer.status().IsUnavailable()) {
+            brownout_shed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            brownout_ok.store(false, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  supervisor.Stop();
+  const serve::HealthSnapshot brownout_health = supervisor.health();
+  const bool breaker_opened =
+      brownout_health.breaker != serve::BreakerState::kClosed ||
+      brownout_health.skipped_steps > 0;
+  std::vector<double> brownout_all;
+  for (auto& v : brownout_us) {
+    brownout_all.insert(brownout_all.end(), v.begin(), v.end());
+  }
+  const LatencySummary brownout_lat = Summarize(brownout_all);
+  const uint64_t brownout_attempts =
+      brownout_served.load() + brownout_shed.load();
+  const double shed_rate =
+      brownout_attempts > 0
+          ? static_cast<double>(brownout_shed.load()) / brownout_attempts
+          : 0.0;
+
+  // The brownout clears: probe steps until the supervisor reports fresh.
+  fault_env.set_schedule({});
+  const Clock::time_point recover_start = Clock::now();
+  int recover_steps = 0;
+  bool recovered = false;
+  for (; recover_steps < 20 && !recovered; ++recover_steps) {
+    (void)supervisor.Step();
+    recovered = supervisor.health().fresh();
+  }
+  const double recover_ms = SecondsSince(recover_start) * 1e3;
+  const bool resilience_ok = brownout_ok.load() && breaker_opened && recovered;
+  std::printf("RESILIENCE: brownout %llu served / %llu shed (%.1f%% shed, "
+              "p99 %.2f us), %llu refresh failures, breaker %s; recovered "
+              "fresh in %d post-fault steps (%.1f ms) %s\n",
+              static_cast<unsigned long long>(brownout_served.load()),
+              static_cast<unsigned long long>(brownout_shed.load()),
+              shed_rate * 100.0, brownout_lat.p99_us,
+              static_cast<unsigned long long>(brownout_health.failures),
+              breaker_opened ? "OPENED (load was real)" : "stayed closed",
+              recover_steps, recover_ms,
+              resilience_ok ? "(contract holds)" : "(BUG)");
+  fault_catalog->reset();  // drop the brownout twin's pin
+
   const serve::ServiceStats stats = service.stats();
   const uint64_t total_queries = stats.population_queries +
                                  stats.point_queries + stats.od_queries +
@@ -499,6 +607,20 @@ int Run(const char* json_path) {
       .Field("refresh_invariant", refresh_invariant)
       .Field("refresh_swaps", swaps.load())
       .EndObject();
+  json.BeginObject("resilience")
+      .Field("brownout_served", brownout_served.load())
+      .Field("brownout_shed", brownout_shed.load())
+      .Field("shed_rate", shed_rate)
+      .Field("refresh_failures", brownout_health.failures)
+      .Field("breaker_skipped_steps", brownout_health.skipped_steps)
+      .Field("breaker_opened", breaker_opened)
+      .Field("recover_steps", static_cast<uint64_t>(recover_steps))
+      .Field("recover_ms", recover_ms)
+      .Field("recovered_fresh", recovered)
+      .EndObject();
+  json.BeginObject("latency_under_brownout");
+  EmitLatency(json, "population", brownout_lat);
+  json.EndObject();
   json.Field("total_queries", total_queries);
   json.EndObject();
   if (json_path != nullptr) {
@@ -512,7 +634,7 @@ int Run(const char* json_path) {
   }
 
   return (thread_invariant && refresh_invariant && batch_identical &&
-          total_queries >= 1000000)
+          resilience_ok && total_queries >= 1000000)
              ? 0
              : 1;
 }

@@ -22,6 +22,7 @@
 #include "core/analysis_snapshot.h"
 #include "core/report.h"
 #include "serve/query_service.h"
+#include "serve/refresh_supervisor.h"
 #include "serve/snapshot_catalog.h"
 #include "tweetdb/binary_codec.h"
 #include "tweetdb/ingest.h"
@@ -161,6 +162,12 @@ int main(int argc, char** argv) {
             << (*catalog)->Current()->dataset().num_rows()
             << " rows (generation " << (*catalog)->current_generation()
             << ", ingest seq " << (*catalog)->current_ingest_seq() << ")\n";
+
+  // The supervised refresher is what a long-running server would Start();
+  // one manual step here reports the live loop's health line.
+  serve::RefreshSupervisor supervisor(catalog->get());
+  (void)supervisor.Step();
+  std::cout << "  " << supervisor.health().ToString() << "\n";
 
   auto described = tweetdb::DescribeDataset(path);
   if (!described.ok()) {

@@ -22,6 +22,8 @@ enum class StatusCode : int {
   kUnimplemented = 7,
   kInternal = 8,
   kUnavailable = 9,
+  kDeadlineExceeded = 10,
+  kResourceExhausted = 11,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -83,6 +85,12 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   /// True iff the status is OK.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -106,6 +114,14 @@ class Status {
   /// intermittent I/O error) that callers may retry; see
   /// tweetdb::WriteOptions for the storage layer's retry budget.
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  /// DeadlineExceeded marks a request abandoned at a safe block boundary
+  /// because its serve::Deadline expired; no partial answer is returned.
+  bool IsDeadlineExceeded() const { return code_ == StatusCode::kDeadlineExceeded; }
+  /// ResourceExhausted marks a *sustained* capacity failure — a full disk
+  /// (ENOSPC) or an admission limit — that retrying immediately will not
+  /// fix, unlike kUnavailable. The ingest writer parks itself in degraded
+  /// mode on this code; see tweetdb::IngestWriter.
+  bool IsResourceExhausted() const { return code_ == StatusCode::kResourceExhausted; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,29 +1,87 @@
 #include "serve/query_service.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
+
+#include "common/time_util.h"
 
 namespace twimob::serve {
 
-QueryService::QueryService(
-    std::shared_ptr<const core::AnalysisSnapshot> snapshot)
-    : fixed_(std::move(snapshot)) {}
+namespace {
 
-QueryService::QueryService(const SnapshotCatalog* catalog)
-    : catalog_(catalog) {}
+/// Points per block between deadline checks in PointEstimateBatch. Blocks
+/// are whole SIMD-kernel batches, so blocked answers stay bit-identical to
+/// single-shot ones (per-point independence; see PointBatchAssigner).
+constexpr size_t kDeadlineBlockPoints = 256;
+
+}  // namespace
+
+Deadline Deadline::After(double seconds) {
+  return Deadline(MonotonicSeconds() + seconds);
+}
+
+bool Deadline::HasExpired() const {
+  if (unbounded()) return false;
+  return MonotonicSeconds() >= deadline_s_;
+}
+
+QueryService::AdmissionSlot::AdmissionSlot(const QueryService& service)
+    : service_(service), admitted_(true) {
+  if (service_.limits_.max_inflight == 0) return;  // unlimited
+  const uint64_t n =
+      service_.inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (n > service_.limits_.max_inflight) {
+    service_.inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    service_.shed_queries_.fetch_add(1, std::memory_order_relaxed);
+    admitted_ = false;
+    return;
+  }
+  counted_ = true;
+}
+
+QueryService::AdmissionSlot::~AdmissionSlot() {
+  if (counted_) service_.inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+QueryService::QueryService(
+    std::shared_ptr<const core::AnalysisSnapshot> snapshot, ServiceLimits limits)
+    : fixed_(std::move(snapshot)), limits_(limits) {}
+
+QueryService::QueryService(const SnapshotCatalog* catalog, ServiceLimits limits)
+    : catalog_(catalog), limits_(limits) {}
 
 std::shared_ptr<const core::AnalysisSnapshot> QueryService::Acquire() const {
   if (fixed_ != nullptr) return fixed_;
   return catalog_->Current();
 }
 
-Result<PopulationAnswer> QueryService::Population(const geo::LatLon& center,
-                                                  double radius_m) const {
+Status QueryService::ShedStatus() const {
+  return Status::Unavailable(
+      "query shed: service admission limit reached; retry with backoff");
+}
+
+Status QueryService::DeadlinePassed(const char* what) const {
+  deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  return Status::DeadlineExceeded(std::string(what) +
+                                  " query: deadline expired before completion");
+}
+
+Result<PopulationAnswer> QueryService::Population(
+    const geo::LatLon& center, double radius_m,
+    const QueryOptions& options) const {
+  const AdmissionSlot slot(*this);
+  if (!slot.admitted()) return ShedStatus();
   if (!(radius_m > 0.0)) {
     return Status::InvalidArgument("population query: radius must be > 0");
   }
+  if (options.deadline.HasExpired()) return DeadlinePassed("population");
   const std::shared_ptr<const core::AnalysisSnapshot> snapshot = Acquire();
   PopulationAnswer answer;
   answer.unique_users = snapshot->estimator().CountUniqueUsers(center, radius_m);
+  // Between the two radius scans: the only safe abandon point — the answer
+  // either carries both counts or neither.
+  if (options.deadline.HasExpired()) return DeadlinePassed("population");
   answer.tweets = snapshot->estimator().CountTweets(center, radius_m);
   population_queries_.fetch_add(1, std::memory_order_relaxed);
   return answer;
@@ -46,7 +104,11 @@ void QueryService::FillPointAnswer(const core::AnalysisSnapshot& snapshot,
 }
 
 Result<PointAnswer> QueryService::PointEstimate(size_t scale,
-                                                const geo::LatLon& pos) const {
+                                                const geo::LatLon& pos,
+                                                const QueryOptions& options) const {
+  const AdmissionSlot slot(*this);
+  if (!slot.admitted()) return ShedStatus();
+  if (options.deadline.HasExpired()) return DeadlinePassed("point");
   const std::shared_ptr<const core::AnalysisSnapshot> snapshot = Acquire();
   if (scale >= snapshot->specs().size()) {
     return Status::InvalidArgument("point query: no such scale");
@@ -63,7 +125,11 @@ Result<PointAnswer> QueryService::PointEstimate(size_t scale,
 }
 
 Result<std::vector<PointAnswer>> QueryService::PointEstimateBatch(
-    size_t scale, const double* lats, const double* lons, size_t n) const {
+    size_t scale, const double* lats, const double* lons, size_t n,
+    const QueryOptions& options) const {
+  const AdmissionSlot slot(*this);
+  if (!slot.admitted()) return ShedStatus();
+  if (options.deadline.HasExpired()) return DeadlinePassed("point batch");
   const std::shared_ptr<const core::AnalysisSnapshot> snapshot = Acquire();
   if (scale >= snapshot->specs().size()) {
     return Status::InvalidArgument("point batch query: no such scale");
@@ -71,7 +137,17 @@ Result<std::vector<PointAnswer>> QueryService::PointEstimateBatch(
   const core::ScaleSpec& spec = snapshot->specs()[scale];
   const PointBatchAssigner assigner(spec.areas, spec.radius_m);
   std::vector<PointAssignment> assignments(n);
-  assigner.AssignBatch(lats, lons, n, assignments.data());
+  if (options.deadline.unbounded()) {
+    assigner.AssignBatch(lats, lons, n, assignments.data());
+  } else {
+    // Block-granular deadline checks; each block is a whole kernel batch,
+    // so the assignments equal the single-shot call's bit for bit.
+    for (size_t off = 0; off < n; off += kDeadlineBlockPoints) {
+      if (options.deadline.HasExpired()) return DeadlinePassed("point batch");
+      const size_t len = std::min(kDeadlineBlockPoints, n - off);
+      assigner.AssignBatch(lats + off, lons + off, len, assignments.data() + off);
+    }
+  }
   std::vector<PointAnswer> answers(n);
   for (size_t i = 0; i < n; ++i) {
     FillPointAnswer(*snapshot, scale, assignments[i], &answers[i]);
@@ -80,8 +156,11 @@ Result<std::vector<PointAnswer>> QueryService::PointEstimateBatch(
   return answers;
 }
 
-Result<OdFlowAnswer> QueryService::OdFlow(size_t scale, size_t src,
-                                          size_t dst) const {
+Result<OdFlowAnswer> QueryService::OdFlow(size_t scale, size_t src, size_t dst,
+                                          const QueryOptions& options) const {
+  const AdmissionSlot slot(*this);
+  if (!slot.admitted()) return ShedStatus();
+  if (options.deadline.HasExpired()) return DeadlinePassed("OD-flow");
   const std::shared_ptr<const core::AnalysisSnapshot> snapshot = Acquire();
   const auto& tables = snapshot->serving_tables();
   if (tables.empty()) {
@@ -102,7 +181,11 @@ Result<OdFlowAnswer> QueryService::OdFlow(size_t scale, size_t src,
 }
 
 Result<PredictAnswer> QueryService::Predict(size_t scale, size_t model,
-                                            size_t src, size_t dst) const {
+                                            size_t src, size_t dst,
+                                            const QueryOptions& options) const {
+  const AdmissionSlot slot(*this);
+  if (!slot.admitted()) return ShedStatus();
+  if (options.deadline.HasExpired()) return DeadlinePassed("predict");
   const std::shared_ptr<const core::AnalysisSnapshot> snapshot = Acquire();
   const auto& tables = snapshot->serving_tables();
   if (tables.empty()) {
@@ -131,6 +214,8 @@ ServiceStats QueryService::stats() const {
   s.point_queries = point_queries_.load(std::memory_order_relaxed);
   s.od_queries = od_queries_.load(std::memory_order_relaxed);
   s.predict_queries = predict_queries_.load(std::memory_order_relaxed);
+  s.shed_queries = shed_queries_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   return s;
 }
 

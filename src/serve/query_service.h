@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -51,6 +52,56 @@ struct ServiceStats {
   uint64_t point_queries = 0;  ///< points assigned (batch counts each point)
   uint64_t od_queries = 0;
   uint64_t predict_queries = 0;
+  uint64_t shed_queries = 0;       ///< rejected at admission (kUnavailable)
+  uint64_t deadline_exceeded = 0;  ///< abandoned at a deadline check
+};
+
+/// A wall-clock budget for one query. Deadlines are checked only at safe
+/// block boundaries — between the radius scans of a population query and
+/// between fixed-size blocks of a point batch — never mid-computation, so
+/// a query that completes returns exactly the answer an unbounded query
+/// would (bit-identical), and an expired one returns
+/// Status::DeadlineExceeded with no partial result.
+class Deadline {
+ public:
+  /// No deadline (the default): HasExpired() is always false.
+  Deadline() = default;
+
+  /// Expires `seconds` from now (monotonic clock).
+  static Deadline After(double seconds);
+
+  /// Already expired — deterministic shedding for tests and chaos sweeps.
+  static Deadline AlreadyExpired() {
+    return Deadline(-std::numeric_limits<double>::infinity());
+  }
+
+  /// True when no deadline was set.
+  bool unbounded() const {
+    return deadline_s_ == std::numeric_limits<double>::infinity();
+  }
+
+  /// True once the budget is spent; always false when unbounded.
+  bool HasExpired() const;
+
+ private:
+  explicit Deadline(double deadline_s) : deadline_s_(deadline_s) {}
+
+  double deadline_s_ = std::numeric_limits<double>::infinity();
+};
+
+/// Per-request knobs, accepted by every query method.
+struct QueryOptions {
+  Deadline deadline;
+};
+
+/// Construction-time capacity limits of a QueryService.
+struct ServiceLimits {
+  /// Maximum concurrently admitted queries; 0 = unlimited. A query beyond
+  /// the limit is shed with Status::Unavailable before it touches the
+  /// snapshot — the caller should retry after backoff, exactly like a
+  /// transient storage fault. Admission is two relaxed-order atomic ops;
+  /// the query path stays lock-free.
+  size_t max_inflight = 0;
 };
 
 /// Embedded concurrent query service over analysis snapshots.
@@ -67,39 +118,53 @@ struct ServiceStats {
 /// Point queries come in an unbatched form and a SoA-batched form; the
 /// batched form routes through the SIMD geodesic kernels and is
 /// bit-identical to the unbatched one (see PointBatchAssigner).
+///
+/// Overload protection: a ServiceLimits admission cap sheds excess
+/// concurrent queries with kUnavailable, and a per-request Deadline
+/// abandons slow queries with kDeadlineExceeded at safe block boundaries
+/// only — an answer the service does return is always bit-identical to
+/// the unlimited, unbounded one. Both mechanisms are atomics-only; the
+/// query path stays lock-free.
 class QueryService {
  public:
   /// Serves one fixed snapshot (never refreshed). The snapshot must not be
   /// null.
-  explicit QueryService(std::shared_ptr<const core::AnalysisSnapshot> snapshot);
+  explicit QueryService(std::shared_ptr<const core::AnalysisSnapshot> snapshot,
+                        ServiceLimits limits = {});
 
   /// Serves `catalog->Current()` per request; Refresh() on the catalog
   /// atomically changes which snapshot later queries see. The catalog must
   /// outlive the service.
-  explicit QueryService(const SnapshotCatalog* catalog);
+  explicit QueryService(const SnapshotCatalog* catalog, ServiceLimits limits = {});
 
   /// Distinct users and tweets within `radius_m` of `center` (the paper's
-  /// population primitive at caller-chosen ε).
-  Result<PopulationAnswer> Population(const geo::LatLon& center,
-                                      double radius_m) const;
+  /// population primitive at caller-chosen ε). The deadline is checked
+  /// before each of the two radius scans — an answer that comes back is
+  /// never partial.
+  Result<PopulationAnswer> Population(const geo::LatLon& center, double radius_m,
+                                      const QueryOptions& options = {}) const;
 
   /// Maps one point to its area at scale `scale` (index into specs()).
-  Result<PointAnswer> PointEstimate(size_t scale, const geo::LatLon& pos) const;
+  Result<PointAnswer> PointEstimate(size_t scale, const geo::LatLon& pos,
+                                    const QueryOptions& options = {}) const;
 
   /// Batched point queries in SoA form: the request-batching fast path.
-  /// Bit-identical to PointEstimate on each point.
-  Result<std::vector<PointAnswer>> PointEstimateBatch(size_t scale,
-                                                      const double* lats,
-                                                      const double* lons,
-                                                      size_t n) const;
+  /// Bit-identical to PointEstimate on each point. With a bounded deadline
+  /// the batch runs in fixed-size blocks with a deadline check between
+  /// them; per-point independence (see PointBatchAssigner) keeps the
+  /// blocked answers bit-identical to the single-shot ones.
+  Result<std::vector<PointAnswer>> PointEstimateBatch(
+      size_t scale, const double* lats, const double* lons, size_t n,
+      const QueryOptions& options = {}) const;
 
   /// Observed Twitter flow from area `src` to `dst` at scale `scale`.
-  Result<OdFlowAnswer> OdFlow(size_t scale, size_t src, size_t dst) const;
+  Result<OdFlowAnswer> OdFlow(size_t scale, size_t src, size_t dst,
+                              const QueryOptions& options = {}) const;
 
   /// Flow predicted by fitted model `model` (paper column order: 0 =
   /// Gravity 4P, 1 = Gravity 2P, 2 = Radiation) for (`src`, `dst`).
   Result<PredictAnswer> Predict(size_t scale, size_t model, size_t src,
-                                size_t dst) const;
+                                size_t dst, const QueryOptions& options = {}) const;
 
   /// The snapshot a query issued now would answer from.
   std::shared_ptr<const core::AnalysisSnapshot> snapshot() const {
@@ -110,7 +175,30 @@ class QueryService {
   ServiceStats stats() const;
 
  private:
+  /// RAII admission token: counts the query in-flight for its duration, or
+  /// reports it shed when the service is over its limit. Atomics only — no
+  /// locks on the query path.
+  class AdmissionSlot {
+   public:
+    explicit AdmissionSlot(const QueryService& service);
+    ~AdmissionSlot();
+    AdmissionSlot(const AdmissionSlot&) = delete;
+    AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+    bool admitted() const { return admitted_; }
+
+   private:
+    const QueryService& service_;
+    bool admitted_;
+    bool counted_ = false;
+  };
+
   std::shared_ptr<const core::AnalysisSnapshot> Acquire() const;
+
+  /// The kUnavailable shed error (admission limit reached).
+  Status ShedStatus() const;
+
+  /// Records and returns the kDeadlineExceeded error for `what`.
+  Status DeadlinePassed(const char* what) const;
 
   /// Fills the population fields of `answer` from the snapshot's served
   /// estimates when the point was assigned.
@@ -120,11 +208,15 @@ class QueryService {
 
   std::shared_ptr<const core::AnalysisSnapshot> fixed_;
   const SnapshotCatalog* catalog_ = nullptr;
+  const ServiceLimits limits_;
 
   mutable std::atomic<uint64_t> population_queries_{0};
   mutable std::atomic<uint64_t> point_queries_{0};
   mutable std::atomic<uint64_t> od_queries_{0};
   mutable std::atomic<uint64_t> predict_queries_{0};
+  mutable std::atomic<uint64_t> shed_queries_{0};
+  mutable std::atomic<uint64_t> deadline_exceeded_{0};
+  mutable std::atomic<uint64_t> inflight_{0};
 };
 
 /// Request-batching front end for point queries: accumulates points into

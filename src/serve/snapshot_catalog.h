@@ -91,6 +91,11 @@ class SnapshotCatalog {
 
   const std::string& path() const { return path_; }
 
+  /// The storage environment the catalog reads through (options.env or
+  /// Env::Default()). The refresh supervisor peeks the manifest head and
+  /// paces its backoff through this.
+  tweetdb::Env& storage_env() const { return env(); }
+
  private:
   SnapshotCatalog(std::string path, CatalogOptions options)
       : path_(std::move(path)), options_(options) {}

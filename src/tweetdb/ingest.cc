@@ -106,20 +106,33 @@ Status IngestWriter::AppendBatch(const std::vector<Tweet>& batch) {
   summary.generation = manifest_.generation;
   summary.seq = manifest_.next_delta_seq;
   FillSummaryFromTable(delta, &summary);
+  const std::string delta_path =
+      DeltaFilePath(path_, summary.generation, summary.seq);
   // The delta file first: the installed manifest does not reference it
   // yet, so a crash after this write leaves only an orphan the retried
   // append atomically replaces (same seq — the cursor only advances at the
   // manifest commit below).
-  TWIMOB_RETURN_IF_ERROR(
-      AtomicWriteFile(env(), DeltaFilePath(path_, summary.generation, summary.seq),
-                      encoded, options_.write));
+  if (Status s = AtomicWriteFile(env(), delta_path, encoded, options_.write);
+      !s.ok()) {
+    if (s.IsResourceExhausted()) EnterDegradedLocked(s, {delta_path});
+    return s;
+  }
   Manifest next = manifest_;
   next.format_version = kBinaryFormatVersion;
   next.deltas.push_back(summary);
   next.next_delta_seq = summary.seq + 1;
-  TWIMOB_RETURN_IF_ERROR(
-      AtomicWriteFile(env(), path_, EncodeManifest(next), options_.write));
+  if (Status s = AtomicWriteFile(env(), path_, EncodeManifest(next), options_.write);
+      !s.ok()) {
+    // The orphan delta is uncommitted — sweeping it frees its space.
+    if (s.IsResourceExhausted()) EnterDegradedLocked(s, {delta_path});
+    return s;
+  }
   manifest_ = std::move(next);
+  if (health_.degraded) {
+    // The probe append landed: the disk has space again.
+    health_.degraded = false;
+    ++health_.probe_successes;
+  }
   // Sweep files whose removal an earlier commit deferred and whose pins
   // have since been released.
   for (const std::string& f : TakeUnpinnedDeferredFiles(path_)) {
@@ -137,6 +150,13 @@ Result<bool> IngestWriter::Compact(ThreadPool* pool) {
   Manifest base;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (health_.degraded) {
+      // Parked: compaction would write a whole generation to a full disk.
+      // Appends are the probe; once one lands, compaction resumes.
+      return Status::ResourceExhausted(
+          "ingest writer is degraded (disk full): compaction parked until an "
+          "append probe succeeds; last error: " + health_.last_error.ToString());
+    }
     base = manifest_;
   }
   if (base.deltas.empty()) return false;
@@ -173,11 +193,25 @@ Result<bool> IngestWriter::Compact(ThreadPool* pool) {
   // commit mutex too; a crashed compaction's leftovers are atomically
   // replaced by the retry.
   const uint64_t new_generation = base.generation + 1;
+  std::vector<std::string> written;
+  written.reserve(merged.num_shards());
   for (size_t i = 0; i < merged.num_shards(); ++i) {
     merged.mutable_shard(i).SealActive();
-    TWIMOB_RETURN_IF_ERROR(AtomicWriteFile(
-        env(), ShardFilePath(path_, new_generation, merged.shard_key(i)),
-        EncodeTable(merged.shard(i)), options_.write));
+    const std::string shard_path =
+        ShardFilePath(path_, new_generation, merged.shard_key(i));
+    if (Status s = AtomicWriteFile(env(), shard_path, EncodeTable(merged.shard(i)),
+                                   options_.write);
+        !s.ok()) {
+      if (s.IsResourceExhausted()) {
+        // The half-written next generation is uncommitted scratch — sweep
+        // it so the emergency reclaim actually frees the merge's worth of
+        // space, then park the writer.
+        std::lock_guard<std::mutex> lock(mu_);
+        EnterDegradedLocked(s, std::move(written));
+      }
+      return s;
+    }
+    written.push_back(shard_path);
   }
 
   // Commit phase: install the compacted manifest, carrying forward every
@@ -192,8 +226,12 @@ Result<bool> IngestWriter::Compact(ThreadPool* pool) {
   for (const DeltaSummary& d : manifest_.deltas) {
     if (d.seq > last_merged_seq) next.deltas.push_back(d);
   }
-  TWIMOB_RETURN_IF_ERROR(
-      AtomicWriteFile(env(), path_, EncodeManifest(next), options_.write));
+  if (Status s = AtomicWriteFile(env(), path_, EncodeManifest(next), options_.write);
+      !s.ok()) {
+    // Nothing committed: the g+1 shard files are unreferenced scratch.
+    if (s.IsResourceExhausted()) EnterDegradedLocked(s, std::move(written));
+    return s;
+  }
 
   std::vector<std::string> removable =
       ManifestFileSetDifference(path_, manifest_, next);
@@ -210,8 +248,39 @@ Result<bool> IngestWriter::Compact(ThreadPool* pool) {
 }
 
 Result<bool> IngestWriter::MaybeCompact(ThreadPool* pool) {
+  if (degraded()) return false;  // parked; appends are the probe
   if (pending_deltas() < options_.compact_trigger) return false;
   return Compact(pool);
+}
+
+void IngestWriter::EnterDegradedLocked(const Status& cause,
+                                       std::vector<std::string> partial_output) {
+  health_.last_error = cause;
+  if (!health_.degraded) {
+    health_.degraded = true;
+    ++health_.degraded_entries;
+  }
+  // Emergency sweep: the failed operation's own uncommitted files first,
+  // then every superseded file whose pins have been released. Pinned
+  // generations stay deferred (TakeUnpinnedDeferredFiles never returns
+  // them), so mapped readers keep their bytes on disk.
+  for (const std::string& f : TakeUnpinnedDeferredFiles(path_)) {
+    partial_output.push_back(f);
+  }
+  for (const std::string& f : partial_output) {
+    if (!env().FileExists(f)) continue;
+    if (env().RemoveFile(f).ok()) ++health_.swept_files;
+  }
+}
+
+IngestHealth IngestWriter::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_;
+}
+
+bool IngestWriter::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_.degraded;
 }
 
 Manifest IngestWriter::manifest() const {

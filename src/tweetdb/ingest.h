@@ -16,6 +16,27 @@
 
 namespace twimob::tweetdb {
 
+/// Health of the single-writer lifecycle. The writer parks itself in a
+/// read-only *degraded* mode when an append or compaction fails with
+/// Status::ResourceExhausted (a full disk / ENOSPC): served snapshots and
+/// the committed manifest are untouched, an emergency sweep frees every
+/// unpinned superseded file, and the next successful append (the probe)
+/// returns the writer to healthy automatically.
+struct IngestHealth {
+  /// True while the writer is parked read-only after ENOSPC.
+  bool degraded = false;
+  /// Times the writer entered degraded mode.
+  uint64_t degraded_entries = 0;
+  /// Append probes that returned the writer to healthy.
+  uint64_t probe_successes = 0;
+  /// Files removed by emergency sweeps (unpinned superseded files plus the
+  /// failed operation's own partial output).
+  uint64_t swept_files = 0;
+  /// The fault that last parked the writer (kept after recovery so
+  /// operators can see what happened; OK if never degraded).
+  Status last_error;
+};
+
 /// Knobs for the incremental-ingest writer.
 struct IngestOptions {
   /// Partition spec of a dataset Open() creates fresh; ignored when the
@@ -64,6 +85,15 @@ struct IngestOptions {
 /// leaves the old manifest installed with every delta intact — compacted
 /// rows are never lost, and the retry rebuilds the next generation from
 /// scratch (fault_injection_test.cc sweeps both paths).
+///
+/// Disk-full degraded mode: a ResourceExhausted failure (ENOSPC) from an
+/// append or compaction parks the writer — `Compact` refuses with
+/// ResourceExhausted and `MaybeCompact` is a no-op — after an emergency
+/// sweep that removes the failed operation's partial output and every
+/// *unpinned* superseded file (pinned and mapped generations are never
+/// touched; their removal stays deferred). `AppendBatch` keeps attempting
+/// and doubles as the recovery probe: the first append that commits
+/// returns the writer to healthy. See health().
 class IngestWriter {
  public:
   /// Opens the dataset at `path` for appending. A missing path is
@@ -76,6 +106,8 @@ class IngestWriter {
 
   /// Appends one batch of validated rows as a delta: writes the delta file,
   /// then commits the manifest recording it. An empty batch is a no-op.
+  /// While degraded this is also the recovery probe: a successful commit
+  /// re-enters healthy mode.
   Status AppendBatch(const std::vector<Tweet>& batch);
 
   /// Merges every committed delta into the next sealed generation. With a
@@ -86,8 +118,16 @@ class IngestWriter {
   Result<bool> Compact(ThreadPool* pool = nullptr);
 
   /// Compacts only when at least `options.compact_trigger` deltas are
-  /// pending — the ingest loop's cheap periodic call.
+  /// pending — the ingest loop's cheap periodic call. Returns false
+  /// without touching storage while the writer is degraded.
   Result<bool> MaybeCompact(ThreadPool* pool = nullptr);
+
+  /// Snapshot of the writer's degraded-mode health (copy; taken under the
+  /// commit mutex).
+  IngestHealth health() const;
+
+  /// True while the writer is parked read-only after ENOSPC.
+  bool degraded() const;
 
   /// Snapshot of the committed manifest (copy; taken under the commit
   /// mutex).
@@ -104,6 +144,14 @@ class IngestWriter {
 
   Env& env() const;
 
+  /// Parks the writer (requires `mu_` held): records `cause`, then runs the
+  /// emergency sweep — removes `partial_output` (the failed operation's
+  /// uncommitted files) and every unpinned deferred file. Pinned
+  /// generations stay deferred; removals of a clearing disk succeed
+  /// because unlink frees space rather than consuming it.
+  void EnterDegradedLocked(const Status& cause,
+                           std::vector<std::string> partial_output);
+
   const std::string path_;
   const IngestOptions options_;
   Env* const env_;
@@ -116,6 +164,8 @@ class IngestWriter {
   /// In-memory mirror of the installed manifest (single-writer invariant:
   /// nothing else commits to `path_` while this writer lives).
   Manifest manifest_;
+  /// Degraded-mode state (guarded by `mu_`).
+  IngestHealth health_;
 };
 
 }  // namespace twimob::tweetdb

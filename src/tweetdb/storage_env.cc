@@ -20,8 +20,14 @@ namespace twimob::tweetdb {
 namespace {
 
 Status ErrnoError(const char* what, const std::string& path) {
-  return Status::IOError(
-      StrFormat("%s %s: %s", what, path.c_str(), std::strerror(errno)));
+  const int err = errno;
+  std::string msg = StrFormat("%s %s: %s", what, path.c_str(), std::strerror(err));
+  // A full disk is a sustained capacity failure, not a generic I/O error:
+  // the ingest writer parks itself in degraded mode on this code.
+  if (err == ENOSPC || err == EDQUOT) {
+    return Status::ResourceExhausted(std::move(msg));
+  }
+  return Status::IOError(std::move(msg));
 }
 
 // ---------------------------------------------------------------------------
@@ -307,15 +313,82 @@ FaultInjectionEnv::FaultInjectionEnv(Env* base, uint64_t seed)
     : base_(base), seed_(seed), rng_(seed) {}
 
 void FaultInjectionEnv::set_plan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
   plan_ = plan;
+  schedule_ = FaultSchedule{};
   operations_ = 0;
   transient_left_ = 0;
   crashed_ = false;
   slept_ms_ = 0.0;
+  injected_latency_ms_ = 0.0;
+  faults_injected_ = 0;
   rng_ = random::Xoshiro256(seed_);
 }
 
+void FaultInjectionEnv::set_schedule(FaultSchedule schedule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = FaultPlan{};
+  schedule_ = std::move(schedule);
+  operations_ = 0;
+  transient_left_ = 0;
+  crashed_ = false;
+  slept_ms_ = 0.0;
+  injected_latency_ms_ = 0.0;
+  faults_injected_ = 0;
+  rng_ = random::Xoshiro256(seed_);
+}
+
+uint64_t FaultInjectionEnv::operations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return operations_;
+}
+
+double FaultInjectionEnv::slept_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slept_ms_;
+}
+
+double FaultInjectionEnv::injected_latency_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_latency_ms_;
+}
+
+uint64_t FaultInjectionEnv::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_injected_;
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+void FaultInjectionEnv::SleepForMs(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slept_ms_ += ms;
+}
+
+FaultInjectionEnv::FaultSchedule FaultInjectionEnv::FaultSchedule::Bursts(
+    FaultKind kind, uint64_t seed, int bursts, uint64_t span_ops,
+    uint64_t max_burst_ops, double latency_ms) {
+  FaultSchedule schedule;
+  random::Xoshiro256 rng(seed);
+  schedule.windows.reserve(bursts > 0 ? static_cast<size_t>(bursts) : 0);
+  for (int i = 0; i < bursts; ++i) {
+    FaultWindow window;
+    window.kind = kind;
+    window.begin_op = span_ops == 0 ? 0 : rng.NextUint64(span_ops);
+    const uint64_t len =
+        max_burst_ops == 0 ? 1 : 1 + rng.NextUint64(max_burst_ops);
+    window.end_op = window.begin_op + len;
+    window.latency_ms = latency_ms;
+    schedule.windows.push_back(window);
+  }
+  return schedule;
+}
+
 Status FaultInjectionEnv::Gate(Op op, bool* tear) {
+  std::lock_guard<std::mutex> lock(mu_);
   const uint64_t index = operations_++;
   if (crashed_) {
     return Status::IOError(
@@ -324,21 +397,50 @@ Status FaultInjectionEnv::Gate(Op op, bool* tear) {
   }
   if (transient_left_ > 0) {
     --transient_left_;
+    ++faults_injected_;
     return Status::Unavailable("injected transient I/O error (continued)");
+  }
+  if (!schedule_.windows.empty()) {
+    for (const FaultWindow& window : schedule_.windows) {
+      if (index < window.begin_op || index >= window.end_op) continue;
+      switch (window.kind) {
+        case FaultKind::kTransient:
+          ++faults_injected_;
+          return Status::Unavailable(
+              StrFormat("injected transient I/O error (window op %llu)",
+                        static_cast<unsigned long long>(index)));
+        case FaultKind::kNoSpace:
+          if (op == Op::kRead || op == Op::kRemove) break;
+          ++faults_injected_;
+          return Status::ResourceExhausted(
+              "no space left on device (injected ENOSPC window)");
+        case FaultKind::kLatency:
+          ++faults_injected_;
+          injected_latency_ms_ += window.latency_ms;
+          break;  // the operation itself succeeds, just "slower"
+        default:
+          break;  // crash/tear kinds are inert in schedule mode
+      }
+      break;  // first matching window wins
+    }
+    return Status::OK();
   }
   if (plan_.kind == FaultKind::kNone || index != plan_.at_operation) {
     return Status::OK();
   }
   switch (plan_.kind) {
     case FaultKind::kNone:
+    case FaultKind::kLatency:
       return Status::OK();
     case FaultKind::kCrash:
       crashed_ = true;
+      ++faults_injected_;
       return Status::IOError(
           StrFormat("injected crash at op %llu",
                     static_cast<unsigned long long>(index)));
     case FaultKind::kTornWrite:
       crashed_ = true;
+      ++faults_injected_;
       if (op == Op::kAppend && tear != nullptr) {
         *tear = true;       // the append persists a prefix, then the env dies
         return Status::OK();
@@ -348,13 +450,16 @@ Status FaultInjectionEnv::Gate(Op op, bool* tear) {
                     static_cast<unsigned long long>(index)));
     case FaultKind::kShortRead:
       if (op == Op::kRead && tear != nullptr) *tear = true;
+      ++faults_injected_;
       return Status::OK();
     case FaultKind::kTransient:
       transient_left_ = plan_.transient_failures - 1;
+      ++faults_injected_;
       return Status::Unavailable("injected transient I/O error");
     case FaultKind::kNoSpace:
       if (op == Op::kRead || op == Op::kRemove) return Status::OK();
-      return Status::IOError("no space left on device (injected ENOSPC)");
+      ++faults_injected_;
+      return Status::ResourceExhausted("no space left on device (injected ENOSPC)");
   }
   return Status::OK();
 }

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "random/rng.h"
@@ -66,7 +68,8 @@ class MappedFile {
 /// Production uses Env::Default() (POSIX); tests substitute a
 /// FaultInjectionEnv to prove crash consistency deterministically.
 /// Implementations must be safe for concurrent use unless documented
-/// otherwise (FaultInjectionEnv is single-threaded).
+/// otherwise (FaultInjectionEnv plan mode is single-threaded; its schedule
+/// mode is thread-safe).
 class Env {
  public:
   virtual ~Env() = default;
@@ -136,15 +139,37 @@ Status AtomicWriteFile(Env& env, const std::string& path, std::string_view data,
 ///                operations) fail with Status::Unavailable; retries
 ///                succeed. Exercises the WriteOptions retry budget.
 ///   kNoSpace   — the faulted write-side operation (open/append/sync/
-///                close/rename) fails like ENOSPC with no side effects;
-///                the env stays up.
+///                close/rename) fails with Status::ResourceExhausted like
+///                ENOSPC, with no side effects; the env stays up.
+///   kLatency   — the faulted operation succeeds but the injected latency
+///                is recorded (never actually slept, so sweeps stay fast);
+///                only meaningful in schedule mode.
 ///
-/// Single-threaded by design (the write paths are sequential); reuse via
-/// set_plan, which resets counter and crash state. FileExists and Size are
-/// queries and are not gated.
+/// Two driving modes:
+///
+///   * Plan mode (set_plan): crash-at-Nth-op sweeps. Single-threaded by
+///     design — the torn-write/short-read byte-tearing draws from the env
+///     RNG outside the gate lock.
+///   * Schedule mode (set_schedule): deterministic *sustained* fault
+///     windows over the gated-operation index space — seeded transient
+///     bursts, ENOSPC windows that later clear, injected I/O latency. No
+///     crashes and no tearing, and the gate is mutex-guarded, so schedules
+///     are safe to drive from concurrent readers/writers (the chaos
+///     harness and the TSan stress tests rely on this).
+///
+/// Reuse via set_plan / set_schedule, which reset counter and crash state.
+/// FileExists and Size are queries and are not gated.
 class FaultInjectionEnv : public Env {
  public:
-  enum class FaultKind { kNone, kCrash, kTornWrite, kShortRead, kTransient, kNoSpace };
+  enum class FaultKind {
+    kNone,
+    kCrash,
+    kTornWrite,
+    kShortRead,
+    kTransient,
+    kNoSpace,
+    kLatency,
+  };
 
   struct FaultPlan {
     FaultKind kind = FaultKind::kNone;
@@ -152,18 +177,50 @@ class FaultInjectionEnv : public Env {
     int transient_failures = 1;   ///< consecutive Unavailable results (kTransient)
   };
 
+  /// One deterministic fault window: gated operations with index in
+  /// [begin_op, end_op) behave per `kind` (kTransient, kNoSpace or
+  /// kLatency; other kinds are inert in schedule mode).
+  struct FaultWindow {
+    FaultKind kind = FaultKind::kNone;
+    uint64_t begin_op = 0;
+    uint64_t end_op = 0;
+    double latency_ms = 1.0;  ///< per-op injected latency (kLatency only)
+  };
+
+  /// An ordered set of fault windows; the first window containing an op
+  /// index wins. Ops outside every window behave normally — an ENOSPC
+  /// window "clears" simply by ending.
+  struct FaultSchedule {
+    std::vector<FaultWindow> windows;
+
+    /// Seeded helper: `bursts` windows of `kind`, each starting at a
+    /// random op index in [0, span_ops) and lasting 1..max_burst_ops ops.
+    /// Deterministic for a given seed.
+    static FaultSchedule Bursts(FaultKind kind, uint64_t seed, int bursts,
+                                uint64_t span_ops, uint64_t max_burst_ops,
+                                double latency_ms = 1.0);
+  };
+
   explicit FaultInjectionEnv(Env* base, uint64_t seed = 20150413);
 
-  /// Installs a plan and resets the operation counter, crash flag and RNG
-  /// (reseeded so the same plan + seed replays identically).
+  /// Installs a plan and resets the operation counter, crash flag, schedule
+  /// and RNG (reseeded so the same plan + seed replays identically).
   void set_plan(const FaultPlan& plan);
 
-  /// Gated operations performed since the last set_plan.
-  uint64_t operations() const { return operations_; }
+  /// Installs a fault schedule and resets the operation counter, crash
+  /// flag, plan and RNG. An empty schedule makes the env transparent.
+  void set_schedule(FaultSchedule schedule);
+
+  /// Gated operations performed since the last set_plan/set_schedule.
+  uint64_t operations() const;
   /// Total backoff requested via SleepForMs (never actually slept).
-  double slept_ms() const { return slept_ms_; }
+  double slept_ms() const;
+  /// Total kLatency-window latency recorded by the gate (never slept).
+  double injected_latency_ms() const;
+  /// Operations that were failed or delayed by a plan or schedule fault.
+  uint64_t faults_injected() const;
   /// True once a kCrash/kTornWrite fault fired.
-  bool crashed() const { return crashed_; }
+  bool crashed() const;
 
   Result<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;
@@ -172,7 +229,7 @@ class FaultInjectionEnv : public Env {
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status RemoveFile(const std::string& path) override;
   bool FileExists(const std::string& path) override;
-  void SleepForMs(double ms) override { slept_ms_ += ms; }
+  void SleepForMs(double ms) override;
 
  private:
   friend class FaultWritableFile;
@@ -181,18 +238,22 @@ class FaultInjectionEnv : public Env {
   enum class Op { kOpen, kAppend, kSync, kClose, kRead, kRename, kRemove };
 
   /// Counts one gated operation; returns the injected error when the plan
-  /// says so. `tear` is set when this operation must tear (kTornWrite on
-  /// an Append / kShortRead on a Read).
+  /// or schedule says so. `tear` is set when this operation must tear
+  /// (kTornWrite on an Append / kShortRead on a Read; plan mode only).
   Status Gate(Op op, bool* tear);
 
   Env* base_;
   uint64_t seed_;
   random::Xoshiro256 rng_;
+  mutable std::mutex mu_;
   FaultPlan plan_;
+  FaultSchedule schedule_;
   uint64_t operations_ = 0;
   int transient_left_ = 0;
   bool crashed_ = false;
   double slept_ms_ = 0.0;
+  double injected_latency_ms_ = 0.0;
+  uint64_t faults_injected_ = 0;
 };
 
 }  // namespace twimob::tweetdb

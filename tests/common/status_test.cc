@@ -34,6 +34,9 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
       {Status::FailedPrecondition("f"), StatusCode::kFailedPrecondition},
       {Status::Unimplemented("g"), StatusCode::kUnimplemented},
       {Status::Internal("h"), StatusCode::kInternal},
+      {Status::Unavailable("i"), StatusCode::kUnavailable},
+      {Status::DeadlineExceeded("j"), StatusCode::kDeadlineExceeded},
+      {Status::ResourceExhausted("k"), StatusCode::kResourceExhausted},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
@@ -48,6 +51,21 @@ TEST(StatusTest, PredicatesMatchOnlyOwnCode) {
   EXPECT_FALSE(s.IsInvalidArgument());
   EXPECT_FALSE(s.IsIOError());
   EXPECT_FALSE(s.IsInternal());
+  EXPECT_FALSE(s.IsDeadlineExceeded());
+  EXPECT_FALSE(s.IsResourceExhausted());
+}
+
+TEST(StatusTest, ResilienceCodesAreDistinctFromTransientAndIoErrors) {
+  const Status deadline = Status::DeadlineExceeded("too slow");
+  EXPECT_TRUE(deadline.IsDeadlineExceeded());
+  EXPECT_FALSE(deadline.IsUnavailable());
+  EXPECT_FALSE(deadline.IsIOError());
+
+  const Status exhausted = Status::ResourceExhausted("no space left on device");
+  EXPECT_TRUE(exhausted.IsResourceExhausted());
+  EXPECT_FALSE(exhausted.IsUnavailable());
+  EXPECT_FALSE(exhausted.IsIOError());
+  EXPECT_EQ(exhausted.ToString(), "ResourceExhausted: no space left on device");
 }
 
 TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
@@ -84,6 +102,9 @@ TEST(StatusTest, CodeToStringCoversAllCodes) {
             "FailedPrecondition");
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded), "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted), "ResourceExhausted");
 }
 
 Status FailsWhenNegative(int x) {

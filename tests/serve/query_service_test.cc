@@ -3,9 +3,11 @@
 // bit-identical to the unbatched one, and invalid requests must be typed
 // errors, never crashes.
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -197,6 +199,117 @@ TEST_F(QueryServiceTest, BatcherFlushesInSubmissionOrder) {
     EXPECT_EQ(batcher.answers()[i].area, one->area) << "i=" << i;
     EXPECT_TRUE(BitEq(batcher.answers()[i].distance_m, one->distance_m));
   }
+}
+
+TEST_F(QueryServiceTest, ExpiredDeadlineIsTypedAndNeverPartial) {
+  const QueryService service(shared());
+  QueryOptions expired;
+  expired.deadline = Deadline::AlreadyExpired();
+  const double lats[] = {-33.9, -37.8};
+  const double lons[] = {151.2, 144.9};
+
+  const auto population =
+      service.Population(geo::LatLon{-33.9, 151.2}, 2000.0, expired);
+  EXPECT_TRUE(population.status().IsDeadlineExceeded());
+  const auto point = service.PointEstimate(0, geo::LatLon{-33.9, 151.2}, expired);
+  EXPECT_TRUE(point.status().IsDeadlineExceeded());
+  const auto batch = service.PointEstimateBatch(0, lats, lons, 2, expired);
+  EXPECT_TRUE(batch.status().IsDeadlineExceeded());
+  const auto od = service.OdFlow(0, 0, 1, expired);
+  EXPECT_TRUE(od.status().IsDeadlineExceeded());
+  const auto predict = service.Predict(0, 0, 0, 1, expired);
+  EXPECT_TRUE(predict.status().IsDeadlineExceeded());
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 5u);
+  // A deadline miss returns no answer at all — the per-kind served
+  // counters never saw these requests.
+  EXPECT_EQ(stats.population_queries, 0u);
+  EXPECT_EQ(stats.point_queries, 0u);
+  EXPECT_EQ(stats.od_queries, 0u);
+  EXPECT_EQ(stats.predict_queries, 0u);
+}
+
+TEST_F(QueryServiceTest, BoundedDeadlineAnswersAreBitIdenticalWhenNotShed) {
+  // A deadline that does not fire must not perturb a single bit: the
+  // block-granular batch path chunks in whole kernel batches, so its
+  // assignments equal the unbounded single-shot call's exactly.
+  const QueryService service(shared());
+  random::Xoshiro256 rng(321);
+  constexpr size_t kPoints = 600;  // several deadline blocks
+  std::vector<double> lats;
+  std::vector<double> lons;
+  for (size_t i = 0; i < kPoints; ++i) {
+    lats.push_back(rng.NextUniform(-44.0, -10.0));
+    lons.push_back(rng.NextUniform(113.0, 154.0));
+  }
+  QueryOptions generous;
+  generous.deadline = Deadline::After(60.0);
+
+  const auto unbounded =
+      service.PointEstimateBatch(1, lats.data(), lons.data(), kPoints);
+  const auto bounded =
+      service.PointEstimateBatch(1, lats.data(), lons.data(), kPoints, generous);
+  ASSERT_TRUE(unbounded.ok());
+  ASSERT_TRUE(bounded.ok());
+  ASSERT_EQ(unbounded->size(), bounded->size());
+  for (size_t i = 0; i < kPoints; ++i) {
+    EXPECT_EQ((*unbounded)[i].area, (*bounded)[i].area) << "i=" << i;
+    EXPECT_TRUE(BitEq((*unbounded)[i].distance_m, (*bounded)[i].distance_m));
+    EXPECT_TRUE(
+        BitEq((*unbounded)[i].rescaled_estimate, (*bounded)[i].rescaled_estimate));
+  }
+
+  const auto pop = service.Population(geo::LatLon{-33.9, 151.2}, 25000.0);
+  const auto pop_bounded =
+      service.Population(geo::LatLon{-33.9, 151.2}, 25000.0, generous);
+  ASSERT_TRUE(pop.ok());
+  ASSERT_TRUE(pop_bounded.ok());
+  EXPECT_EQ(pop->unique_users, pop_bounded->unique_users);
+  EXPECT_EQ(pop->tweets, pop_bounded->tweets);
+}
+
+TEST_F(QueryServiceTest, AdmissionLimitShedsWithTypedStatusAndExactAccounting) {
+  // max_inflight=1 under four hammering threads: every request either
+  // serves or sheds kUnavailable, the counters account for each one
+  // exactly, and the service stays usable afterwards.
+  ServiceLimits limits;
+  limits.max_inflight = 1;
+  const QueryService service(shared(), limits);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 300;
+  std::atomic<uint64_t> served{0};
+  std::atomic<uint64_t> shed{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&service, &served, &shed, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto answer = service.Population(
+            geo::LatLon{-33.9 + 0.001 * t, 151.2}, 2000.0 + i);
+        if (answer.ok()) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          EXPECT_TRUE(answer.status().IsUnavailable())
+              << answer.status().ToString();
+          shed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(served.load() + shed.load(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.population_queries, served.load());
+  EXPECT_EQ(stats.shed_queries, shed.load());
+  // With one admission slot and four threads spinning, collisions are all
+  // but certain; the load-shedding path was genuinely exercised.
+  EXPECT_GT(shed.load(), 0u);
+
+  // Shedding is per-request: the quiesced service admits again.
+  EXPECT_TRUE(service.Population(geo::LatLon{-33.9, 151.2}, 2000.0).ok());
 }
 
 TEST(QueryServiceNoMobilityTest, FlowQueriesFailCleanlyWithoutMobility) {

@@ -18,6 +18,7 @@
 
 #include "random/rng.h"
 #include "serve/query_service.h"
+#include "serve/refresh_supervisor.h"
 #include "serve/snapshot_catalog.h"
 #include "synth/tweet_generator.h"
 #include "tweetdb/binary_codec.h"
@@ -296,6 +297,100 @@ TEST(ServingStressTest, LiveIngestWithCompactionServesConsistentSnapshots) {
   const QueryService cold_service((*cold)->Current());
   EXPECT_TRUE(BitwiseEqual(RunWorkload(warm_service, 31337, 40),
                            RunWorkload(cold_service, 31337, 40)));
+}
+
+TEST(ServingStressTest, SupervisedRefresherServesConsistentSnapshotsUnderIngest) {
+  // The LiveIngest lifecycle with the refresh loop driven by a background
+  // RefreshSupervisor thread instead of a hand-rolled refresher: queries,
+  // supervisor steps and health() reads race appends and compactions. Runs
+  // under TSan in CI via serve_test. Pinned snapshots must stay bitwise
+  // stable, and once ingest settles one supervised step must report fresh.
+  const std::string path = testing::TempDir() + "/twimob_serving_sup.twdb";
+  std::remove(path.c_str());
+  const core::PipelineConfig config = StressConfig();
+  tweetdb::TweetDataset corpus = GenerateCorpus(config);
+  const size_t base_rows = corpus.num_rows();
+  ASSERT_TRUE(tweetdb::WriteDatasetFiles(corpus, path).ok());
+
+  core::PipelineConfig stream_config = StressConfig();
+  stream_config.corpus.num_users = 300;
+  stream_config.corpus.seed = 777;
+  tweetdb::TweetDataset stream = GenerateCorpus(stream_config);
+  std::vector<tweetdb::Tweet> stream_rows;
+  stream.ForEachRow(
+      [&stream_rows](const tweetdb::Tweet& t) { stream_rows.push_back(t); });
+  const size_t batch_size = stream_rows.size() / 4 + 1;
+
+  CatalogOptions options;
+  options.analysis = config;
+  options.num_threads = 2;
+  auto catalog = SnapshotCatalog::Open(path, options);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().message();
+  auto writer = tweetdb::IngestWriter::Open(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().message();
+
+  SupervisorOptions sup_options;
+  sup_options.poll_interval_ms = 2.0;
+  RefreshSupervisor supervisor(catalog->get(), sup_options);
+  supervisor.Start();
+
+  std::atomic<bool> ingest_done{false};
+  std::thread appender([&] {
+    for (size_t off = 0; off < stream_rows.size(); off += batch_size) {
+      const size_t end = std::min(stream_rows.size(), off + batch_size);
+      EXPECT_TRUE(
+          (*writer)
+              ->AppendBatch(std::vector<tweetdb::Tweet>(
+                  stream_rows.begin() + off, stream_rows.begin() + end))
+              .ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ingest_done.store(true, std::memory_order_release);
+  });
+  std::thread compactor([&] {
+    while (!ingest_done.load(std::memory_order_acquire)) {
+      auto compacted = (*writer)->Compact();
+      EXPECT_TRUE(compacted.ok()) << compacted.status().message();
+      std::this_thread::sleep_for(std::chrono::milliseconds(8));
+    }
+  });
+
+  std::vector<std::thread> queriers;
+  std::vector<int> failures(2, 0);
+  for (int t = 0; t < 2; ++t) {
+    queriers.emplace_back([&catalog, &supervisor, &failures, &ingest_done, t] {
+      int round = 0;
+      while (!ingest_done.load(std::memory_order_acquire) || round < 3) {
+        const auto snapshot = (*catalog)->Current();
+        const QueryService pinned(snapshot);
+        const uint64_t seed = 5000 + 100 * t + round;
+        if (!BitwiseEqual(RunWorkload(pinned, seed, 15),
+                          RunWorkload(pinned, seed, 15))) {
+          ++failures[t];
+        }
+        // The health endpoint races the stepping thread and the writers.
+        const HealthSnapshot h = supervisor.health();
+        if (h.served_generation == 0) ++failures[t];
+        ++round;
+      }
+    });
+  }
+
+  appender.join();
+  compactor.join();
+  for (std::thread& q : queriers) q.join();
+  for (int t = 0; t < 2; ++t) EXPECT_EQ(failures[t], 0) << "querier " << t;
+
+  supervisor.Stop();
+  // Ingest has settled: one supervised step must land on the manifest head
+  // and report fresh with a closed breaker and every appended row served.
+  ASSERT_TRUE(supervisor.Step().ok());
+  const HealthSnapshot health = supervisor.health();
+  EXPECT_TRUE(health.fresh()) << health.ToString();
+  EXPECT_EQ(health.breaker, BreakerState::kClosed);
+  EXPECT_EQ(health.failures, 0u);
+  EXPECT_EQ((*catalog)->Current()->dataset().num_rows(),
+            base_rows + stream_rows.size());
 }
 
 TEST(ServingStressTest, ServedAnswersAreThreadCountInvariant) {

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -12,6 +13,7 @@
 #include "tweetdb/binary_codec.h"
 #include "tweetdb/dataset.h"
 #include "tweetdb/generation_pins.h"
+#include "tweetdb/ingest.h"
 #include "tweetdb/storage_env.h"
 
 namespace twimob::tweetdb {
@@ -160,6 +162,98 @@ TEST(GenerationPinsTest, DeferredFilesKeyedByPathDoNotCrossDatasets) {
   }
   EXPECT_EQ(internal::DeferredGenerationCount(path_a), 0u);
 }
+
+// The degraded writer's emergency sweep (ingest.cc, ENOSPC parking) frees
+// disk by removing unpinned superseded files — but a generation held by a
+// live reader, whether an explicit GenerationPin or a zero-copy
+// MapDatasetFiles mapping, must survive the sweep byte-for-byte and only
+// fall to a commit after the pin drops.
+class EmergencySweepPinTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(EmergencySweepPinTest, SweepNeverDeletesPinnedOrMappedGenerations) {
+  const auto [seed, use_mapped_pin] = GetParam();
+  const std::string path = testing::TempDir() + "/twimob_sweep_pins_" +
+                           std::to_string(seed) +
+                           (use_mapped_pin ? "_mapped" : "_pin") + ".twdb";
+  std::remove(path.c_str());
+  TweetDataset base = MakeDataset(seed, 2);
+  ASSERT_TRUE(WriteDatasetFiles(base, path).ok());
+  const std::vector<std::string> g1_files = InstalledShardFiles(path);
+  ASSERT_FALSE(g1_files.empty());
+
+  // The reader: an explicit pin, or a live mmap whose MappedDataset holds
+  // the pin (and whose lazily-decoded blocks still need the bytes).
+  GenerationPin pin;
+  Result<MappedDataset> mapped = Status::Internal("unused");
+  if (use_mapped_pin) {
+    mapped = MapDatasetFiles(path);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().message();
+    ASSERT_EQ(mapped->pin.generation(), 1u);
+  } else {
+    pin = GenerationPin(path, 1);
+  }
+
+  FaultInjectionEnv fault_env(Env::Default(), seed);
+  IngestOptions options;
+  options.partition = PartitionSpec::ForWindow(0, 1000000, 2);
+  options.block_capacity = 128;
+  auto writer = IngestWriter::Open(path, options, &fault_env);
+  ASSERT_TRUE(writer.ok());
+
+  random::Xoshiro256 rng(seed + 99);
+  std::vector<Tweet> batch;
+  for (int i = 0; i < 80; ++i) {
+    batch.push_back(Tweet{rng.NextUint64(40) + 1,
+                          static_cast<int64_t>(rng.NextUint64(1000000)),
+                          geo::LatLon{rng.NextUniform(-44, -10),
+                                      rng.NextUniform(113, 154)}});
+  }
+  ASSERT_TRUE((*writer)->AppendBatch(batch).ok());
+  auto compacted = (*writer)->Compact();
+  ASSERT_TRUE(compacted.ok());
+  ASSERT_EQ(internal::DeferredGenerationCount(path), 1u);
+
+  // Full disk: the failed append parks the writer and emergency-sweeps.
+  // Every generation-1 file must survive — its pin is live.
+  FaultInjectionEnv::FaultSchedule full_disk;
+  full_disk.windows.push_back(
+      {FaultInjectionEnv::FaultKind::kNoSpace, 0, ~uint64_t{0}, 0.0});
+  fault_env.set_schedule(full_disk);
+  EXPECT_TRUE((*writer)->AppendBatch(batch).IsResourceExhausted());
+  EXPECT_TRUE((*writer)->degraded());
+  for (const std::string& f : g1_files) {
+    EXPECT_TRUE(fault_env.FileExists(f)) << "sweep deleted pinned file " << f;
+  }
+  EXPECT_EQ(internal::DeferredGenerationCount(path), 1u);
+  if (use_mapped_pin) {
+    // The mapping still decodes — its bytes were never unlinked.
+    EXPECT_EQ(mapped->dataset.num_rows(), 600u);
+  }
+
+  // Pin drops, disk recovers: the probe commit sweeps the deferral.
+  if (use_mapped_pin) {
+    mapped = Status::Internal("released");
+  } else {
+    pin.Release();
+  }
+  fault_env.set_schedule({});
+  ASSERT_TRUE((*writer)->AppendBatch(batch).ok());
+  EXPECT_FALSE((*writer)->degraded());
+  for (const std::string& f : g1_files) {
+    EXPECT_FALSE(fault_env.FileExists(f)) << "post-release commit kept " << f;
+  }
+  EXPECT_EQ(internal::DeferredGenerationCount(path), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPinKinds, EmergencySweepPinTest,
+    ::testing::Combine(::testing::Values(uint64_t{5}, uint64_t{6}),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<uint64_t, bool>>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_mapped" : "_pinned");
+    });
 
 }  // namespace
 }  // namespace twimob::tweetdb

@@ -175,7 +175,9 @@ TEST(FaultInjectionTest, NoSpaceFailsWithoutCrashing) {
   const std::string path = TempPath("env_fault_enospc.bin");
   env.set_plan({FaultInjectionEnv::FaultKind::kNoSpace, /*at=*/1});  // the append
   const Status s = AtomicWriteFile(env, path, "data");
-  EXPECT_TRUE(s.IsIOError());
+  // ENOSPC surfaces as ResourceExhausted — a sustained capacity failure the
+  // retry budget must NOT retry (the disk will not un-fill in 2ms).
+  EXPECT_TRUE(s.IsResourceExhausted());
   EXPECT_NE(s.message().find("no space"), std::string::npos);
   EXPECT_FALSE(env.crashed());
   EXPECT_FALSE(Env::Default()->FileExists(path));
@@ -183,6 +185,89 @@ TEST(FaultInjectionTest, NoSpaceFailsWithoutCrashing) {
   env.set_plan({});
   ASSERT_TRUE(AtomicWriteFile(env, path, "data").ok());
   ASSERT_TRUE(Env::Default()->RemoveFile(path).ok());
+}
+
+TEST(FaultScheduleTest, TransientWindowFailsExactlyItsOps) {
+  FaultInjectionEnv env(Env::Default(), 8);
+  const std::string path = TempPath("env_sched_transient.bin");
+  // Ops [1, 3) fail Unavailable: the first attempt's append dies, its
+  // cleanup RemoveFile (op 2) dies too; the retry (ops 3..7) succeeds.
+  FaultInjectionEnv::FaultSchedule schedule;
+  schedule.windows.push_back(
+      {FaultInjectionEnv::FaultKind::kTransient, /*begin=*/1, /*end=*/3});
+  env.set_schedule(schedule);
+  ASSERT_TRUE(AtomicWriteFile(env, path, "windowed").ok());
+  EXPECT_EQ(env.faults_injected(), 2u);
+  EXPECT_GT(env.slept_ms(), 0.0);
+  auto bytes = ReadFileToString(*Env::Default(), path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "windowed");
+  ASSERT_TRUE(Env::Default()->RemoveFile(path).ok());
+}
+
+TEST(FaultScheduleTest, EnospcWindowClears) {
+  FaultInjectionEnv env(Env::Default(), 9);
+  const std::string path = TempPath("env_sched_enospc.bin");
+  FaultInjectionEnv::FaultSchedule schedule;
+  schedule.windows.push_back(
+      {FaultInjectionEnv::FaultKind::kNoSpace, /*begin=*/0, /*end=*/5});
+  env.set_schedule(schedule);
+  // Inside the window every write-side op fails ResourceExhausted (and the
+  // retry budget correctly refuses to retry it)...
+  const Status s = AtomicWriteFile(env, path, "full");
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_NE(s.message().find("no space"), std::string::npos);
+  EXPECT_FALSE(env.crashed());
+  // ...but once the op counter passes the window the disk has "cleared"
+  // and the same env serves the write.
+  while (env.operations() < 5) (void)env.FileExists(path), (void)env.RemoveFile(path);
+  ASSERT_TRUE(AtomicWriteFile(env, path, "cleared").ok());
+  auto bytes = ReadFileToString(*Env::Default(), path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "cleared");
+  ASSERT_TRUE(Env::Default()->RemoveFile(path).ok());
+}
+
+TEST(FaultScheduleTest, LatencyWindowRecordsButSucceeds) {
+  FaultInjectionEnv env(Env::Default(), 10);
+  const std::string path = TempPath("env_sched_latency.bin");
+  FaultInjectionEnv::FaultSchedule schedule;
+  schedule.windows.push_back({FaultInjectionEnv::FaultKind::kLatency,
+                              /*begin=*/0, /*end=*/100, /*latency_ms=*/7.5});
+  env.set_schedule(schedule);
+  ASSERT_TRUE(AtomicWriteFile(env, path, "slow but fine").ok());
+  // open + append + sync + close + rename all fell in the window.
+  EXPECT_DOUBLE_EQ(env.injected_latency_ms(), 5 * 7.5);
+  EXPECT_EQ(env.faults_injected(), 5u);
+  auto bytes = ReadFileToString(*Env::Default(), path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "slow but fine");
+  ASSERT_TRUE(Env::Default()->RemoveFile(path).ok());
+}
+
+TEST(FaultScheduleTest, SeededBurstsAreDeterministic) {
+  const auto a = FaultInjectionEnv::FaultSchedule::Bursts(
+      FaultInjectionEnv::FaultKind::kTransient, /*seed=*/42, /*bursts=*/4,
+      /*span_ops=*/1000, /*max_burst_ops=*/16);
+  const auto b = FaultInjectionEnv::FaultSchedule::Bursts(
+      FaultInjectionEnv::FaultKind::kTransient, /*seed=*/42, /*bursts=*/4,
+      /*span_ops=*/1000, /*max_burst_ops=*/16);
+  ASSERT_EQ(a.windows.size(), 4u);
+  for (size_t i = 0; i < a.windows.size(); ++i) {
+    EXPECT_EQ(a.windows[i].begin_op, b.windows[i].begin_op);
+    EXPECT_EQ(a.windows[i].end_op, b.windows[i].end_op);
+    EXPECT_LT(a.windows[i].begin_op, 1000u);
+    EXPECT_GE(a.windows[i].end_op, a.windows[i].begin_op + 1);
+    EXPECT_LE(a.windows[i].end_op, a.windows[i].begin_op + 16);
+  }
+  const auto c = FaultInjectionEnv::FaultSchedule::Bursts(
+      FaultInjectionEnv::FaultKind::kTransient, /*seed=*/43, /*bursts=*/4,
+      /*span_ops=*/1000, /*max_burst_ops=*/16);
+  bool any_different = false;
+  for (size_t i = 0; i < c.windows.size(); ++i) {
+    any_different |= c.windows[i].begin_op != a.windows[i].begin_op;
+  }
+  EXPECT_TRUE(any_different);
 }
 
 TEST(FaultInjectionTest, ShortReadReturnsPrefix) {
