@@ -39,6 +39,40 @@ ScaleServingTables BuildScaleTables(const ScaleSpec& spec,
   return tables;
 }
 
+/// Lowers the sealed serving tables into the what-if sweep engine: one
+/// input per scale, census populations + observed extracted flows. Returns
+/// null when there is nothing to sweep (no mobility analysis) or a scale
+/// is un-sweepable (ScenarioSweep::Create rejects it) — WhatIfService then
+/// answers kFailedPrecondition instead of serving a broken engine.
+std::shared_ptr<const epi::ScenarioSweep> BuildScenarioSweep(
+    const std::vector<ScaleSpec>& specs,
+    const std::vector<ScaleServingTables>& tables) {
+  if (tables.empty()) return nullptr;
+  std::vector<epi::SweepScaleInput> inputs;
+  inputs.reserve(tables.size());
+  for (size_t s = 0; s < tables.size(); ++s) {
+    const size_t n = tables[s].num_areas;
+    std::vector<double> populations;
+    populations.reserve(n);
+    for (const census::Area& area : specs[s].areas) {
+      populations.push_back(area.population);
+    }
+    auto flows = mobility::OdMatrix::Create(n);
+    if (!flows.ok()) return nullptr;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        flows->SetFlow(i, j, tables[s].observed[i * n + j]);
+      }
+    }
+    inputs.push_back(epi::SweepScaleInput{tables[s].scale_name,
+                                          std::move(populations),
+                                          std::move(*flows)});
+  }
+  auto sweep = epi::ScenarioSweep::Create(std::move(inputs));
+  if (!sweep.ok()) return nullptr;
+  return std::make_shared<const epi::ScenarioSweep>(std::move(*sweep));
+}
+
 }  // namespace
 
 AnalysisSnapshot AnalysisSnapshot::Seal(PipelineState&& state,
@@ -56,6 +90,8 @@ AnalysisSnapshot AnalysisSnapshot::Seal(PipelineState&& state,
     snapshot.serving_tables_.push_back(
         BuildScaleTables(snapshot.specs_[s], snapshot.result_.mobility[s]));
   }
+  snapshot.scenario_sweep_ =
+      BuildScenarioSweep(snapshot.specs_, snapshot.serving_tables_);
   return snapshot;
 }
 

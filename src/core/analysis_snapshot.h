@@ -2,12 +2,14 @@
 #define TWIMOB_CORE_ANALYSIS_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "core/analysis_context.h"
+#include "epi/scenario_sweep.h"
 #include "core/pipeline.h"
 #include "core/population_estimator.h"
 #include "core/scales.h"
@@ -117,6 +119,17 @@ class AnalysisSnapshot {
     return serving_tables_;
   }
 
+  /// The epidemic what-if sweep engine over this snapshot's fitted OD
+  /// matrices — one SweepScaleInput per serving-tables scale (census
+  /// populations + observed extracted flows), lowered to CSR once at seal
+  /// time. Null when the snapshot has no mobility analysis
+  /// (`run_mobility = false`) or a scale was un-sweepable (e.g. a
+  /// zero-population area). Shared so what-if answers can outlive a
+  /// catalog swap along with the snapshot.
+  const std::shared_ptr<const epi::ScenarioSweep>& scenario_sweep() const {
+    return scenario_sweep_;
+  }
+
   /// Moves the pipeline result out (Pipeline::Run's thin-consumer path).
   PipelineResult TakeResult() && { return std::move(result_); }
 
@@ -133,6 +146,7 @@ class AnalysisSnapshot {
   std::vector<ScaleSpec> specs_;
   PipelineResult result_;
   std::vector<ScaleServingTables> serving_tables_;
+  std::shared_ptr<const epi::ScenarioSweep> scenario_sweep_;
 };
 
 }  // namespace twimob::core

@@ -1,0 +1,406 @@
+#include "epi/scenario_sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <utility>
+
+#include "epi/seir_kernels.h"
+#include "epi/stochastic_seir.h"
+#include "random/rng.h"
+
+namespace twimob::epi {
+
+Result<ScenarioSweep> ScenarioSweep::Create(std::vector<SweepScaleInput> inputs) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("ScenarioSweep requires at least one scale");
+  }
+  std::vector<ScaleData> scales;
+  scales.reserve(inputs.size());
+  for (SweepScaleInput& input : inputs) {
+    const size_t n = input.populations.size();
+    if (n == 0) {
+      return Status::InvalidArgument("ScenarioSweep: scale '" + input.name +
+                                     "' has no areas");
+    }
+    if (input.flows.num_areas() != n) {
+      return Status::InvalidArgument(
+          "ScenarioSweep: flows/populations dimension mismatch in scale '" +
+          input.name + "'");
+    }
+    for (double p : input.populations) {
+      if (!(p > 0.0)) {
+        return Status::InvalidArgument("ScenarioSweep: populations must be > 0");
+      }
+    }
+    ScaleData sd{std::move(input.name), std::move(input.populations), 0.0,
+                 std::move(input.flows), {}, {}, {}, {}};
+    for (double p : sd.populations) sd.total_population += p;
+
+    // Lower the OD matrix to CSR: one edge per positive off-diagonal flow,
+    // with the row's out-flow sum hoisted alongside so per-scenario
+    // coupling values are one multiply-divide per edge. Rows with zero
+    // out-flow couple to nothing, exactly like the legacy model.
+    sd.row_ptr_.reserve(n + 1);
+    sd.row_ptr_.push_back(0);
+    for (size_t i = 0; i < n; ++i) {
+      const double out = sd.flows.OutFlow(i);
+      if (out > 0.0) {
+        for (size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          const double flow = sd.flows.Flow(i, j);
+          if (!(flow >= 0.0)) {
+            return Status::InvalidArgument(
+                "ScenarioSweep: flows must be non-negative");
+          }
+          if (flow > 0.0) {
+            sd.col_.push_back(static_cast<uint32_t>(j));
+            sd.edge_flow_.push_back(flow);
+            sd.edge_out_.push_back(out);
+          }
+        }
+      }
+      sd.row_ptr_.push_back(static_cast<uint32_t>(sd.col_.size()));
+    }
+    scales.push_back(std::move(sd));
+  }
+  return ScenarioSweep(std::move(scales));
+}
+
+Result<std::vector<ScenarioPoint>> ScenarioSweep::ExpandGrid(
+    const SweepGrid& grid) const {
+  std::vector<size_t> selected = grid.scales;
+  if (selected.empty()) {
+    for (size_t s = 0; s < scales_.size(); ++s) selected.push_back(s);
+  }
+  for (size_t s : selected) {
+    if (s >= scales_.size()) {
+      return Status::OutOfRange("SweepGrid: scale index out of range");
+    }
+  }
+  if (grid.betas.empty() || grid.mobility_reductions.empty() ||
+      grid.seed_areas.empty()) {
+    return Status::InvalidArgument("SweepGrid: every axis needs at least one value");
+  }
+  for (double beta : grid.betas) {
+    if (!(beta >= 0.0)) {
+      return Status::InvalidArgument("SweepGrid: betas must be >= 0");
+    }
+  }
+  for (double reduction : grid.mobility_reductions) {
+    if (!(reduction >= 0.0) || reduction > 1.0) {
+      return Status::InvalidArgument(
+          "SweepGrid: mobility_reductions must be in [0,1]");
+    }
+  }
+  if (!(grid.base.sigma > 0.0) || !(grid.base.gamma > 0.0)) {
+    return Status::InvalidArgument("SweepGrid: sigma and gamma must be positive");
+  }
+  if (grid.base.mobility_rate < 0.0 || grid.base.mobility_rate > 1.0) {
+    return Status::InvalidArgument("SweepGrid: base mobility_rate must be in [0,1]");
+  }
+  if (!(grid.base.dt > 0.0) || grid.base.dt > 1.0) {
+    return Status::InvalidArgument("SweepGrid: dt must be in (0,1] days");
+  }
+  if (!(grid.seed_count >= 0.0)) {
+    return Status::InvalidArgument("SweepGrid: seed_count must be >= 0");
+  }
+  for (size_t s : selected) {
+    for (size_t area : grid.seed_areas) {
+      if (area >= scales_[s].populations.size()) {
+        return Status::OutOfRange("SweepGrid: seed area out of range for scale '" +
+                                  scales_[s].name + "'");
+      }
+      if (grid.seed_count > scales_[s].populations[area]) {
+        return Status::InvalidArgument(
+            "SweepGrid: seed_count exceeds the seed area's population");
+      }
+    }
+  }
+
+  std::vector<ScenarioPoint> points;
+  points.reserve(selected.size() * grid.betas.size() *
+                 grid.mobility_reductions.size() * grid.seed_areas.size());
+  for (size_t s : selected) {
+    for (double beta : grid.betas) {
+      for (double reduction : grid.mobility_reductions) {
+        for (size_t area : grid.seed_areas) {
+          points.push_back(ScenarioPoint{s, beta, reduction, area});
+        }
+      }
+    }
+  }
+  return points;
+}
+
+namespace {
+
+/// Fixed scenario-index ranges, each within one scale. The partition
+/// depends only on the expanded grid (scales change every
+/// betas×reductions×seeds scenarios), never on the pool — the root of the
+/// thread-count invariance.
+struct BatchRange {
+  size_t first = 0;
+  size_t lanes = 0;
+};
+
+std::vector<BatchRange> PlanBatches(const std::vector<ScenarioPoint>& points) {
+  std::vector<BatchRange> batches;
+  size_t begin = 0;
+  while (begin < points.size()) {
+    size_t end = begin;
+    while (end < points.size() && points[end].scale == points[begin].scale) ++end;
+    for (size_t b = begin; b < end; b += kSweepLanes) {
+      batches.push_back({b, std::min(kSweepLanes, end - b)});
+    }
+    begin = end;
+  }
+  return batches;
+}
+
+/// Runs `count` tasks on the pool (or serially when pool is null),
+/// skipping remaining work once `cancelled` reports true. Returns false
+/// when the run was abandoned.
+bool RunTasks(ThreadPool* pool, size_t count, const std::function<bool()>& cancelled,
+              const std::function<void(size_t)>& task) {
+  std::atomic<bool> aborted{false};
+  auto guarded = [&](size_t index) {
+    if (aborted.load(std::memory_order_relaxed)) return;
+    if (cancelled && cancelled()) {
+      aborted.store(true, std::memory_order_relaxed);
+      return;
+    }
+    task(index);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(count, guarded);
+  } else {
+    for (size_t index = 0; index < count; ++index) guarded(index);
+  }
+  return !aborted.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Result<std::vector<ScenarioResult>> ScenarioSweep::Run(
+    const SweepGrid& grid, ThreadPool* pool,
+    const std::function<bool()>& cancelled) const {
+  TWIMOB_ASSIGN_OR_RETURN(std::vector<ScenarioPoint> points, ExpandGrid(grid));
+  const std::vector<BatchRange> batches = PlanBatches(points);
+  std::vector<ScenarioResult> results(points.size());
+  const bool completed =
+      RunTasks(pool, batches.size(), cancelled, [&](size_t b) {
+        RunBatch(grid, points, batches[b].first, batches[b].lanes, &results);
+      });
+  if (!completed) {
+    return Status::DeadlineExceeded("what-if sweep cancelled before completion");
+  }
+  return results;
+}
+
+void ScenarioSweep::RunBatch(const SweepGrid& grid,
+                             const std::vector<ScenarioPoint>& points,
+                             size_t first, size_t lanes,
+                             std::vector<ScenarioResult>* results) const {
+  const ScaleData& sd = scales_[points[first].scale];
+  const size_t n = sd.populations.size();
+  const size_t K = lanes;
+  const double dt = grid.base.dt;
+
+  // Per-lane rates. A reduction x runs the legacy model at
+  // mobility_rate * (1 - x); serving callers and tests must use this
+  // exact expression when reproducing a scenario standalone.
+  std::vector<double> beta(K), rate(K);
+  for (size_t k = 0; k < K; ++k) {
+    beta[k] = points[first + k].beta;
+    rate[k] = grid.base.mobility_rate * (1.0 - points[first + k].mobility_reduction);
+  }
+
+  // Per-edge per-lane coupling values — the legacy expression
+  // `mobility_rate * flow / out` with the row sum hoisted per edge.
+  const size_t nnz = sd.col_.size();
+  std::vector<double> vals(nnz * K);
+  for (size_t e = 0; e < nnz; ++e) {
+    for (size_t k = 0; k < K; ++k) {
+      vals[e * K + k] = rate[k] * sd.edge_flow_[e] / sd.edge_out_[e];
+    }
+  }
+
+  // SoA compartments, area-major lane-minor, seeded like the legacy model.
+  std::vector<double> s(n * K), e(n * K, 0.0), i(n * K, 0.0), r(n * K, 0.0);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t k = 0; k < K; ++k) s[a * K + k] = sd.populations[a];
+  }
+  for (size_t k = 0; k < K; ++k) {
+    const size_t a = points[first + k].seed_area;
+    s[a * K + k] -= grid.seed_count;
+    i[a * K + k] += grid.seed_count;
+  }
+
+  std::vector<double> arrival(n * K, -1.0);
+  std::vector<double> next(n * K);
+  std::vector<double> itot(K);
+  const auto accumulate_itot = [&] {
+    std::fill(itot.begin(), itot.end(), 0.0);
+    for (size_t a = 0; a < n; ++a) {
+      for (size_t k = 0; k < K; ++k) itot[k] += i[a * K + k];
+    }
+  };
+
+  // Peak tracking replays SeirTotals-over-trajectory semantics: the
+  // initial state counts, and only a strictly larger total moves the peak.
+  std::vector<double> peak(K), peak_day(K, 0.0);
+  accumulate_itot();
+  for (size_t k = 0; k < K; ++k) peak[k] = itot[k];
+
+  double t = 0.0;
+  for (size_t step = 0; step < grid.steps; ++step) {
+    // 1. Local epidemic dynamics — scalar per lane (divide + std::min
+    // clamps stay off the vector path per the SIMD checklist).
+    for (size_t a = 0; a < n; ++a) {
+      double* sa = s.data() + a * K;
+      double* ea = e.data() + a * K;
+      double* ia = i.data() + a * K;
+      double* ra = r.data() + a * K;
+      for (size_t k = 0; k < K; ++k) {
+        const double pop = sa[k] + ea[k] + ia[k] + ra[k];
+        if (pop <= 0.0) continue;
+        const double new_inf = std::min(sa[k], beta[k] * sa[k] * ia[k] / pop * dt);
+        const double new_sympt = std::min(ea[k], grid.base.sigma * ea[k] * dt);
+        const double new_rec = std::min(ia[k], grid.base.gamma * ia[k] * dt);
+        sa[k] -= new_inf;
+        ea[k] += new_inf - new_sympt;
+        ia[k] += new_sympt - new_rec;
+        ra[k] += new_rec;
+      }
+    }
+
+    // 2. Mobility mixing through the CSR kernel, compartment order s,e,i,r.
+    // Lanes with rate 0 see all-zero coupling values — bitwise neutral, so
+    // no per-lane gating is needed to match the legacy skip.
+    double* comps[] = {s.data(), e.data(), i.data(), r.data()};
+    for (double* comp : comps) {
+      std::fill(next.begin(), next.end(), 0.0);
+      AccumulateCoupling(sd.row_ptr_.data(), sd.col_.data(), vals.data(), n, K, dt,
+                         comp, next.data());
+      for (size_t x = 0; x < n * K; ++x) comp[x] += next[x];
+    }
+
+    t += dt;
+
+    // 3. Arrival bookkeeping at the sweep threshold.
+    for (size_t a = 0; a < n; ++a) {
+      for (size_t k = 0; k < K; ++k) {
+        if (arrival[a * K + k] < 0.0 && i[a * K + k] > kSweepArrivalThreshold) {
+          arrival[a * K + k] = t;
+        }
+      }
+    }
+
+    // 4. Peak tracking.
+    accumulate_itot();
+    for (size_t k = 0; k < K; ++k) {
+      if (itot[k] > peak[k]) {
+        peak[k] = itot[k];
+        peak_day[k] = t;
+      }
+    }
+  }
+
+  for (size_t k = 0; k < K; ++k) {
+    ScenarioResult& out = (*results)[first + k];
+    out.point = points[first + k];
+    out.final_totals = SeirTotals{};
+    out.final_totals.t = t;
+    for (size_t a = 0; a < n; ++a) {
+      out.final_totals.s += s[a * K + k];
+      out.final_totals.e += e[a * K + k];
+      out.final_totals.i += i[a * K + k];
+      out.final_totals.r += r[a * K + k];
+    }
+    out.peak_infectious = peak[k];
+    out.peak_day = peak_day[k];
+    out.attack_rate = out.final_totals.r / sd.total_population;
+    out.arrival_day.resize(n);
+    for (size_t a = 0; a < n; ++a) out.arrival_day[a] = arrival[a * K + k];
+  }
+}
+
+Result<std::vector<StochasticScenarioResult>> ScenarioSweep::RunStochastic(
+    const SweepGrid& grid, size_t trials, uint64_t outbreak_threshold,
+    uint64_t seed, ThreadPool* pool, const std::function<bool()>& cancelled) const {
+  if (trials == 0) {
+    return Status::InvalidArgument("RunStochastic: trials must be positive");
+  }
+  TWIMOB_ASSIGN_OR_RETURN(std::vector<ScenarioPoint> points, ExpandGrid(grid));
+
+  // Scenario streams are split off serially before the fan-out: stream i
+  // is the seed state advanced by i LongJump()s, so it depends only on
+  // (seed, i). Trials within a scenario advance by Jump() — 2^64 of them
+  // fit between scenario streams.
+  std::vector<random::Xoshiro256> streams;
+  streams.reserve(points.size());
+  random::Xoshiro256 base(seed);
+  for (size_t idx = 0; idx < points.size(); ++idx) {
+    streams.push_back(base);
+    base.LongJump();
+  }
+
+  std::vector<StochasticScenarioResult> results(points.size());
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+  std::atomic<bool> failed{false};
+  const bool completed = RunTasks(pool, points.size(), cancelled, [&](size_t idx) {
+    if (failed.load(std::memory_order_relaxed)) return;
+    const ScenarioPoint& point = points[idx];
+    const ScaleData& sd = scales_[point.scale];
+    SeirParams params = grid.base;
+    params.beta = point.beta;
+    params.mobility_rate =
+        grid.base.mobility_rate * (1.0 - point.mobility_reduction);
+    const uint64_t seed_count =
+        static_cast<uint64_t>(std::llround(grid.seed_count));
+
+    random::Xoshiro256 stream = streams[idx];
+    size_t outbreaks = 0;
+    size_t extinctions = 0;
+    double attack_sum = 0.0;
+    for (size_t trial = 0; trial < trials; ++trial) {
+      auto model = StochasticSeir::Create(sd.populations, sd.flows, params, stream);
+      stream.Jump();
+      Status status = model.ok() ? model->SeedInfection(point.seed_area, seed_count)
+                                 : model.status();
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = status;
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      for (size_t step = 0; step < grid.steps && !model->Extinct(); ++step) {
+        model->Step();
+      }
+      uint64_t recovered = 0;
+      for (size_t a = 0; a < sd.populations.size(); ++a) {
+        recovered += model->Recovered(a);
+      }
+      if (recovered > outbreak_threshold) ++outbreaks;
+      if (model->Extinct()) ++extinctions;
+      attack_sum += static_cast<double>(recovered) / sd.total_population;
+    }
+    StochasticScenarioResult& out = results[idx];
+    out.point = point;
+    out.outbreak_probability =
+        static_cast<double>(outbreaks) / static_cast<double>(trials);
+    out.mean_attack_rate = attack_sum / static_cast<double>(trials);
+    out.extinction_rate =
+        static_cast<double>(extinctions) / static_cast<double>(trials);
+  });
+  if (failed.load(std::memory_order_relaxed)) return first_error;
+  if (!completed) {
+    return Status::DeadlineExceeded("what-if sweep cancelled before completion");
+  }
+  return results;
+}
+
+}  // namespace twimob::epi

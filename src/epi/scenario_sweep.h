@@ -1,0 +1,174 @@
+#ifndef TWIMOB_EPI_SCENARIO_SWEEP_H_
+#define TWIMOB_EPI_SCENARIO_SWEEP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "epi/seir.h"
+#include "mobility/od_matrix.h"
+
+namespace twimob::epi {
+
+/// One mobility context scenarios run over: census populations plus one
+/// fitted OD matrix (a scale's extracted flows, or one model's estimates).
+struct SweepScaleInput {
+  std::string name;
+  std::vector<double> populations;
+  mobility::OdMatrix flows;
+};
+
+/// A scenario grid — the full cross product
+///   scales × betas × mobility_reductions × seed_areas,
+/// expanded in exactly that nesting order (scales outermost, seed areas
+/// innermost). Every scenario runs `steps` Euler steps of `base.dt` days
+/// with `seed_count` initial infections; a reduction x runs the legacy
+/// model at mobility_rate = base.mobility_rate * (1 - x).
+struct SweepGrid {
+  /// Shared rates; `base.beta` is ignored (betas below take its place) and
+  /// `base.mobility_rate` is the pre-intervention coupling strength.
+  SeirParams base;
+  /// Indices into the sweep's scale inputs; empty means every input.
+  std::vector<size_t> scales;
+  std::vector<double> betas;
+  std::vector<double> mobility_reductions;
+  std::vector<size_t> seed_areas;
+  double seed_count = 100.0;
+  size_t steps = 4 * 365;
+
+  friend bool operator==(const SweepGrid&, const SweepGrid&) = default;
+};
+
+/// Coordinates of one expanded scenario. `scale` indexes the sweep's
+/// inputs; the other fields are the grid values themselves.
+struct ScenarioPoint {
+  size_t scale = 0;
+  double beta = 0.0;
+  double mobility_reduction = 0.0;
+  size_t seed_area = 0;
+};
+
+/// Per-area arrival times use this infectious-count threshold (the middle
+/// kArrivalThresholds entry — the one ext_epidemic has always reported).
+inline constexpr double kSweepArrivalThreshold = 10.0;
+
+/// Summary of one deterministic scenario, derived from the trajectory of
+/// global totals exactly as a caller of MetapopulationSeir::Run would:
+/// peak = first strict maximum of total I (initial state included),
+/// attack rate = final total R over the scale's initial population.
+struct ScenarioResult {
+  ScenarioPoint point;
+  SeirTotals final_totals;
+  double peak_infectious = 0.0;
+  double peak_day = 0.0;
+  double attack_rate = 0.0;
+  /// Per-area first time I exceeded kSweepArrivalThreshold; -1 = never.
+  std::vector<double> arrival_day;
+};
+
+/// Monte-Carlo summary of one scenario under the chain-binomial model.
+struct StochasticScenarioResult {
+  ScenarioPoint point;
+  /// Fraction of trials whose final recovered total exceeded the
+  /// outbreak threshold.
+  double outbreak_probability = 0.0;
+  /// Mean over trials of final recovered total / initial population.
+  double mean_attack_rate = 0.0;
+  /// Fraction of trials extinct (no E or I anywhere) at the horizon.
+  double extinction_rate = 0.0;
+};
+
+/// Thread-pool-parallel what-if sweep over fitted OD matrices — the
+/// engine behind serve::WhatIfService and bench/perf_epi.
+///
+/// Determinism contract: results are byte-identical at every thread count
+/// and pool shape. Scenarios are packed into fixed batches of kSweepLanes
+/// lanes (assignment depends only on the expanded grid, never on the
+/// pool), every batch is self-contained, and the merge is by scenario
+/// index. Stochastic randomness comes from per-scenario streams split off
+/// one seed via Xoshiro256::LongJump() (trials within a scenario advance
+/// by Jump()), so scenario i's draws are independent of scheduling.
+///
+/// Bit-compatibility contract: a deterministic scenario's results are
+/// bitwise-equal to running the legacy single-scenario MetapopulationSeir
+/// with the same parameters (scenario_sweep_test sweeps this). The SoA
+/// stepper replays the legacy operation sequence per lane: same coupling
+/// expression, same edge order, same Euler updates — only zero-flow edges
+/// are elided (bitwise neutral) and the per-step allocations are gone.
+class ScenarioSweep {
+ public:
+  /// Validates and ingests the scale inputs: positive populations,
+  /// matching flow dimensions, at least one scale. Flows are lowered to a
+  /// CSR graph (positive off-diagonal edges, hoisted row out-flow sums).
+  static Result<ScenarioSweep> Create(std::vector<SweepScaleInput> inputs);
+
+  /// Expands and validates a grid against the inputs: every axis
+  /// non-empty, rates valid for the legacy model, every seed area in
+  /// range and seedable for its scale. The order defines scenario
+  /// indices.
+  Result<std::vector<ScenarioPoint>> ExpandGrid(const SweepGrid& grid) const;
+
+  /// Runs every scenario of the grid deterministically. `pool` may be
+  /// null (serial). `cancelled`, when set, is polled between scenario
+  /// batches from pool threads (must be thread-safe; serve passes the
+  /// query deadline) — a true return abandons the sweep with
+  /// kDeadlineExceeded, never a partial answer.
+  Result<std::vector<ScenarioResult>> Run(
+      const SweepGrid& grid, ThreadPool* pool,
+      const std::function<bool()>& cancelled = {}) const;
+
+  /// Monte-Carlo counterpart: `trials` chain-binomial runs per scenario.
+  /// An outbreak is a final recovered total exceeding
+  /// `outbreak_threshold`. Deterministic for a given seed at every
+  /// thread count (see the stream-splitting contract above).
+  Result<std::vector<StochasticScenarioResult>> RunStochastic(
+      const SweepGrid& grid, size_t trials, uint64_t outbreak_threshold,
+      uint64_t seed, ThreadPool* pool,
+      const std::function<bool()>& cancelled = {}) const;
+
+  size_t num_scales() const { return scales_.size(); }
+  const std::string& scale_name(size_t s) const { return scales_[s].name; }
+  size_t num_areas(size_t s) const { return scales_[s].populations.size(); }
+  /// Initial total population of one scale (sum in area order).
+  double total_population(size_t s) const { return scales_[s].total_population; }
+
+ private:
+  /// One scale lowered for sweeping: the CSR coupling graph over positive
+  /// off-diagonal flows plus the raw inputs the stochastic path needs.
+  struct ScaleData {
+    std::string name;
+    std::vector<double> populations;
+    double total_population = 0.0;
+    mobility::OdMatrix flows;
+    /// CSR over rows with positive out-flow: edge e couples row(e) ->
+    /// col_[e] with strength (rate * edge_flow_[e]) / edge_out_[e] — the
+    /// legacy coupling expression with the row sum hoisted per edge.
+    std::vector<uint32_t> row_ptr_;
+    std::vector<uint32_t> col_;
+    std::vector<double> edge_flow_;
+    std::vector<double> edge_out_;
+  };
+
+  explicit ScenarioSweep(std::vector<ScaleData> scales)
+      : scales_(std::move(scales)) {}
+
+  /// Runs scenarios [first, first+lanes) — all of one scale — through the
+  /// SoA stepper, writing results[first+k] for each lane.
+  void RunBatch(const SweepGrid& grid, const std::vector<ScenarioPoint>& points,
+                size_t first, size_t lanes,
+                std::vector<ScenarioResult>* results) const;
+
+  std::vector<ScaleData> scales_;
+};
+
+/// Scenario lanes per SoA batch (AVX2 processes 4 double lanes per op; 8
+/// keeps two vectors in flight and bounds the tail of partial batches).
+inline constexpr size_t kSweepLanes = 8;
+
+}  // namespace twimob::epi
+
+#endif  // TWIMOB_EPI_SCENARIO_SWEEP_H_

@@ -19,6 +19,8 @@ struct SeirParams {
   /// matrix per day (coupling strength).
   double mobility_rate = 0.02;
   double dt = 0.25;            ///< integration step, days
+
+  friend bool operator==(const SeirParams&, const SeirParams&) = default;
 };
 
 /// Aggregate compartment totals at one time point.

@@ -1,0 +1,44 @@
+#include "epi/seir_kernels.h"
+
+#include "common/cpu_features.h"
+
+namespace twimob::epi {
+
+void AccumulateCouplingScalar(const uint32_t* row_ptr, const uint32_t* col,
+                              const double* vals, size_t num_areas, size_t lanes,
+                              double dt, const double* state, double* next) {
+  for (size_t i = 0; i < num_areas; ++i) {
+    const double* src = state + i * lanes;
+    double* dst_i = next + i * lanes;
+    for (uint32_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+      const double* v = vals + static_cast<size_t>(e) * lanes;
+      double* dst_j = next + static_cast<size_t>(col[e]) * lanes;
+      for (size_t k = 0; k < lanes; ++k) {
+        const double moved = src[k] * v[k] * dt;
+        dst_j[k] += moved;
+        dst_i[k] -= moved;
+      }
+    }
+  }
+}
+
+void AccumulateCoupling(const uint32_t* row_ptr, const uint32_t* col,
+                        const double* vals, size_t num_areas, size_t lanes,
+                        double dt, const double* state, double* next) {
+  static const seir_internal::CouplingKernelFn dispatched = [] {
+    if (GetCpuFeatures().force_scalar) return seir_internal::CouplingKernelFn{};
+    return seir_internal::SimdCouplingKernel();
+  }();
+  if (dispatched != nullptr) {
+    dispatched(row_ptr, col, vals, num_areas, lanes, dt, state, next);
+    return;
+  }
+  AccumulateCouplingScalar(row_ptr, col, vals, num_areas, lanes, dt, state, next);
+}
+
+const char* CouplingKernelImplementation() {
+  if (GetCpuFeatures().force_scalar) return "scalar";
+  return seir_internal::SimdCouplingKernel() != nullptr ? "avx2" : "scalar";
+}
+
+}  // namespace twimob::epi

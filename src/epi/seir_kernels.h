@@ -1,0 +1,59 @@
+#ifndef TWIMOB_EPI_SEIR_KERNELS_H_
+#define TWIMOB_EPI_SEIR_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace twimob::epi {
+
+/// Multi-lane coupling accumulation over a CSR mobility graph — the inner
+/// loop of the scenario sweep's SoA stepper. For every CSR edge (row i ->
+/// col[e]) and every lane k:
+///
+///   moved     = state[i*lanes+k] * vals[e*lanes+k] * dt
+///   next[col[e]*lanes+k] += moved
+///   next[i*lanes+k]      -= moved
+///
+/// evaluated in row-ascending, within-row column-ascending, lane-ascending
+/// order — exactly the legacy `MetapopulationSeir::Step` mixing loop with
+/// zero-flow edges elided (bitwise neutral: compartments are non-negative,
+/// so a +0.0 contribution can never flip a sign bit). Only IEEE-exact
+/// multiplies/adds/subtracts per lane, so the AVX2 path is bit-identical to
+/// this reference by construction (same per-lane operation sequence).
+///
+/// `row_ptr` has num_areas+1 entries; `col[e]` never equals its row (no
+/// diagonal edges); `next` must be zero-initialised by the caller.
+void AccumulateCouplingScalar(const uint32_t* row_ptr, const uint32_t* col,
+                              const double* vals, size_t num_areas, size_t lanes,
+                              double dt, const double* state, double* next);
+
+/// Dispatched entry: the AVX2 kernel when the CPU supports it and
+/// TWIMOB_FORCE_SCALAR is not set, the scalar reference otherwise. Output
+/// is bit-identical in both modes (scenario_sweep_test differential).
+void AccumulateCoupling(const uint32_t* row_ptr, const uint32_t* col,
+                        const double* vals, size_t num_areas, size_t lanes,
+                        double dt, const double* state, double* next);
+
+/// Name of the implementation AccumulateCoupling dispatches to
+/// ("avx2" / "scalar") — reported by perf_epi's kernel object.
+const char* CouplingKernelImplementation();
+
+namespace seir_internal {
+
+/// Function-pointer type of the coupling kernel (same contract as
+/// AccumulateCouplingScalar).
+using CouplingKernelFn = void (*)(const uint32_t* row_ptr, const uint32_t* col,
+                                  const double* vals, size_t num_areas,
+                                  size_t lanes, double dt, const double* state,
+                                  double* next);
+
+/// The raw AVX2 kernel, or nullptr when the CPU lacks AVX2. Ignores
+/// TWIMOB_FORCE_SCALAR — used by the differential test and perf_epi to pit
+/// the vector path against the reference directly.
+CouplingKernelFn SimdCouplingKernel();
+
+}  // namespace seir_internal
+
+}  // namespace twimob::epi
+
+#endif  // TWIMOB_EPI_SEIR_KERNELS_H_

@@ -1,0 +1,77 @@
+// AVX2 coupling accumulation for the scenario sweep's SoA stepper: 4
+// scenario lanes per iteration of `moved = state * vals * dt;
+// next[col] += moved; next[row] -= moved`, scalar tail for the remaining
+// lanes. Multiply, add and subtract are IEEE-exact, lanes are independent,
+// and the edge order matches the scalar reference exactly, so every lane
+// sees the identical operation sequence and the kernel is bit-identical to
+// AccumulateCouplingScalar by construction (no FMA contraction: the two
+// multiplies and the add/sub are separate rounded instructions, matching
+// the scalar expression compiled without contraction). The per-scenario
+// local dynamics (which divide and clamp through std::min) stay scalar per
+// lane in scenario_sweep.cc per the SIMD checklist.
+//
+// Per-function `target` attribute instead of per-file -m flags so the
+// library stays buildable for the baseline ISA; callers reach this only
+// through the runtime dispatcher in seir_kernels.cc.
+
+#include "epi/seir_kernels.h"
+
+#include "common/cpu_features.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TWIMOB_SEIR_KERNELS_X86 1
+#include <immintrin.h>
+#endif
+
+namespace twimob::epi::seir_internal {
+
+#if defined(TWIMOB_SEIR_KERNELS_X86)
+
+namespace {
+
+__attribute__((target("avx2"))) void AccumulateCouplingAvx2(
+    const uint32_t* row_ptr, const uint32_t* col, const double* vals,
+    size_t num_areas, size_t lanes, double dt, const double* state,
+    double* next) {
+  const __m256d vdt = _mm256_set1_pd(dt);
+  for (size_t i = 0; i < num_areas; ++i) {
+    const double* src = state + i * lanes;
+    double* dst_i = next + i * lanes;
+    for (uint32_t e = row_ptr[i]; e < row_ptr[i + 1]; ++e) {
+      const double* v = vals + static_cast<size_t>(e) * lanes;
+      double* dst_j = next + static_cast<size_t>(col[e]) * lanes;
+      size_t k = 0;
+      // dst_i and dst_j never alias: CSR rows carry no diagonal edges.
+      for (; k + 4 <= lanes; k += 4) {
+        const __m256d moved = _mm256_mul_pd(
+            _mm256_mul_pd(_mm256_loadu_pd(src + k), _mm256_loadu_pd(v + k)), vdt);
+        _mm256_storeu_pd(dst_j + k,
+                         _mm256_add_pd(_mm256_loadu_pd(dst_j + k), moved));
+        _mm256_storeu_pd(dst_i + k,
+                         _mm256_sub_pd(_mm256_loadu_pd(dst_i + k), moved));
+      }
+      for (; k < lanes; ++k) {
+        const double moved = src[k] * v[k] * dt;
+        dst_j[k] += moved;
+        dst_i[k] -= moved;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CouplingKernelFn SimdCouplingKernel() {
+  static const CouplingKernelFn kernel = []() -> CouplingKernelFn {
+    return DetectCpuFeatures().avx2 ? &AccumulateCouplingAvx2 : nullptr;
+  }();
+  return kernel;
+}
+
+#else  // no vectorized coupling accumulation on this target
+
+CouplingKernelFn SimdCouplingKernel() { return nullptr; }
+
+#endif
+
+}  // namespace twimob::epi::seir_internal

@@ -9,10 +9,10 @@ namespace twimob::epi {
 
 StochasticSeir::StochasticSeir(std::vector<uint64_t> populations,
                                std::vector<std::vector<double>> coupling,
-                               SeirParams params, uint64_t seed)
+                               SeirParams params, random::Xoshiro256 rng)
     : n_(populations.size()),
       params_(params),
-      rng_(seed),
+      rng_(rng),
       population_(std::move(populations)),
       coupling_(std::move(coupling)),
       s_(population_),
@@ -24,6 +24,13 @@ Result<StochasticSeir> StochasticSeir::Create(const std::vector<double>& populat
                                               const mobility::OdMatrix& flows,
                                               const SeirParams& params,
                                               uint64_t seed) {
+  return Create(populations, flows, params, random::Xoshiro256(seed));
+}
+
+Result<StochasticSeir> StochasticSeir::Create(const std::vector<double>& populations,
+                                              const mobility::OdMatrix& flows,
+                                              const SeirParams& params,
+                                              random::Xoshiro256 stream) {
   // Reuse the deterministic model's validation and coupling construction.
   auto deterministic = MetapopulationSeir::Create(populations, flows, params);
   if (!deterministic.ok()) return deterministic.status();
@@ -46,7 +53,7 @@ Result<StochasticSeir> StochasticSeir::Create(const std::vector<double>& populat
       }
     }
   }
-  return StochasticSeir(std::move(pops), std::move(coupling), params, seed);
+  return StochasticSeir(std::move(pops), std::move(coupling), params, stream);
 }
 
 Status StochasticSeir::SeedInfection(size_t area, uint64_t count) {

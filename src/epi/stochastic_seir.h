@@ -29,6 +29,15 @@ class StochasticSeir {
                                        const mobility::OdMatrix& flows,
                                        const SeirParams& params, uint64_t seed);
 
+  /// Like the seed overload, but draws from the given pre-positioned
+  /// stream. Sweeps pass Jump()/LongJump()-derived streams here so every
+  /// trial's randomness is independent of scheduling (see
+  /// ScenarioSweep::RunStochastic).
+  static Result<StochasticSeir> Create(const std::vector<double>& populations,
+                                       const mobility::OdMatrix& flows,
+                                       const SeirParams& params,
+                                       random::Xoshiro256 stream);
+
   /// Moves `count` susceptibles of `area` into the infectious compartment.
   Status SeedInfection(size_t area, uint64_t count);
 
@@ -52,7 +61,7 @@ class StochasticSeir {
  private:
   StochasticSeir(std::vector<uint64_t> populations,
                  std::vector<std::vector<double>> coupling, SeirParams params,
-                 uint64_t seed);
+                 random::Xoshiro256 rng);
 
   void MixCompartment(std::vector<uint64_t>& compartment);
 

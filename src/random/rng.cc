@@ -90,4 +90,50 @@ double Xoshiro256::NextExponential(double rate) {
 
 Xoshiro256 Xoshiro256::Fork() { return Xoshiro256(Next()); }
 
+namespace {
+
+/// Polynomial-jump core shared by Jump()/LongJump(): replaces the state
+/// with the linear combination selected by the 256 mask bits, advancing
+/// the underlying LFSR by the polynomial's order (2^128 / 2^192 steps).
+/// Reference constants: Blackman & Vigna, xoshiro256 reference code.
+template <typename NextFn>
+void PolynomialJump(uint64_t (&s)[4], const uint64_t (&mask)[4], NextFn next) {
+  uint64_t j0 = 0, j1 = 0, j2 = 0, j3 = 0;
+  for (uint64_t word : mask) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (uint64_t{1} << bit)) {
+        j0 ^= s[0];
+        j1 ^= s[1];
+        j2 ^= s[2];
+        j3 ^= s[3];
+      }
+      next();
+    }
+  }
+  s[0] = j0;
+  s[1] = j1;
+  s[2] = j2;
+  s[3] = j3;
+}
+
+}  // namespace
+
+void Xoshiro256::Jump() {
+  static constexpr uint64_t kJump[4] = {0x180ec6d33cfd0abaULL,
+                                        0xd5a61266f0c9392cULL,
+                                        0xa9582618e03fc9aaULL,
+                                        0x39abdc4529b1661cULL};
+  PolynomialJump(s_, kJump, [this] { Next(); });
+  has_cached_gaussian_ = false;
+}
+
+void Xoshiro256::LongJump() {
+  static constexpr uint64_t kLongJump[4] = {0x76e15d3efefdcbbfULL,
+                                            0xc5004e441c522fb3ULL,
+                                            0x77710069854ee241ULL,
+                                            0x39109bb02acbe635ULL};
+  PolynomialJump(s_, kLongJump, [this] { Next(); });
+  has_cached_gaussian_ = false;
+}
+
 }  // namespace twimob::random

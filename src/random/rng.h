@@ -64,6 +64,19 @@ class Xoshiro256 {
   /// parent's current state.
   Xoshiro256 Fork();
 
+  /// Advances the state by 2^128 Next() calls (the canonical xoshiro256
+  /// jump polynomial), yielding a stream that cannot overlap the original
+  /// within 2^128 draws. Clears the cached Gaussian so the jumped stream's
+  /// output depends only on its state.
+  void Jump();
+
+  /// Advances the state by 2^192 Next() calls. 2^64 non-overlapping
+  /// Jump()-sized substreams fit between consecutive LongJump() states, so
+  /// a sweep can derive scenario streams by repeated LongJump() and trial
+  /// streams within a scenario by repeated Jump() — all
+  /// schedule-independent.
+  void LongJump();
+
  private:
   uint64_t s_[4];
   bool has_cached_gaussian_ = false;

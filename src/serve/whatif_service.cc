@@ -1,0 +1,180 @@
+#include "serve/whatif_service.h"
+
+#include <bit>
+#include <utility>
+
+#include "core/analysis_context.h"
+#include "random/rng.h"
+
+namespace twimob::serve {
+
+namespace {
+
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  random::SplitMix64 mixer(h ^ (v + 0x9e3779b97f4a7c15ULL));
+  return mixer.Next();
+}
+
+uint64_t MixHashDouble(uint64_t h, double v) {
+  return MixHash(h, std::bit_cast<uint64_t>(v));
+}
+
+}  // namespace
+
+uint64_t HashSweepGrid(const epi::SweepGrid& grid) {
+  uint64_t h = 0x7769665f67726964ULL;  // "wif_grid"
+  h = MixHashDouble(h, grid.base.beta);
+  h = MixHashDouble(h, grid.base.sigma);
+  h = MixHashDouble(h, grid.base.gamma);
+  h = MixHashDouble(h, grid.base.mobility_rate);
+  h = MixHashDouble(h, grid.base.dt);
+  // Length separators keep e.g. {1,2}×{3} distinct from {1}×{2,3}.
+  h = MixHash(h, grid.scales.size());
+  for (size_t s : grid.scales) h = MixHash(h, s);
+  h = MixHash(h, grid.betas.size());
+  for (double b : grid.betas) h = MixHashDouble(h, b);
+  h = MixHash(h, grid.mobility_reductions.size());
+  for (double r : grid.mobility_reductions) h = MixHashDouble(h, r);
+  h = MixHash(h, grid.seed_areas.size());
+  for (size_t a : grid.seed_areas) h = MixHash(h, a);
+  h = MixHashDouble(h, grid.seed_count);
+  h = MixHash(h, grid.steps);
+  return h;
+}
+
+WhatIfService::WhatIfService(std::shared_ptr<const core::AnalysisSnapshot> snapshot,
+                             WhatIfOptions options)
+    : fixed_(std::move(snapshot)),
+      options_(options),
+      pool_(options.num_threads == 0 ? core::AnalysisContext::DefaultThreadCount()
+                                     : options.num_threads),
+      cache_(std::make_shared<const CacheShelf>()) {}
+
+WhatIfService::WhatIfService(const SnapshotCatalog* catalog, WhatIfOptions options)
+    : catalog_(catalog),
+      options_(options),
+      pool_(options.num_threads == 0 ? core::AnalysisContext::DefaultThreadCount()
+                                     : options.num_threads),
+      cache_(std::make_shared<const CacheShelf>()) {}
+
+std::shared_ptr<const core::AnalysisSnapshot> WhatIfService::Acquire() const {
+  if (fixed_ != nullptr) return fixed_;
+  return catalog_->Current();
+}
+
+WhatIfService::AdmissionSlot::AdmissionSlot(const WhatIfService& service)
+    : service_(service), admitted_(true) {
+  if (service_.options_.max_inflight == 0) return;  // unlimited
+  const uint64_t n =
+      service_.inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (n > service_.options_.max_inflight) {
+    service_.inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    service_.shed_queries_.fetch_add(1, std::memory_order_relaxed);
+    admitted_ = false;
+    return;
+  }
+  counted_ = true;
+}
+
+WhatIfService::AdmissionSlot::~AdmissionSlot() {
+  if (counted_) service_.inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void WhatIfService::Publish(CacheEntry entry) const {
+  auto current = cache_.load(std::memory_order_acquire);
+  while (true) {
+    auto next = std::make_shared<CacheShelf>();
+    next->reserve(options_.cache_capacity);
+    next->push_back(entry);
+    for (const CacheEntry& kept : *current) {
+      if (next->size() >= options_.cache_capacity) break;
+      // Natural invalidation: superseded commit versions drop out, and a
+      // racing publication of the same key keeps only the newest.
+      if (kept.generation != entry.generation ||
+          kept.ingest_seq != entry.ingest_seq) {
+        continue;
+      }
+      if (kept.grid_hash == entry.grid_hash && kept.grid == entry.grid) continue;
+      next->push_back(kept);
+    }
+    std::shared_ptr<const CacheShelf> published = std::move(next);
+    if (cache_.compare_exchange_weak(current, published,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      return;
+    }
+    // `current` reloaded by the failed CAS; rebuild against it.
+  }
+}
+
+Result<std::shared_ptr<const WhatIfAnswer>> WhatIfService::WhatIf(
+    const epi::SweepGrid& grid, const QueryOptions& options) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (options.deadline.HasExpired()) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    return Status::DeadlineExceeded(
+        "what-if query: deadline expired before completion");
+  }
+
+  const std::shared_ptr<const core::AnalysisSnapshot> snapshot = Acquire();
+  const std::shared_ptr<const epi::ScenarioSweep>& sweep =
+      snapshot->scenario_sweep();
+  if (sweep == nullptr) {
+    return Status::FailedPrecondition(
+        "what-if query: snapshot has no mobility analysis to sweep over");
+  }
+
+  const uint64_t hash = HashSweepGrid(grid);
+  const auto shelf = cache_.load(std::memory_order_acquire);
+  for (const CacheEntry& entry : *shelf) {
+    if (entry.generation == snapshot->generation() &&
+        entry.ingest_seq == snapshot->ingest_seq() && entry.grid_hash == hash &&
+        entry.grid == grid) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return entry.answer;
+    }
+  }
+
+  AdmissionSlot slot(*this);
+  if (!slot.admitted()) {
+    return Status::Unavailable(
+        "what-if query shed: sweep admission limit reached; retry with backoff");
+  }
+
+  const Deadline deadline = options.deadline;
+  auto computed = sweep->Run(
+      grid, &pool_,
+      deadline.unbounded()
+          ? std::function<bool()>{}
+          : std::function<bool()>{[deadline] { return deadline.HasExpired(); }});
+  if (!computed.ok()) {
+    if (computed.status().IsDeadlineExceeded()) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return computed.status();
+  }
+  sweeps_run_.fetch_add(1, std::memory_order_relaxed);
+
+  auto answer = std::make_shared<WhatIfAnswer>();
+  answer->generation = snapshot->generation();
+  answer->ingest_seq = snapshot->ingest_seq();
+  answer->results = std::move(*computed);
+  std::shared_ptr<const WhatIfAnswer> published = std::move(answer);
+  if (options_.cache_capacity > 0) {
+    Publish(CacheEntry{published->generation, published->ingest_seq, hash, grid,
+                       published});
+  }
+  return published;
+}
+
+WhatIfStats WhatIfService::stats() const {
+  WhatIfStats stats;
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.sweeps_run = sweeps_run_.load(std::memory_order_relaxed);
+  stats.shed_queries = shed_queries_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace twimob::serve

@@ -1,0 +1,151 @@
+#ifndef TWIMOB_SERVE_WHATIF_SERVICE_H_
+#define TWIMOB_SERVE_WHATIF_SERVICE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/analysis_snapshot.h"
+#include "epi/scenario_sweep.h"
+#include "serve/query_service.h"
+#include "serve/snapshot_catalog.h"
+
+namespace twimob::serve {
+
+/// A completed what-if sweep: every scenario result of one grid, computed
+/// against one snapshot commit version. Immutable and shared — cached
+/// answers and freshly computed answers are the same object type, and a
+/// cached answer is bit-identical to recomputing (the sweep engine's
+/// determinism contract).
+struct WhatIfAnswer {
+  /// Commit version of the snapshot the sweep ran over.
+  uint64_t generation = 0;
+  uint64_t ingest_seq = 0;
+  /// One entry per scenario, in grid-expansion order.
+  std::vector<epi::ScenarioResult> results;
+};
+
+/// Construction-time knobs of a WhatIfService.
+struct WhatIfOptions {
+  /// Sweep pool size; 0 = TWIMOB_THREADS / hardware concurrency.
+  size_t num_threads = 0;
+  /// Completed sweeps memoised per snapshot commit version.
+  size_t cache_capacity = 8;
+  /// Maximum concurrently *computing* sweeps; 0 = unlimited. Cache hits
+  /// are never shed — admission protects the compute, not the lookup.
+  size_t max_inflight = 0;
+};
+
+/// Cumulative counters (relaxed atomics; exact once queries quiesce).
+struct WhatIfStats {
+  uint64_t queries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t sweeps_run = 0;         ///< cache misses that computed a sweep
+  uint64_t shed_queries = 0;       ///< misses rejected at admission
+  uint64_t deadline_exceeded = 0;  ///< abandoned at a deadline check
+};
+
+/// Lock-free epidemic what-if endpoint over analysis snapshots.
+///
+/// A query acquires the serving snapshot (catalog-backed: one atomic
+/// load), keys into a snapshot-keyed result cache by
+/// (generation, ingest_seq, grid hash) — with a full grid equality check,
+/// so a hash collision can never serve the wrong sweep — and on a miss
+/// runs the scenario sweep on the service's pool and publishes the answer
+/// with an atomic-shared-ptr compare-exchange. The read path takes no
+/// locks; racing misses on the same grid each compute the (bit-identical)
+/// answer and one publication wins. Because the key embeds the commit
+/// version, a catalog Refresh() invalidates the cache naturally: entries
+/// for superseded versions stop matching and are dropped at the next
+/// publication.
+///
+/// Deadlines and admission follow QueryService semantics: the deadline is
+/// polled between scenario batches (an answer that comes back is
+/// bit-identical to an unbounded one; an expired query gets
+/// kDeadlineExceeded, never a partial sweep — and never poisons the
+/// cache), and sweep computation beyond max_inflight is shed with
+/// kUnavailable. A snapshot without a mobility analysis answers
+/// kFailedPrecondition.
+class WhatIfService {
+ public:
+  /// Serves one fixed snapshot (never refreshed). Must not be null.
+  explicit WhatIfService(std::shared_ptr<const core::AnalysisSnapshot> snapshot,
+                         WhatIfOptions options = {});
+
+  /// Serves `catalog->Current()` per request. The catalog must outlive
+  /// the service.
+  explicit WhatIfService(const SnapshotCatalog* catalog,
+                         WhatIfOptions options = {});
+
+  /// Answers one scenario grid: every scenario's deterministic result
+  /// against the current snapshot's fitted OD matrices.
+  Result<std::shared_ptr<const WhatIfAnswer>> WhatIf(
+      const epi::SweepGrid& grid, const QueryOptions& options = {}) const;
+
+  /// The snapshot a query issued now would answer from.
+  std::shared_ptr<const core::AnalysisSnapshot> snapshot() const {
+    return Acquire();
+  }
+
+  /// Cumulative counters across all threads.
+  WhatIfStats stats() const;
+
+ private:
+  struct CacheEntry {
+    uint64_t generation = 0;
+    uint64_t ingest_seq = 0;
+    uint64_t grid_hash = 0;
+    epi::SweepGrid grid;
+    std::shared_ptr<const WhatIfAnswer> answer;
+  };
+  /// One immutable published cache state; replaced wholesale on insert.
+  using CacheShelf = std::vector<CacheEntry>;
+
+  /// RAII admission token for the compute path (mirrors
+  /// QueryService::AdmissionSlot).
+  class AdmissionSlot {
+   public:
+    explicit AdmissionSlot(const WhatIfService& service);
+    ~AdmissionSlot();
+    AdmissionSlot(const AdmissionSlot&) = delete;
+    AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+    bool admitted() const { return admitted_; }
+
+   private:
+    const WhatIfService& service_;
+    bool admitted_;
+    bool counted_ = false;
+  };
+
+  std::shared_ptr<const core::AnalysisSnapshot> Acquire() const;
+
+  /// Inserts `entry` into a new shelf: newest first, same-version entries
+  /// carried over (minus any superseded duplicate of the same key),
+  /// other-version entries dropped, capped at cache_capacity.
+  void Publish(CacheEntry entry) const;
+
+  std::shared_ptr<const core::AnalysisSnapshot> fixed_;
+  const SnapshotCatalog* catalog_ = nullptr;
+  const WhatIfOptions options_;
+  mutable ThreadPool pool_;
+  mutable std::atomic<std::shared_ptr<const CacheShelf>> cache_;
+
+  mutable std::atomic<uint64_t> queries_{0};
+  mutable std::atomic<uint64_t> cache_hits_{0};
+  mutable std::atomic<uint64_t> sweeps_run_{0};
+  mutable std::atomic<uint64_t> shed_queries_{0};
+  mutable std::atomic<uint64_t> deadline_exceeded_{0};
+  mutable std::atomic<uint64_t> inflight_{0};
+};
+
+/// Order-sensitive 64-bit hash of a scenario grid (cache key component;
+/// collisions are defused by the full equality check).
+uint64_t HashSweepGrid(const epi::SweepGrid& grid);
+
+}  // namespace twimob::serve
+
+#endif  // TWIMOB_SERVE_WHATIF_SERVICE_H_

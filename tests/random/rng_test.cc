@@ -143,5 +143,104 @@ TEST(Xoshiro256Test, SatisfiesUniformRandomBitGenerator) {
   EXPECT_GE(rng(), Xoshiro256::min());
 }
 
+TEST(Xoshiro256JumpTest, JumpIsDeterministic) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  a.Jump();
+  b.Jump();
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256JumpTest, JumpMovesAwayFromTheOriginalStream) {
+  Xoshiro256 jumped(5);
+  jumped.Jump();
+  Xoshiro256 plain(5);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (plain.Next() == jumped.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256JumpTest, LongJumpDiffersFromJump) {
+  Xoshiro256 jumped(5);
+  jumped.Jump();
+  Xoshiro256 long_jumped(5);
+  long_jumped.LongJump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (jumped.Next() == long_jumped.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256JumpTest, JumpCommutesWithStepping) {
+  // The jump is a power of the (linear) state-transition map, so it must
+  // commute with stepping: Next^k then Jump lands on the same state as
+  // Jump then Next^k. A hand-rolled jump that is not a genuine power of
+  // the transition polynomial fails this for almost every k.
+  for (int k : {1, 2, 7, 63}) {
+    Xoshiro256 a(777);
+    Xoshiro256 b(777);
+    for (int i = 0; i < k; ++i) a.Next();
+    a.Jump();
+    b.Jump();
+    for (int i = 0; i < k; ++i) b.Next();
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(a.Next(), b.Next());
+    Xoshiro256 c(777);
+    Xoshiro256 d(777);
+    for (int i = 0; i < k; ++i) c.Next();
+    c.LongJump();
+    d.LongJump();
+    for (int i = 0; i < k; ++i) d.Next();
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(c.Next(), d.Next());
+  }
+}
+
+TEST(Xoshiro256JumpTest, SubstreamDrawsAreAllDistinct) {
+  // The scenario-sweep stream plan: LongJump between scenarios, Jump
+  // between trials within a scenario. Every draw across all substreams
+  // must be distinct — overlapping substreams would repeat whole runs.
+  std::set<uint64_t> seen;
+  size_t total = 0;
+  Xoshiro256 scenario_base(1234);
+  for (int s = 0; s < 8; ++s) {
+    Xoshiro256 trial_base = scenario_base;
+    for (int t = 0; t < 4; ++t) {
+      Xoshiro256 rng = trial_base;
+      for (int i = 0; i < 256; ++i) {
+        seen.insert(rng.Next());
+        ++total;
+      }
+      trial_base.Jump();
+    }
+    scenario_base.LongJump();
+  }
+  EXPECT_EQ(seen.size(), total);
+}
+
+TEST(Xoshiro256JumpTest, JumpClearsTheCachedGaussian) {
+  Xoshiro256 a(321);
+  Xoshiro256 b(321);
+  // a jumps with a primed polar-method cache; b drains its (identical)
+  // cache first, so both jump from the same underlying state but only a
+  // holds a stale spare across the jump. Equal post-jump Gaussians prove
+  // the jump dropped the spare instead of serving it.
+  a.NextGaussian();
+  b.NextGaussian();
+  b.NextGaussian();  // cache hit only; does not advance b's state
+  a.Jump();
+  b.Jump();
+  EXPECT_EQ(a.NextGaussian(), b.NextGaussian());
+  Xoshiro256 c(654);
+  Xoshiro256 d(654);
+  c.NextGaussian();
+  d.NextGaussian();
+  d.NextGaussian();
+  c.LongJump();
+  d.LongJump();
+  EXPECT_EQ(c.NextGaussian(), d.NextGaussian());
+}
+
 }  // namespace
 }  // namespace twimob::random

@@ -28,6 +28,7 @@
 #include "serve/query_service.h"
 #include "serve/refresh_supervisor.h"
 #include "serve/snapshot_catalog.h"
+#include "serve/whatif_service.h"
 #include "synth/tweet_generator.h"
 #include "tweetdb/binary_codec.h"
 #include "tweetdb/generation_pins.h"
@@ -208,6 +209,19 @@ TEST_P(ChaosScheduleTest, LiveLoopSurvivesScheduleAndRecovers) {
 
   const QueryService service(catalog->get());
 
+  // The what-if lane: ChaosConfig disables mobility, so no snapshot the
+  // loop ever serves carries a sweep engine — the typed
+  // kFailedPrecondition contract must hold at every tick, under every
+  // fault schedule, with deadline typing intact and no crash.
+  WhatIfOptions whatif_options;
+  whatif_options.num_threads = 1;
+  const WhatIfService whatif(catalog->get(), whatif_options);
+  epi::SweepGrid whatif_grid;
+  whatif_grid.betas = {0.3};
+  whatif_grid.mobility_reductions = {0.0};
+  whatif_grid.seed_areas = {0};
+  whatif_grid.steps = 10;
+
   // Arm the schedule AFTER the clean open (set_schedule resets the op
   // counter, so the windows cover the live loop's first few hundred ops).
   fault_env.set_schedule(
@@ -263,8 +277,17 @@ TEST_P(ChaosScheduleTest, LiveLoopSurvivesScheduleAndRecovers) {
       const uint64_t wseed = seed * 7919 + static_cast<uint64_t>(tick);
       EXPECT_TRUE(BitwiseEqual(ChaosWorkload(pinned, wseed, 4),
                                ChaosWorkload(pinned, wseed, 4)));
+      EXPECT_TRUE(whatif.WhatIf(whatif_grid).status().IsFailedPrecondition());
+      QueryOptions expired_options;
+      expired_options.deadline = Deadline::AlreadyExpired();
+      EXPECT_TRUE(whatif.WhatIf(whatif_grid, expired_options)
+                      .status()
+                      .IsDeadlineExceeded());
     }
   }
+  // The what-if lane never computed, cached or shed anything.
+  EXPECT_EQ(whatif.stats().sweeps_run, 0u);
+  EXPECT_EQ(whatif.stats().shed_queries, 0u);
   EXPECT_GT(fault_env.faults_injected(), 0u) << "schedule never fired";
   if (kind == FaultKind::kLatency) {
     EXPECT_GT(fault_env.injected_latency_ms(), 0.0);

@@ -20,6 +20,7 @@
 #include "serve/query_service.h"
 #include "serve/refresh_supervisor.h"
 #include "serve/snapshot_catalog.h"
+#include "serve/whatif_service.h"
 #include "synth/tweet_generator.h"
 #include "tweetdb/binary_codec.h"
 #include "tweetdb/ingest.h"
@@ -391,6 +392,117 @@ TEST(ServingStressTest, SupervisedRefresherServesConsistentSnapshotsUnderIngest)
   EXPECT_EQ(health.failures, 0u);
   EXPECT_EQ((*catalog)->Current()->dataset().num_rows(),
             base_rows + stream_rows.size());
+}
+
+/// Flattens a what-if answer to doubles so runs compare bitwise (the
+/// commit version is deliberately excluded — content-equivalent
+/// generations must be indistinguishable).
+std::vector<double> FlattenWhatIf(const WhatIfAnswer& answer) {
+  std::vector<double> flat;
+  for (const epi::ScenarioResult& r : answer.results) {
+    flat.push_back(r.final_totals.t);
+    flat.push_back(r.final_totals.s);
+    flat.push_back(r.final_totals.e);
+    flat.push_back(r.final_totals.i);
+    flat.push_back(r.final_totals.r);
+    flat.push_back(r.peak_infectious);
+    flat.push_back(r.peak_day);
+    flat.push_back(r.attack_rate);
+    flat.insert(flat.end(), r.arrival_day.begin(), r.arrival_day.end());
+  }
+  return flat;
+}
+
+TEST(ServingStressTest, ConcurrentWhatIfQueriersUnderRefreshChurn) {
+  // What-if queriers race a committing writer and a refresher. Every
+  // answer — cache hit, fresh sweep, or recompute after a snapshot swap to
+  // a content-identical generation — must be bitwise equal to the serial
+  // reference. Runs under TSan in CI via serve_test: the snapshot-keyed
+  // cache's CAS publication and the pool fan-out are exercised from many
+  // threads at once.
+  const std::string path = testing::TempDir() + "/twimob_serving_whatif.twdb";
+  std::remove(path.c_str());
+  const core::PipelineConfig config = StressConfig();
+  tweetdb::TweetDataset corpus = GenerateCorpus(config);
+  ASSERT_TRUE(tweetdb::WriteDatasetFiles(corpus, path).ok());
+
+  CatalogOptions options;
+  options.analysis = config;
+  options.num_threads = 2;
+  auto catalog = SnapshotCatalog::Open(path, options);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().message();
+
+  WhatIfOptions whatif_options;
+  whatif_options.num_threads = 2;
+  const WhatIfService service(catalog->get(), whatif_options);
+
+  constexpr int kWhatIfThreads = 3;
+  const auto grid_for_thread = [](int t) {
+    epi::SweepGrid grid;
+    grid.betas = {0.3, 0.5};
+    grid.mobility_reductions = {0.0, 0.4};
+    grid.seed_areas = {static_cast<size_t>(t)};
+    grid.seed_count = 10.0;
+    grid.steps = 60;
+    return grid;
+  };
+
+  // Serial references from the generation-1 snapshot.
+  std::vector<std::vector<double>> reference(kWhatIfThreads);
+  for (int t = 0; t < kWhatIfThreads; ++t) {
+    auto answer = service.WhatIf(grid_for_thread(t));
+    ASSERT_TRUE(answer.ok()) << answer.status().message();
+    reference[t] = FlattenWhatIf(**answer);
+    ASSERT_FALSE(reference[t].empty());
+  }
+
+  // Writer commits the SAME corpus content under fresh generations; the
+  // refresher's swaps invalidate the what-if cache (the key embeds the
+  // commit version) without ever changing the answers.
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&corpus, &path, &writer_done] {
+    for (int k = 0; k < 3; ++k) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      EXPECT_TRUE(tweetdb::WriteDatasetFiles(corpus, path).ok());
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+  std::thread refresher([&catalog, &writer_done] {
+    while (!writer_done.load(std::memory_order_acquire)) {
+      auto refreshed = (*catalog)->Refresh();
+      EXPECT_TRUE(refreshed.ok()) << refreshed.status().message();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  std::vector<std::thread> queriers;
+  std::vector<int> mismatches(kWhatIfThreads, 0);
+  for (int t = 0; t < kWhatIfThreads; ++t) {
+    queriers.emplace_back([&service, &grid_for_thread, &reference, &mismatches,
+                           &writer_done, t] {
+      int rounds = 0;
+      while (!writer_done.load(std::memory_order_acquire) || rounds < 6) {
+        auto answer = service.WhatIf(grid_for_thread(t));
+        if (!answer.ok() ||
+            !BitwiseEqual(FlattenWhatIf(**answer), reference[t])) {
+          ++mismatches[t];
+        }
+        ++rounds;
+      }
+    });
+  }
+  for (std::thread& q : queriers) q.join();
+  writer.join();
+  refresher.join();
+
+  for (int t = 0; t < kWhatIfThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0)
+        << "what-if thread " << t << " saw answers change across refreshes";
+  }
+  const WhatIfStats stats = service.stats();
+  EXPECT_GE(stats.queries, static_cast<uint64_t>(kWhatIfThreads * 6 + 3));
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GE(stats.sweeps_run, static_cast<uint64_t>(kWhatIfThreads));
 }
 
 TEST(ServingStressTest, ServedAnswersAreThreadCountInvariant) {

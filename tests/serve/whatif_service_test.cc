@@ -1,0 +1,335 @@
+// WhatIfService: cached answers must be bit-identical to uncached ones,
+// the cache must key on the snapshot commit version (a refresh
+// invalidates), and deadline/admission/missing-mobility outcomes must be
+// typed errors that never poison the cache.
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "census/census_data.h"
+#include "core/analysis_snapshot.h"
+#include "random/rng.h"
+#include "serve/snapshot_catalog.h"
+#include "serve/whatif_service.h"
+#include "tweetdb/binary_codec.h"
+#include "tweetdb/ingest.h"
+
+namespace twimob::serve {
+namespace {
+
+bool BitEq(double a, double b) {
+  uint64_t ua = 0;
+  uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+void ExpectAnswersBitEqual(const WhatIfAnswer& a, const WhatIfAnswer& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_TRUE(BitEq(a.results[i].final_totals.s, b.results[i].final_totals.s));
+    EXPECT_TRUE(BitEq(a.results[i].final_totals.r, b.results[i].final_totals.r));
+    EXPECT_TRUE(BitEq(a.results[i].peak_infectious, b.results[i].peak_infectious));
+    EXPECT_TRUE(BitEq(a.results[i].peak_day, b.results[i].peak_day));
+    EXPECT_TRUE(BitEq(a.results[i].attack_rate, b.results[i].attack_rate));
+    ASSERT_EQ(a.results[i].arrival_day.size(), b.results[i].arrival_day.size());
+    for (size_t j = 0; j < a.results[i].arrival_day.size(); ++j) {
+      EXPECT_TRUE(BitEq(a.results[i].arrival_day[j], b.results[i].arrival_day[j]));
+    }
+  }
+}
+
+epi::SweepGrid SmallGrid() {
+  epi::SweepGrid grid;
+  grid.betas = {0.35, 0.6};
+  grid.mobility_reductions = {0.0, 0.3};
+  grid.seed_areas = {0};
+  grid.seed_count = 20.0;
+  grid.steps = 80;
+  return grid;
+}
+
+/// One mobility-enabled snapshot shared by every test (building it
+/// dominates the suite's runtime, so do it once).
+class WhatIfServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::PipelineConfig config;
+    config.corpus.num_users = 2000;
+    config.num_shards = 2;
+    auto built = core::AnalysisSnapshot::Build(config);
+    ASSERT_TRUE(built.ok()) << built.status().message();
+    snapshot_ = new std::shared_ptr<const core::AnalysisSnapshot>(
+        std::make_shared<const core::AnalysisSnapshot>(std::move(*built)));
+  }
+
+  static void TearDownTestSuite() {
+    delete snapshot_;
+    snapshot_ = nullptr;
+  }
+
+  static std::shared_ptr<const core::AnalysisSnapshot> shared() {
+    return *snapshot_;
+  }
+
+  static std::shared_ptr<const core::AnalysisSnapshot>* snapshot_;
+};
+
+std::shared_ptr<const core::AnalysisSnapshot>* WhatIfServiceTest::snapshot_ =
+    nullptr;
+
+TEST_F(WhatIfServiceTest, CachedAnswerIsBitIdenticalToUncached) {
+  WhatIfOptions options;
+  options.num_threads = 2;
+  const WhatIfService service(shared(), options);
+  const epi::SweepGrid grid = SmallGrid();
+
+  auto first = service.WhatIf(grid);
+  ASSERT_TRUE(first.ok()) << first.status().message();
+  auto second = service.WhatIf(grid);
+  ASSERT_TRUE(second.ok());
+  // The repeat is a cache hit serving the very same answer object.
+  EXPECT_EQ(first->get(), second->get());
+  const WhatIfStats stats = service.stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.sweeps_run, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+
+  // A fresh service (cold cache) recomputes bit-identically.
+  const WhatIfService fresh(shared(), options);
+  auto recomputed = fresh.WhatIf(grid);
+  ASSERT_TRUE(recomputed.ok());
+  ExpectAnswersBitEqual(**first, **recomputed);
+
+  // And both equal the engine run directly without any pool.
+  auto direct = shared()->scenario_sweep()->Run(grid, nullptr);
+  ASSERT_TRUE(direct.ok());
+  WhatIfAnswer reference;
+  reference.results = std::move(*direct);
+  ExpectAnswersBitEqual(**first, reference);
+}
+
+TEST_F(WhatIfServiceTest, DistinctGridsGetDistinctCacheEntries) {
+  WhatIfOptions options;
+  options.num_threads = 2;
+  const WhatIfService service(shared(), options);
+  epi::SweepGrid a = SmallGrid();
+  epi::SweepGrid b = SmallGrid();
+  b.betas = {0.35, 0.61};
+  ASSERT_NE(HashSweepGrid(a), HashSweepGrid(b));
+
+  ASSERT_TRUE(service.WhatIf(a).ok());
+  ASSERT_TRUE(service.WhatIf(b).ok());
+  ASSERT_TRUE(service.WhatIf(a).ok());
+  ASSERT_TRUE(service.WhatIf(b).ok());
+  const WhatIfStats stats = service.stats();
+  EXPECT_EQ(stats.sweeps_run, 2u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+}
+
+TEST_F(WhatIfServiceTest, CacheCapacityZeroDisablesMemoisation) {
+  WhatIfOptions options;
+  options.num_threads = 2;
+  options.cache_capacity = 0;
+  const WhatIfService service(shared(), options);
+  const epi::SweepGrid grid = SmallGrid();
+  auto first = service.WhatIf(grid);
+  auto second = service.WhatIf(grid);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(service.stats().sweeps_run, 2u);
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+  ExpectAnswersBitEqual(**first, **second);
+}
+
+TEST_F(WhatIfServiceTest, ExpiredDeadlineIsTypedAndNeverPoisonsTheCache) {
+  WhatIfOptions options;
+  options.num_threads = 2;
+  const WhatIfService service(shared(), options);
+  const epi::SweepGrid grid = SmallGrid();
+
+  QueryOptions expired;
+  expired.deadline = Deadline::AlreadyExpired();
+  auto rejected = service.WhatIf(grid, expired);
+  EXPECT_TRUE(rejected.status().IsDeadlineExceeded());
+  EXPECT_EQ(service.stats().deadline_exceeded, 1u);
+  EXPECT_EQ(service.stats().sweeps_run, 0u);
+
+  // The failed query cached nothing: the next query computes, and its
+  // answer matches an unbounded fresh service bit-for-bit.
+  auto computed = service.WhatIf(grid);
+  ASSERT_TRUE(computed.ok());
+  EXPECT_EQ(service.stats().sweeps_run, 1u);
+  EXPECT_EQ(service.stats().cache_hits, 0u);
+}
+
+TEST_F(WhatIfServiceTest, InvalidGridSurfacesTheEngineError) {
+  const WhatIfService service(shared());
+  epi::SweepGrid grid = SmallGrid();
+  grid.betas.clear();
+  EXPECT_TRUE(service.WhatIf(grid).status().IsInvalidArgument());
+  grid = SmallGrid();
+  grid.scales = {999};
+  EXPECT_TRUE(service.WhatIf(grid).status().IsOutOfRange());
+}
+
+/// A sweep slow enough to observably hold the admission slot (~hundreds of
+/// milliseconds) without dominating the suite's runtime.
+epi::SweepGrid HeavyGrid() {
+  epi::SweepGrid grid = SmallGrid();
+  grid.scales = {0};
+  grid.betas = {0.3, 0.4, 0.5, 0.6};
+  grid.seed_areas = {0, 1};
+  grid.steps = 30000;
+  return grid;
+}
+
+TEST_F(WhatIfServiceTest, AdmissionLimitShedsConcurrentComputes) {
+  WhatIfOptions options;
+  options.num_threads = 2;
+  options.max_inflight = 1;
+  const WhatIfService service(shared(), options);
+
+  // A slow sweep holds the single compute slot (retrying if a cheap probe
+  // briefly steals it)...
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    while (true) {
+      auto heavy_answer = service.WhatIf(HeavyGrid());
+      if (heavy_answer.ok()) break;
+      EXPECT_TRUE(heavy_answer.status().IsUnavailable());
+    }
+    done.store(true);
+  });
+
+  // ...so concurrent misses are shed with kUnavailable. Distinct grids per
+  // probe keep every probe a miss.
+  bool observed_shed = false;
+  uint64_t probe = 0;
+  while (!done.load() && !observed_shed) {
+    epi::SweepGrid miss = SmallGrid();
+    miss.scales = {0};
+    miss.steps = 10 + (++probe);
+    auto answer = service.WhatIf(miss);
+    if (!answer.ok()) {
+      EXPECT_TRUE(answer.status().IsUnavailable());
+      observed_shed = true;
+    }
+  }
+  worker.join();
+  EXPECT_TRUE(observed_shed);
+  EXPECT_GE(service.stats().shed_queries, 1u);
+}
+
+TEST_F(WhatIfServiceTest, CacheHitsAreNeverShed) {
+  WhatIfOptions options;
+  options.num_threads = 2;
+  options.max_inflight = 1;
+  const WhatIfService service(shared(), options);
+
+  // Warm one entry, then keep re-asking for it while a heavy sweep holds
+  // the only compute slot: every repeat is a cache hit, and hits bypass
+  // admission entirely.
+  const epi::SweepGrid warm = SmallGrid();
+  ASSERT_TRUE(service.WhatIf(warm).ok());
+  std::atomic<bool> done{false};
+  std::thread worker([&] {
+    auto heavy_answer = service.WhatIf(HeavyGrid());
+    EXPECT_TRUE(heavy_answer.ok()) << heavy_answer.status().message();
+    done.store(true);
+  });
+  while (!done.load()) {
+    auto hit = service.WhatIf(warm);
+    EXPECT_TRUE(hit.ok());
+  }
+  worker.join();
+  EXPECT_EQ(service.stats().shed_queries, 0u);
+}
+
+TEST(WhatIfServiceNoMobilityTest, AnswersFailedPrecondition) {
+  core::PipelineConfig config;
+  config.corpus.num_users = 600;
+  config.run_mobility = false;
+  auto built = core::AnalysisSnapshot::Build(config);
+  ASSERT_TRUE(built.ok()) << built.status().message();
+  auto snapshot = std::make_shared<const core::AnalysisSnapshot>(
+      std::move(*built));
+  ASSERT_EQ(snapshot->scenario_sweep(), nullptr);
+  const WhatIfService service(snapshot);
+  auto answer = service.WhatIf(SmallGrid());
+  EXPECT_TRUE(answer.status().IsFailedPrecondition());
+}
+
+/// Catalog-backed service: the cache key embeds the commit version, so a
+/// Refresh() that swaps the snapshot invalidates naturally and answers
+/// carry the new version.
+TEST(WhatIfServiceCatalogTest, RefreshInvalidatesTheCache) {
+  const std::string path = testing::TempDir() + "/twimob_whatif_catalog.twdb";
+  std::remove(path.c_str());
+
+  random::Xoshiro256 rng(83);
+  const auto make_tweet = [&rng] {
+    const auto& areas =
+        census::AreasForScale(census::kAllScales[rng.NextUint64(3)]);
+    const census::Area& area = areas[rng.NextUint64(areas.size())];
+    return tweetdb::Tweet{
+        rng.NextUint64(40) + 1, static_cast<int64_t>(rng.NextUint64(1000000)),
+        geo::LatLon{area.center.lat + rng.NextUniform(-0.004, 0.004),
+                    area.center.lon + rng.NextUniform(-0.004, 0.004)}};
+  };
+  tweetdb::TweetDataset gen1(tweetdb::PartitionSpec::ForWindow(0, 1000000, 2),
+                             128);
+  for (size_t i = 0; i < 500; ++i) ASSERT_TRUE(gen1.Append(make_tweet()).ok());
+  gen1.SealAll();
+  ASSERT_TRUE(tweetdb::WriteDatasetFiles(gen1, path).ok());
+
+  CatalogOptions catalog_options;
+  catalog_options.num_threads = 2;
+  auto catalog = SnapshotCatalog::Open(path, catalog_options);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().message();
+
+  WhatIfOptions options;
+  options.num_threads = 2;
+  const WhatIfService service(catalog->get(), options);
+  const epi::SweepGrid grid = SmallGrid();
+
+  auto before = service.WhatIf(grid);
+  ASSERT_TRUE(before.ok()) << before.status().message();
+  EXPECT_EQ((*before)->generation, 1u);
+  EXPECT_EQ((*before)->ingest_seq, 0u);
+  ASSERT_TRUE(service.WhatIf(grid).ok());
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+
+  // A delta append advances the commit version; after Refresh the same
+  // grid misses the (stale) cache and computes against the new snapshot.
+  auto writer = tweetdb::IngestWriter::Open(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().message();
+  std::vector<tweetdb::Tweet> batch;
+  for (size_t i = 0; i < 100; ++i) batch.push_back(make_tweet());
+  ASSERT_TRUE((*writer)->AppendBatch(batch).ok());
+  auto refreshed = (*catalog)->Refresh();
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().message();
+  ASSERT_TRUE(*refreshed);
+
+  auto after = service.WhatIf(grid);
+  ASSERT_TRUE(after.ok()) << after.status().message();
+  EXPECT_EQ((*after)->generation, 1u);
+  EXPECT_EQ((*after)->ingest_seq, 1u);
+  EXPECT_EQ(service.stats().sweeps_run, 2u);
+
+  // Re-asking now hits the fresh entry.
+  auto again = service.WhatIf(grid);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->get(), after->get());
+  EXPECT_EQ(service.stats().cache_hits, 2u);
+}
+
+}  // namespace
+}  // namespace twimob::serve
